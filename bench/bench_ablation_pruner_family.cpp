@@ -1,0 +1,55 @@
+// Ablation: element-magnitude pruning vs. L1-filter pruning (DESIGN.md §5).
+//
+// Same ratios, both families, through the calibrated models: filter pruning
+// (the paper's choice, Li et al.) buys more time — removed filters also
+// shrink downstream layers — but costs more accuracy at equal ratio.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/characterization.h"
+#include "core/metrics.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Ablation — Pruner Family (magnitude vs l1-filter)",
+                "Uniform conv pruning of CaffeNet, 50k images on p2.xlarge; "
+                "TAR-5 decides which family wins per ratio.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::Characterization ch(sim, profile, accuracy);
+
+  const std::vector<std::string> convs{"conv1", "conv2", "conv3", "conv4",
+                                       "conv5"};
+  Table table({"Ratio (%)", "Family", "Time (min)", "Top-5 (%)",
+               "TAR-5 (min)"});
+  auto csv = bench::OpenCsv("ablation_pruner_family.csv",
+                            {"ratio", "family", "minutes", "top5", "tar5"});
+  for (double r : {0.2, 0.4, 0.6, 0.8}) {
+    for (const auto family : {pruning::PrunerFamily::kMagnitude,
+                              pruning::PrunerFamily::kL1Filter}) {
+      const auto plan = pruning::UniformPlan(convs, r, family);
+      const core::CurvePoint p = ch.EvaluatePlan("p2.xlarge", plan, 50000);
+      const double minutes = p.seconds / 60.0;
+      const double tar5 = core::TimeAccuracyRatio(minutes, p.top5);
+      table.AddRow({Table::Num(r * 100.0, 0),
+                    pruning::PrunerFamilyName(family), Table::Num(minutes, 1),
+                    Table::Num(p.top5 * 100.0, 1), Table::Num(tar5, 1)});
+      csv.AddRow({Table::Num(r, 2), pruning::PrunerFamilyName(family),
+                  Table::Num(minutes, 2), Table::Num(p.top5, 4),
+                  Table::Num(tar5, 2)});
+    }
+  }
+  std::cout << table.Render();
+  bench::Checkpoint("filter pruning", "faster at equal ratio",
+                    "lower minutes in l1-filter rows");
+  bench::Checkpoint("magnitude pruning", "more accurate at equal ratio",
+                    "higher Top-5 in magnitude rows");
+  return 0;
+}

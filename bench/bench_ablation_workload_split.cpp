@@ -1,0 +1,75 @@
+// Ablation: the paper's Eq. 4 distributes W equally across resources; on a
+// heterogeneous configuration the slowest instance then dominates T (and,
+// through Eq. 1, everyone's bill). This quantifies what the equal split
+// costs versus a throughput-proportional split (DESIGN.md §5).
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/density.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Ablation — Workload Split (Eq. 4 vs proportional)",
+                "500k CaffeNet images on mixed configurations.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const cloud::VariantPerf perf = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, {}), "nonpruned");
+  const std::int64_t kImages = 500000;
+
+  std::vector<cloud::ResourceConfig> configs;
+  {
+    cloud::ResourceConfig c;
+    c.Add("p2.xlarge", 4);
+    configs.push_back(c);  // homogeneous: splits should tie
+  }
+  {
+    cloud::ResourceConfig c;
+    c.Add("p2.xlarge");
+    c.Add("p2.16xlarge");
+    configs.push_back(c);  // 1 vs 16 GPUs: equal split is terrible
+  }
+  {
+    cloud::ResourceConfig c;
+    c.Add("g3.4xlarge", 2);
+    c.Add("p2.8xlarge");
+    configs.push_back(c);
+  }
+  {
+    cloud::ResourceConfig c;
+    c.Add("p2.xlarge", 3);
+    c.Add("g3.16xlarge", 2);
+    configs.push_back(c);
+  }
+
+  Table table({"configuration", "equal T (h)", "prop T (h)", "equal C ($)",
+               "prop C ($)", "time saved"});
+  auto csv = bench::OpenCsv(
+      "ablation_workload_split.csv",
+      {"config", "equal_hours", "prop_hours", "equal_cost", "prop_cost"});
+  for (const auto& config : configs) {
+    const cloud::RunEstimate equal =
+        sim.Run(config, perf, kImages, cloud::WorkloadSplit::kEqual);
+    const cloud::RunEstimate prop =
+        sim.Run(config, perf, kImages, cloud::WorkloadSplit::kProportional);
+    table.AddRow({config.ToString(), Table::Num(equal.seconds / 3600.0, 2),
+                  Table::Num(prop.seconds / 3600.0, 2),
+                  Table::Num(equal.cost_usd, 2), Table::Num(prop.cost_usd, 2),
+                  Table::Num((1.0 - prop.seconds / equal.seconds) * 100.0, 0) +
+                      " %"});
+    csv.AddRow({config.ToString(), Table::Num(equal.seconds / 3600.0, 3),
+                Table::Num(prop.seconds / 3600.0, 3),
+                Table::Num(equal.cost_usd, 3), Table::Num(prop.cost_usd, 3)});
+  }
+  std::cout << table.Render();
+
+  bench::Checkpoint("homogeneous configs", "splits tie", "first row equal");
+  bench::Checkpoint("heterogeneous configs",
+                    "proportional split dominates Eq. 4",
+                    "time and cost both drop on mixed rows");
+  return 0;
+}

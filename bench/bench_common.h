@@ -1,0 +1,44 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every bench prints (a) a banner naming the paper artifact it regenerates,
+// (b) the series/rows as an ASCII table (and chart where a shape matters),
+// and (c) writes a machine-readable CSV under ./bench_results/.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ccperf::bench {
+
+/// Print the bench banner.
+inline void Banner(const std::string& artifact, const std::string& summary) {
+  std::cout << "\n=== " << artifact << " ===\n" << summary << "\n\n";
+}
+
+/// Print a "paper vs ours" checkpoint line.
+inline void Checkpoint(const std::string& what, const std::string& paper,
+                       const std::string& ours) {
+  std::cout << "  [check] " << what << ": paper " << paper << " | ours "
+            << ours << "\n";
+}
+
+/// Directory for CSV outputs (created on demand).
+inline std::string ResultsDir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Open a CSV in the results dir.
+inline CsvWriter OpenCsv(const std::string& name,
+                         const std::vector<std::string>& header) {
+  return CsvWriter(ResultsDir() + "/" + name, header);
+}
+
+}  // namespace ccperf::bench

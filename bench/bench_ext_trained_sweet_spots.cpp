@@ -1,0 +1,93 @@
+// Extension: Figure 6's experiment on a *genuinely trained* model.
+//
+// Everywhere else in the repo, accuracy under pruning is either a
+// calibrated curve or teacher-student agreement. Here we train a CNN with
+// the built-in SGD trainer on the synthetic classification task, then sweep
+// per-layer pruning and measure TRUE held-out accuracy plus real inference
+// time — the closest this reproduction gets to the paper's actual protocol
+// (train -> prune -> measure), with no proxies anywhere.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/sweet_spot.h"
+#include "nn/model_zoo.h"
+#include "pruning/variant_generator.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace ccperf;
+
+double TimeInference(const nn::Network& net,
+                     const data::SyntheticImageDataset& dataset) {
+  const Tensor batch = dataset.Batch(0, 32);
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    (void)net.Forward(batch);
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Extension — Sweet Spots on a Trained Model",
+                "Train TinyCnn with SGD on the synthetic 8-class task, then "
+                "redo the paper's per-layer pruning sweep with true held-out "
+                "accuracy (no teacher proxy).");
+
+  const data::SyntheticImageDataset dataset(Shape{3, 16, 16}, 8, 768, 5,
+                                            0.45f);
+  nn::ModelConfig config;
+  config.weight_seed = 99;
+  config.num_classes = 8;
+  nn::Network net = nn::BuildTinyCnn(config);
+  train::SgdTrainer trainer(net, {.learning_rate = 0.05f, .momentum = 0.9f});
+  const double loss = trainer.Fit(dataset, /*train_size=*/512, /*batch=*/32,
+                                  /*epochs=*/12);
+  const double base_top1 = train::TopKAccuracy(net, dataset, 512, 256, 1);
+  const double base_top5 = train::TopKAccuracy(net, dataset, 512, 256, 5);
+  std::cout << "trained to loss " << Table::Num(loss, 3)
+            << "; held-out Top-1 " << Table::Num(base_top1 * 100.0, 1)
+            << " %, Top-5 " << Table::Num(base_top5 * 100.0, 1) << " %\n\n";
+
+  auto csv = bench::OpenCsv("ext_trained_sweet_spots.csv",
+                            {"layer", "ratio", "ms", "top1", "top5"});
+  for (const auto& layer : net.WeightedLayerNames()) {
+    std::vector<core::CurvePoint> curve;
+    Table table({"Prune (%)", "time (ms/batch32)", "Top-1 (%)", "Top-5 (%)"});
+    for (double r : {0.0, 0.3, 0.6, 0.8, 0.9, 0.95, 0.98}) {
+      const nn::Network variant = pruning::ApplyPlan(
+          net, pruning::UniformPlan({layer}, r,
+                                    pruning::PrunerFamily::kMagnitude));
+      const double seconds = TimeInference(variant, dataset);
+      const double top1 = train::TopKAccuracy(variant, dataset, 512, 256, 1);
+      const double top5 = train::TopKAccuracy(variant, dataset, 512, 256, 5);
+      // Sweet-spot detection runs on Top-1: Top-5 of 8 classes
+      // saturates and carries no signal.
+      curve.push_back({r, seconds, top1, top1});
+      table.AddRow({Table::Num(r * 100.0, 0), Table::Num(seconds * 1000.0, 1),
+                    Table::Num(top1 * 100.0, 1), Table::Num(top5 * 100.0, 1)});
+      csv.AddRow({layer, Table::Num(r, 2), Table::Num(seconds * 1000.0, 2),
+                  Table::Num(top1, 4), Table::Num(top5, 4)});
+    }
+    std::cout << "--- " << layer << " ---\n" << table.Render();
+    const core::SweetSpot spot = core::FindSweetSpot(curve, 0.05);
+    if (spot.exists) {
+      std::cout << "  sweet spot up to " << spot.last_ratio * 100.0
+                << " % (Top-1 -" << Table::Num(spot.accuracy_drop * 100.0, 1)
+                << " pp)\n\n";
+    } else {
+      std::cout << "  no sweet spot under 5 pp Top-1 tolerance\n\n";
+    }
+  }
+
+  bench::Checkpoint("sweet spots on real training",
+                    "accuracy flat for light pruning, collapse when heavy "
+                    "(paper Obs. 1/2, no proxies)",
+                    "see per-layer tables");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig. 10 (a, b): impact of accuracy on cloud cost — feasible
+// configurations under a $300 budget and the cost-accuracy Pareto
+// frontiers for one million CaffeNet images.
+//
+// Paper anchors: ~1000 feasible configurations, ~5 Pareto-optimal each for
+// Top-1/Top-5, up to 55 % cost saved at the highest accuracy, and the
+// cost frontier overlapping the time frontier's configurations.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "common/rng.h"
+#include "core/accuracy_model.h"
+#include "core/explorer.h"
+#include "pruning/variant_generator.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Figure 10 — Impact of Accuracy on Cloud Cost",
+                "Same space as Fig. 9 with a $300 cost budget.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::ConfigSpaceExplorer explorer(sim, profile, accuracy);
+
+  Rng rng(2020);  // same seed as Fig. 9: identical 60 variants
+  const auto variants = pruning::RandomVariants(
+      {"conv1", "conv2", "conv3", "conv4", "conv5"}, 60, 0.6, 0.1, rng);
+  const auto configs = cloud::EnumerateConfigs(catalog.Category("p2"), 3);
+
+  core::ExplorationResult result = explorer.Explore(
+      variants, configs, 1000000,
+      std::numeric_limits<double>::infinity(), /*budget_usd=*/300.0);
+  std::cout << "evaluated " << result.evaluated << " pairs; "
+            << result.feasible.size() << " feasible within the $300 budget\n\n";
+
+  // Percent-granularity accuracies, as in the paper's measurements (see
+  // the matching note in bench_fig9).
+  for (auto& p : result.feasible) {
+    p.top1 = std::round(p.top1 * 100.0) / 100.0;
+    p.top5 = std::round(p.top5 * 100.0) / 100.0;
+  }
+
+  auto csv = bench::OpenCsv("fig10_cost_accuracy.csv",
+                            {"variant", "config", "cost", "top1", "top5"});
+  for (const auto& p : result.feasible) {
+    csv.AddRow({p.variant_label, p.config.ToString(),
+                Table::Num(p.cost_usd, 2), Table::Num(p.top1, 4),
+                Table::Num(p.top5, 4)});
+  }
+
+  for (const bool use_top5 : {false, true}) {
+    const auto frontier =
+        core::CostAccuracyFrontier(result.feasible, use_top5);
+    std::cout << "--- (" << (use_top5 ? "b) Top-5" : "a) Top-1")
+              << " accuracy ---\n";
+    AsciiChart chart(64, 14);
+    std::vector<std::pair<double, double>> cloud_pts, pareto_pts;
+    for (const auto& p : result.feasible) {
+      cloud_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0, p.cost_usd);
+    }
+    Table table(
+        {"Pareto Config", "Variant", "Top-1 (%)", "Top-5 (%)", "Cost ($)"});
+    for (std::size_t idx : frontier) {
+      const auto& p = result.feasible[idx];
+      pareto_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0,
+                              p.cost_usd);
+      table.AddRow({p.config.ToString(), p.variant_label,
+                    Table::Num(p.top1 * 100.0, 1),
+                    Table::Num(p.top5 * 100.0, 1),
+                    Table::Num(p.cost_usd, 2)});
+    }
+    chart.AddSeries("feasible", '.', cloud_pts);
+    chart.AddSeries("pareto", 'P', pareto_pts);
+    std::cout << chart.Render() << table.Render();
+
+    const auto& best = result.feasible[frontier.front()];
+    double worst_same = best.cost_usd;
+    for (const auto& p : result.feasible) {
+      const double acc_best = use_top5 ? best.top5 : best.top1;
+      const double acc_p = use_top5 ? p.top5 : p.top1;
+      if (acc_p == acc_best) worst_same = std::max(worst_same, p.cost_usd);
+    }
+    bench::Checkpoint("Pareto count", "~5",
+                      std::to_string(frontier.size()));
+    bench::Checkpoint(
+        "cost saved at highest accuracy vs worst same-accuracy config",
+        "up to 55 %",
+        Table::Num((1.0 - best.cost_usd / worst_same) * 100.0, 1) + " %");
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Fig. 11: time-accuracy positions of degrees of pruning with
+// their TAR values — conv1 swept 0-40 %, conv2 swept 0-50 %, in 10 % steps
+// (the per-layer sweet-spot regions of Fig. 6), 50,000 images on p2.xlarge.
+//
+// Shape to reproduce: for a fixed accuracy several degrees of pruning with
+// different times exist; the lowest-TAR one is the efficient choice.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/characterization.h"
+#include "core/metrics.h"
+#include "pruning/variant_generator.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Figure 11 — Time-Accuracy of Degrees of Pruning with TAR",
+                "conv1 x conv2 sweet-spot grid; TAR = minutes per unit "
+                "accuracy (lower is better).");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::Characterization ch(sim, profile, accuracy);
+
+  const auto plans = pruning::CartesianSweep(
+      {"conv1", "conv2"},
+      {{0.0, 0.1, 0.2, 0.3, 0.4}, {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}});
+
+  Table table({"Degree of Pruning", "Time (min)", "Top-1 (%)", "Top-5 (%)",
+               "TAR-1 (min)", "TAR-5 (min)"});
+  auto csv = bench::OpenCsv(
+      "fig11_tar_degrees.csv",
+      {"plan", "minutes", "top1", "top5", "tar1_min", "tar5_min"});
+  AsciiChart chart(64, 14);
+  std::vector<std::pair<double, double>> pts;
+  double best_tar5 = 1e18, worst_tar5 = 0.0;
+  for (const auto& plan : plans) {
+    const core::CurvePoint p = ch.EvaluatePlan("p2.xlarge", plan, 50000);
+    const double minutes = p.seconds / 60.0;
+    const double tar1 = core::TimeAccuracyRatio(minutes, p.top1);
+    const double tar5 = core::TimeAccuracyRatio(minutes, p.top5);
+    table.AddRow({plan.Label(), Table::Num(minutes, 1),
+                  Table::Num(p.top1 * 100.0, 1), Table::Num(p.top5 * 100.0, 1),
+                  Table::Num(tar1, 1), Table::Num(tar5, 1)});
+    csv.AddRow({plan.Label(), Table::Num(minutes, 2), Table::Num(p.top1, 4),
+                Table::Num(p.top5, 4), Table::Num(tar1, 2),
+                Table::Num(tar5, 2)});
+    pts.emplace_back(p.top5 * 100.0, minutes);
+    best_tar5 = std::min(best_tar5, tar5);
+    worst_tar5 = std::max(worst_tar5, tar5);
+  }
+  std::cout << table.Render();
+  chart.AddSeries("degree-of-pruning", '*', pts);
+  std::cout << chart.Render();
+
+  bench::Checkpoint("TAR separates same-accuracy variants",
+                    "lower TAR = less time per accuracy unit",
+                    "TAR-5 spans " + Table::Num(best_tar5, 1) + " - " +
+                        Table::Num(worst_tar5, 1) + " min");
+  return 0;
+}

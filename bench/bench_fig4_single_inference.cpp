@@ -1,0 +1,59 @@
+// Reproduces Fig. 4: time for a single inference vs. uniform prune ratio,
+// CaffeNet and GoogLeNet on p2.xlarge.
+//
+// Paper anchors: CaffeNet 0.09 s -> ~0.05 s at 90 %; GoogLeNet 0.16 s ->
+// ~0.10 s. Shape: monotone decrease; GoogLeNet stays above CaffeNet.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/characterization.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Figure 4 — Time for a Single Inference",
+                "Batch-1 latency vs. uniform conv prune ratio (p2.xlarge).");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile caffe = cloud::CaffeNetProfile();
+  const cloud::ModelProfile goog = cloud::GoogLeNetProfile();
+  const core::CalibratedAccuracyModel caffe_acc =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::CalibratedAccuracyModel goog_acc =
+      core::CalibratedAccuracyModel::GoogLeNet();
+  const core::Characterization caffe_ch(sim, caffe, caffe_acc);
+  const core::Characterization goog_ch(sim, goog, goog_acc);
+
+  Table table({"Prune Ratio (%)", "Caffenet (s)", "Googlenet (s)"});
+  auto csv = bench::OpenCsv("fig4_single_inference.csv",
+                            {"ratio", "caffenet_s", "googlenet_s"});
+  AsciiChart chart(64, 12);
+  std::vector<std::pair<double, double>> caffe_pts, goog_pts;
+  double caffe0 = 0.0, caffe90 = 0.0, goog0 = 0.0, goog90 = 0.0;
+  for (int pct = 0; pct <= 90; pct += 10) {
+    const double r = pct / 100.0;
+    const double tc = caffe_ch.SingleInferenceSeconds("p2.xlarge", r);
+    const double tg = goog_ch.SingleInferenceSeconds("p2.xlarge", r);
+    table.AddRow({std::to_string(pct), Table::Num(tc, 3), Table::Num(tg, 3)});
+    csv.AddRow({std::to_string(pct), Table::Num(tc, 4), Table::Num(tg, 4)});
+    caffe_pts.emplace_back(pct, tc);
+    goog_pts.emplace_back(pct, tg);
+    if (pct == 0) { caffe0 = tc; goog0 = tg; }
+    if (pct == 90) { caffe90 = tc; goog90 = tg; }
+  }
+  std::cout << table.Render();
+  chart.AddSeries("caffenet", '*', caffe_pts);
+  chart.AddSeries("googlenet", 'o', goog_pts);
+  std::cout << chart.Render();
+
+  bench::Checkpoint("Caffenet 0% -> 90%", "0.09 s -> ~0.05 s",
+                    Table::Num(caffe0, 3) + " s -> " + Table::Num(caffe90, 3) +
+                        " s");
+  bench::Checkpoint("Googlenet 0% -> 90%", "0.16 s -> ~0.10 s",
+                    Table::Num(goog0, 3) + " s -> " + Table::Num(goog90, 3) +
+                        " s");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Fig. 5: time for the 50,000-image workload vs. the number of
+// parallel inferences (batch size) on a p2.xlarge K80.
+//
+// Shape to reproduce: steep improvement at small batches, saturation
+// around ~300 parallel inferences, ~2.3x total spread.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/characterization.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Figure 5 — Parallel Inference on a GPU",
+                "50,000 CaffeNet/GoogLeNet inferences vs. batch size "
+                "(p2.xlarge).");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile caffe = cloud::CaffeNetProfile();
+  const cloud::ModelProfile goog = cloud::GoogLeNetProfile();
+  const core::CalibratedAccuracyModel caffe_acc =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::CalibratedAccuracyModel goog_acc =
+      core::CalibratedAccuracyModel::GoogLeNet();
+  const core::Characterization caffe_ch(sim, caffe, caffe_acc);
+  const core::Characterization goog_ch(sim, goog, goog_acc);
+
+  const std::vector<std::int64_t> batches{1,   25,  50,  100, 200,  300,
+                                          450, 600, 900, 1200, 1600, 2000};
+  const std::int64_t kImages = 50000;
+
+  const auto caffe_curve = caffe_ch.BatchSweep("p2.xlarge", batches, kImages);
+  const auto goog_curve = goog_ch.BatchSweep("p2.xlarge", batches, kImages);
+
+  Table table({"Parallel Inferences", "Caffenet (s)", "Googlenet (s)"});
+  auto csv = bench::OpenCsv("fig5_parallel_inference.csv",
+                            {"batch", "caffenet_s", "googlenet_s"});
+  AsciiChart chart(64, 12);
+  std::vector<std::pair<double, double>> cpts, gpts;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    table.AddRow({std::to_string(batches[i]),
+                  Table::Num(caffe_curve[i].second, 0),
+                  Table::Num(goog_curve[i].second, 0)});
+    csv.AddRow({std::to_string(batches[i]),
+                Table::Num(caffe_curve[i].second, 1),
+                Table::Num(goog_curve[i].second, 1)});
+    cpts.emplace_back(static_cast<double>(batches[i]), caffe_curve[i].second);
+    gpts.emplace_back(static_cast<double>(batches[i]), goog_curve[i].second);
+  }
+  std::cout << table.Render();
+  chart.AddSeries("caffenet", '+', cpts);
+  chart.AddSeries("googlenet", 'x', gpts);
+  std::cout << chart.Render();
+
+  const double t25 = caffe_curve[1].second;
+  const double t300 = caffe_curve[5].second;
+  const double t2000 = caffe_curve.back().second;
+  bench::Checkpoint("saturation point", "~300 parallel inferences",
+                    "B=300 is within " +
+                        Table::Num((t300 / t2000 - 1.0) * 100.0, 1) +
+                        " % of the B=2000 floor");
+  bench::Checkpoint("small-batch penalty", "~3200 s vs ~1400 s floor (2.3x)",
+                    Table::Num(t25, 0) + " s vs " + Table::Num(t2000, 0) +
+                        " s (" + Table::Num(t25 / t2000, 2) + "x)");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 6 (a-e): CaffeNet inference time and Top-1/Top-5 accuracy
+// vs. prune ratio, pruning one convolution layer at a time (50,000 images
+// on p2.xlarge).
+//
+// Paper anchors: conv2 shows the largest time reduction (19 -> ~14 min at
+// 90 %), conv1 the smallest (19 -> ~16.6 min); accuracy stays flat through
+// a sweet-spot region and conv1 is the most accuracy-critical layer.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/characterization.h"
+#include "core/sweet_spot.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Figure 6 — Caffenet: Changing Accuracy with Individual "
+                "Layer Pruning",
+                "Per-layer prune sweeps: time (50k images, p2.xlarge) and "
+                "Top-1/Top-5 accuracy.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::Characterization ch(sim, profile, accuracy);
+
+  const std::vector<double> ratios{0.0, 0.1, 0.2, 0.3, 0.4,
+                                   0.5, 0.6, 0.7, 0.8, 0.9};
+  auto csv = bench::OpenCsv(
+      "fig6_caffenet_layer_pruning.csv",
+      {"layer", "ratio", "minutes", "top1", "top5"});
+
+  double conv1_t90 = 0.0, conv2_t90 = 0.0, t0 = 0.0;
+  for (const char* layer : {"conv1", "conv2", "conv3", "conv4", "conv5"}) {
+    const auto curve =
+        ch.SingleLayerSweep("p2.xlarge", layer, ratios, 50000);
+    std::cout << "--- (" << layer << ") ---\n";
+    Table table({"Prune (%)", "Time (min)", "Top-1 (%)", "Top-5 (%)"});
+    for (const auto& p : curve) {
+      table.AddRow({Table::Num(p.ratio * 100.0, 0),
+                    Table::Num(p.seconds / 60.0, 1),
+                    Table::Num(p.top1 * 100.0, 1),
+                    Table::Num(p.top5 * 100.0, 1)});
+      csv.AddRow({layer, Table::Num(p.ratio, 2), Table::Num(p.seconds / 60.0, 2),
+                  Table::Num(p.top1, 4), Table::Num(p.top5, 4)});
+    }
+    std::cout << table.Render();
+    const core::SweetSpot spot = core::FindSweetSpot(curve, 0.04);
+    if (spot.exists) {
+      std::cout << "  sweet-spot region up to " << spot.last_ratio * 100.0
+                << " % (time -" << Table::Num(spot.time_saving * 100.0, 1)
+                << " %, top5 -" << Table::Num(spot.accuracy_drop * 100.0, 1)
+                << " pp)\n\n";
+    } else {
+      std::cout << "  no sweet spot under 4 pp tolerance\n\n";
+    }
+    if (std::string(layer) == "conv1") conv1_t90 = curve.back().seconds;
+    if (std::string(layer) == "conv2") conv2_t90 = curve.back().seconds;
+    t0 = curve.front().seconds;
+  }
+
+  bench::Checkpoint("unpruned time", "19 min", Table::Num(t0 / 60.0, 1) + " min");
+  bench::Checkpoint("conv2@90 time (largest drop)", "~14 min",
+                    Table::Num(conv2_t90 / 60.0, 1) + " min");
+  bench::Checkpoint("conv1@90 time (smallest drop)", "~16.6 min",
+                    Table::Num(conv1_t90 / 60.0, 1) + " min");
+  bench::Checkpoint("conv1@90 Top-5", "~0 %", "see conv1 table");
+  return 0;
+}

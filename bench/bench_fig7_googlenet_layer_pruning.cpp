@@ -1,0 +1,67 @@
+// Reproduces Fig. 7 (a-f): GoogLeNet time + accuracy vs. prune ratio for
+// the six convolution layers the paper selected from different depths.
+//
+// Paper anchors: conv2-3x3 has the strongest time impact (13 -> ~9 min at
+// 90 %); accuracy stays flat until ~60 % pruning for these layers.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/characterization.h"
+#include "core/sweet_spot.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Figure 7 — Googlenet: Changing Accuracy with Individual "
+                "Layer Pruning",
+                "Six selected conv layers: time (50k images, p2.xlarge) and "
+                "Top-1/Top-5 accuracy.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::GoogLeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::GoogLeNet();
+  const core::Characterization ch(sim, profile, accuracy);
+
+  const std::vector<double> ratios{0.0, 0.1, 0.2, 0.3, 0.4,
+                                   0.5, 0.6, 0.7, 0.8, 0.9};
+  const std::vector<std::string> layers{
+      "conv1-7x7-s2",     "conv2-3x3",        "inception-3a-3x3",
+      "inception-4d-5x5", "inception-4e-5x5", "inception-5a-3x3"};
+  auto csv = bench::OpenCsv("fig7_googlenet_layer_pruning.csv",
+                            {"layer", "ratio", "minutes", "top1", "top5"});
+
+  double conv2_t90 = 0.0, t0 = 0.0;
+  for (const auto& layer : layers) {
+    const auto curve = ch.SingleLayerSweep("p2.xlarge", layer, ratios, 50000);
+    std::cout << "--- (" << layer << ") ---\n";
+    Table table({"Prune (%)", "Time (min)", "Top-1 (%)", "Top-5 (%)"});
+    for (const auto& p : curve) {
+      table.AddRow({Table::Num(p.ratio * 100.0, 0),
+                    Table::Num(p.seconds / 60.0, 2),
+                    Table::Num(p.top1 * 100.0, 1),
+                    Table::Num(p.top5 * 100.0, 1)});
+      csv.AddRow({layer, Table::Num(p.ratio, 2),
+                  Table::Num(p.seconds / 60.0, 3), Table::Num(p.top1, 4),
+                  Table::Num(p.top5, 4)});
+    }
+    std::cout << table.Render();
+    const core::SweetSpot spot = core::FindSweetSpot(curve, 0.04);
+    if (spot.exists) {
+      std::cout << "  sweet-spot region up to " << spot.last_ratio * 100.0
+                << " %\n\n";
+    }
+    if (layer == "conv2-3x3") conv2_t90 = curve.back().seconds;
+    t0 = curve.front().seconds;
+  }
+
+  bench::Checkpoint("unpruned time", "13 min", Table::Num(t0 / 60.0, 1) + " min");
+  bench::Checkpoint("conv2-3x3@90 (strongest layer)", "~9 min",
+                    Table::Num(conv2_t90 / 60.0, 1) + " min");
+  bench::Checkpoint("accuracy plateau", "flat until ~60 % pruning",
+                    "see Top-5 columns");
+  return 0;
+}

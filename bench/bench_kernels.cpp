@@ -1,0 +1,135 @@
+// Supporting kernel microbenchmarks (google-benchmark): the compute
+// primitives whose behaviour the cloud model abstracts — GEMM, CSR sparse
+// multiply at several sparsities, im2col, and a full conv layer forward.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/conv_layer.h"
+#include "nn/model_zoo.h"
+#include "pruning/magnitude_pruner.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/sparse.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace ccperf;
+
+std::vector<float> RandomVec(std::int64_t n, std::uint64_t seed,
+                             double sparsity = 0.0) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = rng.NextDouble() < sparsity ? 0.0f : rng.NextFloat(-1.0f, 1.0f);
+  }
+  return v;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto a = RandomVec(n * n, 1);
+  const auto b = RandomVec(n * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    Gemm(n, n, n, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SparseMultiply(benchmark::State& state) {
+  // conv2-shaped: 256 x 1200 weights against 729 output pixels.
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  const auto weights = RandomVec(256 * 1200, 3, sparsity);
+  const CsrMatrix csr = CsrMatrix::FromDense(256, 1200, weights);
+  const auto columns = RandomVec(1200 * 729, 4);
+  std::vector<float> out(256 * 729);
+  for (auto _ : state) {
+    csr.MultiplyDense(columns, 729, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["nnz"] = static_cast<double>(csr.Nnz());
+}
+BENCHMARK(BM_SparseMultiply)->Arg(0)->Arg(50)->Arg(90);
+
+void BM_Im2Col(benchmark::State& state) {
+  ConvGeometry g{.in_channels = 48, .in_h = 27, .in_w = 27, .kernel_h = 5,
+                 .kernel_w = 5, .stride = 1, .pad = 2};
+  const auto image = RandomVec(g.in_channels * g.in_h * g.in_w, 5);
+  std::vector<float> columns(
+      static_cast<std::size_t>(g.PatchSize() * g.OutPixels()));
+  for (auto _ : state) {
+    Im2Col(g, image, columns);
+    benchmark::DoNotOptimize(columns.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ConvForward(benchmark::State& state) {
+  const double prune = static_cast<double>(state.range(0)) / 100.0;
+  nn::ConvLayer conv("c",
+                     {.out_channels = 64, .kernel = 3, .stride = 1, .pad = 1,
+                      .groups = 2},
+                     32);
+  Rng rng(6);
+  conv.MutableWeights().FillGaussian(rng, 0.0f, 0.5f);
+  conv.NotifyWeightsChanged();
+  if (prune > 0.0) {
+    pruning::MagnitudePruner pruner;
+    pruner.Prune(conv, prune);
+  }
+  Tensor input(Shape{1, 32, 27, 27});
+  input.FillGaussian(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = conv.Forward({&input});
+    benchmark::DoNotOptimize(out.Data().data());
+  }
+  state.counters["sparse_path"] = conv.UsesSparsePath() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ConvForward)->Arg(0)->Arg(60)->Arg(90);
+
+void BM_Col2Im(benchmark::State& state) {
+  ConvGeometry g{.in_channels = 48, .in_h = 27, .in_w = 27, .kernel_h = 5,
+                 .kernel_w = 5, .stride = 1, .pad = 2};
+  const auto columns = RandomVec(g.PatchSize() * g.OutPixels(), 8);
+  std::vector<float> image(
+      static_cast<std::size_t>(g.in_channels * g.in_h * g.in_w));
+  for (auto _ : state) {
+    Col2Im(g, columns, image);
+    benchmark::DoNotOptimize(image.data());
+  }
+}
+BENCHMARK(BM_Col2Im);
+
+void BM_TrainerStep(benchmark::State& state) {
+  nn::ModelConfig config;
+  config.weight_seed = 9;
+  config.num_classes = 8;
+  nn::Network net = nn::BuildTinyCnn(config);
+  train::SgdTrainer trainer(net);
+  const data::SyntheticImageDataset dataset(Shape{3, 16, 16}, 8, 64, 9);
+  const Tensor images = dataset.Batch(0, 16);
+  const auto labels = dataset.BatchLabels(0, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainBatch(images, labels));
+  }
+}
+BENCHMARK(BM_TrainerStep);
+
+void BM_TinyCnnForward(benchmark::State& state) {
+  const nn::Network net = nn::BuildTinyCnn();
+  Tensor input(Shape{4, 3, 16, 16});
+  Rng rng(7);
+  input.FillGaussian(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = net.Forward(input);
+    benchmark::DoNotOptimize(out.Data().data());
+  }
+}
+BENCHMARK(BM_TinyCnnForward);
+
+}  // namespace

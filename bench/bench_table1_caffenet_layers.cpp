@@ -1,0 +1,55 @@
+// Reproduces Table 1: CaffeNet layer geometry, printed straight from the
+// actual model builder (so the table can never drift from the code).
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/flops.h"
+#include "nn/model_zoo.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Table 1 — Caffenet Layers",
+                "Layer geometry of the built CaffeNet model.");
+
+  nn::ModelConfig config;
+  config.weight_seed = 0;
+  const nn::Network net = nn::BuildCaffeNet(config);
+  const nn::NetworkCostReport report = nn::AnalyzeNetwork(net, 1);
+
+  Table table({"Layer", "Size", "Number of Filters", "Filter Size"});
+  table.AddRow({"input", "227 x 227 x 3", "-", "-"});
+  auto csv = bench::OpenCsv("table1_caffenet_layers.csv",
+                            {"layer", "size", "filters", "filter_size"});
+  csv.AddRow({"input", "227x227x3", "", ""});
+
+  for (const auto& info : report.layers) {
+    const nn::Layer* layer = net.FindLayer(info.name);
+    std::ostringstream size, filters, fsize;
+    if (const auto* conv = dynamic_cast<const nn::ConvLayer*>(layer)) {
+      size << info.output_shape.Dim(2) << " x " << info.output_shape.Dim(3)
+           << " x " << info.output_shape.Dim(1);
+      filters << conv->Params().out_channels;
+      const Shape& w = conv->Weights().GetShape();
+      fsize << w.Dim(2) << " x " << w.Dim(3) << " x " << w.Dim(1);
+    } else if (const auto* fc = dynamic_cast<const nn::FcLayer*>(layer)) {
+      size << fc->OutFeatures();
+      filters << "-";
+      fsize << "-";
+    } else {
+      continue;  // Table 1 lists only weighted layers
+    }
+    table.AddRow({info.name, size.str(), filters.str(), fsize.str()});
+    csv.AddRow({info.name, size.str(), filters.str(), fsize.str()});
+  }
+  std::cout << table.Render();
+
+  bench::Checkpoint("conv1 size", "55 x 55 x 96", "see row conv1");
+  bench::Checkpoint("conv2 filter size", "5 x 5 x 48", "see row conv2");
+  bench::Checkpoint("fc3 size", "1000", "see row fc3");
+  std::cout << "\nTotal parameters: " << net.ParameterCount() / 1000000.0
+            << " M (AlexNet/CaffeNet ~61 M)\n";
+  return 0;
+}

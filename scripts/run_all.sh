@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, every figure/table bench and
+# every example — the repository's one-shot verification entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja \
+  -DCCPERF_BUILD_TESTS=ON -DCCPERF_BUILD_BENCH=ON -DCCPERF_BUILD_EXAMPLES=ON
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== benches (paper tables & figures) =="
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "--- $b"
+  "$b"
+done
+
+echo "== examples =="
+build/examples/quickstart
+build/examples/sweet_spot_finder caffenet
+build/examples/pareto_explorer caffenet 500000 6 100
+build/examples/social_media_filter 100000000
+build/examples/model_compressor
+build/examples/calibration_workflow
+build/examples/train_and_prune 6
+
+echo "ALL GREEN"

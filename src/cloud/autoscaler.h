@@ -1,0 +1,60 @@
+// Reactive autoscaler: the *resource*-elasticity baseline the paper's
+// related work (§2.2: PRESS, cost-aware provisioning, auto-scaling under
+// deadlines) pursues, built on the serving simulator so it can be compared
+// head-to-head with the paper's *accuracy*-elasticity knob.
+//
+// The autoscaler is deliberately classic: it observes the previous epoch's
+// GPU utilization and scales the homogeneous fleet toward a target
+// utilization, one epoch of lag — the lag is exactly what accuracy
+// elasticity (instant variant switch) does not pay.
+#pragma once
+
+#include <vector>
+
+#include "cloud/serving.h"
+
+namespace ccperf::cloud {
+
+/// Reactive scaling policy.
+struct AutoscalePolicy {
+  double target_utilization = 0.6;  // scale so next-epoch util ~ target
+  int min_instances = 1;
+  int max_instances = 16;
+};
+
+/// One epoch of an autoscaled run.
+struct AutoscaleStep {
+  int epoch = 0;
+  int instances = 0;
+  ServingReport report;
+};
+
+/// Whole-run summary.
+struct AutoscaleResult {
+  std::vector<AutoscaleStep> steps;
+  double total_cost_usd = 0.0;   // instance-hours billed across epochs
+  double worst_p99_s = 0.0;
+  bool always_stable = true;
+};
+
+/// Epoch-driven reactive autoscaler over a homogeneous fleet of one
+/// instance type.
+class Autoscaler {
+ public:
+  /// `simulator` must outlive the autoscaler.
+  Autoscaler(const ServingSimulator& serving, std::string instance_type);
+
+  /// Serve `epochs` epochs of `epoch_s` seconds each; `arrivals[e]` is the
+  /// full arrival trace of epoch e in epoch-local time. Scaling decisions
+  /// use the previous epoch's utilization (reactive, one epoch of lag).
+  [[nodiscard]] AutoscaleResult Run(
+      const std::vector<std::vector<double>>& arrivals, double epoch_s,
+      const VariantPerf& perf, const AutoscalePolicy& policy,
+      const ServingPolicy& serving_policy) const;
+
+ private:
+  const ServingSimulator& serving_;
+  std::string instance_type_;
+};
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,96 @@
+#include "cloud/density.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf::cloud {
+
+DensityMap DensityFromPlan(const ModelProfile& profile,
+                           const pruning::PrunePlan& plan) {
+  DensityMap map;
+  const bool structural = plan.family == pruning::PrunerFamily::kL1Filter;
+  for (const auto& name : profile.layer_order) {
+    const double ratio = plan.RatioFor(name);
+    CCPERF_CHECK(ratio >= 0.0 && ratio < 1.0, "ratio out of range for ", name);
+    LayerDensity d;
+    d.element = 1.0 - ratio;
+    d.out_filter = structural ? 1.0 - ratio : 1.0;
+    const auto it = profile.layers.find(name);
+    CCPERF_CHECK(it != profile.layers.end(), "layer ", name,
+                 " missing from profile ", profile.model_name);
+    const std::string& upstream = it->second.upstream;
+    if (!upstream.empty()) {
+      const auto up = map.find(upstream);
+      CCPERF_CHECK(up != map.end(), "upstream ", upstream,
+                   " not processed before ", name,
+                   " — profile layer_order is not topological");
+      d.in_channel = up->second.out_filter;
+    }
+    map[name] = d;
+  }
+  // Layers the plan names but the profile does not know are an error: the
+  // caller would silently lose their time contribution otherwise.
+  for (const auto& [layer, ratio] : plan.layer_ratios) {
+    if (ratio > 0.0) {
+      CCPERF_CHECK(map.contains(layer), "plan prunes layer '", layer,
+                   "' unknown to profile ", profile.model_name);
+    }
+  }
+  return map;
+}
+
+DensityMap DensityFromNetwork(const nn::Network& net) {
+  DensityMap map;
+  // Channel density of each node's output (fraction of live channels).
+  std::vector<double> channel_density(net.LayerCount(), 1.0);
+
+  auto input_density = [&](std::size_t node) {
+    const auto& ins = net.NodeInputs(node);
+    if (ins.empty()) return 1.0;
+    if (ins.size() == 1) {
+      return ins[0] < 0 ? 1.0
+                        : channel_density[static_cast<std::size_t>(ins[0])];
+    }
+    // Concat: average weighted by branch channel counts is what matters for
+    // downstream compute; we approximate with the plain mean since branch
+    // widths are similar in inception modules.
+    double sum = 0.0;
+    for (auto idx : ins) {
+      sum += idx < 0 ? 1.0 : channel_density[static_cast<std::size_t>(idx)];
+    }
+    return sum / static_cast<double>(ins.size());
+  };
+
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    const nn::Layer& layer = net.LayerAt(i);
+    const double in_density = input_density(i);
+    if (!layer.HasWeights()) {
+      channel_density[i] = in_density;
+      continue;
+    }
+    const Tensor& w = layer.Weights();
+    const std::int64_t filters = w.GetShape().Dim(0);
+    const std::int64_t per_filter = w.NumElements() / filters;
+    const auto data = w.Data();
+    std::int64_t live = 0;
+    for (std::int64_t f = 0; f < filters; ++f) {
+      const float* row = data.data() + f * per_filter;
+      for (std::int64_t k = 0; k < per_filter; ++k) {
+        if (row[k] != 0.0f) {
+          ++live;
+          break;
+        }
+      }
+    }
+    LayerDensity d;
+    d.element = layer.WeightDensity();
+    d.out_filter = static_cast<double>(live) / static_cast<double>(filters);
+    d.in_channel = in_density;
+    map[layer.Name()] = d;
+    channel_density[i] = d.out_filter;
+  }
+  return map;
+}
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,38 @@
+// Weight-density descriptors of a pruned variant, either derived
+// analytically from a PrunePlan (cheap — used for thousand-configuration
+// sweeps) or measured from an actual pruned network (used to validate the
+// analytic path in tests).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cloud/model_profile.h"
+#include "nn/network.h"
+#include "pruning/prune_plan.h"
+
+namespace ccperf::cloud {
+
+/// Density state of one weighted layer.
+struct LayerDensity {
+  /// Fraction of nonzero weight elements.
+  double element = 1.0;
+  /// Fraction of output filters (weight rows) that are not entirely zero.
+  /// Structural (filter) pruning lowers this; magnitude pruning does not.
+  double out_filter = 1.0;
+  /// Fraction of this layer's input channels still produced upstream —
+  /// Li et al. filter removal also deletes the matching kernel planes here.
+  double in_channel = 1.0;
+};
+
+using DensityMap = std::map<std::string, LayerDensity>;
+
+/// Analytic densities implied by `plan` over the profile's layer graph.
+DensityMap DensityFromPlan(const ModelProfile& profile,
+                           const pruning::PrunePlan& plan);
+
+/// Measured densities of an actual (possibly pruned) network, propagating
+/// dead channels through weightless layers and concat joins.
+DensityMap DensityFromNetwork(const nn::Network& net);
+
+}  // namespace ccperf::cloud

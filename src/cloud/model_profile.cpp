@@ -1,0 +1,178 @@
+#include "cloud/model_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/flops.h"
+#include "nn/model_zoo.h"
+
+namespace ccperf::cloud {
+
+double ModelProfile::TotalShare() const {
+  double total = residual_share;
+  for (const auto& [_, lp] : layers) total += lp.time_share;
+  return total;
+}
+
+ModelProfile CaffeNetProfile() {
+  // Calibrated against the paper's measurements:
+  //  * 50,000 images in 19 min on p2.xlarge (Fig. 6)  -> 22.8 ms/image.
+  //  * Layer time distribution (Fig. 3) reconciled with the per-layer
+  //    pruning time ranges of Fig. 6 — see DESIGN.md §2 for why the paper's
+  //    own 51%/16% split is arithmetically impossible and the compromise
+  //    used here (conv1 35%, conv2 30%).
+  //  * conv1's prunable fraction 0.35: stride-4 im2col dominates, so pruning
+  //    barely helps (Fig. 6(a): 19 -> 16.6 min at 90%).
+  //  * conv2 prunable 0.88 (Fig. 6(b): 19 -> ~14 min at 90%).
+  ModelProfile p;
+  p.model_name = "caffenet";
+  p.ref_seconds_per_image = 19.0 * 60.0 / 50000.0;  // 22.8 ms
+  // 5 conv + 3 fc + 3 pool + 2 LRN + softmax = 14 kernels per batch; at
+  // 1.5 ms launch each this puts batch-1 latency at the paper's ~0.09 s.
+  p.kernel_count = 14;
+  p.layer_order = {"conv1", "conv2", "conv3", "conv4",
+                   "conv5", "fc1",   "fc2",   "fc3"};
+  p.layers["conv1"] = {0.350, 0.35, ""};
+  p.layers["conv2"] = {0.300, 0.88, "conv1"};
+  p.layers["conv3"] = {0.090, 0.85, "conv2"};
+  p.layers["conv4"] = {0.100, 0.85, "conv3"};
+  p.layers["conv5"] = {0.070, 0.85, "conv4"};
+  p.layers["fc1"] = {0.025, 0.90, "conv5"};
+  p.layers["fc2"] = {0.012, 0.90, "fc1"};
+  p.layers["fc3"] = {0.004, 0.90, "fc2"};
+  p.residual_share = 0.049;
+  return p;
+}
+
+namespace {
+
+/// GEMM efficiency heuristic: convolutions with small unfolded patches and
+/// large strides use the device poorly (conv1-style layers), big stride-1
+/// 3x3 stacks use it well.
+double ConvEfficiency(const nn::ConvLayer& conv) {
+  const auto& params = conv.Params();
+  const double patch =
+      static_cast<double>(conv.InChannels() / params.groups) *
+      static_cast<double>(params.kernel * params.kernel);
+  const double k_factor = patch / (patch + 1500.0);
+  const double stride_factor =
+      1.0 / (1.0 + 0.15 * static_cast<double>(params.stride - 1));
+  return std::max(0.02, k_factor * stride_factor);
+}
+
+double PrunableFraction(const nn::ConvLayer& conv) {
+  // First layers reading raw 3-channel images are im2col/memory bound:
+  // sparsifying the tiny weight matrix barely moves their time.
+  if (conv.InChannels() <= 3 && conv.Params().stride >= 4) return 0.35;
+  if (conv.InChannels() <= 3) return 0.45;
+  return 0.85;
+}
+
+}  // namespace
+
+ModelProfile GenericProfile(const nn::Network& net,
+                            double ref_seconds_per_image) {
+  CCPERF_CHECK(ref_seconds_per_image > 0.0, "reference time must be positive");
+  const nn::NetworkCostReport report = nn::AnalyzeNetwork(net, 1);
+
+  // Nearest upstream weighted layer per node (walk through weightless ones;
+  // concat joins several branches -> no single upstream).
+  std::vector<std::string> upstream_of_node(net.LayerCount());
+  auto upstream_via = [&](std::size_t node) -> std::string {
+    const auto& ins = net.NodeInputs(node);
+    if (ins.size() != 1 || ins[0] < 0) return "";
+    const auto src = static_cast<std::size_t>(ins[0]);
+    if (net.LayerAt(src).HasWeights()) return net.LayerAt(src).Name();
+    return upstream_of_node[src];
+  };
+
+  ModelProfile profile;
+  profile.model_name = net.Name();
+  profile.ref_seconds_per_image = ref_seconds_per_image;
+  profile.kernel_count = 0;
+
+  // Equivalent time units per layer: dense flops / efficiency.
+  double weighted_units = 0.0;
+  double residual_units = 0.0;
+  std::vector<std::pair<std::string, double>> units;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    const nn::Layer& layer = net.LayerAt(i);
+    upstream_of_node[i] = upstream_via(i);
+    const double density = std::max(1e-9, layer.WeightDensity());
+    const double dense_flops = report.layers[i].cost.flops / density;
+    switch (layer.Kind()) {
+      case nn::LayerKind::kReLU:
+      case nn::LayerKind::kDropout:
+      case nn::LayerKind::kConcat:  // a memcpy the framework folds away
+        continue;                   // no kernel launch of their own
+      default:
+        break;
+    }
+    ++profile.kernel_count;
+    if (const auto* conv = dynamic_cast<const nn::ConvLayer*>(&layer)) {
+      const double u = dense_flops / ConvEfficiency(*conv);
+      units.emplace_back(layer.Name(), u);
+      weighted_units += u;
+      LayerProfile lp;
+      lp.prunable_fraction = PrunableFraction(*conv);
+      lp.upstream = upstream_of_node[i];
+      profile.layers[layer.Name()] = lp;
+      profile.layer_order.push_back(layer.Name());
+    } else if (dynamic_cast<const nn::FcLayer*>(&layer) != nullptr) {
+      const double u = dense_flops;  // dense GEMV runs near peak
+      units.emplace_back(layer.Name(), u);
+      weighted_units += u;
+      LayerProfile lp;
+      lp.prunable_fraction = 0.90;
+      lp.upstream = upstream_of_node[i];
+      profile.layers[layer.Name()] = lp;
+      profile.layer_order.push_back(layer.Name());
+    } else {
+      residual_units += std::max(
+          dense_flops, report.layers[i].cost.activation_bytes * 0.25);
+    }
+  }
+  const double total_units = weighted_units + residual_units;
+  CCPERF_CHECK(total_units > 0.0, "network ", net.Name(), " has no cost");
+  for (const auto& [name, u] : units) {
+    profile.layers[name].time_share = u / total_units;
+  }
+  profile.residual_share = residual_units / total_units;
+  return profile;
+}
+
+ModelProfile GoogLeNetProfile() {
+  // GoogLeNet per-layer measurements are only partially published (Fig. 7
+  // shows six of the 57 conv layers), so the profile is derived from static
+  // analysis with the same efficiency heuristic, anchored to the paper's
+  // absolute numbers: 50,000 images in 13 min (Fig. 7) -> 15.6 ms/image.
+  nn::ModelConfig config;
+  config.weight_seed = 1;
+  const nn::Network net = nn::BuildGoogLeNet(config);
+  ModelProfile profile = GenericProfile(net, 13.0 * 60.0 / 50000.0);
+  profile.model_name = "googlenet";
+
+  // Anchor the two stem convolutions to the paper's measured pruning impact
+  // (Fig. 7(a): conv1-7x7-s2 takes 13 -> 12.4 min at 90 % pruning, so its
+  // share x prunable x 0.9 ~ 4.5 %; Fig. 7(b): conv2-3x3 takes 13 -> 9 min,
+  // share ~ 33 %), rescaling the remaining layers to keep the total at 1.
+  const double c1_share = 0.10;
+  const double c2_share = 0.33;
+  const double old_c1 = profile.layers.at("conv1-7x7-s2").time_share;
+  const double old_c2 = profile.layers.at("conv2-3x3").time_share;
+  const double rescale =
+      (1.0 - c1_share - c2_share) /
+      std::max(1e-9, profile.TotalShare() - old_c1 - old_c2);
+  for (auto& [name, lp] : profile.layers) {
+    lp.time_share *= rescale;
+  }
+  profile.residual_share *= rescale;
+  profile.layers.at("conv1-7x7-s2").time_share = c1_share;
+  profile.layers.at("conv2-3x3").time_share = c2_share;
+  return profile;
+}
+
+}  // namespace ccperf::cloud

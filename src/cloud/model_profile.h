@@ -1,0 +1,61 @@
+// ModelProfile: the measurement-driven inputs of the device time model.
+//
+// The paper measures per-layer execution time on EC2 and feeds those
+// measurements into its analytical model; we encode the paper's published
+// measurements (Figures 3-8) as calibration profiles, and can also derive a
+// generic profile for arbitrary networks from static FLOPs analysis.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ccperf::cloud {
+
+/// Calibration of one weighted layer's contribution to inference time.
+struct LayerProfile {
+  /// Fraction of the per-image reference time spent in this layer.
+  double time_share = 0.0;
+  /// Fraction of the layer's time that scales with weight density (the rest
+  /// is im2col / memory traffic that pruning cannot remove; stride-4 conv1
+  /// is mostly in this residue — paper Fig. 6(a)).
+  double prunable_fraction = 0.85;
+  /// Name of the upstream weighted layer whose filter pruning shrinks this
+  /// layer's input channels (Li et al. remove the matching kernel planes);
+  /// empty = fed by the raw input.
+  std::string upstream;
+};
+
+/// Device-independent performance description of one CNN application.
+struct ModelProfile {
+  std::string model_name;
+  /// Per-image time at full utilization on the K80 reference GPU, unpruned
+  /// (CaffeNet: 19 min / 50,000 images; GoogLeNet: 13 min / 50,000).
+  double ref_seconds_per_image = 0.0;
+  /// Kernel launches per batch (one per layer) — dominates batch-1 latency.
+  int kernel_count = 0;
+  /// Weighted (prunable) layers in topological order.
+  std::vector<std::string> layer_order;
+  std::map<std::string, LayerProfile> layers;
+  /// Share of time in weightless layers (LRN/pool/softmax) — never prunable.
+  double residual_share = 0.0;
+
+  /// Sum of layer time shares + residual (should be ~1; checked in tests).
+  [[nodiscard]] double TotalShare() const;
+};
+
+/// Calibration for the paper's CaffeNet (Figs. 3, 4, 6, 8).
+ModelProfile CaffeNetProfile();
+
+/// Calibration for the paper's GoogLeNet (Figs. 4, 7).
+ModelProfile GoogLeNetProfile();
+
+/// Derive a profile for an arbitrary network from static cost analysis,
+/// using a GEMM-efficiency heuristic (small patch / large stride convolve
+/// inefficiently) to convert FLOPs into time shares.
+ModelProfile GenericProfile(const nn::Network& net,
+                            double ref_seconds_per_image);
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,16 @@
+#include "cloud/pricing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ccperf::cloud {
+
+double ProratedCost(double seconds, double price_per_hour) {
+  CCPERF_CHECK(seconds >= 0.0, "negative duration");
+  CCPERF_CHECK(price_per_hour >= 0.0, "negative price");
+  const double billed_seconds = std::ceil(seconds);
+  return billed_seconds * price_per_hour / 3600.0;
+}
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,11 @@
+// Pay-per-use pricing with per-second prorating (paper §4.1.2: "the hourly
+// price ... is pro-rated to the nearest second").
+#pragma once
+
+namespace ccperf::cloud {
+
+/// Cost in USD of holding a resource priced at `price_per_hour` for
+/// `seconds`, billed per started second.
+double ProratedCost(double seconds, double price_per_hour);
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,186 @@
+#include "cloud/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ccperf::cloud {
+
+ServingSimulator::ServingSimulator(const CloudSimulator& simulator)
+    : simulator_(simulator) {}
+
+double ServingSimulator::Capacity(const ResourceConfig& config,
+                                  const VariantPerf& perf,
+                                  const ServingPolicy& policy) const {
+  CCPERF_CHECK(!config.Empty(), "empty configuration");
+  double capacity = 0.0;
+  for (const auto& [type_name, count] : config.instances) {
+    const InstanceType& type = simulator_.Catalog().Find(type_name);
+    const GpuSpec& gpu = simulator_.Catalog().Gpu(type.gpu);
+    const std::int64_t batch = std::min(policy.max_batch, gpu.max_batch);
+    const double service = simulator_.BatchSeconds(type, perf, batch);
+    capacity += static_cast<double>(batch) / service *
+                static_cast<double>(type.gpus * count);
+  }
+  return capacity;
+}
+
+ServingReport ServingSimulator::Simulate(const ResourceConfig& config,
+                                         const VariantPerf& perf,
+                                         double arrivals_per_s,
+                                         double duration_s,
+                                         const ServingPolicy& policy,
+                                         Rng& rng) const {
+  CCPERF_CHECK(arrivals_per_s > 0.0 && duration_s > 0.0,
+               "arrival rate and duration must be positive");
+  std::vector<double> arrivals;
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(1.0 - rng.NextDouble()) / arrivals_per_s;
+    if (t > duration_s) break;
+    arrivals.push_back(t);
+  }
+  return SimulateTrace(config, perf, std::move(arrivals), duration_s, policy);
+}
+
+ServingReport ServingSimulator::SimulateTrace(
+    const ResourceConfig& config, const VariantPerf& perf,
+    std::vector<double> arrivals, double duration_s,
+    const ServingPolicy& policy) const {
+  CCPERF_CHECK(!config.Empty(), "empty configuration");
+  CCPERF_CHECK(duration_s > 0.0, "duration must be positive");
+  CCPERF_CHECK(policy.max_batch >= 1 && policy.max_wait_s >= 0.0,
+               "invalid serving policy");
+  CCPERF_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()),
+               "arrival trace must be time-sorted");
+
+  // One server per GPU. Per-GPU batch limit respects device memory.
+  struct GpuServer {
+    const InstanceType* type;
+    double free_at = 0.0;
+    double busy = 0.0;
+  };
+  std::vector<GpuServer> gpus;
+  for (const auto& [type_name, count] : config.instances) {
+    const InstanceType& type = simulator_.Catalog().Find(type_name);
+    for (int i = 0; i < count * type.gpus; ++i) gpus.push_back({&type});
+  }
+  CCPERF_CHECK(!gpus.empty(), "configuration has no GPUs");
+
+  ServingReport report;
+  report.duration_s = duration_s;
+  report.requests = static_cast<std::int64_t>(arrivals.size());
+  for (const auto& [type_name, count] : config.instances) {
+    report.cost_per_hour_usd +=
+        simulator_.Catalog().Find(type_name).price_per_hour * count;
+  }
+  if (arrivals.empty()) return report;
+
+  const double infinity = std::numeric_limits<double>::infinity();
+  std::deque<double> queue;  // arrival times of waiting requests
+  std::vector<double> latencies;
+  latencies.reserve(arrivals.size());
+  std::size_t next_arrival = 0;
+  const std::size_t backlog_limit =
+      static_cast<std::size_t>(policy.max_batch) * 200 + 10000;
+
+  while (next_arrival < arrivals.size() || !queue.empty()) {
+    if (queue.empty()) {
+      queue.push_back(arrivals[next_arrival++]);
+      continue;
+    }
+    // Earliest-free GPU serves the next batch.
+    auto gpu_it = std::min_element(
+        gpus.begin(), gpus.end(),
+        [](const GpuServer& a, const GpuServer& b) {
+          return a.free_at < b.free_at;
+        });
+    const GpuSpec& spec = simulator_.Catalog().Gpu(gpu_it->type->gpu);
+    const auto batch_cap =
+        std::min<std::int64_t>(policy.max_batch, spec.max_batch);
+
+    // When does the dispatch trigger fire? Either the oldest request's
+    // wait deadline, or the moment the queue would fill a batch.
+    const double deadline = queue.front() + policy.max_wait_s;
+    double full_at = infinity;
+    const std::size_t missing =
+        static_cast<std::size_t>(batch_cap) > queue.size()
+            ? static_cast<std::size_t>(batch_cap) - queue.size()
+            : 0;
+    if (missing == 0) {
+      full_at = queue.back();
+    } else if (next_arrival + missing - 1 < arrivals.size()) {
+      full_at = arrivals[next_arrival + missing - 1];
+    }
+    const double dispatch_at =
+        std::max(gpu_it->free_at, std::min(deadline, full_at));
+
+    // Absorb every request that has arrived by the dispatch moment.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival] <= dispatch_at) {
+      queue.push_back(arrivals[next_arrival++]);
+    }
+    const auto batch_size = std::min<std::int64_t>(
+        batch_cap, static_cast<std::int64_t>(queue.size()));
+    const double service =
+        simulator_.BatchSeconds(*gpu_it->type, perf, batch_size);
+    const double completion = dispatch_at + service;
+    for (std::int64_t k = 0; k < batch_size; ++k) {
+      latencies.push_back(completion - queue.front());
+      queue.pop_front();
+    }
+    gpu_it->free_at = completion;
+    gpu_it->busy += service;
+    report.max_queue = std::max(report.max_queue,
+                                static_cast<double>(queue.size()));
+    if (queue.size() > backlog_limit) {
+      report.stable = false;
+      break;
+    }
+  }
+
+  if (!latencies.empty()) {
+    report.mean_latency_s = MeanOf(latencies);
+    report.p50_latency_s = Quantile(latencies, 0.50);
+    report.p95_latency_s = Quantile(latencies, 0.95);
+    report.p99_latency_s = Quantile(latencies, 0.99);
+  }
+  double busy = 0.0;
+  for (const auto& gpu : gpus) busy += gpu.busy;
+  report.utilization =
+      busy / (static_cast<double>(gpus.size()) * duration_s);
+  return report;
+}
+
+std::vector<double> GenerateDiurnalArrivals(double mean_rate_per_s,
+                                            double amplitude_per_s,
+                                            double period_s,
+                                            double duration_s, Rng& rng) {
+  CCPERF_CHECK(mean_rate_per_s > 0.0, "mean rate must be positive");
+  CCPERF_CHECK(amplitude_per_s >= 0.0 && amplitude_per_s <= mean_rate_per_s,
+               "amplitude must be in [0, mean]");
+  CCPERF_CHECK(period_s > 0.0 && duration_s > 0.0,
+               "period and duration must be positive");
+  // Thinning (Lewis-Shedler): propose at the peak rate, accept with
+  // probability rate(t) / peak.
+  const double peak = mean_rate_per_s + amplitude_per_s;
+  std::vector<double> arrivals;
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(1.0 - rng.NextDouble()) / peak;
+    if (t > duration_s) break;
+    const double rate =
+        mean_rate_per_s +
+        amplitude_per_s * std::sin(2.0 * std::numbers::pi * t / period_s -
+                                   std::numbers::pi / 2.0);
+    if (rng.NextDouble() * peak < rate) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,39 @@
+#include "cloud/variant_perf.h"
+
+#include "common/check.h"
+
+namespace ccperf::cloud {
+
+VariantPerf ComputeVariantPerf(const ModelProfile& profile,
+                               const DensityMap& densities,
+                               const std::string& label) {
+  double share = profile.residual_share;
+  for (const auto& [name, lp] : profile.layers) {
+    double density_factor = 1.0;
+    const auto it = densities.find(name);
+    if (it != densities.end()) {
+      // Upstream filter removal compounds only into layers that are pruned
+      // themselves: the pruner preferentially drops the weights reading the
+      // dead channels, so unpruned layers keep their dense kernels (this is
+      // what makes conv1 the least time-effective single layer to prune —
+      // the paper's Observation 2 — while multi-layer plans are
+      // super-additive — Observation 3).
+      density_factor = it->second.element < 1.0
+                           ? it->second.element * it->second.in_channel
+                           : 1.0;
+    }
+    CCPERF_CHECK(density_factor >= 0.0 && density_factor <= 1.0,
+                 "density factor out of range for ", name);
+    share += lp.time_share *
+             ((1.0 - lp.prunable_fraction) +
+              lp.prunable_fraction * density_factor);
+  }
+  VariantPerf perf;
+  perf.label = label;
+  perf.ref_seconds_per_image = profile.ref_seconds_per_image * share;
+  perf.kernel_count = profile.kernel_count;
+  CCPERF_CHECK(perf.ref_seconds_per_image > 0.0, "non-positive variant time");
+  return perf;
+}
+
+}  // namespace ccperf::cloud

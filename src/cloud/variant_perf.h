@@ -1,0 +1,30 @@
+// VariantPerf: device-independent execution profile of one pruned variant,
+// obtained by folding a DensityMap into a ModelProfile.
+#pragma once
+
+#include <string>
+
+#include "cloud/density.h"
+#include "cloud/model_profile.h"
+
+namespace ccperf::cloud {
+
+/// What the cloud simulator needs to know about a (model, degree-of-pruning)
+/// pair: the per-image time on the reference device at full utilization and
+/// the kernel count driving batch-1 latency.
+struct VariantPerf {
+  std::string label;
+  double ref_seconds_per_image = 0.0;
+  int kernel_count = 0;
+};
+
+/// Per-image reference time of the pruned variant:
+///   t = t_ref * [ residual + sum_l share_l * ((1-pf_l) + pf_l * d_l) ]
+/// where d_l = element_density_l * in_channel_density_l — sparse execution
+/// removes only the prunable fraction of a layer's time, and upstream filter
+/// removal shrinks this layer's reachable input (Li et al. semantics).
+VariantPerf ComputeVariantPerf(const ModelProfile& profile,
+                               const DensityMap& densities,
+                               const std::string& label);
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace ccperf::detail {
+
+void CheckFailed(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream oss;
+  oss << "CCPERF_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+}  // namespace ccperf::detail

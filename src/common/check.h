@@ -1,0 +1,42 @@
+// Runtime precondition/invariant checking for ccperf.
+//
+// CCPERF_CHECK(cond, msg...) throws ccperf::CheckError on violation. Checks
+// stay enabled in release builds: this library is an analysis tool, and a
+// silently wrong Pareto frontier is worse than a thrown exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ccperf {
+
+/// Error thrown when a CCPERF_CHECK condition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line,
+                              const std::string& msg);
+
+template <typename... Args>
+std::string ConcatMessage(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace detail
+
+}  // namespace ccperf
+
+#define CCPERF_CHECK(cond, ...)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ccperf::detail::CheckFailed(                                  \
+          #cond, __FILE__, __LINE__,                                  \
+          ::ccperf::detail::ConcatMessage("" __VA_OPT__(, ) __VA_ARGS__)); \
+    }                                                                 \
+  } while (false)

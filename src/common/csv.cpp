@@ -1,0 +1,47 @@
+#include "common/csv.h"
+
+#include "common/check.h"
+
+namespace ccperf {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  CCPERF_CHECK(out_.good(), "failed to open CSV file ", path);
+  CCPERF_CHECK(columns_ > 0, "CSV needs at least one column");
+  WriteRow(header);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  CCPERF_CHECK(cells.size() == columns_, "CSV row width mismatch");
+  WriteRow(cells);
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { Close(); }
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace ccperf

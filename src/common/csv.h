@@ -1,0 +1,32 @@
+// Minimal CSV writer so every bench can also dump machine-readable series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ccperf {
+
+/// Streaming CSV writer with RFC-4180 quoting of commas/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; width must match the header.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; also called by the destructor.
+  void Close();
+
+  ~CsvWriter();
+
+ private:
+  void WriteRow(const std::vector<std::string>& cells);
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace ccperf

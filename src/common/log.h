@@ -1,0 +1,41 @@
+// Tiny leveled logger. Benches and examples use Info; kernels stay silent.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ccperf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Emit a message at `level` to stderr with a level prefix.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string Concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void LogInfo(Args&&... args) {
+  LogMessage(LogLevel::kInfo, detail::Concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void LogWarn(Args&&... args) {
+  LogMessage(LogLevel::kWarn, detail::Concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void LogDebug(Args&&... args) {
+  LogMessage(LogLevel::kDebug, detail::Concat(std::forward<Args>(args)...));
+}
+
+}  // namespace ccperf

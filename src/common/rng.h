@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of ccperf (synthetic weights, synthetic images,
+// workload jitter) draw from Rng so that every experiment is reproducible
+// from a single seed. The generator is xoshiro256**, seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccperf {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Deterministic xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t NextIndex(std::uint64_t n);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double NextGaussian();
+
+  /// Gaussian with explicit mean/stddev.
+  double NextGaussian(double mean, double stddev);
+
+  /// Derive an independent child stream (for per-layer / per-image streams).
+  Rng Fork();
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::uint32_t> Permutation(std::uint32_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ccperf

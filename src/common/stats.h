@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers for measurement post-processing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccperf {
+
+/// Summary of a sample of measurements.
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev; 0 for count < 2
+};
+
+/// Compute summary statistics over a non-empty sample.
+SampleStats Summarize(std::span<const double> values);
+
+/// Minimum of a non-empty sample (the paper records min of 3 repetitions).
+double MinOf(std::span<const double> values);
+
+/// Arithmetic mean of a non-empty sample.
+double MeanOf(std::span<const double> values);
+
+/// Linearly interpolated quantile q in [0, 1] of a non-empty sample.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace ccperf

@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ccperf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CCPERF_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CCPERF_CHECK(cells.size() == headers_.size(), "row width ", cells.size(),
+               " != header width ", headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int decimals) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals) << v;
+  return oss.str();
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+AsciiChart::AsciiChart(int width, int height) : width_(width), height_(height) {
+  CCPERF_CHECK(width_ >= 16 && height_ >= 4, "chart too small");
+}
+
+void AsciiChart::AddSeries(std::string name, char marker,
+                           std::vector<std::pair<double, double>> points) {
+  series_.push_back({std::move(name), marker, std::move(points)});
+}
+
+std::string AsciiChart::Render() const {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (auto [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  if (!any) return "(empty chart)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (auto [x, y] : s.points) {
+      auto cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                             (width_ - 1)));
+      auto cy = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) *
+                                             (height_ - 1)));
+      cx = std::clamp(cx, 0, width_ - 1);
+      cy = std::clamp(cy, 0, height_ - 1);
+      grid[static_cast<std::size_t>(height_ - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.marker;
+    }
+  }
+  std::ostringstream oss;
+  oss << std::setprecision(4);
+  oss << "y: [" << ymin << ", " << ymax << "]  x: [" << xmin << ", " << xmax
+      << "]";
+  for (const auto& s : series_) oss << "  " << s.marker << "=" << s.name;
+  oss << "\n";
+  for (const auto& row : grid) oss << "  |" << row << "|\n";
+  return oss.str();
+}
+
+}  // namespace ccperf

@@ -1,0 +1,55 @@
+// ASCII table rendering used by the bench binaries to print the paper's
+// tables and figure series in a readable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccperf {
+
+/// Column-aligned ASCII table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; its width must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t RowCount() const { return rows_.size(); }
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string Render() const;
+
+  /// Format helper for numbers with fixed decimals.
+  static std::string Num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a compact ASCII scatter/line chart of (x, y) series; used to give
+/// each figure-reproduction bench a visual sanity check in the terminal.
+class AsciiChart {
+ public:
+  AsciiChart(int width, int height);
+
+  /// Add a named series; points need not be sorted.
+  void AddSeries(std::string name, char marker,
+                 std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  int width_;
+  int height_;
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace ccperf

@@ -1,0 +1,111 @@
+#include "common/threading.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace ccperf {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  job_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CCPERF_CHECK(!stopping_, "Submit on stopping pool");
+    jobs_.push(std::move(job));
+    ++in_flight_;
+  }
+  job_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_available_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping_ and drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  ParallelForChunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+void ParallelForChunks(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& fn,
+                       std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  ThreadPool& pool = GlobalPool();
+  const std::size_t workers = pool.ThreadCount();
+  if (workers <= 1 || n < 2 * grain) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks =
+      std::min(workers * 4, std::max<std::size_t>(1, n / grain));
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::atomic<bool> failed{false};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.Submit([&fn, &failed, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.Wait();
+  CCPERF_CHECK(!failed.load(), "a ParallelFor task threw an exception");
+}
+
+}  // namespace ccperf

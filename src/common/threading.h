@@ -1,0 +1,65 @@
+// Thread pool and parallel_for used by the tensor kernels.
+//
+// The pool is created once per process (GlobalPool) sized to the hardware
+// concurrency; kernels submit index ranges and block until completion.
+// On a single-core host the pool degrades gracefully to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccperf {
+
+/// Fixed-size worker pool executing void() jobs.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] std::size_t ThreadCount() const { return workers_.size(); }
+
+  /// Enqueue a job for asynchronous execution.
+  void Submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable job_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by all kernels.
+ThreadPool& GlobalPool();
+
+/// Run fn(i) for i in [begin, end), splitting the range across the pool.
+/// `grain` is the minimum number of iterations per task; ranges smaller than
+/// 2*grain run serially on the calling thread.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 64);
+
+/// Run fn(begin, end) over contiguous chunks in parallel — cheaper than
+/// per-index dispatch for tight loops.
+void ParallelForChunks(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& fn,
+                       std::size_t grain = 256);
+
+}  // namespace ccperf

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers used by the measurement pipeline.
+#pragma once
+
+#include <chrono>
+
+namespace ccperf {
+
+/// Monotonic stopwatch returning elapsed seconds as double.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  [[nodiscard]] double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ccperf

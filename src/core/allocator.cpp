@@ -1,0 +1,156 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cloud/density.h"
+#include "cloud/pricing.h"
+#include "common/check.h"
+#include "core/metrics.h"
+
+namespace ccperf::core {
+
+std::vector<CandidateVariant> MakeCandidates(
+    const cloud::ModelProfile& profile, const AccuracyModel& accuracy,
+    const std::vector<pruning::PrunePlan>& plans, bool use_top5) {
+  std::vector<CandidateVariant> candidates;
+  candidates.reserve(plans.size());
+  for (const auto& plan : plans) {
+    CandidateVariant candidate;
+    candidate.label = plan.Label();
+    candidate.plan = plan;
+    const AccuracyResult acc = accuracy.Evaluate(plan);
+    candidate.accuracy = use_top5 ? acc.top5 : acc.top1;
+    candidate.perf = cloud::ComputeVariantPerf(
+        profile, cloud::DensityFromPlan(profile, plan), candidate.label);
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+ResourceAllocator::ResourceAllocator(const cloud::CloudSimulator& simulator)
+    : simulator_(simulator) {}
+
+double ResourceAllocator::InstanceCar(const std::string& instance,
+                                      const CandidateVariant& variant,
+                                      std::int64_t images) const {
+  const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
+  const double seconds =
+      simulator_.InstanceSeconds(type, variant.perf, images);
+  const double cost = cloud::ProratedCost(seconds, type.price_per_hour);
+  return CostAccuracyRatio(cost, variant.accuracy);
+}
+
+namespace {
+
+/// Variant ordering of Algorithm 1 line 1: accuracy descending, then TAR
+/// ascending for equal accuracy. TAR is computed on the lowest-CAR resource.
+std::vector<std::size_t> OrderVariants(
+    const ResourceAllocator& allocator,
+    std::span<const CandidateVariant> variants,
+    std::span<const std::string> pool, std::int64_t images) {
+  std::vector<double> tar(variants.size(), 0.0);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    // Reference time for TAR: the pool's cheapest-CAR instance. Within one
+    // instance CAR = price x TAR / 3600, so ordering by the best CAR is the
+    // TAR ordering on that reference resource.
+    double best_car = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < pool.size(); ++g) {
+      best_car = std::min(
+          best_car, allocator.InstanceCar(pool[g], variants[i], images));
+    }
+    tar[i] = best_car;
+  }
+  std::vector<std::size_t> order(variants.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (variants[a].accuracy != variants[b].accuracy) {
+      return variants[a].accuracy > variants[b].accuracy;
+    }
+    return tar[a] < tar[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+AllocationResult ResourceAllocator::AllocateGreedy(
+    std::span<const CandidateVariant> variants,
+    std::span<const std::string> pool, std::int64_t images, double deadline_s,
+    double budget_usd, cloud::WorkloadSplit split) const {
+  CCPERF_CHECK(!variants.empty() && !pool.empty(), "empty allocation inputs");
+  AllocationResult result;
+
+  const std::vector<std::size_t> variant_order =
+      OrderVariants(*this, variants, pool, images);
+
+  for (std::size_t vi : variant_order) {
+    const CandidateVariant& variant = variants[vi];
+    // Algorithm 1 line 3: sort G ascending by CAR for this variant.
+    std::vector<std::size_t> resource_order(pool.size());
+    std::iota(resource_order.begin(), resource_order.end(), 0);
+    std::vector<double> car(pool.size());
+    for (std::size_t g = 0; g < pool.size(); ++g) {
+      car[g] = InstanceCar(pool[g], variant, images);
+    }
+    std::sort(resource_order.begin(), resource_order.end(),
+              [&car](std::size_t a, std::size_t b) { return car[a] < car[b]; });
+
+    cloud::ResourceConfig config;
+    for (std::size_t g : resource_order) {
+      config.Add(pool[g]);  // line 6: add resource with lowest CAR
+      ++result.evaluations;
+      const cloud::RunEstimate run =
+          simulator_.Run(config, variant.perf, images, split);  // lines 7-8
+      if (run.seconds <= deadline_s && run.cost_usd <= budget_usd) {
+        result.feasible = true;
+        result.variant_label = variant.label;
+        result.accuracy = variant.accuracy;
+        result.config = config;
+        result.seconds = run.seconds;
+        result.cost_usd = run.cost_usd;
+        return result;
+      }
+    }
+  }
+  return result;  // line 14: no feasible allocation
+}
+
+AllocationResult ResourceAllocator::AllocateExhaustive(
+    std::span<const CandidateVariant> variants,
+    std::span<const std::string> pool, std::int64_t images, double deadline_s,
+    double budget_usd, cloud::WorkloadSplit split) const {
+  CCPERF_CHECK(!variants.empty() && !pool.empty(), "empty allocation inputs");
+  CCPERF_CHECK(pool.size() <= 20, "exhaustive search capped at |G| = 20");
+  AllocationResult best;
+
+  const std::uint64_t subsets = 1ULL << pool.size();
+  for (const CandidateVariant& variant : variants) {
+    for (std::uint64_t mask = 1; mask < subsets; ++mask) {
+      cloud::ResourceConfig config;
+      for (std::size_t g = 0; g < pool.size(); ++g) {
+        if (mask & (1ULL << g)) config.Add(pool[g]);
+      }
+      ++best.evaluations;
+      const cloud::RunEstimate run =
+          simulator_.Run(config, variant.perf, images, split);
+      if (run.seconds > deadline_s || run.cost_usd > budget_usd) continue;
+      const bool better =
+          !best.feasible || variant.accuracy > best.accuracy ||
+          (variant.accuracy == best.accuracy &&
+           (run.cost_usd < best.cost_usd ||
+            (run.cost_usd == best.cost_usd && run.seconds < best.seconds)));
+      if (better) {
+        best.feasible = true;
+        best.variant_label = variant.label;
+        best.accuracy = variant.accuracy;
+        best.config = config;
+        best.seconds = run.seconds;
+        best.cost_usd = run.cost_usd;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ccperf::core

@@ -1,0 +1,93 @@
+#include "core/characterization.h"
+
+#include "cloud/density.h"
+#include "common/check.h"
+
+namespace ccperf::core {
+
+Characterization::Characterization(const cloud::CloudSimulator& simulator,
+                                   const cloud::ModelProfile& profile,
+                                   const AccuracyModel& accuracy)
+    : simulator_(simulator), profile_(profile), accuracy_(accuracy) {}
+
+std::vector<std::pair<std::string, double>>
+Characterization::TimeDistribution() const {
+  std::vector<std::pair<std::string, double>> shares;
+  const double total = profile_.TotalShare();
+  CCPERF_CHECK(total > 0.0, "profile has no time shares");
+  for (const auto& name : profile_.layer_order) {
+    shares.emplace_back(name, profile_.layers.at(name).time_share / total);
+  }
+  shares.emplace_back("other", profile_.residual_share / total);
+  return shares;
+}
+
+double Characterization::SingleInferenceSeconds(
+    const std::string& instance, double ratio,
+    pruning::PrunerFamily family) const {
+  pruning::PrunePlan plan =
+      pruning::UniformPlan(profile_.layer_order, ratio, family);
+  // Fig. 4 prunes "uniformly across all convolution layers" — leave fully-
+  // connected layers untouched.
+  for (const auto& name : profile_.layer_order) {
+    if (name.rfind("fc", 0) == 0 || name.find("classifier") !=
+                                        std::string::npos) {
+      plan.layer_ratios[name] = 0.0;
+    }
+  }
+  const cloud::DensityMap densities = cloud::DensityFromPlan(profile_, plan);
+  const cloud::VariantPerf perf =
+      cloud::ComputeVariantPerf(profile_, densities, plan.Label());
+  const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
+  return simulator_.BatchSeconds(type, perf, 1);
+}
+
+std::vector<std::pair<std::int64_t, double>> Characterization::BatchSweep(
+    const std::string& instance, const std::vector<std::int64_t>& batches,
+    std::int64_t images) const {
+  const pruning::PrunePlan nonpruned;
+  const cloud::VariantPerf perf = cloud::ComputeVariantPerf(
+      profile_, cloud::DensityFromPlan(profile_, nonpruned), "nonpruned");
+  const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
+  std::vector<std::pair<std::int64_t, double>> curve;
+  curve.reserve(batches.size());
+  for (std::int64_t b : batches) {
+    curve.emplace_back(b, simulator_.InstanceSeconds(type, perf, images, b));
+  }
+  return curve;
+}
+
+CurvePoint Characterization::EvaluatePlan(const std::string& instance,
+                                          const pruning::PrunePlan& plan,
+                                          std::int64_t images) const {
+  const cloud::DensityMap densities = cloud::DensityFromPlan(profile_, plan);
+  const cloud::VariantPerf perf =
+      cloud::ComputeVariantPerf(profile_, densities, plan.Label());
+  const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
+  const AccuracyResult accuracy = accuracy_.Evaluate(plan);
+  CurvePoint point;
+  point.ratio = plan.MeanRatio();
+  point.seconds = simulator_.InstanceSeconds(type, perf, images);
+  point.top1 = accuracy.top1;
+  point.top5 = accuracy.top5;
+  return point;
+}
+
+std::vector<CurvePoint> Characterization::SingleLayerSweep(
+    const std::string& instance, const std::string& layer,
+    const std::vector<double>& ratios, std::int64_t images,
+    pruning::PrunerFamily family) const {
+  std::vector<CurvePoint> curve;
+  curve.reserve(ratios.size());
+  for (double r : ratios) {
+    pruning::PrunePlan plan;
+    plan.family = family;
+    plan.layer_ratios[layer] = r;
+    CurvePoint point = EvaluatePlan(instance, plan, images);
+    point.ratio = r;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace ccperf::core

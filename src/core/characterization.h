@@ -1,0 +1,67 @@
+// Characterization: the model-driven sweeps behind the paper's Figures 3-8.
+//
+// Combines the calibrated device model (cloud::) with an accuracy model
+// (core::) to produce per-layer time distributions, prune-ratio sweeps,
+// batch-saturation curves and multi-layer pruning comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/sweet_spot.h"
+#include "pruning/prune_plan.h"
+
+namespace ccperf::core {
+
+/// Model-driven characterization of one CNN application on one catalog.
+class Characterization {
+ public:
+  /// All references must outlive this object.
+  Characterization(const cloud::CloudSimulator& simulator,
+                   const cloud::ModelProfile& profile,
+                   const AccuracyModel& accuracy);
+
+  /// Fig. 3: fraction of inference time per weighted layer plus "other".
+  [[nodiscard]] std::vector<std::pair<std::string, double>> TimeDistribution()
+      const;
+
+  /// Fig. 4: single-inference (batch-1) seconds on `instance` with all
+  /// weighted layers pruned uniformly by `ratio`.
+  [[nodiscard]] double SingleInferenceSeconds(
+      const std::string& instance, double ratio,
+      pruning::PrunerFamily family = pruning::PrunerFamily::kL1Filter) const;
+
+  /// Fig. 5: (batch size, total seconds) for `images` images on `instance`.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, double>> BatchSweep(
+      const std::string& instance, const std::vector<std::int64_t>& batches,
+      std::int64_t images) const;
+
+  /// Figs. 6/7: sweep one layer's prune ratio; the returned curve carries
+  /// total inference seconds for `images` images plus Top-1/Top-5 accuracy.
+  [[nodiscard]] std::vector<CurvePoint> SingleLayerSweep(
+      const std::string& instance, const std::string& layer,
+      const std::vector<double>& ratios, std::int64_t images,
+      pruning::PrunerFamily family = pruning::PrunerFamily::kL1Filter) const;
+
+  /// Fig. 8 / Fig. 11: time + accuracy of one arbitrary plan.
+  [[nodiscard]] CurvePoint EvaluatePlan(const std::string& instance,
+                                        const pruning::PrunePlan& plan,
+                                        std::int64_t images) const;
+
+  [[nodiscard]] const cloud::ModelProfile& Profile() const { return profile_; }
+  [[nodiscard]] const AccuracyModel& Accuracy() const { return accuracy_; }
+  [[nodiscard]] const cloud::CloudSimulator& Simulator() const {
+    return simulator_;
+  }
+
+ private:
+  const cloud::CloudSimulator& simulator_;
+  const cloud::ModelProfile& profile_;
+  const AccuracyModel& accuracy_;
+};
+
+}  // namespace ccperf::core

@@ -1,0 +1,66 @@
+// Configuration-space exploration (paper Figs. 9 and 10): evaluate every
+// (degree of pruning, resource configuration) pair against the analytical
+// models, keep the feasible ones, and extract Pareto frontiers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "cloud/resource_config.h"
+#include "cloud/simulator.h"
+#include "core/accuracy_model.h"
+#include "core/pareto.h"
+#include "pruning/prune_plan.h"
+
+namespace ccperf::core {
+
+/// One feasible (variant, configuration) point.
+struct ExploredPoint {
+  std::string variant_label;
+  pruning::PrunePlan plan;
+  cloud::ResourceConfig config;
+  double seconds = 0.0;
+  double cost_usd = 0.0;
+  double top1 = 0.0;
+  double top5 = 0.0;
+};
+
+/// All feasible points of an exploration plus bookkeeping.
+struct ExplorationResult {
+  std::vector<ExploredPoint> feasible;
+  std::size_t evaluated = 0;  // total (variant, config) pairs examined
+};
+
+/// Exhaustive model-driven sweep of variants x configurations.
+class ConfigSpaceExplorer {
+ public:
+  ConfigSpaceExplorer(const cloud::CloudSimulator& simulator,
+                      const cloud::ModelProfile& profile,
+                      const AccuracyModel& accuracy);
+
+  /// Evaluate every pair; keep those with T <= deadline and C <= budget
+  /// (pass +inf to disable a constraint).
+  [[nodiscard]] ExplorationResult Explore(
+      const std::vector<pruning::PrunePlan>& variants,
+      const std::vector<cloud::ResourceConfig>& configs, std::int64_t images,
+      double deadline_s = std::numeric_limits<double>::infinity(),
+      double budget_usd = std::numeric_limits<double>::infinity()) const;
+
+ private:
+  const cloud::CloudSimulator& simulator_;
+  const cloud::ModelProfile& profile_;
+  const AccuracyModel& accuracy_;
+};
+
+/// Pareto frontier (indices into `points`) minimizing time and maximizing
+/// Top-5 (or Top-1) accuracy.
+std::vector<std::size_t> TimeAccuracyFrontier(
+    std::span<const ExploredPoint> points, bool use_top5);
+
+/// Pareto frontier minimizing cost and maximizing accuracy.
+std::vector<std::size_t> CostAccuracyFrontier(
+    std::span<const ExploredPoint> points, bool use_top5);
+
+}  // namespace ccperf::core

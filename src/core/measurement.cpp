@@ -1,0 +1,64 @@
+#include "core/measurement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+
+namespace ccperf::core {
+
+MeasurementPipeline::MeasurementPipeline(
+    const nn::Network& base, const data::SyntheticImageDataset& dataset,
+    MeasurementConfig config)
+    : base_(base), dataset_(dataset), config_(config) {
+  CCPERF_CHECK(config_.images >= 1 && config_.batch >= 1 &&
+                   config_.repetitions >= 1,
+               "invalid measurement config");
+  CCPERF_CHECK(config_.images <= dataset_.Size(),
+               "not enough images in dataset");
+}
+
+double MeasurementPipeline::TimeNetwork(const nn::Network& net) const {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(config_.repetitions));
+  for (int rep = 0; rep < config_.repetitions; ++rep) {
+    Timer timer;
+    for (std::int64_t start = 0; start < config_.images;
+         start += config_.batch) {
+      const std::int64_t count =
+          std::min(config_.batch, config_.images - start);
+      (void)net.Forward(dataset_.Batch(start, count));
+    }
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  return MinOf(samples);
+}
+
+std::vector<MeasurementRecord> MeasurementPipeline::Run(
+    const std::vector<pruning::PrunePlan>& plans,
+    const EmpiricalAccuracyEvaluator& evaluator) const {
+  std::vector<MeasurementRecord> records;
+  records.reserve(plans.size());
+  for (const auto& plan : plans) {
+    const nn::Network variant = pruning::ApplyPlan(base_, plan);
+    MeasurementRecord record;
+    record.label = plan.Label();
+    record.plan = plan;
+    record.seconds = TimeNetwork(variant);
+    const AccuracyResult accuracy = evaluator.Evaluate(variant);
+    record.top1 = accuracy.top1;
+    record.top5 = accuracy.top5;
+    record.tar1 = TimeAccuracyRatio(record.seconds, record.top1);
+    record.tar5 = TimeAccuracyRatio(record.seconds, record.top5);
+    if (config_.price_per_hour > 0.0) {
+      record.cost_usd = record.seconds * config_.price_per_hour / 3600.0;
+      record.car5 = CostAccuracyRatio(record.cost_usd, record.top5);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace ccperf::core

@@ -1,0 +1,61 @@
+// Measurement pipeline (paper §3.3): run real inference for each degree of
+// pruning, record the minimum time over repetitions, measure accuracy, and
+// compute TAR/CAR. This drives the actual CPU engine; the cloud-scale
+// experiments use the analytical models calibrated from such measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/empirical_accuracy.h"
+#include "data/synthetic_dataset.h"
+#include "nn/network.h"
+#include "pruning/prune_plan.h"
+
+namespace ccperf::core {
+
+/// One row of the measurement output list (§3.3: "a list of degrees of
+/// pruning with their inference time, cost, TAR, and CAR").
+struct MeasurementRecord {
+  std::string label;
+  pruning::PrunePlan plan;
+  double seconds = 0.0;  // min over repetitions
+  double top1 = 0.0;
+  double top5 = 0.0;
+  double tar1 = 0.0;  // TAR against Top-1
+  double tar5 = 0.0;
+  double cost_usd = 0.0;  // seconds x price_per_hour (0 if no price given)
+  double car5 = 0.0;
+};
+
+/// Configuration of the pipeline.
+struct MeasurementConfig {
+  std::int64_t images = 32;       // images timed per repetition
+  std::int64_t batch = 8;         // inference batch size
+  int repetitions = 3;            // paper: run 3x, record the minimum
+  double price_per_hour = 0.0;    // >0 to also compute cost and CAR
+};
+
+/// Runs real (CPU) inference for every plan against a base network.
+class MeasurementPipeline {
+ public:
+  MeasurementPipeline(const nn::Network& base,
+                      const data::SyntheticImageDataset& dataset,
+                      MeasurementConfig config);
+
+  /// Measure every plan; `evaluator` supplies accuracy (teacher-student).
+  [[nodiscard]] std::vector<MeasurementRecord> Run(
+      const std::vector<pruning::PrunePlan>& plans,
+      const EmpiricalAccuracyEvaluator& evaluator) const;
+
+  /// Time (seconds, min over repetitions) of one already-pruned network.
+  [[nodiscard]] double TimeNetwork(const nn::Network& net) const;
+
+ private:
+  const nn::Network& base_;
+  const data::SyntheticImageDataset& dataset_;
+  MeasurementConfig config_;
+};
+
+}  // namespace ccperf::core

@@ -1,0 +1,25 @@
+#include "core/metrics.h"
+
+#include "common/check.h"
+
+namespace ccperf::core {
+
+namespace {
+void CheckArgs(double value, double accuracy) {
+  CCPERF_CHECK(value >= 0.0, "metric numerator must be non-negative");
+  CCPERF_CHECK(accuracy > 0.0 && accuracy <= 1.0,
+               "accuracy must be in (0, 1], got ", accuracy);
+}
+}  // namespace
+
+double TimeAccuracyRatio(double seconds, double accuracy) {
+  CheckArgs(seconds, accuracy);
+  return seconds / accuracy;
+}
+
+double CostAccuracyRatio(double cost_usd, double accuracy) {
+  CheckArgs(cost_usd, accuracy);
+  return cost_usd / accuracy;
+}
+
+}  // namespace ccperf::core

@@ -1,0 +1,15 @@
+// The paper's two accuracy-performance metrics (§3.5):
+//   TAR = t / a  — time to achieve one unit of accuracy
+//   CAR = c / a  — cost to achieve one unit of accuracy
+// Lower is better for both.
+#pragma once
+
+namespace ccperf::core {
+
+/// Time Accuracy Ratio. `seconds` >= 0, `accuracy` in (0, 1].
+double TimeAccuracyRatio(double seconds, double accuracy);
+
+/// Cost Accuracy Ratio. `cost_usd` >= 0, `accuracy` in (0, 1].
+double CostAccuracyRatio(double cost_usd, double accuracy);
+
+}  // namespace ccperf::core

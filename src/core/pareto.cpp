@@ -1,0 +1,80 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ccperf::core {
+
+bool Dominates(double obj_a, double acc_a, double obj_b, double acc_b) {
+  const bool no_worse = obj_a <= obj_b && acc_a >= acc_b;
+  const bool strictly_better = obj_a < obj_b || acc_a > acc_b;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> ParetoFrontier(std::span<const double> objective,
+                                        std::span<const double> accuracy) {
+  CCPERF_CHECK(objective.size() == accuracy.size(),
+               "objective/accuracy size mismatch");
+  const std::size_t n = objective.size();
+  if (n == 0) return {};
+
+  // Sort by accuracy descending; ties by objective ascending so the best
+  // representative of each accuracy level comes first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (accuracy[a] != accuracy[b]) return accuracy[a] > accuracy[b];
+    return objective[a] < objective[b];
+  });
+
+  std::vector<std::size_t> frontier;
+  double best_objective = std::numeric_limits<double>::infinity();
+  double last_accuracy = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    // Skip duplicates of an accuracy level already represented.
+    if (accuracy[idx] == last_accuracy) continue;
+    if (objective[idx] < best_objective) {
+      frontier.push_back(idx);
+      best_objective = objective[idx];
+      last_accuracy = accuracy[idx];
+    }
+  }
+  return frontier;
+}
+
+bool Dominates3(double time_a, double cost_a, double acc_a, double time_b,
+                double cost_b, double acc_b) {
+  const bool no_worse =
+      time_a <= time_b && cost_a <= cost_b && acc_a >= acc_b;
+  const bool strictly_better =
+      time_a < time_b || cost_a < cost_b || acc_a > acc_b;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> ParetoFrontier3(std::span<const double> time,
+                                         std::span<const double> cost,
+                                         std::span<const double> accuracy) {
+  CCPERF_CHECK(time.size() == cost.size() && cost.size() == accuracy.size(),
+               "objective size mismatch");
+  const std::size_t n = time.size();
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < n && !dominated; ++j) {
+      if (j == i) continue;
+      if (Dominates3(time[j], cost[j], accuracy[j], time[i], cost[i],
+                     accuracy[i])) {
+        dominated = true;
+      } else if (j < i && time[j] == time[i] && cost[j] == cost[i] &&
+                 accuracy[j] == accuracy[i]) {
+        dominated = true;  // duplicate: keep the first occurrence only
+      }
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+}  // namespace ccperf::core

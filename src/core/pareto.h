@@ -1,0 +1,34 @@
+// Pareto-frontier filter over (objective, accuracy) points: minimize the
+// objective (time or cost) while maximizing accuracy (paper §3.4, Figs 9-10).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccperf::core {
+
+/// Indices (into the input spans) of the Pareto-optimal points: those for
+/// which no other point has accuracy >= and objective <= with at least one
+/// strict inequality. Duplicate points keep exactly one representative.
+/// Returned indices are sorted by descending accuracy. O(n log n).
+std::vector<std::size_t> ParetoFrontier(std::span<const double> objective,
+                                        std::span<const double> accuracy);
+
+/// True iff point a (obj_a, acc_a) dominates point b: no worse in both
+/// dimensions and strictly better in at least one.
+bool Dominates(double obj_a, double acc_a, double obj_b, double acc_b);
+
+/// Tri-objective frontier: minimize both `time` and `cost` while maximizing
+/// `accuracy` — the consumer's real decision space when T' and C' both
+/// bind. Indices of non-dominated points (duplicates keep one
+/// representative), in input order. O(n²).
+std::vector<std::size_t> ParetoFrontier3(std::span<const double> time,
+                                         std::span<const double> cost,
+                                         std::span<const double> accuracy);
+
+/// Tri-objective dominance: a no worse than b in all three, better in one.
+bool Dominates3(double time_a, double cost_a, double acc_a, double time_b,
+                double cost_b, double acc_b);
+
+}  // namespace ccperf::core

@@ -1,0 +1,35 @@
+#include "core/sweet_spot.h"
+
+#include "common/check.h"
+
+namespace ccperf::core {
+
+SweetSpot FindSweetSpot(std::span<const CurvePoint> curve, double tolerance) {
+  CCPERF_CHECK(curve.size() >= 2, "sweep needs at least two points");
+  CCPERF_CHECK(curve.front().ratio == 0.0, "sweep must start at ratio 0");
+  CCPERF_CHECK(tolerance >= 0.0, "negative tolerance");
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    CCPERF_CHECK(curve[i].ratio > curve[i - 1].ratio,
+                 "sweep ratios must be strictly increasing");
+  }
+
+  const CurvePoint& base = curve.front();
+  SweetSpot spot;
+  for (const CurvePoint& p : curve) {
+    if (p.ratio == 0.0) continue;
+    const bool accuracy_ok = base.top5 - p.top5 <= tolerance;
+    // The region must be contiguous from ratio 0: once accuracy leaves the
+    // tolerance band the sweet spot has ended, even if it re-enters later.
+    if (!accuracy_ok) break;
+    const bool faster = p.seconds < base.seconds;
+    if (faster) {
+      spot.exists = true;
+      spot.last_ratio = p.ratio;
+      spot.time_saving = 1.0 - p.seconds / base.seconds;
+      spot.accuracy_drop = base.top5 - p.top5;
+    }
+  }
+  return spot;
+}
+
+}  // namespace ccperf::core

@@ -1,0 +1,33 @@
+// Sweet-spot detection (paper Observation 1): the pruning range where
+// inference time falls while accuracy stays within a tolerance of baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ccperf::core {
+
+/// One measured/predicted point of a prune-ratio sweep.
+struct CurvePoint {
+  double ratio = 0.0;    // prune ratio in [0, 1)
+  double seconds = 0.0;  // inference time
+  double top1 = 0.0;     // accuracy in [0, 1]
+  double top5 = 0.0;
+};
+
+/// Result of scanning a single-layer sweep for its sweet-spot region.
+struct SweetSpot {
+  bool exists = false;
+  double last_ratio = 0.0;      // largest ratio still inside the region
+  double time_saving = 0.0;     // 1 - t(last_ratio)/t(0)
+  double accuracy_drop = 0.0;   // top5(0) - top5(last_ratio)
+};
+
+/// Find the largest prune ratio whose Top-5 accuracy is within
+/// `tolerance` (absolute) of the unpruned accuracy and whose time is below
+/// the unpruned time. `curve` must be sorted by ascending ratio and start
+/// at ratio 0.
+SweetSpot FindSweetSpot(std::span<const CurvePoint> curve,
+                        double tolerance = 0.04);
+
+}  // namespace ccperf::core

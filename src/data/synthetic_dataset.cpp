@@ -1,0 +1,120 @@
+#include "data/synthetic_dataset.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccperf::data {
+
+SyntheticImageDataset::SyntheticImageDataset(Shape chw,
+                                             std::int64_t num_classes,
+                                             std::int64_t size,
+                                             std::uint64_t seed,
+                                             float noise_stddev)
+    : chw_(std::move(chw)),
+      num_classes_(num_classes),
+      size_(size),
+      seed_(seed),
+      noise_stddev_(noise_stddev) {
+  CCPERF_CHECK(chw_.Rank() == 3, "image shape must be CHW");
+  CCPERF_CHECK(num_classes_ >= 2, "need at least two classes");
+  CCPERF_CHECK(size_ >= 1, "dataset size must be positive");
+  CCPERF_CHECK(noise_stddev_ >= 0.0f, "negative noise");
+
+  // Deterministic per-class signatures: 4 sinusoid components per class.
+  Rng rng(seed_ ^ 0xa5a5a5a5a5a5a5a5ULL);
+  class_signatures_.resize(static_cast<std::size_t>(num_classes_));
+  const auto channels = chw_.Dim(0);
+  for (auto& components : class_signatures_) {
+    components.resize(4);
+    for (auto& comp : components) {
+      comp.fx = rng.NextFloat(0.5f, 4.0f);
+      comp.fy = rng.NextFloat(0.5f, 4.0f);
+      comp.phase = rng.NextFloat(0.0f, 2.0f * std::numbers::pi_v<float>);
+      comp.amplitude = rng.NextFloat(0.5f, 1.5f);
+      comp.channel = static_cast<std::int64_t>(rng.NextIndex(
+          static_cast<std::uint64_t>(channels)));
+    }
+  }
+}
+
+std::int64_t SyntheticImageDataset::LabelAt(std::int64_t i) const {
+  CCPERF_CHECK(i >= 0 && i < size_, "image index out of range");
+  std::uint64_t h = seed_ ^ (0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i));
+  return static_cast<std::int64_t>(SplitMix64(h) %
+                                   static_cast<std::uint64_t>(num_classes_));
+}
+
+void SyntheticImageDataset::FillImage(std::int64_t i,
+                                      std::span<float> out) const {
+  const std::int64_t c_n = chw_.Dim(0);
+  const std::int64_t h_n = chw_.Dim(1);
+  const std::int64_t w_n = chw_.Dim(2);
+  CCPERF_CHECK(static_cast<std::int64_t>(out.size()) == c_n * h_n * w_n,
+               "image buffer size mismatch");
+
+  const std::int64_t label = LabelAt(i);
+  const auto& components = class_signatures_[static_cast<std::size_t>(label)];
+
+  // Signature.
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const auto& comp : components) {
+    float* plane = out.data() + comp.channel * h_n * w_n;
+    for (std::int64_t y = 0; y < h_n; ++y) {
+      const float fy = comp.fy * static_cast<float>(y) /
+                       static_cast<float>(h_n) * 2.0f *
+                       std::numbers::pi_v<float>;
+      for (std::int64_t x = 0; x < w_n; ++x) {
+        const float fx = comp.fx * static_cast<float>(x) /
+                         static_cast<float>(w_n) * 2.0f *
+                         std::numbers::pi_v<float>;
+        plane[y * w_n + x] +=
+            comp.amplitude * std::sin(fx + fy + comp.phase);
+      }
+    }
+  }
+
+  // Per-image noise.
+  if (noise_stddev_ > 0.0f) {
+    Rng rng(seed_ ^ (0xd6e8feb86659fd93ULL * (static_cast<std::uint64_t>(i) + 1)));
+    for (float& v : out) {
+      v += static_cast<float>(rng.NextGaussian(0.0, noise_stddev_));
+    }
+  }
+}
+
+Tensor SyntheticImageDataset::ImageAt(std::int64_t i) const {
+  Tensor img(chw_);
+  FillImage(i, img.Data());
+  return img;
+}
+
+Tensor SyntheticImageDataset::Batch(std::int64_t start,
+                                    std::int64_t count) const {
+  CCPERF_CHECK(count >= 1, "batch count must be positive");
+  CCPERF_CHECK(start >= 0 && start + count <= size_, "batch out of range");
+  Tensor batch(Shape{count, chw_.Dim(0), chw_.Dim(1), chw_.Dim(2)});
+  const std::int64_t stride = chw_.NumElements();
+  auto data = batch.Data();
+  for (std::int64_t k = 0; k < count; ++k) {
+    FillImage(start + k,
+              data.subspan(static_cast<std::size_t>(k * stride),
+                           static_cast<std::size_t>(stride)));
+  }
+  return batch;
+}
+
+std::vector<std::int64_t> SyntheticImageDataset::BatchLabels(
+    std::int64_t start, std::int64_t count) const {
+  CCPERF_CHECK(count >= 1 && start >= 0 && start + count <= size_,
+               "label slice out of range");
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k) {
+    labels[static_cast<std::size_t>(k)] = LabelAt(start + k);
+  }
+  return labels;
+}
+
+}  // namespace ccperf::data

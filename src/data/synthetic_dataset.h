@@ -1,0 +1,59 @@
+// Synthetic stand-in for the paper's 50,000-image ImageNet inference set.
+//
+// Each class has a deterministic spatial signature (a small set of 2-D
+// sinusoid components); an image is its class signature plus iid Gaussian
+// noise. Images are generated on demand from (seed, index) so a million-image
+// workload needs no storage, and the pipeline exercises the exact batching
+// and inference code paths the real dataset would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ccperf::data {
+
+/// Deterministic class-conditional image source.
+class SyntheticImageDataset {
+ public:
+  /// `chw` is the per-image shape; `size` is the nominal dataset size used
+  /// for bounds checking of indices.
+  SyntheticImageDataset(Shape chw, std::int64_t num_classes,
+                        std::int64_t size, std::uint64_t seed,
+                        float noise_stddev = 0.5f);
+
+  [[nodiscard]] std::int64_t Size() const { return size_; }
+  [[nodiscard]] std::int64_t NumClasses() const { return num_classes_; }
+  [[nodiscard]] const Shape& ImageShape() const { return chw_; }
+
+  /// Ground-truth class of image `i`.
+  [[nodiscard]] std::int64_t LabelAt(std::int64_t i) const;
+
+  /// Image `i` as a CHW tensor.
+  [[nodiscard]] Tensor ImageAt(std::int64_t i) const;
+
+  /// Images [start, start+count) stacked into an NCHW batch.
+  [[nodiscard]] Tensor Batch(std::int64_t start, std::int64_t count) const;
+
+  /// Labels of the same slice.
+  [[nodiscard]] std::vector<std::int64_t> BatchLabels(std::int64_t start,
+                                                      std::int64_t count) const;
+
+ private:
+  struct Component {
+    float fx, fy, phase, amplitude;
+    std::int64_t channel;
+  };
+
+  void FillImage(std::int64_t i, std::span<float> out) const;
+
+  Shape chw_;
+  std::int64_t num_classes_;
+  std::int64_t size_;
+  std::uint64_t seed_;
+  float noise_stddev_;
+  std::vector<std::vector<Component>> class_signatures_;
+};
+
+}  // namespace ccperf::data

@@ -1,0 +1,92 @@
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "nn/activation_layers.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/lrn_layer.h"
+#include "nn/model_zoo.h"
+#include "nn/pool_layer.h"
+#include "nn/weights.h"
+
+namespace ccperf::nn {
+
+namespace {
+std::int64_t Scaled(std::int64_t channels, double scale,
+                    std::int64_t multiple) {
+  const auto raw = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(channels) * scale /
+                   static_cast<double>(multiple)));
+  return std::max<std::int64_t>(1, raw) * multiple;
+}
+}  // namespace
+
+Network BuildCaffeNet(const ModelConfig& config) {
+  CCPERF_CHECK(config.channel_scale > 0.0 && config.channel_scale <= 4.0,
+               "channel_scale out of range");
+  const double s = config.channel_scale;
+  Network net("caffenet", Shape{3, 227, 227});
+
+  const std::int64_t c1 = Scaled(96, s, 2);
+  const std::int64_t c2 = Scaled(256, s, 2);
+  const std::int64_t c3 = Scaled(384, s, 2);
+  const std::int64_t c4 = Scaled(384, s, 2);
+  const std::int64_t c5 = Scaled(256, s, 2);
+  const std::int64_t f1 = Scaled(4096, s, 1);
+  const std::int64_t f2 = Scaled(4096, s, 1);
+
+  net.Add(std::make_unique<ConvLayer>(
+      "conv1", ConvParams{.out_channels = c1, .kernel = 11, .stride = 4}, 3));
+  net.Add(std::make_unique<ReluLayer>("relu1"));
+  net.Add(std::make_unique<LrnLayer>("norm1"));
+  net.Add(std::make_unique<PoolLayer>("pool1", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}));
+
+  net.Add(std::make_unique<ConvLayer>(
+      "conv2",
+      ConvParams{.out_channels = c2, .kernel = 5, .stride = 1, .pad = 2,
+                 .groups = 2},
+      c1));
+  net.Add(std::make_unique<ReluLayer>("relu2"));
+  net.Add(std::make_unique<LrnLayer>("norm2"));
+  net.Add(std::make_unique<PoolLayer>("pool2", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}));
+
+  net.Add(std::make_unique<ConvLayer>(
+      "conv3",
+      ConvParams{.out_channels = c3, .kernel = 3, .stride = 1, .pad = 1}, c2));
+  net.Add(std::make_unique<ReluLayer>("relu3"));
+
+  net.Add(std::make_unique<ConvLayer>(
+      "conv4",
+      ConvParams{.out_channels = c4, .kernel = 3, .stride = 1, .pad = 1,
+                 .groups = 2},
+      c3));
+  net.Add(std::make_unique<ReluLayer>("relu4"));
+
+  net.Add(std::make_unique<ConvLayer>(
+      "conv5",
+      ConvParams{.out_channels = c5, .kernel = 3, .stride = 1, .pad = 1,
+                 .groups = 2},
+      c4));
+  net.Add(std::make_unique<ReluLayer>("relu5"));
+  net.Add(std::make_unique<PoolLayer>("pool5", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}));
+
+  net.Add(std::make_unique<FcLayer>("fc1", c5 * 6 * 6, f1));
+  net.Add(std::make_unique<ReluLayer>("relu6"));
+  net.Add(std::make_unique<DropoutLayer>("drop6"));
+  net.Add(std::make_unique<FcLayer>("fc2", f1, f2));
+  net.Add(std::make_unique<ReluLayer>("relu7"));
+  net.Add(std::make_unique<DropoutLayer>("drop7"));
+  net.Add(std::make_unique<FcLayer>("fc3", f2, config.num_classes));
+  net.Add(std::make_unique<SoftmaxLayer>("prob"));
+
+  if (config.weight_seed != 0) {
+    InitializePretrainedWeights(net, config.weight_seed);
+  }
+  return net;
+}
+
+}  // namespace ccperf::nn

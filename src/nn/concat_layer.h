@@ -1,0 +1,21 @@
+// Channel-axis concatenation — joins the four inception branches.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace ccperf::nn {
+
+/// Concatenate >= 2 NCHW tensors along the channel axis. All inputs must
+/// share batch and spatial extents.
+class ConcatLayer final : public Layer {
+ public:
+  explicit ConcatLayer(std::string name);
+
+  [[nodiscard]] Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] Tensor Forward(const std::vector<const Tensor*>& inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> Clone() const override;
+};
+
+}  // namespace ccperf::nn

@@ -1,0 +1,65 @@
+// 2-D convolution layer lowered to im2col + GEMM, with grouped convolution
+// (AlexNet-style) and a CSR sparse execution path for pruned weights.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+#include "tensor/sparse.h"
+
+namespace ccperf::nn {
+
+/// Configuration of a convolution layer.
+struct ConvParams {
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 1;  // square kernels only (all models here use them)
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t groups = 1;
+};
+
+/// Convolution over NCHW input. Weights are OIHW with I = in_channels/groups.
+/// When weight sparsity exceeds kSparseThreshold the layer multiplies via a
+/// cached CSR matrix per group, so execution time falls with pruning — the
+/// core mechanism of the paper's time-accuracy trade-off.
+class ConvLayer final : public Layer {
+ public:
+  /// Density below which the CSR path is used (i.e. sparsity > 35 %).
+  static constexpr double kSparseThreshold = 0.65;
+
+  ConvLayer(std::string name, ConvParams params, std::int64_t in_channels);
+
+  [[nodiscard]] const ConvParams& Params() const { return params_; }
+  [[nodiscard]] std::int64_t InChannels() const { return in_channels_; }
+
+  [[nodiscard]] Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] Tensor Forward(const std::vector<const Tensor*>& inputs) const override;
+  [[nodiscard]] LayerCost Cost(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> Clone() const override;
+
+  [[nodiscard]] bool HasWeights() const override { return true; }
+  [[nodiscard]] Tensor& MutableWeights() override { return weights_; }
+  [[nodiscard]] const Tensor& Weights() const override { return weights_; }
+  [[nodiscard]] Tensor& MutableBias() override { return bias_; }
+  [[nodiscard]] const Tensor& Bias() const override { return bias_; }
+  void NotifyWeightsChanged() override;
+  [[nodiscard]] double WeightDensity() const override;
+
+  /// True if the current forward pass would take the CSR path.
+  [[nodiscard]] bool UsesSparsePath() const { return use_sparse_; }
+
+ private:
+  [[nodiscard]] ConvGeometry GeometryFor(const Shape& input) const;
+
+  ConvParams params_;
+  std::int64_t in_channels_;
+  Tensor weights_;  // [out_c, in_c/groups, k, k]
+  Tensor bias_;     // [out_c]
+  // Cached execution state, rebuilt by NotifyWeightsChanged().
+  bool use_sparse_ = false;
+  std::vector<CsrMatrix> sparse_groups_;  // one [out_c/g, patch] matrix per group
+};
+
+}  // namespace ccperf::nn

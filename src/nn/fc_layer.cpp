@@ -1,0 +1,94 @@
+#include "nn/fc_layer.h"
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+
+namespace ccperf::nn {
+
+FcLayer::FcLayer(std::string name, std::int64_t in_features,
+                 std::int64_t out_features)
+    : Layer(std::move(name), LayerKind::kFullyConnected),
+      in_features_(in_features),
+      out_features_(out_features),
+      weights_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}) {
+  CCPERF_CHECK(in_features_ > 0 && out_features_ > 0, "invalid fc extents");
+}
+
+Shape FcLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  CCPERF_CHECK(inputs.size() == 1, "fc takes one input");
+  const Shape& in = inputs[0];
+  CCPERF_CHECK(in.Rank() == 4, "fc input must be NCHW");
+  CCPERF_CHECK(in.Dim(1) * in.Dim(2) * in.Dim(3) == in_features_, "fc ",
+               Name(), " expects ", in_features_, " features, got ",
+               in.Dim(1) * in.Dim(2) * in.Dim(3));
+  return Shape{in.Dim(0), out_features_, 1, 1};
+}
+
+Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
+  CCPERF_CHECK(inputs.size() == 1 && inputs[0] != nullptr, "fc arity");
+  const Tensor& in = *inputs[0];
+  const Shape out_shape = OutputShape({in.GetShape()});
+  Tensor out(out_shape);
+
+  const std::int64_t batch = in.GetShape().Dim(0);
+  const std::span<const float> x = in.Data();
+  std::span<float> y = out.Data();
+  const std::span<const float> b = bias_.Data();
+
+  for (std::int64_t img = 0; img < batch; ++img) {
+    const std::span<const float> xi =
+        x.subspan(static_cast<std::size_t>(img * in_features_),
+                  static_cast<std::size_t>(in_features_));
+    std::span<float> yi =
+        y.subspan(static_cast<std::size_t>(img * out_features_),
+                  static_cast<std::size_t>(out_features_));
+    if (use_sparse_) {
+      sparse_.MultiplyVector(xi, yi);
+    } else {
+      Gemv(out_features_, in_features_, weights_.Data(), xi, yi);
+    }
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      yi[static_cast<std::size_t>(o)] += b[static_cast<std::size_t>(o)];
+    }
+  }
+  return out;
+}
+
+LayerCost FcLayer::Cost(const std::vector<Shape>& inputs) const {
+  const double density = WeightDensity();
+  const std::int64_t batch = inputs[0].Dim(0);
+  LayerCost cost;
+  cost.flops = 2.0 * static_cast<double>(batch) *
+               static_cast<double>(in_features_) *
+               static_cast<double>(out_features_) * density;
+  cost.weight_bytes =
+      static_cast<double>(weights_.NumElements()) * sizeof(float) * density;
+  cost.activation_bytes =
+      static_cast<double>(inputs[0].NumElements() +
+                          OutputShape(inputs).NumElements()) *
+      sizeof(float);
+  return cost;
+}
+
+std::unique_ptr<Layer> FcLayer::Clone() const {
+  auto copy = std::make_unique<FcLayer>(Name(), in_features_, out_features_);
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  copy->NotifyWeightsChanged();
+  return copy;
+}
+
+void FcLayer::NotifyWeightsChanged() {
+  const double density = WeightDensity();
+  use_sparse_ = density < kSparseThreshold;
+  if (use_sparse_) {
+    sparse_ = CsrMatrix::FromDense(out_features_, in_features_, weights_.Data());
+  } else {
+    sparse_ = CsrMatrix();
+  }
+}
+
+double FcLayer::WeightDensity() const { return 1.0 - weights_.ZeroFraction(); }
+
+}  // namespace ccperf::nn

@@ -1,0 +1,48 @@
+// Fully-connected (inner product) layer with dense and CSR sparse paths.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+#include "tensor/sparse.h"
+
+namespace ccperf::nn {
+
+/// y = W x + b over the flattened C*H*W input of each batch element.
+/// Output shape is [N, out_features, 1, 1].
+class FcLayer final : public Layer {
+ public:
+  /// Density below which the CSR path is used.
+  static constexpr double kSparseThreshold = 0.65;
+
+  FcLayer(std::string name, std::int64_t in_features,
+          std::int64_t out_features);
+
+  [[nodiscard]] std::int64_t InFeatures() const { return in_features_; }
+  [[nodiscard]] std::int64_t OutFeatures() const { return out_features_; }
+
+  [[nodiscard]] Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] Tensor Forward(const std::vector<const Tensor*>& inputs) const override;
+  [[nodiscard]] LayerCost Cost(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> Clone() const override;
+
+  [[nodiscard]] bool HasWeights() const override { return true; }
+  [[nodiscard]] Tensor& MutableWeights() override { return weights_; }
+  [[nodiscard]] const Tensor& Weights() const override { return weights_; }
+  [[nodiscard]] Tensor& MutableBias() override { return bias_; }
+  [[nodiscard]] const Tensor& Bias() const override { return bias_; }
+  void NotifyWeightsChanged() override;
+  [[nodiscard]] double WeightDensity() const override;
+
+  [[nodiscard]] bool UsesSparsePath() const { return use_sparse_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Tensor weights_;  // [out_features, in_features]
+  Tensor bias_;     // [out_features]
+  bool use_sparse_ = false;
+  CsrMatrix sparse_;
+};
+
+}  // namespace ccperf::nn

@@ -1,0 +1,42 @@
+#include "nn/flops.h"
+
+#include "common/check.h"
+
+namespace ccperf::nn {
+
+double NetworkCostReport::FlopsOfKind(LayerKind kind) const {
+  double total = 0.0;
+  for (const auto& l : layers) {
+    if (l.kind == kind) total += l.cost.flops;
+  }
+  return total;
+}
+
+NetworkCostReport AnalyzeNetwork(const Network& net, std::int64_t batch) {
+  CCPERF_CHECK(batch >= 1, "batch must be >= 1");
+  NetworkCostReport report;
+  const Shape in_shape{batch, net.InputShape().Dim(0), net.InputShape().Dim(1),
+                       net.InputShape().Dim(2)};
+  std::vector<Shape> shapes(net.LayerCount());
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    std::vector<Shape> ins;
+    for (auto idx : net.NodeInputs(i)) {
+      ins.push_back(idx < 0 ? in_shape : shapes[static_cast<std::size_t>(idx)]);
+    }
+    const Layer& layer = net.LayerAt(i);
+    LayerCostInfo info;
+    info.name = layer.Name();
+    info.kind = layer.Kind();
+    info.cost = layer.Cost(ins);
+    info.output_shape = layer.OutputShape(ins);
+    info.weight_density = layer.WeightDensity();
+    shapes[i] = info.output_shape;
+    report.total_flops += info.cost.flops;
+    report.total_weight_bytes += info.cost.weight_bytes;
+    report.total_activation_bytes += info.cost.activation_bytes;
+    report.layers.push_back(std::move(info));
+  }
+  return report;
+}
+
+}  // namespace ccperf::nn

@@ -1,0 +1,35 @@
+// Static cost analysis of a network: per-layer FLOPs, parameter bytes and
+// activation traffic. This feeds the cloud GPU device model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ccperf::nn {
+
+/// Cost of one layer for a specific batch size.
+struct LayerCostInfo {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  LayerCost cost;
+  Shape output_shape;
+  double weight_density = 1.0;
+};
+
+/// Whole-network static cost breakdown.
+struct NetworkCostReport {
+  std::vector<LayerCostInfo> layers;
+  double total_flops = 0.0;
+  double total_weight_bytes = 0.0;
+  double total_activation_bytes = 0.0;
+
+  /// Sum of flops over layers of the given kind.
+  [[nodiscard]] double FlopsOfKind(LayerKind kind) const;
+};
+
+/// Analyze `net` executing one batch of `batch` images.
+NetworkCostReport AnalyzeNetwork(const Network& net, std::int64_t batch);
+
+}  // namespace ccperf::nn

@@ -1,0 +1,155 @@
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "nn/activation_layers.h"
+#include "nn/concat_layer.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/lrn_layer.h"
+#include "nn/model_zoo.h"
+#include "nn/pool_layer.h"
+#include "nn/weights.h"
+
+namespace ccperf::nn {
+
+namespace {
+
+std::int64_t Scaled(std::int64_t channels, double scale) {
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(channels) * scale)));
+}
+
+/// Branch widths of one inception module (Szegedy et al., Table 1).
+struct InceptionSpec {
+  std::int64_t p1x1;       // 1x1 branch
+  std::int64_t p3x3_red;   // 3x3 reduce
+  std::int64_t p3x3;       // 3x3 branch
+  std::int64_t p5x5_red;   // 5x5 reduce
+  std::int64_t p5x5;       // 5x5 branch
+  std::int64_t pool_proj;  // pool projection
+};
+
+/// Adds a conv + relu pair and returns the conv layer name.
+std::string ConvRelu(Network& net, const std::string& name,
+                     std::int64_t in_channels, std::int64_t out_channels,
+                     std::int64_t kernel, std::int64_t pad,
+                     const std::string& from) {
+  net.Add(std::make_unique<ConvLayer>(
+              name,
+              ConvParams{.out_channels = out_channels, .kernel = kernel,
+                         .stride = 1, .pad = pad},
+              in_channels),
+          {from});
+  net.Add(std::make_unique<ReluLayer>("relu-" + name), {name});
+  return "relu-" + name;
+}
+
+/// Adds one inception module; returns (output layer name, output channels).
+std::pair<std::string, std::int64_t> Inception(Network& net,
+                                               const std::string& id,
+                                               std::int64_t in_channels,
+                                               const InceptionSpec& spec,
+                                               const std::string& from) {
+  const std::string base = "inception-" + id;
+  const std::string b1 =
+      ConvRelu(net, base + "-1x1", in_channels, spec.p1x1, 1, 0, from);
+  const std::string r3 = ConvRelu(net, base + "-3x3-reduce", in_channels,
+                                  spec.p3x3_red, 1, 0, from);
+  const std::string b3 =
+      ConvRelu(net, base + "-3x3", spec.p3x3_red, spec.p3x3, 3, 1, r3);
+  const std::string r5 = ConvRelu(net, base + "-5x5-reduce", in_channels,
+                                  spec.p5x5_red, 1, 0, from);
+  const std::string b5 =
+      ConvRelu(net, base + "-5x5", spec.p5x5_red, spec.p5x5, 5, 2, r5);
+  net.Add(std::make_unique<PoolLayer>(
+              base + "-pool", LayerKind::kMaxPool,
+              PoolParams{.kernel = 3, .stride = 1, .pad = 1}),
+          {from});
+  const std::string bp = ConvRelu(net, base + "-pool-proj", in_channels,
+                                  spec.pool_proj, 1, 0, base + "-pool");
+  net.Add(std::make_unique<ConcatLayer>(base + "-output"), {b1, b3, b5, bp});
+  return {base + "-output",
+          spec.p1x1 + spec.p3x3 + spec.p5x5 + spec.pool_proj};
+}
+
+}  // namespace
+
+Network BuildGoogLeNet(const ModelConfig& config) {
+  CCPERF_CHECK(config.channel_scale > 0.0 && config.channel_scale <= 4.0,
+               "channel_scale out of range");
+  const double s = config.channel_scale;
+  auto sc = [s](std::int64_t c) { return Scaled(c, s); };
+  auto spec = [&sc](std::int64_t a, std::int64_t b, std::int64_t c,
+                    std::int64_t d, std::int64_t e, std::int64_t f) {
+    return InceptionSpec{sc(a), sc(b), sc(c), sc(d), sc(e), sc(f)};
+  };
+
+  Network net("googlenet", Shape{3, 224, 224});
+
+  // Stem.
+  const std::int64_t c1 = sc(64);
+  net.Add(std::make_unique<ConvLayer>(
+      "conv1-7x7-s2",
+      ConvParams{.out_channels = c1, .kernel = 7, .stride = 2, .pad = 3}, 3));
+  net.Add(std::make_unique<ReluLayer>("relu-conv1"));
+  net.Add(std::make_unique<PoolLayer>("pool1-3x3-s2", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}));
+  net.Add(std::make_unique<LrnLayer>("pool1-norm1"));
+  const std::int64_t c2r = sc(64);
+  const std::string r2r =
+      ConvRelu(net, "conv2-3x3-reduce", c1, c2r, 1, 0, "pool1-norm1");
+  const std::int64_t c2 = sc(192);
+  const std::string r2 = ConvRelu(net, "conv2-3x3", c2r, c2, 3, 1, r2r);
+  net.Add(std::make_unique<LrnLayer>("conv2-norm2"), {r2});
+  net.Add(std::make_unique<PoolLayer>("pool2-3x3-s2", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}),
+          {"conv2-norm2"});
+
+  // Inception stacks.
+  auto [out3a, ch3a] = Inception(net, "3a", c2, spec(64, 96, 128, 16, 32, 32),
+                                 "pool2-3x3-s2");
+  auto [out3b, ch3b] =
+      Inception(net, "3b", ch3a, spec(128, 128, 192, 32, 96, 64), out3a);
+  net.Add(std::make_unique<PoolLayer>("pool3-3x3-s2", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}),
+          {out3b});
+
+  auto [out4a, ch4a] = Inception(net, "4a", ch3b,
+                                 spec(192, 96, 208, 16, 48, 64), "pool3-3x3-s2");
+  auto [out4b, ch4b] =
+      Inception(net, "4b", ch4a, spec(160, 112, 224, 24, 64, 64), out4a);
+  auto [out4c, ch4c] =
+      Inception(net, "4c", ch4b, spec(128, 128, 256, 24, 64, 64), out4b);
+  auto [out4d, ch4d] =
+      Inception(net, "4d", ch4c, spec(112, 144, 288, 32, 64, 64), out4c);
+  auto [out4e, ch4e] =
+      Inception(net, "4e", ch4d, spec(256, 160, 320, 32, 128, 128), out4d);
+  net.Add(std::make_unique<PoolLayer>("pool4-3x3-s2", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 3, .stride = 2}),
+          {out4e});
+
+  auto [out5a, ch5a] = Inception(net, "5a", ch4e,
+                                 spec(256, 160, 320, 32, 128, 128),
+                                 "pool4-3x3-s2");
+  auto [out5b, ch5b] =
+      Inception(net, "5b", ch5a, spec(384, 192, 384, 48, 128, 128), out5a);
+
+  // Head.
+  net.Add(std::make_unique<PoolLayer>("pool5-7x7-s1", LayerKind::kAvgPool,
+                                      PoolParams{.kernel = 7, .stride = 1}),
+          {out5b});
+  net.Add(std::make_unique<DropoutLayer>("pool5-drop"));
+  net.Add(std::make_unique<FcLayer>("loss3-classifier", ch5b,
+                                    config.num_classes));
+  net.Add(std::make_unique<SoftmaxLayer>("prob"));
+
+  if (config.weight_seed != 0) {
+    InitializePretrainedWeights(net, config.weight_seed);
+  }
+  return net;
+}
+
+}  // namespace ccperf::nn

@@ -1,0 +1,98 @@
+// Layer: the node type of the inference DAG.
+//
+// Every layer consumes one or more rank-4 NCHW tensors and produces one.
+// Layers carrying weights (convolution, fully-connected) expose them for the
+// pruning toolkit and rebuild their sparse execution state when notified.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ccperf::nn {
+
+enum class LayerKind {
+  kInput,
+  kConvolution,
+  kReLU,
+  kLRN,
+  kMaxPool,
+  kAvgPool,
+  kFullyConnected,
+  kSoftmax,
+  kConcat,
+  kDropout,
+};
+
+/// Human-readable name of a layer kind ("conv", "fc", ...).
+const char* LayerKindName(LayerKind kind);
+
+/// Static cost of executing a layer once for a given input shape.
+struct LayerCost {
+  double flops = 0.0;             // floating-point ops (2 per MAC)
+  double weight_bytes = 0.0;      // bytes of (surviving) parameters read
+  double activation_bytes = 0.0;  // bytes of activations read + written
+};
+
+/// Abstract DAG node. Subclasses are value-like and deep-Clone()able so a
+/// network can be duplicated per pruning variant.
+class Layer {
+ public:
+  Layer(std::string name, LayerKind kind);
+  virtual ~Layer();
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  Layer& operator=(Layer&&) = delete;
+
+  [[nodiscard]] const std::string& Name() const { return name_; }
+  [[nodiscard]] LayerKind Kind() const { return kind_; }
+
+  /// Output shape for the given input shapes (batch included). Throws
+  /// CheckError on incompatible inputs.
+  [[nodiscard]] virtual Shape OutputShape(
+      const std::vector<Shape>& inputs) const = 0;
+
+  /// Run the layer. `inputs` are non-null and match the arity expected by
+  /// OutputShape.
+  [[nodiscard]] virtual Tensor Forward(
+      const std::vector<const Tensor*>& inputs) const = 0;
+
+  /// Per-execution cost model for one batch of the given input shapes.
+  /// Weighted layers discount flops/weight bytes by parameter density.
+  [[nodiscard]] virtual LayerCost Cost(const std::vector<Shape>& inputs) const;
+
+  /// Deep copy (weights included).
+  [[nodiscard]] virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  /// True if the layer owns prunable parameters.
+  [[nodiscard]] virtual bool HasWeights() const { return false; }
+
+  /// Mutable access to the weight tensor; throws if HasWeights() is false.
+  /// Call NotifyWeightsChanged() after in-place edits.
+  [[nodiscard]] virtual Tensor& MutableWeights();
+  [[nodiscard]] virtual const Tensor& Weights() const;
+
+  /// Mutable access to the bias vector; throws if HasWeights() is false.
+  [[nodiscard]] virtual Tensor& MutableBias();
+  [[nodiscard]] virtual const Tensor& Bias() const;
+
+  /// Rebuild any cached execution state (e.g. CSR weights) after an edit.
+  virtual void NotifyWeightsChanged() {}
+
+  /// Fraction of nonzero weights in (0, 1]; 1.0 for weightless layers.
+  [[nodiscard]] virtual double WeightDensity() const { return 1.0; }
+
+ protected:
+  /// Subclasses are move-constructible (factories return them by value);
+  /// use Clone() for copies.
+  Layer(Layer&&) noexcept = default;
+
+ private:
+  std::string name_;
+  LayerKind kind_;
+};
+
+}  // namespace ccperf::nn

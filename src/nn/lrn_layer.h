@@ -1,0 +1,34 @@
+// Local response normalization across channels (AlexNet/GoogLeNet style).
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace ccperf::nn {
+
+/// LRN parameters; defaults match Caffe's CaffeNet deploy prototxt.
+struct LrnParams {
+  std::int64_t local_size = 5;
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+  float k = 1.0f;
+};
+
+/// y[c] = x[c] / (k + alpha/n * sum_{c' in window} x[c']^2)^beta.
+class LrnLayer final : public Layer {
+ public:
+  LrnLayer(std::string name, LrnParams params = {});
+
+  [[nodiscard]] const LrnParams& Params() const { return params_; }
+
+  [[nodiscard]] Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] Tensor Forward(const std::vector<const Tensor*>& inputs) const override;
+  [[nodiscard]] LayerCost Cost(const std::vector<Shape>& inputs) const override;
+  [[nodiscard]] std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  LrnParams params_;
+};
+
+}  // namespace ccperf::nn

@@ -1,0 +1,301 @@
+#include "nn/model_parser.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/activation_layers.h"
+#include "nn/concat_layer.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/lrn_layer.h"
+#include "nn/pool_layer.h"
+#include "nn/weights.h"
+
+namespace ccperf::nn {
+
+namespace {
+
+/// One parsed directive line.
+struct Line {
+  int number = 0;
+  std::string directive;
+  std::string name;
+  std::map<std::string, std::string> keys;
+  std::vector<std::string> from;
+};
+
+std::vector<std::string> SplitWhitespace(const std::string& s) {
+  std::istringstream iss(s);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (iss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream iss(s);
+  while (std::getline(iss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+std::int64_t GetInt(const Line& line, const std::string& key,
+                    std::int64_t fallback, bool required = false) {
+  const auto it = line.keys.find(key);
+  if (it == line.keys.end()) {
+    CCPERF_CHECK(!required, "line ", line.number, ": '", line.directive,
+                 "' requires ", key, "=<int>");
+    return fallback;
+  }
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    CCPERF_CHECK(false, "line ", line.number, ": bad integer for ", key);
+  }
+}
+
+float GetFloat(const Line& line, const std::string& key, float fallback) {
+  const auto it = line.keys.find(key);
+  if (it == line.keys.end()) return fallback;
+  try {
+    return std::stof(it->second);
+  } catch (const std::exception&) {
+    CCPERF_CHECK(false, "line ", line.number, ": bad number for ", key);
+  }
+}
+
+Line ParseLine(const std::string& raw, int number) {
+  Line line;
+  line.number = number;
+  // Strip comments.
+  std::string body = raw.substr(0, raw.find('#'));
+  const auto tokens = SplitWhitespace(body);
+  if (tokens.empty()) return line;  // blank
+  line.directive = tokens[0];
+  std::size_t first_kv = 1;
+  if (line.directive != "network" && line.directive != "input") {
+    CCPERF_CHECK(tokens.size() >= 2 && tokens[1].find('=') == std::string::npos,
+                 "line ", number, ": '", line.directive,
+                 "' needs a layer name");
+    line.name = tokens[1];
+    first_kv = 2;
+  } else if (tokens.size() >= 2) {
+    line.name = tokens[1];  // network name / first input dim
+    first_kv = 2;
+  }
+  for (std::size_t i = first_kv; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      // Bare tokens after `input` are extra dims; keep them as keys d2/d3.
+      CCPERF_CHECK(line.directive == "input", "line ", number,
+                   ": expected key=value, got '", tokens[i], "'");
+      line.keys["d" + std::to_string(i)] = tokens[i];
+      continue;
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "from") {
+      line.from = SplitCommas(value);
+    } else {
+      line.keys[key] = value;
+    }
+  }
+  return line;
+}
+
+}  // namespace
+
+Network ParseModel(const std::string& text, std::uint64_t weight_seed) {
+  std::istringstream iss(text);
+  std::string raw;
+  int number = 0;
+
+  std::string net_name = "parsed";
+  bool seen_input = false;
+  Shape input_shape;
+  std::unique_ptr<Network> net;
+  // Batch-1 output shape of every named layer, for channel inference.
+  std::map<std::string, Shape> shapes;
+
+  auto shape_of = [&](const Line& line,
+                      const std::string& name) -> const Shape& {
+    const auto it = shapes.find(name);
+    CCPERF_CHECK(it != shapes.end(), "line ", line.number,
+                 ": unknown source layer '", name, "'");
+    return it->second;
+  };
+  std::string last_name = "input";
+  while (std::getline(iss, raw)) {
+    ++number;
+    const Line line = ParseLine(raw, number);
+    if (line.directive.empty()) continue;
+
+    if (line.directive == "network") {
+      CCPERF_CHECK(!line.name.empty(), "line ", number, ": network needs a name");
+      net_name = line.name;
+      continue;
+    }
+    if (line.directive == "input") {
+      CCPERF_CHECK(!seen_input, "line ", number, ": duplicate input");
+      std::vector<std::int64_t> dims;
+      try {
+        dims.push_back(std::stoll(line.name));
+        for (const auto& [_, v] : line.keys) dims.push_back(std::stoll(v));
+      } catch (const std::exception&) {
+        CCPERF_CHECK(false, "line ", number, ": bad input dims");
+      }
+      CCPERF_CHECK(dims.size() == 3, "line ", number,
+                   ": input needs exactly C H W, got ", dims.size(), " dims");
+      input_shape = Shape(std::move(dims));
+      net = std::make_unique<Network>(net_name, input_shape);
+      shapes["input"] = Shape{1, input_shape.Dim(0), input_shape.Dim(1),
+                              input_shape.Dim(2)};
+      seen_input = true;
+      continue;
+    }
+
+    CCPERF_CHECK(seen_input, "line ", number,
+                 ": 'input C H W' must precede layers");
+    std::vector<std::string> from = line.from;
+    if (from.empty()) from.push_back(last_name);
+    std::vector<Shape> in_shapes;
+    for (const auto& f : from) in_shapes.push_back(shape_of(line, f));
+    const Shape& in0 = in_shapes.front();
+
+    std::unique_ptr<Layer> layer;
+    if (line.directive == "conv") {
+      ConvParams params;
+      params.out_channels = GetInt(line, "out", 0, /*required=*/true);
+      params.kernel = GetInt(line, "kernel", 1);
+      params.stride = GetInt(line, "stride", 1);
+      params.pad = GetInt(line, "pad", 0);
+      params.groups = GetInt(line, "groups", 1);
+      layer = std::make_unique<ConvLayer>(line.name, params, in0.Dim(1));
+    } else if (line.directive == "fc") {
+      const std::int64_t out = GetInt(line, "out", 0, /*required=*/true);
+      layer = std::make_unique<FcLayer>(
+          line.name, in0.Dim(1) * in0.Dim(2) * in0.Dim(3), out);
+    } else if (line.directive == "maxpool" || line.directive == "avgpool") {
+      PoolParams params;
+      params.kernel = GetInt(line, "kernel", 2);
+      params.stride = GetInt(line, "stride", 2);
+      params.pad = GetInt(line, "pad", 0);
+      layer = std::make_unique<PoolLayer>(
+          line.name,
+          line.directive == "maxpool" ? LayerKind::kMaxPool
+                                      : LayerKind::kAvgPool,
+          params);
+    } else if (line.directive == "lrn") {
+      LrnParams params;
+      params.local_size = GetInt(line, "size", 5);
+      params.alpha = GetFloat(line, "alpha", 1e-4f);
+      params.beta = GetFloat(line, "beta", 0.75f);
+      params.k = GetFloat(line, "k", 1.0f);
+      layer = std::make_unique<LrnLayer>(line.name, params);
+    } else if (line.directive == "relu") {
+      layer = std::make_unique<ReluLayer>(line.name);
+    } else if (line.directive == "softmax") {
+      layer = std::make_unique<SoftmaxLayer>(line.name);
+    } else if (line.directive == "dropout") {
+      layer = std::make_unique<DropoutLayer>(line.name);
+    } else if (line.directive == "concat") {
+      layer = std::make_unique<ConcatLayer>(line.name);
+    } else {
+      CCPERF_CHECK(false, "line ", number, ": unknown directive '",
+                   line.directive, "'");
+    }
+
+    // Validate shapes eagerly so errors carry the line number.
+    Shape out_shape;
+    try {
+      out_shape = layer->OutputShape(in_shapes);
+    } catch (const CheckError& e) {
+      CCPERF_CHECK(false, "line ", number, ": ", e.what());
+    }
+    shapes[line.name] = out_shape;
+    net->Add(std::move(layer), from);
+    last_name = line.name;
+  }
+
+  CCPERF_CHECK(net != nullptr && net->LayerCount() > 0,
+               "model text defines no layers");
+  if (weight_seed != 0) InitializePretrainedWeights(*net, weight_seed);
+  return std::move(*net);
+}
+
+Network ParseModelFile(const std::string& path, std::uint64_t weight_seed) {
+  std::ifstream in(path);
+  CCPERF_CHECK(in.good(), "cannot open model file '", path, "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseModel(buffer.str(), weight_seed);
+}
+
+std::string FormatModel(const Network& net) {
+  std::ostringstream out;
+  out << "network " << net.Name() << "\n";
+  out << "input " << net.InputShape().Dim(0) << " " << net.InputShape().Dim(1)
+      << " " << net.InputShape().Dim(2) << "\n";
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    const Layer& layer = net.LayerAt(i);
+    switch (layer.Kind()) {
+      case LayerKind::kConvolution: {
+        const auto& conv = static_cast<const ConvLayer&>(layer);
+        out << "conv " << conv.Name() << " out=" << conv.Params().out_channels
+            << " kernel=" << conv.Params().kernel
+            << " stride=" << conv.Params().stride
+            << " pad=" << conv.Params().pad;
+        if (conv.Params().groups != 1) out << " groups=" << conv.Params().groups;
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        const auto& fc = static_cast<const FcLayer&>(layer);
+        out << "fc " << fc.Name() << " out=" << fc.OutFeatures();
+        break;
+      }
+      case LayerKind::kMaxPool:
+      case LayerKind::kAvgPool: {
+        const auto& pool = static_cast<const PoolLayer&>(layer);
+        out << (layer.Kind() == LayerKind::kMaxPool ? "maxpool " : "avgpool ")
+            << pool.Name() << " kernel=" << pool.Params().kernel
+            << " stride=" << pool.Params().stride;
+        if (pool.Params().pad != 0) out << " pad=" << pool.Params().pad;
+        break;
+      }
+      case LayerKind::kLRN: {
+        const auto& lrn = static_cast<const LrnLayer&>(layer);
+        out << "lrn " << lrn.Name() << " size=" << lrn.Params().local_size;
+        break;
+      }
+      case LayerKind::kReLU: out << "relu " << layer.Name(); break;
+      case LayerKind::kSoftmax: out << "softmax " << layer.Name(); break;
+      case LayerKind::kDropout: out << "dropout " << layer.Name(); break;
+      case LayerKind::kConcat: out << "concat " << layer.Name(); break;
+      case LayerKind::kInput: break;
+    }
+    // Emit explicit wiring when it deviates from simple chaining.
+    const auto& inputs = net.NodeInputs(i);
+    const bool chains = inputs.size() == 1 &&
+                        inputs[0] == static_cast<std::int64_t>(i) - 1;
+    if (!chains) {
+      out << " from=";
+      for (std::size_t k = 0; k < inputs.size(); ++k) {
+        if (k) out << ",";
+        out << (inputs[k] < 0
+                    ? "input"
+                    : net.LayerAt(static_cast<std::size_t>(inputs[k])).Name());
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ccperf::nn

@@ -1,0 +1,40 @@
+// A small text DSL for describing networks — a Caffe-prototxt-inspired
+// format so users can define their own applications without writing C++.
+//
+//   network tinycnn
+//   input 3 16 16
+//   conv  conv1 out=8 kernel=3 stride=1 pad=1
+//   relu  relu1
+//   maxpool pool1 kernel=2 stride=2
+//   conv  conv2 out=16 kernel=3 pad=1 groups=2
+//   relu  relu2  from=conv2
+//   fc    fc1 out=32
+//   softmax prob
+//
+// Rules: one directive per line; '#' starts a comment; layers chain onto
+// the previous layer unless `from=<name>` (or `from=a,b,...` for concat)
+// says otherwise; conv in-channels and fc in-features are inferred from the
+// input shape. Keys: out, kernel, stride, pad, groups (conv); kernel,
+// stride, pad (pools); size, alpha, beta, k (lrn); out (fc).
+#pragma once
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace ccperf::nn {
+
+/// Build a network from the DSL text. Throws CheckError with the offending
+/// line number on malformed input.
+[[nodiscard]] Network ParseModel(const std::string& text,
+                                 std::uint64_t weight_seed = 0);
+
+/// Load and parse a model description file.
+[[nodiscard]] Network ParseModelFile(const std::string& path,
+                                     std::uint64_t weight_seed = 0);
+
+/// Render a network back into the DSL (topology only, no weights) — useful
+/// for inspecting programmatically-built models.
+[[nodiscard]] std::string FormatModel(const Network& net);
+
+}  // namespace ccperf::nn

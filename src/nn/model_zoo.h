@@ -1,0 +1,38 @@
+// Model builders for the paper's two applications plus a test-scale CNN.
+//
+// CaffeNet follows the Caffe bvlc_reference_caffenet deploy topology (the
+// paper's Table 1 / Figure 1); GoogLeNet follows Szegedy et al.'s Inception
+// v1 with 2 stem convolutions and 9 inception modules of 6 convolutions each
+// (the paper's "56 convolution layers"). `channel_scale` shrinks channel and
+// feature counts uniformly for laptop-scale tests without changing topology.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.h"
+
+namespace ccperf::nn {
+
+/// Knobs shared by all builders.
+struct ModelConfig {
+  /// Multiplies every channel/feature count (grouped layers round to a
+  /// multiple of their group count). 1.0 = the paper's full-size model.
+  double channel_scale = 1.0;
+  /// Output classes (ImageNet = 1000).
+  std::int64_t num_classes = 1000;
+  /// Seed for synthetic pretrained weights; 0 leaves weights zero.
+  std::uint64_t weight_seed = 42;
+};
+
+/// CaffeNet (AlexNet) — 5 conv + 3 fc layers, 227x227x3 input.
+/// Note: the paper's Table 1 quotes 224x224 following AlexNet convention;
+/// Caffe's actual deploy input producing 55x55 conv1 maps is 227x227.
+Network BuildCaffeNet(const ModelConfig& config = {});
+
+/// GoogLeNet (Inception v1) — 224x224x3 input, 1024-d average-pooled head.
+Network BuildGoogLeNet(const ModelConfig& config = {});
+
+/// Small 16x16 CNN (2 conv + 2 fc) for unit/integration tests.
+Network BuildTinyCnn(const ModelConfig& config = {});
+
+}  // namespace ccperf::nn

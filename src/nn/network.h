@@ -1,0 +1,90 @@
+// Network: a topologically-ordered DAG of layers with per-layer timing.
+//
+// Layers are added in topological order (each input must already exist), so
+// GoogLeNet's inception branches are expressed naturally. Forward() releases
+// intermediate activations after their last consumer to bound memory.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ccperf::nn {
+
+/// Wall-clock time attributed to one layer during a Forward() call.
+struct LayerTiming {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  double seconds = 0.0;
+};
+
+/// Inference DAG. The virtual node "input" feeds layers with no explicit
+/// predecessor list.
+class Network {
+ public:
+  /// `input_shape` is CHW (batch is supplied per Forward call).
+  Network(std::string name, Shape input_shape);
+
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  [[nodiscard]] const std::string& Name() const { return name_; }
+  [[nodiscard]] const Shape& InputShape() const { return input_shape_; }
+
+  /// Add a layer consuming the named predecessors ("input" = network input).
+  /// An empty list wires it to the most recently added layer (or the input).
+  /// Returns a stable reference to the stored layer.
+  Layer& Add(std::unique_ptr<Layer> layer,
+             std::vector<std::string> inputs = {});
+
+  [[nodiscard]] std::size_t LayerCount() const { return nodes_.size(); }
+  [[nodiscard]] Layer& LayerAt(std::size_t i);
+  [[nodiscard]] const Layer& LayerAt(std::size_t i) const;
+
+  /// Indices into LayerAt() of the i-th node's inputs; -1 = network input.
+  [[nodiscard]] const std::vector<std::int64_t>& NodeInputs(std::size_t i) const;
+
+  /// Find a layer by name (nullptr if absent).
+  [[nodiscard]] Layer* FindLayer(const std::string& name);
+  [[nodiscard]] const Layer* FindLayer(const std::string& name) const;
+
+  /// Output shape of the final layer for a given batch size.
+  [[nodiscard]] Shape OutputShape(std::int64_t batch) const;
+
+  /// Run inference on a [B, C, H, W] batch; returns the last layer's output.
+  /// If `timings` is non-null it is filled with one entry per layer.
+  [[nodiscard]] Tensor Forward(const Tensor& input,
+                               std::vector<LayerTiming>* timings = nullptr) const;
+
+  /// Total number of parameters (weights + biases) across weighted layers.
+  [[nodiscard]] std::int64_t ParameterCount() const;
+
+  /// Deep copy including weights and cached sparse state.
+  [[nodiscard]] Network Clone() const;
+
+  /// Names of all weighted (prunable) layers, in topological order.
+  [[nodiscard]] std::vector<std::string> WeightedLayerNames() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;
+    std::vector<std::int64_t> inputs;  // -1 = network input
+  };
+
+  [[nodiscard]] std::int64_t IndexOf(const std::string& name) const;
+
+  std::string name_;
+  Shape input_shape_;  // CHW
+  std::vector<Node> nodes_;
+};
+
+/// Index of the class with the highest score per batch element.
+std::vector<std::int64_t> ArgMax(const Tensor& logits);
+
+/// Indices of the top-k classes (descending score) per batch element.
+std::vector<std::vector<std::int64_t>> TopK(const Tensor& logits, std::size_t k);
+
+}  // namespace ccperf::nn

@@ -1,0 +1,30 @@
+// Binary network serialization: persist a (possibly pruned/quantized)
+// network — topology, hyper-parameters and weights — and load it back
+// bit-exactly. Lets a measurement campaign cache its variants instead of
+// re-pruning from scratch.
+//
+// Format (little-endian): "CCPF" magic, u32 version, name, CHW input shape,
+// then one tagged record per layer in topological order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.h"
+
+namespace ccperf::nn {
+
+/// Serialize `net` to a stream. Throws CheckError on I/O failure.
+void SaveNetwork(const Network& net, std::ostream& out);
+
+/// Serialize to a file path.
+void SaveNetworkToFile(const Network& net, const std::string& path);
+
+/// Reconstruct a network from a stream; validates magic/version and layer
+/// wiring. Weighted layers come back with cached sparse state rebuilt.
+[[nodiscard]] Network LoadNetwork(std::istream& in);
+
+/// Load from a file path.
+[[nodiscard]] Network LoadNetworkFromFile(const std::string& path);
+
+}  // namespace ccperf::nn

@@ -1,0 +1,42 @@
+#include <memory>
+
+#include "nn/activation_layers.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/model_zoo.h"
+#include "nn/pool_layer.h"
+#include "nn/weights.h"
+
+namespace ccperf::nn {
+
+Network BuildTinyCnn(const ModelConfig& config) {
+  const std::int64_t classes =
+      config.num_classes == 1000 ? 10 : config.num_classes;
+  Network net("tinycnn", Shape{3, 16, 16});
+
+  net.Add(std::make_unique<ConvLayer>(
+      "conv1", ConvParams{.out_channels = 8, .kernel = 3, .stride = 1, .pad = 1},
+      3));
+  net.Add(std::make_unique<ReluLayer>("relu1"));
+  net.Add(std::make_unique<PoolLayer>("pool1", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 2, .stride = 2}));
+  net.Add(std::make_unique<ConvLayer>(
+      "conv2",
+      ConvParams{.out_channels = 16, .kernel = 3, .stride = 1, .pad = 1,
+                 .groups = 2},
+      8));
+  net.Add(std::make_unique<ReluLayer>("relu2"));
+  net.Add(std::make_unique<PoolLayer>("pool2", LayerKind::kMaxPool,
+                                      PoolParams{.kernel = 2, .stride = 2}));
+  net.Add(std::make_unique<FcLayer>("fc1", 16 * 4 * 4, 32));
+  net.Add(std::make_unique<ReluLayer>("relu3"));
+  net.Add(std::make_unique<FcLayer>("fc2", 32, classes));
+  net.Add(std::make_unique<SoftmaxLayer>("prob"));
+
+  if (config.weight_seed != 0) {
+    InitializePretrainedWeights(net, config.weight_seed);
+  }
+  return net;
+}
+
+}  // namespace ccperf::nn

@@ -1,0 +1,37 @@
+#include "nn/weights.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ccperf::nn {
+
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void InitializePretrainedWeights(Network& net, std::uint64_t seed) {
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    Layer& layer = net.LayerAt(i);
+    if (!layer.HasWeights()) continue;
+    Rng rng(seed ^ HashName(layer.Name()));
+    Tensor& w = layer.MutableWeights();
+    // Fan-in = elements per output unit (dim 0 is the output axis for both
+    // OIHW conv weights and [out, in] FC weights).
+    const auto fan_in = static_cast<double>(
+        w.NumElements() / std::max<std::int64_t>(1, w.GetShape().Dim(0)));
+    const float stddev =
+        static_cast<float>(std::sqrt(2.0 / std::max(1.0, fan_in)));
+    w.FillGaussian(rng, 0.0f, stddev);
+    Tensor& b = layer.MutableBias();
+    b.FillGaussian(rng, 0.01f, 0.005f);
+    layer.NotifyWeightsChanged();
+  }
+}
+
+}  // namespace ccperf::nn

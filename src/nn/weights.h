@@ -1,0 +1,22 @@
+// Deterministic synthetic "pretrained" weights.
+//
+// We cannot ship the paper's ImageNet-trained Caffe models, so weighted
+// layers are filled with He-scaled Gaussians from a per-layer stream derived
+// from (seed, layer name). The draw is independent of layer insertion order,
+// so clones and rebuilt networks get byte-identical weights.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.h"
+
+namespace ccperf::nn {
+
+/// Fill all weighted layers of `net` with deterministic He-initialized
+/// Gaussians and small positive biases, then refresh cached sparse state.
+void InitializePretrainedWeights(Network& net, std::uint64_t seed);
+
+/// 64-bit FNV-1a hash of a string (exposed for tests).
+std::uint64_t HashName(const std::string& name);
+
+}  // namespace ccperf::nn

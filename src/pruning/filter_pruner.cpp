@@ -1,0 +1,56 @@
+#include "pruning/filter_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf::pruning {
+
+void L1FilterPruner::Prune(nn::Layer& layer, double ratio) const {
+  CCPERF_CHECK(layer.HasWeights(), "cannot prune weightless layer '",
+               layer.Name(), "'");
+  CCPERF_CHECK(ratio >= 0.0 && ratio < 1.0, "prune ratio must be in [0,1)");
+  if (ratio == 0.0) return;
+
+  Tensor& w = layer.MutableWeights();
+  const std::int64_t filters = w.GetShape().Dim(0);
+  const std::int64_t per_filter = w.NumElements() / filters;
+  auto data = w.Data();
+
+  // Rank filters by L1 norm.
+  std::vector<double> norms(static_cast<std::size_t>(filters), 0.0);
+  for (std::int64_t f = 0; f < filters; ++f) {
+    double sum = 0.0;
+    const float* row = data.data() + f * per_filter;
+    for (std::int64_t i = 0; i < per_filter; ++i) {
+      sum += std::fabs(static_cast<double>(row[i]));
+    }
+    norms[static_cast<std::size_t>(f)] = sum;
+  }
+  std::vector<std::int64_t> order(static_cast<std::size_t>(filters));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&norms](std::int64_t a, std::int64_t b) {
+                     return norms[static_cast<std::size_t>(a)] <
+                            norms[static_cast<std::size_t>(b)];
+                   });
+
+  const auto filters_to_zero = static_cast<std::int64_t>(
+      std::llround(ratio * static_cast<double>(filters)));
+  Tensor& bias = layer.MutableBias();
+  auto bias_data = bias.Data();
+  for (std::int64_t i = 0; i < filters_to_zero; ++i) {
+    const std::int64_t f = order[static_cast<std::size_t>(i)];
+    float* row = data.data() + f * per_filter;
+    std::fill(row, row + per_filter, 0.0f);
+    if (static_cast<std::size_t>(f) < bias_data.size()) {
+      bias_data[static_cast<std::size_t>(f)] = 0.0f;
+    }
+  }
+  layer.NotifyWeightsChanged();
+}
+
+}  // namespace ccperf::pruning

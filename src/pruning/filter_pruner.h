@@ -1,0 +1,20 @@
+// L1-norm filter pruning (Li et al., "Pruning Filters for Efficient
+// ConvNets") — the method the paper uses: remove whole output filters with
+// the smallest L1 norm instead of individual weights.
+#pragma once
+
+#include "pruning/pruner.h"
+
+namespace ccperf::pruning {
+
+/// Structured pruning: zeroes entire rows of the weight matrix (output
+/// filters for conv layers, output neurons for fc layers) in ascending order
+/// of L1 norm until `ratio` of the weights are zero. The matching bias entry
+/// is zeroed as well, matching filter removal semantics.
+class L1FilterPruner final : public Pruner {
+ public:
+  [[nodiscard]] std::string Name() const override { return "l1-filter"; }
+  void Prune(nn::Layer& layer, double ratio) const override;
+};
+
+}  // namespace ccperf::pruning

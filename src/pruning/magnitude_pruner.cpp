@@ -1,0 +1,49 @@
+#include "pruning/magnitude_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf::pruning {
+
+void MagnitudePruner::Prune(nn::Layer& layer, double ratio) const {
+  CCPERF_CHECK(layer.HasWeights(), "cannot prune weightless layer '",
+               layer.Name(), "'");
+  CCPERF_CHECK(ratio >= 0.0 && ratio < 1.0, "prune ratio must be in [0,1)");
+  if (ratio == 0.0) return;
+
+  Tensor& w = layer.MutableWeights();
+  auto data = w.Data();
+  const std::size_t n = data.size();
+  const auto to_zero = static_cast<std::size_t>(
+      std::llround(ratio * static_cast<double>(n)));
+  if (to_zero == 0) return;
+
+  // Threshold = |w| at the to_zero-th order statistic.
+  std::vector<float> mags(n);
+  for (std::size_t i = 0; i < n; ++i) mags[i] = std::fabs(data[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(to_zero - 1),
+                   mags.end());
+  const float threshold = mags[to_zero - 1];
+
+  // Zero strictly-below first, then ties until the count is met, so the
+  // realized ratio is exact even with duplicated magnitudes.
+  std::size_t zeroed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(data[i]) < threshold) {
+      data[i] = 0.0f;
+      ++zeroed;
+    }
+  }
+  for (std::size_t i = 0; i < n && zeroed < to_zero; ++i) {
+    if (data[i] != 0.0f && std::fabs(data[i]) == threshold) {
+      data[i] = 0.0f;
+      ++zeroed;
+    }
+  }
+  layer.NotifyWeightsChanged();
+}
+
+}  // namespace ccperf::pruning

@@ -1,0 +1,17 @@
+// Element-wise magnitude pruning: zero the smallest-|w| fraction.
+#pragma once
+
+#include "pruning/pruner.h"
+
+namespace ccperf::pruning {
+
+/// Unstructured pruning. Removes the `ratio` fraction of weights with the
+/// smallest absolute value — the classic baseline whose removed-energy grows
+/// slowly with ratio, producing the paper's "sweet-spot" accuracy plateaus.
+class MagnitudePruner final : public Pruner {
+ public:
+  [[nodiscard]] std::string Name() const override { return "magnitude"; }
+  void Prune(nn::Layer& layer, double ratio) const override;
+};
+
+}  // namespace ccperf::pruning

@@ -1,0 +1,82 @@
+#include "pruning/prune_plan.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "pruning/filter_pruner.h"
+#include "pruning/magnitude_pruner.h"
+
+namespace ccperf::pruning {
+
+const char* PrunerFamilyName(PrunerFamily family) {
+  switch (family) {
+    case PrunerFamily::kMagnitude: return "magnitude";
+    case PrunerFamily::kL1Filter: return "l1-filter";
+  }
+  return "?";
+}
+
+double PrunePlan::RatioFor(const std::string& layer) const {
+  const auto it = layer_ratios.find(layer);
+  return it == layer_ratios.end() ? 0.0 : it->second;
+}
+
+bool PrunePlan::IsNoop() const {
+  for (const auto& [_, r] : layer_ratios) {
+    if (r > 0.0) return false;
+  }
+  return true;
+}
+
+std::string PrunePlan::Label() const {
+  if (IsNoop()) return "nonpruned";
+  std::string label;
+  for (const auto& [layer, ratio] : layer_ratios) {
+    if (ratio <= 0.0) continue;
+    if (!label.empty()) label += "+";
+    label += layer + "@" +
+             std::to_string(static_cast<int>(std::llround(ratio * 100.0)));
+  }
+  return label;
+}
+
+double PrunePlan::MeanRatio() const {
+  if (layer_ratios.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [_, r] : layer_ratios) sum += r;
+  return sum / static_cast<double>(layer_ratios.size());
+}
+
+PrunePlan UniformPlan(const std::vector<std::string>& layers, double ratio,
+                      PrunerFamily family) {
+  PrunePlan plan;
+  plan.family = family;
+  for (const auto& layer : layers) plan.layer_ratios[layer] = ratio;
+  return plan;
+}
+
+void ApplyPlanInPlace(nn::Network& net, const PrunePlan& plan) {
+  const MagnitudePruner magnitude;
+  const L1FilterPruner filter;
+  const Pruner& pruner =
+      plan.family == PrunerFamily::kMagnitude
+          ? static_cast<const Pruner&>(magnitude)
+          : static_cast<const Pruner&>(filter);
+  for (const auto& [layer_name, ratio] : plan.layer_ratios) {
+    CCPERF_CHECK(ratio >= 0.0 && ratio < 1.0, "ratio for ", layer_name,
+                 " out of [0,1)");
+    if (ratio == 0.0) continue;
+    nn::Layer* layer = net.FindLayer(layer_name);
+    CCPERF_CHECK(layer != nullptr, "plan names unknown layer '", layer_name,
+                 "' in network ", net.Name());
+    pruner.Prune(*layer, ratio);
+  }
+}
+
+nn::Network ApplyPlan(const nn::Network& base, const PrunePlan& plan) {
+  nn::Network variant = base.Clone();
+  ApplyPlanInPlace(variant, plan);
+  return variant;
+}
+
+}  // namespace ccperf::pruning

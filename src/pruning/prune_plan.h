@@ -1,0 +1,49 @@
+// PrunePlan: a named assignment of prune ratios to layers — the paper's
+// "degree of pruning" p ∈ P. Applying a plan to a network yields one pruned
+// application variant.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ccperf::pruning {
+
+/// Which pruning strategy a plan uses.
+enum class PrunerFamily { kMagnitude, kL1Filter };
+
+const char* PrunerFamilyName(PrunerFamily family);
+
+/// Per-layer prune ratios. Layers not listed keep all weights.
+struct PrunePlan {
+  PrunerFamily family = PrunerFamily::kL1Filter;
+  std::map<std::string, double> layer_ratios;
+
+  /// Ratio for `layer`, 0 when unlisted.
+  [[nodiscard]] double RatioFor(const std::string& layer) const;
+
+  /// True when no layer is pruned.
+  [[nodiscard]] bool IsNoop() const;
+
+  /// Stable human-readable label, e.g. "conv1@30+conv2@50" or "nonpruned".
+  [[nodiscard]] std::string Label() const;
+
+  /// Mean prune ratio over the listed layers (0 for a no-op plan).
+  [[nodiscard]] double MeanRatio() const;
+};
+
+/// Uniform plan pruning every named layer by the same ratio.
+PrunePlan UniformPlan(const std::vector<std::string>& layers, double ratio,
+                      PrunerFamily family = PrunerFamily::kL1Filter);
+
+/// Apply `plan` to `net` in place (prunes the named layers).
+/// Throws if a named layer is missing or weightless.
+void ApplyPlanInPlace(nn::Network& net, const PrunePlan& plan);
+
+/// Clone `base` and apply `plan` to the clone.
+[[nodiscard]] nn::Network ApplyPlan(const nn::Network& base,
+                                    const PrunePlan& plan);
+
+}  // namespace ccperf::pruning

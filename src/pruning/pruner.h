@@ -1,0 +1,28 @@
+// Pruner: strategy interface for sparsifying a layer's weights in place.
+//
+// The paper prunes with the L1-norm filter method of Li et al. [17]; we also
+// provide element-magnitude pruning as the simpler baseline family. Both set
+// selected weights to exactly zero — the layer's CSR path then skips them.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace ccperf::pruning {
+
+/// Strategy that zeroes a fraction of a layer's weights.
+class Pruner {
+ public:
+  virtual ~Pruner() = default;
+
+  /// Identifier used in reports ("magnitude", "l1-filter").
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Zero approximately `ratio` (in [0, 1)) of `layer`'s weights in place and
+  /// refresh the layer's cached execution state. Pruning is idempotent in
+  /// the sense that already-zero weights count toward the target ratio.
+  virtual void Prune(nn::Layer& layer, double ratio) const = 0;
+};
+
+}  // namespace ccperf::pruning

@@ -1,0 +1,165 @@
+#include "pruning/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf::pruning {
+
+Quantizer::Quantizer(int bits) : bits_(bits) {
+  CCPERF_CHECK(bits_ >= 2 && bits_ <= 16, "bits must be in [2, 16], got ",
+               bits_);
+}
+
+namespace {
+
+/// Max |w| of a weight tensor (0 if all zero).
+float MaxAbs(std::span<const float> w) {
+  float m = 0.0f;
+  for (float v : w) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+/// Quantize one value to a symmetric k-bit grid with scale `step`.
+inline float QuantizeValue(float v, float step, float max_level) {
+  if (v == 0.0f) return 0.0f;  // preserve pruned zeros exactly
+  const float q = std::round(v / step);
+  return std::clamp(q, -max_level, max_level) * step;
+}
+
+}  // namespace
+
+void Quantizer::Apply(nn::Layer& layer) const {
+  CCPERF_CHECK(layer.HasWeights(), "cannot quantize weightless layer '",
+               layer.Name(), "'");
+  Tensor& w = layer.MutableWeights();
+  auto data = w.Data();
+  const float max_abs = MaxAbs(data);
+  if (max_abs == 0.0f) return;
+  const auto levels = static_cast<float>((1 << (bits_ - 1)) - 1);
+  const float step = max_abs / levels;
+  for (float& v : data) v = QuantizeValue(v, step, levels);
+  layer.NotifyWeightsChanged();
+}
+
+void Quantizer::ApplyToNetwork(nn::Network& net) const {
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    if (net.LayerAt(i).HasWeights()) Apply(net.LayerAt(i));
+  }
+}
+
+double Quantizer::RelativeRmsError(const Tensor& weights) const {
+  const auto data = weights.Data();
+  const float max_abs = MaxAbs(data);
+  if (max_abs == 0.0f || data.empty()) return 0.0;
+  const auto levels = static_cast<float>((1 << (bits_ - 1)) - 1);
+  const float step = max_abs / levels;
+  double err = 0.0, ref = 0.0;
+  for (float v : data) {
+    const double d = static_cast<double>(v) -
+                     static_cast<double>(QuantizeValue(v, step, levels));
+    err += d * d;
+    ref += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return ref == 0.0 ? 0.0 : std::sqrt(err / ref);
+}
+
+WeightSharer::WeightSharer(int clusters, int iterations)
+    : clusters_(clusters), iterations_(iterations) {
+  CCPERF_CHECK(clusters_ >= 2 && clusters_ <= 4096, "clusters out of range");
+  CCPERF_CHECK(iterations_ >= 1, "need at least one k-means iteration");
+}
+
+void WeightSharer::Apply(nn::Layer& layer) const {
+  CCPERF_CHECK(layer.HasWeights(), "cannot weight-share weightless layer '",
+               layer.Name(), "'");
+  Tensor& w = layer.MutableWeights();
+  auto data = w.Data();
+  float lo = 0.0f, hi = 0.0f;
+  bool any = false;
+  for (float v : data) {
+    if (v == 0.0f) continue;  // zero keeps its dedicated centroid
+    lo = any ? std::min(lo, v) : v;
+    hi = any ? std::max(hi, v) : v;
+    any = true;
+  }
+  if (!any || lo == hi) {
+    layer.NotifyWeightsChanged();
+    return;
+  }
+
+  // Initialize centroids uniformly over the weight range (the standard
+  // linear init from the deep-compression literature).
+  std::vector<double> centroids(static_cast<std::size_t>(clusters_));
+  for (int c = 0; c < clusters_; ++c) {
+    centroids[static_cast<std::size_t>(c)] =
+        lo + (hi - lo) * (static_cast<double>(c) + 0.5) / clusters_;
+  }
+
+  std::vector<double> sum(centroids.size());
+  std::vector<std::int64_t> count(centroids.size());
+  auto nearest = [&centroids](float v) {
+    std::size_t best = 0;
+    double best_d = std::abs(centroids[0] - v);
+    for (std::size_t c = 1; c < centroids.size(); ++c) {
+      const double d = std::abs(centroids[c] - v);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    return best;
+  };
+  for (int iter = 0; iter < iterations_; ++iter) {
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(count.begin(), count.end(), 0);
+    for (float v : data) {
+      if (v == 0.0f) continue;
+      const std::size_t c = nearest(v);
+      sum[c] += v;
+      ++count[c];
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (count[c] > 0) centroids[c] = sum[c] / static_cast<double>(count[c]);
+    }
+  }
+  for (float& v : data) {
+    if (v != 0.0f) v = static_cast<float>(centroids[nearest(v)]);
+  }
+  layer.NotifyWeightsChanged();
+}
+
+void WeightSharer::ApplyToNetwork(nn::Network& net) const {
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    if (net.LayerAt(i).HasWeights()) Apply(net.LayerAt(i));
+  }
+}
+
+MemoryReport AnalyzeMemory(const nn::Network& net, int quant_bits,
+                           int shared_clusters) {
+  CCPERF_CHECK(quant_bits >= 2 && quant_bits <= 32, "quant_bits out of range");
+  CCPERF_CHECK(shared_clusters >= 2, "shared_clusters out of range");
+  MemoryReport report;
+  report.quant_bits = quant_bits;
+  report.shared_clusters = shared_clusters;
+  const double index_bits =
+      std::ceil(std::log2(static_cast<double>(shared_clusters) + 1.0));
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    const nn::Layer& layer = net.LayerAt(i);
+    if (!layer.HasWeights()) continue;
+    const Tensor& w = layer.Weights();
+    const auto params = static_cast<double>(w.NumElements());
+    const double nnz = params * layer.WeightDensity();
+    const auto rows = static_cast<double>(w.GetShape().Dim(0));
+    report.dense_fp32_bytes += params * 4.0;
+    report.sparse_csr_bytes += nnz * (4.0 + 4.0) + (rows + 1.0) * 8.0;
+    report.quantized_bytes += params * quant_bits / 8.0;
+    report.shared_bytes +=
+        params * index_bits / 8.0 + shared_clusters * 4.0;
+  }
+  return report;
+}
+
+}  // namespace ccperf::pruning

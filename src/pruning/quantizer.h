@@ -1,0 +1,81 @@
+// Quantization and weight sharing — the two alternative accuracy-tuning
+// techniques the paper surveys (§2.1) next to pruning.
+//
+// * Quantization maps each weight to a k-bit uniform grid (symmetric,
+//   per-layer scale). It shrinks the memory/storage footprint by 32/k and
+//   perturbs accuracy; on hardware without low-precision units it does not
+//   change execution time — exactly the paper's characterization.
+// * Weight sharing clusters weights to c centroids (1-D k-means) so a layer
+//   stores one index per weight plus a tiny codebook.
+//
+// Both operate in place on a layer's weights, like the pruners.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ccperf::pruning {
+
+/// Uniform symmetric k-bit quantizer.
+class Quantizer {
+ public:
+  /// `bits` in [2, 16]: the stored weight width.
+  explicit Quantizer(int bits);
+
+  [[nodiscard]] int Bits() const { return bits_; }
+
+  /// Quantize a layer's weights in place (zero stays exactly zero, so
+  /// quantization composes with pruning) and refresh cached state.
+  void Apply(nn::Layer& layer) const;
+
+  /// Quantize every weighted layer of a network.
+  void ApplyToNetwork(nn::Network& net) const;
+
+  /// Root-mean-square relative error this quantizer would introduce on the
+  /// given weights (without mutating them) — the accuracy-damage proxy.
+  [[nodiscard]] double RelativeRmsError(const Tensor& weights) const;
+
+ private:
+  int bits_;
+};
+
+/// 1-D k-means weight-sharing compressor.
+class WeightSharer {
+ public:
+  /// `clusters` >= 2 centroids; `iterations` of Lloyd updates.
+  explicit WeightSharer(int clusters, int iterations = 12);
+
+  [[nodiscard]] int Clusters() const { return clusters_; }
+
+  /// Replace each weight with its centroid, in place. Zero weights keep a
+  /// dedicated zero centroid so sparsity is preserved.
+  void Apply(nn::Layer& layer) const;
+
+  /// Apply to every weighted layer.
+  void ApplyToNetwork(nn::Network& net) const;
+
+ private:
+  int clusters_;
+  int iterations_;
+};
+
+/// Memory footprint of a network's parameters under a storage scheme.
+struct MemoryReport {
+  double dense_fp32_bytes = 0.0;    // plain dense float storage
+  double sparse_csr_bytes = 0.0;    // CSR: 4B value + 4B index per nnz + rows
+  double quantized_bytes = 0.0;     // dense at `quant_bits` per weight
+  double shared_bytes = 0.0;        // index per weight + codebook
+  int quant_bits = 32;
+  int shared_clusters = 0;
+};
+
+/// Compute the footprint a network's weights would occupy under each
+/// storage scheme (`quant_bits` / `shared_clusters` parameterize the last
+/// two columns).
+MemoryReport AnalyzeMemory(const nn::Network& net, int quant_bits = 8,
+                           int shared_clusters = 16);
+
+}  // namespace ccperf::pruning

@@ -1,0 +1,29 @@
+#include "pruning/sparsity.h"
+
+namespace ccperf::pruning {
+
+double SparsityReport::OverallDensity() const {
+  if (total_parameters == 0) return 1.0;
+  return static_cast<double>(total_nonzero) /
+         static_cast<double>(total_parameters);
+}
+
+SparsityReport AnalyzeSparsity(const nn::Network& net) {
+  SparsityReport report;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    const nn::Layer& layer = net.LayerAt(i);
+    if (!layer.HasWeights()) continue;
+    LayerSparsity ls;
+    ls.name = layer.Name();
+    ls.parameters = layer.Weights().NumElements();
+    ls.density = layer.WeightDensity();
+    ls.nonzero = static_cast<std::int64_t>(
+        ls.density * static_cast<double>(ls.parameters) + 0.5);
+    report.total_parameters += ls.parameters;
+    report.total_nonzero += ls.nonzero;
+    report.layers.push_back(std::move(ls));
+  }
+  return report;
+}
+
+}  // namespace ccperf::pruning

@@ -1,0 +1,30 @@
+// Sparsity reporting for pruned networks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ccperf::pruning {
+
+/// Sparsity of a single weighted layer.
+struct LayerSparsity {
+  std::string name;
+  std::int64_t parameters = 0;  // weight elements
+  std::int64_t nonzero = 0;
+  double density = 1.0;
+};
+
+/// Per-layer and aggregate sparsity of a network's weighted layers.
+struct SparsityReport {
+  std::vector<LayerSparsity> layers;
+  std::int64_t total_parameters = 0;
+  std::int64_t total_nonzero = 0;
+
+  [[nodiscard]] double OverallDensity() const;
+};
+
+SparsityReport AnalyzeSparsity(const nn::Network& net);
+
+}  // namespace ccperf::pruning

@@ -1,0 +1,107 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/threading.h"
+
+namespace ccperf {
+
+namespace {
+// Row panels assigned per task; each C row stays resident in L1 while its
+// K-long accumulation streams over B. For very wide rows the j-range is
+// blocked so the C slice still fits L1.
+constexpr std::int64_t kBlockM = 16;
+constexpr std::int64_t kBlockN = 4096;
+
+void CheckGemmArgs(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::span<const float> a, std::span<const float> b,
+                   std::span<float> c) {
+  CCPERF_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM extent");
+  CCPERF_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "A size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "B size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "C size mismatch");
+}
+
+// Multiply rows [row_lo, row_hi) of A into C.
+void GemmRowPanel(std::int64_t row_lo, std::int64_t row_hi, std::int64_t n,
+                  std::int64_t k, const float* a, const float* b, float* c) {
+  for (std::int64_t i = row_lo; i < row_hi; ++i) {
+    float* crow = c + i * n;
+    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    const float* arow = a + i * k;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::int64_t j1 = std::min(n, j0 + kBlockN);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;  // free win on sparse-ish panels
+        const float* brow = b + kk * n;
+        for (std::int64_t j = j0; j < j1; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+}  // namespace
+
+void Gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          std::span<const float> a, std::span<const float> b,
+          std::span<float> c) {
+  CheckGemmArgs(m, n, k, a, b, c);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    return;
+  }
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  ParallelForChunks(
+      0, static_cast<std::size_t>(m),
+      [=](std::size_t lo, std::size_t hi) {
+        GemmRowPanel(static_cast<std::int64_t>(lo),
+                     static_cast<std::int64_t>(hi), n, k, ap, bp, cp);
+      },
+      static_cast<std::size_t>(kBlockM));
+}
+
+void NaiveGemm(std::int64_t m, std::int64_t n, std::int64_t k,
+               std::span<const float> a, std::span<const float> b,
+               std::span<float> c) {
+  CheckGemmArgs(m, n, k, a, b, c);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += a[static_cast<std::size_t>(i * k + kk)] *
+               b[static_cast<std::size_t>(kk * n + j)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+void Gemv(std::int64_t m, std::int64_t k, std::span<const float> a,
+          std::span<const float> x, std::span<float> y) {
+  CCPERF_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "A size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(x.size()) == k, "x size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(y.size()) == m, "y size mismatch");
+  const float* ap = a.data();
+  const float* xp = x.data();
+  float* yp = y.data();
+  ParallelForChunks(
+      0, static_cast<std::size_t>(m),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* row = ap + static_cast<std::int64_t>(i) * k;
+          float acc = 0.0f;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += row[kk] * xp[kk];
+          yp[i] = acc;
+        }
+      },
+      64);
+}
+
+}  // namespace ccperf

@@ -1,0 +1,27 @@
+// Dense matrix multiply kernels.
+//
+// Gemm computes C = A * B for row-major matrices, register-blocked and
+// parallelized over row panels via the global thread pool. NaiveGemm is the
+// O(MNK) triple loop used as the correctness oracle in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ccperf {
+
+/// C[M,N] = A[M,K] * B[K,N], row-major, C overwritten.
+void Gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          std::span<const float> a, std::span<const float> b,
+          std::span<float> c);
+
+/// Reference implementation (tests only; no blocking, no threading).
+void NaiveGemm(std::int64_t m, std::int64_t n, std::int64_t k,
+               std::span<const float> a, std::span<const float> b,
+               std::span<float> c);
+
+/// y[M] = A[M,K] * x[K] + y0 (y overwritten with A*x; add bias separately).
+void Gemv(std::int64_t m, std::int64_t k, std::span<const float> a,
+          std::span<const float> x, std::span<float> y);
+
+}  // namespace ccperf

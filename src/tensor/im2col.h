@@ -1,0 +1,45 @@
+// im2col: unfold convolution input patches into a matrix so convolution
+// becomes GEMM — the standard Caffe lowering this library mirrors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ccperf {
+
+/// Geometry of a 2-D convolution (single group).
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  [[nodiscard]] std::int64_t OutH() const {
+    return (in_h + 2 * pad - kernel_h) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t OutW() const {
+    return (in_w + 2 * pad - kernel_w) / stride + 1;
+  }
+  /// Rows of the unfolded matrix: C*Kh*Kw.
+  [[nodiscard]] std::int64_t PatchSize() const {
+    return in_channels * kernel_h * kernel_w;
+  }
+  /// Columns of the unfolded matrix: OutH*OutW.
+  [[nodiscard]] std::int64_t OutPixels() const { return OutH() * OutW(); }
+};
+
+/// Unfold one image (CHW, row-major) into columns[PatchSize, OutPixels].
+/// Out-of-bounds (padding) samples are written as 0.
+void Im2Col(const ConvGeometry& g, std::span<const float> image,
+            std::span<float> columns);
+
+/// Inverse scatter: fold columns[PatchSize, OutPixels] back into an image,
+/// *accumulating* overlapping contributions (the adjoint of Im2Col, used by
+/// convolution backward). `image` is overwritten.
+void Col2Im(const ConvGeometry& g, std::span<const float> columns,
+            std::span<float> image);
+
+}  // namespace ccperf

@@ -1,0 +1,99 @@
+#include "tensor/sparse.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/threading.h"
+
+namespace ccperf {
+
+CsrMatrix CsrMatrix::FromDense(std::int64_t rows, std::int64_t cols,
+                               std::span<const float> dense) {
+  CCPERF_CHECK(rows >= 0 && cols >= 0, "negative CSR extent");
+  CCPERF_CHECK(static_cast<std::int64_t>(dense.size()) == rows * cols,
+               "dense size mismatch");
+  CCPERF_CHECK(cols <= std::numeric_limits<std::int32_t>::max(),
+               "column count exceeds int32 index range");
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.resize(static_cast<std::size_t>(rows) + 1, 0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float v = dense[static_cast<std::size_t>(r * cols + c)];
+      if (v != 0.0f) {
+        m.col_idx_.push_back(static_cast<std::int32_t>(c));
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(m.values_.size());
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromTensor(const Tensor& t) {
+  CCPERF_CHECK(t.GetShape().Rank() == 2, "FromTensor requires rank-2, got ",
+               t.GetShape().ToString());
+  return FromDense(t.GetShape().Dim(0), t.GetShape().Dim(1), t.Data());
+}
+
+double CsrMatrix::Sparsity() const {
+  const std::int64_t total = rows_ * cols_;
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(Nnz()) / static_cast<double>(total);
+}
+
+std::vector<float> CsrMatrix::ToDense() const {
+  std::vector<float> dense(static_cast<std::size_t>(rows_ * cols_), 0.0f);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      dense[static_cast<std::size_t>(r * cols_ + col_idx_[static_cast<std::size_t>(p)])] =
+          values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return dense;
+}
+
+void CsrMatrix::MultiplyDense(std::span<const float> b, std::int64_t n,
+                              std::span<float> c) const {
+  CCPERF_CHECK(static_cast<std::int64_t>(b.size()) == cols_ * n,
+               "B size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == rows_ * n,
+               "C size mismatch");
+  const float* bp = b.data();
+  float* cp = c.data();
+  ParallelForChunks(
+      0, static_cast<std::size_t>(rows_),
+      [this, bp, cp, n](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float* crow = cp + static_cast<std::int64_t>(r) * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+          for (std::int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+            const float v = values_[static_cast<std::size_t>(p)];
+            const float* brow =
+                bp + static_cast<std::int64_t>(col_idx_[static_cast<std::size_t>(p)]) * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+          }
+        }
+      },
+      8);
+}
+
+void CsrMatrix::MultiplyVector(std::span<const float> x,
+                               std::span<float> y) const {
+  CCPERF_CHECK(static_cast<std::int64_t>(x.size()) == cols_, "x size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(y.size()) == rows_, "y size mismatch");
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    float acc = 0.0f;
+    for (std::int64_t p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      acc += values_[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+}  // namespace ccperf

@@ -1,0 +1,60 @@
+// Compressed sparse row (CSR) matrix and sparse-dense multiply.
+//
+// Pruned convolution/FC weights are stored as CSR so that inference cost
+// scales with the number of surviving parameters — the mechanism behind the
+// paper's time-vs-prune-ratio curves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ccperf {
+
+/// Row-major CSR matrix of float32 values.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from a dense row-major matrix, dropping exact zeros.
+  static CsrMatrix FromDense(std::int64_t rows, std::int64_t cols,
+                             std::span<const float> dense);
+
+  /// Build from a rank-2 tensor.
+  static CsrMatrix FromTensor(const Tensor& t);
+
+  [[nodiscard]] std::int64_t Rows() const { return rows_; }
+  [[nodiscard]] std::int64_t Cols() const { return cols_; }
+  [[nodiscard]] std::int64_t Nnz() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  /// Fraction of zero entries in [0, 1].
+  [[nodiscard]] double Sparsity() const;
+
+  /// Reconstruct the dense row-major matrix (tests / round-tripping).
+  [[nodiscard]] std::vector<float> ToDense() const;
+
+  /// C[rows, n] = this[rows, cols] * B[cols, n]; C overwritten.
+  /// Parallelized over row panels.
+  void MultiplyDense(std::span<const float> b, std::int64_t n,
+                     std::span<float> c) const;
+
+  /// y[rows] = this * x[cols].
+  void MultiplyVector(std::span<const float> x, std::span<float> y) const;
+
+  [[nodiscard]] std::span<const std::int64_t> RowPtr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const std::int32_t> ColIdx() const { return col_idx_; }
+  [[nodiscard]] std::span<const float> Values() const { return values_; }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;  // size rows_+1
+  std::vector<std::int32_t> col_idx_;  // size nnz
+  std::vector<float> values_;          // size nnz
+};
+
+}  // namespace ccperf

@@ -1,0 +1,40 @@
+// Per-layer backward passes — the gradient substrate behind SgdTrainer.
+//
+// The paper's CNNs were trained before being pruned; this module lets the
+// reproduction do the same on synthetic data, so accuracy is measured
+// against ground-truth labels rather than proxied by teacher agreement.
+//
+// Supported layers: convolution (incl. groups), fully-connected, ReLU,
+// max/avg pooling, LRN, dropout (identity at our inference semantics),
+// concat, and softmax — every layer kind in the library, each verified by
+// numerical gradient checking.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ccperf::train {
+
+/// Parameter gradients of one weighted layer (same shapes as the layer's
+/// weights/bias).
+struct LayerGrads {
+  Tensor weights;
+  Tensor bias;
+};
+
+/// Compute the gradient w.r.t. each input of `layer`, given the forward
+/// inputs/output and the gradient w.r.t. the output. For weighted layers,
+/// parameter gradients are *accumulated* into `grads` (must be pre-shaped);
+/// pass nullptr for weightless layers. Throws CheckError for unsupported
+/// layer kinds.
+std::vector<Tensor> BackwardLayer(const nn::Layer& layer,
+                                  const std::vector<const Tensor*>& inputs,
+                                  const Tensor& output,
+                                  const Tensor& grad_output,
+                                  LayerGrads* grads);
+
+/// True if SgdTrainer can differentiate through this layer.
+bool IsDifferentiable(const nn::Layer& layer);
+
+}  // namespace ccperf::train

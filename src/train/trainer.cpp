@@ -1,0 +1,211 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/activation_layers.h"
+
+namespace ccperf::train {
+
+SgdTrainer::SgdTrainer(nn::Network& net, TrainConfig config)
+    : net_(net), config_(config) {
+  CCPERF_CHECK(config_.learning_rate > 0.0f, "learning rate must be positive");
+  CCPERF_CHECK(config_.momentum >= 0.0f && config_.momentum < 1.0f,
+               "momentum must be in [0, 1)");
+  CCPERF_CHECK(net_.LayerCount() > 0, "empty network");
+  CCPERF_CHECK(net_.LayerAt(net_.LayerCount() - 1).Kind() ==
+                   nn::LayerKind::kSoftmax,
+               "trainer requires a softmax head, got ",
+               net_.LayerAt(net_.LayerCount() - 1).Name());
+  for (std::size_t i = 0; i < net_.LayerCount(); ++i) {
+    const nn::Layer& layer = net_.LayerAt(i);
+    CCPERF_CHECK(IsDifferentiable(layer), "layer '", layer.Name(),
+                 "' is not differentiable");
+    if (layer.HasWeights()) {
+      LayerGrads v;
+      v.weights = Tensor(layer.Weights().GetShape());
+      v.bias = Tensor(layer.Bias().GetShape());
+      velocity_[layer.Name()] = std::move(v);
+    }
+  }
+}
+
+double SgdTrainer::Step(const Tensor& images,
+                        std::span<const std::int64_t> labels, bool update) {
+  const std::int64_t batch = images.GetShape().Dim(0);
+  CCPERF_CHECK(static_cast<std::int64_t>(labels.size()) == batch,
+               "one label per image required");
+
+  // Forward, retaining every activation.
+  const std::size_t n = net_.LayerCount();
+  std::vector<Tensor> outputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<const Tensor*> ins;
+    for (auto idx : net_.NodeInputs(i)) {
+      ins.push_back(idx < 0 ? &images
+                            : &outputs[static_cast<std::size_t>(idx)]);
+    }
+    outputs[i] = net_.LayerAt(i).Forward(ins);
+  }
+
+  // Loss and fused softmax/cross-entropy gradient at the logits (the input
+  // of the final softmax layer).
+  const Tensor& probs = outputs[n - 1];
+  const std::int64_t classes = probs.GetShape().Dim(1);
+  double loss = 0.0;
+  Tensor grad_logits(probs.GetShape());
+  {
+    const auto p = probs.Data();
+    auto g = grad_logits.Data();
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const std::int64_t label = labels[static_cast<std::size_t>(b)];
+      CCPERF_CHECK(label >= 0 && label < classes, "label out of range");
+      const float* pb = p.data() + b * classes;
+      float* gb = g.data() + b * classes;
+      loss -= std::log(std::max(pb[label], 1e-12f));
+      for (std::int64_t c = 0; c < classes; ++c) {
+        gb[c] = (pb[c] - (c == label ? 1.0f : 0.0f)) * inv_batch;
+      }
+    }
+    loss /= static_cast<double>(batch);
+  }
+  if (!update) return loss;
+
+  // Backward in reverse topological order; gradients of shared activations
+  // accumulate. The final softmax is skipped: grad_logits already applies.
+  std::vector<Tensor> grad_of(n);
+  std::vector<bool> has_grad(n, false);
+  const auto& softmax_inputs = net_.NodeInputs(n - 1);
+  CCPERF_CHECK(softmax_inputs.size() == 1 && softmax_inputs[0] >= 0,
+               "softmax head must be fed by a layer");
+  grad_of[static_cast<std::size_t>(softmax_inputs[0])] =
+      std::move(grad_logits);
+  has_grad[static_cast<std::size_t>(softmax_inputs[0])] = true;
+
+  std::map<std::string, LayerGrads> grads;
+  for (auto& [name, v] : velocity_) {
+    LayerGrads zero;
+    zero.weights = Tensor(v.weights.GetShape());
+    zero.bias = Tensor(v.bias.GetShape());
+    grads[name] = std::move(zero);
+  }
+
+  for (std::size_t i = n - 1; i-- > 0;) {
+    if (!has_grad[i]) continue;  // not on a path to the loss
+    const nn::Layer& layer = net_.LayerAt(i);
+    std::vector<const Tensor*> ins;
+    for (auto idx : net_.NodeInputs(i)) {
+      ins.push_back(idx < 0 ? &images
+                            : &outputs[static_cast<std::size_t>(idx)]);
+    }
+    LayerGrads* layer_grads =
+        layer.HasWeights() ? &grads.at(layer.Name()) : nullptr;
+    std::vector<Tensor> grad_inputs =
+        BackwardLayer(layer, ins, outputs[i], grad_of[i], layer_grads);
+    const auto& input_ids = net_.NodeInputs(i);
+    CCPERF_CHECK(grad_inputs.size() == input_ids.size(),
+                 "backward arity mismatch for ", layer.Name());
+    for (std::size_t k = 0; k < input_ids.size(); ++k) {
+      const auto idx = input_ids[k];
+      if (idx < 0) continue;  // gradient w.r.t. the images is discarded
+      auto& slot = grad_of[static_cast<std::size_t>(idx)];
+      if (!has_grad[static_cast<std::size_t>(idx)]) {
+        slot = std::move(grad_inputs[k]);
+        has_grad[static_cast<std::size_t>(idx)] = true;
+      } else {
+        auto dst = slot.Data();
+        const auto src = grad_inputs[k].Data();
+        for (std::size_t e = 0; e < dst.size(); ++e) dst[e] += src[e];
+      }
+    }
+    // This node's gradient is no longer needed.
+    grad_of[i] = Tensor();
+  }
+
+  // Momentum SGD update. With preserve_sparsity, a weight that is exactly
+  // zero is treated as pruned: it receives no update and no momentum.
+  for (std::size_t i = 0; i < n; ++i) {
+    nn::Layer& layer = net_.LayerAt(i);
+    if (!layer.HasWeights()) continue;
+    LayerGrads& g = grads.at(layer.Name());
+    LayerGrads& v = velocity_.at(layer.Name());
+    auto apply = [&](Tensor& param, Tensor& grad, Tensor& vel, bool masked) {
+      auto pd = param.Data();
+      auto gd = grad.Data();
+      auto vd = vel.Data();
+      for (std::size_t e = 0; e < pd.size(); ++e) {
+        if (masked && config_.preserve_sparsity && pd[e] == 0.0f) {
+          vd[e] = 0.0f;
+          continue;
+        }
+        const float reg = config_.weight_decay * pd[e];
+        vd[e] = config_.momentum * vd[e] -
+                config_.learning_rate * (gd[e] + reg);
+        pd[e] += vd[e];
+      }
+    };
+    apply(layer.MutableWeights(), g.weights, v.weights, /*masked=*/true);
+    apply(layer.MutableBias(), g.bias, v.bias, /*masked=*/false);
+    layer.NotifyWeightsChanged();
+  }
+  return loss;
+}
+
+double SgdTrainer::TrainBatch(const Tensor& images,
+                              std::span<const std::int64_t> labels) {
+  return Step(images, labels, /*update=*/true);
+}
+
+double SgdTrainer::EvalLoss(const Tensor& images,
+                            std::span<const std::int64_t> labels) const {
+  // Step(update=false) does not mutate anything; const_cast keeps the
+  // public API honest without duplicating the forward code.
+  return const_cast<SgdTrainer*>(this)->Step(images, labels, false);
+}
+
+double SgdTrainer::Fit(const data::SyntheticImageDataset& dataset,
+                       std::int64_t train_size, std::int64_t batch,
+                       int epochs) {
+  CCPERF_CHECK(train_size >= batch && batch >= 1 && epochs >= 1,
+               "invalid training schedule");
+  double epoch_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t start = 0; start + batch <= train_size;
+         start += batch) {
+      const Tensor images = dataset.Batch(start, batch);
+      const auto labels = dataset.BatchLabels(start, batch);
+      epoch_loss += TrainBatch(images, labels);
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+  }
+  return epoch_loss;
+}
+
+double TopKAccuracy(const nn::Network& net,
+                    const data::SyntheticImageDataset& dataset,
+                    std::int64_t start, std::int64_t count, std::size_t k,
+                    std::int64_t batch) {
+  CCPERF_CHECK(count >= 1, "need at least one image");
+  std::int64_t hits = 0;
+  for (std::int64_t offset = 0; offset < count; offset += batch) {
+    const std::int64_t n = std::min(batch, count - offset);
+    const Tensor logits = net.Forward(dataset.Batch(start + offset, n));
+    const auto topk = nn::TopK(logits, k);
+    const auto labels = dataset.BatchLabels(start + offset, n);
+    for (std::int64_t b = 0; b < n; ++b) {
+      const auto& ranked = topk[static_cast<std::size_t>(b)];
+      if (std::find(ranked.begin(), ranked.end(),
+                    labels[static_cast<std::size_t>(b)]) != ranked.end()) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(count);
+}
+
+}  // namespace ccperf::train

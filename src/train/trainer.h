@@ -1,0 +1,69 @@
+// Mini-batch SGD training of a Network against cross-entropy loss.
+//
+// The network must end in a softmax head; the trainer fuses softmax with
+// cross-entropy for numerical stability (gradient at the logits is simply
+// p - onehot). Supports any DAG of differentiable layers (see backward.h);
+// multiple consumers of an activation have their gradients summed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "data/synthetic_dataset.h"
+#include "nn/network.h"
+#include "train/backward.h"
+
+namespace ccperf::train {
+
+/// SGD hyper-parameters.
+struct TrainConfig {
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Keep exactly-zero weights at zero across updates — the Li et al.
+  /// prune-then-retrain protocol: fine-tune the surviving weights to
+  /// recover accuracy without losing sparsity (and its speedup).
+  bool preserve_sparsity = false;
+};
+
+/// Momentum SGD over a network's weighted layers.
+class SgdTrainer {
+ public:
+  /// `net` must outlive the trainer, end in softmax, and contain only
+  /// differentiable layers. Throws otherwise.
+  SgdTrainer(nn::Network& net, TrainConfig config = {});
+
+  /// One forward/backward/update step on a labeled batch; returns the mean
+  /// cross-entropy loss of the batch (before the update).
+  double TrainBatch(const Tensor& images, std::span<const std::int64_t> labels);
+
+  /// Mean cross-entropy without updating weights.
+  [[nodiscard]] double EvalLoss(const Tensor& images,
+                                std::span<const std::int64_t> labels) const;
+
+  /// Run `epochs` passes over [0, train_size) of `dataset` in batches;
+  /// returns the final epoch's mean loss.
+  double Fit(const data::SyntheticImageDataset& dataset,
+             std::int64_t train_size, std::int64_t batch, int epochs);
+
+  [[nodiscard]] const TrainConfig& Config() const { return config_; }
+
+ private:
+  double Step(const Tensor& images, std::span<const std::int64_t> labels,
+              bool update);
+
+  nn::Network& net_;
+  TrainConfig config_;
+  std::map<std::string, LayerGrads> velocity_;  // momentum buffers
+};
+
+/// Top-k accuracy of `net` against ground-truth labels of dataset images
+/// [start, start+count).
+double TopKAccuracy(const nn::Network& net,
+                    const data::SyntheticImageDataset& dataset,
+                    std::int64_t start, std::int64_t count, std::size_t k,
+                    std::int64_t batch = 32);
+
+}  // namespace ccperf::train

@@ -1,0 +1,147 @@
+#include "cloud/density.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/variant_perf.h"
+#include "common/check.h"
+#include "nn/model_zoo.h"
+
+namespace ccperf::cloud {
+namespace {
+
+TEST(DensityFromPlan, NoopPlanIsFullyDense) {
+  const ModelProfile profile = CaffeNetProfile();
+  const DensityMap map = DensityFromPlan(profile, {});
+  for (const auto& [name, d] : map) {
+    EXPECT_DOUBLE_EQ(d.element, 1.0) << name;
+    EXPECT_DOUBLE_EQ(d.out_filter, 1.0) << name;
+    EXPECT_DOUBLE_EQ(d.in_channel, 1.0) << name;
+  }
+  EXPECT_EQ(map.size(), profile.layer_order.size());
+}
+
+TEST(DensityFromPlan, FilterPruningPropagatesChannels) {
+  const ModelProfile profile = CaffeNetProfile();
+  pruning::PrunePlan plan;
+  plan.family = pruning::PrunerFamily::kL1Filter;
+  plan.layer_ratios["conv1"] = 0.4;
+  const DensityMap map = DensityFromPlan(profile, plan);
+  EXPECT_DOUBLE_EQ(map.at("conv1").element, 0.6);
+  EXPECT_DOUBLE_EQ(map.at("conv1").out_filter, 0.6);
+  EXPECT_DOUBLE_EQ(map.at("conv2").in_channel, 0.6);
+  EXPECT_DOUBLE_EQ(map.at("conv3").in_channel, 1.0);  // conv2 unpruned
+}
+
+TEST(DensityFromPlan, MagnitudePruningDoesNotPropagate) {
+  const ModelProfile profile = CaffeNetProfile();
+  pruning::PrunePlan plan;
+  plan.family = pruning::PrunerFamily::kMagnitude;
+  plan.layer_ratios["conv1"] = 0.4;
+  const DensityMap map = DensityFromPlan(profile, plan);
+  EXPECT_DOUBLE_EQ(map.at("conv1").element, 0.6);
+  EXPECT_DOUBLE_EQ(map.at("conv1").out_filter, 1.0);
+  EXPECT_DOUBLE_EQ(map.at("conv2").in_channel, 1.0);
+}
+
+TEST(DensityFromPlan, UnknownPrunedLayerThrows) {
+  const ModelProfile profile = CaffeNetProfile();
+  pruning::PrunePlan plan;
+  plan.layer_ratios["ghost"] = 0.5;
+  EXPECT_THROW(DensityFromPlan(profile, plan), CheckError);
+}
+
+TEST(DensityFromNetwork, ReflectsActualPruning) {
+  nn::ModelConfig config;
+  config.weight_seed = 3;
+  nn::Network net = nn::BuildTinyCnn(config);
+  pruning::PrunePlan plan;
+  plan.family = pruning::PrunerFamily::kL1Filter;
+  plan.layer_ratios["conv1"] = 0.5;
+  pruning::ApplyPlanInPlace(net, plan);
+
+  const DensityMap map = DensityFromNetwork(net);
+  EXPECT_NEAR(map.at("conv1").element, 0.5, 1e-9);
+  EXPECT_NEAR(map.at("conv1").out_filter, 0.5, 1e-9);
+  // conv2 is fed through relu/pool from conv1: half its input channels die.
+  EXPECT_NEAR(map.at("conv2").in_channel, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(map.at("conv2").element, 1.0);
+}
+
+TEST(DensityFromNetwork, AgreesWithAnalyticPlanDensities) {
+  nn::ModelConfig config;
+  config.weight_seed = 4;
+  const nn::Network base = nn::BuildTinyCnn(config);
+  const ModelProfile profile = GenericProfile(base, 0.001);
+
+  pruning::PrunePlan plan;
+  plan.family = pruning::PrunerFamily::kL1Filter;
+  plan.layer_ratios["conv1"] = 0.25;
+  plan.layer_ratios["conv2"] = 0.5;
+
+  const DensityMap analytic = DensityFromPlan(profile, plan);
+  const DensityMap measured =
+      DensityFromNetwork(pruning::ApplyPlan(base, plan));
+  for (const auto& [name, a] : analytic) {
+    const LayerDensity& m = measured.at(name);
+    EXPECT_NEAR(a.element, m.element, 0.02) << name;
+    EXPECT_NEAR(a.out_filter, m.out_filter, 0.02) << name;
+    EXPECT_NEAR(a.in_channel, m.in_channel, 0.02) << name;
+  }
+}
+
+TEST(VariantPerf, UnprunedEqualsReference) {
+  const ModelProfile profile = CaffeNetProfile();
+  const VariantPerf perf =
+      ComputeVariantPerf(profile, DensityFromPlan(profile, {}), "np");
+  EXPECT_NEAR(perf.ref_seconds_per_image, profile.ref_seconds_per_image,
+              1e-12);
+  EXPECT_EQ(perf.kernel_count, profile.kernel_count);
+}
+
+TEST(VariantPerf, MorePruningNeverSlower) {
+  const ModelProfile profile = CaffeNetProfile();
+  double prev = profile.ref_seconds_per_image + 1.0;
+  for (double r : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const auto plan =
+        pruning::UniformPlan({"conv1", "conv2", "conv3", "conv4", "conv5"}, r);
+    const VariantPerf perf = ComputeVariantPerf(
+        profile, DensityFromPlan(profile, plan), plan.Label());
+    EXPECT_LT(perf.ref_seconds_per_image, prev) << "ratio " << r;
+    prev = perf.ref_seconds_per_image;
+  }
+}
+
+TEST(VariantPerf, UnprunableResidueBoundsSpeedup) {
+  // Even pruning everything to 90 % cannot remove the non-prunable time.
+  const ModelProfile profile = CaffeNetProfile();
+  const auto plan = pruning::UniformPlan(profile.layer_order, 0.9);
+  const VariantPerf perf =
+      ComputeVariantPerf(profile, DensityFromPlan(profile, plan), "p90");
+  double floor_share = profile.residual_share;
+  for (const auto& [_, lp] : profile.layers) {
+    floor_share += lp.time_share * (1.0 - lp.prunable_fraction);
+  }
+  EXPECT_GT(perf.ref_seconds_per_image,
+            profile.ref_seconds_per_image * floor_share * 0.999);
+}
+
+TEST(VariantPerf, ChannelCouplingOnlyAffectsPrunedLayers) {
+  const ModelProfile profile = CaffeNetProfile();
+  // conv1 filter-pruned; conv2 untouched -> conv2 keeps its dense time.
+  pruning::PrunePlan only_conv1;
+  only_conv1.family = pruning::PrunerFamily::kL1Filter;
+  only_conv1.layer_ratios["conv1"] = 0.9;
+  const VariantPerf perf1 = ComputeVariantPerf(
+      profile, DensityFromPlan(profile, only_conv1), "c1");
+
+  // Upper bound: conv1's own prunable time fully removed, nothing else.
+  const LayerProfile& c1 = profile.layers.at("conv1");
+  const double expected_share =
+      1.0 - c1.time_share * c1.prunable_fraction * 0.9;
+  EXPECT_NEAR(perf1.ref_seconds_per_image,
+              profile.ref_seconds_per_image * expected_share,
+              profile.ref_seconds_per_image * 0.001);
+}
+
+}  // namespace
+}  // namespace ccperf::cloud

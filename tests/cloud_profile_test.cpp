@@ -1,0 +1,122 @@
+#include "cloud/model_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/model_zoo.h"
+
+namespace ccperf::cloud {
+namespace {
+
+TEST(CaffeNetProfile, SharesSumToOne) {
+  const ModelProfile p = CaffeNetProfile();
+  EXPECT_NEAR(p.TotalShare(), 1.0, 1e-6);
+}
+
+TEST(CaffeNetProfile, ReferenceTimeMatchesPaper) {
+  // 19 minutes for 50,000 images (Fig. 6).
+  const ModelProfile p = CaffeNetProfile();
+  EXPECT_NEAR(p.ref_seconds_per_image * 50000.0, 19.0 * 60.0, 1.0);
+}
+
+TEST(CaffeNetProfile, ConvLayersDominate) {
+  // Fig. 3: convolution layers account for > 90 % of inference time.
+  const ModelProfile p = CaffeNetProfile();
+  double conv_share = 0.0;
+  for (const auto& name : {"conv1", "conv2", "conv3", "conv4", "conv5"}) {
+    conv_share += p.layers.at(name).time_share;
+  }
+  EXPECT_GT(conv_share, 0.90);
+}
+
+TEST(CaffeNetProfile, Conv1LargestConv2Second) {
+  const ModelProfile p = CaffeNetProfile();
+  const double c1 = p.layers.at("conv1").time_share;
+  const double c2 = p.layers.at("conv2").time_share;
+  for (const auto& [name, lp] : p.layers) {
+    if (name != "conv1") EXPECT_GT(c1, lp.time_share) << name;
+    if (name != "conv1" && name != "conv2") {
+      EXPECT_GT(c2, lp.time_share) << name;
+    }
+  }
+}
+
+TEST(CaffeNetProfile, Conv1LeastPrunable) {
+  // Stride-4 conv1 is im2col-bound: the smallest prunable fraction.
+  const ModelProfile p = CaffeNetProfile();
+  const double c1 = p.layers.at("conv1").prunable_fraction;
+  for (const auto& [name, lp] : p.layers) {
+    if (name != "conv1") EXPECT_LT(c1, lp.prunable_fraction) << name;
+  }
+}
+
+TEST(CaffeNetProfile, UpstreamChainIsTopological) {
+  const ModelProfile p = CaffeNetProfile();
+  EXPECT_EQ(p.layers.at("conv1").upstream, "");
+  EXPECT_EQ(p.layers.at("conv2").upstream, "conv1");
+  EXPECT_EQ(p.layers.at("fc1").upstream, "conv5");
+  // Every upstream appears earlier in layer_order.
+  for (std::size_t i = 0; i < p.layer_order.size(); ++i) {
+    const std::string& up = p.layers.at(p.layer_order[i]).upstream;
+    if (up.empty()) continue;
+    bool found_before = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (p.layer_order[j] == up) found_before = true;
+    }
+    EXPECT_TRUE(found_before) << p.layer_order[i] << " <- " << up;
+  }
+}
+
+TEST(GoogLeNetProfile, SharesSumToOne) {
+  const ModelProfile p = GoogLeNetProfile();
+  EXPECT_NEAR(p.TotalShare(), 1.0, 1e-6);
+}
+
+TEST(GoogLeNetProfile, ReferenceTimeMatchesPaper) {
+  const ModelProfile p = GoogLeNetProfile();
+  EXPECT_NEAR(p.ref_seconds_per_image * 50000.0, 13.0 * 60.0, 1.0);
+}
+
+TEST(GoogLeNetProfile, CoversAllWeightedLayers) {
+  const ModelProfile p = GoogLeNetProfile();
+  EXPECT_EQ(p.layer_order.size(), 58u);  // 57 convs + classifier fc
+  EXPECT_TRUE(p.layers.contains("inception-4d-5x5"));
+  EXPECT_TRUE(p.layers.contains("loss3-classifier"));
+}
+
+TEST(GoogLeNetProfile, StemSharesAnchoredToFig7) {
+  const ModelProfile p = GoogLeNetProfile();
+  EXPECT_NEAR(p.layers.at("conv1-7x7-s2").time_share, 0.10, 1e-9);
+  EXPECT_NEAR(p.layers.at("conv2-3x3").time_share, 0.33, 1e-9);
+}
+
+TEST(GoogLeNetProfile, InceptionBranchUpstreams) {
+  const ModelProfile p = GoogLeNetProfile();
+  // The 3x3 conv is fed by its reduce layer within the same module.
+  EXPECT_EQ(p.layers.at("inception-3a-3x3").upstream,
+            "inception-3a-3x3-reduce");
+  // Branch heads behind the concat have no single upstream.
+  EXPECT_EQ(p.layers.at("inception-3b-1x1").upstream, "");
+}
+
+TEST(GenericProfile, TinyCnnInvariants) {
+  nn::ModelConfig config;
+  config.weight_seed = 5;
+  const nn::Network net = nn::BuildTinyCnn(config);
+  const ModelProfile p = GenericProfile(net, 0.001);
+  EXPECT_NEAR(p.TotalShare(), 1.0, 1e-6);
+  EXPECT_EQ(p.layer_order.size(), 4u);  // conv1, conv2, fc1, fc2
+  EXPECT_EQ(p.layers.at("conv2").upstream, "conv1");
+  EXPECT_EQ(p.layers.at("fc1").upstream, "conv2");
+  EXPECT_GT(p.kernel_count, 0);
+}
+
+TEST(GenericProfile, RejectsNonPositiveReference) {
+  nn::ModelConfig config;
+  config.weight_seed = 5;
+  const nn::Network net = nn::BuildTinyCnn(config);
+  EXPECT_THROW(GenericProfile(net, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::cloud

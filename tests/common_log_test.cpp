@@ -1,0 +1,70 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace ccperf {
+namespace {
+
+/// Capture std::cerr for the duration of a test scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string Text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, InfoEmittedAtDefaultLevel) {
+  CerrCapture capture;
+  LogInfo("hello ", 42);
+  EXPECT_NE(capture.Text().find("[INFO ] hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, DebugSuppressedAtDefaultLevel) {
+  CerrCapture capture;
+  LogDebug("secret");
+  EXPECT_EQ(capture.Text(), "");
+}
+
+TEST_F(LogTest, DebugEmittedWhenEnabled) {
+  SetLogLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  LogDebug("visible now");
+  EXPECT_NE(capture.Text().find("DEBUG"), std::string::npos);
+}
+
+TEST_F(LogTest, WarnCarriesPrefix) {
+  CerrCapture capture;
+  LogWarn("careful: ", 3.5);
+  EXPECT_NE(capture.Text().find("[WARN ] careful: 3.5"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorLevelSuppressesWarn) {
+  SetLogLevel(LogLevel::kError);
+  CerrCapture capture;
+  LogWarn("quiet");
+  LogInfo("quiet too");
+  EXPECT_EQ(capture.Text(), "");
+}
+
+TEST_F(LogTest, MessagesEndWithNewline) {
+  CerrCapture capture;
+  LogInfo("line");
+  const std::string text = capture.Text();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace
+}  // namespace ccperf

@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ccperf {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextFloatRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.NextFloat(-2.5f, 3.5f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 3.5f);
+  }
+}
+
+TEST(Rng, NextIndexCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.NextIndex(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, NextIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.NextIndex(0), CheckError);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  constexpr int kN = 100000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    ss += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(ss / kN, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithParams) {
+  Rng rng(17);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // Child must differ from a fresh copy of the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(31);
+  const auto p = rng.Permutation(100);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationZeroEmpty) {
+  Rng rng(1);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+}
+
+TEST(SplitMix, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = SplitMix64(s);
+  const auto b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ccperf

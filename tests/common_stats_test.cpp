@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  const SampleStats s = Summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, 0.81649658, 1e-6);
+}
+
+TEST(Stats, SummarizeSingleValue) {
+  const std::vector<double> v{5.0};
+  const SampleStats s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummarizeEmptyThrows) {
+  EXPECT_THROW(Summarize({}), CheckError);
+}
+
+TEST(Stats, MinOf) {
+  const std::vector<double> v{4.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(MinOf(v), -1.0);
+  EXPECT_THROW(MinOf({}), CheckError);
+}
+
+TEST(Stats, MeanOf) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(MeanOf(v), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileMedianOddCount) {
+  std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileRejectsBadArgs) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(Quantile(v, -0.1), CheckError);
+  EXPECT_THROW(Quantile(v, 1.1), CheckError);
+  EXPECT_THROW(Quantile({}, 0.5), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf

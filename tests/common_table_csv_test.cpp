@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ccperf {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"layer", "share"});
+  t.AddRow({"conv1", "0.35"});
+  t.AddRow({"conv2", "0.30"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("layer"), std::string::npos);
+  EXPECT_NE(out.find("conv1"), std::string::npos);
+  EXPECT_NE(out.find("0.30"), std::string::npos);
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a"});
+  t.AddRow({"longer-cell"});
+  const std::string out = t.Render();
+  // Every line has the same width.
+  std::istringstream iss(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), CheckError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(Table, NumFormatsFixed) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(AsciiChart, RendersSeries) {
+  AsciiChart chart(40, 10);
+  chart.AddSeries("t", '*', {{0.0, 1.0}, {1.0, 2.0}, {2.0, 1.5}});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("t"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChart) {
+  AsciiChart chart(40, 10);
+  EXPECT_EQ(chart.Render(), "(empty chart)\n");
+}
+
+TEST(AsciiChart, RejectsTinyCanvas) {
+  EXPECT_THROW(AsciiChart(2, 2), CheckError);
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string ReadAll() {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  std::string path_ = ::testing::TempDir() + "/ccperf_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"x", "y"});
+    csv.AddRow({"1", "2"});
+    csv.AddRow({"3", "4"});
+  }
+  EXPECT_EQ(ReadAll(), "x,y\n1,2\n3,4\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"v"});
+    csv.AddRow({"a,b"});
+    csv.AddRow({"q\"q"});
+  }
+  EXPECT_EQ(ReadAll(), "v\n\"a,b\"\n\"q\"\"q\"\n");
+}
+
+TEST_F(CsvTest, RejectsWrongWidth) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.AddRow({"1"}), CheckError);
+}
+
+TEST(Csv, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf

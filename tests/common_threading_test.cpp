@@ -1,0 +1,103 @@
+#include "common/threading.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf {
+namespace {
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturns) {
+  ThreadPool pool(1);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.ThreadCount(), 1u);
+}
+
+TEST(ThreadPool, SequentialBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, hits.size(),
+              [&hits](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SubRange) {
+  std::atomic<long> sum{0};
+  ParallelFor(10, 20, [&sum](std::size_t i) { sum.fetch_add(static_cast<long>(i)); }, 1);
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelForChunks, ChunksCoverRangeWithoutOverlap) {
+  std::vector<std::atomic<int>> hits(5000);
+  ParallelForChunks(
+      0, hits.size(),
+      [&hits](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunks, SmallRangeRunsSerially) {
+  int calls = 0;
+  ParallelForChunks(
+      0, 10,
+      [&calls](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 10u);
+      },
+      256);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, TaskExceptionSurfacesAsCheckError) {
+  // Exceptions inside tasks must not crash the pool; they surface as a
+  // CheckError after the barrier (only when the range actually splits).
+  if (GlobalPool().ThreadCount() <= 1) {
+    GTEST_SKIP() << "single-threaded pool runs serially";
+  }
+  EXPECT_THROW(
+      ParallelFor(
+          0, 10000, [](std::size_t i) { CCPERF_CHECK(i != 5000, "boom"); }, 1),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf

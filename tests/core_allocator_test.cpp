@@ -1,0 +1,181 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "pruning/variant_generator.h"
+
+namespace ccperf::core {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest()
+      : catalog_(cloud::InstanceCatalog::AwsEc2()),
+        sim_(catalog_),
+        profile_(cloud::CaffeNetProfile()),
+        accuracy_(CalibratedAccuracyModel::CaffeNet()),
+        allocator_(sim_) {}
+
+  std::vector<CandidateVariant> Candidates() {
+    std::vector<pruning::PrunePlan> plans;
+    plans.push_back({});  // nonpruned
+    plans.push_back(pruning::UniformPlan({"conv1"}, 0.3));
+    plans.push_back(pruning::UniformPlan({"conv2"}, 0.5));
+    plans.push_back(
+        pruning::UniformPlan({"conv1", "conv2", "conv3", "conv4", "conv5"},
+                             0.5));
+    plans.push_back(
+        pruning::UniformPlan({"conv1", "conv2", "conv3", "conv4", "conv5"},
+                             0.8));
+    return MakeCandidates(profile_, accuracy_, plans);
+  }
+
+  cloud::InstanceCatalog catalog_;
+  cloud::CloudSimulator sim_;
+  cloud::ModelProfile profile_;
+  CalibratedAccuracyModel accuracy_;
+  ResourceAllocator allocator_;
+};
+
+TEST_F(AllocatorTest, MakeCandidatesComputesAccuracyAndPerf) {
+  const auto candidates = Candidates();
+  ASSERT_EQ(candidates.size(), 5u);
+  EXPECT_EQ(candidates[0].label, "nonpruned");
+  EXPECT_NEAR(candidates[0].accuracy, 0.80, 1e-9);
+  EXPECT_GT(candidates[0].perf.ref_seconds_per_image,
+            candidates[3].perf.ref_seconds_per_image);
+}
+
+TEST_F(AllocatorTest, GreedyMeetsConstraints) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge", "p2.xlarge", "g3.4xlarge"};
+  const AllocationResult result = allocator_.AllocateGreedy(
+      candidates, pool, 100000, /*deadline_s=*/3600.0, /*budget_usd=*/5.0);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.seconds, 3600.0);
+  EXPECT_LE(result.cost_usd, 5.0);
+  EXPECT_FALSE(result.config.Empty());
+}
+
+TEST_F(AllocatorTest, GreedyPrefersHighestFeasibleAccuracy) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge", "g3.4xlarge"};
+  // Loose constraints: the unpruned (highest-accuracy) variant must win.
+  const AllocationResult result = allocator_.AllocateGreedy(
+      candidates, pool, 50000, 36000.0, 100.0);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.variant_label, "nonpruned");
+}
+
+TEST_F(AllocatorTest, GreedyDegradesAccuracyUnderTightDeadline) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge"};
+  // Unpruned takes ~1140 s for 50k on p2.xlarge; demand 700 s.
+  const AllocationResult result =
+      allocator_.AllocateGreedy(candidates, pool, 50000, 700.0, 100.0);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NE(result.variant_label, "nonpruned");
+  EXPECT_LE(result.seconds, 700.0);
+}
+
+TEST_F(AllocatorTest, InfeasibleWhenConstraintsImpossible) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge"};
+  const AllocationResult result =
+      allocator_.AllocateGreedy(candidates, pool, 1000000, 10.0, 0.01);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST_F(AllocatorTest, GreedyMatchesExhaustiveAccuracy) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge", "p2.xlarge", "g3.4xlarge",
+                                      "g3.8xlarge"};
+  for (const auto& [deadline, budget] :
+       std::vector<std::pair<double, double>>{
+           {3600.0, 10.0}, {900.0, 10.0}, {600.0, 2.0}, {120.0, 1.0}}) {
+    const AllocationResult greedy = allocator_.AllocateGreedy(
+        candidates, pool, 100000, deadline, budget);
+    const AllocationResult exhaustive = allocator_.AllocateExhaustive(
+        candidates, pool, 100000, deadline, budget);
+    EXPECT_EQ(greedy.feasible, exhaustive.feasible)
+        << "T'=" << deadline << " C'=" << budget;
+    if (greedy.feasible) {
+      // Algorithm 1 is a heuristic but must find the same best accuracy on
+      // these small pools (it scans variants in accuracy order).
+      EXPECT_DOUBLE_EQ(greedy.accuracy, exhaustive.accuracy)
+          << "T'=" << deadline << " C'=" << budget;
+    }
+  }
+}
+
+TEST_F(AllocatorTest, GreedyEvaluationsPolynomialExhaustiveExponential) {
+  const auto candidates = Candidates();
+  std::vector<std::string> pool;
+  for (int i = 0; i < 10; ++i) pool.push_back("p2.xlarge");
+  const AllocationResult greedy =
+      allocator_.AllocateGreedy(candidates, pool, 1000000, 1e-9, 1e-9);
+  const AllocationResult exhaustive =
+      allocator_.AllocateExhaustive(candidates, pool, 1000000, 1e-9, 1e-9);
+  // Worst case (infeasible): greedy examines |P| * |G| configs, exhaustive
+  // |P| * (2^|G| - 1).
+  EXPECT_EQ(greedy.evaluations, candidates.size() * pool.size());
+  EXPECT_EQ(exhaustive.evaluations, candidates.size() * 1023);
+}
+
+TEST_F(AllocatorTest, ExhaustiveCapsPoolSize) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool(21, "p2.xlarge");
+  EXPECT_THROW(
+      allocator_.AllocateExhaustive(candidates, pool, 1000, 1.0, 1.0),
+      CheckError);
+}
+
+TEST_F(AllocatorTest, InstanceCarOrdersByCostEfficiency) {
+  const auto candidates = Candidates();
+  // g3 has lower CAR than p2 for the same variant (paper Fig. 12).
+  const double car_p2 =
+      allocator_.InstanceCar("p2.xlarge", candidates[0], 50000);
+  const double car_g3 =
+      allocator_.InstanceCar("g3.4xlarge", candidates[0], 50000);
+  EXPECT_LT(car_g3, car_p2);
+  EXPECT_NEAR(car_g3 / car_p2, 0.61, 0.08);
+}
+
+TEST_F(AllocatorTest, EmptyInputsRejected) {
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge"};
+  EXPECT_THROW(allocator_.AllocateGreedy({}, pool, 100, 1.0, 1.0),
+               CheckError);
+  EXPECT_THROW(allocator_.AllocateGreedy(candidates, {}, 100, 1.0, 1.0),
+               CheckError);
+}
+
+TEST_F(AllocatorTest, ProportionalSplitUnlocksHeterogeneousConfigs) {
+  // Under Eq. 4's equal split a mixed pool may be infeasible for a tight
+  // deadline (the 1-GPU instance drags the config); the proportional split
+  // makes the same pool feasible.
+  const auto candidates = Candidates();
+  const std::vector<std::string> pool{"p2.xlarge", "p2.16xlarge"};
+  const std::int64_t images = 600000;
+  // Unpruned on p2.16xlarge alone: ~856 s. Equal split forces the
+  // p2.xlarge to take half: ~6840 s. Pick a deadline between them.
+  const double deadline = 1500.0;
+  const core::AllocationResult equal = allocator_.AllocateGreedy(
+      candidates, pool, images, deadline, 100.0,
+      cloud::WorkloadSplit::kEqual);
+  const core::AllocationResult prop = allocator_.AllocateGreedy(
+      candidates, pool, images, deadline, 100.0,
+      cloud::WorkloadSplit::kProportional);
+  ASSERT_TRUE(prop.feasible);
+  if (equal.feasible) {
+    // Equal split can only be feasible via a single-instance config.
+    EXPECT_EQ(equal.config.TotalInstances(), 1);
+  }
+  EXPECT_LE(prop.seconds, deadline);
+}
+
+}  // namespace
+}  // namespace ccperf::core

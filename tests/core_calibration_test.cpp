@@ -1,0 +1,154 @@
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ccperf::core {
+namespace {
+
+/// Generate a synthetic single-layer sweep from known damage parameters.
+std::vector<CurvePoint> SyntheticSweep(double sensitivity, double exponent,
+                                       double base_top5 = 0.8,
+                                       double knee = 2.0) {
+  std::vector<CurvePoint> curve;
+  for (double r = 0.0; r < 0.95; r += 0.1) {
+    const double damage = sensitivity * std::pow(r, exponent);
+    const double m = 1.0 / (1.0 + std::pow(damage, knee));
+    CurvePoint p;
+    p.ratio = r;
+    p.seconds = 100.0 * (1.0 - 0.25 * r);  // share*pf = 0.25
+    p.top5 = base_top5 * m;
+    p.top1 = 0.55 * m;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+TEST(FitLayerDamage, RecoversKnownParametersExactly) {
+  const auto curve = SyntheticSweep(2.0, 5.0);
+  const DamageFit fit = FitLayerDamage(curve);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.damage.sensitivity, 2.0, 0.01);
+  EXPECT_NEAR(fit.damage.exponent, 5.0, 0.01);
+  EXPECT_LT(fit.rms_error, 1e-6);
+}
+
+TEST(FitLayerDamage, RecoversAcrossParameterRange) {
+  for (const auto& [s, p] : std::vector<std::pair<double, double>>{
+           {0.5, 2.0}, {1.63, 3.5}, {13.8, 3.5}, {8.0, 6.0}}) {
+    const DamageFit fit = FitLayerDamage(SyntheticSweep(s, p));
+    ASSERT_TRUE(fit.ok) << "s=" << s << " p=" << p;
+    EXPECT_NEAR(fit.damage.sensitivity, s, s * 0.02);
+    EXPECT_NEAR(fit.damage.exponent, p, 0.05);
+  }
+}
+
+TEST(FitLayerDamage, RobustToMeasurementNoise) {
+  auto curve = SyntheticSweep(2.0, 4.0);
+  // +-1 % multiplicative accuracy noise.
+  double sign = 1.0;
+  for (auto& point : curve) {
+    point.top5 *= 1.0 + sign * 0.01;
+    sign = -sign;
+  }
+  const DamageFit fit = FitLayerDamage(curve);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.damage.sensitivity, 2.0, 0.6);
+  EXPECT_NEAR(fit.damage.exponent, 4.0, 0.6);
+}
+
+TEST(FitLayerDamage, FlatCurveHasNoSignal) {
+  std::vector<CurvePoint> curve;
+  for (double r = 0.0; r < 0.9; r += 0.1) {
+    curve.push_back({r, 100.0 - r, 0.55, 0.80});  // accuracy never moves
+  }
+  const DamageFit fit = FitLayerDamage(curve);
+  EXPECT_FALSE(fit.ok);
+  EXPECT_EQ(fit.samples_used, 0);
+}
+
+TEST(FitLayerDamage, RejectsMalformedSweeps) {
+  const auto good = SyntheticSweep(2.0, 5.0);
+  EXPECT_THROW(
+      (void)FitLayerDamage(std::span<const CurvePoint>(good.data(), 2)),
+      CheckError);
+  auto no_zero = good;
+  no_zero.erase(no_zero.begin());
+  EXPECT_THROW((void)FitLayerDamage(no_zero), CheckError);
+}
+
+TEST(FitPrunableFraction, RecoversSlope) {
+  const auto curve = SyntheticSweep(2.0, 5.0);  // share*pf = 0.25
+  const TimeFit fit = FitPrunableFraction(curve, /*time_share=*/0.30);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.share_times_prunable, 0.25, 1e-9);
+  EXPECT_NEAR(fit.prunable_fraction, 0.25 / 0.30, 1e-9);
+  EXPECT_LT(fit.rms_error, 1e-12);
+}
+
+TEST(FitPrunableFraction, FlagsImplausibleShare) {
+  // Slope larger than the claimed share -> pf > 1 -> not ok.
+  const auto curve = SyntheticSweep(2.0, 5.0);
+  const TimeFit fit = FitPrunableFraction(curve, /*time_share=*/0.10);
+  EXPECT_FALSE(fit.ok);
+  EXPECT_GT(fit.prunable_fraction, 1.0);
+}
+
+TEST(FitPrunableFraction, RejectsBadShare) {
+  const auto curve = SyntheticSweep(2.0, 5.0);
+  EXPECT_THROW((void)FitPrunableFraction(curve, 0.0), CheckError);
+  EXPECT_THROW((void)FitPrunableFraction(curve, 1.5), CheckError);
+}
+
+TEST(FitAccuracyModel, ReconstructsGeneratingModel) {
+  // Generate curves from the CaffeNet calibration, refit, and compare
+  // predictions of the refitted model on held-out multi-layer plans.
+  const CalibratedAccuracyModel truth = CalibratedAccuracyModel::CaffeNet();
+  std::map<std::string, std::vector<CurvePoint>> curves;
+  for (const char* layer : {"conv1", "conv2", "conv3"}) {
+    std::vector<CurvePoint> curve;
+    for (double r = 0.0; r < 0.95; r += 0.05) {
+      pruning::PrunePlan plan;
+      plan.layer_ratios[layer] = r;
+      const AccuracyResult acc = truth.Evaluate(plan);
+      curve.push_back({r, 100.0, acc.top1, acc.top5});
+    }
+    curves[layer] = curve;
+  }
+  const CalibratedAccuracyModel fitted =
+      FitAccuracyModel(curves, 0.55, 0.80);
+
+  pruning::PrunePlan combo;
+  combo.layer_ratios = {{"conv1", 0.3}, {"conv2", 0.5}, {"conv3", 0.4}};
+  EXPECT_NEAR(fitted.Evaluate(combo).top5, truth.Evaluate(combo).top5, 0.01);
+  pruning::PrunePlan deep;
+  deep.layer_ratios = {{"conv2", 0.85}};
+  EXPECT_NEAR(fitted.Evaluate(deep).top5, truth.Evaluate(deep).top5, 0.02);
+}
+
+TEST(FitAccuracyModel, FallbackForUninformativeLayers) {
+  std::map<std::string, std::vector<CurvePoint>> curves;
+  std::vector<CurvePoint> flat;
+  for (double r = 0.0; r < 0.9; r += 0.1) {
+    flat.push_back({r, 50.0, 0.55, 0.80});
+  }
+  curves["robust-layer"] = flat;
+  const LayerDamage fallback{3.0, 4.0};
+  const CalibratedAccuracyModel fitted = FitAccuracyModel(
+      curves, 0.55, 0.80, pruning::PrunerFamily::kL1Filter, fallback);
+  pruning::PrunePlan plan;
+  plan.layer_ratios["robust-layer"] = 0.5;
+  // With the fallback damage: D = 3 * 0.5^4 = 0.1875 -> m = 1/(1+D^2).
+  const double expected = 0.80 / (1.0 + 0.1875 * 0.1875);
+  EXPECT_NEAR(fitted.Evaluate(plan).top5, expected, 1e-9);
+}
+
+TEST(FitAccuracyModel, RejectsEmptyInput) {
+  EXPECT_THROW((void)FitAccuracyModel({}, 0.55, 0.80), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::core

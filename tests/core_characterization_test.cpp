@@ -1,0 +1,116 @@
+#include "core/characterization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/sweet_spot.h"
+
+namespace ccperf::core {
+namespace {
+
+class CharacterizationTest : public ::testing::Test {
+ protected:
+  CharacterizationTest()
+      : catalog_(cloud::InstanceCatalog::AwsEc2()),
+        sim_(catalog_),
+        profile_(cloud::CaffeNetProfile()),
+        accuracy_(CalibratedAccuracyModel::CaffeNet()),
+        ch_(sim_, profile_, accuracy_) {}
+
+  cloud::InstanceCatalog catalog_;
+  cloud::CloudSimulator sim_;
+  cloud::ModelProfile profile_;
+  CalibratedAccuracyModel accuracy_;
+  Characterization ch_;
+};
+
+TEST_F(CharacterizationTest, TimeDistributionSumsToOne) {
+  const auto dist = ch_.TimeDistribution();
+  double total = 0.0;
+  for (const auto& [name, share] : dist) {
+    EXPECT_GT(share, 0.0) << name;
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(dist.back().first, "other");
+}
+
+TEST_F(CharacterizationTest, SingleInferenceMatchesPaperAnchors) {
+  EXPECT_NEAR(ch_.SingleInferenceSeconds("p2.xlarge", 0.0), 0.09, 0.02);
+  EXPECT_NEAR(ch_.SingleInferenceSeconds("p2.xlarge", 0.9), 0.05, 0.015);
+}
+
+TEST_F(CharacterizationTest, SingleInferenceSkipsFcLayers) {
+  // Fig. 4 prunes only conv layers; a 90 % "uniform" prune must leave fc
+  // time intact, so it cannot reach the all-layers floor.
+  const double pruned = ch_.SingleInferenceSeconds("p2.xlarge", 0.9);
+  double fc_share = 0.0;
+  for (const auto& [name, lp] : profile_.layers) {
+    if (name.rfind("fc", 0) == 0) fc_share += lp.time_share;
+  }
+  const double launch = 14 * 1.5e-3;
+  EXPECT_GT(pruned, launch + fc_share * profile_.ref_seconds_per_image / 1.0);
+}
+
+TEST_F(CharacterizationTest, BatchSweepMonotoneDecreasing) {
+  const auto curve =
+      ch_.BatchSweep("p2.xlarge", {1, 50, 300, 2000}, 50000);
+  ASSERT_EQ(curve.size(), 4u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST_F(CharacterizationTest, SingleLayerSweepShapes) {
+  const auto curve = ch_.SingleLayerSweep(
+      "p2.xlarge", "conv2", {0.0, 0.3, 0.6, 0.9}, 50000);
+  ASSERT_EQ(curve.size(), 4u);
+  // Time decreases monotonically; accuracy never increases.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].seconds, curve[i - 1].seconds);
+    EXPECT_LE(curve[i].top5, curve[i - 1].top5 + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(curve[0].ratio, 0.0);
+  EXPECT_DOUBLE_EQ(curve[3].ratio, 0.9);
+}
+
+TEST_F(CharacterizationTest, SweetSpotsMatchPaper) {
+  // The paper's Fig. 6 sweet spots: conv1 ~30 %, conv2 ~50 %.
+  const std::vector<double> ratios{0.0, 0.1, 0.2, 0.3, 0.4,
+                                   0.5, 0.6, 0.7, 0.8, 0.9};
+  const auto conv1 = ch_.SingleLayerSweep("p2.xlarge", "conv1", ratios, 50000);
+  const auto conv2 = ch_.SingleLayerSweep("p2.xlarge", "conv2", ratios, 50000);
+  const SweetSpot s1 = FindSweetSpot(conv1, 0.04);
+  const SweetSpot s2 = FindSweetSpot(conv2, 0.04);
+  ASSERT_TRUE(s1.exists);
+  ASSERT_TRUE(s2.exists);
+  EXPECT_DOUBLE_EQ(s1.last_ratio, 0.3);
+  EXPECT_DOUBLE_EQ(s2.last_ratio, 0.5);
+}
+
+TEST_F(CharacterizationTest, EvaluatePlanConsistentWithSweep) {
+  pruning::PrunePlan plan;
+  plan.layer_ratios["conv3"] = 0.4;
+  const CurvePoint via_plan = ch_.EvaluatePlan("p2.xlarge", plan, 50000);
+  const auto via_sweep =
+      ch_.SingleLayerSweep("p2.xlarge", "conv3", {0.4}, 50000);
+  EXPECT_DOUBLE_EQ(via_plan.seconds, via_sweep[0].seconds);
+  EXPECT_DOUBLE_EQ(via_plan.top5, via_sweep[0].top5);
+}
+
+TEST_F(CharacterizationTest, UnknownInstanceThrows) {
+  EXPECT_THROW((void)ch_.SingleInferenceSeconds("t2.micro", 0.0), CheckError);
+}
+
+TEST_F(CharacterizationTest, GoogLeNetCharacterizationWorks) {
+  const cloud::ModelProfile goog = cloud::GoogLeNetProfile();
+  const CalibratedAccuracyModel goog_acc =
+      CalibratedAccuracyModel::GoogLeNet();
+  const Characterization gch(sim_, goog, goog_acc);
+  EXPECT_NEAR(gch.SingleInferenceSeconds("p2.xlarge", 0.0), 0.16, 0.02);
+  const auto dist = gch.TimeDistribution();
+  EXPECT_EQ(dist.size(), 59u);  // 58 weighted layers + "other"
+}
+
+}  // namespace
+}  // namespace ccperf::core

@@ -1,0 +1,48 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace ccperf::core {
+namespace {
+
+TEST(Tar, BasicValues) {
+  EXPECT_DOUBLE_EQ(TimeAccuracyRatio(10.0, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(TimeAccuracyRatio(0.0, 1.0), 0.0);
+}
+
+TEST(Car, BasicValues) {
+  EXPECT_DOUBLE_EQ(CostAccuracyRatio(0.57, 1.0), 0.57);
+  EXPECT_DOUBLE_EQ(CostAccuracyRatio(1.0, 0.25), 4.0);
+}
+
+TEST(Metrics, LowerIsBetterOrdering) {
+  // Same accuracy, less time -> lower TAR; same time, more accuracy ->
+  // lower TAR. The paper uses this ordering as the greedy heuristic.
+  EXPECT_LT(TimeAccuracyRatio(5.0, 0.8), TimeAccuracyRatio(10.0, 0.8));
+  EXPECT_LT(TimeAccuracyRatio(10.0, 0.9), TimeAccuracyRatio(10.0, 0.8));
+}
+
+TEST(Metrics, ScaleInvarianceInNumerator) {
+  // TAR/CAR are linear in their numerator: unit changes preserve order.
+  const double a = TimeAccuracyRatio(3.0, 0.6);
+  const double b = TimeAccuracyRatio(4.0, 0.7);
+  EXPECT_EQ(a < b, TimeAccuracyRatio(3000.0, 0.6) <
+                       TimeAccuracyRatio(4000.0, 0.7));
+}
+
+TEST(Metrics, RejectInvalidAccuracy) {
+  EXPECT_THROW(TimeAccuracyRatio(1.0, 0.0), CheckError);
+  EXPECT_THROW(TimeAccuracyRatio(1.0, -0.1), CheckError);
+  EXPECT_THROW(TimeAccuracyRatio(1.0, 1.1), CheckError);
+  EXPECT_THROW(CostAccuracyRatio(1.0, 0.0), CheckError);
+}
+
+TEST(Metrics, RejectNegativeNumerator) {
+  EXPECT_THROW(TimeAccuracyRatio(-1.0, 0.5), CheckError);
+  EXPECT_THROW(CostAccuracyRatio(-0.01, 0.5), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::core

@@ -1,0 +1,84 @@
+#include "core/sweet_spot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ccperf::core {
+namespace {
+
+std::vector<CurvePoint> Curve(
+    std::initializer_list<std::tuple<double, double, double>> points) {
+  std::vector<CurvePoint> curve;
+  for (const auto& [ratio, seconds, top5] : points) {
+    curve.push_back({ratio, seconds, top5 * 0.7, top5});
+  }
+  return curve;
+}
+
+TEST(SweetSpot, FindsPlateauEnd) {
+  const auto curve = Curve({{0.0, 100.0, 0.80},
+                            {0.1, 95.0, 0.80},
+                            {0.3, 85.0, 0.79},
+                            {0.5, 75.0, 0.78},
+                            {0.7, 65.0, 0.60},
+                            {0.9, 55.0, 0.30}});
+  const SweetSpot spot = FindSweetSpot(curve, 0.04);
+  EXPECT_TRUE(spot.exists);
+  EXPECT_DOUBLE_EQ(spot.last_ratio, 0.5);
+  EXPECT_NEAR(spot.time_saving, 0.25, 1e-9);
+  EXPECT_NEAR(spot.accuracy_drop, 0.02, 1e-9);
+}
+
+TEST(SweetSpot, NoSpotWhenAccuracyDropsImmediately) {
+  const auto curve = Curve({{0.0, 100.0, 0.80},
+                            {0.1, 90.0, 0.60},
+                            {0.2, 80.0, 0.40}});
+  EXPECT_FALSE(FindSweetSpot(curve, 0.04).exists);
+}
+
+TEST(SweetSpot, RegionMustBeContiguous) {
+  // Accuracy dips out of tolerance at 0.3 and recovers at 0.5; the sweet
+  // spot ends at 0.1 regardless of the recovery.
+  const auto curve = Curve({{0.0, 100.0, 0.80},
+                            {0.1, 95.0, 0.79},
+                            {0.3, 85.0, 0.40},
+                            {0.5, 75.0, 0.80}});
+  const SweetSpot spot = FindSweetSpot(curve, 0.04);
+  EXPECT_TRUE(spot.exists);
+  EXPECT_DOUBLE_EQ(spot.last_ratio, 0.1);
+}
+
+TEST(SweetSpot, RequiresTimeImprovement) {
+  const auto curve = Curve({{0.0, 100.0, 0.80},
+                            {0.1, 100.0, 0.80},   // same time: not a spot
+                            {0.3, 90.0, 0.80}});
+  const SweetSpot spot = FindSweetSpot(curve, 0.04);
+  EXPECT_TRUE(spot.exists);
+  EXPECT_DOUBLE_EQ(spot.last_ratio, 0.3);
+  EXPECT_NEAR(spot.time_saving, 0.10, 1e-9);
+}
+
+TEST(SweetSpot, ZeroToleranceOnlyExactPlateau) {
+  const auto curve = Curve({{0.0, 100.0, 0.80},
+                            {0.2, 90.0, 0.80},
+                            {0.4, 80.0, 0.799}});
+  const SweetSpot spot = FindSweetSpot(curve, 0.0);
+  EXPECT_TRUE(spot.exists);
+  EXPECT_DOUBLE_EQ(spot.last_ratio, 0.2);
+}
+
+TEST(SweetSpot, RejectsMalformedCurves) {
+  EXPECT_THROW(FindSweetSpot(Curve({{0.0, 1.0, 0.8}})), CheckError);
+  EXPECT_THROW(FindSweetSpot(Curve({{0.1, 1.0, 0.8}, {0.2, 1.0, 0.8}})),
+               CheckError);
+  EXPECT_THROW(FindSweetSpot(Curve({{0.0, 1.0, 0.8}, {0.0, 1.0, 0.8}})),
+               CheckError);
+  EXPECT_THROW(FindSweetSpot(Curve({{0.0, 1.0, 0.8}, {0.1, 1.0, 0.8}}), -0.1),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::core

@@ -1,0 +1,135 @@
+#include "data/synthetic_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace ccperf::data {
+namespace {
+
+SyntheticImageDataset MakeDataset(std::uint64_t seed = 1) {
+  return SyntheticImageDataset(Shape{3, 8, 8}, 10, 1000, seed);
+}
+
+TEST(Dataset, Deterministic) {
+  const SyntheticImageDataset a = MakeDataset(5);
+  const SyntheticImageDataset b = MakeDataset(5);
+  const Tensor ia = a.ImageAt(17);
+  const Tensor ib = b.ImageAt(17);
+  for (std::int64_t i = 0; i < ia.NumElements(); ++i) {
+    EXPECT_EQ(ia.At(i), ib.At(i));
+  }
+  EXPECT_EQ(a.LabelAt(17), b.LabelAt(17));
+}
+
+TEST(Dataset, DifferentSeedsDifferentImages) {
+  const SyntheticImageDataset a = MakeDataset(1);
+  const SyntheticImageDataset b = MakeDataset(2);
+  const Tensor ia = a.ImageAt(0);
+  const Tensor ib = b.ImageAt(0);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < ia.NumElements(); ++i) {
+    diff += std::fabs(ia.At(i) - ib.At(i));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Dataset, LabelsInRangeAndBalancedish) {
+  const SyntheticImageDataset d = MakeDataset(3);
+  std::map<std::int64_t, int> counts;
+  for (std::int64_t i = 0; i < d.Size(); ++i) {
+    const std::int64_t label = d.LabelAt(i);
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, d.NumClasses());
+    ++counts[label];
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [_, c] : counts) {
+    EXPECT_GT(c, 50);  // 1000 images over 10 classes, expect ~100 each
+    EXPECT_LT(c, 200);
+  }
+}
+
+TEST(Dataset, BatchStacksImages) {
+  const SyntheticImageDataset d = MakeDataset(4);
+  const Tensor batch = d.Batch(5, 3);
+  ASSERT_EQ(batch.GetShape(), (Shape{3, 3, 8, 8}));
+  const std::int64_t stride = 3 * 8 * 8;
+  for (std::int64_t k = 0; k < 3; ++k) {
+    const Tensor single = d.ImageAt(5 + k);
+    for (std::int64_t i = 0; i < stride; ++i) {
+      EXPECT_EQ(batch.At(k * stride + i), single.At(i));
+    }
+  }
+}
+
+TEST(Dataset, BatchLabelsMatch) {
+  const SyntheticImageDataset d = MakeDataset(4);
+  const auto labels = d.BatchLabels(10, 5);
+  ASSERT_EQ(labels.size(), 5u);
+  for (std::int64_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(labels[static_cast<std::size_t>(k)], d.LabelAt(10 + k));
+  }
+}
+
+TEST(Dataset, SameClassImagesCorrelateMoreThanCrossClass) {
+  // The class signature must dominate noise enough for teacher-student
+  // evaluation to be meaningful.
+  const SyntheticImageDataset d(Shape{3, 8, 8}, 4, 1000, 9, 0.25f);
+  // Find two images of the same class and one of a different class.
+  std::int64_t a = 0;
+  std::int64_t b = -1, c = -1;
+  for (std::int64_t i = 1; i < d.Size() && (b < 0 || c < 0); ++i) {
+    if (d.LabelAt(i) == d.LabelAt(a) && b < 0) b = i;
+    if (d.LabelAt(i) != d.LabelAt(a) && c < 0) c = i;
+  }
+  ASSERT_GE(b, 0);
+  ASSERT_GE(c, 0);
+  const Tensor ia = d.ImageAt(a), ib = d.ImageAt(b), ic = d.ImageAt(c);
+  auto dist = [](const Tensor& x, const Tensor& y) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < x.NumElements(); ++i) {
+      const double diff = x.At(i) - y.At(i);
+      s += diff * diff;
+    }
+    return s;
+  };
+  EXPECT_LT(dist(ia, ib), dist(ia, ic));
+}
+
+TEST(Dataset, BoundsChecked) {
+  const SyntheticImageDataset d = MakeDataset(6);
+  EXPECT_THROW(d.ImageAt(-1), CheckError);
+  EXPECT_THROW(d.ImageAt(1000), CheckError);
+  EXPECT_THROW(d.Batch(999, 2), CheckError);
+  EXPECT_THROW(d.Batch(0, 0), CheckError);
+  EXPECT_THROW(d.BatchLabels(-1, 2), CheckError);
+}
+
+TEST(Dataset, RejectsBadConstruction) {
+  EXPECT_THROW(SyntheticImageDataset(Shape{3, 8}, 10, 100, 1), CheckError);
+  EXPECT_THROW(SyntheticImageDataset(Shape{3, 8, 8}, 1, 100, 1), CheckError);
+  EXPECT_THROW(SyntheticImageDataset(Shape{3, 8, 8}, 10, 0, 1), CheckError);
+}
+
+TEST(Dataset, NoiselessImagesOfSameClassIdentical) {
+  const SyntheticImageDataset d(Shape{3, 8, 8}, 4, 100, 11, 0.0f);
+  std::int64_t a = 0, b = -1;
+  for (std::int64_t i = 1; i < d.Size(); ++i) {
+    if (d.LabelAt(i) == d.LabelAt(a)) {
+      b = i;
+      break;
+    }
+  }
+  ASSERT_GE(b, 0);
+  const Tensor ia = d.ImageAt(a), ib = d.ImageAt(b);
+  for (std::int64_t i = 0; i < ia.NumElements(); ++i) {
+    EXPECT_EQ(ia.At(i), ib.At(i));
+  }
+}
+
+}  // namespace
+}  // namespace ccperf::data

@@ -1,0 +1,109 @@
+// Integration: the paper's full §3 methodology at laptop scale —
+// (1) measure real per-variant inference accuracy on a CNN,
+// (2) fit the analytical accuracy model from those measurements,
+// (3) use the fitted model to predict variants that were never measured,
+// and check the predictions against fresh measurements.
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/empirical_accuracy.h"
+#include "data/synthetic_dataset.h"
+#include "nn/model_zoo.h"
+#include "pruning/variant_generator.h"
+
+namespace ccperf::core {
+namespace {
+
+class CalibrationLoopTest : public ::testing::Test {
+ protected:
+  CalibrationLoopTest()
+      : base_([] {
+          nn::ModelConfig config;
+          config.weight_seed = 123;
+          config.num_classes = 32;  // Top-5 of 10 classes saturates; use 32
+          return nn::BuildTinyCnn(config);
+        }()),
+        dataset_(Shape{3, 16, 16}, 32, 512, 77, 0.3f),
+        evaluator_(base_, dataset_, /*sample_images=*/192, /*batch=*/32) {}
+
+  /// Measured Top-5 agreement curve for one layer (real inference).
+  std::vector<CurvePoint> MeasureLayerCurve(const std::string& layer) {
+    std::vector<CurvePoint> curve;
+    for (double r : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9}) {
+      pruning::PrunePlan plan;
+      plan.family = pruning::PrunerFamily::kMagnitude;
+      plan.layer_ratios[layer] = r;
+      const nn::Network variant = pruning::ApplyPlan(base_, plan);
+      const AccuracyResult agree = evaluator_.Agreement(variant);
+      // Top-1 agreement is the fitting signal: Top-5 stays near 1 on a
+      // 32-class toy task and carries no damage information.
+      curve.push_back({r, 1.0, agree.top1, agree.top1});
+    }
+    return curve;
+  }
+
+  nn::Network base_;
+  data::SyntheticImageDataset dataset_;
+  EmpiricalAccuracyEvaluator evaluator_;
+};
+
+TEST_F(CalibrationLoopTest, MeasureFitPredict) {
+  // (1) + (2): measure per-layer curves, fit the damage model.
+  std::map<std::string, std::vector<CurvePoint>> curves;
+  for (const char* layer : {"conv1", "conv2", "fc1"}) {
+    curves[layer] = MeasureLayerCurve(layer);
+  }
+  const CalibratedAccuracyModel fitted =
+      FitAccuracyModel(curves, /*base_top1=*/1.0, /*base_top5=*/1.0,
+                       pruning::PrunerFamily::kMagnitude);
+
+  // (3): predict a held-out multi-layer variant and compare to a fresh
+  // measurement. The damage model ignores cross-layer interactions beyond
+  // additivity, and the teacher-student measurement is itself noisy on 192
+  // samples, so the tolerance is generous — the point is that a model
+  // fitted purely from single-layer measurements lands in the right region
+  // for a combined variant.
+  pruning::PrunePlan combo;
+  combo.family = pruning::PrunerFamily::kMagnitude;
+  combo.layer_ratios = {{"conv1", 0.4}, {"conv2", 0.6}};
+  const double predicted = fitted.Evaluate(combo).top5;
+  const double measured =
+      evaluator_.Agreement(pruning::ApplyPlan(base_, combo)).top1;
+  EXPECT_NEAR(predicted, measured, 0.25);
+
+  // The fitted model must at least rank variants like the measurements do.
+  pruning::PrunePlan light;
+  light.family = pruning::PrunerFamily::kMagnitude;
+  light.layer_ratios = {{"conv2", 0.3}};
+  pruning::PrunePlan heavy;
+  heavy.family = pruning::PrunerFamily::kMagnitude;
+  heavy.layer_ratios = {{"conv1", 0.8}, {"conv2", 0.8}, {"fc1", 0.8}};
+  const double pred_light = fitted.Evaluate(light).top5;
+  const double pred_heavy = fitted.Evaluate(heavy).top5;
+  const double meas_light =
+      evaluator_.Agreement(pruning::ApplyPlan(base_, light)).top1;
+  const double meas_heavy =
+      evaluator_.Agreement(pruning::ApplyPlan(base_, heavy)).top1;
+  EXPECT_GT(pred_light, pred_heavy);
+  EXPECT_GT(meas_light, meas_heavy);
+}
+
+TEST_F(CalibrationLoopTest, FittedCurvesReplayMeasuredOnes) {
+  // Prediction on the very ratios that were measured should be close for a
+  // well-behaved layer.
+  const auto curve = MeasureLayerCurve("conv2");
+  std::map<std::string, std::vector<CurvePoint>> curves{{"conv2", curve}};
+  const CalibratedAccuracyModel fitted = FitAccuracyModel(
+      curves, 1.0, 1.0, pruning::PrunerFamily::kMagnitude);
+  for (const CurvePoint& p : curve) {
+    if (p.ratio < 0.4) continue;  // flat region carries no constraint
+    pruning::PrunePlan plan;
+    plan.family = pruning::PrunerFamily::kMagnitude;
+    plan.layer_ratios["conv2"] = p.ratio;
+    EXPECT_NEAR(fitted.Evaluate(plan).top5, p.top5, 0.25)
+        << "ratio " << p.ratio;
+  }
+}
+
+}  // namespace
+}  // namespace ccperf::core

@@ -1,0 +1,182 @@
+#include "nn/conv_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "pruning/magnitude_pruner.h"
+
+namespace ccperf::nn {
+namespace {
+
+/// Direct (non-im2col) grouped convolution used as the correctness oracle.
+Tensor NaiveConv(const Tensor& input, const Tensor& weights,
+                 const Tensor& bias, const ConvParams& p) {
+  const auto& in = input.GetShape();
+  const std::int64_t batch = in.Dim(0);
+  const std::int64_t in_c = in.Dim(1);
+  const std::int64_t in_h = in.Dim(2);
+  const std::int64_t in_w = in.Dim(3);
+  const std::int64_t out_h = (in_h + 2 * p.pad - p.kernel) / p.stride + 1;
+  const std::int64_t out_w = (in_w + 2 * p.pad - p.kernel) / p.stride + 1;
+  const std::int64_t group_in = in_c / p.groups;
+  const std::int64_t group_out = p.out_channels / p.groups;
+  Tensor out(Shape{batch, p.out_channels, out_h, out_w});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < p.out_channels; ++oc) {
+      const std::int64_t grp = oc / group_out;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          float acc = bias.At(oc);
+          for (std::int64_t ic = 0; ic < group_in; ++ic) {
+            for (std::int64_t kh = 0; kh < p.kernel; ++kh) {
+              for (std::int64_t kw = 0; kw < p.kernel; ++kw) {
+                const std::int64_t ih = oh * p.stride - p.pad + kh;
+                const std::int64_t iw = ow * p.stride - p.pad + kw;
+                if (ih < 0 || ih >= in_h || iw < 0 || iw >= in_w) continue;
+                acc += input.At4(n, grp * group_in + ic, ih, iw) *
+                       weights.At4(oc, ic, kh, kw);
+              }
+            }
+          }
+          out.Set4(n, oc, oh, ow, acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  std::string name;
+  std::int64_t batch, in_c, in_hw;
+  ConvParams params;
+};
+
+class ConvMatchesNaive : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvMatchesNaive, ForwardEqualsDirectConvolution) {
+  const ConvCase& c = GetParam();
+  ConvLayer layer("conv", c.params, c.in_c);
+  Rng rng(42);
+  layer.MutableWeights().FillGaussian(rng, 0.0f, 0.5f);
+  layer.MutableBias().FillGaussian(rng, 0.1f, 0.05f);
+  layer.NotifyWeightsChanged();
+
+  Tensor input(Shape{c.batch, c.in_c, c.in_hw, c.in_hw});
+  input.FillGaussian(rng, 0.0f, 1.0f);
+
+  const Tensor got = layer.Forward({&input});
+  const Tensor want =
+      NaiveConv(input, layer.Weights(), layer.MutableBias(), c.params);
+  ASSERT_EQ(got.GetShape(), want.GetShape());
+  for (std::int64_t i = 0; i < got.NumElements(); ++i) {
+    EXPECT_NEAR(got.At(i), want.At(i), 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvMatchesNaive,
+    ::testing::Values(
+        ConvCase{"k1s1", 1, 4, 5, {.out_channels = 3, .kernel = 1}},
+        ConvCase{"k3s1p1", 2, 3, 8,
+                 {.out_channels = 6, .kernel = 3, .stride = 1, .pad = 1}},
+        ConvCase{"k5s1p2", 1, 2, 9,
+                 {.out_channels = 4, .kernel = 5, .stride = 1, .pad = 2}},
+        ConvCase{"k3s2", 1, 3, 9, {.out_channels = 2, .kernel = 3, .stride = 2}},
+        ConvCase{"k11s4", 1, 3, 23,
+                 {.out_channels = 4, .kernel = 11, .stride = 4}},
+        ConvCase{"grouped", 2, 4, 6,
+                 {.out_channels = 6, .kernel = 3, .stride = 1, .pad = 1,
+                  .groups = 2}},
+        ConvCase{"grouped4", 1, 8, 5,
+                 {.out_channels = 8, .kernel = 3, .stride = 1, .pad = 1,
+                  .groups = 4}}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ConvLayer, SparsePathMatchesDensePath) {
+  ConvParams p{.out_channels = 8, .kernel = 3, .stride = 1, .pad = 1,
+               .groups = 2};
+  ConvLayer layer("conv", p, 6);
+  Rng rng(7);
+  layer.MutableWeights().FillGaussian(rng, 0.0f, 0.5f);
+  layer.MutableBias().FillGaussian(rng, 0.0f, 0.1f);
+  layer.NotifyWeightsChanged();
+
+  Tensor input(Shape{2, 6, 7, 7});
+  input.FillGaussian(rng, 0.0f, 1.0f);
+
+  // Prune past the sparse threshold; the pruned weights define the truth,
+  // so compare CSR execution against the naive oracle on the same weights.
+  pruning::MagnitudePruner pruner;
+  pruner.Prune(layer, 0.6);
+  ASSERT_TRUE(layer.UsesSparsePath());
+
+  const Tensor got = layer.Forward({&input});
+  const Tensor want =
+      NaiveConv(input, layer.Weights(), layer.MutableBias(), p);
+  for (std::int64_t i = 0; i < got.NumElements(); ++i) {
+    EXPECT_NEAR(got.At(i), want.At(i), 1e-3f);
+  }
+}
+
+TEST(ConvLayer, DensePathBelowThreshold) {
+  ConvLayer layer("conv", {.out_channels = 4, .kernel = 3}, 4);
+  Rng rng(3);
+  layer.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  layer.NotifyWeightsChanged();
+  EXPECT_FALSE(layer.UsesSparsePath());
+}
+
+TEST(ConvLayer, OutputShape) {
+  ConvLayer layer("conv1", {.out_channels = 96, .kernel = 11, .stride = 4}, 3);
+  const Shape out = layer.OutputShape({Shape{1, 3, 227, 227}});
+  EXPECT_EQ(out, (Shape{1, 96, 55, 55}));
+}
+
+TEST(ConvLayer, RejectsWrongChannelCount) {
+  ConvLayer layer("conv", {.out_channels = 4, .kernel = 3}, 8);
+  EXPECT_THROW(layer.OutputShape({Shape{1, 4, 8, 8}}), CheckError);
+}
+
+TEST(ConvLayer, RejectsIndivisibleGroups) {
+  EXPECT_THROW(
+      ConvLayer("conv", {.out_channels = 4, .kernel = 3, .groups = 3}, 8),
+      CheckError);
+}
+
+TEST(ConvLayer, CloneIsDeep) {
+  ConvLayer layer("conv", {.out_channels = 2, .kernel = 1}, 2);
+  Rng rng(1);
+  layer.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  layer.NotifyWeightsChanged();
+  auto clone = layer.Clone();
+  layer.MutableWeights().Set(0, 999.0f);
+  EXPECT_NE(clone->Weights().At(0), 999.0f);
+}
+
+TEST(ConvLayer, WeightDensityTracksZeros) {
+  ConvLayer layer("conv", {.out_channels = 2, .kernel = 1}, 2);
+  auto w = layer.MutableWeights().Data();
+  w[0] = 1.0f;  // 1 of 4 nonzero
+  layer.NotifyWeightsChanged();
+  EXPECT_DOUBLE_EQ(layer.WeightDensity(), 0.25);
+}
+
+TEST(ConvLayer, CostScalesWithDensity) {
+  ConvLayer layer("conv", {.out_channels = 4, .kernel = 3, .pad = 1}, 4);
+  Rng rng(5);
+  layer.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  layer.NotifyWeightsChanged();
+  const Shape in{1, 4, 8, 8};
+  const double dense_flops = layer.Cost({in}).flops;
+  pruning::MagnitudePruner pruner;
+  pruner.Prune(layer, 0.5);
+  const double sparse_flops = layer.Cost({in}).flops;
+  EXPECT_NEAR(sparse_flops, dense_flops * 0.5, dense_flops * 0.02);
+}
+
+}  // namespace
+}  // namespace ccperf::nn

@@ -1,0 +1,132 @@
+#include "nn/flops.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/activation_layers.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/model_zoo.h"
+#include "pruning/magnitude_pruner.h"
+
+namespace ccperf::nn {
+namespace {
+
+TEST(LayerCost, ConvFlopsFormula) {
+  // 4 output channels, 3 input channels, 3x3 kernel, 8x8 output:
+  // flops = 2 * out_pixels * out_c * in_c * k * k = 2*64*4*3*9 = 13824.
+  ConvLayer conv("c", {.out_channels = 4, .kernel = 3, .stride = 1, .pad = 1},
+                 3);
+  Rng rng(1);
+  conv.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  conv.NotifyWeightsChanged();
+  const LayerCost cost = conv.Cost({Shape{1, 3, 8, 8}});
+  EXPECT_NEAR(cost.flops, 13824.0, 1.0);
+}
+
+TEST(LayerCost, GroupedConvHalvesFlops) {
+  ConvLayer grouped(
+      "g", {.out_channels = 4, .kernel = 3, .stride = 1, .pad = 1, .groups = 2},
+      4);
+  ConvLayer full("f", {.out_channels = 4, .kernel = 3, .stride = 1, .pad = 1},
+                 4);
+  Rng rng(2);
+  grouped.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  grouped.NotifyWeightsChanged();
+  full.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  full.NotifyWeightsChanged();
+  const Shape in{1, 4, 8, 8};
+  EXPECT_NEAR(grouped.Cost({in}).flops, full.Cost({in}).flops / 2.0, 1.0);
+}
+
+TEST(LayerCost, FcFlopsFormula) {
+  FcLayer fc("fc", 100, 10);
+  Rng rng(3);
+  fc.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  fc.NotifyWeightsChanged();
+  // 2 * batch * in * out = 2*3*100*10 = 6000.
+  EXPECT_NEAR(fc.Cost({Shape{3, 100, 1, 1}}).flops, 6000.0, 1.0);
+}
+
+TEST(LayerCost, FlopsScaleWithBatch) {
+  ConvLayer conv("c", {.out_channels = 2, .kernel = 3, .pad = 1}, 2);
+  Rng rng(4);
+  conv.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  conv.NotifyWeightsChanged();
+  const double f1 = conv.Cost({Shape{1, 2, 8, 8}}).flops;
+  const double f4 = conv.Cost({Shape{4, 2, 8, 8}}).flops;
+  EXPECT_NEAR(f4, 4.0 * f1, 1.0);
+}
+
+TEST(LayerCost, PruningDiscountsFlopsAndWeightBytes) {
+  FcLayer fc("fc", 200, 50);
+  Rng rng(5);
+  fc.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  fc.NotifyWeightsChanged();
+  const Shape in{1, 200, 1, 1};
+  const LayerCost dense = fc.Cost({in});
+  pruning::MagnitudePruner pruner;
+  pruner.Prune(fc, 0.8);
+  const LayerCost sparse = fc.Cost({in});
+  EXPECT_NEAR(sparse.flops, dense.flops * 0.2, dense.flops * 0.01);
+  EXPECT_NEAR(sparse.weight_bytes, dense.weight_bytes * 0.2,
+              dense.weight_bytes * 0.01);
+}
+
+TEST(AnalyzeNetwork, TotalsAreSumOfLayers) {
+  const Network net = BuildTinyCnn();
+  const NetworkCostReport report = AnalyzeNetwork(net, 2);
+  double flops = 0.0, wbytes = 0.0, abytes = 0.0;
+  for (const auto& l : report.layers) {
+    flops += l.cost.flops;
+    wbytes += l.cost.weight_bytes;
+    abytes += l.cost.activation_bytes;
+  }
+  EXPECT_DOUBLE_EQ(report.total_flops, flops);
+  EXPECT_DOUBLE_EQ(report.total_weight_bytes, wbytes);
+  EXPECT_DOUBLE_EQ(report.total_activation_bytes, abytes);
+  EXPECT_EQ(report.layers.size(), net.LayerCount());
+}
+
+TEST(AnalyzeNetwork, CaffeNetFlopsNearOnePointFiveGFlops) {
+  ModelConfig config;
+  config.weight_seed = 0;
+  const Network net = BuildCaffeNet(config);
+  // With zero weights density is 0; weight-carrying layers report 0 flops,
+  // so analyze a weighted copy instead.
+  ModelConfig with_weights;
+  with_weights.weight_seed = 3;
+  const Network weighted = BuildCaffeNet(with_weights);
+  const NetworkCostReport report = AnalyzeNetwork(weighted, 1);
+  EXPECT_GT(report.total_flops, 1.2e9);
+  EXPECT_LT(report.total_flops, 1.8e9);
+  (void)net;
+}
+
+TEST(AnalyzeNetwork, ConvolutionDominatesCaffeNet) {
+  ModelConfig config;
+  config.weight_seed = 3;
+  const Network net = BuildCaffeNet(config);
+  const NetworkCostReport report = AnalyzeNetwork(net, 1);
+  const double conv = report.FlopsOfKind(LayerKind::kConvolution);
+  EXPECT_GT(conv / report.total_flops, 0.85);
+}
+
+TEST(AnalyzeNetwork, RejectsZeroBatch) {
+  const Network net = BuildTinyCnn();
+  EXPECT_THROW(AnalyzeNetwork(net, 0), CheckError);
+}
+
+TEST(LayerCost, DefaultCostIsPureDataMovement) {
+  ReluLayer relu("r");
+  const LayerCost cost = relu.Cost({Shape{1, 4, 8, 8}});
+  EXPECT_DOUBLE_EQ(cost.flops, 0.0);
+  EXPECT_DOUBLE_EQ(cost.weight_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(cost.activation_bytes, 2.0 * 4 * 8 * 8 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace ccperf::nn

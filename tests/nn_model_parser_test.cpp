@@ -1,0 +1,151 @@
+#include "nn/model_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/model_zoo.h"
+
+namespace ccperf::nn {
+namespace {
+
+constexpr const char* kTinyText = R"(
+# a comment
+network tinytext
+input 3 16 16
+conv  conv1 out=8 kernel=3 stride=1 pad=1
+relu  relu1
+maxpool pool1 kernel=2 stride=2
+conv  conv2 out=16 kernel=3 pad=1 groups=2
+relu  relu2
+maxpool pool2 kernel=2 stride=2
+fc    fc1 out=32
+relu  relu3
+fc    fc2 out=10
+softmax prob
+)";
+
+TEST(ModelParser, BuildsChainedNetwork) {
+  const Network net = ParseModel(kTinyText, /*weight_seed=*/3);
+  EXPECT_EQ(net.Name(), "tinytext");
+  EXPECT_EQ(net.LayerCount(), 10u);
+  EXPECT_EQ(net.OutputShape(2), (Shape{2, 10, 1, 1}));
+}
+
+TEST(ModelParser, InfersChannelsAndFeatures) {
+  const Network net = ParseModel(kTinyText);
+  const auto* conv2 = dynamic_cast<const ConvLayer*>(net.FindLayer("conv2"));
+  ASSERT_NE(conv2, nullptr);
+  EXPECT_EQ(conv2->InChannels(), 8);
+  EXPECT_EQ(conv2->Weights().GetShape(), (Shape{16, 4, 3, 3}));
+  const auto* fc1 = dynamic_cast<const FcLayer*>(net.FindLayer("fc1"));
+  ASSERT_NE(fc1, nullptr);
+  EXPECT_EQ(fc1->InFeatures(), 16 * 4 * 4);
+}
+
+TEST(ModelParser, MatchesHandBuiltTinyCnn) {
+  // The DSL description above mirrors BuildTinyCnn (minus dropout); with
+  // identical weight seeds the weighted layers coincide only when their
+  // names and shapes match, so compare structure.
+  ModelConfig config;
+  config.weight_seed = 0;
+  const Network built = BuildTinyCnn(config);
+  const Network parsed = ParseModel(kTinyText);
+  EXPECT_EQ(parsed.OutputShape(1), built.OutputShape(1));
+  EXPECT_EQ(parsed.ParameterCount(), built.ParameterCount());
+}
+
+TEST(ModelParser, BranchingWithFrom) {
+  const Network net = ParseModel(R"(
+network branchy
+input 2 4 4
+conv a out=2 kernel=1 from=input
+conv b out=3 kernel=1 from=input
+concat join from=a,b
+relu out from=join
+)");
+  EXPECT_EQ(net.OutputShape(1), (Shape{1, 5, 4, 4}));
+}
+
+TEST(ModelParser, ForwardRuns) {
+  const Network net = ParseModel(kTinyText, 7);
+  Tensor in(Shape{1, 3, 16, 16}, std::vector<float>(3 * 16 * 16, 0.3f));
+  const Tensor out = net.Forward(in);
+  float sum = 0.0f;
+  for (std::int64_t c = 0; c < 10; ++c) sum += out.At(c);
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(ModelParser, LrnDefaults) {
+  const Network net = ParseModel(R"(
+network n
+input 4 8 8
+lrn norm1 size=3 alpha=0.5
+)");
+  EXPECT_EQ(net.LayerCount(), 1u);
+}
+
+TEST(ModelParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)ParseModel("network x\ninput 3 8 8\nconv c1 kernel=3\n");
+    FAIL() << "missing out= must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)ParseModel(""), CheckError);
+  EXPECT_THROW((void)ParseModel("network x\nconv c out=4\n"), CheckError);
+  EXPECT_THROW((void)ParseModel("network x\ninput 3 8\n"), CheckError);
+  EXPECT_THROW((void)ParseModel("network x\ninput 3 8 8\nwarp w\n"),
+               CheckError);
+  EXPECT_THROW(
+      (void)ParseModel("network x\ninput 3 8 8\nconv c out=4 from=ghost\n"),
+      CheckError);
+  EXPECT_THROW(
+      (void)ParseModel("network x\ninput 3 8 8\nconv c out=4 kernel=99\n"),
+      CheckError);
+}
+
+TEST(ModelParser, RoundTripThroughFormat) {
+  ModelConfig config;
+  config.weight_seed = 0;
+  const Network net = BuildTinyCnn(config);
+  const std::string text = FormatModel(net);
+  const Network reparsed = ParseModel(text);
+  EXPECT_EQ(reparsed.LayerCount(), net.LayerCount());
+  EXPECT_EQ(reparsed.OutputShape(1), net.OutputShape(1));
+  EXPECT_EQ(reparsed.ParameterCount(), net.ParameterCount());
+}
+
+TEST(ModelParser, FormatOfBranchingDagRoundTrips) {
+  ModelConfig config;
+  config.channel_scale = 0.1;
+  config.weight_seed = 0;
+  config.num_classes = 7;
+  const Network goog = BuildGoogLeNet(config);
+  const Network reparsed = ParseModel(FormatModel(goog));
+  EXPECT_EQ(reparsed.LayerCount(), goog.LayerCount());
+  EXPECT_EQ(reparsed.OutputShape(1), goog.OutputShape(1));
+}
+
+TEST(ModelParser, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ccperf_model.txt";
+  {
+    std::ofstream out(path);
+    out << kTinyText;
+  }
+  const Network net = ParseModelFile(path);
+  EXPECT_EQ(net.Name(), "tinytext");
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ParseModelFile("/nonexistent/model.txt"), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::nn

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/concat_layer.h"
+#include "nn/lrn_layer.h"
+#include "nn/pool_layer.h"
+
+namespace ccperf::nn {
+namespace {
+
+TEST(PoolLayer, MaxPoolHandComputed) {
+  PoolLayer pool("p", LayerKind::kMaxPool, {.kernel = 2, .stride = 2});
+  Tensor in(Shape{1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) in.Set(i, static_cast<float>(i));
+  const Tensor out = pool.Forward({&in});
+  ASSERT_EQ(out.GetShape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 1, 1), 15.0f);
+}
+
+TEST(PoolLayer, AvgPoolHandComputed) {
+  PoolLayer pool("p", LayerKind::kAvgPool, {.kernel = 2, .stride = 2});
+  Tensor in(Shape{1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const Tensor out = pool.Forward({&in});
+  EXPECT_FLOAT_EQ(out.At(0), 2.5f);
+}
+
+TEST(PoolLayer, CeilModeMatchesCaffe) {
+  // Caffe's 3x3 stride-2 pooling on 55 -> 27 (ceil((55-3)/2)+1 = 27) and
+  // on 13 -> 6; GoogLeNet's 112 -> 56 chain relies on the same rounding.
+  PoolLayer pool("p", LayerKind::kMaxPool, {.kernel = 3, .stride = 2});
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 55, 55}}).Dim(2), 27);
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 27, 27}}).Dim(2), 13);
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 13, 13}}).Dim(2), 6);
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 112, 112}}).Dim(2), 56);
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 56, 56}}).Dim(2), 28);
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 28, 28}}).Dim(2), 14);
+  EXPECT_EQ(pool.OutputShape({Shape{1, 1, 14, 14}}).Dim(2), 7);
+}
+
+TEST(PoolLayer, PaddedPoolingKeepsSize) {
+  // Inception's 3x3 stride-1 pad-1 pooling preserves the map size.
+  PoolLayer pool("p", LayerKind::kMaxPool,
+                 {.kernel = 3, .stride = 1, .pad = 1});
+  EXPECT_EQ(pool.OutputShape({Shape{1, 8, 14, 14}}), (Shape{1, 8, 14, 14}));
+}
+
+TEST(PoolLayer, PaddedAvgExcludesOutOfBounds) {
+  // Average over the valid window only (count excludes padding).
+  PoolLayer pool("p", LayerKind::kAvgPool,
+                 {.kernel = 3, .stride = 1, .pad = 1});
+  Tensor in(Shape{1, 1, 2, 2}, {4.0f, 4.0f, 4.0f, 4.0f});
+  const Tensor out = pool.Forward({&in});
+  for (std::int64_t i = 0; i < out.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(out.At(i), 4.0f);
+  }
+}
+
+TEST(PoolLayer, GlobalAveragePool) {
+  PoolLayer pool("p", LayerKind::kAvgPool, {.kernel = 7, .stride = 1});
+  Tensor in(Shape{1, 2, 7, 7});
+  for (std::int64_t i = 0; i < 49; ++i) in.Set(i, 2.0f);         // chan 0
+  for (std::int64_t i = 49; i < 98; ++i) in.Set(i, 6.0f);        // chan 1
+  const Tensor out = pool.Forward({&in});
+  ASSERT_EQ(out.GetShape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.At(0), 2.0f);
+  EXPECT_FLOAT_EQ(out.At(1), 6.0f);
+}
+
+TEST(PoolLayer, RejectsWrongKind) {
+  EXPECT_THROW(PoolLayer("p", LayerKind::kReLU, {}), CheckError);
+}
+
+TEST(PoolLayer, NegativeValuesMaxPool) {
+  PoolLayer pool("p", LayerKind::kMaxPool, {.kernel = 2, .stride = 2});
+  Tensor in(Shape{1, 1, 2, 2}, {-5.0f, -3.0f, -9.0f, -4.0f});
+  EXPECT_FLOAT_EQ(pool.Forward({&in}).At(0), -3.0f);
+}
+
+TEST(LrnLayer, IdentityWhenAlphaZero) {
+  LrnLayer lrn("n", {.local_size = 5, .alpha = 0.0f, .beta = 0.75f});
+  Tensor in(Shape{1, 8, 2, 2});
+  for (std::int64_t i = 0; i < in.NumElements(); ++i) {
+    in.Set(i, static_cast<float>(i % 5) - 2.0f);
+  }
+  const Tensor out = lrn.Forward({&in});
+  for (std::int64_t i = 0; i < in.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(out.At(i), in.At(i));
+  }
+}
+
+TEST(LrnLayer, HandComputedSingleChannel) {
+  LrnLayer lrn("n", {.local_size = 1, .alpha = 1.0f, .beta = 1.0f, .k = 0.0f});
+  Tensor in(Shape{1, 1, 1, 1}, {2.0f});
+  // denom = (0 + 1/1 * 4)^1 = 4 -> 2/4 = 0.5
+  EXPECT_FLOAT_EQ(lrn.Forward({&in}).At(0), 0.5f);
+}
+
+TEST(LrnLayer, CrossChannelWindow) {
+  LrnLayer lrn("n", {.local_size = 3, .alpha = 3.0f, .beta = 1.0f, .k = 1.0f});
+  Tensor in(Shape{1, 3, 1, 1}, {1.0f, 2.0f, 3.0f});
+  // Channel 1 window = {1,2,3}: ss = 14, scale = 1/(1 + 1*14) = 1/15.
+  EXPECT_NEAR(lrn.Forward({&in}).At(1), 2.0f / 15.0f, 1e-6f);
+  // Channel 0 window = {1,2}: ss = 5, scale = 1/6.
+  EXPECT_NEAR(lrn.Forward({&in}).At(0), 1.0f / 6.0f, 1e-6f);
+}
+
+TEST(LrnLayer, RejectsEvenWindow) {
+  EXPECT_THROW(LrnLayer("n", {.local_size = 4}), CheckError);
+}
+
+TEST(ConcatLayer, JoinsChannels) {
+  ConcatLayer concat("c");
+  Tensor a(Shape{1, 2, 2, 2}, std::vector<float>(8, 1.0f));
+  Tensor b(Shape{1, 3, 2, 2}, std::vector<float>(12, 2.0f));
+  const Tensor out = concat.Forward({&a, &b});
+  ASSERT_EQ(out.GetShape(), (Shape{1, 5, 2, 2}));
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 1, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 2, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 4, 1, 1), 2.0f);
+}
+
+TEST(ConcatLayer, BatchInterleavingCorrect) {
+  ConcatLayer concat("c");
+  Tensor a(Shape{2, 1, 1, 1}, {1.0f, 3.0f});
+  Tensor b(Shape{2, 1, 1, 1}, {2.0f, 4.0f});
+  const Tensor out = concat.Forward({&a, &b});
+  ASSERT_EQ(out.GetShape(), (Shape{2, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 1, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.At4(1, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.At4(1, 1, 0, 0), 4.0f);
+}
+
+TEST(ConcatLayer, RejectsMismatchedSpatial) {
+  ConcatLayer concat("c");
+  EXPECT_THROW(
+      concat.OutputShape({Shape{1, 2, 4, 4}, Shape{1, 2, 5, 5}}), CheckError);
+}
+
+TEST(ConcatLayer, RejectsSingleInput) {
+  ConcatLayer concat("c");
+  EXPECT_THROW(concat.OutputShape({Shape{1, 2, 4, 4}}), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::nn

@@ -1,0 +1,121 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "pruning/prune_plan.h"
+#include "pruning/variant_generator.h"
+
+namespace ccperf::nn {
+namespace {
+
+Network RoundTrip(const Network& net) {
+  std::stringstream buffer;
+  SaveNetwork(net, buffer);
+  return LoadNetwork(buffer);
+}
+
+void ExpectSameOutputs(const Network& a, const Network& b, std::uint64_t seed) {
+  Tensor in(Shape{2, a.InputShape().Dim(0), a.InputShape().Dim(1),
+                  a.InputShape().Dim(2)});
+  Rng rng(seed);
+  in.FillGaussian(rng, 0.0f, 1.0f);
+  const Tensor ya = a.Forward(in);
+  const Tensor yb = b.Forward(in);
+  ASSERT_EQ(ya.GetShape(), yb.GetShape());
+  for (std::int64_t i = 0; i < ya.NumElements(); ++i) {
+    ASSERT_EQ(ya.At(i), yb.At(i)) << "at " << i;
+  }
+}
+
+TEST(Serialize, TinyCnnRoundTripBitExact) {
+  ModelConfig config;
+  config.weight_seed = 5;
+  const Network net = BuildTinyCnn(config);
+  const Network loaded = RoundTrip(net);
+  EXPECT_EQ(loaded.Name(), net.Name());
+  EXPECT_EQ(loaded.LayerCount(), net.LayerCount());
+  EXPECT_EQ(loaded.ParameterCount(), net.ParameterCount());
+  ExpectSameOutputs(net, loaded, 1);
+}
+
+TEST(Serialize, PrunedVariantKeepsSparsityAndSparsePath) {
+  ModelConfig config;
+  config.weight_seed = 6;
+  Network net = BuildTinyCnn(config);
+  pruning::ApplyPlanInPlace(
+      net, pruning::UniformPlan({"conv1", "conv2", "fc1"}, 0.7,
+                                pruning::PrunerFamily::kMagnitude));
+  const Network loaded = RoundTrip(net);
+  EXPECT_NEAR(loaded.FindLayer("conv2")->WeightDensity(), 0.3, 0.01);
+  ExpectSameOutputs(net, loaded, 2);
+}
+
+TEST(Serialize, BranchingDagRoundTrip) {
+  // GoogLeNet at reduced scale: concat wiring and LRN params must survive.
+  ModelConfig config;
+  config.channel_scale = 0.1;
+  config.num_classes = 12;
+  config.weight_seed = 7;
+  const Network net = BuildGoogLeNet(config);
+  const Network loaded = RoundTrip(net);
+  EXPECT_EQ(loaded.LayerCount(), net.LayerCount());
+  EXPECT_EQ(loaded.OutputShape(1), net.OutputShape(1));
+  ExpectSameOutputs(net, loaded, 3);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ccperf_net.bin";
+  ModelConfig config;
+  config.weight_seed = 8;
+  const Network net = BuildTinyCnn(config);
+  SaveNetworkToFile(net, path);
+  const Network loaded = LoadNetworkFromFile(path);
+  ExpectSameOutputs(net, loaded, 4);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOPEnonsense-bytes-here-------------------------";
+  EXPECT_THROW((void)LoadNetwork(buffer), CheckError);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  ModelConfig config;
+  config.weight_seed = 9;
+  const Network net = BuildTinyCnn(config);
+  std::stringstream buffer;
+  SaveNetwork(net, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)LoadNetwork(truncated), CheckError);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW((void)LoadNetworkFromFile("/nonexistent/net.bin"), CheckError);
+  ModelConfig config;
+  config.weight_seed = 1;
+  const Network net = BuildTinyCnn(config);
+  EXPECT_THROW(SaveNetworkToFile(net, "/nonexistent/net.bin"), CheckError);
+}
+
+TEST(Serialize, VersionFieldChecked) {
+  ModelConfig config;
+  config.weight_seed = 2;
+  const Network net = BuildTinyCnn(config);
+  std::stringstream buffer;
+  SaveNetwork(net, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // corrupt the version little-endian low byte
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)LoadNetwork(corrupted), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::nn

@@ -1,0 +1,89 @@
+#include "nn/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activation_layers.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/model_zoo.h"
+
+namespace ccperf::nn {
+namespace {
+
+TEST(HashName, StableAndDistinct) {
+  // FNV-1a is part of the weight-determinism contract: if it changed,
+  // every "pretrained" model in the repo would silently change.
+  EXPECT_EQ(HashName("conv1"), HashName("conv1"));
+  EXPECT_NE(HashName("conv1"), HashName("conv2"));
+  EXPECT_NE(HashName(""), HashName("a"));
+  EXPECT_EQ(HashName(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(Weights, DeterministicPerLayerNameNotOrder) {
+  // Two networks that share a layer name get identical weights for that
+  // layer even when built in different orders — the per-layer stream is
+  // keyed by (seed, name), not insertion index.
+  Network a("a", Shape{2, 4, 4});
+  a.Add(std::make_unique<FcLayer>("shared", 2 * 4 * 4, 8));
+  a.Add(std::make_unique<ReluLayer>("r"));
+  InitializePretrainedWeights(a, 7);
+
+  Network b("b", Shape{2, 4, 4});
+  b.Add(std::make_unique<ReluLayer>("front"), {"input"});
+  b.Add(std::make_unique<FcLayer>("shared", 2 * 4 * 4, 8), {"front"});
+  InitializePretrainedWeights(b, 7);
+
+  const Tensor& wa = a.FindLayer("shared")->Weights();
+  const Tensor& wb = b.FindLayer("shared")->Weights();
+  for (std::int64_t i = 0; i < wa.NumElements(); ++i) {
+    ASSERT_EQ(wa.At(i), wb.At(i));
+  }
+}
+
+TEST(Weights, HeScalingMatchesFanIn) {
+  Network net("n", Shape{8, 6, 6});
+  net.Add(std::make_unique<ConvLayer>(
+      "c", ConvParams{.out_channels = 64, .kernel = 3, .pad = 1}, 8));
+  InitializePretrainedWeights(net, 11);
+  const Tensor& w = net.FindLayer("c")->Weights();
+  // fan_in = 8*3*3 = 72; expected stddev = sqrt(2/72) ~ 0.1667.
+  double ss = 0.0;
+  for (std::int64_t i = 0; i < w.NumElements(); ++i) {
+    ss += static_cast<double>(w.At(i)) * w.At(i);
+  }
+  const double stddev = std::sqrt(ss / static_cast<double>(w.NumElements()));
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 72.0), 0.01);
+}
+
+TEST(Weights, DifferentSeedsDifferentWeights) {
+  ModelConfig a_config;
+  a_config.weight_seed = 1;
+  ModelConfig b_config;
+  b_config.weight_seed = 2;
+  const Network a = BuildTinyCnn(a_config);
+  const Network b = BuildTinyCnn(b_config);
+  const Tensor& wa = a.FindLayer("conv1")->Weights();
+  const Tensor& wb = b.FindLayer("conv1")->Weights();
+  int equal = 0;
+  for (std::int64_t i = 0; i < wa.NumElements(); ++i) {
+    if (wa.At(i) == wb.At(i)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Weights, BiasesSmallAndPositiveOnAverage) {
+  ModelConfig config;
+  config.weight_seed = 5;
+  const Network net = BuildTinyCnn(config);
+  const Tensor& bias = net.FindLayer("conv1")->Bias();
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < bias.NumElements(); ++i) mean += bias.At(i);
+  mean /= static_cast<double>(bias.NumElements());
+  EXPECT_NEAR(mean, 0.01, 0.01);
+}
+
+}  // namespace
+}  // namespace ccperf::nn

@@ -1,0 +1,133 @@
+#include "pruning/filter_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+
+namespace ccperf::pruning {
+namespace {
+
+nn::ConvLayer MakeConv(std::int64_t out_c, std::int64_t in_c,
+                       std::uint64_t seed) {
+  nn::ConvLayer conv("c", {.out_channels = out_c, .kernel = 3, .pad = 1},
+                     in_c);
+  Rng rng(seed);
+  conv.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  conv.MutableBias().FillGaussian(rng, 0.1f, 0.05f);
+  conv.NotifyWeightsChanged();
+  return conv;
+}
+
+/// Number of filters (weight rows) that are entirely zero.
+std::int64_t ZeroFilters(const nn::Layer& layer) {
+  const Tensor& w = layer.Weights();
+  const std::int64_t filters = w.GetShape().Dim(0);
+  const std::int64_t per_filter = w.NumElements() / filters;
+  std::int64_t zero = 0;
+  for (std::int64_t f = 0; f < filters; ++f) {
+    bool all_zero = true;
+    for (std::int64_t i = 0; i < per_filter; ++i) {
+      if (w.At(f * per_filter + i) != 0.0f) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) ++zero;
+  }
+  return zero;
+}
+
+TEST(L1FilterPruner, ZeroesWholeFilters) {
+  nn::ConvLayer conv = MakeConv(16, 4, 1);
+  L1FilterPruner pruner;
+  pruner.Prune(conv, 0.25);
+  EXPECT_EQ(ZeroFilters(conv), 4);
+  EXPECT_NEAR(conv.Weights().ZeroFraction(), 0.25, 1e-9);
+}
+
+TEST(L1FilterPruner, LowestL1NormFirst) {
+  nn::ConvLayer conv("c", {.out_channels = 3, .kernel = 1}, 1);
+  auto w = conv.MutableWeights().Data();
+  w[0] = 0.1f;   // filter 0: smallest norm
+  w[1] = -2.0f;  // filter 1
+  w[2] = 1.0f;   // filter 2
+  conv.MutableBias().Set(0, 1.0f);
+  conv.NotifyWeightsChanged();
+  L1FilterPruner pruner;
+  pruner.Prune(conv, 0.34);
+  EXPECT_FLOAT_EQ(conv.Weights().At(0), 0.0f);
+  EXPECT_FLOAT_EQ(conv.Weights().At(1), -2.0f);
+  EXPECT_FLOAT_EQ(conv.Weights().At(2), 1.0f);
+}
+
+TEST(L1FilterPruner, ZeroesMatchingBias) {
+  nn::ConvLayer conv("c", {.out_channels = 2, .kernel = 1}, 1);
+  auto w = conv.MutableWeights().Data();
+  w[0] = 0.1f;
+  w[1] = 5.0f;
+  conv.MutableBias().Set(0, 7.0f);
+  conv.MutableBias().Set(1, 8.0f);
+  conv.NotifyWeightsChanged();
+  L1FilterPruner pruner;
+  pruner.Prune(conv, 0.5);
+  EXPECT_FLOAT_EQ(conv.MutableBias().At(0), 0.0f);
+  EXPECT_FLOAT_EQ(conv.MutableBias().At(1), 8.0f);
+}
+
+TEST(L1FilterPruner, WorksOnFcLayers) {
+  nn::FcLayer fc("fc", 10, 20);
+  Rng rng(2);
+  fc.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  fc.NotifyWeightsChanged();
+  L1FilterPruner pruner;
+  pruner.Prune(fc, 0.5);
+  EXPECT_EQ(ZeroFilters(fc), 10);
+}
+
+TEST(L1FilterPruner, StableUnderRepetition) {
+  nn::ConvLayer conv = MakeConv(8, 2, 3);
+  L1FilterPruner pruner;
+  pruner.Prune(conv, 0.5);
+  const auto snapshot = std::vector<float>(conv.Weights().Data().begin(),
+                                           conv.Weights().Data().end());
+  pruner.Prune(conv, 0.5);  // zero-norm filters sort first; same set pruned
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(conv.Weights().Data()[i], snapshot[i]);
+  }
+}
+
+TEST(L1FilterPruner, ZeroRatioNoop) {
+  nn::ConvLayer conv = MakeConv(4, 2, 4);
+  L1FilterPruner pruner;
+  pruner.Prune(conv, 0.0);
+  EXPECT_EQ(ZeroFilters(conv), 0);
+}
+
+TEST(L1FilterPruner, RejectsBadRatio) {
+  nn::ConvLayer conv = MakeConv(4, 2, 5);
+  L1FilterPruner pruner;
+  EXPECT_THROW(pruner.Prune(conv, 1.0), CheckError);
+}
+
+class FilterRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterRatioSweep, FilterCountRounds) {
+  const double ratio = GetParam();
+  nn::ConvLayer conv = MakeConv(32, 4, 6);
+  L1FilterPruner pruner;
+  pruner.Prune(conv, ratio);
+  EXPECT_EQ(ZeroFilters(conv),
+            static_cast<std::int64_t>(std::llround(ratio * 32)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, FilterRatioSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+}  // namespace
+}  // namespace ccperf::pruning

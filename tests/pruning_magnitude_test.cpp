@@ -1,0 +1,136 @@
+#include "pruning/magnitude_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/activation_layers.h"
+
+namespace ccperf::pruning {
+namespace {
+
+nn::FcLayer MakeFc(std::int64_t in, std::int64_t out, std::uint64_t seed) {
+  nn::FcLayer fc("fc", in, out);
+  Rng rng(seed);
+  fc.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  fc.NotifyWeightsChanged();
+  return fc;
+}
+
+TEST(MagnitudePruner, ExactRatioZeroed) {
+  nn::FcLayer fc = MakeFc(100, 10, 1);
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.37);
+  EXPECT_NEAR(fc.Weights().ZeroFraction(), 0.37, 1e-9);
+}
+
+TEST(MagnitudePruner, SmallestMagnitudesGoFirst) {
+  nn::FcLayer fc("fc", 4, 1);
+  auto w = fc.MutableWeights().Data();
+  w[0] = 0.1f; w[1] = -5.0f; w[2] = 0.2f; w[3] = 3.0f;
+  fc.NotifyWeightsChanged();
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.5);
+  EXPECT_FLOAT_EQ(fc.Weights().At(0), 0.0f);
+  EXPECT_FLOAT_EQ(fc.Weights().At(2), 0.0f);
+  EXPECT_FLOAT_EQ(fc.Weights().At(1), -5.0f);
+  EXPECT_FLOAT_EQ(fc.Weights().At(3), 3.0f);
+}
+
+TEST(MagnitudePruner, ZeroRatioIsNoop) {
+  nn::FcLayer fc = MakeFc(50, 4, 2);
+  const auto before = std::vector<float>(fc.Weights().Data().begin(),
+                                         fc.Weights().Data().end());
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.0);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(fc.Weights().Data()[i], before[i]);
+  }
+}
+
+TEST(MagnitudePruner, RepruningAccountsForExistingZeros) {
+  nn::FcLayer fc = MakeFc(100, 10, 3);
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.5);
+  pruner.Prune(fc, 0.5);  // already-zero weights count toward the target
+  EXPECT_NEAR(fc.Weights().ZeroFraction(), 0.5, 1e-9);
+}
+
+TEST(MagnitudePruner, MonotoneSparsityUnderIncreasingRatio) {
+  MagnitudePruner pruner;
+  double prev = -1.0;
+  for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    nn::FcLayer fc = MakeFc(200, 20, 4);
+    pruner.Prune(fc, r);
+    const double z = fc.Weights().ZeroFraction();
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(MagnitudePruner, TiedMagnitudesStillHitExactCount) {
+  nn::FcLayer fc("fc", 8, 1);
+  auto w = fc.MutableWeights().Data();
+  for (auto& v : w) v = 1.0f;  // all tied
+  fc.NotifyWeightsChanged();
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.5);
+  EXPECT_NEAR(fc.Weights().ZeroFraction(), 0.5, 1e-9);
+}
+
+TEST(MagnitudePruner, FlipsConvToSparsePath) {
+  nn::ConvLayer conv("c", {.out_channels = 8, .kernel = 3}, 8);
+  Rng rng(5);
+  conv.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  conv.NotifyWeightsChanged();
+  EXPECT_FALSE(conv.UsesSparsePath());
+  MagnitudePruner pruner;
+  pruner.Prune(conv, 0.5);
+  EXPECT_TRUE(conv.UsesSparsePath());
+}
+
+TEST(MagnitudePruner, RejectsWeightlessLayer) {
+  nn::ReluLayer relu("r");
+  MagnitudePruner pruner;
+  EXPECT_THROW(pruner.Prune(relu, 0.5), CheckError);
+}
+
+TEST(MagnitudePruner, RejectsRatioOutOfRange) {
+  nn::FcLayer fc = MakeFc(10, 2, 6);
+  MagnitudePruner pruner;
+  EXPECT_THROW(pruner.Prune(fc, 1.0), CheckError);
+  EXPECT_THROW(pruner.Prune(fc, -0.1), CheckError);
+}
+
+TEST(MagnitudePruner, RemovedEnergyGrowsSlowerThanRatio) {
+  // The sweet-spot mechanism: pruning the smallest 50 % of Gaussian weights
+  // removes far less than 50 % of the L1 mass.
+  nn::FcLayer fc = MakeFc(500, 20, 7);
+  const double l1_before = fc.Weights().L1Norm();
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.5);
+  const double l1_after = fc.Weights().L1Norm();
+  EXPECT_GT(l1_after / l1_before, 0.7);
+}
+
+class MagnitudeRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MagnitudeRatioSweep, RealizedRatioIsExact) {
+  const double ratio = GetParam();
+  nn::FcLayer fc = MakeFc(317, 13, 11);  // deliberately non-round size
+  MagnitudePruner pruner;
+  pruner.Prune(fc, ratio);
+  const auto n = static_cast<double>(fc.Weights().NumElements());
+  EXPECT_NEAR(fc.Weights().ZeroFraction(), std::round(ratio * n) / n, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MagnitudeRatioSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.33, 0.5, 0.66,
+                                           0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace ccperf::pruning

@@ -1,0 +1,176 @@
+#include "pruning/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/fc_layer.h"
+#include "nn/model_zoo.h"
+#include "pruning/magnitude_pruner.h"
+
+namespace ccperf::pruning {
+namespace {
+
+nn::FcLayer MakeFc(std::uint64_t seed) {
+  nn::FcLayer fc("fc", 128, 32);
+  Rng rng(seed);
+  fc.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  fc.NotifyWeightsChanged();
+  return fc;
+}
+
+std::size_t DistinctValues(const Tensor& t) {
+  std::set<float> values;
+  for (float v : t.Data()) values.insert(v);
+  return values.size();
+}
+
+TEST(Quantizer, LimitsDistinctValues) {
+  nn::FcLayer fc = MakeFc(1);
+  Quantizer quant(4);  // 4-bit: at most 2*7+1 = 15 levels
+  quant.Apply(fc);
+  EXPECT_LE(DistinctValues(fc.Weights()), 15u);
+}
+
+TEST(Quantizer, EightBitNearlyLossless) {
+  nn::FcLayer fc = MakeFc(2);
+  const auto before = std::vector<float>(fc.Weights().Data().begin(),
+                                         fc.Weights().Data().end());
+  Quantizer quant(8);
+  quant.Apply(fc);
+  double max_err = 0.0, max_abs = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(before[i]) -
+                                         fc.Weights().Data()[i]));
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(before[i])));
+  }
+  // Max rounding error = step/2 = max_abs / 127 / 2.
+  EXPECT_LE(max_err, max_abs / 127.0 / 2.0 + 1e-7);
+}
+
+TEST(Quantizer, PreservesExactZeros) {
+  nn::FcLayer fc = MakeFc(3);
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.6);
+  Quantizer quant(4);
+  quant.Apply(fc);
+  EXPECT_NEAR(fc.Weights().ZeroFraction(), 0.6, 0.02)
+      << "quantization must compose with pruning";
+}
+
+TEST(Quantizer, ErrorDecreasesWithBits) {
+  const nn::FcLayer fc = MakeFc(4);
+  double prev = 1e9;
+  for (int bits : {2, 4, 6, 8, 12}) {
+    const double err = Quantizer(bits).RelativeRmsError(fc.Weights());
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+  EXPECT_LT(Quantizer(12).RelativeRmsError(fc.Weights()), 1e-3);
+}
+
+TEST(Quantizer, AllZeroWeightsNoop) {
+  nn::FcLayer fc("fc", 4, 2);
+  Quantizer quant(4);
+  quant.Apply(fc);
+  EXPECT_DOUBLE_EQ(fc.Weights().ZeroFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(quant.RelativeRmsError(fc.Weights()), 0.0);
+}
+
+TEST(Quantizer, AppliesToWholeNetwork) {
+  nn::ModelConfig config;
+  config.weight_seed = 11;
+  nn::Network net = nn::BuildTinyCnn(config);
+  Quantizer quant(3);
+  quant.ApplyToNetwork(net);
+  for (const auto& name : net.WeightedLayerNames()) {
+    EXPECT_LE(DistinctValues(net.FindLayer(name)->Weights()), 7u) << name;
+  }
+  // Network still runs.
+  Tensor in(Shape{1, 3, 16, 16}, std::vector<float>(3 * 16 * 16, 0.2f));
+  EXPECT_EQ(net.Forward(in).GetShape(), (Shape{1, 10, 1, 1}));
+}
+
+TEST(Quantizer, RejectsBadBits) {
+  EXPECT_THROW(Quantizer(1), CheckError);
+  EXPECT_THROW(Quantizer(17), CheckError);
+}
+
+TEST(Quantizer, RejectsWeightlessLayer) {
+  nn::Network net = nn::BuildTinyCnn();
+  Quantizer quant(8);
+  EXPECT_THROW(quant.Apply(*net.FindLayer("relu1")), CheckError);
+}
+
+TEST(WeightSharer, ReducesToClusterCount) {
+  nn::FcLayer fc = MakeFc(5);
+  WeightSharer sharer(8);
+  sharer.Apply(fc);
+  EXPECT_LE(DistinctValues(fc.Weights()), 8u);
+}
+
+TEST(WeightSharer, PreservesZeros) {
+  nn::FcLayer fc = MakeFc(6);
+  MagnitudePruner pruner;
+  pruner.Prune(fc, 0.5);
+  WeightSharer sharer(4);
+  sharer.Apply(fc);
+  EXPECT_NEAR(fc.Weights().ZeroFraction(), 0.5, 0.02);
+  EXPECT_LE(DistinctValues(fc.Weights()), 5u);  // 4 centroids + zero
+}
+
+TEST(WeightSharer, ManyClustersNearlyLossless) {
+  nn::FcLayer fc = MakeFc(7);
+  const double l1_before = fc.Weights().L1Norm();
+  WeightSharer sharer(256, 20);
+  sharer.Apply(fc);
+  EXPECT_NEAR(fc.Weights().L1Norm(), l1_before, l1_before * 0.02);
+}
+
+TEST(WeightSharer, ConstantWeightsNoop) {
+  nn::FcLayer fc("fc", 4, 2);
+  for (auto& v : fc.MutableWeights().Data()) v = 1.5f;
+  fc.NotifyWeightsChanged();
+  WeightSharer sharer(4);
+  sharer.Apply(fc);
+  for (float v : fc.Weights().Data()) EXPECT_FLOAT_EQ(v, 1.5f);
+}
+
+TEST(WeightSharer, RejectsBadConfig) {
+  EXPECT_THROW(WeightSharer(1), CheckError);
+  EXPECT_THROW(WeightSharer(8, 0), CheckError);
+}
+
+TEST(AnalyzeMemory, FootprintsOrderedSensibly) {
+  nn::ModelConfig config;
+  config.weight_seed = 13;
+  nn::Network net = nn::BuildTinyCnn(config);
+  const MemoryReport dense = AnalyzeMemory(net, 8, 16);
+  EXPECT_GT(dense.dense_fp32_bytes, 0.0);
+  // 8-bit quantization is 4x smaller than fp32.
+  EXPECT_NEAR(dense.quantized_bytes, dense.dense_fp32_bytes / 4.0,
+              dense.dense_fp32_bytes * 0.01);
+  // 16 clusters -> ceil(log2(17)) = 5-bit indices.
+  EXPECT_LT(dense.shared_bytes, dense.dense_fp32_bytes / 6.0);
+  // Unpruned CSR is bigger than dense (value + index per element).
+  EXPECT_GT(dense.sparse_csr_bytes, dense.dense_fp32_bytes);
+
+  // After pruning, CSR shrinks below dense.
+  MagnitudePruner pruner;
+  for (const auto& name : net.WeightedLayerNames()) {
+    pruner.Prune(*net.FindLayer(name), 0.8);
+  }
+  const MemoryReport pruned = AnalyzeMemory(net, 8, 16);
+  EXPECT_LT(pruned.sparse_csr_bytes, pruned.dense_fp32_bytes);
+}
+
+TEST(AnalyzeMemory, RejectsBadArgs) {
+  const nn::Network net = nn::BuildTinyCnn();
+  EXPECT_THROW(AnalyzeMemory(net, 1, 16), CheckError);
+  EXPECT_THROW(AnalyzeMemory(net, 8, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::pruning

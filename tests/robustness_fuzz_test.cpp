@@ -1,0 +1,109 @@
+// Robustness "fuzz" tests: corrupted serialized streams and mutated model
+// descriptions must produce CheckError (or a valid network) — never crashes
+// or silent garbage. Parameterized over seeds for coverage breadth.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/model_parser.h"
+#include "nn/model_zoo.h"
+#include "nn/serialize.h"
+
+namespace ccperf {
+namespace {
+
+std::string SerializedTinyCnn() {
+  nn::ModelConfig config;
+  config.weight_seed = 3;
+  const nn::Network net = nn::BuildTinyCnn(config);
+  std::stringstream buffer;
+  nn::SaveNetwork(net, buffer);
+  return buffer.str();
+}
+
+class SerializedCorruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializedCorruption, NeverCrashesOnCorruptStreams) {
+  static const std::string pristine = SerializedTinyCnn();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes = pristine;
+    // Corrupt 1-8 random bytes (header region included).
+    const int flips = 1 + static_cast<int>(rng.NextIndex(8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.NextIndex(bytes.size());
+      bytes[pos] = static_cast<char>(rng.NextU64());
+    }
+    std::stringstream corrupted(bytes);
+    try {
+      const nn::Network net = nn::LoadNetwork(corrupted);
+      // If it loaded despite the corruption, it must still be executable.
+      (void)net.OutputShape(1);
+    } catch (const CheckError&) {
+      // Expected for most corruptions.
+    }
+  }
+}
+
+TEST_P(SerializedCorruption, NeverCrashesOnTruncation) {
+  static const std::string pristine = SerializedTinyCnn();
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto cut = rng.NextIndex(pristine.size());
+    std::stringstream truncated(pristine.substr(0, cut));
+    EXPECT_THROW((void)nn::LoadNetwork(truncated), CheckError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializedCorruption,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, MutatedDescriptionsThrowOrParse) {
+  const std::string base = R"(network t
+input 3 16 16
+conv conv1 out=8 kernel=3 pad=1
+relu r1
+maxpool p1 kernel=2 stride=2
+fc f1 out=10
+softmax prob
+)";
+  const std::string charset =
+      "abconv=0123456789 \nfrom_relu.softmaxkernlstrdp@#";
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = base;
+    const int edits = 1 + static_cast<int>(rng.NextIndex(6));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = rng.NextIndex(text.size());
+      text[pos] = charset[rng.NextIndex(charset.size())];
+    }
+    try {
+      const nn::Network net = nn::ParseModel(text);
+      (void)net.OutputShape(1);
+    } catch (const CheckError&) {
+      // Malformed input rejected cleanly.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomGarbageRejectedCleanly) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string text;
+    const auto length = 1 + rng.NextIndex(400);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      text += static_cast<char>(32 + rng.NextIndex(95));
+      if (rng.NextIndex(20) == 0) text += '\n';
+    }
+    EXPECT_THROW((void)nn::ParseModel(text), CheckError) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ccperf

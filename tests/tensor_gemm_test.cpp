@@ -1,0 +1,123 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccperf {
+namespace {
+
+std::vector<float> RandomMatrix(Rng& rng, std::int64_t n) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) v = rng.NextFloat(-1.0f, 1.0f);
+  return m;
+}
+
+TEST(Gemm, TwoByTwoHandComputed) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4);
+  Gemm(2, 2, 2, a, b, c);
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Gemm, IdentityLeavesMatrixUnchanged) {
+  constexpr std::int64_t n = 16;
+  std::vector<float> eye(n * n, 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) eye[i * n + i] = 1.0f;
+  Rng rng(3);
+  const auto b = RandomMatrix(rng, n * n);
+  std::vector<float> c(n * n);
+  Gemm(n, n, n, eye, b, c);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_FLOAT_EQ(c[i], b[i]);
+}
+
+TEST(Gemm, ZeroKGivesZeroMatrix) {
+  std::vector<float> c(6, 99.0f);
+  Gemm(2, 3, 0, {}, {}, c);
+  for (float v : c) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Gemm, EmptyOutputOk) {
+  std::vector<float> c;
+  Gemm(0, 0, 5, {}, {}, c);
+  SUCCEED();
+}
+
+TEST(Gemm, RejectsMismatchedSizes) {
+  std::vector<float> a(4), b(4), c(3);
+  EXPECT_THROW(Gemm(2, 2, 2, a, b, c), CheckError);
+}
+
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+
+class GemmMatchesNaive : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmMatchesNaive, RandomMatrices) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000003 + n * 1009 + k));
+  const auto a = RandomMatrix(rng, m * k);
+  const auto b = RandomMatrix(rng, k * n);
+  std::vector<float> c_fast(static_cast<std::size_t>(m * n));
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n));
+  Gemm(m, n, k, a, b, c_fast);
+  NaiveGemm(m, n, k, a, b, c_ref);
+  for (std::size_t i = 0; i < c_fast.size(); ++i) {
+    EXPECT_NEAR(c_fast[i], c_ref[i], 1e-3f) << "at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmMatchesNaive,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 7, 3},
+                      GemmShape{5, 1, 9}, GemmShape{8, 8, 8},
+                      GemmShape{33, 65, 17}, GemmShape{64, 256, 64},
+                      GemmShape{100, 3, 300}, GemmShape{3, 100, 1},
+                      GemmShape{129, 31, 129}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n) + "k" + std::to_string(info.param.k);
+    });
+
+TEST(Gemm, SkipsZerosWithoutChangingResult) {
+  // The kernel short-circuits zero A entries; result must equal naive.
+  constexpr std::int64_t m = 17, n = 23, k = 40;
+  Rng rng(77);
+  auto a = RandomMatrix(rng, m * k);
+  for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+  const auto b = RandomMatrix(rng, k * n);
+  std::vector<float> c_fast(m * n), c_ref(m * n);
+  Gemm(m, n, k, a, b, c_fast);
+  NaiveGemm(m, n, k, a, b, c_ref);
+  for (std::size_t i = 0; i < c_fast.size(); ++i) {
+    EXPECT_NEAR(c_fast[i], c_ref[i], 1e-3f);
+  }
+}
+
+TEST(Gemv, MatchesNaiveGemm) {
+  constexpr std::int64_t m = 37, k = 53;
+  Rng rng(5);
+  const auto a = RandomMatrix(rng, m * k);
+  const auto x = RandomMatrix(rng, k);
+  std::vector<float> y(m), y_ref(m);
+  Gemv(m, k, a, x, y);
+  NaiveGemm(m, 1, k, a, x, y_ref);
+  for (std::int64_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-4f);
+}
+
+TEST(Gemv, RejectsBadSizes) {
+  std::vector<float> a(6), x(2), y(2);
+  EXPECT_THROW(Gemv(2, 3, a, x, y), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf

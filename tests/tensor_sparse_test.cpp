@@ -1,0 +1,131 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace ccperf {
+namespace {
+
+std::vector<float> RandomSparseMatrix(Rng& rng, std::int64_t n,
+                                      double sparsity) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) {
+    v = rng.NextDouble() < sparsity ? 0.0f : rng.NextFloat(-1.0f, 1.0f);
+  }
+  return m;
+}
+
+TEST(Csr, RoundTripSmall) {
+  const std::vector<float> dense{0, 1, 0, 2, 0, 0, 3, 0, 4};
+  const CsrMatrix m = CsrMatrix::FromDense(3, 3, dense);
+  EXPECT_EQ(m.Nnz(), 4);
+  EXPECT_EQ(m.ToDense(), dense);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::FromDense(0, 0, {});
+  EXPECT_EQ(m.Nnz(), 0);
+  EXPECT_EQ(m.Rows(), 0);
+}
+
+TEST(Csr, AllZerosMatrix) {
+  const CsrMatrix m = CsrMatrix::FromDense(2, 3, std::vector<float>(6, 0.0f));
+  EXPECT_EQ(m.Nnz(), 0);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 1.0);
+}
+
+TEST(Csr, SparsityComputation) {
+  const std::vector<float> dense{1, 0, 0, 0};
+  const CsrMatrix m = CsrMatrix::FromDense(2, 2, dense);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.75);
+}
+
+TEST(Csr, FromTensorRequiresRank2) {
+  const Tensor t(Shape{2, 2, 2});
+  EXPECT_THROW(CsrMatrix::FromTensor(t), CheckError);
+}
+
+TEST(Csr, FromDenseRejectsSizeMismatch) {
+  EXPECT_THROW(CsrMatrix::FromDense(2, 2, std::vector<float>(3)), CheckError);
+}
+
+TEST(Csr, MultiplyVectorHandComputed) {
+  // [[1,0],[0,2]] * [3,4] = [3,8]
+  const CsrMatrix m = CsrMatrix::FromDense(2, 2, std::vector<float>{1, 0, 0, 2});
+  std::vector<float> x{3, 4}, y(2);
+  m.MultiplyVector(x, y);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+}
+
+TEST(Csr, MultiplyVectorSizeChecked) {
+  const CsrMatrix m = CsrMatrix::FromDense(2, 2, std::vector<float>{1, 0, 0, 2});
+  std::vector<float> x(3), y(2);
+  EXPECT_THROW(m.MultiplyVector(x, y), CheckError);
+}
+
+class CsrMultiplyMatchesDense
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(CsrMultiplyMatchesDense, RandomMatrices) {
+  const auto [rows, cols, n, sparsity] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 31 + cols * 7 + n));
+  const auto a = RandomSparseMatrix(rng, rows * cols, sparsity);
+  std::vector<float> b(static_cast<std::size_t>(cols * n));
+  for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+
+  const CsrMatrix csr = CsrMatrix::FromDense(rows, cols, a);
+  std::vector<float> c_sparse(static_cast<std::size_t>(rows * n));
+  std::vector<float> c_dense(static_cast<std::size_t>(rows * n));
+  csr.MultiplyDense(b, n, c_sparse);
+  NaiveGemm(rows, n, cols, a, b, c_dense);
+  for (std::size_t i = 0; i < c_sparse.size(); ++i) {
+    EXPECT_NEAR(c_sparse[i], c_dense[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSparsities, CsrMultiplyMatchesDense,
+    ::testing::Values(std::make_tuple(1, 1, 1, 0.0),
+                      std::make_tuple(4, 6, 3, 0.5),
+                      std::make_tuple(16, 16, 16, 0.9),
+                      std::make_tuple(64, 32, 8, 0.3),
+                      std::make_tuple(7, 100, 13, 0.99),
+                      std::make_tuple(50, 50, 1, 0.7)));
+
+TEST(Csr, NnzDropsWithSparsity) {
+  Rng rng(2);
+  const auto dense = RandomSparseMatrix(rng, 100 * 100, 0.8);
+  const CsrMatrix m = CsrMatrix::FromDense(100, 100, dense);
+  EXPECT_NEAR(m.Sparsity(), 0.8, 0.03);
+  EXPECT_LT(m.Nnz(), 2500);
+}
+
+TEST(Csr, RowPtrInvariants) {
+  Rng rng(8);
+  const auto dense = RandomSparseMatrix(rng, 20 * 30, 0.6);
+  const CsrMatrix m = CsrMatrix::FromDense(20, 30, dense);
+  const auto row_ptr = m.RowPtr();
+  ASSERT_EQ(row_ptr.size(), 21u);
+  EXPECT_EQ(row_ptr.front(), 0);
+  EXPECT_EQ(row_ptr.back(), m.Nnz());
+  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    EXPECT_LE(row_ptr[r], row_ptr[r + 1]);
+  }
+  // Column indices sorted within a row.
+  const auto col = m.ColIdx();
+  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    for (auto p = row_ptr[r]; p + 1 < row_ptr[r + 1]; ++p) {
+      EXPECT_LT(col[static_cast<std::size_t>(p)],
+                col[static_cast<std::size_t>(p) + 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccperf

@@ -1,0 +1,181 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/activation_layers.h"
+#include "nn/fc_layer.h"
+#include "nn/lrn_layer.h"
+#include "nn/model_zoo.h"
+#include "nn/weights.h"
+#include "pruning/variant_generator.h"
+
+namespace ccperf::train {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  TrainerTest()
+      : dataset_(Shape{3, 16, 16}, 8, 512, 5, /*noise_stddev=*/0.25f) {}
+
+  nn::Network FreshNet(std::uint64_t seed = 99) {
+    nn::ModelConfig config;
+    config.weight_seed = seed;
+    config.num_classes = 8;
+    return nn::BuildTinyCnn(config);
+  }
+
+  data::SyntheticImageDataset dataset_;
+};
+
+TEST_F(TrainerTest, LossDecreasesOverSteps) {
+  nn::Network net = FreshNet();
+  SgdTrainer trainer(net, {.learning_rate = 0.05f, .momentum = 0.9f});
+  const Tensor images = dataset_.Batch(0, 64);
+  const auto labels = dataset_.BatchLabels(0, 64);
+  const double initial = trainer.EvalLoss(images, labels);
+  for (int step = 0; step < 30; ++step) {
+    (void)trainer.TrainBatch(images, labels);
+  }
+  const double trained = trainer.EvalLoss(images, labels);
+  EXPECT_LT(trained, initial * 0.5) << initial << " -> " << trained;
+}
+
+TEST_F(TrainerTest, LearnsAboveChanceOnHeldOutData) {
+  nn::Network net = FreshNet();
+  SgdTrainer trainer(net, {.learning_rate = 0.05f, .momentum = 0.9f});
+  // Train on the first 384 images, evaluate on the last 128.
+  (void)trainer.Fit(dataset_, /*train_size=*/384, /*batch=*/32, /*epochs=*/6);
+  const double top1 = TopKAccuracy(net, dataset_, 384, 128, 1);
+  // Chance is 1/8 = 12.5 %; the class signatures are strong, so a trained
+  // net should be far above it.
+  EXPECT_GT(top1, 0.5) << "held-out top1 " << top1;
+  const double untrained_top1 = TopKAccuracy(FreshNet(1234), dataset_, 384,
+                                             128, 1);
+  EXPECT_GT(top1, untrained_top1 + 0.2);
+}
+
+TEST_F(TrainerTest, FitReturnsFinalEpochLoss) {
+  nn::Network net = FreshNet();
+  SgdTrainer trainer(net);
+  const double first = trainer.Fit(dataset_, 128, 32, 1);
+  const double later = trainer.Fit(dataset_, 128, 32, 3);
+  EXPECT_LT(later, first);
+}
+
+TEST_F(TrainerTest, EvalLossDoesNotTrain) {
+  nn::Network net = FreshNet();
+  SgdTrainer trainer(net);
+  const Tensor images = dataset_.Batch(0, 16);
+  const auto labels = dataset_.BatchLabels(0, 16);
+  const double a = trainer.EvalLoss(images, labels);
+  const double b = trainer.EvalLoss(images, labels);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(TrainerTest, RejectsNetworksWithoutSoftmaxHead) {
+  nn::Network net("headless", Shape{3, 16, 16});
+  net.Add(std::make_unique<nn::ReluLayer>("r"));
+  EXPECT_THROW(SgdTrainer trainer(net), CheckError);
+}
+
+TEST_F(TrainerTest, TrainsThroughLrn) {
+  // All layer kinds are differentiable, LRN included: a CaffeNet-style
+  // topology with normalization trains.
+  nn::Network net("lrnnet", Shape{3, 8, 8});
+  net.Add(std::make_unique<nn::LrnLayer>("norm"));
+  net.Add(std::make_unique<nn::FcLayer>("fc", 3 * 8 * 8, 8));
+  net.Add(std::make_unique<nn::SoftmaxLayer>("prob"));
+  nn::InitializePretrainedWeights(net, 3);
+  SgdTrainer trainer(net, {.learning_rate = 0.1f});
+  const data::SyntheticImageDataset small(Shape{3, 8, 8}, 8, 128, 4, 0.2f);
+  const Tensor images = small.Batch(0, 32);
+  const auto labels = small.BatchLabels(0, 32);
+  const double before = trainer.EvalLoss(images, labels);
+  for (int step = 0; step < 20; ++step) (void)trainer.TrainBatch(images, labels);
+  EXPECT_LT(trainer.EvalLoss(images, labels), before * 0.8);
+}
+
+TEST_F(TrainerTest, RejectsBadLabelsAndConfig) {
+  nn::Network net = FreshNet();
+  SgdTrainer trainer(net);
+  const Tensor images = dataset_.Batch(0, 4);
+  std::vector<std::int64_t> bad_labels{0, 1, 99, 2};
+  EXPECT_THROW((void)trainer.TrainBatch(images, bad_labels), CheckError);
+  std::vector<std::int64_t> short_labels{0, 1};
+  EXPECT_THROW((void)trainer.TrainBatch(images, short_labels), CheckError);
+  nn::Network net2 = FreshNet();
+  EXPECT_THROW(SgdTrainer(net2, {.learning_rate = 0.0f}), CheckError);
+  EXPECT_THROW(SgdTrainer(net2, {.momentum = 1.0f}), CheckError);
+}
+
+TEST_F(TrainerTest, TrainedModelShowsRealPruningSweetSpot) {
+  // The paper's premise on a genuinely trained model: true (not teacher-
+  // proxied) accuracy stays near baseline for light pruning and collapses
+  // for heavy pruning.
+  nn::Network net = FreshNet();
+  SgdTrainer trainer(net, {.learning_rate = 0.05f, .momentum = 0.9f});
+  (void)trainer.Fit(dataset_, 384, 32, 6);
+  const double base_top1 = TopKAccuracy(net, dataset_, 384, 128, 1);
+  ASSERT_GT(base_top1, 0.5);
+
+  const auto layers = net.WeightedLayerNames();
+  const nn::Network light = pruning::ApplyPlan(
+      net, pruning::UniformPlan(layers, 0.25,
+                                pruning::PrunerFamily::kMagnitude));
+  const nn::Network heavy = pruning::ApplyPlan(
+      net, pruning::UniformPlan(layers, 0.92,
+                                pruning::PrunerFamily::kMagnitude));
+  const double light_top1 = TopKAccuracy(light, dataset_, 384, 128, 1);
+  const double heavy_top1 = TopKAccuracy(heavy, dataset_, 384, 128, 1);
+  EXPECT_GT(light_top1, base_top1 - 0.15) << "light pruning nearly free";
+  EXPECT_LT(heavy_top1, base_top1 - 0.2) << "heavy pruning collapses";
+}
+
+TEST_F(TrainerTest, PruneThenRetrainRecoversAccuracy) {
+  // The Li et al. protocol: heavy pruning hurts, sparsity-preserving
+  // fine-tuning recovers most of the loss without changing density.
+  nn::Network net = FreshNet();
+  {
+    SgdTrainer trainer(net, {.learning_rate = 0.05f, .momentum = 0.9f});
+    (void)trainer.Fit(dataset_, 384, 32, 6);
+  }
+  const double base_top1 = TopKAccuracy(net, dataset_, 384, 128, 1);
+  ASSERT_GT(base_top1, 0.6);
+
+  pruning::ApplyPlanInPlace(
+      net, pruning::UniformPlan(net.WeightedLayerNames(), 0.8,
+                                pruning::PrunerFamily::kMagnitude));
+  const double pruned_top1 = TopKAccuracy(net, dataset_, 384, 128, 1);
+  const double density_before = net.FindLayer("conv2")->WeightDensity();
+
+  SgdTrainer finetune(net, {.learning_rate = 0.02f,
+                            .momentum = 0.9f,
+                            .preserve_sparsity = true});
+  (void)finetune.Fit(dataset_, 384, 32, 4);
+  const double retrained_top1 = TopKAccuracy(net, dataset_, 384, 128, 1);
+  const double density_after = net.FindLayer("conv2")->WeightDensity();
+
+  EXPECT_NEAR(density_after, density_before, 1e-9)
+      << "fine-tuning must not resurrect pruned weights";
+  EXPECT_GE(retrained_top1, pruned_top1)
+      << "retraining must not hurt (" << pruned_top1 << " -> "
+      << retrained_top1 << ")";
+  EXPECT_GT(retrained_top1, base_top1 - 0.15);
+}
+
+TEST_F(TrainerTest, WithoutPreserveSparsityDensityGrowsBack) {
+  nn::Network net = FreshNet();
+  pruning::ApplyPlanInPlace(
+      net, pruning::UniformPlan(net.WeightedLayerNames(), 0.8,
+                                pruning::PrunerFamily::kMagnitude));
+  SgdTrainer trainer(net, {.learning_rate = 0.05f});
+  const Tensor images = dataset_.Batch(0, 32);
+  const auto labels = dataset_.BatchLabels(0, 32);
+  (void)trainer.TrainBatch(images, labels);
+  EXPECT_GT(net.FindLayer("conv2")->WeightDensity(), 0.5)
+      << "plain SGD writes into pruned slots";
+}
+
+}  // namespace
+}  // namespace ccperf::train
