@@ -1,0 +1,249 @@
+// Extension: fault tolerance — accuracy-elastic graceful degradation vs
+// resource elasticity under a crash wave.
+//
+// The paper's accuracy knob (pruned variants, §3) is usually sold as a
+// cost/throughput trade. This experiment uses it as a *failure response*:
+// a fleet hit by a spot crash wave can either provision replacement
+// capacity (the autoscaler — one epoch of reactive lag, extra cost) or
+// instantly switch to a faster pruned variant until the wave passes.
+//
+// Scenario: 2x g3.4xlarge serving 60 img/s for one hour with a 2 s
+// deadline. During [1200 s, 1800 s) a crash wave rotates through the
+// fleet: instance pairs {0, 2} and {1, 3} alternate 40 s outages, so a
+// 2-instance fleet always has exactly one survivor (full-model capacity
+// 48 img/s < load) while a 4-instance fleet always keeps two up.
+//   (a) fault-aware autoscaler (600 s epochs): the wave epoch misses SLO
+//       before the reaction lands, and the capacity it adds arrives after
+//       the wave has passed.
+//   (b) fixed fleet + degradation controller (60 s intervals): degrades
+//       within a control interval or two (one survivor serves 80 img/s at
+//       the deepest rung), recovers with hysteresis.
+//   (c) static 2x overprovisioned fleet: rides the wave at full accuracy
+//       and twice the price.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cloud/autoscaler.h"
+#include "cloud/degradation.h"
+#include "cloud/density.h"
+#include "cloud/faults.h"
+#include "cloud/model_profile.h"
+#include "common/rng.h"
+#include "core/accuracy_model.h"
+
+namespace {
+
+using namespace ccperf;
+
+constexpr double kIntervalS = 60.0;    // degradation control interval
+constexpr double kEpochS = 600.0;      // autoscaler epoch
+constexpr int kIntervals = 60;         // one hour
+constexpr double kLoad = 60.0;         // img/s vs 96 img/s healthy capacity
+
+std::vector<std::vector<double>> IntervalTraces(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> traces;
+  for (int i = 0; i < kIntervals; ++i) {
+    std::vector<double> trace;
+    double t = 0.0;
+    for (;;) {
+      t += -std::log(1.0 - rng.NextDouble()) / kLoad;
+      if (t > kIntervalS) break;
+      trace.push_back(t);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+/// Re-bucket the 60 s interval traces into 600 s epoch traces so every
+/// strategy sees the identical arrival process.
+std::vector<std::vector<double>> EpochTraces(
+    const std::vector<std::vector<double>>& intervals) {
+  const int per_epoch = static_cast<int>(kEpochS / kIntervalS);
+  std::vector<std::vector<double>> epochs;
+  for (std::size_t i = 0; i < intervals.size();
+       i += static_cast<std::size_t>(per_epoch)) {
+    std::vector<double> epoch;
+    for (int k = 0; k < per_epoch; ++k) {
+      const double shift = static_cast<double>(k) * kIntervalS;
+      for (double t : intervals[i + static_cast<std::size_t>(k)]) {
+        epoch.push_back(shift + t);
+      }
+    }
+    epochs.push_back(std::move(epoch));
+  }
+  return epochs;
+}
+
+/// The crash wave: over [1200 s, 1800 s) instance pairs {0, 2} and
+/// {1, 3} alternate 40 s outages. A 2-instance fleet always has exactly
+/// one instance down; a 4-instance fleet always has exactly two.
+cloud::FaultSchedule CrashWave() {
+  cloud::FaultSchedule faults;
+  for (double start = 1200.0; start < 1800.0; start += 80.0) {
+    faults.events.push_back(
+        {cloud::FaultKind::kCrash, 0, start, 40.0, 1.0});
+    faults.events.push_back(
+        {cloud::FaultKind::kCrash, 2, start, 40.0, 1.0});
+    if (start + 40.0 < 1800.0) {
+      faults.events.push_back(
+          {cloud::FaultKind::kCrash, 1, start + 40.0, 40.0, 1.0});
+      faults.events.push_back(
+          {cloud::FaultKind::kCrash, 3, start + 40.0, 40.0, 1.0});
+    }
+  }
+  std::stable_sort(faults.events.begin(), faults.events.end(),
+                   [](const cloud::FaultEvent& a, const cloud::FaultEvent& b) {
+                     return a.start_s < b.start_s;
+                   });
+  faults.Validate();
+  return faults;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Extension — Fault Tolerance & Graceful Degradation",
+      "Crash wave at t=1200..1800 s halves the fleet; accuracy-elastic "
+      "degradation (60 s reaction) vs fault-aware autoscaling (600 s lag) "
+      "vs static overprovisioning.");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ServingSimulator serving(sim);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+
+  const cloud::VariantPerf full = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, {}), "nonpruned");
+  pruning::PrunePlan sweet;
+  sweet.layer_ratios = {{"conv1", 0.3}, {"conv2", 0.5}};
+  const cloud::VariantPerf vsweet = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, sweet), sweet.Label());
+  pruning::PrunePlan deep;
+  deep.layer_ratios = {{"conv1", 0.4}, {"conv2", 0.5}, {"conv3", 0.5},
+                       {"conv4", 0.5}, {"conv5", 0.5}};
+  const cloud::VariantPerf vdeep = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, deep), deep.Label());
+  const std::vector<cloud::DegradationRung> ladder{
+      {full, accuracy.Baseline().top5},
+      {vsweet, accuracy.Evaluate(sweet).top5},
+      {vdeep, accuracy.Evaluate(deep).top5},
+  };
+
+  const auto intervals = IntervalTraces(2024);
+  const auto epochs = EpochTraces(intervals);
+  const cloud::FaultSchedule faults = CrashWave();
+  const cloud::ServingPolicy policy{
+      .max_batch = 64, .max_wait_s = 0.1, .deadline_s = 2.0};
+  const cloud::RetryPolicy retry{.max_retries = 3, .base_backoff_s = 0.05};
+
+  // (a) fault-aware reactive autoscaler, full accuracy.
+  const cloud::Autoscaler scaler(serving, "g3.4xlarge");
+  const cloud::AutoscaleResult reactive = scaler.RunFaulted(
+      epochs, kEpochS, full,
+      // Target 0.8: two instances (util 0.73) are the correct steady-state
+      // fleet, so all added capacity is a *reaction* to the wave.
+      {.target_utilization = 0.8, .min_instances = 2, .max_instances = 6,
+       .miss_rate_step_up = 0.05},
+      policy, retry, faults);
+
+  // (b) fixed 2-instance fleet + accuracy-elastic degradation.
+  cloud::ResourceConfig two;
+  two.Add("g3.4xlarge", 2);
+  const cloud::DegradationController controller(serving, two);
+  const cloud::DegradationResult degraded = controller.Run(
+      intervals, kIntervalS, ladder,
+      // Headroom 0.95: the engine's utilization counts small-batch
+      // launch inefficiency, so even a comfortable fleet reads ~0.9.
+      {.degrade_miss_rate = 0.05, .recover_miss_rate = 0.01,
+       .recover_headroom = 0.95, .recover_intervals = 2},
+      policy, retry, faults);
+
+  // (c) static overprovisioned fleet (4 instances; the wave only ever
+  // touches instances 0 and 1), full accuracy. A single-rung ladder turns
+  // the controller into a plain fixed-fleet accountant.
+  cloud::ResourceConfig four;
+  four.Add("g3.4xlarge", 4);
+  const cloud::DegradationController static_controller(serving, four);
+  const std::vector<cloud::DegradationRung> flat{ladder[0]};
+  const cloud::DegradationResult overprov = static_controller.Run(
+      intervals, kIntervalS, flat, {}, policy, retry, faults);
+
+  // Autoscaler accuracy never degrades; its SLO/cost come from RunFaulted.
+  const double acc_full = ladder[0].accuracy;
+
+  Table table({"strategy", "SLO compliance (%)", "worst p99 (s)",
+               "mean Top-5 (%)", "cost ($/h)", "rung switches"});
+  auto csv = bench::OpenCsv("ext_fault_tolerance.csv",
+                            {"strategy", "slo_compliance", "worst_p99",
+                             "mean_top5", "cost_usd", "switches"});
+
+  table.AddRow({"(a) fault-aware autoscaler (600 s lag)",
+                Table::Num(reactive.slo_compliance * 100.0, 1),
+                Table::Num(reactive.worst_p99_s, 2),
+                Table::Num(acc_full * 100.0, 1),
+                Table::Num(reactive.total_cost_usd, 2), "-"});
+  table.AddRow({"(b) degradation ladder (60 s reaction)",
+                Table::Num(degraded.slo_compliance * 100.0, 1),
+                Table::Num(degraded.worst_p99_s, 2),
+                Table::Num(degraded.mean_accuracy * 100.0, 1),
+                Table::Num(degraded.total_cost_usd, 2),
+                std::to_string(degraded.switches)});
+  table.AddRow({"(c) static 2x overprovisioned",
+                Table::Num(overprov.slo_compliance * 100.0, 1),
+                Table::Num(overprov.worst_p99_s, 2),
+                Table::Num(overprov.mean_accuracy * 100.0, 1),
+                Table::Num(overprov.total_cost_usd, 2), "0"});
+  std::cout << table.Render();
+
+  csv.AddRow({"autoscaler", Table::Num(reactive.slo_compliance, 4),
+              Table::Num(reactive.worst_p99_s, 3), Table::Num(acc_full, 4),
+              Table::Num(reactive.total_cost_usd, 3), "0"});
+  csv.AddRow({"degradation", Table::Num(degraded.slo_compliance, 4),
+              Table::Num(degraded.worst_p99_s, 3),
+              Table::Num(degraded.mean_accuracy, 4),
+              Table::Num(degraded.total_cost_usd, 3),
+              std::to_string(degraded.switches)});
+  csv.AddRow({"overprovision", Table::Num(overprov.slo_compliance, 4),
+              Table::Num(overprov.worst_p99_s, 3),
+              Table::Num(overprov.mean_accuracy, 4),
+              Table::Num(overprov.total_cost_usd, 3), "0"});
+
+  // Rung trajectory around the wave: the degradation controller's whole
+  // story is in when it moved.
+  std::cout << "\nDegradation rung per 60 s interval "
+               "(wave = intervals 20-29):\n  ";
+  for (const auto& step : degraded.steps) std::cout << step.rung;
+  std::cout << "\n";
+
+  bench::Checkpoint(
+      "autoscaler lag",
+      "reactive scaling misses the wave epoch entirely",
+      "SLO " + Table::Num(reactive.slo_compliance * 100.0, 1) + " % at $" +
+          Table::Num(reactive.total_cost_usd, 2));
+  bench::Checkpoint(
+      "graceful degradation",
+      "variant switch needs no provisioning: recovers inside the wave",
+      "SLO " + Table::Num(degraded.slo_compliance * 100.0, 1) + " % at $" +
+          Table::Num(degraded.total_cost_usd, 2) + ", mean Top-5 " +
+          Table::Num(degraded.mean_accuracy * 100.0, 1) + " %");
+  bench::Checkpoint(
+      "overprovisioning",
+      "full accuracy through the wave, at 2x the fleet",
+      "SLO " + Table::Num(overprov.slo_compliance * 100.0, 1) + " % at $" +
+          Table::Num(overprov.total_cost_usd, 2));
+
+  const bool win = degraded.slo_compliance > reactive.slo_compliance &&
+                   degraded.total_cost_usd < reactive.total_cost_usd;
+  std::cout << (win ? "\n  => accuracy elasticity beats resource elasticity "
+                      "on both SLO and cost under faults\n"
+                    : "\n  => WARNING: expected degradation win not "
+                      "reproduced — inspect the scenario\n");
+  return 0;
+}

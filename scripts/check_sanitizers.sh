@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Configure and run the test suite under AddressSanitizer + UBSan in a
+# separate build tree (build-sanitize/). Any leak, overflow, or UB aborts
+# the run — this is the memory-safety gate for the fault-injection and
+# serving simulation paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCCPERF_SANITIZE=ON \
+  -DCCPERF_BUILD_TESTS=ON -DCCPERF_BUILD_BENCH=OFF -DCCPERF_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so the first sanitizer report fails the suite loudly.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "SANITIZERS GREEN"

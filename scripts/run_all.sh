@@ -26,5 +26,6 @@ build/examples/social_media_filter 100000000
 build/examples/model_compressor
 build/examples/calibration_workflow
 build/examples/train_and_prune 6
+build/examples/fault_tolerant_serving
 
 echo "ALL GREEN"

@@ -20,7 +20,15 @@ struct AutoscalePolicy {
   double target_utilization = 0.6;  // scale so next-epoch util ~ target
   int min_instances = 1;
   int max_instances = 16;
+  /// Fault-aware extension (RunFaulted only): when the previous epoch
+  /// dropped or missed more than this fraction of requests, step up even
+  /// if utilization alone would not demand it.
+  double miss_rate_step_up = 0.05;
 };
+
+/// Throws CheckError unless bounds are ordered, target utilization is in
+/// (0, 1) and miss_rate_step_up is in (0, 1].
+void ValidateAutoscalePolicy(const AutoscalePolicy& policy);
 
 /// One epoch of an autoscaled run.
 struct AutoscaleStep {
@@ -35,6 +43,9 @@ struct AutoscaleResult {
   double total_cost_usd = 0.0;   // instance-hours billed across epochs
   double worst_p99_s = 0.0;
   bool always_stable = true;
+  /// Fraction of all requests completed within their deadline (RunFaulted;
+  /// 1.0 when no deadline is configured and nothing is dropped).
+  double slo_compliance = 1.0;
 };
 
 /// Epoch-driven reactive autoscaler over a homogeneous fleet of one
@@ -51,6 +62,19 @@ class Autoscaler {
       const std::vector<std::vector<double>>& arrivals, double epoch_s,
       const VariantPerf& perf, const AutoscalePolicy& policy,
       const ServingPolicy& serving_policy) const;
+
+  /// Fault-aware variant: epochs are served with SimulateFaulted against
+  /// `faults` (global time, sliced per epoch; instance indices address the
+  /// fleet as sized that epoch). Scaling additionally reacts to failure
+  /// signals: an epoch whose deadline-miss/drop rate exceeds
+  /// `policy.miss_rate_step_up` forces at least one extra instance, and an
+  /// unstable epoch still jumps to max. Still one epoch of reactive lag —
+  /// the lag accuracy elasticity does not pay.
+  [[nodiscard]] AutoscaleResult RunFaulted(
+      const std::vector<std::vector<double>>& arrivals, double epoch_s,
+      const VariantPerf& perf, const AutoscalePolicy& policy,
+      const ServingPolicy& serving_policy, const RetryPolicy& retry,
+      const FaultSchedule& faults) const;
 
  private:
   const ServingSimulator& serving_;

@@ -1,0 +1,114 @@
+#include "cloud/degradation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ccperf::cloud {
+
+void ValidateDegradationPolicy(const DegradationPolicy& policy) {
+  CCPERF_CHECK(policy.degrade_miss_rate > 0.0 &&
+                   policy.degrade_miss_rate <= 1.0,
+               "degrade_miss_rate must be in (0, 1]");
+  CCPERF_CHECK(policy.recover_miss_rate >= 0.0 &&
+                   policy.recover_miss_rate < policy.degrade_miss_rate,
+               "recover_miss_rate must be in [0, degrade_miss_rate)");
+  CCPERF_CHECK(policy.recover_headroom > 0.0 &&
+                   policy.recover_headroom <= 1.0,
+               "recover_headroom must be in (0, 1]");
+  CCPERF_CHECK(policy.recover_intervals >= 1,
+               "recover_intervals must be >= 1");
+}
+
+DegradationController::DegradationController(const ServingSimulator& serving,
+                                             ResourceConfig fleet)
+    : serving_(serving), fleet_(std::move(fleet)) {
+  CCPERF_CHECK(!fleet_.Empty(), "degradation fleet must not be empty");
+}
+
+DegradationResult DegradationController::Run(
+    const std::vector<std::vector<double>>& arrivals, double interval_s,
+    std::span<const DegradationRung> ladder, const DegradationPolicy& policy,
+    const ServingPolicy& serving_policy, const RetryPolicy& retry,
+    const FaultSchedule& faults) const {
+  CCPERF_CHECK(!arrivals.empty(), "need at least one control interval");
+  CCPERF_CHECK(interval_s > 0.0, "interval length must be positive");
+  CCPERF_CHECK(!ladder.empty(), "degradation ladder must not be empty");
+  for (const DegradationRung& rung : ladder) {
+    CCPERF_CHECK(rung.accuracy > 0.0 && rung.accuracy <= 1.0,
+                 "rung accuracy must be in (0, 1]");
+  }
+  ValidateDegradationPolicy(policy);
+  ValidateServingPolicy(serving_policy);
+  ValidateRetryPolicy(retry);
+  faults.Validate();
+
+  DegradationResult result;
+  int rung = 0;
+  int calm = 0;
+  std::int64_t total_requests = 0;
+  std::int64_t total_in_deadline = 0;
+  double accuracy_weighted_completions = 0.0;
+  std::int64_t total_completions = 0;
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const FaultSchedule local = faults.Slice(
+        static_cast<double>(i) * interval_s,
+        static_cast<double>(i + 1) * interval_s);
+    const auto& r = ladder[static_cast<std::size_t>(rung)];
+    const ServingReport report = serving_.SimulateFaulted(
+        fleet_, r.perf, arrivals[i], interval_s, serving_policy, retry,
+        local, InflightPolicy::kRequeue, r.accuracy);
+
+    result.total_cost_usd += report.cost_per_hour_usd * interval_s / 3600.0;
+    result.worst_p99_s = std::max(result.worst_p99_s, report.p99_latency_s);
+    result.always_stable = result.always_stable && report.stable;
+    total_requests += report.requests;
+    const auto in_deadline =
+        report.completed - report.deadline_misses;
+    total_in_deadline += in_deadline;
+    accuracy_weighted_completions +=
+        r.accuracy * static_cast<double>(report.completed);
+    total_completions += report.completed;
+    result.steps.push_back({static_cast<int>(i), rung, report});
+
+    // Reactive rung decision for the next interval. Degrade on SLO stress
+    // (misses, drops, or an exploding queue); recover only after
+    // `recover_intervals` consecutive calm intervals — the hysteresis that
+    // stops flapping when load sits near a threshold.
+    const bool stressed =
+        !report.stable || report.deadline_miss_rate >= policy.degrade_miss_rate;
+    const bool calm_interval =
+        report.stable &&
+        report.deadline_miss_rate <= policy.recover_miss_rate &&
+        report.utilization <= policy.recover_headroom;
+    if (stressed) {
+      calm = 0;
+      if (rung + 1 < static_cast<int>(ladder.size())) {
+        ++rung;
+        ++result.switches;
+      }
+    } else if (calm_interval) {
+      ++calm;
+      if (calm >= policy.recover_intervals && rung > 0) {
+        --rung;
+        ++result.switches;
+        calm = 0;
+      }
+    } else {
+      calm = 0;
+    }
+  }
+
+  if (total_requests > 0) {
+    result.slo_compliance = static_cast<double>(total_in_deadline) /
+                            static_cast<double>(total_requests);
+  }
+  if (total_completions > 0) {
+    result.mean_accuracy = accuracy_weighted_completions /
+                           static_cast<double>(total_completions);
+  }
+  return result;
+}
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,84 @@
+// Accuracy-elastic graceful degradation: the paper's accuracy knob (pruned
+// variants, §3) recast as a failure response. A DegradationController
+// watches the serving loop's SLO signals (deadline-miss/drop rate,
+// stability, utilization) and walks a ladder of increasingly pruned
+// variants — degrading when the fleet is overloaded or shrunk by faults,
+// and recovering with hysteresis so the fleet never flaps between rungs.
+//
+// Unlike resource elasticity (Autoscaler), switching a variant provisions
+// nothing: the control interval can be much shorter than an instance
+// boot, which is exactly the comparison bench_ext_fault_tolerance stages.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloud/serving.h"
+
+namespace ccperf::cloud {
+
+/// One rung of the degradation ladder: a variant plus the accuracy it
+/// serves at. Rung 0 is the most accurate; later rungs are more pruned
+/// (faster, less accurate).
+struct DegradationRung {
+  VariantPerf perf;
+  double accuracy = 0.0;  // in (0, 1]
+};
+
+/// When to degrade / recover. All signals come from the previous control
+/// interval's ServingReport (reactive, like the autoscaler — but the
+/// interval can be much shorter because nothing is provisioned).
+struct DegradationPolicy {
+  double degrade_miss_rate = 0.05;  // step down when miss rate >= this
+  double recover_miss_rate = 0.01;  // calm interval: miss rate <= this ...
+  double recover_headroom = 0.7;    // ... and utilization <= this
+  int recover_intervals = 2;        // consecutive calm intervals to step up
+};
+
+/// Throws CheckError unless thresholds are ordered and in range.
+void ValidateDegradationPolicy(const DegradationPolicy& policy);
+
+/// One control interval of a degraded run.
+struct DegradationStep {
+  int interval = 0;
+  int rung = 0;
+  ServingReport report;
+};
+
+/// Whole-run summary.
+struct DegradationResult {
+  std::vector<DegradationStep> steps;
+  double total_cost_usd = 0.0;
+  double worst_p99_s = 0.0;
+  /// Completion-weighted mean accuracy across intervals.
+  double mean_accuracy = 0.0;
+  /// Fraction of all requests completed within their deadline.
+  double slo_compliance = 0.0;
+  std::int64_t switches = 0;  // rung changes over the run
+  bool always_stable = true;
+};
+
+/// Failure-aware controller over a *fixed* fleet: all elasticity comes from
+/// the accuracy ladder.
+class DegradationController {
+ public:
+  /// `serving` must outlive the controller; `fleet` is the fixed fleet.
+  DegradationController(const ServingSimulator& serving,
+                        ResourceConfig fleet);
+
+  /// Serve `arrivals[i]` (interval-local time) for each control interval of
+  /// `interval_s` seconds under `faults` (global time; sliced per
+  /// interval). `ladder` is ordered most-accurate first and must not be
+  /// empty. Deterministic.
+  [[nodiscard]] DegradationResult Run(
+      const std::vector<std::vector<double>>& arrivals, double interval_s,
+      std::span<const DegradationRung> ladder,
+      const DegradationPolicy& policy, const ServingPolicy& serving_policy,
+      const RetryPolicy& retry, const FaultSchedule& faults) const;
+
+ private:
+  const ServingSimulator& serving_;
+  ResourceConfig fleet_;
+};
+
+}  // namespace ccperf::cloud

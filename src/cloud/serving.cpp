@@ -11,6 +11,32 @@
 
 namespace ccperf::cloud {
 
+void ValidateServingPolicy(const ServingPolicy& policy) {
+  CCPERF_CHECK(policy.max_batch >= 1, "max_batch must be >= 1, got ",
+               policy.max_batch);
+  CCPERF_CHECK(policy.max_wait_s >= 0.0, "max_wait_s must be >= 0, got ",
+               policy.max_wait_s);
+  CCPERF_CHECK(policy.deadline_s > 0.0, "deadline_s must be positive, got ",
+               policy.deadline_s);
+}
+
+double RetryPolicy::BackoffFor(int attempt) const {
+  CCPERF_CHECK(attempt >= 1, "attempt is 1-based");
+  double backoff = base_backoff_s;
+  for (int k = 1; k < attempt; ++k) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_s);
+}
+
+void ValidateRetryPolicy(const RetryPolicy& policy) {
+  CCPERF_CHECK(policy.max_retries >= 0, "max_retries must be >= 0, got ",
+               policy.max_retries);
+  CCPERF_CHECK(policy.base_backoff_s >= 0.0 && policy.max_backoff_s >= 0.0,
+               "backoffs must be >= 0");
+  CCPERF_CHECK(policy.backoff_multiplier >= 1.0,
+               "backoff multiplier must be >= 1, got ",
+               policy.backoff_multiplier);
+}
+
 ServingSimulator::ServingSimulator(const CloudSimulator& simulator)
     : simulator_(simulator) {}
 
@@ -54,8 +80,7 @@ ServingReport ServingSimulator::SimulateTrace(
     const ServingPolicy& policy) const {
   CCPERF_CHECK(!config.Empty(), "empty configuration");
   CCPERF_CHECK(duration_s > 0.0, "duration must be positive");
-  CCPERF_CHECK(policy.max_batch >= 1 && policy.max_wait_s >= 0.0,
-               "invalid serving policy");
+  ValidateServingPolicy(policy);
   CCPERF_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()),
                "arrival trace must be time-sorted");
 
@@ -144,6 +169,19 @@ ServingReport ServingSimulator::SimulateTrace(
     }
   }
 
+  report.completed = static_cast<std::int64_t>(latencies.size());
+  std::int64_t in_deadline = 0;
+  for (double latency : latencies) {
+    if (latency <= policy.deadline_s) ++in_deadline;
+  }
+  report.deadline_misses = report.completed - in_deadline;
+  report.goodput_per_s = static_cast<double>(in_deadline) / duration_s;
+  report.accuracy_weighted_goodput = report.goodput_per_s;
+  if (report.requests > 0) {
+    report.deadline_miss_rate =
+        1.0 - static_cast<double>(in_deadline) /
+                  static_cast<double>(report.requests);
+  }
   if (!latencies.empty()) {
     report.mean_latency_s = MeanOf(latencies);
     report.p50_latency_s = Quantile(latencies, 0.50);
@@ -154,6 +192,273 @@ ServingReport ServingSimulator::SimulateTrace(
   for (const auto& gpu : gpus) busy += gpu.busy;
   report.utilization =
       busy / (static_cast<double>(gpus.size()) * duration_s);
+  return report;
+}
+
+ServingReport ServingSimulator::SimulateFaulted(
+    const ResourceConfig& config, const VariantPerf& perf,
+    std::vector<double> arrivals, double duration_s,
+    const ServingPolicy& policy, const RetryPolicy& retry,
+    const FaultSchedule& faults, InflightPolicy inflight,
+    double variant_accuracy) const {
+  CCPERF_CHECK(!config.Empty(), "empty configuration");
+  CCPERF_CHECK(duration_s > 0.0, "duration must be positive");
+  ValidateServingPolicy(policy);
+  ValidateRetryPolicy(retry);
+  faults.Validate();
+  CCPERF_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()),
+               "arrival trace must be time-sorted");
+  CCPERF_CHECK(variant_accuracy > 0.0 && variant_accuracy <= 1.0,
+               "variant accuracy must be in (0, 1]");
+
+  // One server per GPU, one fault timeline per *instance* — when an
+  // instance dies every GPU on it dies with it.
+  struct GpuServer {
+    const InstanceType* type;
+    int instance;
+    double free_at = 0.0;
+    double busy = 0.0;
+  };
+  std::vector<GpuServer> gpus;
+  std::vector<InstanceTimeline> timelines;
+  int instance_index = 0;
+  for (const auto& [type_name, count] : config.instances) {
+    const InstanceType& type = simulator_.Catalog().Find(type_name);
+    for (int c = 0; c < count; ++c) {
+      timelines.emplace_back(faults, instance_index, duration_s);
+      for (int g = 0; g < type.gpus; ++g) {
+        gpus.push_back({&type, instance_index, 0.0, 0.0});
+      }
+      ++instance_index;
+    }
+  }
+  CCPERF_CHECK(!gpus.empty(), "configuration has no GPUs");
+
+  ServingReport report;
+  report.duration_s = duration_s;
+  report.requests = static_cast<std::int64_t>(arrivals.size());
+  {
+    // Failed instance-seconds are not billed (spot semantics): the
+    // effective hourly rate scales with each instance's up fraction.
+    int idx = 0;
+    for (const auto& [type_name, count] : config.instances) {
+      const double price = simulator_.Catalog().Find(type_name).price_per_hour;
+      for (int c = 0; c < count; ++c) {
+        const double up_fraction =
+            1.0 - timelines[static_cast<std::size_t>(idx)].DownSeconds() /
+                      duration_s;
+        report.cost_per_hour_usd += price * up_fraction;
+        ++idx;
+      }
+    }
+  }
+  if (arrivals.empty()) return report;
+
+  const double infinity = std::numeric_limits<double>::infinity();
+  const bool has_deadline = std::isfinite(policy.deadline_s);
+
+  // A request waiting for (re-)dispatch. `ready` is when it (re-)enters the
+  // queue; `arrival` is the original arrival that deadlines/latency use.
+  struct Pending {
+    double ready = 0.0;
+    double arrival = 0.0;
+    int attempts = 0;
+  };
+  const auto later = [](const Pending& a, const Pending& b) {
+    if (a.ready != b.ready) return a.ready > b.ready;
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.attempts > b.attempts;
+  };
+  std::vector<Pending> requeued;  // min-heap by `later`
+  std::deque<Pending> waiting;    // admitted, sorted by ready
+  std::size_t next_arrival = 0;
+  std::vector<double> latencies;
+  latencies.reserve(arrivals.size());
+  std::int64_t in_deadline = 0;
+  const std::size_t backlog_limit =
+      static_cast<std::size_t>(policy.max_batch) * 200 + 10000;
+
+  const auto next_source_ready = [&]() {
+    const double from_trace =
+        next_arrival < arrivals.size() ? arrivals[next_arrival] : infinity;
+    const double from_retry = requeued.empty() ? infinity
+                                               : requeued.front().ready;
+    return std::min(from_trace, from_retry);
+  };
+  // Admit every source request ready by `t`, in merged ready order so
+  // `waiting` stays sorted.
+  const auto admit_until = [&](double t) {
+    for (;;) {
+      const double from_trace =
+          next_arrival < arrivals.size() ? arrivals[next_arrival] : infinity;
+      const double from_retry = requeued.empty() ? infinity
+                                                 : requeued.front().ready;
+      if (std::min(from_trace, from_retry) > t) break;
+      if (from_trace <= from_retry) {
+        waiting.push_back({from_trace, from_trace, 0});
+        ++next_arrival;
+      } else {
+        std::pop_heap(requeued.begin(), requeued.end(), later);
+        waiting.push_back(requeued.back());
+        requeued.pop_back();
+      }
+    }
+  };
+
+  while (next_arrival < arrivals.size() || !requeued.empty() ||
+         !waiting.empty()) {
+    if (waiting.empty()) {
+      admit_until(next_source_ready());
+      continue;
+    }
+    const double t_first = waiting.front().ready;
+
+    // The GPU that can start service earliest, honoring its instance's
+    // down intervals.
+    std::size_t best = gpus.size();
+    double best_at = infinity;
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const double at =
+          timelines[static_cast<std::size_t>(gpus[i].instance)].NextUpAt(
+              std::max(gpus[i].free_at, t_first));
+      if (at < best_at) {
+        best_at = at;
+        best = i;
+      }
+    }
+    if (best == gpus.size()) {
+      // The whole fleet is permanently gone: everything still queued or
+      // yet to arrive is lost.
+      report.dropped_failed +=
+          static_cast<std::int64_t>(waiting.size() + requeued.size()) +
+          static_cast<std::int64_t>(arrivals.size() - next_arrival);
+      break;
+    }
+    GpuServer& gpu = gpus[best];
+    const InstanceTimeline& timeline =
+        timelines[static_cast<std::size_t>(gpu.instance)];
+    const GpuSpec& spec = simulator_.Catalog().Gpu(gpu.type->gpu);
+    const auto batch_cap =
+        std::min<std::int64_t>(policy.max_batch, spec.max_batch);
+
+    // Dispatch trigger: oldest wait deadline or the moment the batch would
+    // fill (merging the trace with pending retries).
+    double full_at = infinity;
+    if (waiting.size() >= static_cast<std::size_t>(batch_cap)) {
+      full_at = waiting[static_cast<std::size_t>(batch_cap) - 1].ready;
+    } else {
+      std::size_t missing =
+          static_cast<std::size_t>(batch_cap) - waiting.size();
+      std::vector<double> retry_readies;
+      retry_readies.reserve(requeued.size());
+      for (const Pending& p : requeued) retry_readies.push_back(p.ready);
+      std::sort(retry_readies.begin(), retry_readies.end());
+      std::size_t ai = next_arrival, ri = 0;
+      double kth = infinity;
+      while (missing > 0) {
+        const double a =
+            ai < arrivals.size() ? arrivals[ai] : infinity;
+        const double r =
+            ri < retry_readies.size() ? retry_readies[ri] : infinity;
+        kth = std::min(a, r);
+        if (kth == infinity) break;
+        if (a <= r) ++ai; else ++ri;
+        --missing;
+      }
+      full_at = missing == 0 ? kth : infinity;
+    }
+    const double wait_deadline = t_first + policy.max_wait_s;
+    double dispatch_at =
+        std::max(best_at, std::min(wait_deadline, full_at));
+    dispatch_at = timeline.NextUpAt(dispatch_at);
+    if (!std::isfinite(dispatch_at)) {
+      gpu.free_at = infinity;  // preempted: retire this server
+      continue;
+    }
+    admit_until(dispatch_at);
+
+    // Requests whose deadline expired before service starts are dropped.
+    if (has_deadline) {
+      for (auto it = waiting.begin(); it != waiting.end();) {
+        if (it->arrival + policy.deadline_s < dispatch_at) {
+          ++report.dropped_deadline;
+          it = waiting.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (waiting.empty()) continue;
+    }
+
+    const auto batch_size = std::min<std::int64_t>(
+        batch_cap, static_cast<std::int64_t>(waiting.size()));
+    const double service =
+        simulator_.BatchSeconds(*gpu.type, perf, batch_size) *
+        timeline.SlowdownAt(dispatch_at);
+    const double completion = dispatch_at + service;
+    const double fail_at = timeline.NextDownAfter(dispatch_at);
+    if (fail_at < completion) {
+      // The instance dies mid-batch; the partial service is wasted and the
+      // requests are requeued with backoff or lost, per policy.
+      gpu.busy += fail_at - dispatch_at;
+      gpu.free_at = fail_at;
+      for (std::int64_t k = 0; k < batch_size; ++k) {
+        Pending p = waiting.front();
+        waiting.pop_front();
+        if (inflight == InflightPolicy::kDrop ||
+            p.attempts + 1 > retry.max_retries) {
+          ++report.dropped_failed;
+        } else {
+          ++report.retries;
+          requeued.push_back({fail_at + retry.BackoffFor(p.attempts + 1),
+                              p.arrival, p.attempts + 1});
+          std::push_heap(requeued.begin(), requeued.end(), later);
+        }
+      }
+    } else {
+      for (std::int64_t k = 0; k < batch_size; ++k) {
+        const Pending p = waiting.front();
+        waiting.pop_front();
+        latencies.push_back(completion - p.arrival);
+        if (completion <= p.arrival + policy.deadline_s) {
+          ++in_deadline;
+        } else {
+          ++report.deadline_misses;
+        }
+        ++report.completed;
+      }
+      gpu.free_at = completion;
+      gpu.busy += service;
+    }
+    report.max_queue = std::max(report.max_queue,
+                                static_cast<double>(waiting.size()));
+    if (waiting.size() > backlog_limit) {
+      report.stable = false;
+      break;
+    }
+  }
+
+  if (!latencies.empty()) {
+    report.mean_latency_s = MeanOf(latencies);
+    report.p50_latency_s = Quantile(latencies, 0.50);
+    report.p95_latency_s = Quantile(latencies, 0.95);
+    report.p99_latency_s = Quantile(latencies, 0.99);
+  }
+  report.goodput_per_s = static_cast<double>(in_deadline) / duration_s;
+  report.accuracy_weighted_goodput =
+      report.goodput_per_s * variant_accuracy;
+  report.deadline_miss_rate =
+      1.0 - static_cast<double>(in_deadline) /
+                static_cast<double>(report.requests);
+  double busy = 0.0;
+  double available = 0.0;
+  for (const auto& gpu : gpus) {
+    busy += gpu.busy;
+    available +=
+        duration_s -
+        timelines[static_cast<std::size_t>(gpu.instance)].DownSeconds();
+  }
+  report.utilization = available > 0.0 ? busy / available : 0.0;
   return report;
 }
 

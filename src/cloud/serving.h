@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "cloud/faults.h"
 #include "cloud/resource_config.h"
 #include "cloud/simulator.h"
 
@@ -27,6 +29,37 @@ namespace ccperf::cloud {
 struct ServingPolicy {
   std::int64_t max_batch = 64;  // dispatch when this many are queued
   double max_wait_s = 0.05;     // ... or when the oldest waited this long
+  /// Per-request deadline (arrival -> completion). Requests that cannot
+  /// start service before their deadline are dropped; requests completing
+  /// late count as deadline misses. Infinity disables deadline accounting.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+/// Throws CheckError unless max_batch >= 1, max_wait_s >= 0 and
+/// deadline_s > 0.
+void ValidateServingPolicy(const ServingPolicy& policy);
+
+/// Retry-with-exponential-backoff for requests whose batch died with the
+/// instance: attempt k re-enters the queue after
+/// min(base * multiplier^(k-1), max) seconds; after `max_retries` failed
+/// re-attempts the request is dropped.
+struct RetryPolicy {
+  int max_retries = 2;
+  double base_backoff_s = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 2.0;
+
+  /// Backoff before re-attempt `attempt` (1-based). Monotone, capped.
+  [[nodiscard]] double BackoffFor(int attempt) const;
+};
+
+/// Throws CheckError on negative retries/backoffs or multiplier < 1.
+void ValidateRetryPolicy(const RetryPolicy& policy);
+
+/// What happens to the requests of a batch in flight on a failed instance.
+enum class InflightPolicy {
+  kRequeue,  // requests re-enter the queue (subject to RetryPolicy)
+  kDrop,     // requests are lost
 };
 
 /// Result of a serving simulation.
@@ -38,9 +71,21 @@ struct ServingReport {
   double p95_latency_s = 0.0;
   double p99_latency_s = 0.0;
   double max_queue = 0.0;        // largest backlog observed
-  double utilization = 0.0;      // busy fraction of GPU time
+  double utilization = 0.0;      // busy fraction of *available* GPU time
   double cost_per_hour_usd = 0.0;
   bool stable = true;            // false if the backlog kept growing
+
+  // Failure-aware accounting (zero on fault-free runs without deadlines).
+  std::int64_t completed = 0;         // requests that finished service
+  std::int64_t dropped_deadline = 0;  // timed out before service started
+  std::int64_t dropped_failed = 0;    // lost to failures / retry exhaustion
+  std::int64_t retries = 0;           // re-enqueues after a failed batch
+  std::int64_t deadline_misses = 0;   // served, but past their deadline
+  double goodput_per_s = 0.0;         // in-deadline completions / duration
+  double deadline_miss_rate = 0.0;    // 1 - in-deadline / requests
+  /// goodput_per_s weighted by the accuracy of the serving variant — the
+  /// paper's accuracy dimension folded into SLO compliance.
+  double accuracy_weighted_goodput = 0.0;
 };
 
 /// Discrete-event simulator over the calibrated device model.
@@ -64,6 +109,19 @@ class ServingSimulator {
                                             std::vector<double> arrivals,
                                             double duration_s,
                                             const ServingPolicy& policy) const;
+
+  /// Replay a trace against a fleet subjected to `faults`. Batches in
+  /// flight on a failing instance are requeued (with `retry` backoff) or
+  /// lost per `inflight`; requests whose deadline expires before service
+  /// are dropped. `variant_accuracy` feeds accuracy_weighted_goodput.
+  /// Deterministic given the trace and schedule.
+  [[nodiscard]] ServingReport SimulateFaulted(
+      const ResourceConfig& config, const VariantPerf& perf,
+      std::vector<double> arrivals, double duration_s,
+      const ServingPolicy& policy, const RetryPolicy& retry,
+      const FaultSchedule& faults,
+      InflightPolicy inflight = InflightPolicy::kRequeue,
+      double variant_accuracy = 1.0) const;
 
   /// Max sustainable arrival rate (requests/s) of a configuration at full
   /// batching — the stability boundary of Simulate().

@@ -33,12 +33,15 @@ ResourceAllocator::ResourceAllocator(const cloud::CloudSimulator& simulator)
 
 double ResourceAllocator::InstanceCar(const std::string& instance,
                                       const CandidateVariant& variant,
-                                      std::int64_t images) const {
+                                      std::int64_t images,
+                                      double interruption_rate_per_hour)
+    const {
   const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
   const double seconds =
       simulator_.InstanceSeconds(type, variant.perf, images);
   const double cost = cloud::ProratedCost(seconds, type.price_per_hour);
-  return CostAccuracyRatio(cost, variant.accuracy);
+  return ExpectedCostAccuracyRatio(cost, seconds, variant.accuracy,
+                                   interruption_rate_per_hour);
 }
 
 namespace {
@@ -48,7 +51,8 @@ namespace {
 std::vector<std::size_t> OrderVariants(
     const ResourceAllocator& allocator,
     std::span<const CandidateVariant> variants,
-    std::span<const std::string> pool, std::int64_t images) {
+    std::span<const std::string> pool, std::int64_t images,
+    double interruption_rate_per_hour) {
   std::vector<double> tar(variants.size(), 0.0);
   for (std::size_t i = 0; i < variants.size(); ++i) {
     // Reference time for TAR: the pool's cheapest-CAR instance. Within one
@@ -57,7 +61,8 @@ std::vector<std::size_t> OrderVariants(
     double best_car = std::numeric_limits<double>::infinity();
     for (std::size_t g = 0; g < pool.size(); ++g) {
       best_car = std::min(
-          best_car, allocator.InstanceCar(pool[g], variants[i], images));
+          best_car, allocator.InstanceCar(pool[g], variants[i], images,
+                                          interruption_rate_per_hour));
     }
     tar[i] = best_car;
   }
@@ -77,12 +82,15 @@ std::vector<std::size_t> OrderVariants(
 AllocationResult ResourceAllocator::AllocateGreedy(
     std::span<const CandidateVariant> variants,
     std::span<const std::string> pool, std::int64_t images, double deadline_s,
-    double budget_usd, cloud::WorkloadSplit split) const {
+    double budget_usd, cloud::WorkloadSplit split,
+    double interruption_rate_per_hour) const {
   CCPERF_CHECK(!variants.empty() && !pool.empty(), "empty allocation inputs");
+  CCPERF_CHECK(interruption_rate_per_hour >= 0.0,
+               "interruption rate must be >= 0");
   AllocationResult result;
 
-  const std::vector<std::size_t> variant_order =
-      OrderVariants(*this, variants, pool, images);
+  const std::vector<std::size_t> variant_order = OrderVariants(
+      *this, variants, pool, images, interruption_rate_per_hour);
 
   for (std::size_t vi : variant_order) {
     const CandidateVariant& variant = variants[vi];
@@ -91,7 +99,8 @@ AllocationResult ResourceAllocator::AllocateGreedy(
     std::iota(resource_order.begin(), resource_order.end(), 0);
     std::vector<double> car(pool.size());
     for (std::size_t g = 0; g < pool.size(); ++g) {
-      car[g] = InstanceCar(pool[g], variant, images);
+      car[g] = InstanceCar(pool[g], variant, images,
+                           interruption_rate_per_hour);
     }
     std::sort(resource_order.begin(), resource_order.end(),
               [&car](std::size_t a, std::size_t b) { return car[a] < car[b]; });
@@ -102,13 +111,21 @@ AllocationResult ResourceAllocator::AllocateGreedy(
       ++result.evaluations;
       const cloud::RunEstimate run =
           simulator_.Run(config, variant.perf, images, split);  // lines 7-8
-      if (run.seconds <= deadline_s && run.cost_usd <= budget_usd) {
+      // Any instance interrupting restarts the whole configuration, so the
+      // fleet-level rate is per-instance rate x |R|.
+      const double fleet_rate =
+          interruption_rate_per_hour * config.TotalInstances();
+      const double expected_s =
+          ExpectedSecondsUnderInterruption(run.seconds, fleet_rate);
+      const double expected_cost =
+          ExpectedCostUnderInterruption(run.cost_usd, run.seconds, fleet_rate);
+      if (expected_s <= deadline_s && expected_cost <= budget_usd) {
         result.feasible = true;
         result.variant_label = variant.label;
         result.accuracy = variant.accuracy;
         result.config = config;
-        result.seconds = run.seconds;
-        result.cost_usd = run.cost_usd;
+        result.seconds = expected_s;
+        result.cost_usd = expected_cost;
         return result;
       }
     }
@@ -119,9 +136,12 @@ AllocationResult ResourceAllocator::AllocateGreedy(
 AllocationResult ResourceAllocator::AllocateExhaustive(
     std::span<const CandidateVariant> variants,
     std::span<const std::string> pool, std::int64_t images, double deadline_s,
-    double budget_usd, cloud::WorkloadSplit split) const {
+    double budget_usd, cloud::WorkloadSplit split,
+    double interruption_rate_per_hour) const {
   CCPERF_CHECK(!variants.empty() && !pool.empty(), "empty allocation inputs");
   CCPERF_CHECK(pool.size() <= 20, "exhaustive search capped at |G| = 20");
+  CCPERF_CHECK(interruption_rate_per_hour >= 0.0,
+               "interruption rate must be >= 0");
   AllocationResult best;
 
   const std::uint64_t subsets = 1ULL << pool.size();
@@ -134,19 +154,25 @@ AllocationResult ResourceAllocator::AllocateExhaustive(
       ++best.evaluations;
       const cloud::RunEstimate run =
           simulator_.Run(config, variant.perf, images, split);
-      if (run.seconds > deadline_s || run.cost_usd > budget_usd) continue;
+      const double fleet_rate =
+          interruption_rate_per_hour * config.TotalInstances();
+      const double expected_s =
+          ExpectedSecondsUnderInterruption(run.seconds, fleet_rate);
+      const double expected_cost =
+          ExpectedCostUnderInterruption(run.cost_usd, run.seconds, fleet_rate);
+      if (expected_s > deadline_s || expected_cost > budget_usd) continue;
       const bool better =
           !best.feasible || variant.accuracy > best.accuracy ||
           (variant.accuracy == best.accuracy &&
-           (run.cost_usd < best.cost_usd ||
-            (run.cost_usd == best.cost_usd && run.seconds < best.seconds)));
+           (expected_cost < best.cost_usd ||
+            (expected_cost == best.cost_usd && expected_s < best.seconds)));
       if (better) {
         best.feasible = true;
         best.variant_label = variant.label;
         best.accuracy = variant.accuracy;
         best.config = config;
-        best.seconds = run.seconds;
-        best.cost_usd = run.cost_usd;
+        best.seconds = expected_s;
+        best.cost_usd = expected_cost;
       }
     }
   }

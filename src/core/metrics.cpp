@@ -1,5 +1,7 @@
 #include "core/metrics.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace ccperf::core {
@@ -20,6 +22,38 @@ double TimeAccuracyRatio(double seconds, double accuracy) {
 double CostAccuracyRatio(double cost_usd, double accuracy) {
   CheckArgs(cost_usd, accuracy);
   return cost_usd / accuracy;
+}
+
+double ExpectedSecondsUnderInterruption(double seconds,
+                                        double rate_per_hour) {
+  CCPERF_CHECK(seconds >= 0.0, "seconds must be non-negative");
+  CCPERF_CHECK(rate_per_hour >= 0.0, "interruption rate must be >= 0");
+  if (rate_per_hour == 0.0 || seconds == 0.0) return seconds;
+  const double lambda = rate_per_hour / 3600.0;  // per second
+  // (e^{λt} - 1)/λ; expm1 keeps small-λt numerically exact.
+  return std::expm1(lambda * seconds) / lambda;
+}
+
+double ExpectedCostUnderInterruption(double cost_usd, double seconds,
+                                     double rate_per_hour) {
+  CCPERF_CHECK(cost_usd >= 0.0, "cost must be non-negative");
+  if (seconds == 0.0) return cost_usd;
+  // Billed time scales with expected wall-clock time.
+  return cost_usd *
+         (ExpectedSecondsUnderInterruption(seconds, rate_per_hour) / seconds);
+}
+
+double ExpectedTimeAccuracyRatio(double seconds, double accuracy,
+                                 double rate_per_hour) {
+  return TimeAccuracyRatio(
+      ExpectedSecondsUnderInterruption(seconds, rate_per_hour), accuracy);
+}
+
+double ExpectedCostAccuracyRatio(double cost_usd, double seconds,
+                                 double accuracy, double rate_per_hour) {
+  return CostAccuracyRatio(
+      ExpectedCostUnderInterruption(cost_usd, seconds, rate_per_hour),
+      accuracy);
 }
 
 }  // namespace ccperf::core

@@ -2,6 +2,14 @@
 //   TAR = t / a  — time to achieve one unit of accuracy
 //   CAR = c / a  — cost to achieve one unit of accuracy
 // Lower is better for both.
+//
+// Expected-value extensions: on interruptible (spot) capacity a run of t
+// seconds restarts from scratch whenever a Poisson interruption (rate λ per
+// hour) hits it, so the classic no-checkpoint restart result applies:
+//   E[T] = (e^{λt} - 1) / λ
+// Feeding E[T]-inflated time/cost into TAR/CAR (and the Pareto filter)
+// prices interruption risk into the paper's frontier the way Scavenger-style
+// allocators price spot risk into provisioning.
 #pragma once
 
 namespace ccperf::core {
@@ -11,5 +19,23 @@ double TimeAccuracyRatio(double seconds, double accuracy);
 
 /// Cost Accuracy Ratio. `cost_usd` >= 0, `accuracy` in (0, 1].
 double CostAccuracyRatio(double cost_usd, double accuracy);
+
+/// Expected wall-clock seconds to finish `seconds` of uninterrupted work
+/// when interruptions arrive at `rate_per_hour` (Poisson) and every
+/// interruption restarts the run: (e^{λt} - 1)/λ, continuous at rate 0.
+double ExpectedSecondsUnderInterruption(double seconds, double rate_per_hour);
+
+/// Expected cost of that run: the same inflation applied to billed time,
+/// `cost_usd` being the interruption-free cost of the run.
+double ExpectedCostUnderInterruption(double cost_usd, double seconds,
+                                     double rate_per_hour);
+
+/// TAR on interruption-inflated expected time.
+double ExpectedTimeAccuracyRatio(double seconds, double accuracy,
+                                 double rate_per_hour);
+
+/// CAR on interruption-inflated expected cost.
+double ExpectedCostAccuracyRatio(double cost_usd, double seconds,
+                                 double accuracy, double rate_per_hour);
 
 }  // namespace ccperf::core

@@ -1,6 +1,9 @@
 #include "cloud/serving.h"
 #include <cmath>
 
+#include <algorithm>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "cloud/density.h"
@@ -159,6 +162,91 @@ TEST_F(ServingTest, EmptyTraceIsFine) {
       serving_.SimulateTrace(OneP2(), perf_, {}, 10.0, {});
   EXPECT_EQ(report.requests, 0);
   EXPECT_TRUE(report.stable);
+  // The failure-aware counters must be zeroed, not left undefined.
+  EXPECT_EQ(report.completed, 0);
+  EXPECT_EQ(report.dropped_deadline, 0);
+  EXPECT_EQ(report.dropped_failed, 0);
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(report.goodput_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.deadline_miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.accuracy_weighted_goodput, 0.0);
+}
+
+TEST_F(ServingTest, DeadlineAccountingInTracePath) {
+  // Every request comfortably beats a loose deadline; goodput equals
+  // throughput and the miss rate is zero.
+  const ServingPolicy policy{
+      .max_batch = 64, .max_wait_s = 0.05, .deadline_s = 5.0};
+  Rng rng(12);
+  std::vector<double> arrivals;
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(1.0 - rng.NextDouble()) / 5.0;
+    if (t > 120.0) break;
+    arrivals.push_back(t);
+  }
+  const ServingReport report =
+      serving_.SimulateTrace(OneP2(), perf_, arrivals, 120.0, policy);
+  EXPECT_EQ(report.completed, report.requests);
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(report.deadline_miss_rate, 0.0);
+  EXPECT_NEAR(report.goodput_per_s,
+              static_cast<double>(report.requests) / 120.0, 1e-9);
+}
+
+TEST(ServingPolicyValidation, RejectsBadPolicies) {
+  EXPECT_NO_THROW(ValidateServingPolicy({}));
+  EXPECT_THROW(ValidateServingPolicy({.max_batch = 0}), CheckError);
+  EXPECT_THROW(ValidateServingPolicy({.max_batch = -3}), CheckError);
+  EXPECT_THROW(ValidateServingPolicy({.max_wait_s = -0.1}), CheckError);
+  EXPECT_THROW(ValidateServingPolicy({.deadline_s = 0.0}), CheckError);
+  EXPECT_THROW(ValidateServingPolicy({.deadline_s = -1.0}), CheckError);
+  // An infinite deadline (the default) means "no deadline" and is valid.
+  EXPECT_NO_THROW(ValidateServingPolicy(
+      {.deadline_s = std::numeric_limits<double>::infinity()}));
+}
+
+TEST(DiurnalArrivals, PropertyMonotoneAndRateBounded) {
+  // Property test over seeds: timestamps are strictly increasing, inside
+  // [0, duration], and every quarter-period window's empirical rate stays
+  // below a generous bound on the peak rate mean + amplitude.
+  const double mean = 30.0, amplitude = 20.0, period = 400.0;
+  const double duration = 2000.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const auto arrivals =
+        GenerateDiurnalArrivals(mean, amplitude, period, duration, rng);
+    ASSERT_FALSE(arrivals.empty());
+    EXPECT_GE(arrivals.front(), 0.0);
+    EXPECT_LE(arrivals.back(), duration);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      ASSERT_GT(arrivals[i], arrivals[i - 1]) << "seed " << seed;
+    }
+    const double window = period / 4.0;
+    const auto buckets = static_cast<std::size_t>(duration / window);
+    std::vector<std::int64_t> count(buckets, 0);
+    for (double a : arrivals) {
+      const auto b = std::min(buckets - 1,
+                              static_cast<std::size_t>(a / window));
+      ++count[b];
+    }
+    const double peak = mean + amplitude;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const double rate = static_cast<double>(count[b]) / window;
+      // 5-sigma Poisson slack on the window's worst-case mean.
+      EXPECT_LE(rate, peak + 5.0 * std::sqrt(peak / window))
+          << "seed " << seed << " bucket " << b;
+    }
+  }
+}
+
+TEST(DiurnalArrivals, NegativeAmplitudeRejected) {
+  Rng rng(6);
+  EXPECT_THROW((void)GenerateDiurnalArrivals(10.0, -1.0, 600.0, 600.0, rng),
+               CheckError);
+  EXPECT_THROW((void)GenerateDiurnalArrivals(10.0, 1.0, 600.0, -5.0, rng),
+               CheckError);
 }
 
 TEST(DiurnalArrivals, RateAndShape) {

@@ -153,6 +153,47 @@ TEST_F(AllocatorTest, EmptyInputsRejected) {
                CheckError);
 }
 
+TEST_F(AllocatorTest, InterruptionRiskInflatesCarAndTightensFeasibility) {
+  const auto candidates = Candidates();
+  // Risk-inflated CAR: the same instance looks strictly worse on spot.
+  const double safe =
+      allocator_.InstanceCar("p2.xlarge", candidates[0], 50000);
+  const double risky =
+      allocator_.InstanceCar("p2.xlarge", candidates[0], 50000,
+                             /*interruption_rate_per_hour=*/4.0);
+  EXPECT_GT(risky, safe);
+
+  // A deadline the unpruned variant barely meets on reliable capacity
+  // becomes infeasible for it under interruption risk: the allocator must
+  // degrade to a more-pruned variant (shorter runs dodge interruptions).
+  const std::vector<std::string> pool{"p2.xlarge"};
+  const AllocationResult reliable = allocator_.AllocateGreedy(
+      candidates, pool, 50000, /*deadline_s=*/1200.0, /*budget_usd=*/100.0,
+      cloud::WorkloadSplit::kEqual, /*interruption_rate_per_hour=*/0.0);
+  ASSERT_TRUE(reliable.feasible);
+  EXPECT_EQ(reliable.variant_label, "nonpruned");
+  const AllocationResult spot = allocator_.AllocateGreedy(
+      candidates, pool, 50000, 1200.0, 100.0, cloud::WorkloadSplit::kEqual,
+      /*interruption_rate_per_hour=*/2.0);
+  ASSERT_TRUE(spot.feasible);
+  EXPECT_NE(spot.variant_label, "nonpruned");
+  EXPECT_GT(reliable.accuracy, spot.accuracy);
+  // The reported time/cost are the risk-inflated expectations.
+  EXPECT_GT(spot.seconds, 0.0);
+  EXPECT_LE(spot.seconds, 1200.0);
+
+  // Exhaustive search agrees under the same risk.
+  const AllocationResult exhaustive = allocator_.AllocateExhaustive(
+      candidates, pool, 50000, 1200.0, 100.0, cloud::WorkloadSplit::kEqual,
+      2.0);
+  ASSERT_TRUE(exhaustive.feasible);
+  EXPECT_DOUBLE_EQ(spot.accuracy, exhaustive.accuracy);
+
+  EXPECT_THROW(allocator_.AllocateGreedy(candidates, pool, 1000, 1.0, 1.0,
+                                         cloud::WorkloadSplit::kEqual, -1.0),
+               CheckError);
+}
+
 TEST_F(AllocatorTest, ProportionalSplitUnlocksHeterogeneousConfigs) {
   // Under Eq. 4's equal split a mixed pool may be infeasible for a tight
   // deadline (the 1-GPU instance drags the config); the proportional split

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace ccperf::core {
@@ -42,6 +44,58 @@ TEST(Metrics, RejectInvalidAccuracy) {
 TEST(Metrics, RejectNegativeNumerator) {
   EXPECT_THROW(TimeAccuracyRatio(-1.0, 0.5), CheckError);
   EXPECT_THROW(CostAccuracyRatio(-0.01, 0.5), CheckError);
+}
+
+TEST(ExpectedValue, ZeroRateIsIdentity) {
+  EXPECT_DOUBLE_EQ(ExpectedSecondsUnderInterruption(1234.5, 0.0), 1234.5);
+  EXPECT_DOUBLE_EQ(ExpectedCostUnderInterruption(2.5, 1234.5, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(ExpectedSecondsUnderInterruption(0.0, 5.0), 0.0);
+}
+
+TEST(ExpectedValue, MatchesClosedForm) {
+  // E[T] = (e^{lambda t} - 1) / lambda for restart-from-scratch under
+  // Poisson interruptions. One interruption/hour over a 30-minute run:
+  // lambda t = 0.5, so E[T] = (e^0.5 - 1) * 3600.
+  const double lambda = 1.0 / 3600.0;
+  const double t = 1800.0;
+  EXPECT_NEAR(ExpectedSecondsUnderInterruption(t, 1.0),
+              (std::exp(lambda * t) - 1.0) / lambda, 1e-6);
+  // Cost inflates by the same time ratio (the fleet is billed while
+  // redoing lost work).
+  const double expected_s = ExpectedSecondsUnderInterruption(t, 1.0);
+  EXPECT_NEAR(ExpectedCostUnderInterruption(1.0, t, 1.0), expected_s / t,
+              1e-9);
+}
+
+TEST(ExpectedValue, MonotoneInRateAndTime) {
+  // More interruptions or a longer nominal run can only inflate E[T], and
+  // superlinearly: doubling t more than doubles E[T] at a fixed rate.
+  EXPECT_GT(ExpectedSecondsUnderInterruption(600.0, 2.0),
+            ExpectedSecondsUnderInterruption(600.0, 1.0));
+  EXPECT_GT(ExpectedSecondsUnderInterruption(600.0, 1.0), 600.0);
+  EXPECT_GT(ExpectedSecondsUnderInterruption(1200.0, 6.0),
+            2.0 * ExpectedSecondsUnderInterruption(600.0, 6.0));
+}
+
+TEST(ExpectedValue, RatiosInflateWithRisk) {
+  // At rate 0 the expected ratios reduce to the plain TAR/CAR.
+  EXPECT_DOUBLE_EQ(ExpectedTimeAccuracyRatio(10.0, 0.5, 0.0),
+                   TimeAccuracyRatio(10.0, 0.5));
+  EXPECT_DOUBLE_EQ(ExpectedCostAccuracyRatio(0.57, 3600.0, 1.0, 0.0),
+                   CostAccuracyRatio(0.57, 1.0));
+  EXPECT_GT(ExpectedTimeAccuracyRatio(3600.0, 0.5, 2.0),
+            TimeAccuracyRatio(3600.0, 0.5));
+  EXPECT_GT(ExpectedCostAccuracyRatio(1.0, 3600.0, 0.5, 2.0),
+            CostAccuracyRatio(1.0, 0.5));
+}
+
+TEST(ExpectedValue, RejectsBadArguments) {
+  EXPECT_THROW(ExpectedSecondsUnderInterruption(-1.0, 1.0), CheckError);
+  EXPECT_THROW(ExpectedSecondsUnderInterruption(1.0, -0.5), CheckError);
+  EXPECT_THROW(ExpectedCostUnderInterruption(-1.0, 1.0, 1.0), CheckError);
+  EXPECT_THROW(ExpectedCostUnderInterruption(1.0, -1.0, 1.0), CheckError);
+  EXPECT_THROW(ExpectedTimeAccuracyRatio(1.0, 1.5, 1.0), CheckError);
+  EXPECT_THROW(ExpectedCostAccuracyRatio(1.0, 1.0, 0.0, 1.0), CheckError);
 }
 
 }  // namespace

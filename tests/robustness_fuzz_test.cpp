@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
+#include "cloud/faults.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/calibration.h"
 #include "nn/model_parser.h"
 #include "nn/model_zoo.h"
 #include "nn/serialize.h"
@@ -104,6 +107,137 @@ TEST_P(ParserFuzz, RandomGarbageRejectedCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(11, 22, 33));
+
+class FaultCsvFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string PristineFaultCsv() {
+  const cloud::FaultModel model{.preemption_rate = 0.5,
+                                .crash_rate = 6.0,
+                                .restart_s = 20.0,
+                                .slowdown_rate = 3.0};
+  Rng rng(17);
+  return cloud::FaultScheduleCsv(
+      cloud::GenerateFaultSchedule(model, 4, 3600.0, rng));
+}
+
+TEST_P(FaultCsvFuzz, CorruptedSchedulesThrowOrParseValid) {
+  static const std::string pristine = PristineFaultCsv();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string text = pristine;
+    const int flips = 1 + static_cast<int>(rng.NextIndex(8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.NextIndex(text.size());
+      text[pos] = static_cast<char>(32 + rng.NextIndex(95));
+    }
+    try {
+      const cloud::FaultSchedule schedule =
+          cloud::ParseFaultScheduleCsv(text);
+      // If the corruption survived parsing, the schedule must be usable:
+      // validated, sliceable, and safe to expand into a timeline.
+      schedule.Validate();
+      (void)schedule.Slice(0.0, 1800.0);
+      (void)cloud::InstanceTimeline(schedule, 0, 3600.0);
+    } catch (const CheckError&) {
+      // Malformed input rejected cleanly.
+    }
+  }
+}
+
+TEST_P(FaultCsvFuzz, ShuffledRowsRejected) {
+  // Fault schedules are replay logs: out-of-order rows must raise
+  // CheckError rather than being silently reordered or crashing.
+  static const std::string pristine = PristineFaultCsv();
+  std::vector<std::string> lines;
+  std::stringstream in(pristine);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_GT(lines.size(), 4u);
+  Rng rng(GetParam() ^ 0x77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> shuffled(lines.begin() + 1, lines.end());
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextIndex(i)]);
+    }
+    std::string text = lines[0] + '\n';
+    for (const std::string& row : shuffled) text += row + '\n';
+    try {
+      (void)cloud::ParseFaultScheduleCsv(text);
+      // A shuffle can accidentally restore sorted order; verify.
+      const cloud::FaultSchedule schedule =
+          cloud::ParseFaultScheduleCsv(text);
+      schedule.Validate();
+    } catch (const CheckError&) {
+      // Out-of-order rows rejected.
+    }
+  }
+}
+
+TEST_P(FaultCsvFuzz, TruncationRejectedOrValid) {
+  static const std::string pristine = PristineFaultCsv();
+  Rng rng(GetParam() ^ 0xfa11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto cut = rng.NextIndex(pristine.size());
+    try {
+      (void)cloud::ParseFaultScheduleCsv(pristine.substr(0, cut));
+    } catch (const CheckError&) {
+      // Expected for most cuts (mid-row or missing header).
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCsvFuzz, ::testing::Values(7, 8, 9));
+
+class CurveCsvFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CurveCsvFuzz, CorruptedCalibrationCurvesThrowOrParseValid) {
+  const std::string pristine =
+      "ratio,seconds,top1,top5\n"
+      "0,1.20,0.57,0.80\n"
+      "0.1,1.15,0.565,0.795\n"
+      "0.3,1.02,0.55,0.78\n"
+      "0.5,0.90,0.52,0.74\n"
+      "0.7,0.77,0.44,0.66\n"
+      "0.9,0.64,0.25,0.41\n";
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = pristine;
+    const int flips = 1 + static_cast<int>(rng.NextIndex(6));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.NextIndex(text.size());
+      text[pos] = static_cast<char>(32 + rng.NextIndex(95));
+    }
+    try {
+      const auto curve = core::ParseCurveCsv(text);
+      // Accepted input must satisfy the documented invariants.
+      for (std::size_t i = 0; i < curve.size(); ++i) {
+        ASSERT_GE(curve[i].ratio, 0.0);
+        ASSERT_LT(curve[i].ratio, 1.0);
+        ASSERT_GE(curve[i].seconds, 0.0);
+        if (i > 0) ASSERT_GT(curve[i].ratio, curve[i - 1].ratio);
+      }
+    } catch (const CheckError&) {
+      // Malformed calibration input rejected cleanly — it must never
+      // poison a fit silently.
+    }
+  }
+}
+
+TEST_P(CurveCsvFuzz, OutOfOrderRatiosRejected) {
+  Rng rng(GetParam() ^ 0xc0de);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Two ascending points followed by a regression: always invalid.
+    const double a = 0.1 + 0.4 * rng.NextDouble();
+    std::stringstream text;
+    text << "ratio,seconds,top1,top5\n"
+         << "0,1.0,0.5,0.8\n"
+         << a << ",0.9,0.5,0.79\n"
+         << a * 0.5 << ",0.8,0.49,0.78\n";
+    EXPECT_THROW((void)core::ParseCurveCsv(text.str()), CheckError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveCsvFuzz, ::testing::Values(4, 5, 6));
 
 }  // namespace
 }  // namespace ccperf
