@@ -41,6 +41,71 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Reference-vs-packed GFLOP/s on the conv GEMM shapes of the paper's
+// Table 1 models (m = out_ch/group, n = out pixels, k = patch size).
+// Shape index -> (name is in the comment; google-benchmark args are ints).
+//   0 caffenet conv1       96 x 3025 x  363
+//   1 caffenet conv2/g    128 x  729 x 1200
+//   2 caffenet conv3      384 x  169 x 2304
+//   3 caffenet conv4/g    192 x  169 x 1728
+//   4 googlenet conv1-7x7  64 x 12544 x 147
+//   5 googlenet 3a-3x3    128 x  784 x  864
+//   6 googlenet 5b-3x3    384 x   49 x 1728
+constexpr std::int64_t kTable1Shapes[][3] = {
+    {96, 3025, 363},  {128, 729, 1200}, {384, 169, 2304}, {192, 169, 1728},
+    {64, 12544, 147}, {128, 784, 864},  {384, 49, 1728},
+};
+
+void GemmGflops(benchmark::State& state, std::int64_t m, std::int64_t n,
+                std::int64_t k) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(m) *
+          static_cast<double>(n) * static_cast<double>(k),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_GemmReferenceTable1(benchmark::State& state) {
+  const auto [m, n, k] = kTable1Shapes[state.range(0)];
+  const auto a = RandomVec(m * k, 1);
+  const auto b = RandomVec(k * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    GemmReference(m, n, k, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  GemmGflops(state, m, n, k);
+}
+BENCHMARK(BM_GemmReferenceTable1)->DenseRange(0, 6);
+
+void BM_GemmPackedTable1(benchmark::State& state) {
+  const auto [m, n, k] = kTable1Shapes[state.range(0)];
+  const auto a = RandomVec(m * k, 1);
+  const auto b = RandomVec(k * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    Gemm(m, n, k, a, b, c);  // packs A on the fly
+    benchmark::DoNotOptimize(c.data());
+  }
+  GemmGflops(state, m, n, k);
+}
+BENCHMARK(BM_GemmPackedTable1)->DenseRange(0, 6);
+
+void BM_GemmPrepackedTable1(benchmark::State& state) {
+  // PackA hoisted out of the loop — the per-forward-pass reuse the conv and
+  // fc layers get when one weight pack serves a whole batch.
+  const auto [m, n, k] = kTable1Shapes[state.range(0)];
+  const auto a = RandomVec(m * k, 1);
+  const auto b = RandomVec(k * n, 2);
+  const PackedA packed = PackA(m, k, a);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    GemmPacked(packed, n, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  GemmGflops(state, m, n, k);
+}
+BENCHMARK(BM_GemmPrepackedTable1)->DenseRange(0, 6);
+
 void BM_SparseMultiply(benchmark::State& state) {
   // conv2-shaped: 256 x 1200 weights against 729 output pixels.
   const double sparsity = static_cast<double>(state.range(0)) / 100.0;

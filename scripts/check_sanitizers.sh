@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Configure and run the test suite under AddressSanitizer + UBSan in a
-# separate build tree (build-sanitize/). Any leak, overflow, or UB aborts
-# the run — this is the memory-safety gate for the fault-injection and
-# serving simulation paths.
+# Configure and run the test suite under sanitizers, each in its own build
+# tree. Stage 1 (build-sanitize/): AddressSanitizer + UBSan over the full
+# suite — the memory-safety gate. Stage 2 (build-tsan/): ThreadSanitizer
+# over the kernels and integration labels (the code that actually touches
+# the thread pool), skipped with a notice if the toolchain lacks TSan.
+# Any report aborts the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,4 +22,33 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+echo "ASAN+UBSAN GREEN"
+
+# --- Stage 2: ThreadSanitizer over the threaded kernels ---------------------
+TSAN_PROBE=$(mktemp -d)
+trap 'rm -rf "$TSAN_PROBE"' EXIT
+echo 'int main() { return 0; }' > "$TSAN_PROBE/probe.cpp"
+if ! ${CXX:-c++} -fsanitize=thread "$TSAN_PROBE/probe.cpp" \
+     -o "$TSAN_PROBE/probe" 2>/dev/null || ! "$TSAN_PROBE/probe"; then
+  echo "TSAN UNAVAILABLE in this toolchain — skipping thread-race stage"
+  echo "SANITIZERS GREEN"
+  exit 0
+fi
+
+TSAN_DIR=build-tsan
+
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCCPERF_SANITIZE_THREAD=ON \
+  -DCCPERF_BUILD_TESTS=ON -DCCPERF_BUILD_BENCH=OFF -DCCPERF_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_DIR" -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1"
+
+# Only the labels that exercise the thread pool; the full suite under TSan
+# is prohibitively slow and the remainder is single-threaded by design.
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
+  -L 'kernels|integration'
+
+echo "TSAN GREEN"
 echo "SANITIZERS GREEN"

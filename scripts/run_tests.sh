@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the test suite, optionally restricted to a CTest label.
+#
+#   scripts/run_tests.sh            # full suite
+#   scripts/run_tests.sh kernels    # math kernels, threading, layer primitives
+#   scripts/run_tests.sh cloud      # cloud cost/latency model + simulator
+#   scripts/run_tests.sh integration
+#   scripts/run_tests.sh fuzz
+#
+# Labels are assigned in tests/CMakeLists.txt via ccperf_add_test(... LABEL x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DCCPERF_BUILD_TESTS=ON
+cmake --build build -j "$(nproc)"
+
+if [[ -n "$LABEL" ]]; then
+  ctest --test-dir build --output-on-failure -j "$(nproc)" -L "$LABEL"
+else
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi

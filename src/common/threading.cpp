@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <latch>
 
 #include "common/check.h"
 
 namespace ccperf {
+
+namespace {
+// The pool whose WorkerLoop this thread is running, if any; parallel loops
+// consult it so a loop issued from inside a GlobalPool task runs inline
+// instead of blocking a worker on work that needs that same worker.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+// Depth of ScopedSerial scopes alive on this thread.
+thread_local int tls_serial_depth = 0;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -42,6 +52,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> job;
     {
@@ -65,6 +76,13 @@ ThreadPool& GlobalPool() {
   return pool;
 }
 
+bool OnGlobalPoolWorker() {
+  return tls_worker_pool != nullptr && tls_worker_pool == &GlobalPool();
+}
+
+ScopedSerial::ScopedSerial() { ++tls_serial_depth; }
+ScopedSerial::~ScopedSerial() { --tls_serial_depth; }
+
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain) {
@@ -82,29 +100,42 @@ void ParallelForChunks(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   grain = std::max<std::size_t>(1, grain);
   const std::size_t n = end - begin;
+  // Run inline when splitting cannot help (small range, one worker), when
+  // the caller asked for serial execution, or when we are already on a
+  // GlobalPool worker — a nested dispatch would block this worker waiting
+  // for chunks that may need this very worker to run.
+  if (tls_serial_depth > 0 || OnGlobalPoolWorker() || n < 2 * grain) {
+    fn(begin, end);
+    return;
+  }
   ThreadPool& pool = GlobalPool();
   const std::size_t workers = pool.ThreadCount();
-  if (workers <= 1 || n < 2 * grain) {
+  if (workers <= 1) {
     fn(begin, end);
     return;
   }
   const std::size_t chunks =
       std::min(workers * 4, std::max<std::size_t>(1, n / grain));
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  const std::size_t live = (n + chunk - 1) / chunk;  // non-empty chunks
+  // Per-call latch, not ThreadPool::Wait(): each caller waits only on its
+  // own chunks, so overlapping dispatch from several threads never blocks
+  // one caller on another's jobs.
+  std::latch done(static_cast<std::ptrdiff_t>(live));
   std::atomic<bool> failed{false};
-  for (std::size_t c = 0; c < chunks; ++c) {
+  for (std::size_t c = 0; c < live; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.Submit([&fn, &failed, lo, hi] {
+    pool.Submit([&fn, &failed, &done, lo, hi] {
       try {
         fn(lo, hi);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
       }
+      done.count_down();
     });
   }
-  pool.Wait();
+  done.wait();
   CCPERF_CHECK(!failed.load(), "a ParallelFor task threw an exception");
 }
 

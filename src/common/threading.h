@@ -49,15 +49,35 @@ class ThreadPool {
 /// Process-wide pool shared by all kernels.
 ThreadPool& GlobalPool();
 
+/// True when the calling thread is one of GlobalPool()'s workers. Parallel
+/// loops issued from a worker run inline on that worker — they must not
+/// block on the pool they are executing inside of.
+[[nodiscard]] bool OnGlobalPoolWorker();
+
+/// While alive, forces ParallelFor/ParallelForChunks issued from the
+/// constructing thread to run inline (equivalent to a one-thread pool).
+/// Used by determinism tests and latency-sensitive call sites.
+class ScopedSerial {
+ public:
+  ScopedSerial();
+  ~ScopedSerial();
+
+  ScopedSerial(const ScopedSerial&) = delete;
+  ScopedSerial& operator=(const ScopedSerial&) = delete;
+};
+
 /// Run fn(i) for i in [begin, end), splitting the range across the pool.
 /// `grain` is the minimum number of iterations per task; ranges smaller than
-/// 2*grain run serially on the calling thread.
+/// 2*grain run serially on the calling thread. Safe to call concurrently
+/// from multiple threads and from inside pool tasks (nested calls run
+/// inline); each call waits only on its own chunks.
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain = 64);
 
 /// Run fn(begin, end) over contiguous chunks in parallel — cheaper than
-/// per-index dispatch for tight loops.
+/// per-index dispatch for tight loops. Same nesting/overlap guarantees as
+/// ParallelFor.
 void ParallelForChunks(std::size_t begin, std::size_t end,
                        const std::function<void(std::size_t, std::size_t)>& fn,
                        std::size_t grain = 256);

@@ -67,6 +67,21 @@ Tensor ConvLayer::Forward(const std::vector<const Tensor*>& inputs) const {
   std::span<float> o = out.Data();
   const std::span<const float> x = in.Data();
 
+  // Weights are invariant for the duration of a forward pass, so the dense
+  // path packs each group's weight panel once here and reuses it for every
+  // image in the batch. Packing is read-on-demand (not cached across calls)
+  // because weights may be mutated in place without NotifyWeightsChanged.
+  std::vector<PackedA> packed_groups;
+  if (!use_sparse_) {
+    packed_groups.reserve(static_cast<std::size_t>(groups));
+    for (std::int64_t grp = 0; grp < groups; ++grp) {
+      packed_groups.push_back(PackA(
+          group_out, patch,
+          w.subspan(static_cast<std::size_t>(grp * group_out * patch),
+                    static_cast<std::size_t>(group_out * patch))));
+    }
+  }
+
   for (std::int64_t img = 0; img < batch; ++img) {
     for (std::int64_t grp = 0; grp < groups; ++grp) {
       const std::int64_t in_off = (img * in_channels_ + grp * group_in) * in_plane;
@@ -81,10 +96,8 @@ Tensor ConvLayer::Forward(const std::vector<const Tensor*>& inputs) const {
         sparse_groups_[static_cast<std::size_t>(grp)].MultiplyDense(
             columns, out_pixels, dst);
       } else {
-        const std::span<const float> wg =
-            w.subspan(static_cast<std::size_t>(grp * group_out * patch),
-                      static_cast<std::size_t>(group_out * patch));
-        Gemm(group_out, out_pixels, patch, wg, columns, dst);
+        GemmPacked(packed_groups[static_cast<std::size_t>(grp)], out_pixels,
+                   columns, dst);
       }
       // Bias.
       for (std::int64_t oc = 0; oc < group_out; ++oc) {

@@ -36,6 +36,32 @@ Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
   std::span<float> y = out.Data();
   const std::span<const float> b = bias_.Data();
 
+  if (!use_sparse_ && batch > 1) {
+    // Batched fast path: y^T[out, batch] = W[out, in] * x^T[in, batch].
+    // Orienting the product this way makes the weight matrix — invariant for
+    // the duration of the pass — the packed A operand, so one pack serves
+    // the whole batch. The two transposes are O(batch * (in + out)) against
+    // the GEMM's O(batch * in * out).
+    const PackedA packed = PackA(out_features_, in_features_, weights_.Data());
+    std::vector<float> xt(static_cast<std::size_t>(in_features_ * batch));
+    for (std::int64_t img = 0; img < batch; ++img) {
+      for (std::int64_t f = 0; f < in_features_; ++f) {
+        xt[static_cast<std::size_t>(f * batch + img)] =
+            x[static_cast<std::size_t>(img * in_features_ + f)];
+      }
+    }
+    std::vector<float> yt(static_cast<std::size_t>(out_features_ * batch));
+    GemmPacked(packed, batch, xt, yt);
+    for (std::int64_t img = 0; img < batch; ++img) {
+      for (std::int64_t o = 0; o < out_features_; ++o) {
+        y[static_cast<std::size_t>(img * out_features_ + o)] =
+            yt[static_cast<std::size_t>(o * batch + img)] +
+            b[static_cast<std::size_t>(o)];
+      }
+    }
+    return out;
+  }
+
   for (std::int64_t img = 0; img < batch; ++img) {
     const std::span<const float> xi =
         x.subspan(static_cast<std::size_t>(img * in_features_),

@@ -6,14 +6,40 @@
 #include "common/check.h"
 #include "common/threading.h"
 
+#if defined(__GNUC__) || defined(__clang__)
+#define CCPERF_GEMM_RESTRICT __restrict__
+#else
+#define CCPERF_GEMM_RESTRICT
+#endif
+
 namespace ccperf {
 
 namespace {
-// Row panels assigned per task; each C row stays resident in L1 while its
-// K-long accumulation streams over B. For very wide rows the j-range is
-// blocked so the C slice still fits L1.
-constexpr std::int64_t kBlockM = 16;
-constexpr std::int64_t kBlockN = 4096;
+
+// --- Blocked kernel tile geometry ------------------------------------------
+// kMr x kNr is the register tile: kMr rows of C, kNr columns, accumulated in
+// registers over a kKc-long K slice. kNr tracks the widest vector unit the
+// compiler may target so the accumulator block (kMr * kNr floats) fills the
+// register file without spilling. kKc keeps one B panel (kKc * kNr floats)
+// L1-resident across the mr-panel sweep; kNc bounds the packed-B working set
+// (kKc * kNc floats, ~1 MB) to L2.
+#if defined(__AVX512F__)
+constexpr std::int64_t kNr = 32;
+#elif defined(__AVX__)
+constexpr std::int64_t kNr = 16;
+#else
+constexpr std::int64_t kNr = 8;
+#endif
+constexpr std::int64_t kMr = 6;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 1024;
+static_assert(kNc % kNr == 0);
+
+// Row panels assigned per task in the reference kernel; each C row stays
+// resident in L1 while its K-long accumulation streams over B. For very wide
+// rows the j-range is blocked so the C slice still fits L1.
+constexpr std::int64_t kRefBlockM = 16;
+constexpr std::int64_t kRefBlockN = 4096;
 
 void CheckGemmArgs(std::int64_t m, std::int64_t n, std::int64_t k,
                    std::span<const float> a, std::span<const float> b,
@@ -24,15 +50,57 @@ void CheckGemmArgs(std::int64_t m, std::int64_t n, std::int64_t k,
   CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "C size mismatch");
 }
 
-// Multiply rows [row_lo, row_hi) of A into C.
+// Register tile: acc[kMr][kNr] += A_panel[kc x kMr] * B_panel[kc x kNr],
+// then the valid mv x nv corner is written back to C — overwriting on the
+// first K block, accumulating on later ones. Tail lanes beyond mv/nv operate
+// on packed zero padding and are never written back, so every C element sees
+// the exact same ascending-k accumulation order regardless of tile
+// alignment, chunk boundaries, or pool size (bitwise-deterministic output).
+void MicroKernel(std::int64_t kc, const float* CCPERF_GEMM_RESTRICT ap,
+                 const float* CCPERF_GEMM_RESTRICT bp,
+                 float* CCPERF_GEMM_RESTRICT c, std::int64_t ldc,
+                 std::int64_t mv, std::int64_t nv, bool first) {
+  float acc[kMr][kNr] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* CCPERF_GEMM_RESTRICT brow = bp + kk * kNr;
+    const float* CCPERF_GEMM_RESTRICT arow = ap + kk * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (std::int64_t j = 0; j < kNr; ++j) {
+        acc[r][j] += av * brow[j];
+      }
+    }
+  }
+  if (mv == kMr && nv == kNr) {
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      float* CCPERF_GEMM_RESTRICT crow = c + r * ldc;
+      if (first) {
+        for (std::int64_t j = 0; j < kNr; ++j) crow[j] = acc[r][j];
+      } else {
+        for (std::int64_t j = 0; j < kNr; ++j) crow[j] += acc[r][j];
+      }
+    }
+  } else {
+    for (std::int64_t r = 0; r < mv; ++r) {
+      float* crow = c + r * ldc;
+      if (first) {
+        for (std::int64_t j = 0; j < nv; ++j) crow[j] = acc[r][j];
+      } else {
+        for (std::int64_t j = 0; j < nv; ++j) crow[j] += acc[r][j];
+      }
+    }
+  }
+}
+
+// Multiply rows [row_lo, row_hi) of A into C (reference kernel body).
 void GemmRowPanel(std::int64_t row_lo, std::int64_t row_hi, std::int64_t n,
                   std::int64_t k, const float* a, const float* b, float* c) {
   for (std::int64_t i = row_lo; i < row_hi; ++i) {
     float* crow = c + i * n;
     std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
     const float* arow = a + i * k;
-    for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-      const std::int64_t j1 = std::min(n, j0 + kBlockN);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kRefBlockN) {
+      const std::int64_t j1 = std::min(n, j0 + kRefBlockN);
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const float aik = arow[kk];
         if (aik == 0.0f) continue;  // free win on sparse-ish panels
@@ -44,11 +112,121 @@ void GemmRowPanel(std::int64_t row_lo, std::int64_t row_hi, std::int64_t n,
     }
   }
 }
+
 }  // namespace
+
+PackedA PackA(std::int64_t m, std::int64_t k, std::span<const float> a) {
+  CCPERF_CHECK(m >= 0 && k >= 0, "negative GEMM extent");
+  CCPERF_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "A size mismatch");
+  PackedA packed;
+  packed.m_ = m;
+  packed.k_ = k;
+  if (m == 0 || k == 0) return packed;
+  const std::int64_t panels = (m + kMr - 1) / kMr;
+  packed.data_.assign(static_cast<std::size_t>(panels * kMr * k), 0.0f);
+  const float* src = a.data();
+  float* dst = packed.data_.data();
+  for (std::int64_t pc = 0; pc < k; pc += kKc) {
+    const std::int64_t kc_eff = std::min(kKc, k - pc);
+    float* block = dst + panels * kMr * pc;
+    for (std::int64_t i = 0; i < panels; ++i) {
+      float* panel = block + i * kMr * kc_eff;
+      const std::int64_t mv = std::min(kMr, m - i * kMr);
+      for (std::int64_t r = 0; r < mv; ++r) {
+        const float* arow = src + (i * kMr + r) * k + pc;
+        for (std::int64_t kk = 0; kk < kc_eff; ++kk) {
+          panel[kk * kMr + r] = arow[kk];
+        }
+      }
+      // Tail rows mv..kMr stay zero from assign(); they multiply into
+      // accumulator lanes the write-back discards.
+    }
+  }
+  return packed;
+}
+
+void GemmPacked(const PackedA& a, std::int64_t n, std::span<const float> b,
+                std::span<float> c) {
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  CCPERF_CHECK(n >= 0, "negative GEMM extent");
+  CCPERF_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "B size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "C size mismatch");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    return;
+  }
+  const std::int64_t panels = (m + kMr - 1) / kMr;
+  const float* pa = a.data_.data();
+  const float* bsrc = b.data();
+  float* cp = c.data();
+
+  const std::int64_t max_npanels =
+      (std::min(n, kNc) + kNr - 1) / kNr;
+  std::vector<float> bpack(
+      static_cast<std::size_t>(max_npanels * kNr * std::min(k, kKc)));
+  float* bpk = bpack.data();
+
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc_eff = std::min(kNc, n - jc);
+    const std::int64_t npanels = (nc_eff + kNr - 1) / kNr;
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc_eff = std::min(kKc, k - pc);
+      // Pack B[pc:pc+kc, jc:jc+nc] into kNr-wide column panels so the
+      // microkernel reads B contiguously; tail columns are zero-padded.
+      for (std::int64_t jp = 0; jp < npanels; ++jp) {
+        float* panel = bpk + jp * kNr * kc_eff;
+        const std::int64_t j0 = jc + jp * kNr;
+        const std::int64_t nv = std::min(kNr, n - j0);
+        for (std::int64_t kk = 0; kk < kc_eff; ++kk) {
+          const float* srow = bsrc + (pc + kk) * n + j0;
+          float* drow = panel + kk * kNr;
+          std::int64_t j = 0;
+          for (; j < nv; ++j) drow[j] = srow[j];
+          for (; j < kNr; ++j) drow[j] = 0.0f;
+        }
+      }
+      const float* pa_block = pa + panels * kMr * pc;
+      const bool first = pc == 0;
+      // Tasks own disjoint mr-panels (disjoint C rows); bpack is read-only
+      // here, so the parallel sweep is race-free and the k-accumulation
+      // order of every C element is independent of the chunking.
+      ParallelForChunks(
+          0, static_cast<std::size_t>(panels),
+          [=](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::int64_t row0 = static_cast<std::int64_t>(i) * kMr;
+              const float* ap = pa_block + row0 * kc_eff;
+              const std::int64_t mv = std::min(kMr, m - row0);
+              float* crow = cp + row0 * n + jc;
+              for (std::int64_t jp = 0; jp < npanels; ++jp) {
+                const std::int64_t nv = std::min(kNr, nc_eff - jp * kNr);
+                MicroKernel(kc_eff, ap, bpk + jp * kNr * kc_eff,
+                            crow + jp * kNr, n, mv, nv, first);
+              }
+            }
+          },
+          1);
+    }
+  }
+}
 
 void Gemm(std::int64_t m, std::int64_t n, std::int64_t k,
           std::span<const float> a, std::span<const float> b,
           std::span<float> c) {
+  CheckGemmArgs(m, n, k, a, b, c);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    return;
+  }
+  GemmPacked(PackA(m, k, a), n, b, c);
+}
+
+void GemmReference(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::span<const float> a, std::span<const float> b,
+                   std::span<float> c) {
   CheckGemmArgs(m, n, k, a, b, c);
   if (m == 0 || n == 0) return;
   if (k == 0) {
@@ -64,7 +242,7 @@ void Gemm(std::int64_t m, std::int64_t n, std::int64_t k,
         GemmRowPanel(static_cast<std::int64_t>(lo),
                      static_cast<std::int64_t>(hi), n, k, ap, bp, cp);
       },
-      static_cast<std::size_t>(kBlockM));
+      static_cast<std::size_t>(kRefBlockM));
 }
 
 void NaiveGemm(std::int64_t m, std::int64_t n, std::int64_t k,

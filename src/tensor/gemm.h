@@ -1,26 +1,75 @@
 // Dense matrix multiply kernels.
 //
-// Gemm computes C = A * B for row-major matrices, register-blocked and
-// parallelized over row panels via the global thread pool. NaiveGemm is the
-// O(MNK) triple loop used as the correctness oracle in tests.
+// Gemm is the public entry point: a blocked, packed, register-tiled kernel
+// parallelized over row panels via the global thread pool. PackA lets
+// weight-stationary callers (conv/fc layers) amortize the A-side packing
+// across many multiplies. GemmReference is the previous row-panel kernel,
+// kept as the fast differential-testing oracle; NaiveGemm is the O(MNK)
+// triple loop used as the ground-truth reference in unit tests.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace ccperf {
 
-/// C[M,N] = A[M,K] * B[K,N], row-major, C overwritten.
+/// A[M,K] repacked into the blocked kernel's panel layout (mr-row panels,
+/// k-major within a panel, zero-padded tail rows). The layout is an
+/// implementation detail of gemm.cpp; treat instances as opaque. Build once
+/// with PackA and reuse across GemmPacked calls while the matrix is
+/// unchanged — conv and fc weights are invariant across a forward pass, so
+/// the layers cache their packed weights and skip the per-call repack.
+class PackedA {
+ public:
+  PackedA() = default;
+
+  [[nodiscard]] std::int64_t M() const { return m_; }
+  [[nodiscard]] std::int64_t K() const { return k_; }
+  /// True for a default-constructed instance holding no matrix.
+  [[nodiscard]] bool Empty() const { return m_ == 0 && k_ == 0; }
+
+ private:
+  friend PackedA PackA(std::int64_t m, std::int64_t k,
+                       std::span<const float> a);
+  friend void GemmPacked(const PackedA& a, std::int64_t n,
+                         std::span<const float> b, std::span<float> c);
+
+  std::int64_t m_ = 0;
+  std::int64_t k_ = 0;
+  std::vector<float> data_;  // [k-block][mr-panel][k-major, mr-contiguous]
+};
+
+/// Repack row-major A[M,K] for GemmPacked.
+PackedA PackA(std::int64_t m, std::int64_t k, std::span<const float> a);
+
+/// C[M,N] = packed_A * B[K,N], row-major, C overwritten. Bitwise
+/// deterministic for fixed extents regardless of pool size: every C element
+/// is accumulated in a fixed k-order by exactly one task.
+void GemmPacked(const PackedA& a, std::int64_t n, std::span<const float> b,
+                std::span<float> c);
+
+/// C[M,N] = A[M,K] * B[K,N], row-major, C overwritten. Packs A on the fly
+/// and runs the blocked kernel; use PackA + GemmPacked to amortize the pack.
 void Gemm(std::int64_t m, std::int64_t n, std::int64_t k,
           std::span<const float> a, std::span<const float> b,
           std::span<float> c);
 
-/// Reference implementation (tests only; no blocking, no threading).
+/// The pre-blocking row-panel kernel, kept verbatim as a second oracle for
+/// the differential tests and as the baseline in bench_kernels. Note: it
+/// skips A entries that compare equal to 0.0f (including -0.0f), so with
+/// non-finite B values it returns 0 where IEEE arithmetic (and the packed
+/// kernel, which multiplies densely) propagates NaN/Inf.
+void GemmReference(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::span<const float> a, std::span<const float> b,
+                   std::span<float> c);
+
+/// Ground-truth implementation (tests only; no blocking, no threading).
 void NaiveGemm(std::int64_t m, std::int64_t n, std::int64_t k,
                std::span<const float> a, std::span<const float> b,
                std::span<float> c);
 
-/// y[M] = A[M,K] * x[K] + y0 (y overwritten with A*x; add bias separately).
+/// y[M] = A[M,K] * x[K] (y overwritten; add bias separately).
 void Gemv(std::int64_t m, std::int64_t k, std::span<const float> a,
           std::span<const float> x, std::span<float> y);
 

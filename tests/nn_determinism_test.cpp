@@ -1,0 +1,78 @@
+// End-to-end determinism: a full CaffeNet forward pass must be bitwise
+// reproducible run-to-run AND independent of the thread pool, because the
+// blocked GEMM accumulates every output element in a fixed ascending-k
+// order inside exactly one task. Bitwise equality (memcmp, not NEAR) is the
+// point: it is what makes pruning experiments replayable across machines
+// with different core counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/threading.h"
+#include "data/synthetic_dataset.h"
+#include "nn/model_zoo.h"
+
+namespace ccperf {
+namespace {
+
+nn::Network ScaledCaffeNet() {
+  nn::ModelConfig config;
+  config.channel_scale = 0.25;
+  config.num_classes = 32;
+  config.weight_seed = 777;
+  return nn::BuildCaffeNet(config);
+}
+
+std::vector<float> Logits(const nn::Network& net, const Tensor& batch) {
+  const Tensor out = net.Forward(batch);
+  const std::span<const float> data = out.Data();
+  return {data.begin(), data.end()};
+}
+
+TEST(Determinism, CaffeNetForwardIsBitwiseReproducible) {
+  const nn::Network net = ScaledCaffeNet();
+  const data::SyntheticImageDataset dataset(Shape{3, 227, 227}, 32, 8, 9);
+  const Tensor batch = dataset.Batch(0, 2);
+
+  const std::vector<float> first = Logits(net, batch);
+  const std::vector<float> second = Logits(net, batch);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(0, std::memcmp(first.data(), second.data(),
+                           first.size() * sizeof(float)));
+}
+
+TEST(Determinism, CaffeNetForwardMatchesSerialExecution) {
+  const nn::Network net = ScaledCaffeNet();
+  const data::SyntheticImageDataset dataset(Shape{3, 227, 227}, 32, 8, 9);
+  const Tensor batch = dataset.Batch(0, 2);
+
+  const std::vector<float> pooled = Logits(net, batch);
+  std::vector<float> serial;
+  {
+    // ScopedSerial forces every ParallelFor into the calling thread — the
+    // ThreadPool(1) equivalent — without rebuilding the global pool.
+    ScopedSerial serial_scope;
+    serial = Logits(net, batch);
+  }
+  ASSERT_EQ(pooled.size(), serial.size());
+  EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                           pooled.size() * sizeof(float)));
+}
+
+TEST(Determinism, TinyCnnForwardIsBitwiseReproducible) {
+  // Cheap guard that also covers the fc batched fast path (batch > 1).
+  nn::ModelConfig config;
+  config.channel_scale = 1.0;
+  config.num_classes = 10;
+  config.weight_seed = 3;
+  const nn::Network net = nn::BuildTinyCnn(config);
+  const data::SyntheticImageDataset dataset(Shape{3, 16, 16}, 10, 16, 4);
+  const Tensor batch = dataset.Batch(0, 4);
+  const std::vector<float> a = Logits(net, batch);
+  const std::vector<float> b = Logits(net, batch);
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace ccperf
