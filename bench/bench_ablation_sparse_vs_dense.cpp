@@ -1,11 +1,18 @@
-// Ablation: CSR sparse execution vs. dense GEMM on the real CPU engine.
+// Ablation: sparse execution (blocked CSR / 4x4 BSR) vs the packed dense
+// GEMM on the real CPU engine.
 //
 // The entire time-benefit of pruning rests on sparse execution getting
 // faster as weights are zeroed (DESIGN.md §5). This ablation measures the
-// crossover: at which sparsity does CSR beat dense GEMM for a conv2-shaped
-// multiply? It justifies ConvLayer::kSparseThreshold (density 0.65).
+// crossover on the conv2 shape for both sparsity structures the pruners
+// produce — element-magnitude (unstructured) and whole-filter (row-
+// structured) — and emits bench_results/sparse_crossover.csv, the
+// calibration record behind the dispatch constants in
+// tensor/sparse_dispatch.h (kCsrCrossoverDensity / kBsrCrossoverDensity).
+// Regenerate with scripts/calibrate_sparse_threshold.sh after touching
+// either kernel family.
 #include <functional>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -13,6 +20,7 @@
 #include "common/timer.h"
 #include "tensor/gemm.h"
 #include "tensor/sparse.h"
+#include "tensor/sparse_dispatch.h"
 
 namespace {
 
@@ -26,13 +34,61 @@ double TimeBest(const std::function<void()>& fn, int reps = 5) {
   return best;
 }
 
+// Unstructured: independent per-element zeros (magnitude pruning's shape).
+std::vector<float> ElementSparseWeights(ccperf::Rng& rng, std::int64_t rows,
+                                        std::int64_t cols, double sparsity) {
+  std::vector<float> w(static_cast<std::size_t>(rows * cols));
+  for (auto& v : w) {
+    v = rng.NextDouble() < sparsity ? 0.0f : rng.NextFloat(-1.0f, 1.0f);
+  }
+  return w;
+}
+
+// Row-structured: whole filters zeroed (filter pruning's shape). A single
+// surviving filter keeps its whole 4-row block stored, so BSR fill bottoms
+// out near 1/kBlockRows here.
+std::vector<float> FilterSparseWeights(ccperf::Rng& rng, std::int64_t rows,
+                                       std::int64_t cols, double sparsity) {
+  std::vector<float> w(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const bool dead = rng.NextDouble() < sparsity;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      w[static_cast<std::size_t>(r * cols + c)] =
+          dead ? 0.0f : rng.NextFloat(-1.0f, 1.0f);
+    }
+  }
+  return w;
+}
+
+// Block-structured: filters pruned in aligned groups of kBlockRows
+// (FilterPruner's block_aligned mode). Dead groups drop whole BSR block
+// rows and surviving blocks stay full, so fill is ~1.0 at every sparsity —
+// the shape BSR is built for.
+std::vector<float> BlockSparseWeights(ccperf::Rng& rng, std::int64_t rows,
+                                      std::int64_t cols, double sparsity) {
+  constexpr std::int64_t kGroup = ccperf::BsrMatrix::kBlockRows;
+  std::vector<float> w(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t g = 0; g < rows; g += kGroup) {
+    const bool dead = rng.NextDouble() < sparsity;
+    for (std::int64_t r = g; r < std::min(rows, g + kGroup); ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        w[static_cast<std::size_t>(r * cols + c)] =
+            dead ? 0.0f : rng.NextFloat(-1.0f, 1.0f);
+      }
+    }
+  }
+  return w;
+}
+
 }  // namespace
 
 int main() {
   using namespace ccperf;
-  bench::Banner("Ablation — Sparse (CSR) vs Dense Execution",
-                "conv2-shaped multiply (256 x 1200 weights x 729 pixels) at "
-                "increasing weight sparsity, real CPU kernels.");
+  bench::Banner(
+      "Ablation — Sparse (blocked CSR / BSR) vs Packed Dense Execution",
+      "conv2-shaped multiply (256 x 1200 weights x 729 pixels) at increasing "
+      "weight sparsity, unstructured and filter-structured, real CPU "
+      "kernels.");
 
   constexpr std::int64_t kRows = 256;   // conv2 filters
   constexpr std::int64_t kCols = 1200;  // 5x5x48 patch
@@ -43,34 +99,87 @@ int main() {
   for (auto& v : columns) v = rng.NextFloat(-1.0f, 1.0f);
   std::vector<float> out(static_cast<std::size_t>(kRows * kPixels));
 
-  Table table({"Sparsity (%)", "Dense GEMM (ms)", "CSR (ms)", "CSR speedup"});
-  auto csv = bench::OpenCsv("ablation_sparse_vs_dense.csv",
-                            {"sparsity", "dense_ms", "csr_ms", "speedup"});
-  double crossover = -1.0;
-  for (double sparsity : {0.0, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95}) {
-    std::vector<float> weights(static_cast<std::size_t>(kRows * kCols));
-    for (auto& v : weights) {
-      v = rng.NextDouble() < sparsity ? 0.0f : rng.NextFloat(-1.0f, 1.0f);
-    }
-    const CsrMatrix csr = CsrMatrix::FromDense(kRows, kCols, weights);
+  auto csv = bench::OpenCsv(
+      "ablation_sparse_vs_dense.csv",
+      {"structure", "sparsity", "bsr_fill", "dense_ms", "csr_ms", "bsr_ms",
+       "csr_speedup", "bsr_speedup", "dispatch"});
+  auto crossover_csv = bench::OpenCsv(
+      "sparse_crossover.csv",
+      {"structure", "kernel", "metric", "crossover_density"});
 
-    const double dense_s = TimeBest(
-        [&] { Gemm(kRows, kPixels, kCols, weights, columns, out); });
-    const double csr_s =
-        TimeBest([&] { csr.MultiplyDense(columns, kPixels, out); });
-    const double speedup = dense_s / csr_s;
-    if (crossover < 0.0 && speedup >= 1.0) crossover = sparsity;
-    table.AddRow({Table::Num(sparsity * 100.0, 0),
-                  Table::Num(dense_s * 1000.0, 2),
-                  Table::Num(csr_s * 1000.0, 2), Table::Num(speedup, 2)});
-    csv.AddRow({Table::Num(sparsity, 2), Table::Num(dense_s * 1000.0, 3),
-                Table::Num(csr_s * 1000.0, 3), Table::Num(speedup, 3)});
+  const std::vector<double> sparsities{0.0,  0.2,  0.35, 0.45, 0.5,  0.55,
+                                       0.6,  0.65, 0.7,  0.8,  0.9,  0.95};
+  struct Structure {
+    std::string name;
+    std::function<std::vector<float>(ccperf::Rng&, std::int64_t, std::int64_t,
+                                     double)>
+        make;
+  };
+  const std::vector<Structure> structures{
+      {"element", ElementSparseWeights},
+      {"filter", FilterSparseWeights},
+      {"block", BlockSparseWeights},
+  };
+  for (const auto& [structure, make_weights] : structures) {
+    Table table({"Sparsity (%)", "BSR fill", "Dense (ms)", "CSR (ms)",
+                 "BSR (ms)", "CSR x", "BSR x", "Dispatch"});
+    double csr_crossover = -1.0;
+    double bsr_crossover = -1.0;
+    for (double sparsity : sparsities) {
+      const auto weights = make_weights(rng, kRows, kCols, sparsity);
+      const CsrMatrix csr = CsrMatrix::FromDense(kRows, kCols, weights);
+      const BsrMatrix bsr = BsrMatrix::FromDense(kRows, kCols, weights);
+      const double density = 1.0 - csr.Sparsity();
+
+      const double dense_s = TimeBest(
+          [&] { Gemm(kRows, kPixels, kCols, weights, columns, out); });
+      const double csr_s =
+          TimeBest([&] { csr.MultiplyDense(columns, kPixels, out); });
+      const double bsr_s =
+          TimeBest([&] { bsr.MultiplyDense(columns, kPixels, out); });
+      const double csr_x = dense_s / csr_s;
+      const double bsr_x = dense_s / bsr_s;
+      // Largest density at which the sparse kernel wins = the crossover the
+      // dispatch policy thresholds on (sparsities sweep upward, so the
+      // first win is the one that matters). BSR's crossover is recorded in
+      // stored-block density (density / fill) because that is what its cost
+      // scales with and what ChooseSparseKernel thresholds on.
+      if (csr_crossover < 0.0 && csr_x >= 1.0) csr_crossover = density;
+      if (bsr_crossover < 0.0 && bsr_x >= 1.0 && bsr.Fill() > 0.0) {
+        bsr_crossover = density / bsr.Fill();
+      }
+
+      const SparseKernel choice =
+          ChooseSparseKernel(density, bsr.Fill());
+      table.AddRow({Table::Num(sparsity * 100.0, 0),
+                    Table::Num(bsr.Fill(), 2), Table::Num(dense_s * 1000.0, 2),
+                    Table::Num(csr_s * 1000.0, 2),
+                    Table::Num(bsr_s * 1000.0, 2), Table::Num(csr_x, 2),
+                    Table::Num(bsr_x, 2), ToString(choice)});
+      csv.AddRow({structure, Table::Num(sparsity, 2),
+                  Table::Num(bsr.Fill(), 3), Table::Num(dense_s * 1000.0, 3),
+                  Table::Num(csr_s * 1000.0, 3),
+                  Table::Num(bsr_s * 1000.0, 3), Table::Num(csr_x, 3),
+                  Table::Num(bsr_x, 3), ToString(choice)});
+    }
+    std::cout << "--- " << structure << "-sparse weights ---\n"
+              << table.Render();
+    crossover_csv.AddRow(
+        {structure, "csr", "density",
+         csr_crossover < 0.0 ? "never" : Table::Num(csr_crossover, 3)});
+    crossover_csv.AddRow(
+        {structure, "bsr", "block_density",
+         bsr_crossover < 0.0 ? "never" : Table::Num(bsr_crossover, 3)});
+    bench::Checkpoint(
+        structure + " CSR crossover density",
+        ">= kCsrCrossoverDensity = " + Table::Num(kCsrCrossoverDensity, 2),
+        csr_crossover < 0.0 ? "never" : Table::Num(csr_crossover, 2));
+    bench::Checkpoint(
+        structure + " BSR crossover block density",
+        ">= kBsrCrossoverDensity = " + Table::Num(kBsrCrossoverDensity, 2),
+        bsr_crossover < 0.0 ? "never" : Table::Num(bsr_crossover, 2));
   }
-  std::cout << table.Render();
-  bench::Checkpoint(
-      "crossover sparsity", "~0.35 (kSparseThreshold = density 0.65)",
-      crossover < 0.0 ? "never" : Table::Num(crossover, 2));
   bench::Checkpoint("high-sparsity speedup", "time falls with density",
-                    "see last rows");
+                    "see last rows of each table");
   return 0;
 }

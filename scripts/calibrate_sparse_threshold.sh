@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Recalibrate the sparse/dense dispatch thresholds on this machine.
+#
+# Rebuilds and runs bench_ablation_sparse_vs_dense, which sweeps the three
+# kernels (packed dense GEMM, CSR, 4x4 BSR) over the conv2-shaped SpMM
+# across sparsity levels and structures (element, filter, block-aligned),
+# then copies the refreshed CSVs into bench_results/:
+#
+#   ablation_sparse_vs_dense.csv  — the full timing grid
+#   sparse_crossover.csv          — per-structure measured crossover points
+#
+# Compare sparse_crossover.csv against kCsrCrossoverDensity /
+# kBsrCrossoverDensity in src/tensor/sparse_dispatch.h and update the
+# constants (rounded conservatively toward dense) if the hardware moved
+# them. The committed values were measured on the reference build machine;
+# a materially different ISA or cache hierarchy warrants recalibration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCCPERF_BUILD_BENCH=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_ablation_sparse_vs_dense
+
+# The bench writes CSVs under ./bench_results relative to its cwd.
+(cd "$BUILD_DIR/bench" && ./bench_ablation_sparse_vs_dense)
+
+mkdir -p bench_results
+cp "$BUILD_DIR/bench/bench_results/ablation_sparse_vs_dense.csv" bench_results/
+cp "$BUILD_DIR/bench/bench_results/sparse_crossover.csv" bench_results/
+
+echo
+echo "Measured crossovers (bench_results/sparse_crossover.csv):"
+awk -F, '{ printf "%-10s %-8s %-15s %s\n", $1, $2, $3, $4 }' \
+  bench_results/sparse_crossover.csv
+echo
+echo "Dispatch constants currently compiled in:"
+grep -E "kCsrCrossoverDensity|kBsrCrossoverDensity|kBsrMinBlockFill" \
+  src/tensor/sparse_dispatch.h | grep "inline constexpr"

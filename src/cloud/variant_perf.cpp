@@ -1,6 +1,7 @@
 #include "cloud/variant_perf.h"
 
 #include "common/check.h"
+#include "tensor/sparse_dispatch.h"
 
 namespace ccperf::cloud {
 
@@ -17,10 +18,16 @@ VariantPerf ComputeVariantPerf(const ModelProfile& profile,
       // dead channels, so unpruned layers keep their dense kernels (this is
       // what makes conv1 the least time-effective single layer to prune —
       // the paper's Observation 2 — while multi-layer plans are
-      // super-additive — Observation 3).
-      density_factor = it->second.element < 1.0
-                           ? it->second.element * it->second.in_channel
-                           : 1.0;
+      // super-additive — Observation 3). The effective density then maps to
+      // time through the measured sparse/dense dispatch: above the sparse
+      // crossover the layer still runs the dense kernel and pruning buys no
+      // time (AnalyticSparseTimeFactor's plateau); below it, time tracks
+      // density.
+      density_factor =
+          it->second.element < 1.0
+              ? AnalyticSparseTimeFactor(it->second.element *
+                                         it->second.in_channel)
+              : 1.0;
     }
     CCPERF_CHECK(density_factor >= 0.0 && density_factor <= 1.0,
                  "density factor out of range for ", name);

@@ -72,7 +72,7 @@ Tensor ConvLayer::Forward(const std::vector<const Tensor*>& inputs) const {
   // image in the batch. Packing is read-on-demand (not cached across calls)
   // because weights may be mutated in place without NotifyWeightsChanged.
   std::vector<PackedA> packed_groups;
-  if (!use_sparse_) {
+  if (kernel_ == SparseKernel::kDense) {
     packed_groups.reserve(static_cast<std::size_t>(groups));
     for (std::int64_t grp = 0; grp < groups; ++grp) {
       packed_groups.push_back(PackA(
@@ -92,12 +92,19 @@ Tensor ConvLayer::Forward(const std::vector<const Tensor*>& inputs) const {
           (img * params_.out_channels + grp * group_out) * out_pixels;
       std::span<float> dst = o.subspan(static_cast<std::size_t>(out_off),
                                        static_cast<std::size_t>(group_out * out_pixels));
-      if (use_sparse_) {
-        sparse_groups_[static_cast<std::size_t>(grp)].MultiplyDense(
-            columns, out_pixels, dst);
-      } else {
-        GemmPacked(packed_groups[static_cast<std::size_t>(grp)], out_pixels,
-                   columns, dst);
+      switch (kernel_) {
+        case SparseKernel::kCsr:
+          csr_groups_[static_cast<std::size_t>(grp)].MultiplyDense(
+              columns, out_pixels, dst);
+          break;
+        case SparseKernel::kBsr:
+          bsr_groups_[static_cast<std::size_t>(grp)].MultiplyDense(
+              columns, out_pixels, dst);
+          break;
+        case SparseKernel::kDense:
+          GemmPacked(packed_groups[static_cast<std::size_t>(grp)], out_pixels,
+                     columns, dst);
+          break;
       }
       // Bias.
       for (std::int64_t oc = 0; oc < group_out; ++oc) {
@@ -144,20 +151,35 @@ std::unique_ptr<Layer> ConvLayer::Clone() const {
 }
 
 void ConvLayer::NotifyWeightsChanged() {
-  const double density = WeightDensity();
-  use_sparse_ = density < kSparseThreshold;
-  sparse_groups_.clear();
-  if (!use_sparse_) return;
   const std::int64_t groups = params_.groups;
   const std::int64_t group_out = params_.out_channels / groups;
   const std::int64_t patch = (in_channels_ / groups) * params_.kernel * params_.kernel;
   const std::span<const float> w = weights_.Data();
-  sparse_groups_.reserve(static_cast<std::size_t>(groups));
+  const auto group_span = [&](std::int64_t grp) {
+    return w.subspan(static_cast<std::size_t>(grp * group_out * patch),
+                     static_cast<std::size_t>(group_out * patch));
+  };
+  // One kernel for the whole layer: density over all weights, block fill
+  // averaged over the groups' (identically shaped) weight panels.
+  const double density = WeightDensity();
+  double fill = 0.0;
   for (std::int64_t grp = 0; grp < groups; ++grp) {
-    sparse_groups_.push_back(CsrMatrix::FromDense(
-        group_out, patch,
-        w.subspan(static_cast<std::size_t>(grp * group_out * patch),
-                  static_cast<std::size_t>(group_out * patch))));
+    fill += BsrMatrix::DenseBlockFill(group_out, patch, group_span(grp));
+  }
+  fill /= static_cast<double>(groups);
+  kernel_ = ChooseSparseKernel(density, fill);
+
+  csr_groups_.clear();
+  bsr_groups_.clear();
+  for (std::int64_t grp = 0; grp < groups && kernel_ != SparseKernel::kDense;
+       ++grp) {
+    if (kernel_ == SparseKernel::kCsr) {
+      csr_groups_.push_back(
+          CsrMatrix::FromDense(group_out, patch, group_span(grp)));
+    } else {
+      bsr_groups_.push_back(
+          BsrMatrix::FromDense(group_out, patch, group_span(grp)));
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 // 2-D convolution layer lowered to im2col + GEMM, with grouped convolution
-// (AlexNet-style) and a CSR sparse execution path for pruned weights.
+// (AlexNet-style) and sparse execution paths (CSR / block-CSR) for pruned
+// weights.
 #pragma once
 
 #include <memory>
@@ -8,6 +9,7 @@
 #include "nn/layer.h"
 #include "tensor/im2col.h"
 #include "tensor/sparse.h"
+#include "tensor/sparse_dispatch.h"
 
 namespace ccperf::nn {
 
@@ -21,14 +23,14 @@ struct ConvParams {
 };
 
 /// Convolution over NCHW input. Weights are OIHW with I = in_channels/groups.
-/// When weight sparsity exceeds kSparseThreshold the layer multiplies via a
-/// cached CSR matrix per group, so execution time falls with pruning — the
-/// core mechanism of the paper's time-accuracy trade-off.
+/// NotifyWeightsChanged() measures the weights' density and block fill and
+/// asks ChooseSparseKernel (tensor/sparse_dispatch.h) which engine wins:
+/// packed dense GEMM, blocked CSR, or 4x4 block-CSR for block-structured
+/// pruning. Sparse builds are cached per group across forward passes, so
+/// execution time falls with pruning — the core mechanism of the paper's
+/// time-accuracy trade-off.
 class ConvLayer final : public Layer {
  public:
-  /// Density below which the CSR path is used (i.e. sparsity > 35 %).
-  static constexpr double kSparseThreshold = 0.65;
-
   ConvLayer(std::string name, ConvParams params, std::int64_t in_channels);
 
   [[nodiscard]] const ConvParams& Params() const { return params_; }
@@ -47,8 +49,12 @@ class ConvLayer final : public Layer {
   void NotifyWeightsChanged() override;
   [[nodiscard]] double WeightDensity() const override;
 
-  /// True if the current forward pass would take the CSR path.
-  [[nodiscard]] bool UsesSparsePath() const { return use_sparse_; }
+  /// Kernel the current forward pass dispatches to.
+  [[nodiscard]] SparseKernel Kernel() const { return kernel_; }
+  /// True if the current forward pass would take a sparse (CSR/BSR) path.
+  [[nodiscard]] bool UsesSparsePath() const {
+    return kernel_ != SparseKernel::kDense;
+  }
 
  private:
   [[nodiscard]] ConvGeometry GeometryFor(const Shape& input) const;
@@ -57,9 +63,11 @@ class ConvLayer final : public Layer {
   std::int64_t in_channels_;
   Tensor weights_;  // [out_c, in_c/groups, k, k]
   Tensor bias_;     // [out_c]
-  // Cached execution state, rebuilt by NotifyWeightsChanged().
-  bool use_sparse_ = false;
-  std::vector<CsrMatrix> sparse_groups_;  // one [out_c/g, patch] matrix per group
+  // Cached execution state, rebuilt by NotifyWeightsChanged(). One sparse
+  // matrix per group ([out_c/g, patch]); only the dispatched format is built.
+  SparseKernel kernel_ = SparseKernel::kDense;
+  std::vector<CsrMatrix> csr_groups_;
+  std::vector<BsrMatrix> bsr_groups_;
 };
 
 }  // namespace ccperf::nn

@@ -36,13 +36,14 @@ Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
   std::span<float> y = out.Data();
   const std::span<const float> b = bias_.Data();
 
-  if (!use_sparse_ && batch > 1) {
+  if (batch > 1) {
     // Batched fast path: y^T[out, batch] = W[out, in] * x^T[in, batch].
     // Orienting the product this way makes the weight matrix — invariant for
-    // the duration of the pass — the packed A operand, so one pack serves
-    // the whole batch. The two transposes are O(batch * (in + out)) against
-    // the GEMM's O(batch * in * out).
-    const PackedA packed = PackA(out_features_, in_features_, weights_.Data());
+    // the duration of the pass — the stationary A operand (packed panels for
+    // the dense GEMM, the cached CSR/BSR build for the sparse kernels), so
+    // one blocked multiply serves the whole batch instead of a per-sample
+    // vector multiply. The two transposes are O(batch * (in + out)) against
+    // the multiply's O(batch * in * out).
     std::vector<float> xt(static_cast<std::size_t>(in_features_ * batch));
     for (std::int64_t img = 0; img < batch; ++img) {
       for (std::int64_t f = 0; f < in_features_; ++f) {
@@ -51,7 +52,20 @@ Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
       }
     }
     std::vector<float> yt(static_cast<std::size_t>(out_features_ * batch));
-    GemmPacked(packed, batch, xt, yt);
+    switch (kernel_) {
+      case SparseKernel::kCsr:
+        csr_.MultiplyDense(xt, batch, yt);
+        break;
+      case SparseKernel::kBsr:
+        bsr_.MultiplyDense(xt, batch, yt);
+        break;
+      case SparseKernel::kDense: {
+        const PackedA packed =
+            PackA(out_features_, in_features_, weights_.Data());
+        GemmPacked(packed, batch, xt, yt);
+        break;
+      }
+    }
     for (std::int64_t img = 0; img < batch; ++img) {
       for (std::int64_t o = 0; o < out_features_; ++o) {
         y[static_cast<std::size_t>(img * out_features_ + o)] =
@@ -69,10 +83,16 @@ Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
     std::span<float> yi =
         y.subspan(static_cast<std::size_t>(img * out_features_),
                   static_cast<std::size_t>(out_features_));
-    if (use_sparse_) {
-      sparse_.MultiplyVector(xi, yi);
-    } else {
-      Gemv(out_features_, in_features_, weights_.Data(), xi, yi);
+    switch (kernel_) {
+      case SparseKernel::kCsr:
+        csr_.MultiplyVector(xi, yi);
+        break;
+      case SparseKernel::kBsr:
+        bsr_.MultiplyVector(xi, yi);
+        break;
+      case SparseKernel::kDense:
+        Gemv(out_features_, in_features_, weights_.Data(), xi, yi);
+        break;
     }
     for (std::int64_t o = 0; o < out_features_; ++o) {
       yi[static_cast<std::size_t>(o)] += b[static_cast<std::size_t>(o)];
@@ -107,12 +127,17 @@ std::unique_ptr<Layer> FcLayer::Clone() const {
 
 void FcLayer::NotifyWeightsChanged() {
   const double density = WeightDensity();
-  use_sparse_ = density < kSparseThreshold;
-  if (use_sparse_) {
-    sparse_ = CsrMatrix::FromDense(out_features_, in_features_, weights_.Data());
-  } else {
-    sparse_ = CsrMatrix();
-  }
+  const double fill =
+      BsrMatrix::DenseBlockFill(out_features_, in_features_, weights_.Data());
+  kernel_ = ChooseSparseKernel(density, fill);
+  csr_ = kernel_ == SparseKernel::kCsr
+             ? CsrMatrix::FromDense(out_features_, in_features_,
+                                    weights_.Data())
+             : CsrMatrix();
+  bsr_ = kernel_ == SparseKernel::kBsr
+             ? BsrMatrix::FromDense(out_features_, in_features_,
+                                    weights_.Data())
+             : BsrMatrix();
 }
 
 double FcLayer::WeightDensity() const { return 1.0 - weights_.ZeroFraction(); }

@@ -1,20 +1,23 @@
-// Fully-connected (inner product) layer with dense and CSR sparse paths.
+// Fully-connected (inner product) layer with dense, CSR, and block-CSR
+// execution paths.
 #pragma once
 
 #include <memory>
 
 #include "nn/layer.h"
 #include "tensor/sparse.h"
+#include "tensor/sparse_dispatch.h"
 
 namespace ccperf::nn {
 
 /// y = W x + b over the flattened C*H*W input of each batch element.
-/// Output shape is [N, out_features, 1, 1].
+/// Output shape is [N, out_features, 1, 1]. NotifyWeightsChanged()
+/// dispatches to the fastest kernel for the weights' measured density and
+/// block fill (tensor/sparse_dispatch.h) and caches the sparse build.
+/// Batched inputs run one blocked multiply against the transposed batch on
+/// every path; batch 1 keeps the latency-oriented vector kernels.
 class FcLayer final : public Layer {
  public:
-  /// Density below which the CSR path is used.
-  static constexpr double kSparseThreshold = 0.65;
-
   FcLayer(std::string name, std::int64_t in_features,
           std::int64_t out_features);
 
@@ -34,15 +37,23 @@ class FcLayer final : public Layer {
   void NotifyWeightsChanged() override;
   [[nodiscard]] double WeightDensity() const override;
 
-  [[nodiscard]] bool UsesSparsePath() const { return use_sparse_; }
+  /// Kernel the current forward pass dispatches to.
+  [[nodiscard]] SparseKernel Kernel() const { return kernel_; }
+  /// True if the current forward pass would take a sparse (CSR/BSR) path.
+  [[nodiscard]] bool UsesSparsePath() const {
+    return kernel_ != SparseKernel::kDense;
+  }
 
  private:
   std::int64_t in_features_;
   std::int64_t out_features_;
   Tensor weights_;  // [out_features, in_features]
   Tensor bias_;     // [out_features]
-  bool use_sparse_ = false;
-  CsrMatrix sparse_;
+  // Cached execution state, rebuilt by NotifyWeightsChanged(); only the
+  // dispatched format is built.
+  SparseKernel kernel_ = SparseKernel::kDense;
+  CsrMatrix csr_;
+  BsrMatrix bsr_;
 };
 
 }  // namespace ccperf::nn

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "tensor/sparse.h"
 
 namespace ccperf::pruning {
 
@@ -20,17 +21,22 @@ void L1FilterPruner::Prune(nn::Layer& layer, double ratio) const {
   const std::int64_t per_filter = w.NumElements() / filters;
   auto data = w.Data();
 
-  // Rank filters by L1 norm.
-  std::vector<double> norms(static_cast<std::size_t>(filters), 0.0);
+  // The prune unit is one filter, or one aligned group of kBlockRows
+  // filters in block-aligned mode (tail group may be smaller).
+  const std::int64_t unit = block_aligned_ ? BsrMatrix::kBlockRows : 1;
+  const std::int64_t units = (filters + unit - 1) / unit;
+
+  // Rank units by the L1 norm of their filters.
+  std::vector<double> norms(static_cast<std::size_t>(units), 0.0);
   for (std::int64_t f = 0; f < filters; ++f) {
     double sum = 0.0;
     const float* row = data.data() + f * per_filter;
     for (std::int64_t i = 0; i < per_filter; ++i) {
       sum += std::fabs(static_cast<double>(row[i]));
     }
-    norms[static_cast<std::size_t>(f)] = sum;
+    norms[static_cast<std::size_t>(f / unit)] += sum;
   }
-  std::vector<std::int64_t> order(static_cast<std::size_t>(filters));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(units));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [&norms](std::int64_t a, std::int64_t b) {
@@ -38,16 +44,19 @@ void L1FilterPruner::Prune(nn::Layer& layer, double ratio) const {
                             norms[static_cast<std::size_t>(b)];
                    });
 
-  const auto filters_to_zero = static_cast<std::int64_t>(
-      std::llround(ratio * static_cast<double>(filters)));
+  const auto units_to_zero = static_cast<std::int64_t>(
+      std::llround(ratio * static_cast<double>(units)));
   Tensor& bias = layer.MutableBias();
   auto bias_data = bias.Data();
-  for (std::int64_t i = 0; i < filters_to_zero; ++i) {
-    const std::int64_t f = order[static_cast<std::size_t>(i)];
-    float* row = data.data() + f * per_filter;
-    std::fill(row, row + per_filter, 0.0f);
-    if (static_cast<std::size_t>(f) < bias_data.size()) {
-      bias_data[static_cast<std::size_t>(f)] = 0.0f;
+  for (std::int64_t i = 0; i < units_to_zero; ++i) {
+    const std::int64_t u = order[static_cast<std::size_t>(i)];
+    const std::int64_t f_end = std::min(filters, (u + 1) * unit);
+    for (std::int64_t f = u * unit; f < f_end; ++f) {
+      float* row = data.data() + f * per_filter;
+      std::fill(row, row + per_filter, 0.0f);
+      if (static_cast<std::size_t>(f) < bias_data.size()) {
+        bias_data[static_cast<std::size_t>(f)] = 0.0f;
+      }
     }
   }
   layer.NotifyWeightsChanged();

@@ -11,10 +11,26 @@ namespace ccperf::pruning {
 /// filters for conv layers, output neurons for fc layers) in ascending order
 /// of L1 norm until `ratio` of the weights are zero. The matching bias entry
 /// is zeroed as well, matching filter removal semantics.
+///
+/// With `block_aligned` set, filters are pruned in aligned groups of
+/// BsrMatrix::kBlockRows, ranked by the group's summed L1 norm. Aligned
+/// groups drop whole block rows of the BSR format, keeping block fill at
+/// ~1.0, so pruned layers qualify for the block-CSR kernel — the highest
+/// sparse/dense crossover in tensor/sparse_dispatch.h — instead of plain
+/// CSR. The accuracy cost is ranking granularity: a strong filter in a weak
+/// group dies with it.
 class L1FilterPruner final : public Pruner {
  public:
-  [[nodiscard]] std::string Name() const override { return "l1-filter"; }
+  explicit L1FilterPruner(bool block_aligned = false)
+      : block_aligned_(block_aligned) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return block_aligned_ ? "l1-filter-block" : "l1-filter";
+  }
   void Prune(nn::Layer& layer, double ratio) const override;
+
+ private:
+  bool block_aligned_;
 };
 
 }  // namespace ccperf::pruning

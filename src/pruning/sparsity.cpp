@@ -1,5 +1,7 @@
 #include "pruning/sparsity.h"
 
+#include "tensor/sparse.h"
+
 namespace ccperf::pruning {
 
 double SparsityReport::OverallDensity() const {
@@ -19,6 +21,9 @@ SparsityReport AnalyzeSparsity(const nn::Network& net) {
     ls.density = layer.WeightDensity();
     ls.nonzero = static_cast<std::int64_t>(
         ls.density * static_cast<double>(ls.parameters) + 0.5);
+    const std::int64_t rows = layer.Weights().GetShape().Dim(0);
+    ls.block_fill = BsrMatrix::DenseBlockFill(
+        rows, layer.Weights().NumElements() / rows, layer.Weights().Data());
     report.total_parameters += ls.parameters;
     report.total_nonzero += ls.nonzero;
     report.layers.push_back(std::move(ls));

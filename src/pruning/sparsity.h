@@ -14,6 +14,11 @@ struct LayerSparsity {
   std::int64_t parameters = 0;  // weight elements
   std::int64_t nonzero = 0;
   double density = 1.0;
+  // BSR 4x4 block fill the weight matrix would have (nnz / stored-block
+  // capacity; 1.0 when all-zero) — the structure signal ChooseSparseKernel
+  // pairs with density, reported so pruning experiments can see whether a
+  // variant qualifies for the block-sparse kernel.
+  double block_fill = 1.0;
 };
 
 /// Per-layer and aggregate sparsity of a network's weighted layers.

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/threading.h"
+#include "tensor/kernel_tile.h"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define CCPERF_GEMM_RESTRICT __restrict__
@@ -16,24 +17,12 @@ namespace ccperf {
 
 namespace {
 
-// --- Blocked kernel tile geometry ------------------------------------------
-// kMr x kNr is the register tile: kMr rows of C, kNr columns, accumulated in
-// registers over a kKc-long K slice. kNr tracks the widest vector unit the
-// compiler may target so the accumulator block (kMr * kNr floats) fills the
-// register file without spilling. kKc keeps one B panel (kKc * kNr floats)
-// L1-resident across the mr-panel sweep; kNc bounds the packed-B working set
-// (kKc * kNc floats, ~1 MB) to L2.
-#if defined(__AVX512F__)
-constexpr std::int64_t kNr = 32;
-#elif defined(__AVX__)
-constexpr std::int64_t kNr = 16;
-#else
-constexpr std::int64_t kNr = 8;
-#endif
-constexpr std::int64_t kMr = 6;
-constexpr std::int64_t kKc = 256;
-constexpr std::int64_t kNc = 1024;
-static_assert(kNc % kNr == 0);
+// Blocked kernel tile geometry — shared with the sparse kernel TU so packed
+// B panels have the same ISA-sized width in both (see kernel_tile.h).
+using kernel::kKc;
+using kernel::kMr;
+using kernel::kNc;
+using kernel::kNr;
 
 // Row panels assigned per task in the reference kernel; each C row stays
 // resident in L1 while its K-long accumulation streams over B. For very wide

@@ -1,0 +1,33 @@
+// Register-tile geometry shared by the hot kernel TUs.
+//
+// IMPORTANT: include this only from translation units compiled with
+// CCPERF_KERNEL_FLAGS (gemm.cpp, sparse_kernels.cpp). kNr keys off the ISA
+// macros those flags enable, so a TU built without them would disagree with
+// the kernel TUs about panel widths. That is safe only because every packed
+// buffer is produced and consumed inside a single TU: the PackedA layout is
+// opaque behind gemm.h, and the sparse kernels pack B per call.
+#pragma once
+
+#include <cstdint>
+
+namespace ccperf::kernel {
+
+// kMr x kNr is the register tile: kMr rows of C, kNr columns, accumulated
+// in registers over a kKc-long K slice. kNr tracks the widest vector unit
+// the compiler may target so the accumulator block fills the register file
+// without spilling. kKc keeps one B panel (kKc * kNr floats) L1-resident
+// across the mr-panel sweep; kNc bounds the packed-B working set
+// (kKc * kNc floats, ~1 MB) to L2.
+#if defined(__AVX512F__)
+inline constexpr std::int64_t kNr = 32;
+#elif defined(__AVX__)
+inline constexpr std::int64_t kNr = 16;
+#else
+inline constexpr std::int64_t kNr = 8;
+#endif
+inline constexpr std::int64_t kMr = 6;
+inline constexpr std::int64_t kKc = 256;
+inline constexpr std::int64_t kNc = 1024;
+static_assert(kNc % kNr == 0);
+
+}  // namespace ccperf::kernel

@@ -1,0 +1,222 @@
+// Vectorized sparse x dense multiply kernels (see sparse_kernels.h).
+//
+// Both kernels follow the blocked GEMM's playbook: pack B[k, jc:jc+nc] into
+// kNr-wide column panels (k-major within a panel, zero-padded tails) so the
+// inner loops read B contiguously and auto-vectorize, then sweep sparse
+// rows with the per-panel accumulator held in registers. The CSR kernel
+// keeps one kNr-wide accumulator per C row; the BSR kernel keeps a
+// kBlockRows x kNr tile and reuses every packed-B row across the block's
+// rows, which is what moves its dense crossover above CSR's. Like
+// gemm.cpp, this TU alone is compiled with CCPERF_KERNEL_FLAGS; the loops
+// are plain C with __restrict__, so without the ISA flags they degrade to
+// the portable scalar schedule instead of breaking the build.
+#include "tensor/sparse_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/threading.h"
+#include "tensor/kernel_tile.h"
+#include "tensor/sparse.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CCPERF_SPMM_RESTRICT __restrict__
+#else
+#define CCPERF_SPMM_RESTRICT
+#endif
+
+namespace ccperf::detail {
+
+namespace {
+
+using kernel::kNc;
+using kernel::kNr;
+
+constexpr std::int64_t kBr = BsrMatrix::kBlockRows;
+constexpr std::int64_t kBc = BsrMatrix::kBlockCols;
+
+// Pack B[0:k, jc:jc+nc] into kNr-wide column panels: panel jp holds columns
+// [jc + jp*kNr, jc + (jp+1)*kNr) for all k rows, element (kk, j) at
+// jp*kNr*k_pad + kk*kNr + j. Rows k..k_pad and columns past n are zero —
+// the BSR kernel reads whole kBc-row groups, so its k extent is padded up
+// to a block multiple. Unlike the dense GEMM there is no kc blocking: a
+// sparse row visits only its nnz B rows, so the panel working set in play
+// is proportional to nnz, not k.
+void PackBPanels(const float* CCPERF_SPMM_RESTRICT b, std::int64_t k,
+                 std::int64_t k_pad, std::int64_t n, std::int64_t jc,
+                 std::int64_t nc, float* CCPERF_SPMM_RESTRICT out) {
+  const std::int64_t npanels = (nc + kNr - 1) / kNr;
+  ParallelForChunks(
+      0, static_cast<std::size_t>(npanels),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t jp = lo; jp < hi; ++jp) {
+          float* panel = out + static_cast<std::int64_t>(jp) * kNr * k_pad;
+          const std::int64_t j0 = jc + static_cast<std::int64_t>(jp) * kNr;
+          const std::int64_t nv = std::min<std::int64_t>(kNr, jc + nc - j0);
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float* srow = b + kk * n + j0;
+            float* drow = panel + kk * kNr;
+            std::int64_t j = 0;
+            for (; j < nv; ++j) drow[j] = srow[j];
+            for (; j < kNr; ++j) drow[j] = 0.0f;
+          }
+          if (k_pad > k) {
+            std::memset(panel + k * kNr, 0,
+                        static_cast<std::size_t>((k_pad - k) * kNr) *
+                            sizeof(float));
+          }
+        }
+      },
+      1);
+}
+
+}  // namespace
+
+void SpmmCsr(std::int64_t rows, std::int64_t cols, std::int64_t n,
+             const std::int64_t* row_ptr, const std::int32_t* col_idx,
+             const float* values, const float* b, float* c) {
+  if (rows == 0 || n == 0) return;
+  const std::int64_t max_nc = std::min(n, kNc);
+  const std::int64_t max_npanels = (max_nc + kNr - 1) / kNr;
+  std::vector<float> bpack(
+      static_cast<std::size_t>(max_npanels * kNr * std::max<std::int64_t>(
+                                                       cols, 1)));
+  float* bpk = bpack.data();
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t npanels = (nc + kNr - 1) / kNr;
+    PackBPanels(b, cols, cols, n, jc, nc, bpk);
+    // Panel-outer within each row block: a kNr-wide panel spans
+    // kNr * cols floats (~150 KiB on AVX-512 for conv2), so sweeping every
+    // panel per row would stream the whole packed B from L3 once per row.
+    // Holding one panel L2-resident while a block of rows reuses it cuts
+    // the packed-B traffic by the row-block factor.
+    ParallelForChunks(
+        0, static_cast<std::size_t>(rows),
+        [=](std::size_t lo, std::size_t hi) {
+          for (std::int64_t jp = 0; jp < npanels; ++jp) {
+            const float* CCPERF_SPMM_RESTRICT panel = bpk + jp * kNr * cols;
+            for (std::size_t r = lo; r < hi; ++r) {
+              const std::int64_t p0 = row_ptr[r];
+              const std::int64_t p1 = row_ptr[r + 1];
+              float* crow = c + static_cast<std::int64_t>(r) * n + jc;
+              // Four partial accumulators per lane: a single acc vector
+              // would serialize one FMA-latency per nonzero, capping the
+              // kernel far below the load/FMA ports. The nonzeros are
+              // dealt round-robin and the partials summed in a fixed tree,
+              // so the per-element order is still schedule-independent.
+              float acc0[kNr] = {}, acc1[kNr] = {};
+              float acc2[kNr] = {}, acc3[kNr] = {};
+              std::int64_t p = p0;
+              for (; p + 3 < p1; p += 4) {
+                const float v0 = values[p];
+                const float v1 = values[p + 1];
+                const float v2 = values[p + 2];
+                const float v3 = values[p + 3];
+                const float* CCPERF_SPMM_RESTRICT b0 =
+                    panel + static_cast<std::int64_t>(col_idx[p]) * kNr;
+                const float* CCPERF_SPMM_RESTRICT b1 =
+                    panel + static_cast<std::int64_t>(col_idx[p + 1]) * kNr;
+                const float* CCPERF_SPMM_RESTRICT b2 =
+                    panel + static_cast<std::int64_t>(col_idx[p + 2]) * kNr;
+                const float* CCPERF_SPMM_RESTRICT b3 =
+                    panel + static_cast<std::int64_t>(col_idx[p + 3]) * kNr;
+                for (std::int64_t j = 0; j < kNr; ++j) acc0[j] += v0 * b0[j];
+                for (std::int64_t j = 0; j < kNr; ++j) acc1[j] += v1 * b1[j];
+                for (std::int64_t j = 0; j < kNr; ++j) acc2[j] += v2 * b2[j];
+                for (std::int64_t j = 0; j < kNr; ++j) acc3[j] += v3 * b3[j];
+              }
+              for (; p < p1; ++p) {
+                const float v = values[p];
+                const float* CCPERF_SPMM_RESTRICT brow =
+                    panel + static_cast<std::int64_t>(col_idx[p]) * kNr;
+                for (std::int64_t j = 0; j < kNr; ++j) acc0[j] += v * brow[j];
+              }
+              // Unconditional write-back overwrites C and zeroes empty rows.
+              const std::int64_t nv = std::min(kNr, nc - jp * kNr);
+              float* cj = crow + jp * kNr;
+              for (std::int64_t j = 0; j < nv; ++j) {
+                cj[j] = (acc0[j] + acc1[j]) + (acc2[j] + acc3[j]);
+              }
+            }
+          }
+        },
+        32);
+  }
+}
+
+void SpmmBsr(std::int64_t rows, std::int64_t cols, std::int64_t n,
+             std::int64_t block_rows, const std::int64_t* row_ptr,
+             const std::int32_t* col_idx, const float* values, const float* b,
+             float* c) {
+  if (rows == 0 || n == 0) return;
+  // Pad packed K up to a block multiple so a tail block can read its full
+  // kBc rows; the padding rows are zero and the matching block values are
+  // zero-padded too, so the extra FMAs cannot change any sum.
+  const std::int64_t k_pad = (cols + kBc - 1) / kBc * kBc;
+  const std::int64_t max_nc = std::min(n, kNc);
+  const std::int64_t max_npanels = (max_nc + kNr - 1) / kNr;
+  std::vector<float> bpack(
+      static_cast<std::size_t>(max_npanels * kNr * std::max<std::int64_t>(
+                                                       k_pad, 1)));
+  float* bpk = bpack.data();
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    const std::int64_t npanels = (nc + kNr - 1) / kNr;
+    PackBPanels(b, cols, k_pad, n, jc, nc, bpk);
+    // Same panel-outer blocking rationale as SpmmCsr: keep one packed panel
+    // hot in L2 while a block of block-rows consumes it.
+    ParallelForChunks(
+        0, static_cast<std::size_t>(block_rows),
+        [=](std::size_t lo, std::size_t hi) {
+          for (std::int64_t jp = 0; jp < npanels; ++jp) {
+            const float* CCPERF_SPMM_RESTRICT panel = bpk + jp * kNr * k_pad;
+            for (std::size_t ib = lo; ib < hi; ++ib) {
+              const std::int64_t row0 = static_cast<std::int64_t>(ib) * kBr;
+              const std::int64_t mv = std::min(kBr, rows - row0);
+              const std::int64_t p0 = row_ptr[ib];
+              const std::int64_t p1 = row_ptr[ib + 1];
+              // One j-loop per packed-B row: brow[j] is loaded once and
+              // feeds all four row accumulators, giving a 1:4 load:FMA
+              // ratio and four independent chains per lane group. The four
+              // rows of C accumulate independently, and each still sees
+              // its blocks in ascending block-column order.
+              float acc0[kNr] = {}, acc1[kNr] = {};
+              float acc2[kNr] = {}, acc3[kNr] = {};
+              static_assert(kBr == 4 && kBc == 4,
+                            "BSR inner loop is unrolled for 4x4 blocks");
+              for (std::int64_t p = p0; p < p1; ++p) {
+                const float* CCPERF_SPMM_RESTRICT blk = values + p * kBr * kBc;
+                const float* CCPERF_SPMM_RESTRICT bpanel =
+                    panel + static_cast<std::int64_t>(col_idx[p]) * kBc * kNr;
+                for (std::int64_t cc = 0; cc < kBc; ++cc) {
+                  const float* CCPERF_SPMM_RESTRICT brow = bpanel + cc * kNr;
+                  const float v0 = blk[0 * kBc + cc];
+                  const float v1 = blk[1 * kBc + cc];
+                  const float v2 = blk[2 * kBc + cc];
+                  const float v3 = blk[3 * kBc + cc];
+                  for (std::int64_t j = 0; j < kNr; ++j) {
+                    const float bv = brow[j];
+                    acc0[j] += v0 * bv;
+                    acc1[j] += v1 * bv;
+                    acc2[j] += v2 * bv;
+                    acc3[j] += v3 * bv;
+                  }
+                }
+              }
+              const float* CCPERF_SPMM_RESTRICT accs[kBr] = {acc0, acc1, acc2,
+                                                             acc3};
+              const std::int64_t nv = std::min(kNr, nc - jp * kNr);
+              for (std::int64_t r = 0; r < mv; ++r) {
+                float* cj = c + (row0 + r) * n + jc + jp * kNr;
+                for (std::int64_t j = 0; j < nv; ++j) cj[j] = accs[r][j];
+              }
+            }
+          }
+        },
+        8);
+  }
+}
+
+}  // namespace ccperf::detail

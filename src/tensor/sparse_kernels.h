@@ -1,0 +1,32 @@
+// Internal entry points of the vectorized sparse kernel TU.
+//
+// sparse_kernels.cpp is the sparse counterpart of gemm.cpp: it is the only
+// other TU compiled with CCPERF_KERNEL_FLAGS and packs the dense operand B
+// into the same ISA-sized column panels (kernel_tile.h) before streaming
+// the sparse rows through register accumulators. These functions are an
+// implementation detail of CsrMatrix/BsrMatrix::MultiplyDense; call those
+// instead. Raw pointers (not spans) keep the hot signatures trivial — the
+// public wrappers have already validated every extent.
+#pragma once
+
+#include <cstdint>
+
+namespace ccperf::detail {
+
+/// C[rows, n] = CSR(rows, cols) * B[cols, n], C overwritten. Parallel over
+/// rows; every C element is accumulated in ascending-column order by
+/// exactly one task, so the result is bitwise pool-size independent.
+void SpmmCsr(std::int64_t rows, std::int64_t cols, std::int64_t n,
+             const std::int64_t* row_ptr, const std::int32_t* col_idx,
+             const float* values, const float* b, float* c);
+
+/// C[rows, n] = BSR(rows, cols; 4x4 blocks) * B[cols, n], C overwritten.
+/// `block_rows` = ceil(rows / 4); `col_idx` holds block-column indices and
+/// `values` kBlockSize floats per stored block. Same determinism contract
+/// as SpmmCsr.
+void SpmmBsr(std::int64_t rows, std::int64_t cols, std::int64_t n,
+             std::int64_t block_rows, const std::int64_t* row_ptr,
+             const std::int32_t* col_idx, const float* values, const float* b,
+             float* c);
+
+}  // namespace ccperf::detail

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "pruning/filter_pruner.h"
 #include "pruning/magnitude_pruner.h"
 
 namespace ccperf::nn {
@@ -108,11 +109,41 @@ TEST(ConvLayer, SparsePathMatchesDensePath) {
   Tensor input(Shape{2, 6, 7, 7});
   input.FillGaussian(rng, 0.0f, 1.0f);
 
-  // Prune past the sparse threshold; the pruned weights define the truth,
-  // so compare CSR execution against the naive oracle on the same weights.
+  // Prune past the measured CSR crossover (density < kCsrCrossoverDensity);
+  // the pruned weights define the truth, so compare sparse execution
+  // against the naive oracle on the same weights.
   pruning::MagnitudePruner pruner;
-  pruner.Prune(layer, 0.6);
+  pruner.Prune(layer, 0.85);
   ASSERT_TRUE(layer.UsesSparsePath());
+  ASSERT_EQ(layer.Kernel(), SparseKernel::kCsr);
+
+  const Tensor got = layer.Forward({&input});
+  const Tensor want =
+      NaiveConv(input, layer.Weights(), layer.MutableBias(), p);
+  for (std::int64_t i = 0; i < got.NumElements(); ++i) {
+    EXPECT_NEAR(got.At(i), want.At(i), 1e-3f);
+  }
+}
+
+TEST(ConvLayer, BlockSparsePathMatchesDensePath) {
+  ConvParams p{.out_channels = 8, .kernel = 3, .stride = 1, .pad = 1,
+               .groups = 2};
+  ConvLayer layer("conv", p, 6);
+  Rng rng(17);
+  layer.MutableWeights().FillGaussian(rng, 0.0f, 0.5f);
+  layer.MutableBias().FillGaussian(rng, 0.0f, 0.1f);
+  layer.NotifyWeightsChanged();
+
+  Tensor input(Shape{2, 6, 7, 7});
+  input.FillGaussian(rng, 0.0f, 1.0f);
+
+  // Block-aligned filter pruning keeps BSR fill at 1.0, so the dispatch
+  // picks the block-sparse kernel once density drops below the BSR
+  // crossover.
+  pruning::L1FilterPruner pruner(/*block_aligned=*/true);
+  pruner.Prune(layer, 0.5);
+  ASSERT_TRUE(layer.UsesSparsePath());
+  ASSERT_EQ(layer.Kernel(), SparseKernel::kBsr);
 
   const Tensor got = layer.Forward({&input});
   const Tensor want =

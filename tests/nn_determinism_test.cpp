@@ -11,7 +11,10 @@
 
 #include "common/threading.h"
 #include "data/synthetic_dataset.h"
+#include "nn/conv_layer.h"
 #include "nn/model_zoo.h"
+#include "pruning/filter_pruner.h"
+#include "pruning/magnitude_pruner.h"
 
 namespace ccperf {
 namespace {
@@ -56,6 +59,76 @@ TEST(Determinism, CaffeNetForwardMatchesSerialExecution) {
     serial = Logits(net, batch);
   }
   ASSERT_EQ(pooled.size(), serial.size());
+  EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                           pooled.size() * sizeof(float)));
+}
+
+/// Count of weighted layers currently dispatched to `kernel`.
+int LayersOnKernel(nn::Network& net, SparseKernel kernel) {
+  int count = 0;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    if (auto* conv = dynamic_cast<nn::ConvLayer*>(&net.LayerAt(i))) {
+      if (conv->Kernel() == kernel) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(Determinism, PrunedCsrForwardMatchesSerialExecution) {
+  // Same contract as the dense pass, with the CSR sparse kernels active:
+  // each C element is still accumulated in a fixed order (four partial
+  // accumulators combined in a fixed tree) by exactly one task, so the
+  // pooled and serial results must be bitwise identical.
+  nn::Network net = ScaledCaffeNet();
+  pruning::MagnitudePruner pruner;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    nn::Layer& layer = net.LayerAt(i);
+    if (layer.HasWeights()) pruner.Prune(layer, 0.85);
+  }
+  ASSERT_GT(LayersOnKernel(net, SparseKernel::kCsr), 0)
+      << "pruning did not activate any CSR layer";
+  const data::SyntheticImageDataset dataset(Shape{3, 227, 227}, 32, 8, 9);
+  const Tensor batch = dataset.Batch(0, 2);
+
+  const std::vector<float> pooled = Logits(net, batch);
+  const std::vector<float> repeat = Logits(net, batch);
+  std::vector<float> serial;
+  {
+    ScopedSerial serial_scope;
+    serial = Logits(net, batch);
+  }
+  ASSERT_EQ(pooled.size(), serial.size());
+  EXPECT_EQ(0, std::memcmp(pooled.data(), repeat.data(),
+                           pooled.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                           pooled.size() * sizeof(float)));
+}
+
+TEST(Determinism, PrunedBsrForwardMatchesSerialExecution) {
+  // Block-aligned filter pruning keeps BSR fill at 1.0, so the dispatch
+  // flips the conv layers to the block-sparse kernel; the determinism
+  // contract must hold there too.
+  nn::Network net = ScaledCaffeNet();
+  pruning::L1FilterPruner pruner(/*block_aligned=*/true);
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    nn::Layer& layer = net.LayerAt(i);
+    if (layer.HasWeights()) pruner.Prune(layer, 0.75);
+  }
+  ASSERT_GT(LayersOnKernel(net, SparseKernel::kBsr), 0)
+      << "block pruning did not activate any BSR layer";
+  const data::SyntheticImageDataset dataset(Shape{3, 227, 227}, 32, 8, 9);
+  const Tensor batch = dataset.Batch(0, 2);
+
+  const std::vector<float> pooled = Logits(net, batch);
+  const std::vector<float> repeat = Logits(net, batch);
+  std::vector<float> serial;
+  {
+    ScopedSerial serial_scope;
+    serial = Logits(net, batch);
+  }
+  ASSERT_EQ(pooled.size(), serial.size());
+  EXPECT_EQ(0, std::memcmp(pooled.data(), repeat.data(),
+                           pooled.size() * sizeof(float)));
   EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
                            pooled.size() * sizeof(float)));
 }

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "nn/activation_layers.h"
 #include "nn/fc_layer.h"
+#include "pruning/filter_pruner.h"
 #include "pruning/magnitude_pruner.h"
 
 namespace ccperf::nn {
@@ -58,13 +59,41 @@ TEST(FcLayer, SparsePathMatchesDense) {
   Tensor in(Shape{3, 64, 1, 1});
   in.FillGaussian(rng, 0.0f, 1.0f);
   pruning::MagnitudePruner pruner;
-  pruner.Prune(fc, 0.7);
+  pruner.Prune(fc, 0.85);  // density 0.15, below the measured CSR crossover
   ASSERT_TRUE(fc.UsesSparsePath());
+  ASSERT_EQ(fc.Kernel(), SparseKernel::kCsr);
   const Tensor sparse_out = fc.Forward({&in});
 
-  // Rebuild an identical layer forced onto the dense path by keeping the
-  // same (pruned) weights but resetting the cached state through a clone
-  // with use_sparse_ recomputed — instead compare against manual GEMV.
+  // The batch of 3 runs the one-shot batched SpMM path; compare against a
+  // manual per-sample GEMV on the same pruned weights.
+  const Tensor& w = fc.Weights();
+  for (std::int64_t b = 0; b < 3; ++b) {
+    for (std::int64_t o = 0; o < 32; ++o) {
+      float acc = fc.MutableBias().At(o);
+      for (std::int64_t i = 0; i < 64; ++i) {
+        acc += w.At(o * 64 + i) * in.At(b * 64 + i);
+      }
+      EXPECT_NEAR(sparse_out.At(b * 32 + o), acc, 1e-3f);
+    }
+  }
+}
+
+TEST(FcLayer, BlockSparseBatchedPathMatchesDense) {
+  FcLayer fc("fc", 64, 32);
+  Rng rng(13);
+  fc.MutableWeights().FillGaussian(rng, 0.0f, 1.0f);
+  fc.MutableBias().FillGaussian(rng, 0.0f, 0.1f);
+  fc.NotifyWeightsChanged();
+  Tensor in(Shape{3, 64, 1, 1});
+  in.FillGaussian(rng, 0.0f, 1.0f);
+  // Block-aligned neuron pruning keeps fill at 1.0 so the dispatch picks
+  // BSR; the batch of 3 runs the batched block-sparse SpMM.
+  pruning::L1FilterPruner pruner(/*block_aligned=*/true);
+  pruner.Prune(fc, 0.5);
+  ASSERT_TRUE(fc.UsesSparsePath());
+  ASSERT_EQ(fc.Kernel(), SparseKernel::kBsr);
+  const Tensor sparse_out = fc.Forward({&in});
+
   const Tensor& w = fc.Weights();
   for (std::int64_t b = 0; b < 3; ++b) {
     for (std::int64_t o = 0; o < 32; ++o) {

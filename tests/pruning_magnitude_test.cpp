@@ -89,7 +89,11 @@ TEST(MagnitudePruner, FlipsConvToSparsePath) {
   conv.NotifyWeightsChanged();
   EXPECT_FALSE(conv.UsesSparsePath());
   MagnitudePruner pruner;
+  // The measured dispatch keeps the dense kernel until density drops below
+  // kCsrCrossoverDensity (~0.2) — moderate pruning must NOT flip the path.
   pruner.Prune(conv, 0.5);
+  EXPECT_FALSE(conv.UsesSparsePath());
+  pruner.Prune(conv, 0.85);
   EXPECT_TRUE(conv.UsesSparsePath());
 }
 

@@ -1,0 +1,255 @@
+// Differential correctness harness for the sparse kernel suite: the
+// vectorized CSR row-panel kernel (CsrMatrix::MultiplyDense), its scalar
+// fallback (MultiplyDenseScalar), and the 4x4 block-sparse kernel
+// (BsrMatrix::MultiplyDense) are cross-checked against NaiveGemm — the
+// ground-truth triple loop — over ~100 seeded (shape x sparsity x
+// structure) samples. The schedule straddles every boundary the kernels
+// tile on: column-panel widths, the 4-wide accumulator unroll, the 4-row
+// BSR blocking, and the row-chunk parallel grains. Tolerances are scaled
+// by a per-element magnitude bound (|A|·|B|) because the panel kernels
+// reassociate the accumulation (partial-accumulator trees, FMA
+// contraction) relative to the naive k-order sum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threading.h"
+#include "tensor/gemm.h"
+#include "tensor/sparse.h"
+
+namespace ccperf {
+namespace {
+
+// Sparsity structures mirror the calibration bench: element-wise magnitude
+// pruning, whole-row (filter) pruning, and block-aligned row-group pruning
+// (the shape that keeps BSR fill at 1.0).
+enum class Structure { kElement, kFilter, kBlock };
+
+struct Sample {
+  std::int64_t rows, cols, n;
+  double sparsity;
+  Structure structure;
+};
+
+std::vector<float> MakeSparseMatrix(Rng& rng, std::int64_t rows,
+                                    std::int64_t cols, double sparsity,
+                                    Structure structure) {
+  std::vector<float> m(static_cast<std::size_t>(rows * cols));
+  for (auto& v : m) v = rng.NextFloat(-1.0f, 1.0f);
+  switch (structure) {
+    case Structure::kElement:
+      for (auto& v : m) {
+        if (rng.NextDouble() < sparsity) v = 0.0f;
+      }
+      break;
+    case Structure::kFilter:
+      for (std::int64_t r = 0; r < rows; ++r) {
+        if (rng.NextDouble() < sparsity) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            m[static_cast<std::size_t>(r * cols + c)] = 0.0f;
+          }
+        }
+      }
+      break;
+    case Structure::kBlock:
+      for (std::int64_t r0 = 0; r0 < rows; r0 += BsrMatrix::kBlockRows) {
+        if (rng.NextDouble() < sparsity) {
+          const std::int64_t r1 = std::min(rows, r0 + BsrMatrix::kBlockRows);
+          for (std::int64_t r = r0; r < r1; ++r) {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              m[static_cast<std::size_t>(r * cols + c)] = 0.0f;
+            }
+          }
+        }
+      }
+      break;
+  }
+  return m;
+}
+
+/// |A|·|B|: per-element accumulation-magnitude bound for tolerance scaling.
+std::vector<float> AbsBound(std::int64_t m, std::int64_t n, std::int64_t k,
+                            const std::vector<float>& a,
+                            const std::vector<float>& b) {
+  std::vector<float> aa(a.size()), ab(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) aa[i] = std::fabs(a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) ab[i] = std::fabs(b[i]);
+  std::vector<float> bound(static_cast<std::size_t>(m * n));
+  NaiveGemm(m, n, k, aa, ab, bound);
+  return bound;
+}
+
+/// The ~100-sample schedule: every tiling boundary plus seeded fill-in.
+std::vector<Sample> ShapeSchedule() {
+  std::vector<Sample> samples;
+  // Degenerate extents in every position.
+  for (std::int64_t rows : {0, 1}) {
+    for (std::int64_t cols : {0, 1}) {
+      for (std::int64_t n : {0, 1}) {
+        samples.push_back({rows, cols, n, 0.0, Structure::kElement});
+      }
+    }
+  }
+  // Column-panel width straddles: the packed-B panel is at most 32 columns
+  // wide (ISA-dependent), so straddle every power-of-two boundary up to 64.
+  for (std::int64_t n : {1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65}) {
+    samples.push_back({13, 37, n, 0.5, Structure::kElement});
+  }
+  // 4-wide accumulator unroll tails: 1..8 nonzeros per dense row.
+  for (std::int64_t cols : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    samples.push_back({8, cols, 16, 0.0, Structure::kElement});
+  }
+  // BSR block-column boundaries (kBlockCols = 4) incl. tail padding.
+  for (std::int64_t cols : {3, 4, 5, 7, 8, 9, 127, 128, 129}) {
+    samples.push_back({16, cols, 24, 0.5, Structure::kBlock});
+  }
+  // Row-chunk parallel grain straddles (CSR grain 32 rows, BSR grain 8
+  // block rows = 32 rows).
+  for (std::int64_t rows : {31, 32, 33, 63, 64, 65}) {
+    samples.push_back({rows, 48, 40, 0.7, Structure::kElement});
+    samples.push_back({rows, 48, 40, 0.5, Structure::kBlock});
+  }
+  // Structure x sparsity grid on one mid-size shape, including fully dense
+  // (sparsity 0) and fully empty (sparsity 1: NextDouble() < 1.0 always).
+  for (const Structure s :
+       {Structure::kElement, Structure::kFilter, Structure::kBlock}) {
+    for (double sparsity : {0.0, 0.3, 0.5, 0.8, 0.95, 1.0}) {
+      samples.push_back({48, 64, 33, sparsity, s});
+    }
+  }
+  // Seeded random fill-in to ~120 total.
+  Rng rng(0x5Fa3u);
+  while (samples.size() < 120) {
+    const auto structure = static_cast<Structure>(samples.size() % 3);
+    samples.push_back({static_cast<std::int64_t>(rng.NextIndex(80)) + 1,
+                       static_cast<std::int64_t>(rng.NextIndex(120)) + 1,
+                       static_cast<std::int64_t>(rng.NextIndex(96)) + 1,
+                       rng.NextDouble(), structure});
+  }
+  return samples;
+}
+
+TEST(SparseDifferential, AllKernelsMatchNaiveAcrossShapeSchedule) {
+  const std::vector<Sample> samples = ShapeSchedule();
+  ASSERT_GE(samples.size(), 100u);
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const auto [rows, cols, n, sparsity, structure] = samples[s];
+    Rng rng(0xBEEFu + s);
+    const auto a = MakeSparseMatrix(rng, rows, cols, sparsity, structure);
+    std::vector<float> b(static_cast<std::size_t>(cols * n));
+    for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+
+    const CsrMatrix csr = CsrMatrix::FromDense(rows, cols, a);
+    const BsrMatrix bsr = BsrMatrix::FromDense(rows, cols, a);
+    // Sentinel prefill: the kernels overwrite C, including empty rows.
+    const auto size_c = static_cast<std::size_t>(rows * n);
+    std::vector<float> c_naive(size_c, 7.0f);
+    std::vector<float> c_csr(size_c, -7.0f);
+    std::vector<float> c_scalar(size_c, -7.0f);
+    std::vector<float> c_bsr(size_c, -7.0f);
+    NaiveGemm(rows, n, cols, a, b, c_naive);
+    csr.MultiplyDense(b, n, c_csr);
+    csr.MultiplyDenseScalar(b, n, c_scalar);
+    bsr.MultiplyDense(b, n, c_bsr);
+    if (rows == 0 || n == 0) continue;
+
+    const auto bound = AbsBound(rows, n, cols, a, b);
+    for (std::size_t i = 0; i < size_c; ++i) {
+      const float tol = 1e-5f * std::max(1.0f, bound[i]);
+      ASSERT_NEAR(c_csr[i], c_naive[i], tol)
+          << "csr sample " << s << " (rows=" << rows << " cols=" << cols
+          << " n=" << n << " sparsity=" << sparsity << ") at index " << i;
+      ASSERT_NEAR(c_scalar[i], c_naive[i], tol)
+          << "csr-scalar sample " << s << " at index " << i;
+      ASSERT_NEAR(c_bsr[i], c_naive[i], tol)
+          << "bsr sample " << s << " (rows=" << rows << " cols=" << cols
+          << " n=" << n << " sparsity=" << sparsity << ") at index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(SparseDifferential, SerialExecutionIsBitwiseIdentical) {
+  // The parallel kernels accumulate each C element in a fixed order inside
+  // exactly one task, so forcing every ParallelFor into the calling thread
+  // must reproduce the pooled result bitwise — not just within tolerance.
+  for (const auto& [rows, cols, n] :
+       {std::tuple<std::int64_t, std::int64_t, std::int64_t>{65, 97, 40},
+        {32, 128, 33},
+        {7, 300, 64}}) {
+    Rng rng(static_cast<std::uint64_t>(rows * 131 + cols * 17 + n));
+    const auto a =
+        MakeSparseMatrix(rng, rows, cols, 0.6, Structure::kElement);
+    const auto ab =
+        MakeSparseMatrix(rng, rows, cols, 0.5, Structure::kBlock);
+    std::vector<float> b(static_cast<std::size_t>(cols * n));
+    for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+    const CsrMatrix csr = CsrMatrix::FromDense(rows, cols, a);
+    const BsrMatrix bsr = BsrMatrix::FromDense(rows, cols, ab);
+
+    const auto size_c = static_cast<std::size_t>(rows * n);
+    std::vector<float> csr_pooled(size_c), csr_serial(size_c);
+    std::vector<float> bsr_pooled(size_c), bsr_serial(size_c);
+    csr.MultiplyDense(b, n, csr_pooled);
+    bsr.MultiplyDense(b, n, bsr_pooled);
+    {
+      ScopedSerial serial_scope;
+      csr.MultiplyDense(b, n, csr_serial);
+      bsr.MultiplyDense(b, n, bsr_serial);
+    }
+    EXPECT_EQ(0, std::memcmp(csr_pooled.data(), csr_serial.data(),
+                             size_c * sizeof(float)))
+        << "csr rows=" << rows << " cols=" << cols << " n=" << n;
+    EXPECT_EQ(0, std::memcmp(bsr_pooled.data(), bsr_serial.data(),
+                             size_c * sizeof(float)))
+        << "bsr rows=" << rows << " cols=" << cols << " n=" << n;
+  }
+}
+
+TEST(SparseDifferential, RepeatedRunsAreBitwiseDeterministic) {
+  constexpr std::int64_t rows = 67, cols = 129, n = 48;
+  Rng rng(55);
+  const auto a = MakeSparseMatrix(rng, rows, cols, 0.7, Structure::kElement);
+  std::vector<float> b(static_cast<std::size_t>(cols * n));
+  for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+  const CsrMatrix csr = CsrMatrix::FromDense(rows, cols, a);
+  const BsrMatrix bsr = BsrMatrix::FromDense(rows, cols, a);
+  const auto size_c = static_cast<std::size_t>(rows * n);
+  std::vector<float> c1(size_c), c2(size_c), d1(size_c), d2(size_c);
+  csr.MultiplyDense(b, n, c1);
+  csr.MultiplyDense(b, n, c2);
+  bsr.MultiplyDense(b, n, d1);
+  bsr.MultiplyDense(b, n, d2);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), size_c * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(), size_c * sizeof(float)));
+}
+
+TEST(SparseDifferential, CsrAndBsrAgreeOnBlockStructuredWeights) {
+  // On block-aligned sparsity both formats store exactly the surviving
+  // values, so their results must agree to rounding — the property the
+  // dispatch policy relies on when it picks between them on fill.
+  constexpr std::int64_t rows = 64, cols = 96, n = 33;
+  Rng rng(91);
+  const auto a = MakeSparseMatrix(rng, rows, cols, 0.6, Structure::kBlock);
+  std::vector<float> b(static_cast<std::size_t>(cols * n));
+  for (auto& v : b) v = rng.NextFloat(-1.0f, 1.0f);
+  const CsrMatrix csr = CsrMatrix::FromDense(rows, cols, a);
+  const BsrMatrix bsr = BsrMatrix::FromDense(rows, cols, a);
+  const auto size_c = static_cast<std::size_t>(rows * n);
+  std::vector<float> c_csr(size_c), c_bsr(size_c);
+  csr.MultiplyDense(b, n, c_csr);
+  bsr.MultiplyDense(b, n, c_bsr);
+  const auto bound = AbsBound(rows, n, cols, a, b);
+  for (std::size_t i = 0; i < size_c; ++i) {
+    ASSERT_NEAR(c_csr[i], c_bsr[i], 1e-5f * std::max(1.0f, bound[i]))
+        << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccperf
