@@ -20,7 +20,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# Robustness suites first (fault replay, snapshot corruption, fuzzing):
+# they are the tests most likely to walk into UB, so surface their reports
+# before the long tail of the full suite.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L robustness
+
+echo "ASAN+UBSAN ROBUSTNESS GREEN"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -LE robustness
 
 echo "ASAN+UBSAN GREEN"
 

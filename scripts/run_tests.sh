@@ -6,8 +6,10 @@
 #   scripts/run_tests.sh cloud      # cloud cost/latency model + simulator
 #   scripts/run_tests.sh integration
 #   scripts/run_tests.sh fuzz
+#   scripts/run_tests.sh robustness # fault replay, snapshot/restore, fuzzing
 #
-# Labels are assigned in tests/CMakeLists.txt via ccperf_add_test(... LABEL x).
+# Labels are assigned in tests/CMakeLists.txt via
+# ccperf_add_test(... LABELS x y); a suite may carry several.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -71,26 +71,47 @@ AutoscaleResult Autoscaler::RunFaulted(
     const std::vector<std::vector<double>>& arrivals, double epoch_s,
     const VariantPerf& perf, const AutoscalePolicy& policy,
     const ServingPolicy& serving_policy, const RetryPolicy& retry,
-    const FaultSchedule& faults) const {
+    const FaultSchedule& faults, const CheckpointPolicy* checkpoint,
+    CheckpointStats* checkpoint_stats) const {
   CCPERF_CHECK(!arrivals.empty(), "need at least one epoch");
   CCPERF_CHECK(epoch_s > 0.0, "epoch length must be positive");
   ValidateAutoscalePolicy(policy);
   ValidateServingPolicy(serving_policy);
   ValidateRetryPolicy(retry);
   faults.Validate();
+  if (checkpoint != nullptr) ValidateCheckpointPolicy(*checkpoint);
 
   AutoscaleResult result;
   int instances = policy.min_instances;
   std::int64_t total_requests = 0;
   std::int64_t total_in_deadline = 0;
+  CheckpointStats aggregate;
   for (std::size_t epoch = 0; epoch < arrivals.size(); ++epoch) {
     ResourceConfig fleet;
     fleet.Add(instance_type_, instances);
     const FaultSchedule local = faults.Slice(
         static_cast<double>(epoch) * epoch_s,
         static_cast<double>(epoch + 1) * epoch_s);
-    const ServingReport report = serving_.SimulateFaulted(
-        fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local);
+    ServingReport report;
+    if (checkpoint != nullptr) {
+      CheckpointStats epoch_stats;
+      report = serving_.SimulateFaultedCheckpointed(
+          fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local,
+          *checkpoint, &epoch_stats);
+      aggregate.snapshots += epoch_stats.snapshots;
+      aggregate.snapshot_overhead_s += epoch_stats.snapshot_overhead_s;
+      aggregate.overhead_cost_usd += epoch_stats.overhead_cost_usd;
+      if (epoch_stats.snapshots > 0) {
+        // Report the last snapshot on the run's global clock.
+        aggregate.last_snapshot_s = static_cast<double>(epoch) * epoch_s +
+                                    epoch_stats.last_snapshot_s;
+        aggregate.latest = std::move(epoch_stats.latest);
+      }
+      result.total_cost_usd += epoch_stats.overhead_cost_usd;
+    } else {
+      report = serving_.SimulateFaulted(
+          fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local);
+    }
 
     result.total_cost_usd += report.cost_per_hour_usd * epoch_s / 3600.0;
     result.worst_p99_s = std::max(result.worst_p99_s, report.p99_latency_s);
@@ -122,6 +143,7 @@ AutoscaleResult Autoscaler::RunFaulted(
     result.slo_compliance = static_cast<double>(total_in_deadline) /
                             static_cast<double>(total_requests);
   }
+  if (checkpoint_stats != nullptr) *checkpoint_stats = std::move(aggregate);
   return result;
 }
 

@@ -70,11 +70,18 @@ class Autoscaler {
   /// `policy.miss_rate_step_up` forces at least one extra instance, and an
   /// unstable epoch still jumps to max. Still one epoch of reactive lag —
   /// the lag accuracy elasticity does not pay.
+  ///
+  /// With `checkpoint` set, every epoch runs checkpointed: dynamics and
+  /// reports are unchanged, but snapshot overhead is billed into
+  /// total_cost_usd and the aggregated accounting (plus the last epoch's
+  /// restorable snapshot) lands in `checkpoint_stats` when provided.
   [[nodiscard]] AutoscaleResult RunFaulted(
       const std::vector<std::vector<double>>& arrivals, double epoch_s,
       const VariantPerf& perf, const AutoscalePolicy& policy,
       const ServingPolicy& serving_policy, const RetryPolicy& retry,
-      const FaultSchedule& faults) const;
+      const FaultSchedule& faults,
+      const CheckpointPolicy* checkpoint = nullptr,
+      CheckpointStats* checkpoint_stats = nullptr) const;
 
  private:
   const ServingSimulator& serving_;

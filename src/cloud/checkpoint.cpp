@@ -1,0 +1,269 @@
+#include "cloud/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/pricing.h"
+#include "common/check.h"
+#include "common/snapshot.h"
+
+namespace ccperf::cloud {
+
+namespace {
+
+constexpr std::uint32_t kOfflineSnapshotTag = 0x4F46464Cu;  // 'OFFL'
+
+/// Per-instance-hour fault density of a schedule (all kinds), the MTBF
+/// input of the adaptive trigger. Zero for an empty schedule.
+double FaultRatePerInstanceHour(const FaultSchedule& faults,
+                                double duration_s, int instances) {
+  if (faults.events.empty()) return 0.0;
+  const double instance_hours =
+      static_cast<double>(instances) * duration_s / 3600.0;
+  return static_cast<double>(faults.events.size()) / instance_hours;
+}
+
+}  // namespace
+
+const char* CheckpointTriggerName(CheckpointTrigger trigger) {
+  switch (trigger) {
+    case CheckpointTrigger::kPeriodic:
+      return "periodic";
+    case CheckpointTrigger::kOnPreemptionWarning:
+      return "on-warning";
+    case CheckpointTrigger::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+void ValidateCheckpointPolicy(const CheckpointPolicy& policy) {
+  CCPERF_CHECK(policy.interval_s > 0.0 && std::isfinite(policy.interval_s),
+               "checkpoint interval must be positive, got ",
+               policy.interval_s);
+  CCPERF_CHECK(policy.warning_lead_s >= 0.0 &&
+                   std::isfinite(policy.warning_lead_s),
+               "warning lead must be >= 0, got ", policy.warning_lead_s);
+  CCPERF_CHECK(policy.snapshot_cost_s >= 0.0 &&
+                   std::isfinite(policy.snapshot_cost_s),
+               "snapshot cost must be >= 0, got ", policy.snapshot_cost_s);
+}
+
+double YoungInterval(double snapshot_cost_s, double mtbf_s) {
+  CCPERF_CHECK(snapshot_cost_s > 0.0 && mtbf_s > 0.0,
+               "Young's interval needs positive snapshot cost and MTBF");
+  return std::sqrt(2.0 * snapshot_cost_s * mtbf_s);
+}
+
+std::vector<double> CheckpointInstants(const CheckpointPolicy& policy,
+                                       const FaultSchedule& faults,
+                                       double duration_s, int instances) {
+  ValidateCheckpointPolicy(policy);
+  CCPERF_CHECK(duration_s > 0.0, "duration must be positive");
+  CCPERF_CHECK(instances >= 1, "need at least one instance");
+  faults.Validate();
+
+  std::vector<double> instants;
+  const auto periodic = [&](double interval) {
+    for (double t = interval; t < duration_s; t += interval) {
+      instants.push_back(t);
+    }
+  };
+  switch (policy.trigger) {
+    case CheckpointTrigger::kPeriodic:
+      periodic(policy.interval_s);
+      break;
+    case CheckpointTrigger::kOnPreemptionWarning:
+      for (const FaultEvent& event : faults.events) {
+        const double t = event.start_s - policy.warning_lead_s;
+        if (t > 0.0 && t < duration_s) instants.push_back(t);
+      }
+      break;
+    case CheckpointTrigger::kAdaptive: {
+      const double rate =
+          FaultRatePerInstanceHour(faults, duration_s, instances);
+      double interval = policy.interval_s;
+      if (rate > 0.0 && policy.snapshot_cost_s > 0.0) {
+        interval = YoungInterval(policy.snapshot_cost_s, 3600.0 / rate);
+      }
+      // Never snapshot more often than a snapshot takes, never less than
+      // once per run.
+      interval = std::clamp(interval, std::max(policy.snapshot_cost_s, 1e-3),
+                            duration_s);
+      periodic(interval);
+      break;
+    }
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()),
+                 instants.end());
+  return instants;
+}
+
+SpotRunEstimate EstimateSpotRun(const CloudSimulator& sim,
+                                const ResourceConfig& config,
+                                const VariantPerf& perf, std::int64_t images,
+                                const CheckpointPolicy& policy,
+                                double preemption_rate_per_hour,
+                                double restart_s) {
+  ValidateCheckpointPolicy(policy);
+  CCPERF_CHECK(preemption_rate_per_hour >= 0.0,
+               "preemption rate must be >= 0");
+  CCPERF_CHECK(restart_s >= 0.0, "restart time must be >= 0");
+
+  const RunEstimate base = sim.Run(config, perf, images);
+  SpotRunEstimate est;
+  est.base_seconds = base.seconds;
+  est.on_demand_cost_usd = base.cost_usd;
+
+  // Resolve the interval: adaptive uses Young's optimum for the spot MTBF.
+  est.interval_s = policy.interval_s;
+  if (policy.trigger == CheckpointTrigger::kAdaptive &&
+      preemption_rate_per_hour > 0.0 && policy.snapshot_cost_s > 0.0) {
+    est.interval_s =
+        YoungInterval(policy.snapshot_cost_s, 3600.0 / preemption_rate_per_hour);
+  }
+  est.interval_s = std::clamp(est.interval_s,
+                              std::max(policy.snapshot_cost_s, 1e-3),
+                              std::max(base.seconds, 1e-3));
+
+  // First-order expectation (Young/Daly): snapshots stretch the run by
+  // c per interval; each preemption loses half an interval of recompute
+  // plus the reprovisioning delay.
+  est.snapshot_overhead_s =
+      std::floor(base.seconds / est.interval_s) * policy.snapshot_cost_s;
+  const double productive_seconds = base.seconds + est.snapshot_overhead_s;
+  est.expected_preemptions =
+      preemption_rate_per_hour * (productive_seconds / 3600.0) *
+      static_cast<double>(config.TotalInstances());
+  est.expected_recompute_s =
+      est.expected_preemptions * (est.interval_s / 2.0 + restart_s);
+  est.expected_seconds = productive_seconds + est.expected_recompute_s;
+
+  double spot_price = 0.0;
+  for (const auto& [type, count] : config.instances) {
+    const InstanceType& t = sim.Catalog().Find(type);
+    CCPERF_CHECK(t.spot_price_per_hour > 0.0, "instance type '", type,
+                 "' has no spot market");
+    spot_price += t.spot_price_per_hour * count;
+  }
+  est.expected_spot_cost_usd = ProratedCost(est.expected_seconds, spot_price);
+  return est;
+}
+
+// --- resumable offline run ---------------------------------------------------
+
+ResumableOfflineRun::ResumableOfflineRun(const CloudSimulator& sim,
+                                         const ResourceConfig& config,
+                                         const VariantPerf& perf,
+                                         std::int64_t images,
+                                         std::int64_t batch)
+    : total_images_(images), batch_(batch) {
+  CCPERF_CHECK(images >= 1, "need at least one image");
+  CCPERF_CHECK(batch >= 0, "batch must be >= 0");
+  const RunEstimate estimate = sim.Run(config, perf, images);
+  for (const InstanceRun& run : estimate.instances) {
+    const InstanceType& type = sim.Catalog().Find(run.type);
+    const GpuSpec& gpu = sim.Catalog().Gpu(type.gpu);
+    Slot slot;
+    slot.type = run.type;
+    slot.target = run.images;
+    if (run.images > 0) {
+      const std::int64_t per_gpu =
+          (run.images + type.gpus - 1) / static_cast<std::int64_t>(type.gpus);
+      const std::int64_t b = batch > 0 ? std::min(batch, gpu.max_batch)
+                                       : std::min(per_gpu, gpu.max_batch);
+      slot.images_per_step = b * type.gpus;
+      slot.step_seconds = sim.BatchSeconds(type, perf, b);
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void ResumableOfflineRun::AdvanceTo(double t_s) {
+  CCPERF_CHECK(t_s >= elapsed_s_, "offline run time must advance: ", t_s,
+               " < ", elapsed_s_);
+  for (Slot& slot : slots_) {
+    if (slot.target == 0 || slot.step_seconds <= 0.0) continue;
+    const auto steps =
+        static_cast<std::int64_t>(std::floor(t_s / slot.step_seconds));
+    slot.done = std::min(slot.target, steps * slot.images_per_step);
+  }
+  elapsed_s_ = t_s;
+}
+
+bool ResumableOfflineRun::Done() const { return ImagesDone() == total_images_; }
+
+std::int64_t ResumableOfflineRun::ImagesDone() const {
+  std::int64_t done = 0;
+  for (const Slot& slot : slots_) done += slot.done;
+  return done;
+}
+
+double ResumableOfflineRun::TotalSeconds() const {
+  double seconds = 0.0;
+  for (const Slot& slot : slots_) {
+    if (slot.target == 0) continue;
+    // Last batch round may be partial; ceil to whole rounds bounds it.
+    const std::int64_t rounds =
+        (slot.target + slot.images_per_step - 1) / slot.images_per_step;
+    seconds =
+        std::max(seconds, static_cast<double>(rounds) * slot.step_seconds);
+  }
+  return seconds;
+}
+
+std::uint32_t ResumableOfflineRun::Fingerprint() const {
+  SnapshotSectionWriter w;
+  w.PutI64(total_images_);
+  w.PutI64(batch_);
+  for (const Slot& slot : slots_) {
+    w.PutString(slot.type);
+    w.PutI64(slot.target);
+    w.PutI64(slot.images_per_step);
+    w.PutF64(slot.step_seconds);
+  }
+  return Crc32(w.Bytes());
+}
+
+std::string ResumableOfflineRun::Checkpoint() const {
+  SnapshotWriter writer(kOfflineSnapshotTag);
+  SnapshotSectionWriter& meta = writer.AddSection("meta");
+  meta.PutU32(Fingerprint());
+  meta.PutF64(elapsed_s_);
+  SnapshotSectionWriter& progress = writer.AddSection("progress");
+  std::vector<std::int64_t> done;
+  done.reserve(slots_.size());
+  for (const Slot& slot : slots_) done.push_back(slot.done);
+  progress.PutI64Vector(done);
+  return writer.Serialize();
+}
+
+void ResumableOfflineRun::Restore(const std::string& snapshot) {
+  const SnapshotReader reader =
+      SnapshotReader::Parse(snapshot, kOfflineSnapshotTag);
+  SnapshotSectionReader meta = reader.Section("meta");
+  const std::uint32_t fingerprint = meta.TakeU32();
+  CCPERF_CHECK(fingerprint == Fingerprint(),
+               "offline-run snapshot does not match this run's "
+               "(config, variant, workload)");
+  const double elapsed = meta.TakeF64();
+  meta.ExpectEnd();
+  SnapshotSectionReader progress = reader.Section("progress");
+  const std::vector<std::int64_t> done = progress.TakeI64Vector();
+  progress.ExpectEnd();
+  CCPERF_CHECK(done.size() == slots_.size(),
+               "corrupt offline-run snapshot: ", done.size(),
+               " progress slots for ", slots_.size(), " instances");
+  CCPERF_CHECK(elapsed >= 0.0 && std::isfinite(elapsed),
+               "corrupt offline-run snapshot: bad elapsed time");
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    CCPERF_CHECK(done[i] >= 0 && done[i] <= slots_[i].target,
+                 "corrupt offline-run snapshot: progress ", done[i],
+                 " outside [0, ", slots_[i].target, "]");
+    slots_[i].done = done[i];
+  }
+  elapsed_s_ = elapsed;
+}
+
+}  // namespace ccperf::cloud

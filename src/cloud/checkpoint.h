@@ -1,0 +1,146 @@
+// Checkpoint policies and spot economics: when to snapshot a run, and what
+// snapshots + lost recompute do to the paper's cost model (Eqs. 1-4).
+//
+// The paper prices configurations as if every instance runs to completion;
+// the cheapest real configurations are preemptible spot instances. Scavenger
+// (Tyagi & Sharma, 2023) shows the checkpoint interval is itself a
+// cost/performance knob on transient resources, and PROFET (Lee et al.,
+// 2022) motivates modeling the snapshot-vs-recompute overhead explicitly.
+// This module supplies the knob (CheckpointPolicy), the classic optimum
+// (Young's interval), and the Eq. 1-4 extension that charges snapshot time
+// and expected recompute against spot prices (EstimateSpotRun).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/faults.h"
+#include "cloud/simulator.h"
+
+namespace ccperf::cloud {
+
+/// When a run takes a snapshot.
+enum class CheckpointTrigger {
+  kPeriodic,             // every interval_s of simulated time
+  kOnPreemptionWarning,  // warning_lead_s before each scheduled fault
+  kAdaptive,             // periodic at Young's optimal interval for the
+                         // observed fault density (falls back to interval_s
+                         // on a fault-free schedule)
+};
+
+/// "periodic" / "on-warning" / "adaptive".
+const char* CheckpointTriggerName(CheckpointTrigger trigger);
+
+/// Snapshot cadence + cost. `snapshot_cost_s` is the simulated wall time a
+/// snapshot steals from the run; it is charged to the cost model, never to
+/// the simulated dynamics (resume must stay bitwise-identical).
+struct CheckpointPolicy {
+  CheckpointTrigger trigger = CheckpointTrigger::kPeriodic;
+  double interval_s = 300.0;      // periodic cadence / adaptive fallback
+  double warning_lead_s = 120.0;  // EC2 spot issues a 2-minute warning
+  double snapshot_cost_s = 1.0;   // simulated seconds per snapshot
+};
+
+/// Throws CheckError unless interval > 0, lead >= 0 and cost >= 0.
+void ValidateCheckpointPolicy(const CheckpointPolicy& policy);
+
+/// Young's optimal periodic checkpoint interval for snapshot cost `c` and
+/// mean time between failures `mtbf`: sqrt(2 * c * mtbf). Requires both
+/// positive.
+double YoungInterval(double snapshot_cost_s, double mtbf_s);
+
+/// The snapshot instants a policy produces for a run of `duration_s`
+/// against `faults` on an `instances`-wide fleet: sorted, deduplicated,
+/// strictly inside (0, duration_s).
+std::vector<double> CheckpointInstants(const CheckpointPolicy& policy,
+                                       const FaultSchedule& faults,
+                                       double duration_s, int instances);
+
+/// Accounting of one checkpointed run. `latest` is the bytes of the most
+/// recent snapshot (restorable via FaultedServingEngine::Restore);
+/// `history` records every (watermark, snapshot) pair when `keep_history`
+/// is set before the run.
+struct CheckpointStats {
+  int snapshots = 0;
+  double snapshot_overhead_s = 0.0;  // snapshots * snapshot_cost_s
+  double overhead_cost_usd = 0.0;    // overhead billed at the fleet price
+  double last_snapshot_s = 0.0;      // watermark of the latest snapshot
+  std::string latest;
+  bool keep_history = false;
+  std::vector<std::pair<double, std::string>> history;
+};
+
+/// Eq. 1-4 extended to preemptible capacity: expected completion time and
+/// cost of an offline run of `images` on `config` priced at spot rates,
+/// including snapshot overhead and the expected recompute lost to
+/// preemptions (interval/2 per hit, plus `restart_s` to reprovision).
+struct SpotRunEstimate {
+  double interval_s = 0.0;            // the checkpoint interval in effect
+  double base_seconds = 0.0;          // fault-free T (Eq. 2)
+  double snapshot_overhead_s = 0.0;
+  double expected_recompute_s = 0.0;  // preemptions * (interval/2 + restart)
+  double expected_preemptions = 0.0;  // across the whole fleet
+  double expected_seconds = 0.0;      // T + overhead + recompute
+  double on_demand_cost_usd = 0.0;    // Eq. 1 at on-demand price, no faults
+  double expected_spot_cost_usd = 0.0;
+};
+
+/// `preemption_rate_per_hour` is per instance; every type in `config` must
+/// have a spot market (spot_price_per_hour > 0).
+SpotRunEstimate EstimateSpotRun(const CloudSimulator& sim,
+                                const ResourceConfig& config,
+                                const VariantPerf& perf, std::int64_t images,
+                                const CheckpointPolicy& policy,
+                                double preemption_rate_per_hour,
+                                double restart_s = 60.0);
+
+/// Resumable offline run: the paper's Eq. 1-4 batch-inference model with
+/// per-instance progress in whole batches, checkpointable through the
+/// common snapshot format. A preempted campaign restored from its latest
+/// snapshot loses only the work since that snapshot instead of restarting
+/// the whole workload from zero.
+class ResumableOfflineRun {
+ public:
+  /// `batch` 0 picks the largest batch that fits each GPU (as
+  /// CloudSimulator::InstanceSeconds does).
+  ResumableOfflineRun(const CloudSimulator& sim, const ResourceConfig& config,
+                      const VariantPerf& perf, std::int64_t images,
+                      std::int64_t batch = 0);
+
+  /// Advance every instance to simulated time `t_s` (monotone; whole
+  /// completed batches only — a batch in flight at `t_s` is not counted).
+  void AdvanceTo(double t_s);
+
+  [[nodiscard]] bool Done() const;
+  [[nodiscard]] std::int64_t ImagesDone() const;
+  [[nodiscard]] std::int64_t TotalImages() const { return total_images_; }
+  [[nodiscard]] double Elapsed() const { return elapsed_s_; }
+  /// Fault-free completion time — the paper's T (Eq. 2).
+  [[nodiscard]] double TotalSeconds() const;
+
+  /// Capture progress; restore into a run built from the same
+  /// (config, perf, images, batch) inputs. Mismatched inputs or corrupted
+  /// bytes throw CheckError.
+  [[nodiscard]] std::string Checkpoint() const;
+  void Restore(const std::string& snapshot);
+
+ private:
+  struct Slot {
+    std::string type;
+    std::int64_t target = 0;         // W_i (Eq. 4 share)
+    std::int64_t done = 0;
+    std::int64_t images_per_step = 0;  // batch * gpus
+    double step_seconds = 0.0;         // one batch round across the GPUs
+  };
+
+  std::uint32_t Fingerprint() const;
+
+  std::vector<Slot> slots_;
+  std::int64_t total_images_ = 0;
+  std::int64_t batch_ = 0;
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace ccperf::cloud

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -185,24 +186,44 @@ FaultSchedule ParseFaultScheduleCsv(std::istream& in) {
                                 "slowdown_factor",
                "unexpected fault CSV header '", line, "'");
   FaultSchedule schedule;
+  // Line numbers are 1-based and include the header, so an error message
+  // points at the row an editor would show.
+  std::size_t line_number = 1;
+  std::size_t previous_row = 0;
+  double previous_start = 0.0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (Trimmed(line).empty()) continue;
-    const std::vector<std::string> cells = SplitCsvLine(line);
-    CCPERF_CHECK(cells.size() == 5, "fault CSV row needs 5 cells, got ",
-                 cells.size(), " in '", line, "'");
     FaultEvent event;
-    event.kind = ParseKind(cells[0]);
-    const double instance = ParseDoubleCell(cells[1], "instance");
-    CCPERF_CHECK(instance >= 0.0 && instance < 1e9 &&
-                     instance == std::floor(instance),
-                 "instance index must be a small non-negative integer, got '",
-                 cells[1], "'");
-    event.instance = static_cast<int>(instance);
-    event.start_s = ParseDoubleCell(cells[2], "start_s");
-    event.duration_s = ParseDoubleCell(cells[3], "duration_s");
-    event.slowdown_factor = ParseDoubleCell(cells[4], "slowdown_factor");
+    try {
+      const std::vector<std::string> cells = SplitCsvLine(line);
+      CCPERF_CHECK(cells.size() == 5, "row needs 5 cells, got ",
+                   cells.size());
+      event.kind = ParseKind(cells[0]);
+      const double instance = ParseDoubleCell(cells[1], "instance");
+      CCPERF_CHECK(instance >= 0.0 && instance < 1e9 &&
+                       instance == std::floor(instance),
+                   "instance index must be a small non-negative integer, "
+                   "got '",
+                   cells[1], "'");
+      event.instance = static_cast<int>(instance);
+      event.start_s = ParseDoubleCell(cells[2], "start_s");
+      event.duration_s = ParseDoubleCell(cells[3], "duration_s");
+      event.slowdown_factor = ParseDoubleCell(cells[4], "slowdown_factor");
+      ValidateEvent(event);
+      CCPERF_CHECK(event.start_s >= previous_start,
+                   "events must be start-sorted: start_s ", event.start_s,
+                   " is before ", previous_start, " on line ", previous_row);
+    } catch (const CheckError& error) {
+      CCPERF_CHECK(false, "fault CSV line ", line_number, " ('",
+                   Trimmed(line), "'): ", error.what());
+    }
+    previous_row = line_number;
+    previous_start = event.start_s;
     schedule.events.push_back(event);
   }
+  CCPERF_CHECK(!in.bad(), "fault CSV stream failed mid-read (truncated or "
+                          "unreadable input)");
   schedule.Validate();
   return schedule;
 }
@@ -210,6 +231,16 @@ FaultSchedule ParseFaultScheduleCsv(std::istream& in) {
 FaultSchedule ParseFaultScheduleCsv(const std::string& text) {
   std::stringstream stream(text);
   return ParseFaultScheduleCsv(stream);
+}
+
+FaultSchedule LoadFaultScheduleFromFile(const std::string& path) {
+  std::ifstream in(path);
+  CCPERF_CHECK(in.good(), "cannot open fault schedule '", path, "'");
+  try {
+    return ParseFaultScheduleCsv(in);
+  } catch (const CheckError& error) {
+    CCPERF_CHECK(false, "fault schedule '", path, "': ", error.what());
+  }
 }
 
 std::string FaultScheduleCsv(const FaultSchedule& schedule) {

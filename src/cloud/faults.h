@@ -71,10 +71,16 @@ FaultSchedule GenerateFaultSchedule(const FaultModel& model, int instances,
                                     double duration_s, Rng& rng);
 
 /// CSV with header "kind,instance,start_s,duration_s,slowdown_factor".
-/// Malformed rows, unknown kinds, or out-of-order start times throw
-/// CheckError — corrupted traces must never silently mis-simulate.
+/// Malformed rows, unknown kinds, negative timestamps, or out-of-order
+/// start times throw CheckError naming the offending line — corrupted
+/// traces must never silently mis-simulate. A stream that fails mid-read
+/// (truncated file) throws as well.
 FaultSchedule ParseFaultScheduleCsv(std::istream& in);
 FaultSchedule ParseFaultScheduleCsv(const std::string& text);
+
+/// Load a fault CSV from disk; errors (including parse errors) name the
+/// path, and parse errors keep their line context.
+FaultSchedule LoadFaultScheduleFromFile(const std::string& path);
 
 /// Inverse of ParseFaultScheduleCsv (round-trips exactly enough to replay).
 std::string FaultScheduleCsv(const FaultSchedule& schedule);

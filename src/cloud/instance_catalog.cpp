@@ -29,6 +29,10 @@ InstanceCatalog::InstanceCatalog(std::vector<InstanceType> types,
   for (const auto& t : types_) {
     CCPERF_CHECK(t.gpus >= 1 && t.price_per_hour > 0.0,
                  "invalid instance type ", t.name);
+    CCPERF_CHECK(t.spot_price_per_hour >= 0.0 &&
+                     t.spot_price_per_hour <= t.price_per_hour,
+                 "spot price of ", t.name,
+                 " must be in [0, on-demand price]");
   }
 }
 
@@ -57,13 +61,15 @@ InstanceCatalog InstanceCatalog::AwsEc2() {
               .max_batch = 1300};
 
   // The paper's Table 3 verbatim (Amazon EC2, Oregon region, 2020 prices).
+  // Spot prices follow the region's typical ~70% discount off on-demand.
   std::vector<InstanceType> types{
-      {"p2.xlarge", "p2", 4, 1, 61.0, 12.0, 0.90, GpuKind::kK80},
-      {"p2.8xlarge", "p2", 32, 8, 488.0, 96.0, 7.20, GpuKind::kK80},
-      {"p2.16xlarge", "p2", 64, 16, 732.0, 192.0, 14.40, GpuKind::kK80},
-      {"g3.4xlarge", "g3", 16, 1, 122.0, 8.0, 1.14, GpuKind::kM60},
-      {"g3.8xlarge", "g3", 32, 2, 244.0, 16.0, 2.28, GpuKind::kM60},
-      {"g3.16xlarge", "g3", 64, 4, 488.0, 32.0, 4.56, GpuKind::kM60},
+      {"p2.xlarge", "p2", 4, 1, 61.0, 12.0, 0.90, GpuKind::kK80, 0.270},
+      {"p2.8xlarge", "p2", 32, 8, 488.0, 96.0, 7.20, GpuKind::kK80, 2.160},
+      {"p2.16xlarge", "p2", 64, 16, 732.0, 192.0, 14.40, GpuKind::kK80,
+       4.320},
+      {"g3.4xlarge", "g3", 16, 1, 122.0, 8.0, 1.14, GpuKind::kM60, 0.342},
+      {"g3.8xlarge", "g3", 32, 2, 244.0, 16.0, 2.28, GpuKind::kM60, 0.684},
+      {"g3.16xlarge", "g3", 64, 4, 488.0, 32.0, 4.56, GpuKind::kM60, 1.368},
   };
   return InstanceCatalog(std::move(types), {k80, m60});
 }

@@ -47,6 +47,10 @@ struct InstanceType {
   double gpu_mem_gb = 0.0;
   double price_per_hour = 0.0;  // the paper's c_i (USD)
   GpuKind gpu = GpuKind::kK80;
+  /// Spot-market hourly price (USD). 0 means no spot market for this type.
+  /// Appended after `gpu` so positional initializers of the on-demand
+  /// columns stay valid.
+  double spot_price_per_hour = 0.0;
 };
 
 /// Immutable set of instance types + GPU device specs.

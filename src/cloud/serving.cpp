@@ -4,9 +4,12 @@
 #include <cmath>
 #include <deque>
 #include <numbers>
+#include <utility>
 
+#include "cloud/pricing.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "common/stats.h"
 
 namespace ccperf::cloud {
@@ -201,265 +204,506 @@ ServingReport ServingSimulator::SimulateFaulted(
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, InflightPolicy inflight,
     double variant_accuracy) const {
-  CCPERF_CHECK(!config.Empty(), "empty configuration");
-  CCPERF_CHECK(duration_s > 0.0, "duration must be positive");
-  ValidateServingPolicy(policy);
-  ValidateRetryPolicy(retry);
-  faults.Validate();
-  CCPERF_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()),
+  FaultedServingEngine engine(*this, config, perf, std::move(arrivals),
+                              duration_s, policy, retry, faults, inflight,
+                              variant_accuracy);
+  while (!engine.Done()) engine.Step();
+  return engine.Finish();
+}
+
+ServingReport ServingSimulator::SimulateFaultedCheckpointed(
+    const ResourceConfig& config, const VariantPerf& perf,
+    std::vector<double> arrivals, double duration_s,
+    const ServingPolicy& policy, const RetryPolicy& retry,
+    const FaultSchedule& faults, const CheckpointPolicy& checkpoint,
+    CheckpointStats* stats, InflightPolicy inflight,
+    double variant_accuracy) const {
+  const std::vector<double> instants = CheckpointInstants(
+      checkpoint, faults, duration_s, config.TotalInstances());
+  FaultedServingEngine engine(*this, config, perf, std::move(arrivals),
+                              duration_s, policy, retry, faults, inflight,
+                              variant_accuracy);
+  CheckpointStats local;
+  CheckpointStats& out = stats != nullptr ? *stats : local;
+  const bool keep_history = out.keep_history;
+  out = CheckpointStats{};
+  out.keep_history = keep_history;
+
+  std::size_t next_instant = 0;
+  while (!engine.Done()) {
+    engine.Step();
+    // The watermark may jump several instants in one dispatch; every
+    // crossed trigger fires (and is charged), all from the same state.
+    while (next_instant < instants.size() &&
+           engine.Watermark() >= instants[next_instant]) {
+      out.latest = engine.Checkpoint();
+      out.last_snapshot_s = instants[next_instant];
+      ++out.snapshots;
+      if (out.keep_history) {
+        out.history.emplace_back(instants[next_instant], out.latest);
+      }
+      ++next_instant;
+    }
+  }
+  // Snapshot time is charged to the cost model (Eq. 3-4 recovery term),
+  // never to the simulated dynamics: the report stays bitwise identical
+  // to SimulateFaulted.
+  out.snapshot_overhead_s = out.snapshots * checkpoint.snapshot_cost_s;
+  out.overhead_cost_usd = out.snapshot_overhead_s / 3600.0 *
+                          PricePerHour(config, simulator_.Catalog());
+  return engine.Finish();
+}
+
+// --- faulted serving engine --------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kServingSnapshotTag = 0x46535256u;  // 'FSRV'
+}  // namespace
+
+bool FaultedServingEngine::Later(const Pending& a, const Pending& b) {
+  if (a.ready != b.ready) return a.ready > b.ready;
+  if (a.arrival != b.arrival) return a.arrival > b.arrival;
+  return a.attempts > b.attempts;
+}
+
+FaultedServingEngine::FaultedServingEngine(
+    const ServingSimulator& serving, const ResourceConfig& config,
+    const VariantPerf& perf, std::vector<double> arrivals, double duration_s,
+    const ServingPolicy& policy, const RetryPolicy& retry,
+    const FaultSchedule& faults, InflightPolicy inflight,
+    double variant_accuracy)
+    : sim_(&serving.Simulator()),
+      config_(config),
+      perf_(perf),
+      arrivals_(std::move(arrivals)),
+      duration_s_(duration_s),
+      policy_(policy),
+      retry_(retry),
+      faults_(faults),
+      inflight_(inflight),
+      variant_accuracy_(variant_accuracy) {
+  CCPERF_CHECK(!config_.Empty(), "empty configuration");
+  CCPERF_CHECK(duration_s_ > 0.0, "duration must be positive");
+  ValidateServingPolicy(policy_);
+  ValidateRetryPolicy(retry_);
+  faults_.Validate();
+  CCPERF_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end()),
                "arrival trace must be time-sorted");
-  CCPERF_CHECK(variant_accuracy > 0.0 && variant_accuracy <= 1.0,
+  CCPERF_CHECK(variant_accuracy_ > 0.0 && variant_accuracy_ <= 1.0,
                "variant accuracy must be in (0, 1]");
 
   // One server per GPU, one fault timeline per *instance* — when an
   // instance dies every GPU on it dies with it.
-  struct GpuServer {
-    const InstanceType* type;
-    int instance;
-    double free_at = 0.0;
-    double busy = 0.0;
-  };
-  std::vector<GpuServer> gpus;
-  std::vector<InstanceTimeline> timelines;
   int instance_index = 0;
-  for (const auto& [type_name, count] : config.instances) {
-    const InstanceType& type = simulator_.Catalog().Find(type_name);
+  for (const auto& [type_name, count] : config_.instances) {
+    const InstanceType& type = sim_->Catalog().Find(type_name);
     for (int c = 0; c < count; ++c) {
-      timelines.emplace_back(faults, instance_index, duration_s);
+      timelines_.emplace_back(faults_, instance_index, duration_s_);
       for (int g = 0; g < type.gpus; ++g) {
-        gpus.push_back({&type, instance_index, 0.0, 0.0});
+        gpu_types_.push_back(&type);
+        gpu_instance_.push_back(instance_index);
+        gpus_.push_back(GpuState{});
       }
       ++instance_index;
     }
   }
-  CCPERF_CHECK(!gpus.empty(), "configuration has no GPUs");
+  CCPERF_CHECK(!gpus_.empty(), "configuration has no GPUs");
+  backlog_limit_ =
+      static_cast<std::size_t>(policy_.max_batch) * 200 + 10000;
 
-  ServingReport report;
-  report.duration_s = duration_s;
-  report.requests = static_cast<std::int64_t>(arrivals.size());
+  report_.duration_s = duration_s_;
+  report_.requests = static_cast<std::int64_t>(arrivals_.size());
   {
     // Failed instance-seconds are not billed (spot semantics): the
     // effective hourly rate scales with each instance's up fraction.
     int idx = 0;
-    for (const auto& [type_name, count] : config.instances) {
-      const double price = simulator_.Catalog().Find(type_name).price_per_hour;
+    for (const auto& [type_name, count] : config_.instances) {
+      const double price = sim_->Catalog().Find(type_name).price_per_hour;
       for (int c = 0; c < count; ++c) {
         const double up_fraction =
-            1.0 - timelines[static_cast<std::size_t>(idx)].DownSeconds() /
-                      duration_s;
-        report.cost_per_hour_usd += price * up_fraction;
+            1.0 - timelines_[static_cast<std::size_t>(idx)].DownSeconds() /
+                      duration_s_;
+        report_.cost_per_hour_usd += price * up_fraction;
         ++idx;
       }
     }
   }
-  if (arrivals.empty()) return report;
+  latencies_.reserve(arrivals_.size());
+  fingerprint_ = Fingerprint();
+}
 
+bool FaultedServingEngine::Done() const {
+  return halted_ || (next_arrival_ >= arrivals_.size() && requeued_.empty() &&
+                     waiting_.empty());
+}
+
+double FaultedServingEngine::NextSourceReady() const {
   const double infinity = std::numeric_limits<double>::infinity();
-  const bool has_deadline = std::isfinite(policy.deadline_s);
+  const double from_trace =
+      next_arrival_ < arrivals_.size() ? arrivals_[next_arrival_] : infinity;
+  const double from_retry =
+      requeued_.empty() ? infinity : requeued_.front().ready;
+  return std::min(from_trace, from_retry);
+}
 
-  // A request waiting for (re-)dispatch. `ready` is when it (re-)enters the
-  // queue; `arrival` is the original arrival that deadlines/latency use.
-  struct Pending {
-    double ready = 0.0;
-    double arrival = 0.0;
-    int attempts = 0;
-  };
-  const auto later = [](const Pending& a, const Pending& b) {
-    if (a.ready != b.ready) return a.ready > b.ready;
-    if (a.arrival != b.arrival) return a.arrival > b.arrival;
-    return a.attempts > b.attempts;
-  };
-  std::vector<Pending> requeued;  // min-heap by `later`
-  std::deque<Pending> waiting;    // admitted, sorted by ready
-  std::size_t next_arrival = 0;
-  std::vector<double> latencies;
-  latencies.reserve(arrivals.size());
-  std::int64_t in_deadline = 0;
-  const std::size_t backlog_limit =
-      static_cast<std::size_t>(policy.max_batch) * 200 + 10000;
-
-  const auto next_source_ready = [&]() {
+// Admit every source request ready by `t`, in merged ready order so
+// `waiting_` stays sorted.
+void FaultedServingEngine::AdmitUntil(double t) {
+  const double infinity = std::numeric_limits<double>::infinity();
+  for (;;) {
     const double from_trace =
-        next_arrival < arrivals.size() ? arrivals[next_arrival] : infinity;
-    const double from_retry = requeued.empty() ? infinity
-                                               : requeued.front().ready;
-    return std::min(from_trace, from_retry);
-  };
-  // Admit every source request ready by `t`, in merged ready order so
-  // `waiting` stays sorted.
-  const auto admit_until = [&](double t) {
-    for (;;) {
-      const double from_trace =
-          next_arrival < arrivals.size() ? arrivals[next_arrival] : infinity;
-      const double from_retry = requeued.empty() ? infinity
-                                                 : requeued.front().ready;
-      if (std::min(from_trace, from_retry) > t) break;
-      if (from_trace <= from_retry) {
-        waiting.push_back({from_trace, from_trace, 0});
-        ++next_arrival;
+        next_arrival_ < arrivals_.size() ? arrivals_[next_arrival_] : infinity;
+    const double from_retry =
+        requeued_.empty() ? infinity : requeued_.front().ready;
+    if (std::min(from_trace, from_retry) > t) break;
+    if (from_trace <= from_retry) {
+      waiting_.push_back({from_trace, from_trace, 0});
+      ++next_arrival_;
+    } else {
+      std::pop_heap(requeued_.begin(), requeued_.end(), Later);
+      waiting_.push_back(requeued_.back());
+      requeued_.pop_back();
+    }
+  }
+}
+
+void FaultedServingEngine::Step() {
+  CCPERF_CHECK(!Done(), "Step() on a finished serving engine");
+  const double infinity = std::numeric_limits<double>::infinity();
+  const bool has_deadline = std::isfinite(policy_.deadline_s);
+
+  if (waiting_.empty()) {
+    AdmitUntil(NextSourceReady());
+    return;
+  }
+  const double t_first = waiting_.front().ready;
+
+  // The GPU that can start service earliest, honoring its instance's
+  // down intervals.
+  std::size_t best = gpus_.size();
+  double best_at = infinity;
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    const double at =
+        timelines_[static_cast<std::size_t>(gpu_instance_[i])].NextUpAt(
+            std::max(gpus_[i].free_at, t_first));
+    if (at < best_at) {
+      best_at = at;
+      best = i;
+    }
+  }
+  if (best == gpus_.size()) {
+    // The whole fleet is permanently gone: everything still queued or
+    // yet to arrive is lost.
+    report_.dropped_failed +=
+        static_cast<std::int64_t>(waiting_.size() + requeued_.size()) +
+        static_cast<std::int64_t>(arrivals_.size() - next_arrival_);
+    halted_ = true;
+    return;
+  }
+  GpuState& gpu = gpus_[best];
+  const InstanceType& type = *gpu_types_[best];
+  const InstanceTimeline& timeline =
+      timelines_[static_cast<std::size_t>(gpu_instance_[best])];
+  const GpuSpec& spec = sim_->Catalog().Gpu(type.gpu);
+  const auto batch_cap =
+      std::min<std::int64_t>(policy_.max_batch, spec.max_batch);
+
+  // Dispatch trigger: oldest wait deadline or the moment the batch would
+  // fill (merging the trace with pending retries).
+  double full_at = infinity;
+  if (waiting_.size() >= static_cast<std::size_t>(batch_cap)) {
+    full_at = waiting_[static_cast<std::size_t>(batch_cap) - 1].ready;
+  } else {
+    std::size_t missing =
+        static_cast<std::size_t>(batch_cap) - waiting_.size();
+    std::vector<double> retry_readies;
+    retry_readies.reserve(requeued_.size());
+    for (const Pending& p : requeued_) retry_readies.push_back(p.ready);
+    std::sort(retry_readies.begin(), retry_readies.end());
+    std::size_t ai = next_arrival_, ri = 0;
+    double kth = infinity;
+    while (missing > 0) {
+      const double a = ai < arrivals_.size() ? arrivals_[ai] : infinity;
+      const double r =
+          ri < retry_readies.size() ? retry_readies[ri] : infinity;
+      kth = std::min(a, r);
+      if (kth == infinity) break;
+      if (a <= r) ++ai; else ++ri;
+      --missing;
+    }
+    full_at = missing == 0 ? kth : infinity;
+  }
+  const double wait_deadline = t_first + policy_.max_wait_s;
+  double dispatch_at = std::max(best_at, std::min(wait_deadline, full_at));
+  dispatch_at = timeline.NextUpAt(dispatch_at);
+  if (!std::isfinite(dispatch_at)) {
+    gpu.free_at = infinity;  // preempted: retire this server
+    return;
+  }
+  // `dispatch_at` is not monotone across iterations (different GPUs make
+  // independent progress) — the checkpoint watermark is its running max.
+  watermark_ = std::max(watermark_, dispatch_at);
+  AdmitUntil(dispatch_at);
+
+  // Requests whose deadline expired before service starts are dropped.
+  if (has_deadline) {
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+      if (it->arrival + policy_.deadline_s < dispatch_at) {
+        ++report_.dropped_deadline;
+        it = waiting_.erase(it);
       } else {
-        std::pop_heap(requeued.begin(), requeued.end(), later);
-        waiting.push_back(requeued.back());
-        requeued.pop_back();
+        ++it;
       }
     }
-  };
-
-  while (next_arrival < arrivals.size() || !requeued.empty() ||
-         !waiting.empty()) {
-    if (waiting.empty()) {
-      admit_until(next_source_ready());
-      continue;
-    }
-    const double t_first = waiting.front().ready;
-
-    // The GPU that can start service earliest, honoring its instance's
-    // down intervals.
-    std::size_t best = gpus.size();
-    double best_at = infinity;
-    for (std::size_t i = 0; i < gpus.size(); ++i) {
-      const double at =
-          timelines[static_cast<std::size_t>(gpus[i].instance)].NextUpAt(
-              std::max(gpus[i].free_at, t_first));
-      if (at < best_at) {
-        best_at = at;
-        best = i;
-      }
-    }
-    if (best == gpus.size()) {
-      // The whole fleet is permanently gone: everything still queued or
-      // yet to arrive is lost.
-      report.dropped_failed +=
-          static_cast<std::int64_t>(waiting.size() + requeued.size()) +
-          static_cast<std::int64_t>(arrivals.size() - next_arrival);
-      break;
-    }
-    GpuServer& gpu = gpus[best];
-    const InstanceTimeline& timeline =
-        timelines[static_cast<std::size_t>(gpu.instance)];
-    const GpuSpec& spec = simulator_.Catalog().Gpu(gpu.type->gpu);
-    const auto batch_cap =
-        std::min<std::int64_t>(policy.max_batch, spec.max_batch);
-
-    // Dispatch trigger: oldest wait deadline or the moment the batch would
-    // fill (merging the trace with pending retries).
-    double full_at = infinity;
-    if (waiting.size() >= static_cast<std::size_t>(batch_cap)) {
-      full_at = waiting[static_cast<std::size_t>(batch_cap) - 1].ready;
-    } else {
-      std::size_t missing =
-          static_cast<std::size_t>(batch_cap) - waiting.size();
-      std::vector<double> retry_readies;
-      retry_readies.reserve(requeued.size());
-      for (const Pending& p : requeued) retry_readies.push_back(p.ready);
-      std::sort(retry_readies.begin(), retry_readies.end());
-      std::size_t ai = next_arrival, ri = 0;
-      double kth = infinity;
-      while (missing > 0) {
-        const double a =
-            ai < arrivals.size() ? arrivals[ai] : infinity;
-        const double r =
-            ri < retry_readies.size() ? retry_readies[ri] : infinity;
-        kth = std::min(a, r);
-        if (kth == infinity) break;
-        if (a <= r) ++ai; else ++ri;
-        --missing;
-      }
-      full_at = missing == 0 ? kth : infinity;
-    }
-    const double wait_deadline = t_first + policy.max_wait_s;
-    double dispatch_at =
-        std::max(best_at, std::min(wait_deadline, full_at));
-    dispatch_at = timeline.NextUpAt(dispatch_at);
-    if (!std::isfinite(dispatch_at)) {
-      gpu.free_at = infinity;  // preempted: retire this server
-      continue;
-    }
-    admit_until(dispatch_at);
-
-    // Requests whose deadline expired before service starts are dropped.
-    if (has_deadline) {
-      for (auto it = waiting.begin(); it != waiting.end();) {
-        if (it->arrival + policy.deadline_s < dispatch_at) {
-          ++report.dropped_deadline;
-          it = waiting.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      if (waiting.empty()) continue;
-    }
-
-    const auto batch_size = std::min<std::int64_t>(
-        batch_cap, static_cast<std::int64_t>(waiting.size()));
-    const double service =
-        simulator_.BatchSeconds(*gpu.type, perf, batch_size) *
-        timeline.SlowdownAt(dispatch_at);
-    const double completion = dispatch_at + service;
-    const double fail_at = timeline.NextDownAfter(dispatch_at);
-    if (fail_at < completion) {
-      // The instance dies mid-batch; the partial service is wasted and the
-      // requests are requeued with backoff or lost, per policy.
-      gpu.busy += fail_at - dispatch_at;
-      gpu.free_at = fail_at;
-      for (std::int64_t k = 0; k < batch_size; ++k) {
-        Pending p = waiting.front();
-        waiting.pop_front();
-        if (inflight == InflightPolicy::kDrop ||
-            p.attempts + 1 > retry.max_retries) {
-          ++report.dropped_failed;
-        } else {
-          ++report.retries;
-          requeued.push_back({fail_at + retry.BackoffFor(p.attempts + 1),
-                              p.arrival, p.attempts + 1});
-          std::push_heap(requeued.begin(), requeued.end(), later);
-        }
-      }
-    } else {
-      for (std::int64_t k = 0; k < batch_size; ++k) {
-        const Pending p = waiting.front();
-        waiting.pop_front();
-        latencies.push_back(completion - p.arrival);
-        if (completion <= p.arrival + policy.deadline_s) {
-          ++in_deadline;
-        } else {
-          ++report.deadline_misses;
-        }
-        ++report.completed;
-      }
-      gpu.free_at = completion;
-      gpu.busy += service;
-    }
-    report.max_queue = std::max(report.max_queue,
-                                static_cast<double>(waiting.size()));
-    if (waiting.size() > backlog_limit) {
-      report.stable = false;
-      break;
-    }
+    if (waiting_.empty()) return;
   }
 
-  if (!latencies.empty()) {
-    report.mean_latency_s = MeanOf(latencies);
-    report.p50_latency_s = Quantile(latencies, 0.50);
-    report.p95_latency_s = Quantile(latencies, 0.95);
-    report.p99_latency_s = Quantile(latencies, 0.99);
+  const auto batch_size = std::min<std::int64_t>(
+      batch_cap, static_cast<std::int64_t>(waiting_.size()));
+  const double service = sim_->BatchSeconds(type, perf_, batch_size) *
+                         timeline.SlowdownAt(dispatch_at);
+  const double completion = dispatch_at + service;
+  const double fail_at = timeline.NextDownAfter(dispatch_at);
+  if (fail_at < completion) {
+    // The instance dies mid-batch; the partial service is wasted and the
+    // requests are requeued with backoff or lost, per policy.
+    gpu.busy += fail_at - dispatch_at;
+    gpu.free_at = fail_at;
+    for (std::int64_t k = 0; k < batch_size; ++k) {
+      Pending p = waiting_.front();
+      waiting_.pop_front();
+      if (inflight_ == InflightPolicy::kDrop ||
+          p.attempts + 1 > retry_.max_retries) {
+        ++report_.dropped_failed;
+      } else {
+        ++report_.retries;
+        requeued_.push_back({fail_at + retry_.BackoffFor(p.attempts + 1),
+                             p.arrival, p.attempts + 1});
+        std::push_heap(requeued_.begin(), requeued_.end(), Later);
+      }
+    }
+  } else {
+    for (std::int64_t k = 0; k < batch_size; ++k) {
+      const Pending p = waiting_.front();
+      waiting_.pop_front();
+      latencies_.push_back(completion - p.arrival);
+      if (completion <= p.arrival + policy_.deadline_s) {
+        ++in_deadline_;
+      } else {
+        ++report_.deadline_misses;
+      }
+      ++report_.completed;
+    }
+    gpu.free_at = completion;
+    gpu.busy += service;
   }
-  report.goodput_per_s = static_cast<double>(in_deadline) / duration_s;
+  report_.max_queue =
+      std::max(report_.max_queue, static_cast<double>(waiting_.size()));
+  if (waiting_.size() > backlog_limit_) {
+    report_.stable = false;
+    halted_ = true;
+  }
+}
+
+ServingReport FaultedServingEngine::Finish() const {
+  CCPERF_CHECK(Done(), "Finish() before the serving engine is done");
+  ServingReport report = report_;
+  if (arrivals_.empty()) return report;
+  if (!latencies_.empty()) {
+    report.mean_latency_s = MeanOf(latencies_);
+    report.p50_latency_s = Quantile(latencies_, 0.50);
+    report.p95_latency_s = Quantile(latencies_, 0.95);
+    report.p99_latency_s = Quantile(latencies_, 0.99);
+  }
+  report.goodput_per_s = static_cast<double>(in_deadline_) / duration_s_;
   report.accuracy_weighted_goodput =
-      report.goodput_per_s * variant_accuracy;
+      report.goodput_per_s * variant_accuracy_;
   report.deadline_miss_rate =
-      1.0 - static_cast<double>(in_deadline) /
+      1.0 - static_cast<double>(in_deadline_) /
                 static_cast<double>(report.requests);
   double busy = 0.0;
   double available = 0.0;
-  for (const auto& gpu : gpus) {
-    busy += gpu.busy;
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    busy += gpus_[i].busy;
     available +=
-        duration_s -
-        timelines[static_cast<std::size_t>(gpu.instance)].DownSeconds();
+        duration_s_ -
+        timelines_[static_cast<std::size_t>(gpu_instance_[i])].DownSeconds();
   }
   report.utilization = available > 0.0 ? busy / available : 0.0;
   return report;
+}
+
+std::uint32_t FaultedServingEngine::Fingerprint() const {
+  // CRC over every input that shapes the trajectory: restoring a snapshot
+  // into an engine built from different inputs must fail loudly.
+  SnapshotSectionWriter w;
+  w.PutF64Vector(arrivals_);
+  for (const auto& [type_name, count] : config_.instances) {
+    w.PutString(type_name);
+    w.PutI64(count);
+  }
+  w.PutString(perf_.label);
+  w.PutF64(perf_.ref_seconds_per_image);
+  w.PutI64(perf_.kernel_count);
+  w.PutF64(duration_s_);
+  w.PutI64(policy_.max_batch);
+  w.PutF64(policy_.max_wait_s);
+  w.PutF64(policy_.deadline_s);
+  w.PutI64(retry_.max_retries);
+  w.PutF64(retry_.base_backoff_s);
+  w.PutF64(retry_.backoff_multiplier);
+  w.PutF64(retry_.max_backoff_s);
+  w.PutU8(inflight_ == InflightPolicy::kDrop ? 1 : 0);
+  w.PutF64(variant_accuracy_);
+  w.PutString(FaultScheduleCsv(faults_));
+  return Crc32(w.Bytes());
+}
+
+std::string FaultedServingEngine::Checkpoint() const {
+  SnapshotWriter writer(kServingSnapshotTag);
+
+  SnapshotSectionWriter& meta = writer.AddSection("meta");
+  meta.PutU32(fingerprint_);
+  meta.PutF64(watermark_);
+  meta.PutBool(halted_);
+  meta.PutU64(next_arrival_);
+  meta.PutI64(in_deadline_);
+
+  SnapshotSectionWriter& gpus = writer.AddSection("gpus");
+  gpus.PutU64(gpus_.size());
+  for (const GpuState& gpu : gpus_) {
+    gpus.PutF64(gpu.free_at);
+    gpus.PutF64(gpu.busy);
+  }
+
+  // `requeued_` is serialized in its exact std::push_heap order so the
+  // restored vector replays subsequent heap operations identically.
+  SnapshotSectionWriter& queue = writer.AddSection("queue");
+  queue.PutU64(waiting_.size());
+  for (const Pending& p : waiting_) {
+    queue.PutF64(p.ready);
+    queue.PutF64(p.arrival);
+    queue.PutI64(p.attempts);
+  }
+  queue.PutU64(requeued_.size());
+  for (const Pending& p : requeued_) {
+    queue.PutF64(p.ready);
+    queue.PutF64(p.arrival);
+    queue.PutI64(p.attempts);
+  }
+
+  SnapshotSectionWriter& report = writer.AddSection("report");
+  report.PutI64(report_.completed);
+  report.PutI64(report_.dropped_deadline);
+  report.PutI64(report_.dropped_failed);
+  report.PutI64(report_.retries);
+  report.PutI64(report_.deadline_misses);
+  report.PutF64(report_.max_queue);
+  report.PutBool(report_.stable);
+
+  writer.AddSection("latencies").PutF64Vector(latencies_);
+  return writer.Serialize();
+}
+
+void FaultedServingEngine::Restore(const std::string& snapshot) {
+  const SnapshotReader reader =
+      SnapshotReader::Parse(snapshot, kServingSnapshotTag);
+
+  SnapshotSectionReader meta = reader.Section("meta");
+  const std::uint32_t fingerprint = meta.TakeU32();
+  CCPERF_CHECK(fingerprint == fingerprint_,
+               "serving snapshot does not match this run's inputs "
+               "(trace, config, policies, fault schedule)");
+  const double watermark = meta.TakeF64();
+  const bool halted = meta.TakeBool();
+  const std::uint64_t next_arrival = meta.TakeU64();
+  const std::int64_t in_deadline = meta.TakeI64();
+  meta.ExpectEnd();
+  CCPERF_CHECK(std::isfinite(watermark) && watermark >= 0.0,
+               "corrupt serving snapshot: bad watermark");
+  CCPERF_CHECK(next_arrival <= arrivals_.size(),
+               "corrupt serving snapshot: arrival cursor ", next_arrival,
+               " past trace of ", arrivals_.size());
+  CCPERF_CHECK(in_deadline >= 0 &&
+                   in_deadline <= static_cast<std::int64_t>(arrivals_.size()),
+               "corrupt serving snapshot: in-deadline count out of range");
+
+  SnapshotSectionReader gpus = reader.Section("gpus");
+  const std::uint64_t gpu_count = gpus.TakeU64();
+  CCPERF_CHECK(gpu_count == gpus_.size(),
+               "corrupt serving snapshot: ", gpu_count, " GPUs for a fleet of ",
+               gpus_.size());
+  std::vector<GpuState> new_gpus(gpus_.size());
+  for (GpuState& gpu : new_gpus) {
+    gpu.free_at = gpus.TakeF64();
+    gpu.busy = gpus.TakeF64();
+  }
+  gpus.ExpectEnd();
+
+  const auto take_pending = [](SnapshotSectionReader& r) {
+    Pending p;
+    p.ready = r.TakeF64();
+    p.arrival = r.TakeF64();
+    const std::int64_t attempts = r.TakeI64();
+    CCPERF_CHECK(attempts >= 0 && attempts <= (1 << 20),
+                 "corrupt serving snapshot: implausible attempt count ",
+                 attempts);
+    p.attempts = static_cast<int>(attempts);
+    return p;
+  };
+  SnapshotSectionReader queue = reader.Section("queue");
+  const std::uint64_t waiting_count = queue.TakeU64();
+  CCPERF_CHECK(waiting_count <= arrivals_.size(),
+               "corrupt serving snapshot: implausible waiting count ",
+               waiting_count);
+  std::deque<Pending> new_waiting;
+  for (std::uint64_t i = 0; i < waiting_count; ++i) {
+    new_waiting.push_back(take_pending(queue));
+  }
+  const std::uint64_t requeued_count = queue.TakeU64();
+  CCPERF_CHECK(requeued_count <= arrivals_.size(),
+               "corrupt serving snapshot: implausible requeued count ",
+               requeued_count);
+  std::vector<Pending> new_requeued;
+  new_requeued.reserve(static_cast<std::size_t>(requeued_count));
+  for (std::uint64_t i = 0; i < requeued_count; ++i) {
+    new_requeued.push_back(take_pending(queue));
+  }
+  queue.ExpectEnd();
+
+  SnapshotSectionReader report = reader.Section("report");
+  ServingReport new_report = report_;
+  new_report.completed = report.TakeI64();
+  new_report.dropped_deadline = report.TakeI64();
+  new_report.dropped_failed = report.TakeI64();
+  new_report.retries = report.TakeI64();
+  new_report.deadline_misses = report.TakeI64();
+  new_report.max_queue = report.TakeF64();
+  new_report.stable = report.TakeBool();
+  report.ExpectEnd();
+  CCPERF_CHECK(new_report.completed >= 0 && new_report.dropped_deadline >= 0 &&
+                   new_report.dropped_failed >= 0 && new_report.retries >= 0 &&
+                   new_report.deadline_misses >= 0,
+               "corrupt serving snapshot: negative report counter");
+
+  SnapshotSectionReader lat = reader.Section("latencies");
+  std::vector<double> new_latencies = lat.TakeF64Vector();
+  lat.ExpectEnd();
+  CCPERF_CHECK(new_latencies.size() ==
+                   static_cast<std::size_t>(new_report.completed),
+               "corrupt serving snapshot: ", new_latencies.size(),
+               " latency samples for ", new_report.completed, " completions");
+
+  // All sections decoded and validated — commit atomically.
+  gpus_ = std::move(new_gpus);
+  waiting_ = std::move(new_waiting);
+  requeued_ = std::move(new_requeued);
+  next_arrival_ = static_cast<std::size_t>(next_arrival);
+  latencies_ = std::move(new_latencies);
+  in_deadline_ = in_deadline;
+  watermark_ = watermark;
+  halted_ = halted;
+  report_ = new_report;
 }
 
 std::vector<double> GenerateDiurnalArrivals(double mean_rate_per_s,

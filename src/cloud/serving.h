@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "cloud/checkpoint.h"
 #include "cloud/faults.h"
 #include "cloud/resource_config.h"
 #include "cloud/simulator.h"
@@ -123,14 +126,113 @@ class ServingSimulator {
       InflightPolicy inflight = InflightPolicy::kRequeue,
       double variant_accuracy = 1.0) const;
 
+  /// SimulateFaulted under a CheckpointPolicy: the dynamics and the report
+  /// are identical (snapshots never perturb the simulation); `stats`
+  /// receives the snapshot count, the charged overhead (snapshot time
+  /// billed at the fleet's hourly price — the Eq. 3-4 recovery cost term)
+  /// and the latest restorable snapshot bytes.
+  [[nodiscard]] ServingReport SimulateFaultedCheckpointed(
+      const ResourceConfig& config, const VariantPerf& perf,
+      std::vector<double> arrivals, double duration_s,
+      const ServingPolicy& policy, const RetryPolicy& retry,
+      const FaultSchedule& faults, const CheckpointPolicy& checkpoint,
+      CheckpointStats* stats = nullptr,
+      InflightPolicy inflight = InflightPolicy::kRequeue,
+      double variant_accuracy = 1.0) const;
+
   /// Max sustainable arrival rate (requests/s) of a configuration at full
   /// batching — the stability boundary of Simulate().
   [[nodiscard]] double Capacity(const ResourceConfig& config,
                                 const VariantPerf& perf,
                                 const ServingPolicy& policy) const;
 
+  [[nodiscard]] const CloudSimulator& Simulator() const { return simulator_; }
+
  private:
   const CloudSimulator& simulator_;
+};
+
+/// The discrete-event core of SimulateFaulted as a steppable, checkpointable
+/// object: construct with the run's inputs, Step() until Done(), Finish()
+/// for the report. Checkpoint() captures the full mutable state through the
+/// common snapshot format; Restore() on an engine built from the *same*
+/// inputs resumes it so that the finished report is bitwise identical to an
+/// uninterrupted run — the durability invariant the spot-preemption story
+/// rests on. Restoring against different inputs (detected via a CRC
+/// fingerprint of trace/config/policies/schedule) throws CheckError, as do
+/// corrupted or truncated snapshot bytes.
+class FaultedServingEngine {
+ public:
+  FaultedServingEngine(const ServingSimulator& serving,
+                       const ResourceConfig& config, const VariantPerf& perf,
+                       std::vector<double> arrivals, double duration_s,
+                       const ServingPolicy& policy, const RetryPolicy& retry,
+                       const FaultSchedule& faults,
+                       InflightPolicy inflight = InflightPolicy::kRequeue,
+                       double variant_accuracy = 1.0);
+
+  [[nodiscard]] bool Done() const;
+  /// One scheduling decision: admit pending arrivals/retries or dispatch
+  /// (and possibly fail) one batch. Throws CheckError when Done().
+  void Step();
+  /// Monotone watermark of simulated time covered so far — the checkpoint
+  /// policies trigger on this.
+  [[nodiscard]] double Watermark() const { return watermark_; }
+  /// Final report; requires Done().
+  [[nodiscard]] ServingReport Finish() const;
+
+  [[nodiscard]] std::string Checkpoint() const;
+  void Restore(const std::string& snapshot);
+
+ private:
+  /// A request waiting for (re-)dispatch. `ready` is when it (re-)enters
+  /// the queue; `arrival` is the original arrival that deadlines/latency
+  /// use.
+  struct Pending {
+    double ready = 0.0;
+    double arrival = 0.0;
+    int attempts = 0;
+  };
+  struct GpuState {
+    double free_at = 0.0;
+    double busy = 0.0;
+  };
+
+  /// Heap order of `requeued_` (std::push_heap with this yields a min-heap
+  /// on ready time, ties broken by arrival then attempts).
+  static bool Later(const Pending& a, const Pending& b);
+
+  [[nodiscard]] double NextSourceReady() const;
+  void AdmitUntil(double t);
+  [[nodiscard]] std::uint32_t Fingerprint() const;
+
+  // Immutable run context (rebuilt identically at restore time).
+  const CloudSimulator* sim_;
+  ResourceConfig config_;
+  VariantPerf perf_;
+  std::vector<double> arrivals_;
+  double duration_s_ = 0.0;
+  ServingPolicy policy_;
+  RetryPolicy retry_;
+  FaultSchedule faults_;
+  InflightPolicy inflight_ = InflightPolicy::kRequeue;
+  double variant_accuracy_ = 1.0;
+  std::vector<const InstanceType*> gpu_types_;
+  std::vector<int> gpu_instance_;
+  std::vector<InstanceTimeline> timelines_;
+  std::size_t backlog_limit_ = 0;
+  std::uint32_t fingerprint_ = 0;
+
+  // Mutable simulation state — everything Checkpoint() captures.
+  std::vector<GpuState> gpus_;
+  std::vector<Pending> requeued_;  // min-heap (std::push_heap order)
+  std::deque<Pending> waiting_;    // admitted, sorted by ready
+  std::size_t next_arrival_ = 0;
+  std::vector<double> latencies_;
+  std::int64_t in_deadline_ = 0;
+  double watermark_ = 0.0;
+  bool halted_ = false;  // fleet permanently gone or backlog exploded
+  ServingReport report_;
 };
 
 /// Non-homogeneous Poisson arrivals with a sinusoidal diurnal rate:

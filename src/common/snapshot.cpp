@@ -1,0 +1,315 @@
+#include "common/snapshot.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace ccperf {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'C', 'S', 'N'};
+constexpr char kFooter[4] = {'S', 'N', 'E', 'N'};
+constexpr std::uint32_t kFormatVersion = 1;
+// A snapshot section beyond this is a corrupted length field, not data:
+// the serving engine's largest section (latency samples) stays far below.
+constexpr std::uint64_t kMaxSectionBytes = 1ull << 31;
+constexpr std::size_t kMaxSections = 1024;
+constexpr std::size_t kMaxVectorElements = 1u << 28;
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+template <typename T>
+void AppendPod(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Crc32(const std::string& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+// --- writer ------------------------------------------------------------------
+
+template <typename T>
+void SnapshotSectionWriter::PutPod(T v) {
+  AppendPod(bytes_, v);
+}
+
+template void SnapshotSectionWriter::PutPod(std::uint8_t);
+template void SnapshotSectionWriter::PutPod(std::uint16_t);
+template void SnapshotSectionWriter::PutPod(std::uint32_t);
+template void SnapshotSectionWriter::PutPod(std::uint64_t);
+template void SnapshotSectionWriter::PutPod(std::int64_t);
+
+void SnapshotSectionWriter::PutF64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutPod(bits);
+}
+
+void SnapshotSectionWriter::PutString(const std::string& s) {
+  CCPERF_CHECK(s.size() < (1u << 16), "snapshot string too long");
+  PutPod(static_cast<std::uint16_t>(s.size()));
+  bytes_.append(s);
+}
+
+void SnapshotSectionWriter::PutF64Vector(const std::vector<double>& v) {
+  PutPod(static_cast<std::uint64_t>(v.size()));
+  for (double d : v) PutF64(d);
+}
+
+void SnapshotSectionWriter::PutI64Vector(
+    const std::vector<std::int64_t>& v) {
+  PutPod(static_cast<std::uint64_t>(v.size()));
+  for (std::int64_t i : v) PutPod(i);
+}
+
+SnapshotWriter::SnapshotWriter(std::uint32_t app_tag) : app_tag_(app_tag) {}
+
+SnapshotSectionWriter& SnapshotWriter::AddSection(const std::string& name) {
+  CCPERF_CHECK(!name.empty() && name.size() < (1u << 16),
+               "invalid snapshot section name");
+  for (const auto& [existing, _] : sections_) {
+    CCPERF_CHECK(existing != name, "duplicate snapshot section '", name, "'");
+  }
+  sections_.emplace_back(name, SnapshotSectionWriter{});
+  return sections_.back().second;
+}
+
+std::string SnapshotWriter::Serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  std::string header;
+  AppendPod<std::uint32_t>(header, kFormatVersion);
+  AppendPod<std::uint32_t>(header, app_tag_);
+  AppendPod<std::uint32_t>(header, static_cast<std::uint32_t>(sections_.size()));
+  out.append(header);
+  AppendPod<std::uint32_t>(out, Crc32(header));
+  for (const auto& [name, section] : sections_) {
+    // The CRC covers the section's frame fields (name length, name,
+    // payload size) as well as the payload, so a flipped bit anywhere in
+    // the section is caught, not just inside the payload.
+    std::string frame;
+    AppendPod<std::uint16_t>(frame, static_cast<std::uint16_t>(name.size()));
+    frame.append(name);
+    AppendPod<std::uint64_t>(
+        frame, static_cast<std::uint64_t>(section.Bytes().size()));
+    out.append(frame);
+    AppendPod<std::uint32_t>(out, Crc32(frame + section.Bytes()));
+    out.append(section.Bytes());
+  }
+  out.append(kFooter, sizeof(kFooter));
+  return out;
+}
+
+void WriteSnapshotFileAtomic(const std::string& path,
+                             const SnapshotWriter& snapshot) {
+  const std::string bytes = snapshot.Serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    CCPERF_CHECK(out.good(), "cannot open snapshot tmp file '", tmp, "'");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      CCPERF_CHECK(false, "write failed for snapshot tmp file '", tmp, "'");
+    }
+  }
+  // POSIX rename replaces the target atomically: a crash leaves either the
+  // old snapshot or the new one, never a torn file at `path`.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    CCPERF_CHECK(false, "cannot rename snapshot '", tmp, "' over '", path,
+                 "'");
+  }
+}
+
+// --- reader ------------------------------------------------------------------
+
+void SnapshotSectionReader::Require(std::size_t bytes) const {
+  CCPERF_CHECK(offset_ + bytes <= payload_.size() && offset_ + bytes >= bytes,
+               "truncated snapshot section: need ", bytes, " bytes at offset ",
+               offset_, " of ", payload_.size());
+}
+
+template <typename T>
+T SnapshotSectionReader::TakePod() {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Require(sizeof(T));
+  T v;
+  std::memcpy(&v, payload_.data() + offset_, sizeof(T));
+  offset_ += sizeof(T);
+  return v;
+}
+
+template std::uint8_t SnapshotSectionReader::TakePod();
+template std::uint16_t SnapshotSectionReader::TakePod();
+template std::uint32_t SnapshotSectionReader::TakePod();
+template std::uint64_t SnapshotSectionReader::TakePod();
+template std::int64_t SnapshotSectionReader::TakePod();
+
+double SnapshotSectionReader::TakeF64() {
+  const std::uint64_t bits = TakePod<std::uint64_t>();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotSectionReader::TakeString() {
+  const auto size = TakePod<std::uint16_t>();
+  Require(size);
+  std::string s = payload_.substr(offset_, size);
+  offset_ += size;
+  return s;
+}
+
+std::vector<double> SnapshotSectionReader::TakeF64Vector() {
+  const auto count = TakePod<std::uint64_t>();
+  CCPERF_CHECK(count <= kMaxVectorElements && count * 8 <= Remaining(),
+               "corrupt snapshot: implausible vector length ", count);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(TakeF64());
+  return v;
+}
+
+std::vector<std::int64_t> SnapshotSectionReader::TakeI64Vector() {
+  const auto count = TakePod<std::uint64_t>();
+  CCPERF_CHECK(count <= kMaxVectorElements && count * 8 <= Remaining(),
+               "corrupt snapshot: implausible vector length ", count);
+  std::vector<std::int64_t> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(TakePod<std::int64_t>());
+  return v;
+}
+
+void SnapshotSectionReader::ExpectEnd() const {
+  CCPERF_CHECK(offset_ == payload_.size(),
+               "snapshot section has ", payload_.size() - offset_,
+               " unread trailing bytes (schema mismatch)");
+}
+
+SnapshotReader SnapshotReader::Parse(const std::string& bytes,
+                                     std::uint32_t app_tag) {
+  std::size_t offset = 0;
+  const auto require = [&](std::size_t n) {
+    CCPERF_CHECK(offset + n <= bytes.size() && offset + n >= n,
+                 "truncated snapshot: need ", n, " bytes at offset ", offset,
+                 " of ", bytes.size());
+  };
+  const auto take_pod = [&]<typename T>(T* out) {
+    require(sizeof(T));
+    std::memcpy(out, bytes.data() + offset, sizeof(T));
+    offset += sizeof(T);
+  };
+
+  require(sizeof(kMagic));
+  CCPERF_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+               "not a ccperf snapshot (bad magic)");
+  offset += sizeof(kMagic);
+
+  const std::size_t header_start = offset;
+  std::uint32_t version = 0, tag = 0, section_count = 0, header_crc = 0;
+  take_pod(&version);
+  take_pod(&tag);
+  take_pod(&section_count);
+  const std::string header = bytes.substr(header_start, offset - header_start);
+  take_pod(&header_crc);
+  CCPERF_CHECK(header_crc == Crc32(header),
+               "corrupt snapshot: header CRC mismatch");
+  CCPERF_CHECK(version == kFormatVersion,
+               "unsupported snapshot format version ", version);
+  CCPERF_CHECK(tag == app_tag, "snapshot app tag mismatch: got ", tag,
+               ", expected ", app_tag);
+  CCPERF_CHECK(section_count <= kMaxSections,
+               "corrupt snapshot: implausible section count ", section_count);
+
+  SnapshotReader reader;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const std::size_t frame_start = offset;
+    std::uint16_t name_len = 0;
+    take_pod(&name_len);
+    require(name_len);
+    std::string name = bytes.substr(offset, name_len);
+    offset += name_len;
+    std::uint64_t payload_size = 0;
+    take_pod(&payload_size);
+    const std::string frame = bytes.substr(frame_start, offset - frame_start);
+    std::uint32_t section_crc = 0;
+    take_pod(&section_crc);
+    CCPERF_CHECK(payload_size <= kMaxSectionBytes,
+                 "corrupt snapshot: implausible section size ", payload_size);
+    require(static_cast<std::size_t>(payload_size));
+    std::string payload =
+        bytes.substr(offset, static_cast<std::size_t>(payload_size));
+    offset += static_cast<std::size_t>(payload_size);
+    CCPERF_CHECK(section_crc == Crc32(frame + payload),
+                 "corrupt snapshot: section '", name, "' CRC mismatch");
+    reader.sections_.emplace_back(std::move(name), std::move(payload));
+  }
+  require(sizeof(kFooter));
+  CCPERF_CHECK(
+      std::memcmp(bytes.data() + offset, kFooter, sizeof(kFooter)) == 0,
+      "truncated snapshot: missing footer");
+  offset += sizeof(kFooter);
+  CCPERF_CHECK(offset == bytes.size(),
+               "corrupt snapshot: ", bytes.size() - offset,
+               " trailing bytes after footer");
+  return reader;
+}
+
+SnapshotReader SnapshotReader::FromFile(const std::string& path,
+                                        std::uint32_t app_tag) {
+  std::ifstream in(path, std::ios::binary);
+  CCPERF_CHECK(in.good(), "cannot open snapshot file '", path, "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  CCPERF_CHECK(!in.bad(), "read failed for snapshot file '", path, "'");
+  return Parse(bytes, app_tag);
+}
+
+bool SnapshotReader::Has(const std::string& name) const {
+  for (const auto& [existing, _] : sections_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+SnapshotSectionReader SnapshotReader::Section(const std::string& name) const {
+  for (const auto& [existing, payload] : sections_) {
+    if (existing == name) return SnapshotSectionReader(payload);
+  }
+  CCPERF_CHECK(false, "snapshot has no section '", name, "'");
+}
+
+}  // namespace ccperf

@@ -1,0 +1,135 @@
+// Crash-consistent binary snapshot format: the durability substrate of the
+// checkpoint/restore subsystem (spot-preemption-tolerant serving and
+// resumable simulation in src/cloud).
+//
+// A snapshot is a framed container of named sections:
+//
+//   header : "CCSN" magic, u32 format version, u32 app tag, u32 section
+//            count, u32 CRC32 of the header fields
+//   section: u16 name length, name bytes, u64 payload size, u32 CRC32 of
+//            the frame fields + payload, payload bytes
+//   footer : "SNEN" magic
+//
+// Every multi-byte field is little-endian; doubles are stored as their raw
+// IEEE-754 bit pattern so a restored state is *bitwise* identical to the
+// captured one. The reader validates magic, version, app tag, bounds and
+// per-section CRCs and throws CheckError on any violation — a corrupted or
+// truncated snapshot can never restore garbage state.
+//
+// WriteSnapshotFileAtomic writes to "<path>.tmp" and renames over <path>,
+// so a crash mid-checkpoint leaves the previous good snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccperf {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes.
+std::uint32_t Crc32(const void* data, std::size_t size);
+std::uint32_t Crc32(const std::string& bytes);
+
+/// Appends typed values to one section's payload.
+class SnapshotSectionWriter {
+ public:
+  void PutU8(std::uint8_t v) { PutPod(v); }
+  void PutU32(std::uint32_t v) { PutPod(v); }
+  void PutU64(std::uint64_t v) { PutPod(v); }
+  void PutI64(std::int64_t v) { PutPod(v); }
+  void PutBool(bool v) { PutPod(static_cast<std::uint8_t>(v ? 1 : 0)); }
+  /// Raw bit pattern — round-trips NaN/inf/-0.0 exactly.
+  void PutF64(double v);
+  void PutString(const std::string& s);
+  void PutF64Vector(const std::vector<double>& v);
+  void PutI64Vector(const std::vector<std::int64_t>& v);
+
+  [[nodiscard]] const std::string& Bytes() const { return bytes_; }
+
+ private:
+  template <typename T>
+  void PutPod(T v);
+
+  std::string bytes_;
+};
+
+/// Accumulates named sections and serializes the framed container.
+class SnapshotWriter {
+ public:
+  /// `app_tag` names the snapshot's producer (e.g. 'FSRV'); readers reject
+  /// snapshots written by a different subsystem.
+  explicit SnapshotWriter(std::uint32_t app_tag);
+
+  /// Start a new section; names must be unique within one snapshot.
+  SnapshotSectionWriter& AddSection(const std::string& name);
+
+  /// Serialize the container (header + CRC'd sections + footer).
+  [[nodiscard]] std::string Serialize() const;
+
+ private:
+  std::uint32_t app_tag_ = 0;
+  std::vector<std::pair<std::string, SnapshotSectionWriter>> sections_;
+};
+
+/// Atomically persist a snapshot: write "<path>.tmp", flush, rename over
+/// `path`. Throws CheckError on any I/O failure (the tmp file is removed).
+void WriteSnapshotFileAtomic(const std::string& path,
+                             const SnapshotWriter& snapshot);
+
+/// Bounds-checked typed reads from one section's payload. Reading past the
+/// end throws CheckError.
+class SnapshotSectionReader {
+ public:
+  explicit SnapshotSectionReader(std::string payload)
+      : payload_(std::move(payload)) {}
+
+  std::uint8_t TakeU8() { return TakePod<std::uint8_t>(); }
+  std::uint32_t TakeU32() { return TakePod<std::uint32_t>(); }
+  std::uint64_t TakeU64() { return TakePod<std::uint64_t>(); }
+  std::int64_t TakeI64() { return TakePod<std::int64_t>(); }
+  bool TakeBool() { return TakePod<std::uint8_t>() != 0; }
+  double TakeF64();
+  std::string TakeString();
+  std::vector<double> TakeF64Vector();
+  std::vector<std::int64_t> TakeI64Vector();
+
+  [[nodiscard]] std::size_t Remaining() const {
+    return payload_.size() - offset_;
+  }
+  /// Throws unless every payload byte has been consumed — catches schema
+  /// drift between writer and reader.
+  void ExpectEnd() const;
+
+ private:
+  template <typename T>
+  T TakePod();
+  void Require(std::size_t bytes) const;
+
+  std::string payload_;
+  std::size_t offset_ = 0;
+};
+
+/// Parses and validates a serialized snapshot.
+class SnapshotReader {
+ public:
+  /// Throws CheckError on bad magic/version/tag, truncation, or CRC
+  /// mismatch in any section.
+  static SnapshotReader Parse(const std::string& bytes,
+                              std::uint32_t app_tag);
+  /// Load + parse a snapshot file; missing/unreadable paths throw
+  /// CheckError naming the path.
+  static SnapshotReader FromFile(const std::string& path,
+                                 std::uint32_t app_tag);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+  /// Section payload by name; throws CheckError when absent.
+  [[nodiscard]] SnapshotSectionReader Section(const std::string& name) const;
+  [[nodiscard]] std::size_t SectionCount() const { return sections_.size(); }
+
+ private:
+  SnapshotReader() = default;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace ccperf

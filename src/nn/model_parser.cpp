@@ -235,7 +235,14 @@ Network ParseModelFile(const std::string& path, std::uint64_t weight_seed) {
   CCPERF_CHECK(in.good(), "cannot open model file '", path, "'");
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return ParseModel(buffer.str(), weight_seed);
+  CCPERF_CHECK(!in.bad(), "read failed for model file '", path, "'");
+  try {
+    return ParseModel(buffer.str(), weight_seed);
+  } catch (const CheckError& error) {
+    // Re-raise with the path so the error stays actionable when many model
+    // files are loaded in one run; the line context is in error.what().
+    CCPERF_CHECK(false, "model file '", path, "': ", error.what());
+  }
 }
 
 std::string FormatModel(const Network& net) {

@@ -296,12 +296,22 @@ void SaveNetworkToFile(const Network& net, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   CCPERF_CHECK(out.good(), "cannot open '", path, "' for writing");
   SaveNetwork(net, out);
+  out.flush();
+  CCPERF_CHECK(out.good(), "write failed for network file '", path, "'");
 }
 
 Network LoadNetworkFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CCPERF_CHECK(in.good(), "cannot open '", path, "' for reading");
-  return LoadNetwork(in);
+  try {
+    Network net = LoadNetwork(in);
+    CCPERF_CHECK(!in.bad(), "read failed mid-stream");
+    return net;
+  } catch (const CheckError& error) {
+    // Re-raise with the path: a caller batch-loading many models needs to
+    // know which file is the corrupt one.
+    CCPERF_CHECK(false, "network file '", path, "': ", error.what());
+  }
 }
 
 }  // namespace ccperf::nn

@@ -1,0 +1,428 @@
+// Checkpoint/restore subsystem: the serving engine must be resumable from a
+// snapshot taken at any fault event with a *bitwise identical* final report,
+// checkpointed runs must never perturb the dynamics (only the bill), and
+// the spot-economics model must price snapshots + lost recompute per the
+// paper's Eqs. 1-4.
+#include "cloud/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/autoscaler.h"
+#include "cloud/density.h"
+#include "cloud/serving.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccperf::cloud {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest()
+      : catalog_(InstanceCatalog::AwsEc2()),
+        sim_(catalog_),
+        serving_(sim_),
+        profile_(CaffeNetProfile()),
+        perf_(ComputeVariantPerf(profile_, DensityFromPlan(profile_, {}),
+                                 "nonpruned")) {}
+
+  ResourceConfig Fleet(int instances = 1) {
+    ResourceConfig config;
+    config.Add("p2.xlarge", instances);
+    return config;
+  }
+
+  std::vector<double> PoissonTrace(double rate, double duration,
+                                   std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> trace;
+    double t = 0.0;
+    for (;;) {
+      t += -std::log(1.0 - rng.NextDouble()) / rate;
+      if (t > duration) break;
+      trace.push_back(t);
+    }
+    return trace;
+  }
+
+  FaultSchedule CrashStorm(int instances, double duration,
+                           std::uint64_t seed) {
+    const FaultModel model{.crash_rate = 160.0,
+                           .restart_s = 5.0,
+                           .slowdown_rate = 80.0,
+                           .slowdown_s = 8.0,
+                           .slowdown_factor = 2.5};
+    Rng rng(seed);
+    return GenerateFaultSchedule(model, instances, duration, rng);
+  }
+
+  InstanceCatalog catalog_;
+  CloudSimulator sim_;
+  ServingSimulator serving_;
+  ModelProfile profile_;
+  VariantPerf perf_;
+};
+
+/// Field-by-field exact comparison — EXPECT_EQ on doubles is deliberate:
+/// the durability invariant is *bitwise* equality, not tolerance.
+void ExpectReportsIdentical(const ServingReport& a, const ServingReport& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
+  EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.cost_per_hour_usd, b.cost_per_hour_usd);
+  EXPECT_EQ(a.stable, b.stable);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped_deadline, b.dropped_deadline);
+  EXPECT_EQ(a.dropped_failed, b.dropped_failed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.goodput_per_s, b.goodput_per_s);
+  EXPECT_EQ(a.deadline_miss_rate, b.deadline_miss_rate);
+  EXPECT_EQ(a.accuracy_weighted_goodput, b.accuracy_weighted_goodput);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST_F(CheckpointTest, EngineReproducesSimulateFaulted) {
+  const double duration = 120.0;
+  const auto trace = PoissonTrace(15.0, duration, 31);
+  const FaultSchedule faults = CrashStorm(2, duration, 7);
+  const ServingPolicy policy{
+      .max_batch = 32, .max_wait_s = 0.05, .deadline_s = 2.0};
+  const RetryPolicy retry{.max_retries = 3};
+
+  const ServingReport reference = serving_.SimulateFaulted(
+      Fleet(2), perf_, trace, duration, policy, retry, faults);
+  FaultedServingEngine engine(serving_, Fleet(2), perf_, trace, duration,
+                              policy, retry, faults);
+  double watermark = 0.0;
+  while (!engine.Done()) {
+    engine.Step();
+    EXPECT_GE(engine.Watermark(), watermark) << "watermark must be monotone";
+    watermark = engine.Watermark();
+  }
+  ExpectReportsIdentical(engine.Finish(), reference);
+  EXPECT_THROW(engine.Step(), CheckError) << "stepping a finished engine";
+}
+
+TEST_F(CheckpointTest, FinishBeforeDoneThrows) {
+  FaultedServingEngine engine(serving_, Fleet(), perf_,
+                              PoissonTrace(10.0, 30.0, 1), 30.0, {}, {}, {});
+  EXPECT_THROW((void)engine.Finish(), CheckError);
+}
+
+// The tentpole invariant: kill the run at *every* fault event, restore the
+// snapshot into a fresh engine, and the finished report must be bitwise
+// identical to the uninterrupted run.
+TEST_F(CheckpointTest, KillAtEveryFaultEventResumesBitwiseIdentically) {
+  const double duration = 90.0;
+  const auto trace = PoissonTrace(20.0, duration, 77);
+  const FaultSchedule faults = CrashStorm(2, duration, 13);
+  ASSERT_GE(faults.events.size(), 4u) << "storm too quiet to exercise kills";
+  const ServingPolicy policy{
+      .max_batch = 16, .max_wait_s = 0.02, .deadline_s = 1.5};
+  const RetryPolicy retry{.max_retries = 4, .base_backoff_s = 0.02};
+
+  const ServingReport reference = serving_.SimulateFaulted(
+      Fleet(2), perf_, trace, duration, policy, retry, faults);
+
+  for (const FaultEvent& event : faults.events) {
+    // Run a victim engine until the fault's instant is covered, then
+    // "kill" it: all that survives is the snapshot bytes.
+    FaultedServingEngine victim(serving_, Fleet(2), perf_, trace, duration,
+                                policy, retry, faults);
+    while (!victim.Done() && victim.Watermark() < event.start_s) {
+      victim.Step();
+    }
+    const std::string snapshot = victim.Checkpoint();
+
+    FaultedServingEngine resumed(serving_, Fleet(2), perf_, trace, duration,
+                                 policy, retry, faults);
+    resumed.Restore(snapshot);
+    EXPECT_EQ(resumed.Watermark(), victim.Watermark());
+    while (!resumed.Done()) resumed.Step();
+    ExpectReportsIdentical(resumed.Finish(), reference);
+  }
+}
+
+TEST_F(CheckpointTest, RestoreRejectsMismatchedInputsAndForeignSnapshots) {
+  const auto trace = PoissonTrace(10.0, 60.0, 5);
+  FaultedServingEngine engine(serving_, Fleet(), perf_, trace, 60.0, {}, {},
+                              {});
+  engine.Step();
+  const std::string snapshot = engine.Checkpoint();
+
+  // Different trace -> different fingerprint.
+  auto other_trace = trace;
+  other_trace.push_back(other_trace.back() + 1.0);
+  FaultedServingEngine other(serving_, Fleet(), perf_, other_trace, 60.0, {},
+                             {}, {});
+  EXPECT_THROW(other.Restore(snapshot), CheckError);
+
+  // Different policy on the same trace is also a different run.
+  FaultedServingEngine strict(serving_, Fleet(), perf_, trace, 60.0,
+                              {.max_batch = 2}, {}, {});
+  EXPECT_THROW(strict.Restore(snapshot), CheckError);
+
+  // A snapshot from another subsystem (offline-run app tag) is rejected.
+  const ResumableOfflineRun offline(sim_, Fleet(), perf_, 1000);
+  FaultedServingEngine same(serving_, Fleet(), perf_, trace, 60.0, {}, {},
+                            {});
+  EXPECT_THROW(same.Restore(offline.Checkpoint()), CheckError);
+  EXPECT_THROW(same.Restore(std::string("not a snapshot")), CheckError);
+}
+
+// ------------------------------------------------------ checkpointed runs
+
+TEST_F(CheckpointTest, CheckpointedRunChargesOverheadWithoutPerturbing) {
+  const double duration = 120.0;
+  const auto trace = PoissonTrace(12.0, duration, 41);
+  const FaultSchedule faults = CrashStorm(1, duration, 3);
+  const ServingPolicy policy{.max_batch = 32, .max_wait_s = 0.05};
+  const RetryPolicy retry{.max_retries = 2};
+  const CheckpointPolicy checkpoint{.trigger = CheckpointTrigger::kPeriodic,
+                                    .interval_s = 10.0,
+                                    .snapshot_cost_s = 2.0};
+
+  const ServingReport plain = serving_.SimulateFaulted(
+      Fleet(), perf_, trace, duration, policy, retry, faults);
+  CheckpointStats stats;
+  const ServingReport checked = serving_.SimulateFaultedCheckpointed(
+      Fleet(), perf_, trace, duration, policy, retry, faults, checkpoint,
+      &stats);
+  ExpectReportsIdentical(checked, plain);
+
+  EXPECT_GT(stats.snapshots, 0);
+  EXPECT_LE(stats.snapshots, 12) << "at most one per 10 s interval";
+  EXPECT_DOUBLE_EQ(stats.snapshot_overhead_s, stats.snapshots * 2.0);
+  EXPECT_DOUBLE_EQ(
+      stats.overhead_cost_usd,
+      stats.snapshot_overhead_s / 3600.0 * PricePerHour(Fleet(), catalog_));
+  EXPECT_GT(stats.last_snapshot_s, 0.0);
+  ASSERT_FALSE(stats.latest.empty());
+
+  // The latest snapshot is restorable and completes to the same report.
+  FaultedServingEngine resumed(serving_, Fleet(), perf_, trace, duration,
+                               policy, retry, faults);
+  resumed.Restore(stats.latest);
+  while (!resumed.Done()) resumed.Step();
+  ExpectReportsIdentical(resumed.Finish(), plain);
+}
+
+TEST_F(CheckpointTest, KeepHistoryRecordsEverySnapshot) {
+  const auto trace = PoissonTrace(10.0, 60.0, 9);
+  CheckpointStats stats;
+  stats.keep_history = true;
+  (void)serving_.SimulateFaultedCheckpointed(
+      Fleet(), perf_, trace, 60.0, {}, {}, {},
+      {.interval_s = 15.0, .snapshot_cost_s = 0.5}, &stats);
+  EXPECT_EQ(static_cast<int>(stats.history.size()), stats.snapshots);
+  for (std::size_t i = 1; i < stats.history.size(); ++i) {
+    EXPECT_GT(stats.history[i].first, stats.history[i - 1].first);
+  }
+}
+
+// ----------------------------------------------------- policies & triggers
+
+TEST(CheckpointPolicyTest, ValidationAndTriggerNames) {
+  EXPECT_NO_THROW(ValidateCheckpointPolicy({}));
+  EXPECT_THROW(ValidateCheckpointPolicy({.interval_s = 0.0}), CheckError);
+  EXPECT_THROW(ValidateCheckpointPolicy({.warning_lead_s = -1.0}),
+               CheckError);
+  EXPECT_THROW(ValidateCheckpointPolicy({.snapshot_cost_s = -0.5}),
+               CheckError);
+  EXPECT_STREQ(CheckpointTriggerName(CheckpointTrigger::kPeriodic),
+               "periodic");
+  EXPECT_STREQ(CheckpointTriggerName(CheckpointTrigger::kOnPreemptionWarning),
+               "on-warning");
+  EXPECT_STREQ(CheckpointTriggerName(CheckpointTrigger::kAdaptive),
+               "adaptive");
+}
+
+TEST(CheckpointPolicyTest, YoungIntervalMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(YoungInterval(2.0, 3600.0), std::sqrt(2.0 * 2.0 * 3600.0));
+  EXPECT_THROW((void)YoungInterval(0.0, 3600.0), CheckError);
+  EXPECT_THROW((void)YoungInterval(1.0, 0.0), CheckError);
+}
+
+TEST(CheckpointPolicyTest, PeriodicInstantsCoverTheRun) {
+  const auto instants = CheckpointInstants(
+      {.trigger = CheckpointTrigger::kPeriodic, .interval_s = 25.0}, {},
+      100.0, 1);
+  ASSERT_EQ(instants.size(), 3u);
+  EXPECT_DOUBLE_EQ(instants[0], 25.0);
+  EXPECT_DOUBLE_EQ(instants[2], 75.0);
+}
+
+TEST(CheckpointPolicyTest, WarningInstantsLeadEachFault) {
+  FaultSchedule faults;
+  faults.events = {{FaultKind::kCrash, 0, 50.0, 5.0, 1.0},
+                   {FaultKind::kCrash, 0, 100.0, 5.0, 1.0},
+                   {FaultKind::kPreemption, 0, 119.0, 0.0, 1.0}};
+  const auto instants = CheckpointInstants(
+      {.trigger = CheckpointTrigger::kOnPreemptionWarning,
+       .warning_lead_s = 120.0},
+      faults, 120.0, 1);
+  // 50 - 120 < 0 is dropped; the others snapshot 120 s ahead... except the
+  // lead pushes the first two before t=0 too. Use a shorter lead to check
+  // the arithmetic.
+  const auto close = CheckpointInstants(
+      {.trigger = CheckpointTrigger::kOnPreemptionWarning,
+       .warning_lead_s = 10.0},
+      faults, 120.0, 1);
+  ASSERT_EQ(close.size(), 3u);
+  EXPECT_DOUBLE_EQ(close[0], 40.0);
+  EXPECT_DOUBLE_EQ(close[1], 90.0);
+  EXPECT_DOUBLE_EQ(close[2], 109.0);
+  EXPECT_TRUE(instants.empty() || instants.front() > 0.0);
+}
+
+TEST(CheckpointPolicyTest, AdaptiveUsesYoungAndFallsBackWhenFaultFree) {
+  // Fault-free: adaptive degrades to the configured periodic interval.
+  const auto fallback = CheckpointInstants(
+      {.trigger = CheckpointTrigger::kAdaptive, .interval_s = 40.0}, {},
+      120.0, 1);
+  ASSERT_EQ(fallback.size(), 2u);
+  EXPECT_DOUBLE_EQ(fallback[0], 40.0);
+
+  // With faults, the cadence follows Young's optimum for the observed MTBF.
+  FaultSchedule faults;
+  for (int k = 0; k < 10; ++k) {
+    faults.events.push_back({FaultKind::kCrash, 0, 10.0 + 10.0 * k, 2.0, 1.0});
+  }
+  const CheckpointPolicy adaptive{.trigger = CheckpointTrigger::kAdaptive,
+                                  .interval_s = 40.0,
+                                  .snapshot_cost_s = 1.0};
+  const auto instants = CheckpointInstants(adaptive, faults, 120.0, 1);
+  // rate = 10 faults / (120/3600) instance-hours = 300/h; MTBF = 12 s;
+  // Young = sqrt(2 * 1 * 12) ~ 4.9 s.
+  const double young = YoungInterval(1.0, 3600.0 / 300.0);
+  ASSERT_FALSE(instants.empty());
+  EXPECT_NEAR(instants[0], young, 1e-9);
+  EXPECT_GT(instants.size(), fallback.size())
+      << "denser faults mean denser snapshots";
+}
+
+// -------------------------------------------------------- offline resume
+
+TEST_F(CheckpointTest, OfflineRunAdvancesAndResumes) {
+  ResumableOfflineRun run(sim_, Fleet(), perf_, 50000);
+  EXPECT_FALSE(run.Done());
+  EXPECT_EQ(run.ImagesDone(), 0);
+  EXPECT_EQ(run.TotalImages(), 50000);
+  const double total = run.TotalSeconds();
+  EXPECT_GT(total, 0.0);
+
+  run.AdvanceTo(total / 2.0);
+  const std::int64_t midway = run.ImagesDone();
+  EXPECT_GT(midway, 0);
+  EXPECT_LT(midway, 50000);
+  EXPECT_THROW(run.AdvanceTo(total / 4.0), CheckError) << "time runs forward";
+
+  // Preemption: only the snapshot survives. A restored run resumes from
+  // the recorded progress instead of zero.
+  const std::string snapshot = run.Checkpoint();
+  ResumableOfflineRun restored(sim_, Fleet(), perf_, 50000);
+  restored.Restore(snapshot);
+  EXPECT_EQ(restored.ImagesDone(), midway);
+  EXPECT_EQ(restored.Elapsed(), run.Elapsed());
+  restored.AdvanceTo(total);
+  EXPECT_TRUE(restored.Done());
+  EXPECT_EQ(restored.ImagesDone(), 50000);
+
+  // Mismatched inputs are rejected.
+  ResumableOfflineRun different(sim_, Fleet(), perf_, 60000);
+  EXPECT_THROW(different.Restore(snapshot), CheckError);
+  ResumableOfflineRun batched(sim_, Fleet(), perf_, 50000, 8);
+  EXPECT_THROW(batched.Restore(snapshot), CheckError);
+}
+
+// --------------------------------------------------------- spot economics
+
+TEST_F(CheckpointTest, SpotEstimateUndercutsOnDemandAtModestRisk) {
+  const CheckpointPolicy policy{.trigger = CheckpointTrigger::kAdaptive,
+                                .interval_s = 300.0,
+                                .snapshot_cost_s = 5.0};
+  const SpotRunEstimate est =
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.5);
+  EXPECT_GT(est.base_seconds, 0.0);
+  EXPECT_GT(est.snapshot_overhead_s, 0.0);
+  EXPECT_GT(est.expected_preemptions, 0.0);
+  EXPECT_GT(est.expected_seconds, est.base_seconds);
+  // The ~70% spot discount dominates the recompute overhead at 0.5/h.
+  EXPECT_LT(est.expected_spot_cost_usd, est.on_demand_cost_usd);
+
+  // Zero preemption risk: no recompute, only snapshot overhead.
+  const SpotRunEstimate safe =
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.0);
+  EXPECT_DOUBLE_EQ(safe.expected_preemptions, 0.0);
+  EXPECT_DOUBLE_EQ(safe.expected_seconds,
+                   safe.base_seconds + safe.snapshot_overhead_s);
+}
+
+TEST_F(CheckpointTest, SpotEstimateRequiresASpotMarket) {
+  // A custom catalog without spot pricing must be rejected.
+  InstanceCatalog no_spot(
+      {{"x.gpu", "x", 4, 1, 32.0, 12.0, 1.0, GpuKind::kK80}},
+      {GpuSpec{.kind = GpuKind::kK80,
+               .name = "NVIDIA K80",
+               .cores = 2496,
+               .mem_gb = 12.0,
+               .relative_speed = 1.0}});
+  CloudSimulator sim(no_spot);
+  ResourceConfig config;
+  config.Add("x.gpu");
+  EXPECT_THROW(
+      (void)EstimateSpotRun(sim, config, perf_, 1000, {}, 0.5),
+      CheckError);
+  EXPECT_THROW(
+      (void)EstimateSpotRun(sim_, Fleet(), perf_, 1000, {}, -1.0),
+      CheckError);
+}
+
+// ------------------------------------------------------ autoscaler wiring
+
+TEST_F(CheckpointTest, AutoscalerBillsCheckpointOverhead) {
+  const Autoscaler scaler(serving_, "p2.xlarge");
+  std::vector<std::vector<double>> traces;
+  for (std::uint64_t e = 0; e < 3; ++e) {
+    traces.push_back(PoissonTrace(20.0, 60.0, 500 + e));
+  }
+  const FaultSchedule faults = CrashStorm(1, 180.0, 21);
+  const ServingPolicy policy{
+      .max_batch = 64, .max_wait_s = 0.05, .deadline_s = 2.0};
+  const AutoscalePolicy scale{.min_instances = 1, .max_instances = 3};
+  const RetryPolicy retry{.max_retries = 2};
+
+  const AutoscaleResult plain =
+      scaler.RunFaulted(traces, 60.0, perf_, scale, policy, retry, faults);
+  const CheckpointPolicy checkpoint{.interval_s = 20.0,
+                                    .snapshot_cost_s = 1.0};
+  CheckpointStats stats;
+  const AutoscaleResult checked = scaler.RunFaulted(
+      traces, 60.0, perf_, scale, policy, retry, faults, &checkpoint, &stats);
+
+  // Identical dynamics (scaling path, reports)...
+  ASSERT_EQ(checked.steps.size(), plain.steps.size());
+  for (std::size_t e = 0; e < plain.steps.size(); ++e) {
+    EXPECT_EQ(checked.steps[e].instances, plain.steps[e].instances);
+    ExpectReportsIdentical(checked.steps[e].report, plain.steps[e].report);
+  }
+  EXPECT_EQ(checked.slo_compliance, plain.slo_compliance);
+  // ...but the bill carries the snapshot overhead.
+  EXPECT_GT(stats.snapshots, 0);
+  EXPECT_NEAR(checked.total_cost_usd,
+              plain.total_cost_usd + stats.overhead_cost_usd, 1e-9);
+  EXPECT_FALSE(stats.latest.empty());
+}
+
+}  // namespace
+}  // namespace ccperf::cloud

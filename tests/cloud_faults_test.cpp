@@ -7,6 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "cloud/autoscaler.h"
 #include "cloud/degradation.h"
@@ -148,6 +151,90 @@ TEST(FaultSchedule, CsvRoundTripsAndRejectsCorruption) {
           "kind,instance,start_s,duration_s,slowdown_factor\n"
           "crash,0,10,5,1\ncrash,0,5,5,1\n")),
       CheckError);
+}
+
+/// Catch a CheckError from parsing `csv` and return its message ("" when
+/// nothing was thrown).
+std::string ParseError(const std::string& csv) {
+  try {
+    (void)ParseFaultScheduleCsv(csv);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FaultSchedule, CsvErrorsNameTheOffendingLine) {
+  const std::string header =
+      "kind,instance,start_s,duration_s,slowdown_factor\n";
+
+  // A malformed field names its 1-based line (header is line 1) and echoes
+  // the row so the operator can find it in a million-line trace.
+  const std::string bad_number = ParseError(
+      header + "crash,0,1,5,1\ncrash,0,ten,5,1\n");
+  EXPECT_NE(bad_number.find("line 3"), std::string::npos) << bad_number;
+  EXPECT_NE(bad_number.find("crash,0,ten,5,1"), std::string::npos)
+      << bad_number;
+
+  const std::string bad_kind = ParseError(header + "meteor,0,10,5,1\n");
+  EXPECT_NE(bad_kind.find("line 2"), std::string::npos) << bad_kind;
+  EXPECT_NE(bad_kind.find("meteor"), std::string::npos) << bad_kind;
+
+  const std::string negative = ParseError(header + "crash,0,-3,5,1\n");
+  EXPECT_NE(negative.find("line 2"), std::string::npos) << negative;
+
+  const std::string missing_field = ParseError(header + "crash,0,10\n");
+  EXPECT_NE(missing_field.find("line 2"), std::string::npos) << missing_field;
+
+  // Out-of-order rows name both lines of the inversion.
+  const std::string unordered = ParseError(
+      header + "crash,0,10,5,1\ncrash,0,5,5,1\n");
+  EXPECT_NE(unordered.find("line 3"), std::string::npos) << unordered;
+  EXPECT_NE(unordered.find("line 2"), std::string::npos) << unordered;
+}
+
+TEST(FaultSchedule, LoadFromFileNamesThePath) {
+  EXPECT_THROW((void)LoadFaultScheduleFromFile("/nonexistent/faults.csv"),
+               CheckError);
+  try {
+    (void)LoadFaultScheduleFromFile("/nonexistent/faults.csv");
+    FAIL() << "missing file must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/faults.csv"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Parse errors keep both the path and the line context.
+  const std::string path =
+      std::string(::testing::TempDir()) + "bad_faults.csv";
+  {
+    std::ofstream out(path);
+    out << "kind,instance,start_s,duration_s,slowdown_factor\n"
+        << "crash,0,1,5,1\n"
+        << "meteor,1,2,5,1\n";
+  }
+  try {
+    (void)LoadFaultScheduleFromFile(path);
+    FAIL() << "bad row must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+
+  // A good file round-trips.
+  {
+    std::ofstream out(path);
+    out << "kind,instance,start_s,duration_s,slowdown_factor\n"
+        << "crash,0,1,5,1\n"
+        << "preemption,1,2,0,1\n";
+  }
+  const FaultSchedule loaded = LoadFaultScheduleFromFile(path);
+  ASSERT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(loaded.events[1].kind, FaultKind::kPreemption);
+  std::remove(path.c_str());
 }
 
 TEST(FaultSchedule, SliceClipsAndShifts) {

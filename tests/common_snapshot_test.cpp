@@ -1,0 +1,172 @@
+// Snapshot container: framed round-trip fidelity (including NaN/inf bit
+// patterns), CRC rejection of corruption, truncation handling at every
+// prefix, app-tag/version gating, and atomic file persistence.
+#include "common/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ccperf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+constexpr std::uint32_t kTag = 0x54455354u;  // 'TEST'
+
+SnapshotWriter MakeSample() {
+  SnapshotWriter writer(kTag);
+  SnapshotSectionWriter& meta = writer.AddSection("meta");
+  meta.PutU8(7);
+  meta.PutU32(0xDEADBEEFu);
+  meta.PutU64(1ull << 40);
+  meta.PutI64(-42);
+  meta.PutBool(true);
+  meta.PutF64(3.141592653589793);
+  meta.PutString("hello snapshot");
+  SnapshotSectionWriter& data = writer.AddSection("data");
+  data.PutF64Vector({1.0, -0.0, std::numeric_limits<double>::infinity(),
+                     std::nan("0x5CA1AB1E"), 1e-308});
+  data.PutI64Vector({0, -1, std::numeric_limits<std::int64_t>::max()});
+  return writer;
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0u);
+  EXPECT_NE(Crc32(std::string("a")), Crc32(std::string("b")));
+}
+
+TEST(SnapshotTest, RoundTripsEveryFieldBitwise) {
+  const std::string bytes = MakeSample().Serialize();
+  const SnapshotReader reader = SnapshotReader::Parse(bytes, kTag);
+  EXPECT_EQ(reader.SectionCount(), 2u);
+  EXPECT_TRUE(reader.Has("meta"));
+  EXPECT_TRUE(reader.Has("data"));
+  EXPECT_FALSE(reader.Has("absent"));
+
+  SnapshotSectionReader meta = reader.Section("meta");
+  EXPECT_EQ(meta.TakeU8(), 7);
+  EXPECT_EQ(meta.TakeU32(), 0xDEADBEEFu);
+  EXPECT_EQ(meta.TakeU64(), 1ull << 40);
+  EXPECT_EQ(meta.TakeI64(), -42);
+  EXPECT_TRUE(meta.TakeBool());
+  EXPECT_EQ(meta.TakeF64(), 3.141592653589793);
+  EXPECT_EQ(meta.TakeString(), "hello snapshot");
+  EXPECT_NO_THROW(meta.ExpectEnd());
+
+  SnapshotSectionReader data = reader.Section("data");
+  const std::vector<double> doubles = data.TakeF64Vector();
+  ASSERT_EQ(doubles.size(), 5u);
+  EXPECT_EQ(doubles[0], 1.0);
+  EXPECT_EQ(doubles[1], 0.0);
+  EXPECT_TRUE(std::signbit(doubles[1])) << "-0.0 must survive bitwise";
+  EXPECT_TRUE(std::isinf(doubles[2]));
+  EXPECT_TRUE(std::isnan(doubles[3])) << "NaN payload must survive";
+  EXPECT_EQ(doubles[4], 1e-308);
+  const std::vector<std::int64_t> ints = data.TakeI64Vector();
+  ASSERT_EQ(ints.size(), 3u);
+  EXPECT_EQ(ints[1], -1);
+  EXPECT_EQ(ints[2], std::numeric_limits<std::int64_t>::max());
+  EXPECT_NO_THROW(data.ExpectEnd());
+}
+
+TEST(SnapshotTest, RejectsWrongAppTagAndBadMagic) {
+  const std::string bytes = MakeSample().Serialize();
+  EXPECT_THROW((void)SnapshotReader::Parse(bytes, kTag + 1), CheckError);
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_THROW((void)SnapshotReader::Parse(wrong_magic, kTag), CheckError);
+  EXPECT_THROW((void)SnapshotReader::Parse(std::string(), kTag), CheckError);
+}
+
+TEST(SnapshotTest, EveryByteFlipIsDetected) {
+  // Any one-byte corruption must fail parsing or leave the payload intact
+  // (flips inside CRC fields themselves break the CRC match).
+  const std::string pristine = MakeSample().Serialize();
+  int rejected = 0;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    std::string mutated = pristine;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+    try {
+      (void)SnapshotReader::Parse(mutated, kTag);
+      ADD_FAILURE() << "byte " << i << " flip was not detected";
+    } catch (const CheckError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, static_cast<int>(pristine.size()));
+}
+
+TEST(SnapshotTest, EveryTruncationIsDetected) {
+  const std::string pristine = MakeSample().Serialize();
+  for (std::size_t cut = 0; cut < pristine.size(); ++cut) {
+    EXPECT_THROW((void)SnapshotReader::Parse(pristine.substr(0, cut), kTag),
+                 CheckError)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  EXPECT_THROW((void)SnapshotReader::Parse(pristine + "x", kTag), CheckError)
+      << "trailing garbage must be rejected";
+}
+
+TEST(SnapshotTest, SectionReaderBoundsChecks) {
+  SnapshotWriter writer(kTag);
+  writer.AddSection("s").PutU32(5);
+  const SnapshotReader reader = SnapshotReader::Parse(writer.Serialize(), kTag);
+  SnapshotSectionReader section = reader.Section("s");
+  EXPECT_THROW(section.ExpectEnd(), CheckError) << "unread bytes remain";
+  EXPECT_EQ(section.TakeU32(), 5u);
+  EXPECT_THROW((void)section.TakeU32(), CheckError) << "read past end";
+  EXPECT_THROW((void)reader.Section("missing"), CheckError);
+}
+
+TEST(SnapshotTest, DuplicateSectionNamesAreRejected) {
+  SnapshotWriter writer(kTag);
+  writer.AddSection("twice");
+  EXPECT_THROW((void)writer.AddSection("twice"), CheckError);
+  EXPECT_THROW((void)writer.AddSection(""), CheckError);
+}
+
+TEST(SnapshotFileTest, AtomicWriteRoundTripsAndReplacesCleanly) {
+  const std::string path = TempPath("snapshot_atomic.ccsn");
+  WriteSnapshotFileAtomic(path, MakeSample());
+  {
+    const SnapshotReader reader = SnapshotReader::FromFile(path, kTag);
+    EXPECT_EQ(reader.SectionCount(), 2u);
+  }
+  // Overwrite with a different snapshot; the reader must see the new one.
+  SnapshotWriter second(kTag);
+  second.AddSection("only").PutU64(99);
+  WriteSnapshotFileAtomic(path, second);
+  const SnapshotReader reader = SnapshotReader::FromFile(path, kTag);
+  EXPECT_EQ(reader.SectionCount(), 1u);
+  SnapshotSectionReader only = reader.Section("only");
+  EXPECT_EQ(only.TakeU64(), 99u);
+  // No tmp residue from successful writes.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingAndCorruptFilesThrowWithPath) {
+  EXPECT_THROW((void)SnapshotReader::FromFile("/nonexistent/snap.ccsn", kTag),
+               CheckError);
+  const std::string path = TempPath("snapshot_corrupt.ccsn");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "CCSNgarbage-that-is-not-a-snapshot";
+  }
+  EXPECT_THROW((void)SnapshotReader::FromFile(path, kTag), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccperf

@@ -3,12 +3,17 @@
 // or silent garbage. Parameterized over seeds for coverage breadth.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
+#include "cloud/density.h"
 #include "cloud/faults.h"
+#include "cloud/serving.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "core/calibration.h"
 #include "nn/model_parser.h"
 #include "nn/model_zoo.h"
@@ -238,6 +243,134 @@ TEST_P(CurveCsvFuzz, OutOfOrderRatiosRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CurveCsvFuzz, ::testing::Values(4, 5, 6));
+
+// ------------------------------------------------------- snapshot fuzzing
+
+/// Shared inputs of every engine in the snapshot trials; a snapshot only
+/// restores into an engine built from the same inputs.
+struct EngineInputs {
+  cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  cloud::CloudSimulator sim{catalog};
+  cloud::ServingSimulator serving{sim};
+  cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  cloud::VariantPerf perf = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, {}), "nonpruned");
+  cloud::ResourceConfig config;
+  std::vector<double> trace;
+  double duration_s = 60.0;
+  cloud::ServingPolicy policy{
+      .max_batch = 16, .max_wait_s = 0.02, .deadline_s = 2.0};
+  cloud::RetryPolicy retry{.max_retries = 3, .base_backoff_s = 0.02};
+  cloud::FaultSchedule faults;
+
+  EngineInputs() {
+    config.Add("p2.xlarge", 2);
+    Rng rng(99);
+    double t = 0.0;
+    while ((t += -std::log(1.0 - rng.NextDouble()) / 15.0) <= duration_s) {
+      trace.push_back(t);
+    }
+    const cloud::FaultModel model{.crash_rate = 120.0,
+                                  .restart_s = 4.0,
+                                  .slowdown_rate = 60.0,
+                                  .slowdown_s = 6.0,
+                                  .slowdown_factor = 2.0};
+    Rng fault_rng(5);
+    faults = cloud::GenerateFaultSchedule(model, 2, duration_s, fault_rng);
+  }
+
+  [[nodiscard]] cloud::FaultedServingEngine Engine() const {
+    return {serving,  config, perf, trace, duration_s,
+            policy,   retry,  faults};
+  }
+};
+
+class SnapshotFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotFuzz, CorruptedEngineSnapshotsThrowOrRestoreValidState) {
+  static const EngineInputs inputs;
+  // Snapshot a mid-run engine, then hammer the bytes: every mutation must
+  // either raise CheckError or restore a state the engine can run to a
+  // clean finish from — never UB or a half-restored engine.
+  cloud::FaultedServingEngine source = inputs.Engine();
+  for (int i = 0; i < 200 && !source.Done(); ++i) source.Step();
+  const std::string pristine = source.Checkpoint();
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes = pristine;
+    const int flips = 1 + static_cast<int>(rng.NextIndex(8));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.NextIndex(bytes.size())] = static_cast<char>(rng.NextU64());
+    }
+    cloud::FaultedServingEngine engine = inputs.Engine();
+    try {
+      engine.Restore(bytes);
+    } catch (const CheckError&) {
+      continue;  // corruption detected — the common case
+    }
+    // Restore accepted (flips may cancel out / hit ignored padding): the
+    // engine must still run to completion with coherent accounting.
+    while (!engine.Done()) engine.Step();
+    const cloud::ServingReport report = engine.Finish();
+    EXPECT_EQ(report.requests,
+              static_cast<std::int64_t>(inputs.trace.size()));
+    EXPECT_EQ(report.requests, report.completed + report.dropped_deadline +
+                                   report.dropped_failed);
+  }
+}
+
+TEST_P(SnapshotFuzz, TruncatedEngineSnapshotsAreRejected) {
+  static const EngineInputs inputs;
+  cloud::FaultedServingEngine source = inputs.Engine();
+  for (int i = 0; i < 100 && !source.Done(); ++i) source.Step();
+  const std::string pristine = source.Checkpoint();
+
+  Rng rng(GetParam() ^ 0x720);
+  for (int trial = 0; trial < 40; ++trial) {
+    cloud::FaultedServingEngine engine = inputs.Engine();
+    EXPECT_THROW(engine.Restore(pristine.substr(0, rng.NextIndex(
+                     pristine.size()))),
+                 CheckError);
+  }
+}
+
+TEST_P(SnapshotFuzz, KillAtRandomPointsResumesBitwiseIdentically) {
+  static const EngineInputs inputs;
+  // Reference: the uninterrupted run.
+  cloud::FaultedServingEngine reference = inputs.Engine();
+  std::int64_t total_steps = 0;
+  while (!reference.Done()) {
+    reference.Step();
+    ++total_steps;
+  }
+  const cloud::ServingReport expected = reference.Finish();
+
+  Rng rng(GetParam() ^ 0xdead);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto kill_after = rng.NextIndex(
+        static_cast<std::uint64_t>(total_steps));
+    cloud::FaultedServingEngine victim = inputs.Engine();
+    for (std::uint64_t s = 0; s < kill_after && !victim.Done(); ++s) {
+      victim.Step();
+    }
+    cloud::FaultedServingEngine resumed = inputs.Engine();
+    resumed.Restore(victim.Checkpoint());
+    while (!resumed.Done()) resumed.Step();
+    const cloud::ServingReport report = resumed.Finish();
+    EXPECT_EQ(report.requests, expected.requests);
+    EXPECT_EQ(report.completed, expected.completed);
+    EXPECT_EQ(report.retries, expected.retries);
+    EXPECT_EQ(report.dropped_deadline, expected.dropped_deadline);
+    EXPECT_EQ(report.dropped_failed, expected.dropped_failed);
+    EXPECT_EQ(report.mean_latency_s, expected.mean_latency_s);
+    EXPECT_EQ(report.p99_latency_s, expected.p99_latency_s);
+    EXPECT_EQ(report.utilization, expected.utilization);
+    EXPECT_EQ(report.goodput_per_s, expected.goodput_per_s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz, ::testing::Values(21, 22, 23));
 
 }  // namespace
 }  // namespace ccperf
