@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Determinism lint: greps src/ for constructs that break the repository's
+# bitwise-reproducibility contract (ROADMAP: same seed -> same bytes).
+#
+# Banned in src/:
+#   std::rand / srand / bare rand()   — hidden global RNG state; use
+#                                       common/rng.h (seeded, counter-based)
+#   std::random_device                — nondeterministic hardware entropy
+#   system_clock / high_resolution_   — wall-clock values leak into results
+#   clock / time() / gettimeofday /     and make runs time-dependent
+#   clock_gettime / localtime / ...     (steady_clock in common/timer.h is
+#                                       fine: it only measures durations)
+#   unordered_map / unordered_set     — iteration order is
+#                                       implementation-defined; feeding it
+#                                       into numeric accumulation makes
+#                                       results libstdc++-version-dependent.
+#                                       Use std::map / sorted vectors.
+#
+# Findings are fatal unless listed in scripts/determinism_lint_allowlist.txt
+# (format: <path>:<pattern-id>, '#' comments). Keep the allowlist empty-ish:
+# every entry is a standing exception that needs a justification comment.
+#
+# Usage: scripts/check_determinism_lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST="scripts/determinism_lint_allowlist.txt"
+
+# pattern-id|egrep-regex  (the id is what allowlist entries reference)
+patterns=(
+  'std-rand|std::rand'
+  'srand|(^|[^A-Za-z0-9_])srand[[:space:]]*\('
+  'bare-rand|(^|[^A-Za-z0-9_:])rand[[:space:]]*\('
+  'random-device|random_device'
+  'system-clock|system_clock'
+  'high-res-clock|high_resolution_clock'
+  'c-time|(^|[^A-Za-z0-9_])time[[:space:]]*\([[:space:]]*(NULL|nullptr|0|&|\))'
+  'gettimeofday|gettimeofday'
+  'clock-gettime|clock_gettime'
+  'localtime|(^|[^A-Za-z0-9_])(localtime|gmtime|ctime)[[:space:]]*\('
+  'unordered|unordered_(map|set|multimap|multiset)'
+)
+
+allowed() {  # allowed <file> <pattern-id>
+  [ -f "$ALLOWLIST" ] || return 1
+  grep -v -E '^\s*(#|$)' "$ALLOWLIST" | grep -q -F -x "$1:$2"
+}
+
+status=0
+for entry in "${patterns[@]}"; do
+  id="${entry%%|*}"
+  regex="${entry#*|}"
+  # shellcheck disable=SC2046
+  hits=$(grep -rnE "$regex" src --include='*.cpp' --include='*.h' || true)
+  [ -n "$hits" ] || continue
+  while IFS= read -r hit; do
+    file="${hit%%:*}"
+    if allowed "$file" "$id"; then
+      continue
+    fi
+    if [ "$status" -eq 0 ]; then
+      echo "check_determinism_lint: FAIL — banned constructs in src/"
+      echo "  (see script header for the rationale per pattern)"
+    fi
+    status=1
+    echo "  [$id] $hit"
+  done <<< "$hits"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_determinism_lint: OK — src/ is free of banned nondeterminism" \
+       "sources (${#patterns[@]} patterns checked)"
+fi
+exit "$status"

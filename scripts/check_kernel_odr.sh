@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# ODR/ISA-leak checker for the kernel translation units.
+#
+# gemm.cpp / sparse_kernels.cpp are built with CCPERF_KERNEL_FLAGS
+# (-march=native -funroll-loops); every other TU uses the portable flag
+# set. If a weak (vague-linkage) symbol — an inline function, template
+# instantiation, or inline variable — is emitted both by a kernel TU and
+# by a generic TU, the linker keeps ONE copy, chosen arbitrarily. That
+# either leaks AVX-512/AVX code into generic call sites (illegal
+# instruction on older hosts) or silently discards the tuned copy. Both
+# are invisible at compile time, so we police it on the built objects:
+#
+#   1. No weak symbol defined in a kernel TU may also be defined in any
+#      generic TU (modulo the structural allowlist — EH scaffolding that
+#      carries no ISA-specific code).
+#   2. ccperf::kernel:: (kernel_tile.h) is a TU-local contract: its
+#      symbols must not appear — defined OR referenced — in generic TUs,
+#      because the packed-buffer layout it describes is keyed off the
+#      ISA macros of the including TU.
+#
+# Kernel sources are discovered from the CCPERF_KERNEL_FLAGS
+# set_source_files_properties() calls in src/*/CMakeLists.txt, so adding
+# a kernel TU automatically extends the check.
+#
+# Usage: scripts/check_kernel_odr.sh [build-dir]   (or BUILD_DIR env)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-${BUILD_DIR:-build}}"
+ALLOWLIST="scripts/kernel_odr_allowlist.txt"
+
+if ! command -v nm > /dev/null 2>&1; then
+  echo "check_kernel_odr: nm not found — SKIPPED"
+  exit 0
+fi
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "check_kernel_odr: build dir '$BUILD_DIR' missing (build first) — SKIPPED"
+  exit 0
+fi
+
+# --- discover kernel sources from the build system -------------------------
+kernel_sources=()
+for cml in src/*/CMakeLists.txt; do
+  grep -q CCPERF_KERNEL_FLAGS "$cml" || continue
+  # Join lines so the multi-line set_source_files_properties(...) call can
+  # be matched as one string; ${CCPERF_KERNEL_FLAGS} contains no ')'.
+  call=$(tr '\n' ' ' < "$cml" |
+         grep -o 'set_source_files_properties([^)]*CCPERF_KERNEL_FLAGS[^)]*)' |
+         head -1 || true)
+  [ -n "$call" ] || continue
+  for word in $call; do
+    case "$word" in
+      *.cpp) kernel_sources+=("$(dirname "$cml")/${word#set_source_files_properties(}") ;;
+    esac
+  done
+done
+if [ "${#kernel_sources[@]}" -eq 0 ]; then
+  echo "check_kernel_odr: FAIL — no CCPERF_KERNEL_FLAGS sources found;" \
+       "the kernel flag plumbing moved and this script must follow it"
+  exit 1
+fi
+
+# --- map sources to built objects ------------------------------------------
+kernel_objects=()
+for src in "${kernel_sources[@]}"; do
+  name=$(basename "$src")
+  obj=$(find "$BUILD_DIR/src" -name "${name}.o" -path "*CMakeFiles*" | head -1)
+  if [ -z "$obj" ]; then
+    echo "check_kernel_odr: object for $src not built — SKIPPED"
+    exit 0
+  fi
+  kernel_objects+=("$obj")
+done
+
+generic_objects=$(find "$BUILD_DIR/src" -name '*.cpp.o' -path "*CMakeFiles*" |
+                  grep -v -F -f <(printf '%s\n' "${kernel_objects[@]}"))
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Weak-ish definitions: W/V (weak), u (GNU unique). Lowercase w is an
+# undefined weak reference, not a definition.
+weak_defs() { nm --defined-only "$1" | awk '$2 ~ /^[WVu]$/ {print $3}'; }
+
+allow() {
+  if [ -f "$ALLOWLIST" ]; then
+    grep -v -E '^\s*(#|$)' "$ALLOWLIST" || true
+  fi
+}
+
+status=0
+
+# --- check 1: weak-symbol intersection kernel TU x generic TUs -------------
+# shellcheck disable=SC2086  # generic_objects is a newline list of paths
+nm --defined-only $generic_objects | awk '$2 ~ /^[WVuTtDdBbRr]$/ {print $3}' |
+  sort -u > "$tmp/generic.syms"
+for obj in "${kernel_objects[@]}"; do
+  weak_defs "$obj" | sort -u > "$tmp/kernel.syms"
+  allow | sort -u > "$tmp/allow.syms"
+  shared=$(comm -12 "$tmp/kernel.syms" "$tmp/generic.syms" |
+           comm -23 - "$tmp/allow.syms" || true)
+  if [ -n "$shared" ]; then
+    status=1
+    echo "check_kernel_odr: FAIL — weak symbols defined in kernel TU $obj"
+    echo "  are also defined by generic TUs; the linker will merge them"
+    echo "  and may leak -march=native code into generic call sites:"
+    printf '%s\n' "$shared" | c++filt | sed 's/^/    /'
+  fi
+done
+
+# --- check 2: ccperf::kernel:: must stay inside kernel TUs -----------------
+# Mangled prefix for namespace ccperf::kernel.
+leaks=$(nm $generic_objects 2>/dev/null | grep -o '_ZN6ccperf6kernel[A-Za-z0-9_]*' |
+        sort -u || true)
+if [ -n "$leaks" ]; then
+  status=1
+  echo "check_kernel_odr: FAIL — ccperf::kernel:: symbols appear in generic"
+  echo "  TUs; kernel_tile.h layouts are keyed off the including TU's ISA"
+  echo "  macros and must never cross the kernel TU boundary:"
+  printf '%s\n' "$leaks" | c++filt | sed 's/^/    /'
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "check_kernel_odr: OK — ${#kernel_objects[@]} kernel TU(s) share no" \
+       "weak symbols with generic TUs; ccperf::kernel:: is TU-local"
+fi
+exit "$status"

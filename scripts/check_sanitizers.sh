@@ -5,6 +5,11 @@
 # over the kernels and integration labels (the code that actually touches
 # the thread pool), skipped with a notice if the toolchain lacks TSan.
 # Any report aborts the run.
+#
+# The static pass (scripts/run_static_analysis.sh + check_kernel_odr.sh +
+# check_determinism_lint.sh, or `scripts/run_tests.sh static`) is the
+# cheaper first gate: Clang thread-safety annotations catch lock misuse at
+# compile time that TSan can only catch if a test happens to race.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -11,6 +11,11 @@ cmake --build build
 echo "== tests =="
 ctest --test-dir build --output-on-failure
 
+echo "== static analysis =="
+scripts/run_static_analysis.sh build      # clang-tidy (skips w/o the tool)
+scripts/check_kernel_odr.sh build         # ISA/ODR leak check on kernel TUs
+scripts/check_determinism_lint.sh         # banned nondeterminism constructs
+
 echo "== benches (paper tables & figures) =="
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue

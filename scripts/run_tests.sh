@@ -7,9 +7,13 @@
 #   scripts/run_tests.sh integration
 #   scripts/run_tests.sh fuzz
 #   scripts/run_tests.sh robustness # fault replay, snapshot/restore, fuzzing
+#   scripts/run_tests.sh static     # lint gates: clang-tidy, kernel ODR/ISA
+#                                   # leak check, determinism lint
 #
 # Labels are assigned in tests/CMakeLists.txt via
-# ccperf_add_test(... LABELS x y); a suite may carry several.
+# ccperf_add_test(... LABELS x y); a suite may carry several. The static
+# label wraps the scripts/{run_static_analysis,check_kernel_odr,
+# check_determinism_lint}.sh gates as ctest entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -266,4 +266,56 @@ void ResumableOfflineRun::Restore(const std::string& snapshot) {
   elapsed_s_ = elapsed;
 }
 
+void SnapshotVault::Put(const std::string& name, double watermark,
+                        std::string snapshot) {
+  CCPERF_CHECK(watermark >= 0.0, "snapshot watermark must be >= 0, got ",
+               watermark);
+  {
+    MutexLock lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.watermark > watermark && !entry.bytes.empty()) return;
+    entry.watermark = watermark;
+    entry.bytes = std::move(snapshot);
+  }
+  // Notify outside the lock so woken waiters can re-acquire immediately.
+  published_.NotifyAll();
+}
+
+bool SnapshotVault::Contains(const std::string& name) const {
+  MutexLock lock(mutex_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::string SnapshotVault::Get(const std::string& name) const {
+  MutexLock lock(mutex_);
+  const auto it = entries_.find(name);
+  CCPERF_CHECK(it != entries_.end(), "no snapshot published for '", name,
+               "'");
+  return it->second.bytes;
+}
+
+double SnapshotVault::Watermark(const std::string& name) const {
+  MutexLock lock(mutex_);
+  const auto it = entries_.find(name);
+  CCPERF_CHECK(it != entries_.end(), "no snapshot published for '", name,
+               "'");
+  return it->second.watermark;
+}
+
+std::size_t SnapshotVault::Size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+bool SnapshotVault::WaitForSnapshot(const std::string& name,
+                                    double min_watermark,
+                                    double timeout_s) const {
+  MutexLock lock(mutex_);
+  return published_.WaitForSeconds(
+      mutex_, timeout_s, [this, &name, min_watermark]() CCPERF_REQUIRES(mutex_) {
+        const auto it = entries_.find(name);
+        return it != entries_.end() && it->second.watermark >= min_watermark;
+      });
+}
+
 }  // namespace ccperf::cloud

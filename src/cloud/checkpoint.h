@@ -12,12 +12,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cloud/faults.h"
 #include "cloud/simulator.h"
+#include "common/annotations.h"
+#include "common/threading.h"
 
 namespace ccperf::cloud {
 
@@ -70,6 +73,54 @@ struct CheckpointStats {
   std::string latest;
   bool keep_history = false;
   std::vector<std::pair<double, std::string>> history;
+};
+
+/// Thread-safe store of the latest snapshot per named run: concurrent
+/// campaign runners (one per task on the global pool) publish their
+/// checkpoints here, and a recovery path — possibly on another thread —
+/// picks up the newest restorable state. Put keeps only the snapshot with
+/// the highest watermark per name, so replaying a Put after a restart is
+/// idempotent.
+class SnapshotVault {
+ public:
+  SnapshotVault() = default;
+  SnapshotVault(const SnapshotVault&) = delete;
+  SnapshotVault& operator=(const SnapshotVault&) = delete;
+
+  /// Publish `snapshot` for `name` at `watermark` (simulated seconds).
+  /// Ignored if an entry with a strictly higher watermark already exists.
+  void Put(const std::string& name, double watermark, std::string snapshot)
+      CCPERF_EXCLUDES(mutex_);
+
+  [[nodiscard]] bool Contains(const std::string& name) const
+      CCPERF_EXCLUDES(mutex_);
+
+  /// Latest snapshot bytes for `name`; throws CheckError when absent.
+  [[nodiscard]] std::string Get(const std::string& name) const
+      CCPERF_EXCLUDES(mutex_);
+
+  /// Watermark of the latest snapshot for `name`; throws when absent.
+  [[nodiscard]] double Watermark(const std::string& name) const
+      CCPERF_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::size_t Size() const CCPERF_EXCLUDES(mutex_);
+
+  /// Block until a snapshot for `name` with watermark >= min_watermark is
+  /// published, or `timeout_s` elapses; true iff the snapshot arrived.
+  [[nodiscard]] bool WaitForSnapshot(const std::string& name,
+                                     double min_watermark,
+                                     double timeout_s) const
+      CCPERF_EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    double watermark = 0.0;
+    std::string bytes;
+  };
+
+  mutable Mutex mutex_;
+  mutable CondVar published_;
+  std::map<std::string, Entry> entries_ CCPERF_GUARDED_BY(mutex_);
 };
 
 /// Eq. 1-4 extended to preemptible capacity: expected completion time and

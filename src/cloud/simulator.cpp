@@ -91,8 +91,8 @@ RunEstimate CloudSimulator::Run(const ResourceConfig& config,
           std::floor(static_cast<double>(images) * thr[i] / total_thr));
       assigned += shares[i];
     }
-    const std::size_t fastest =
-        std::max_element(thr.begin(), thr.end()) - thr.begin();
+    const std::size_t fastest = static_cast<std::size_t>(
+        std::max_element(thr.begin(), thr.end()) - thr.begin());
     shares[fastest] += images - assigned;
   }
 

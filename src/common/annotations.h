@@ -1,0 +1,60 @@
+// Clang Thread Safety Analysis annotations, exposed as CCPERF_* macros.
+//
+// The analysis (-Wthread-safety) statically proves that every access to a
+// CCPERF_GUARDED_BY(mu) member happens with `mu` held, that functions marked
+// CCPERF_REQUIRES(mu) are only called under the lock, and that scoped locks
+// pair acquire/release on every path. It runs at compile time on Clang with
+// the CCPERF_THREAD_SAFETY CMake option; on other compilers (or with the
+// option off) every macro expands to nothing, so annotated code stays
+// portable. See DESIGN.md §10 and scripts/run_static_analysis.sh.
+//
+// Annotate with the CCPERF_* spellings only — raw __attribute__ uses would
+// silently miss the non-Clang no-op path.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CCPERF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CCPERF_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. ccperf::Mutex).
+#define CCPERF_CAPABILITY(x) CCPERF_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime holds a capability.
+#define CCPERF_SCOPED_CAPABILITY CCPERF_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define CCPERF_GUARDED_BY(x) CCPERF_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define CCPERF_PT_GUARDED_BY(x) CCPERF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and keeps them).
+#define CCPERF_REQUIRES(...) \
+  CCPERF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held.
+#define CCPERF_EXCLUDES(...) \
+  CCPERF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (member functions: `this` by default).
+#define CCPERF_ACQUIRE(...) \
+  CCPERF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define CCPERF_RELEASE(...) \
+  CCPERF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define CCPERF_TRY_ACQUIRE(...) \
+  CCPERF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define CCPERF_RETURN_CAPABILITY(x) \
+  CCPERF_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function is thread-safe for reasons the analysis
+/// cannot see. Use sparingly and say why at the call site.
+#define CCPERF_NO_THREAD_SAFETY_ANALYSIS \
+  CCPERF_THREAD_ANNOTATION_(no_thread_safety_analysis)

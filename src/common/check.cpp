@@ -1,13 +1,61 @@
 #include "common/check.h"
 
+#include <cstdio>
+
 namespace ccperf::detail {
+
+void AppendTo(std::string& out, const char* value) { out += value; }
+void AppendTo(std::string& out, const std::string& value) { out += value; }
+void AppendTo(std::string& out, char value) { out += value; }
+// Matches ostream defaults: bool without boolalpha prints 0/1.
+void AppendTo(std::string& out, bool value) { out += value ? '1' : '0'; }
+void AppendTo(std::string& out, int value) {
+  AppendTo(out, static_cast<long long>(value));
+}
+void AppendTo(std::string& out, long value) {
+  AppendTo(out, static_cast<long long>(value));
+}
+void AppendTo(std::string& out, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  out += buf;
+}
+void AppendTo(std::string& out, unsigned value) {
+  AppendTo(out, static_cast<unsigned long long>(value));
+}
+void AppendTo(std::string& out, unsigned long value) {
+  AppendTo(out, static_cast<unsigned long long>(value));
+}
+void AppendTo(std::string& out, unsigned long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", value);
+  out += buf;
+}
+// %g mirrors the default ostream double format (6 significant digits).
+void AppendTo(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  out += buf;
+}
+void AppendTo(std::string& out, const void* value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", value);
+  out += buf;
+}
 
 void CheckFailed(const char* cond, const char* file, int line,
                  const std::string& msg) {
-  std::ostringstream oss;
-  oss << "CCPERF_CHECK failed: (" << cond << ") at " << file << ":" << line;
-  if (!msg.empty()) oss << " — " << msg;
-  throw CheckError(oss.str());
+  std::string what = "CCPERF_CHECK failed: (";
+  what += cond;
+  what += ") at ";
+  what += file;
+  AppendTo(what, ':');
+  AppendTo(what, line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw CheckError(what);
 }
 
 }  // namespace ccperf::detail

@@ -3,9 +3,17 @@
 // CCPERF_CHECK(cond, msg...) throws ccperf::CheckError on violation. Checks
 // stay enabled in release builds: this library is an analysis tool, and a
 // silently wrong Pareto frontier is worse than a thrown exception.
+//
+// Formatting lives out of line in check.cpp (the AppendTo overloads) and
+// ConcatMessage has internal linkage: a TU that uses CCPERF_CHECK emits no
+// weak formatting symbols. That matters for the kernel TUs built with
+// CCPERF_KERNEL_FLAGS (-march=native): a weak helper instantiated both
+// there and in a generic TU would be merged arbitrarily by the linker,
+// leaking kernel-only ISA into generic code. scripts/check_kernel_odr.sh
+// enforces this stays true.
 #pragma once
 
-#include <sstream>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -22,11 +30,29 @@ namespace detail {
 [[noreturn]] void CheckFailed(const char* cond, const char* file, int line,
                               const std::string& msg);
 
+// Out-of-line formatting primitives (check.cpp). Non-template, so callers
+// instantiate nothing; doubles use %g to match the old ostream output.
+void AppendTo(std::string& out, const char* value);
+void AppendTo(std::string& out, const std::string& value);
+void AppendTo(std::string& out, char value);
+void AppendTo(std::string& out, bool value);
+void AppendTo(std::string& out, int value);
+void AppendTo(std::string& out, long value);
+void AppendTo(std::string& out, long long value);
+void AppendTo(std::string& out, unsigned value);
+void AppendTo(std::string& out, unsigned long value);
+void AppendTo(std::string& out, unsigned long long value);
+void AppendTo(std::string& out, double value);
+void AppendTo(std::string& out, const void* value);
+
+// `static`: internal linkage keeps every instantiation TU-local instead of
+// emitting a weak symbol the linker could dedup across TUs compiled with
+// different ISA flags (see scripts/check_kernel_odr.sh).
 template <typename... Args>
-std::string ConcatMessage(Args&&... args) {
-  std::ostringstream oss;
-  (oss << ... << std::forward<Args>(args));
-  return oss.str();
+static std::string ConcatMessage(Args&&... args) {
+  std::string out;
+  (AppendTo(out, std::forward<Args>(args)), ...);
+  return out;
 }
 }  // namespace detail
 

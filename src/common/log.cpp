@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/threading.h"
 
 namespace ccperf {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+// Serializes writes to std::cerr so interleaved LogMessage calls emit whole
+// lines; annotated so the static analysis covers the logging path too.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,7 +33,7 @@ void LogMessage(LogLevel level, const std::string& message) {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::cerr << "[" << LevelName(level) << "] " << message << "\n";
 }
 

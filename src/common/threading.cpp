@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <latch>
+#include <utility>
 
 #include "common/check.h"
 
@@ -17,6 +18,44 @@ thread_local const ThreadPool* tls_worker_pool = nullptr;
 thread_local int tls_serial_depth = 0;
 }  // namespace
 
+// The std::condition_variable underneath requires a std::unique_lock over
+// the raw std::mutex; adopt the already-held lock for the duration of the
+// block and release it back to the caller's MutexLock afterwards. The
+// analysis cannot see through the adopt/release dance, which is exactly why
+// these two are the only places it happens.
+void CondVar::Wait(Mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitUntil(Mutex& mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+void FirstErrorCollector::Record(std::size_t index, std::string message) {
+  MutexLock lock(mutex_);
+  if (index < index_) {
+    index_ = index;
+    message_ = std::move(message);
+  }
+}
+
+bool FirstErrorCollector::HasError() const {
+  MutexLock lock(mutex_);
+  return index_ != SIZE_MAX;
+}
+
+void FirstErrorCollector::RethrowIfError() const {
+  MutexLock lock(mutex_);
+  if (index_ == SIZE_MAX) return;
+  throw CheckError(message_);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -29,26 +68,28 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  job_available_.notify_all();
+  job_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CCPERF_CHECK(!stopping_, "Submit on stopping pool");
     jobs_.push(std::move(job));
     ++in_flight_;
   }
-  job_available_.notify_one();
+  job_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  all_done_.Wait(mutex_, [this]() CCPERF_REQUIRES(mutex_) {
+    return in_flight_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -56,17 +97,19 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_available_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      job_available_.Wait(mutex_, [this]() CCPERF_REQUIRES(mutex_) {
+        return stopping_ || !jobs_.empty();
+      });
       if (jobs_.empty()) return;  // stopping_ and drained
       job = std::move(jobs_.front());
       jobs_.pop();
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,19 +1,129 @@
-// Thread pool and parallel_for used by the tensor kernels.
+// Thread pool, parallel_for, and annotated locking primitives.
 //
 // The pool is created once per process (GlobalPool) sized to the hardware
 // concurrency; kernels submit index ranges and block until completion.
 // On a single-core host the pool degrades gracefully to serial execution.
+//
+// All locking in ccperf goes through the annotated Mutex/MutexLock/CondVar
+// wrappers below instead of raw std::mutex, so Clang Thread Safety Analysis
+// (-Wthread-safety, see annotations.h and DESIGN.md §10) can prove at
+// compile time that every CCPERF_GUARDED_BY member is only touched under
+// its lock.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace ccperf {
+
+/// std::mutex wrapped as a Clang thread-safety capability. Prefer MutexLock
+/// over manual Lock/Unlock pairs; manual calls exist for the rare staircase
+/// patterns RAII cannot express.
+class CCPERF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CCPERF_ACQUIRE() { mu_.lock(); }
+  void Unlock() CCPERF_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() CCPERF_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock holding a Mutex for the enclosing scope.
+class CCPERF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CCPERF_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CCPERF_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Every wait requires the
+/// mutex held (the analysis enforces it at call sites); the lock is
+/// released for the duration of the block and re-held on return, as with
+/// std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified (subject to spurious wakeups — loop on a
+  /// predicate or use the predicated overload).
+  void Wait(Mutex& mu) CCPERF_REQUIRES(mu);
+
+  /// Block until pred() holds.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) CCPERF_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Block until pred() holds or `timeout_s` seconds elapse; returns the
+  /// final pred() value. timeout_s <= 0 evaluates pred() once.
+  template <typename Pred>
+  bool WaitForSeconds(Mutex& mu, double timeout_s, Pred pred)
+      CCPERF_REQUIRES(mu) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_s));
+    while (!pred()) {
+      if (!WaitUntil(mu, deadline)) return pred();
+    }
+    return true;
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  /// Timed wait; false on timeout.
+  bool WaitUntil(Mutex& mu,
+                 std::chrono::steady_clock::time_point deadline)
+      CCPERF_REQUIRES(mu);
+
+  std::condition_variable cv_;
+};
+
+/// Deterministic error funnel for parallel loops: tasks report failures by
+/// index, callers rethrow the error of the *lowest* index after the loop —
+/// so the surfaced failure does not depend on thread scheduling.
+class FirstErrorCollector {
+ public:
+  /// Keep `message` if `index` is lower than any recorded so far.
+  void Record(std::size_t index, std::string message)
+      CCPERF_EXCLUDES(mutex_);
+
+  [[nodiscard]] bool HasError() const CCPERF_EXCLUDES(mutex_);
+
+  /// Throws CheckError with the recorded message, if any.
+  void RethrowIfError() const CCPERF_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  std::size_t index_ CCPERF_GUARDED_BY(mutex_) = SIZE_MAX;
+  std::string message_ CCPERF_GUARDED_BY(mutex_);
+};
 
 /// Fixed-size worker pool executing void() jobs.
 class ThreadPool {
@@ -29,21 +139,21 @@ class ThreadPool {
   [[nodiscard]] std::size_t ThreadCount() const { return workers_.size(); }
 
   /// Enqueue a job for asynchronous execution.
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) CCPERF_EXCLUDES(mutex_);
 
   /// Block until every submitted job has finished.
-  void Wait();
+  void Wait() CCPERF_EXCLUDES(mutex_);
 
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> jobs_;
-  std::mutex mutex_;
-  std::condition_variable job_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // written before workers start
+  Mutex mutex_;
+  CondVar job_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> jobs_ CCPERF_GUARDED_BY(mutex_);
+  std::size_t in_flight_ CCPERF_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CCPERF_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool shared by all kernels.

@@ -8,8 +8,8 @@ namespace ccperf::nn {
 
 std::uint64_t HashName(const std::string& name) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : name) {
-    h ^= c;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;

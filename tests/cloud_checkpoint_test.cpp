@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "cloud/autoscaler.h"
 #include "cloud/density.h"
@@ -422,6 +423,79 @@ TEST_F(CheckpointTest, AutoscalerBillsCheckpointOverhead) {
   EXPECT_NEAR(checked.total_cost_usd,
               plain.total_cost_usd + stats.overhead_cost_usd, 1e-9);
   EXPECT_FALSE(stats.latest.empty());
+}
+
+TEST(SnapshotVault, PutGetRoundTripAndMonotoneWatermark) {
+  SnapshotVault vault;
+  EXPECT_FALSE(vault.Contains("run-a"));
+  EXPECT_THROW((void)vault.Get("run-a"), CheckError);
+  vault.Put("run-a", 10.0, "snap@10");
+  EXPECT_TRUE(vault.Contains("run-a"));
+  EXPECT_EQ(vault.Get("run-a"), "snap@10");
+  EXPECT_EQ(vault.Watermark("run-a"), 10.0);
+  // Stale republish (a restarted runner replaying) is ignored...
+  vault.Put("run-a", 5.0, "snap@5");
+  EXPECT_EQ(vault.Get("run-a"), "snap@10");
+  // ...newer snapshots replace.
+  vault.Put("run-a", 20.0, "snap@20");
+  EXPECT_EQ(vault.Get("run-a"), "snap@20");
+  EXPECT_EQ(vault.Watermark("run-a"), 20.0);
+  vault.Put("run-b", 1.0, "other");
+  EXPECT_EQ(vault.Size(), 2u);
+  EXPECT_THROW((void)vault.Watermark("missing"), CheckError);
+}
+
+TEST(SnapshotVault, WaitForSnapshotSeesConcurrentPublisher) {
+  SnapshotVault vault;
+  std::thread publisher([&vault] {
+    vault.Put("campaign", 300.0, "state@300");
+  });
+  const bool arrived = vault.WaitForSnapshot("campaign", 300.0, 10.0);
+  publisher.join();
+  EXPECT_TRUE(arrived);
+  EXPECT_EQ(vault.Get("campaign"), "state@300");
+}
+
+TEST(SnapshotVault, WaitForSnapshotTimesOutWithoutPublisher) {
+  SnapshotVault vault;
+  vault.Put("campaign", 10.0, "early");
+  // Present but below the requested watermark -> timeout.
+  EXPECT_FALSE(vault.WaitForSnapshot("campaign", 100.0, 0.01));
+  EXPECT_FALSE(vault.WaitForSnapshot("absent", 0.0, 0.01));
+}
+
+TEST_F(CheckpointTest, VaultPublishedSnapshotRestoresTheEngine) {
+  // A checkpointed faulted run publishes into the vault; a fresh engine
+  // restored from the vault's latest snapshot finishes with the same
+  // report — the cross-thread version of the durability invariant.
+  const auto trace = PoissonTrace(30.0, 120.0, 5);
+  FaultSchedule faults;
+  faults.events.push_back({FaultKind::kCrash, 0, 40.0, 10.0, 1.0});
+  const ServingPolicy policy{.max_batch = 64, .max_wait_s = 0.05,
+                             .deadline_s = 4.0};
+  const RetryPolicy retry{.max_retries = 2};
+
+  FaultedServingEngine engine(serving_, Fleet(), perf_, trace, 120.0, policy,
+                              retry, faults);
+  SnapshotVault vault;
+  while (!engine.Done()) {
+    engine.Step();
+    if (engine.Watermark() >= 60.0 && !vault.Contains("run")) {
+      vault.Put("run", engine.Watermark(), engine.Checkpoint());
+    }
+  }
+  const ServingReport full = engine.Finish();
+  ASSERT_TRUE(vault.Contains("run"));
+
+  FaultedServingEngine resumed(serving_, Fleet(), perf_, trace, 120.0,
+                               policy, retry, faults);
+  resumed.Restore(vault.Get("run"));
+  while (!resumed.Done()) resumed.Step();
+  const ServingReport after = resumed.Finish();
+  EXPECT_EQ(full.requests, after.requests);
+  EXPECT_EQ(full.completed, after.completed);
+  EXPECT_EQ(full.mean_latency_s, after.mean_latency_s);
+  EXPECT_EQ(full.p99_latency_s, after.p99_latency_s);
 }
 
 }  // namespace

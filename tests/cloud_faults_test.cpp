@@ -599,5 +599,52 @@ TEST_F(FaultsTest, FaultAwareAutoscalerStepsUpAfterFailures) {
   EXPECT_LT(result.slo_compliance, 1.0) << "the crash epochs leave a scar";
 }
 
+TEST(FaultScheduleCache, ReturnsTheGeneratedSchedule) {
+  const FaultModel model{.preemption_rate = 2.0, .crash_rate = 4.0};
+  FaultScheduleCache cache;
+  const FaultSchedule& cached = cache.Get(model, 4, 3600.0, 7);
+  Rng rng(7);
+  const FaultSchedule direct = GenerateFaultSchedule(model, 4, 3600.0, rng);
+  ASSERT_EQ(cached.events.size(), direct.events.size());
+  for (std::size_t i = 0; i < cached.events.size(); ++i) {
+    EXPECT_EQ(cached.events[i].start_s, direct.events[i].start_s);
+    EXPECT_EQ(cached.events[i].instance, direct.events[i].instance);
+    EXPECT_EQ(cached.events[i].kind, direct.events[i].kind);
+  }
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_EQ(cache.Misses(), 1u);
+}
+
+TEST(FaultScheduleCache, RepeatLookupsHitAndShareOneEntry) {
+  const FaultModel model{.crash_rate = 6.0};
+  FaultScheduleCache cache;
+  const FaultSchedule& first = cache.Get(model, 2, 1800.0, 11);
+  const FaultSchedule& second = cache.Get(model, 2, 1800.0, 11);
+  EXPECT_EQ(&first, &second) << "hits must share the generated schedule";
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_EQ(cache.Hits(), 1u);
+  EXPECT_EQ(cache.Misses(), 1u);
+  // Any key component change is a distinct entry.
+  (void)cache.Get(model, 3, 1800.0, 11);
+  (void)cache.Get(model, 2, 1800.0, 12);
+  EXPECT_EQ(cache.Size(), 3u);
+}
+
+TEST(FaultScheduleCache, ConcurrentLookupsConvergeOnOneSchedule) {
+  const FaultModel model{.preemption_rate = 1.0, .crash_rate = 8.0,
+                         .slowdown_rate = 3.0};
+  FaultScheduleCache cache;
+  std::vector<const FaultSchedule*> seen(64, nullptr);
+  ParallelFor(
+      0, seen.size(),
+      [&](std::size_t i) { seen[i] = &cache.Get(model, 4, 3600.0, 42); },
+      1);
+  for (const FaultSchedule* p : seen) {
+    EXPECT_EQ(p, seen[0]) << "every caller must observe the same entry";
+  }
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_EQ(cache.Hits() + cache.Misses(), seen.size());
+}
+
 }  // namespace
 }  // namespace ccperf::cloud

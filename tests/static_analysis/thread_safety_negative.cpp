@@ -1,0 +1,32 @@
+// Negative-compile probe: this TU contains a deliberate CCPERF_GUARDED_BY
+// violation and MUST FAIL to compile under Clang with
+// -Werror=thread-safety. tests/CMakeLists.txt try_compiles it when
+// CCPERF_THREAD_SAFETY is on and aborts the configure if it *succeeds* —
+// that would mean the annotations are not firing and the whole analysis
+// leg is silently off. Never "fix" the bug below.
+#include "common/threading.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (intentional): writes the guarded balance without holding mutex_.
+  void DepositRacy(int amount) { balance_ += amount; }
+
+  [[nodiscard]] int Balance() {
+    ccperf::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  ccperf::Mutex mutex_;
+  int balance_ CCPERF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.DepositRacy(1);
+  return account.Balance();
+}

@@ -1,0 +1,32 @@
+// Positive control for the negative-compile probe: identical shape to
+// thread_safety_negative.cpp but with correct locking. It MUST compile
+// under -Werror=thread-safety; if it does not, the negative probe's
+// failure proves nothing (the toolchain would reject everything).
+#include "common/threading.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    ccperf::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  [[nodiscard]] int Balance() {
+    ccperf::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  ccperf::Mutex mutex_;
+  int balance_ CCPERF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Balance();
+}
