@@ -1,0 +1,235 @@
+// Extension: correlated failures — the availability-vs-cost frontier of
+// mitigation policy mixes under domain-level incidents.
+//
+// The paper's cost model (Eqs. 1-4) prices a fleet as if every instance
+// runs to completion; real cloud incidents strike whole *fault domains*:
+// spot reclaim waves gut a capacity pool, an AZ outage takes a zone, a
+// partition isolates it. This experiment ranks mitigation mixes — retry
+// only, placement spread, 2-way replication, deadline hedging, mirrored
+// checkpoints, graceful degradation, and the full mix — across seeded
+// incident classes, pricing each mix with the same Eq. 3-4 machinery
+// (duplicate/hedged work is billed as utilization; spreading bills a
+// cross-pool premium; snapshots bill their overhead).
+//
+// Fleet: 3x p2.xlarge spread over 1 region x 3 zones x 1 pool each,
+// serving a 60 img/s Poisson trace for 10 minutes with a 1 s deadline.
+// Incident classes (3 seeds each): reclaim waves (80 % of a pool),
+// zone outages (120 s), and partitions (60 s, in-flight work lost) — all
+// on top of a background of independent crashes.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/chaos.h"
+#include "cloud/density.h"
+#include "cloud/model_profile.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/accuracy_model.h"
+#include "pruning/prune_plan.h"
+
+namespace {
+
+using namespace ccperf;
+
+constexpr double kDurationS = 600.0;
+constexpr double kLoad = 30.0;  // img/s: headroom for 2-way replication
+constexpr double kCrossPoolPremium = 0.05;
+
+std::vector<double> PoissonTrace(double rate, double duration,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> trace;
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(1.0 - rng.NextDouble()) / rate;
+    if (t > duration) break;
+    trace.push_back(t);
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "EXT correlated failures: availability-vs-cost frontier",
+      "Mitigation policy mixes ranked across seeded reclaim-wave, "
+      "AZ-outage and partition incidents (ChaosSweep; every cell is a "
+      "seeded, bitwise-reproducible simulation).");
+
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ServingSimulator serving(sim);
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+
+  cloud::ResourceConfig fleet;
+  fleet.Add("p2.xlarge", 3);
+  cloud::ChaosSweep sweep(serving, cloud::FaultDomainTopology::Uniform(1, 3,
+                                                                       1),
+                          fleet, kCrossPoolPremium);
+
+  cloud::ChaosConfig config;
+  config.perf = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, {}), "nonpruned");
+  pruning::PrunePlan deep;
+  deep.layer_ratios = {{"conv1", 0.4}, {"conv2", 0.5}, {"conv3", 0.5},
+                       {"conv4", 0.5}, {"conv5", 0.5}};
+  config.degraded_perf = cloud::ComputeVariantPerf(
+      profile, cloud::DensityFromPlan(profile, deep), deep.Label());
+  config.degraded_accuracy = accuracy.Evaluate(deep).top5;
+  config.arrivals = PoissonTrace(kLoad, kDurationS, 20260808);
+  config.duration_s = kDurationS;
+  // A recovery-oriented SLO: completions that survive a retry/backoff or a
+  // backlog drain still count as good; only truly late work is a miss.
+  config.serving.deadline_s = 3.0;
+
+  // --- the policy mixes ----------------------------------------------------
+  std::vector<cloud::MitigationPolicy> policies(7);
+  policies[0].name = "retry-only";  // the baseline every mix must beat
+  policies[1].name = "spread";
+  policies[1].spread = cloud::PlacementSpread::kSpread;
+  policies[2].name = "replicate2+spread";
+  policies[2].spread = cloud::PlacementSpread::kSpread;
+  policies[2].redundancy.replicas = 2;
+  policies[3].name = "hedge+spread";
+  policies[3].spread = cloud::PlacementSpread::kSpread;
+  policies[3].redundancy.hedge_after_s = 0.4;
+  policies[3].redundancy.max_hedges = 1;
+  policies[4].name = "checkpoint";
+  policies[4].checkpointed = true;
+  policies[4].checkpoint.interval_s = 60.0;
+  policies[4].checkpoint.mirror_copies = 2;
+  policies[4].checkpoint.mirror_cost_s = 0.5;
+  policies[5].name = "degrade+spread";
+  policies[5].spread = cloud::PlacementSpread::kSpread;
+  policies[5].degrade = true;
+  policies[6].name = "full-mix";
+  policies[6].spread = cloud::PlacementSpread::kSpread;
+  policies[6].redundancy.replicas = 2;
+  policies[6].redundancy.hedge_after_s = 0.4;
+  policies[6].redundancy.max_hedges = 1;
+  policies[6].checkpointed = true;
+  policies[6].checkpoint.interval_s = 60.0;
+  policies[6].checkpoint.mirror_copies = 2;
+  policies[6].checkpoint.mirror_cost_s = 0.5;
+
+  // --- the incident classes, 3 seeds each ----------------------------------
+  std::vector<cloud::IncidentScenario> scenarios;
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
+  for (std::uint64_t seed : seeds) {
+    cloud::IncidentScenario wave;
+    wave.name = "reclaim-wave-s" + std::to_string(seed);
+    wave.correlated.reclaim_wave_rate = 12.0;  // per pool-hour
+    wave.correlated.reclaim_fraction = 0.8;
+    wave.independent.crash_rate = 2.0;
+    wave.seed = seed;
+    scenarios.push_back(wave);
+  }
+  for (std::uint64_t seed : seeds) {
+    cloud::IncidentScenario outage;
+    outage.name = "az-outage-s" + std::to_string(seed);
+    outage.correlated.outage_rate = 9.0;  // per zone-hour
+    outage.correlated.outage_s = 120.0;
+    outage.independent.crash_rate = 2.0;
+    outage.seed = seed;
+    scenarios.push_back(outage);
+  }
+  for (std::uint64_t seed : seeds) {
+    cloud::IncidentScenario partition;
+    partition.name = "partition-s" + std::to_string(seed);
+    partition.correlated.partition_rate = 9.0;  // per zone-hour
+    partition.correlated.partition_s = 60.0;
+    partition.independent.crash_rate = 4.0;
+    partition.seed = seed;
+    scenarios.push_back(partition);
+  }
+
+  const cloud::ChaosRanking ranking = sweep.Rank(policies, scenarios, config);
+
+  // Per-class availability means: scenarios are laid out 3 waves, 3
+  // outages, 3 partitions.
+  const auto class_mean = [&](std::size_t p, std::size_t first) {
+    double availability = 0.0;
+    for (std::size_t s = first; s < first + seeds.size(); ++s) {
+      availability += ranking.outcomes[p][s].availability;
+    }
+    return availability / static_cast<double>(seeds.size());
+  };
+
+  Table table({"policy mix", "avail %", "waves %", "outage %", "partn %",
+               "cost $", "$/kGood", "rank"});
+  std::vector<int> rank_of(policies.size());
+  for (std::size_t r = 0; r < ranking.order.size(); ++r) {
+    rank_of[static_cast<std::size_t>(ranking.order[r])] = static_cast<int>(r)
+                                                          + 1;
+  }
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    table.AddRow({policies[p].name,
+                  Table::Num(ranking.mean_availability[p] * 100.0, 2),
+                  Table::Num(class_mean(p, 0) * 100.0, 2),
+                  Table::Num(class_mean(p, 3) * 100.0, 2),
+                  Table::Num(class_mean(p, 6) * 100.0, 2),
+                  Table::Num(ranking.mean_cost_usd[p], 3),
+                  Table::Num(ranking.mean_cost_per_kilo_good[p], 4),
+                  std::to_string(rank_of[p])});
+  }
+  std::cout << table.Render();
+
+  // --- frontier CSV --------------------------------------------------------
+  // One row per policy mix: mean availability vs mean cost (plus the
+  // cost-effectiveness column the dominance call is made on). A mix
+  // "dominates retry-only" when it is strictly more available AND strictly
+  // cheaper per thousand in-deadline completions.
+  const double base_availability = ranking.mean_availability[0];
+  const double base_per_good = ranking.mean_cost_per_kilo_good[0];
+  CsvWriter csv = bench::OpenCsv(
+      "ext_correlated_failures_frontier.csv",
+      {"policy", "mean_availability", "waves_availability",
+       "outage_availability", "partition_availability", "mean_cost_usd",
+       "mean_cost_per_kilo_good", "dominates_retry_only"});
+  bool any_dominates = false;
+  std::string dominator;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const bool dominates =
+        p != 0 && ranking.mean_availability[p] > base_availability &&
+        ranking.mean_cost_per_kilo_good[p] < base_per_good;
+    if (dominates && !any_dominates) {
+      any_dominates = true;
+      dominator = policies[p].name;
+    }
+    csv.AddRow({policies[p].name,
+                Table::Num(ranking.mean_availability[p], 6),
+                Table::Num(class_mean(p, 0), 6),
+                Table::Num(class_mean(p, 3), 6),
+                Table::Num(class_mean(p, 6), 6),
+                Table::Num(ranking.mean_cost_usd[p], 4),
+                Table::Num(ranking.mean_cost_per_kilo_good[p], 4),
+                dominates ? "1" : "0"});
+  }
+  csv.Close();
+
+  const std::string& best =
+      policies[static_cast<std::size_t>(ranking.order[0])].name;
+  bench::Checkpoint("winning mix",
+                    "correlated incidents reward blast-radius control",
+                    best + " ranks first on mean availability");
+  bench::Checkpoint(
+      "frontier",
+      "a replication/hedging/spread mix strictly dominates retry-only",
+      any_dominates ? dominator + " dominates on availability AND $/kGood"
+                    : "NO dominator found");
+  std::cout << (any_dominates
+                    ? "\n  => retry-only is off the frontier: paying for "
+                      "redundancy/spread buys availability at lower cost "
+                      "per good completion\n"
+                    : "\n  => WARNING: expected dominance not reproduced — "
+                      "inspect the scenario\n");
+  return any_dominates ? 0 : 1;
+}

@@ -32,5 +32,6 @@ build/examples/model_compressor
 build/examples/calibration_workflow
 build/examples/train_and_prune 6
 build/examples/fault_tolerant_serving
+build/examples/chaos_drill
 
 echo "ALL GREEN"

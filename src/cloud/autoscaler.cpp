@@ -73,12 +73,14 @@ AutoscaleResult Autoscaler::RunFaulted(
     const VariantPerf& perf, const AutoscalePolicy& policy,
     const ServingPolicy& serving_policy, const RetryPolicy& retry,
     const FaultSchedule& faults, const CheckpointPolicy* checkpoint,
-    CheckpointStats* checkpoint_stats) const {
+    CheckpointStats* checkpoint_stats,
+    const RedundancyPolicy& redundancy) const {
   CCPERF_CHECK(!arrivals.empty(), "need at least one epoch");
   CCPERF_CHECK(epoch_s > 0.0, "epoch length must be positive");
   ValidateAutoscalePolicy(policy);
   ValidateServingPolicy(serving_policy);
   ValidateRetryPolicy(retry);
+  ValidateRedundancyPolicy(redundancy);
   faults.Validate();
   if (checkpoint != nullptr) ValidateCheckpointPolicy(*checkpoint);
 
@@ -98,7 +100,8 @@ AutoscaleResult Autoscaler::RunFaulted(
       CheckpointStats epoch_stats;
       report = serving_.SimulateFaultedCheckpointed(
           fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local,
-          *checkpoint, &epoch_stats);
+          *checkpoint, &epoch_stats, InflightPolicy::kRequeue,
+          /*variant_accuracy=*/1.0, redundancy);
       aggregate.snapshots += epoch_stats.snapshots;
       aggregate.snapshot_overhead_s += epoch_stats.snapshot_overhead_s;
       aggregate.overhead_cost_usd += epoch_stats.overhead_cost_usd;
@@ -111,7 +114,8 @@ AutoscaleResult Autoscaler::RunFaulted(
       result.total_cost_usd += epoch_stats.overhead_cost_usd;
     } else {
       report = serving_.SimulateFaulted(
-          fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local);
+          fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local,
+          InflightPolicy::kRequeue, /*variant_accuracy=*/1.0, redundancy);
     }
 
     result.total_cost_usd += report.cost_per_hour_usd * epoch_s / 3600.0;
@@ -145,6 +149,50 @@ AutoscaleResult Autoscaler::RunFaulted(
                             static_cast<double>(total_requests);
   }
   if (checkpoint_stats != nullptr) *checkpoint_stats = std::move(aggregate);
+  return result;
+}
+
+AutoscaleResult Autoscaler::RunFaultedPlaced(
+    const std::vector<std::vector<double>>& arrivals, double epoch_s,
+    const VariantPerf& perf, const AutoscalePolicy& policy,
+    const ServingPolicy& serving_policy, const RetryPolicy& retry,
+    const FaultDomainTopology& topology, const CorrelatedSchedule& correlated,
+    const FaultSchedule& independent, PlacementSpread spread,
+    double cross_pool_premium_frac, const RedundancyPolicy& redundancy,
+    const CheckpointPolicy* checkpoint,
+    CheckpointStats* checkpoint_stats) const {
+  ValidateAutoscalePolicy(policy);
+  CCPERF_CHECK(cross_pool_premium_frac >= 0.0,
+               "cross_pool_premium_frac must be >= 0, got ",
+               cross_pool_premium_frac);
+  // Place the fleet at its maximal size so instance indices are stable no
+  // matter how the reactive controller resizes within [min, max]: instance
+  // i always lives in the same pool, so lowering the correlated schedule
+  // once up front stays valid for every epoch.
+  FaultDomainTopology placed = topology;
+  placed.PlaceInstances(policy.max_instances, spread);
+  const FaultSchedule lowered = LowerCorrelatedSchedule(correlated, placed);
+  const FaultSchedule merged = MergeFaultSchedules(independent, lowered);
+  AutoscaleResult result =
+      RunFaulted(arrivals, epoch_s, perf, policy, serving_policy, retry,
+                 merged, checkpoint, checkpoint_stats, redundancy);
+  if (cross_pool_premium_frac > 0.0) {
+    const double price =
+        serving_.Simulator().Catalog().Find(instance_type_).price_per_hour;
+    const int primary = placed.instance_domain[0];
+    for (const AutoscaleStep& step : result.steps) {
+      const int active = std::min(
+          step.instances, static_cast<int>(placed.instance_domain.size()));
+      int outside = 0;
+      for (int i = 0; i < active; ++i) {
+        if (placed.instance_domain[static_cast<std::size_t>(i)] != primary) {
+          ++outside;
+        }
+      }
+      result.total_cost_usd += static_cast<double>(outside) * price *
+                               cross_pool_premium_frac * epoch_s / 3600.0;
+    }
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "cloud/fault_domains.h"
 #include "cloud/serving.h"
 
 namespace ccperf::cloud {
@@ -84,11 +85,32 @@ class Autoscaler {
   /// reports are unchanged, but snapshot overhead is billed into
   /// total_cost_usd and the aggregated accounting (plus the last epoch's
   /// restorable snapshot) lands in `checkpoint_stats` when provided.
+  /// `redundancy` (replication/hedging) applies to every epoch.
   [[nodiscard]] AutoscaleResult RunFaulted(
       const std::vector<std::vector<double>>& arrivals, double epoch_s,
       const VariantPerf& perf, const AutoscalePolicy& policy,
       const ServingPolicy& serving_policy, const RetryPolicy& retry,
       const FaultSchedule& faults,
+      const CheckpointPolicy* checkpoint = nullptr,
+      CheckpointStats* checkpoint_stats = nullptr,
+      const RedundancyPolicy& redundancy = {}) const;
+
+  /// Domain-aware variant of RunFaulted: places `policy.max_instances`
+  /// slots into `topology` pools per `spread`, lowers `correlated` to
+  /// per-instance faults against that placement, merges them with the
+  /// `independent` per-instance schedule, and runs the merged schedule.
+  /// Instances placed outside the primary pool (the placement's first
+  /// pool) bill an extra `cross_pool_premium_frac` of the instance price
+  /// while in the active fleet — the cost of spreading (cross-zone data
+  /// transfer, capacity reservations) that a packed placement never pays.
+  [[nodiscard]] AutoscaleResult RunFaultedPlaced(
+      const std::vector<std::vector<double>>& arrivals, double epoch_s,
+      const VariantPerf& perf, const AutoscalePolicy& policy,
+      const ServingPolicy& serving_policy, const RetryPolicy& retry,
+      const FaultDomainTopology& topology,
+      const CorrelatedSchedule& correlated, const FaultSchedule& independent,
+      PlacementSpread spread, double cross_pool_premium_frac = 0.0,
+      const RedundancyPolicy& redundancy = {},
       const CheckpointPolicy* checkpoint = nullptr,
       CheckpointStats* checkpoint_stats = nullptr) const;
 

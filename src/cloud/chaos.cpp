@@ -1,0 +1,261 @@
+#include "cloud/chaos.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/threading.h"
+
+namespace ccperf::cloud {
+
+namespace {
+
+// Offset deriving the independent-fault stream's seed from the scenario
+// seed (the golden-ratio increment), so the correlated and independent
+// processes never consume the same draws.
+constexpr std::uint64_t kIndependentSeedOffset = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+void ValidateMitigationPolicy(const MitigationPolicy& policy) {
+  CCPERF_CHECK(!policy.name.empty(), "mitigation policy needs a name");
+  ValidateRetryPolicy(policy.retry);
+  ValidateRedundancyPolicy(policy.redundancy);
+  if (policy.checkpointed) ValidateCheckpointPolicy(policy.checkpoint);
+}
+
+ChaosSweep::ChaosSweep(const ServingSimulator& serving,
+                       FaultDomainTopology topology, ResourceConfig fleet,
+                       double cross_pool_premium_frac)
+    : serving_(serving),
+      topology_(std::move(topology)),
+      fleet_(std::move(fleet)),
+      cross_pool_premium_frac_(cross_pool_premium_frac) {
+  CCPERF_CHECK(!fleet_.Empty(), "chaos sweep needs a non-empty fleet");
+  CCPERF_CHECK(cross_pool_premium_frac_ >= 0.0,
+               "cross_pool_premium_frac must be >= 0, got ",
+               cross_pool_premium_frac_);
+  topology_.Validate();
+  CCPERF_CHECK(!topology_.PoolIndices().empty(),
+               "chaos sweep topology needs at least one pool");
+}
+
+ChaosOutcome ChaosSweep::RunOne(const MitigationPolicy& policy,
+                                const IncidentScenario& scenario,
+                                const ChaosConfig& config) const {
+  ValidateMitigationPolicy(policy);
+  ValidateServingPolicy(config.serving);
+  CCPERF_CHECK(!scenario.name.empty(), "incident scenario needs a name");
+  CCPERF_CHECK(config.duration_s > 0.0, "duration must be positive");
+  if (policy.degrade) {
+    CCPERF_CHECK(config.degraded_accuracy > 0.0 &&
+                     config.degraded_accuracy <= 1.0,
+                 "degraded_accuracy must be in (0, 1], got ",
+                 config.degraded_accuracy);
+  }
+
+  const int instances = fleet_.TotalInstances();
+  FaultDomainTopology placed = topology_;
+  placed.PlaceInstances(instances, policy.spread);
+
+  // Correlated and independent streams draw from disjoint seeded RNGs, so
+  // the same scenario replays bit-for-bit regardless of which policies are
+  // in the sweep.
+  Rng correlated_rng(scenario.seed);
+  const CorrelatedSchedule correlated = GenerateCorrelatedSchedule(
+      scenario.correlated, placed, config.duration_s, correlated_rng);
+  Rng independent_rng(scenario.seed + kIndependentSeedOffset);
+  const FaultSchedule independent = GenerateFaultSchedule(
+      scenario.independent, instances, config.duration_s, independent_rng);
+  const FaultSchedule merged = MergeFaultSchedules(
+      independent, LowerCorrelatedSchedule(correlated, placed));
+
+  const VariantPerf& perf = policy.degrade ? config.degraded_perf
+                                           : config.perf;
+  const double accuracy = policy.degrade ? config.degraded_accuracy : 1.0;
+
+  ChaosOutcome outcome;
+  if (policy.checkpointed) {
+    outcome.report = serving_.SimulateFaultedCheckpointed(
+        fleet_, perf, config.arrivals, config.duration_s, config.serving,
+        policy.retry, merged, policy.checkpoint, &outcome.checkpoint,
+        policy.inflight, accuracy, policy.redundancy);
+  } else {
+    outcome.report = serving_.SimulateFaulted(
+        fleet_, perf, config.arrivals, config.duration_s, config.serving,
+        policy.retry, merged, policy.inflight, accuracy, policy.redundancy);
+  }
+
+  outcome.availability =
+      outcome.report.requests > 0
+          ? static_cast<double>(outcome.report.completed) /
+                static_cast<double>(outcome.report.requests)
+          : 1.0;
+
+  outcome.cost_usd =
+      outcome.report.cost_per_hour_usd * config.duration_s / 3600.0 +
+      outcome.checkpoint.overhead_cost_usd;
+  if (cross_pool_premium_frac_ > 0.0) {
+    // Instances outside the primary pool (the placement's first pool) bill
+    // the premium at their own type's hourly price.
+    const int primary = placed.instance_domain[0];
+    int index = 0;
+    for (const auto& [type, count] : fleet_.instances) {
+      const double price =
+          serving_.Simulator().Catalog().Find(type).price_per_hour;
+      for (int k = 0; k < count; ++k, ++index) {
+        if (placed.instance_domain[static_cast<std::size_t>(index)] !=
+            primary) {
+          outcome.cost_usd += price * cross_pool_premium_frac_ *
+                              config.duration_s / 3600.0;
+        }
+      }
+    }
+  }
+
+  const std::int64_t good =
+      outcome.report.completed - outcome.report.deadline_misses;
+  outcome.cost_per_kilo_good =
+      good > 0 ? outcome.cost_usd / static_cast<double>(good) * 1000.0
+               : std::numeric_limits<double>::infinity();
+  return outcome;
+}
+
+ChaosRanking ChaosSweep::Rank(const std::vector<MitigationPolicy>& policies,
+                              const std::vector<IncidentScenario>& scenarios,
+                              const ChaosConfig& config) const {
+  CCPERF_CHECK(!policies.empty(), "need at least one mitigation policy");
+  CCPERF_CHECK(!scenarios.empty(), "need at least one incident scenario");
+
+  ChaosRanking ranking;
+  ranking.outcomes.assign(policies.size(),
+                          std::vector<ChaosOutcome>(scenarios.size()));
+  FirstErrorCollector errors;
+  // One cell per task; cell (p, s) owns outcomes[p][s], so only the error
+  // funnel needs a lock and the grid is bitwise equal to a serial loop.
+  ParallelFor(
+      0, policies.size() * scenarios.size(),
+      [&](std::size_t flat) {
+        const std::size_t p = flat / scenarios.size();
+        const std::size_t s = flat % scenarios.size();
+        try {
+          ranking.outcomes[p][s] = RunOne(policies[p], scenarios[s], config);
+        } catch (const CheckError& error) {
+          errors.Record(flat, detail::ConcatMessage(
+                                  "policy '", policies[p].name,
+                                  "' x scenario '", scenarios[s].name,
+                                  "': ", error.what()));
+        }
+      },
+      /*grain=*/1);
+  errors.RethrowIfError();
+
+  ranking.mean_availability.resize(policies.size());
+  ranking.mean_cost_usd.resize(policies.size());
+  ranking.mean_cost_per_kilo_good.resize(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    double availability = 0.0;
+    double cost = 0.0;
+    double per_good = 0.0;
+    for (const ChaosOutcome& cell : ranking.outcomes[p]) {
+      availability += cell.availability;
+      cost += cell.cost_usd;
+      per_good += cell.cost_per_kilo_good;
+    }
+    const double n = static_cast<double>(scenarios.size());
+    ranking.mean_availability[p] = availability / n;
+    ranking.mean_cost_usd[p] = cost / n;
+    ranking.mean_cost_per_kilo_good[p] = per_good / n;
+  }
+
+  ranking.order.resize(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    ranking.order[p] = static_cast<int>(p);
+  }
+  std::stable_sort(ranking.order.begin(), ranking.order.end(),
+                   [&](int a, int b) {
+                     const auto ai = static_cast<std::size_t>(a);
+                     const auto bi = static_cast<std::size_t>(b);
+                     if (ranking.mean_availability[ai] !=
+                         ranking.mean_availability[bi]) {
+                       return ranking.mean_availability[ai] >
+                              ranking.mean_availability[bi];
+                     }
+                     if (ranking.mean_cost_usd[ai] !=
+                         ranking.mean_cost_usd[bi]) {
+                       return ranking.mean_cost_usd[ai] <
+                              ranking.mean_cost_usd[bi];
+                     }
+                     return a < b;
+                   });
+  return ranking;
+}
+
+MirroredRestoreDrill RunMirroredRestoreDrill(
+    const ServingSimulator& serving, const ResourceConfig& config,
+    const VariantPerf& perf, const std::vector<double>& arrivals,
+    double duration_s, const ServingPolicy& policy, const RetryPolicy& retry,
+    const RedundancyPolicy& redundancy, const FaultSchedule& faults,
+    const CheckpointPolicy& checkpoint,
+    const std::vector<int>& mirror_domains,
+    const std::vector<int>& unreachable_at_kill, double kill_at_s,
+    SnapshotVault& vault, const std::string& run_name) {
+  ValidateCheckpointPolicy(checkpoint);
+  CCPERF_CHECK(!mirror_domains.empty(),
+               "mirrored restore drill needs at least one mirror domain");
+  CCPERF_CHECK(kill_at_s > 0.0, "kill_at_s must be positive");
+
+  const std::vector<double> instants = CheckpointInstants(
+      checkpoint, faults, duration_s, config.TotalInstances());
+
+  MirroredRestoreDrill drill;
+  {
+    FaultedServingEngine primary(serving, config, perf, arrivals, duration_s,
+                                 policy, retry, faults,
+                                 InflightPolicy::kRequeue,
+                                 /*variant_accuracy=*/1.0, redundancy);
+    std::size_t next = 0;
+    bool killed = false;
+    while (!primary.Done() && !killed) {
+      primary.Step();
+      while (next < instants.size() &&
+             primary.Watermark() >= instants[next]) {
+        vault.PutMirrored(run_name, primary.Watermark(),
+                          primary.Checkpoint(), mirror_domains);
+        ++drill.snapshots;
+        ++next;
+        if (primary.Watermark() >= kill_at_s) {
+          // The preemption lands here: the primary engine is abandoned
+          // mid-run with only its mirrored snapshots surviving.
+          killed = true;
+          break;
+        }
+      }
+    }
+  }
+  CCPERF_CHECK(drill.snapshots > 0, "drill '", run_name,
+               "': no snapshot published before the kill at ", kill_at_s,
+               " s");
+
+  // Failover: the newest mirror still reachable with `unreachable_at_kill`
+  // partitioned away. GetReachable throws when the partition swallowed
+  // every copy — that is real data loss and must surface.
+  drill.restored_watermark =
+      vault.ReachableWatermark(run_name, unreachable_at_kill);
+  const std::string snapshot =
+      vault.GetReachable(run_name, unreachable_at_kill);
+
+  FaultedServingEngine replacement(serving, config, perf, arrivals,
+                                   duration_s, policy, retry, faults,
+                                   InflightPolicy::kRequeue,
+                                   /*variant_accuracy=*/1.0, redundancy);
+  replacement.Restore(snapshot);
+  while (!replacement.Done()) replacement.Step();
+  drill.report = replacement.Finish();
+  return drill;
+}
+
+}  // namespace ccperf::cloud

@@ -1,0 +1,157 @@
+// Chaos harness: rank failure-mitigation policy mixes across seeded
+// correlated-incident scenarios. The paper prices configurations on the
+// cost-accuracy plane assuming the fleet stays up; this module prices the
+// *robustness* axis — what availability each mitigation (retry, degrade,
+// checkpoint, replicate, hedge, spread) buys under reclaim waves, AZ
+// outages and partitions, and what it costs per Eq. 1-4. Every cell of the
+// policy x scenario grid is a serial, seeded simulation; the sweep fans
+// cells across the global pool slot-per-task, so the grid is bitwise
+// identical to running every cell serially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/autoscaler.h"
+#include "cloud/fault_domains.h"
+#include "cloud/serving.h"
+
+namespace ccperf::cloud {
+
+/// One mitigation mix under test. Every knob composes: a "full mix" policy
+/// can spread, replicate, hedge, checkpoint and degrade at once.
+struct MitigationPolicy {
+  std::string name;
+  RetryPolicy retry;
+  InflightPolicy inflight = InflightPolicy::kRequeue;
+  RedundancyPolicy redundancy;                     // replication + hedging
+  PlacementSpread spread = PlacementSpread::kPack;
+  /// Serve the sweep's degraded variant (ChaosConfig::degraded_perf at
+  /// degraded_accuracy) instead of the primary one — graceful degradation
+  /// as a failure response.
+  bool degrade = false;
+  /// Run checkpointed, billing snapshot overhead into cost.
+  bool checkpointed = false;
+  CheckpointPolicy checkpoint;
+};
+
+/// Throws CheckError when any constituent policy is invalid or the name is
+/// empty.
+void ValidateMitigationPolicy(const MitigationPolicy& policy);
+
+/// One seeded incident class: correlated domain events plus independent
+/// per-instance background faults, both drawn deterministically from
+/// `seed` (the independent stream uses a fixed derivation of it, so the
+/// two processes never share draws).
+struct IncidentScenario {
+  std::string name;
+  CorrelatedFaultModel correlated;
+  FaultModel independent;
+  std::uint64_t seed = 0;
+};
+
+/// Outcome of one policy x scenario cell.
+struct ChaosOutcome {
+  ServingReport report;
+  CheckpointStats checkpoint;     // zeros unless the policy checkpoints
+  double availability = 0.0;      // completed / requests
+  double cost_usd = 0.0;          // serving + spread premium + snapshots
+  /// USD per 1000 in-deadline completions; +inf when nothing lands
+  /// in-deadline (an unavailable configuration is infinitely expensive
+  /// per unit of good work).
+  double cost_per_kilo_good = 0.0;
+};
+
+/// The full grid plus per-policy aggregates. `order` ranks policy indices:
+/// highest mean availability first, mean cost breaking ties (cheaper
+/// wins), then index — a pure function of the outcomes.
+struct ChaosRanking {
+  std::vector<std::vector<ChaosOutcome>> outcomes;  // [policy][scenario]
+  std::vector<double> mean_availability;            // per policy
+  std::vector<double> mean_cost_usd;                // per policy
+  std::vector<double> mean_cost_per_kilo_good;      // per policy
+  std::vector<int> order;                           // best policy first
+};
+
+/// Shared workload every cell replays: one arrival trace, one serving
+/// policy, one primary variant — so cells differ only in mitigation and
+/// incident, never in offered load.
+struct ChaosConfig {
+  VariantPerf perf;
+  /// Variant served by policies with `degrade` set. Must be populated
+  /// whenever such a policy is in the sweep.
+  VariantPerf degraded_perf;
+  double degraded_accuracy = 1.0;
+  std::vector<double> arrivals;  // arrival instants, seconds
+  double duration_s = 0.0;
+  ServingPolicy serving;
+};
+
+/// Chaos sweep over a fixed fleet placed into a fault-domain topology.
+class ChaosSweep {
+ public:
+  /// `serving` must outlive the sweep. `topology` supplies the domain tree
+  /// (instance placement is redone per policy, per its spread); `fleet` is
+  /// the configuration under test. Instances placed outside the primary
+  /// pool bill `cross_pool_premium_frac` of the fleet's per-instance share
+  /// extra — spreading is not free.
+  ChaosSweep(const ServingSimulator& serving, FaultDomainTopology topology,
+             ResourceConfig fleet, double cross_pool_premium_frac = 0.0);
+
+  /// One cell, serial: place per the policy's spread, draw the scenario's
+  /// correlated + independent schedules from its seed, lower, merge, and
+  /// simulate. Same (policy, scenario, config) always returns the same
+  /// bytes.
+  [[nodiscard]] ChaosOutcome RunOne(const MitigationPolicy& policy,
+                                    const IncidentScenario& scenario,
+                                    const ChaosConfig& config) const;
+
+  /// The whole grid, one RunOne per task on the global pool (grain 1, slot
+  /// per cell — bitwise identical to a serial double loop). Validation
+  /// errors rethrow deterministically (lowest flat index) after the sweep.
+  [[nodiscard]] ChaosRanking Rank(
+      const std::vector<MitigationPolicy>& policies,
+      const std::vector<IncidentScenario>& scenarios,
+      const ChaosConfig& config) const;
+
+  [[nodiscard]] const FaultDomainTopology& Topology() const {
+    return topology_;
+  }
+  [[nodiscard]] const ResourceConfig& Fleet() const { return fleet_; }
+
+ private:
+  const ServingSimulator& serving_;
+  FaultDomainTopology topology_;
+  ResourceConfig fleet_;
+  double cross_pool_premium_frac_ = 0.0;
+};
+
+/// Result of RunMirroredRestoreDrill.
+struct MirroredRestoreDrill {
+  ServingReport report;           // the restored engine's finished report
+  double restored_watermark = 0.0;  // watermark of the snapshot restored
+  int snapshots = 0;              // snapshots published before the kill
+};
+
+/// Cross-domain failover drill: run a faulted engine publishing mirrored
+/// snapshots into `vault` under `mirror_domains` at every checkpoint
+/// instant, "kill" it at the first snapshot with watermark >= `kill_at_s`
+/// (or at completion), then restore a fresh engine from the newest
+/// snapshot still reachable when `unreachable_at_kill` domains are
+/// partitioned away and run it to completion. The finished report is
+/// bitwise identical to an uninterrupted run of the same inputs — the
+/// invariant the ISSUE's kill/restore acceptance test pins down. Throws
+/// CheckError when no snapshot was published before the kill or every
+/// mirror is unreachable.
+MirroredRestoreDrill RunMirroredRestoreDrill(
+    const ServingSimulator& serving, const ResourceConfig& config,
+    const VariantPerf& perf, const std::vector<double>& arrivals,
+    double duration_s, const ServingPolicy& policy, const RetryPolicy& retry,
+    const RedundancyPolicy& redundancy, const FaultSchedule& faults,
+    const CheckpointPolicy& checkpoint,
+    const std::vector<int>& mirror_domains,
+    const std::vector<int>& unreachable_at_kill, double kill_at_s,
+    SnapshotVault& vault, const std::string& run_name);
+
+}  // namespace ccperf::cloud

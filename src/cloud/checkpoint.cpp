@@ -47,6 +47,11 @@ void ValidateCheckpointPolicy(const CheckpointPolicy& policy) {
   CCPERF_CHECK(policy.snapshot_cost_s >= 0.0 &&
                    std::isfinite(policy.snapshot_cost_s),
                "snapshot cost must be >= 0, got ", policy.snapshot_cost_s);
+  CCPERF_CHECK(policy.mirror_copies >= 1, "mirror copies must be >= 1, got ",
+               policy.mirror_copies);
+  CCPERF_CHECK(policy.mirror_cost_s >= 0.0 &&
+                   std::isfinite(policy.mirror_cost_s),
+               "mirror cost must be >= 0, got ", policy.mirror_cost_s);
 }
 
 double YoungInterval(double snapshot_cost_s, double mtbf_s) {
@@ -268,17 +273,48 @@ void ResumableOfflineRun::Restore(const std::string& snapshot) {
 
 void SnapshotVault::Put(const std::string& name, double watermark,
                         std::string snapshot) {
+  // Domain -1 = "nowhere in particular": never named by a partition, so
+  // untagged snapshots keep the pre-fault-domain semantics.
+  PutMirrored(name, watermark, snapshot, {-1});
+}
+
+void SnapshotVault::PutMirrored(const std::string& name, double watermark,
+                                const std::string& snapshot,
+                                const std::vector<int>& domains) {
   CCPERF_CHECK(watermark >= 0.0, "snapshot watermark must be >= 0, got ",
                watermark);
+  CCPERF_CHECK(!domains.empty(), "snapshot must land in at least one domain");
   {
     MutexLock lock(mutex_);
-    Entry& entry = entries_[name];
-    if (entry.watermark > watermark && !entry.bytes.empty()) return;
-    entry.watermark = watermark;
-    entry.bytes = std::move(snapshot);
+    std::map<int, Entry>& copies = entries_[name];
+    for (const int domain : domains) {
+      Entry& entry = copies[domain];
+      if (entry.watermark > watermark && !entry.bytes.empty()) continue;
+      entry.watermark = watermark;
+      entry.bytes = snapshot;
+    }
   }
   // Notify outside the lock so woken waiters can re-acquire immediately.
   published_.NotifyAll();
+}
+
+const SnapshotVault::Entry* SnapshotVault::BestReachableLocked(
+    const std::string& name, const std::vector<int>& unreachable) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  const Entry* best = nullptr;
+  for (const auto& [domain, entry] : it->second) {
+    if (std::find(unreachable.begin(), unreachable.end(), domain) !=
+        unreachable.end()) {
+      continue;
+    }
+    // Strict > : on watermark ties the lowest domain index (first in map
+    // order) wins, independent of publish order.
+    if (best == nullptr || entry.watermark > best->watermark) {
+      best = &entry;
+    }
+  }
+  return best;
 }
 
 bool SnapshotVault::Contains(const std::string& name) const {
@@ -287,19 +323,35 @@ bool SnapshotVault::Contains(const std::string& name) const {
 }
 
 std::string SnapshotVault::Get(const std::string& name) const {
-  MutexLock lock(mutex_);
-  const auto it = entries_.find(name);
-  CCPERF_CHECK(it != entries_.end(), "no snapshot published for '", name,
-               "'");
-  return it->second.bytes;
+  return GetReachable(name, {});
 }
 
 double SnapshotVault::Watermark(const std::string& name) const {
+  return ReachableWatermark(name, {});
+}
+
+bool SnapshotVault::HasReachable(const std::string& name,
+                                 const std::vector<int>& unreachable) const {
   MutexLock lock(mutex_);
-  const auto it = entries_.find(name);
-  CCPERF_CHECK(it != entries_.end(), "no snapshot published for '", name,
-               "'");
-  return it->second.watermark;
+  return BestReachableLocked(name, unreachable) != nullptr;
+}
+
+std::string SnapshotVault::GetReachable(
+    const std::string& name, const std::vector<int>& unreachable) const {
+  MutexLock lock(mutex_);
+  const Entry* best = BestReachableLocked(name, unreachable);
+  CCPERF_CHECK(best != nullptr, "no reachable snapshot for '", name,
+               "' (published copies may all sit in partitioned domains)");
+  return best->bytes;
+}
+
+double SnapshotVault::ReachableWatermark(
+    const std::string& name, const std::vector<int>& unreachable) const {
+  MutexLock lock(mutex_);
+  const Entry* best = BestReachableLocked(name, unreachable);
+  CCPERF_CHECK(best != nullptr, "no reachable snapshot for '", name,
+               "' (published copies may all sit in partitioned domains)");
+  return best->watermark;
 }
 
 std::size_t SnapshotVault::Size() const {
@@ -313,8 +365,8 @@ bool SnapshotVault::WaitForSnapshot(const std::string& name,
   MutexLock lock(mutex_);
   return published_.WaitForSeconds(
       mutex_, timeout_s, [this, &name, min_watermark]() CCPERF_REQUIRES(mutex_) {
-        const auto it = entries_.find(name);
-        return it != entries_.end() && it->second.watermark >= min_watermark;
+        const Entry* best = BestReachableLocked(name, {});
+        return best != nullptr && best->watermark >= min_watermark;
       });
 }
 

@@ -39,14 +39,21 @@ const char* CheckpointTriggerName(CheckpointTrigger trigger);
 /// Snapshot cadence + cost. `snapshot_cost_s` is the simulated wall time a
 /// snapshot steals from the run; it is charged to the cost model, never to
 /// the simulated dynamics (resume must stay bitwise-identical).
+/// `mirror_copies` > 1 replicates every snapshot into that many fault
+/// domains (SnapshotVault::PutMirrored), so a partitioned domain's state
+/// restores from a reachable mirror; each extra copy bills `mirror_cost_s`
+/// more simulated seconds per snapshot.
 struct CheckpointPolicy {
   CheckpointTrigger trigger = CheckpointTrigger::kPeriodic;
   double interval_s = 300.0;      // periodic cadence / adaptive fallback
   double warning_lead_s = 120.0;  // EC2 spot issues a 2-minute warning
   double snapshot_cost_s = 1.0;   // simulated seconds per snapshot
+  int mirror_copies = 1;          // fault domains each snapshot lands in
+  double mirror_cost_s = 0.0;     // extra seconds per additional copy
 };
 
-/// Throws CheckError unless interval > 0, lead >= 0 and cost >= 0.
+/// Throws CheckError unless interval > 0, lead >= 0, costs >= 0 and
+/// mirror_copies >= 1.
 void ValidateCheckpointPolicy(const CheckpointPolicy& policy);
 
 /// Young's optimal periodic checkpoint interval for snapshot cost `c` and
@@ -81,6 +88,13 @@ struct CheckpointStats {
 /// picks up the newest restorable state. Put keeps only the snapshot with
 /// the highest watermark per name, so replaying a Put after a restart is
 /// idempotent.
+///
+/// Snapshots carry an optional *fault domain* tag (cloud/fault_domains.h
+/// indices): PutMirrored lands one copy per domain, and the *Reachable
+/// accessors ignore copies whose domain is currently partitioned away —
+/// cross-domain failover restores from the newest still-reachable mirror.
+/// Untagged Put uses domain -1 ("nowhere in particular"), which is never
+/// unreachable, so single-domain users see the original semantics.
 class SnapshotVault {
  public:
   SnapshotVault() = default;
@@ -92,15 +106,36 @@ class SnapshotVault {
   void Put(const std::string& name, double watermark, std::string snapshot)
       CCPERF_EXCLUDES(mutex_);
 
+  /// Publish one copy of `snapshot` into each domain of `domains` (the
+  /// per-domain highest watermark wins, as with Put).
+  void PutMirrored(const std::string& name, double watermark,
+                   const std::string& snapshot,
+                   const std::vector<int>& domains) CCPERF_EXCLUDES(mutex_);
+
   [[nodiscard]] bool Contains(const std::string& name) const
       CCPERF_EXCLUDES(mutex_);
 
-  /// Latest snapshot bytes for `name`; throws CheckError when absent.
+  /// Latest snapshot bytes for `name` across all domains; throws CheckError
+  /// when absent.
   [[nodiscard]] std::string Get(const std::string& name) const
       CCPERF_EXCLUDES(mutex_);
 
   /// Watermark of the latest snapshot for `name`; throws when absent.
   [[nodiscard]] double Watermark(const std::string& name) const
+      CCPERF_EXCLUDES(mutex_);
+
+  /// Like Get/Watermark/Contains, but skipping copies stored in any domain
+  /// of `unreachable` (sorted or not; -1 never matches). Get/Watermark
+  /// throw CheckError when no reachable copy exists — a partition that
+  /// swallows every mirror is a real data loss and must surface loudly.
+  [[nodiscard]] bool HasReachable(const std::string& name,
+                                  const std::vector<int>& unreachable) const
+      CCPERF_EXCLUDES(mutex_);
+  [[nodiscard]] std::string GetReachable(
+      const std::string& name, const std::vector<int>& unreachable) const
+      CCPERF_EXCLUDES(mutex_);
+  [[nodiscard]] double ReachableWatermark(
+      const std::string& name, const std::vector<int>& unreachable) const
       CCPERF_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t Size() const CCPERF_EXCLUDES(mutex_);
@@ -118,9 +153,18 @@ class SnapshotVault {
     std::string bytes;
   };
 
+  /// Newest reachable copy of `name`, or nullptr. Ties on watermark pick
+  /// the lowest domain index — deterministic regardless of publish order.
+  [[nodiscard]] const Entry* BestReachableLocked(
+      const std::string& name, const std::vector<int>& unreachable) const
+      CCPERF_REQUIRES(mutex_);
+
   mutable Mutex mutex_;
   mutable CondVar published_;
-  std::map<std::string, Entry> entries_ CCPERF_GUARDED_BY(mutex_);
+  // name -> (domain -> newest entry in that domain). std::map keeps
+  // iteration deterministic (and the lint bans hash containers in src/).
+  std::map<std::string, std::map<int, Entry>> entries_
+      CCPERF_GUARDED_BY(mutex_);
 };
 
 /// Eq. 1-4 extended to preemptible capacity: expected completion time and

@@ -53,6 +53,9 @@ FaultKind ParseKind(const std::string& cell) {
   if (name == "preemption") return FaultKind::kPreemption;
   if (name == "crash") return FaultKind::kCrash;
   if (name == "slowdown") return FaultKind::kSlowdown;
+  if (name == "domain-outage") return FaultKind::kDomainOutage;
+  if (name == "reclaim-wave") return FaultKind::kReclaimWave;
+  if (name == "partition") return FaultKind::kPartition;
   CCPERF_CHECK(false, "unknown fault kind '", cell, "'");
   return FaultKind::kCrash;  // unreachable
 }
@@ -62,13 +65,13 @@ void ValidateEvent(const FaultEvent& event) {
                event.instance);
   CCPERF_CHECK(event.start_s >= 0.0 && std::isfinite(event.start_s),
                "fault start must be finite and >= 0, got ", event.start_s);
-  if (event.kind != FaultKind::kPreemption) {
+  if (!FaultKindIsPermanent(event.kind)) {
     CCPERF_CHECK(event.duration_s > 0.0 && std::isfinite(event.duration_s),
                  FaultKindName(event.kind),
                  " duration must be positive, got ", event.duration_s);
   } else {
-    CCPERF_CHECK(event.duration_s >= 0.0,
-                 "preemption duration must be >= 0 (it is ignored)");
+    CCPERF_CHECK(event.duration_s >= 0.0, FaultKindName(event.kind),
+                 " duration must be >= 0 (it is ignored)");
   }
   if (event.kind == FaultKind::kSlowdown) {
     CCPERF_CHECK(event.slowdown_factor > 1.0 &&
@@ -87,8 +90,18 @@ const char* FaultKindName(FaultKind kind) {
       return "crash";
     case FaultKind::kSlowdown:
       return "slowdown";
+    case FaultKind::kDomainOutage:
+      return "domain-outage";
+    case FaultKind::kReclaimWave:
+      return "reclaim-wave";
+    case FaultKind::kPartition:
+      return "partition";
   }
   return "?";
+}
+
+bool FaultKindIsPermanent(FaultKind kind) {
+  return kind == FaultKind::kPreemption || kind == FaultKind::kReclaimWave;
 }
 
 void FaultSchedule::Validate() const {
@@ -108,13 +121,13 @@ FaultSchedule FaultSchedule::Slice(double t0, double t1) const {
   FaultSchedule out;
   for (const FaultEvent& event : events) {
     if (event.start_s >= t1) break;
-    double end = event.kind == FaultKind::kPreemption
+    double end = FaultKindIsPermanent(event.kind)
                      ? kInf
                      : event.start_s + event.duration_s;
     if (end <= t0) continue;
     FaultEvent local = event;
     local.start_s = std::max(event.start_s, t0) - t0;
-    if (event.kind != FaultKind::kPreemption) {
+    if (!FaultKindIsPermanent(event.kind)) {
       // Clip to the window; a crash spanning the boundary keeps the
       // instance down to (at least) the window edge.
       local.duration_s = std::min(end, t1) - (local.start_s + t0);
@@ -176,6 +189,29 @@ FaultSchedule GenerateFaultSchedule(const FaultModel& model, int instances,
                      return a.instance < b.instance;
                    });
   return schedule;
+}
+
+FaultSchedule MergeFaultSchedules(const FaultSchedule& a,
+                                  const FaultSchedule& b) {
+  a.Validate();
+  b.Validate();
+  FaultSchedule out;
+  out.events.reserve(a.events.size() + b.events.size());
+  // Two-pointer merge keeps the result start-sorted; <= makes the merge
+  // stable with `a` first on ties, so composing the same pair of traces
+  // always yields the same byte-identical schedule.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.events.size() && j < b.events.size()) {
+    if (a.events[i].start_s <= b.events[j].start_s) {
+      out.events.push_back(a.events[i++]);
+    } else {
+      out.events.push_back(b.events[j++]);
+    }
+  }
+  out.events.insert(out.events.end(), a.events.begin() + i, a.events.end());
+  out.events.insert(out.events.end(), b.events.begin() + j, b.events.end());
+  return out;
 }
 
 FaultSchedule ParseFaultScheduleCsv(std::istream& in) {
@@ -304,14 +340,25 @@ InstanceTimeline::InstanceTimeline(const FaultSchedule& schedule,
   CCPERF_CHECK(horizon_s > 0.0, "horizon must be positive");
   schedule.Validate();
   std::vector<Interval> raw;
+  std::vector<Interval> raw_partition;
   for (const FaultEvent& event : schedule.events) {
     if (event.instance != instance) continue;
     switch (event.kind) {
       case FaultKind::kPreemption:
+      case FaultKind::kReclaimWave:
         raw.push_back({event.start_s, kInf});
         break;
       case FaultKind::kCrash:
+      case FaultKind::kDomainOutage:
         raw.push_back({event.start_s, event.start_s + event.duration_s});
+        break;
+      case FaultKind::kPartition:
+        // Down like a crash, but the window is also remembered separately:
+        // PartitionedAt() lets the serving engine drop (not requeue) work
+        // that was in flight when the domain became unreachable.
+        raw.push_back({event.start_s, event.start_s + event.duration_s});
+        raw_partition.push_back(
+            {event.start_s, event.start_s + event.duration_s});
         break;
       case FaultKind::kSlowdown:
         slow_.push_back({event.start_s, event.start_s + event.duration_s,
@@ -320,13 +367,18 @@ InstanceTimeline::InstanceTimeline(const FaultSchedule& schedule,
     }
   }
   // Merge overlapping down intervals (already start-sorted).
-  for (const Interval& interval : raw) {
-    if (!down_.empty() && interval.start <= down_.back().end) {
-      down_.back().end = std::max(down_.back().end, interval.end);
-    } else {
-      down_.push_back(interval);
+  const auto merge = [](const std::vector<Interval>& in,
+                        std::vector<Interval>& out) {
+    for (const Interval& interval : in) {
+      if (!out.empty() && interval.start <= out.back().end) {
+        out.back().end = std::max(out.back().end, interval.end);
+      } else {
+        out.push_back(interval);
+      }
     }
-  }
+  };
+  merge(raw, down_);
+  merge(raw_partition, partition_);
 }
 
 bool InstanceTimeline::UpAt(double t) const {
@@ -358,6 +410,14 @@ double InstanceTimeline::SlowdownAt(double t) const {
     if (t >= w.start && t < w.end) factor = std::max(factor, w.factor);
   }
   return factor;
+}
+
+bool InstanceTimeline::PartitionedAt(double t) const {
+  for (const Interval& p : partition_) {
+    if (t < p.start) return false;
+    if (t < p.end) return true;
+  }
+  return false;
 }
 
 double InstanceTimeline::DownSeconds() const {

@@ -24,15 +24,28 @@ class Rng;
 
 namespace ccperf::cloud {
 
-/// What happens to an instance.
+/// What happens to an instance. The first three kinds are independent
+/// per-instance faults; the last three are the instance-level projection of
+/// correlated domain events (see cloud/fault_domains.h), kept distinct so a
+/// trace records *why* an instance went down and reports can attribute loss
+/// to the incident class.
 enum class FaultKind {
-  kPreemption,  // spot reclaim: the instance leaves and never returns
-  kCrash,       // the instance dies and restarts after `duration_s`
-  kSlowdown,    // transient contention: `slowdown_factor`x slower service
+  kPreemption,    // spot reclaim: the instance leaves and never returns
+  kCrash,         // the instance dies and restarts after `duration_s`
+  kSlowdown,      // transient contention: `slowdown_factor`x slower service
+  kDomainOutage,  // whole-domain outage: down for `duration_s`, like a crash
+  kReclaimWave,   // correlated spot reclaim: permanent, like a preemption
+  kPartition,     // domain unreachable for `duration_s`: down AND in-flight
+                  // work on the instance is lost (no requeue) because the
+                  // partition severs it from the request plane
 };
 
-/// "preemption" / "crash" / "slowdown".
+/// "preemption" / "crash" / "slowdown" / "domain-outage" / "reclaim-wave" /
+/// "partition".
 const char* FaultKindName(FaultKind kind);
+
+/// Permanent kinds take the instance away for good; `duration_s` is ignored.
+[[nodiscard]] bool FaultKindIsPermanent(FaultKind kind);
 
 /// One fault hitting one instance of the fleet. `instance` indexes the
 /// fleet's expanded instance list (ResourceConfig order); events targeting
@@ -42,7 +55,7 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   int instance = 0;
   double start_s = 0.0;
-  double duration_s = 0.0;       // ignored for kPreemption (permanent)
+  double duration_s = 0.0;       // ignored for permanent kinds
   double slowdown_factor = 1.0;  // > 1, only meaningful for kSlowdown
 };
 
@@ -76,6 +89,12 @@ struct FaultModel {
 /// Per-instance independent Poisson processes; deterministic given `rng`.
 FaultSchedule GenerateFaultSchedule(const FaultModel& model, int instances,
                                     double duration_s, Rng& rng);
+
+/// Merge two valid schedules into one start-sorted trace (stable: on ties
+/// `a`'s events precede `b`'s). Composes an independent per-instance trace
+/// with a lowered correlated trace (cloud/fault_domains.h).
+FaultSchedule MergeFaultSchedules(const FaultSchedule& a,
+                                  const FaultSchedule& b);
 
 /// CSV with header "kind,instance,start_s,duration_s,slowdown_factor".
 /// Malformed rows, unknown kinds, negative timestamps, or out-of-order
@@ -152,6 +171,12 @@ class InstanceTimeline {
   /// Service-time multiplier at `t` (>= 1; max over overlapping windows).
   [[nodiscard]] double SlowdownAt(double t) const;
 
+  /// True iff `t` falls inside a kPartition window of this instance. A
+  /// partition is also a down interval, but the serving engine additionally
+  /// treats work in flight at partition onset as lost (no requeue) — the
+  /// isolated instance cannot hand its batch back to the request plane.
+  [[nodiscard]] bool PartitionedAt(double t) const;
+
   /// Total seconds the instance is down within [0, horizon].
   [[nodiscard]] double DownSeconds() const;
 
@@ -165,8 +190,9 @@ class InstanceTimeline {
     double end = 0.0;
     double factor = 1.0;
   };
-  std::vector<Interval> down_;      // merged, sorted, disjoint
-  std::vector<SlowWindow> slow_;    // sorted by start
+  std::vector<Interval> down_;       // merged, sorted, disjoint
+  std::vector<SlowWindow> slow_;     // sorted by start
+  std::vector<Interval> partition_;  // merged kPartition windows
   double horizon_s_ = 0.0;
 };
 

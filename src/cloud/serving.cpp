@@ -26,19 +26,46 @@ void ValidateServingPolicy(const ServingPolicy& policy) {
 
 double RetryPolicy::BackoffFor(int attempt) const {
   CCPERF_CHECK(attempt >= 1, "attempt is 1-based");
+  if (base_backoff_s <= 0.0 || backoff_multiplier <= 1.0) {
+    // No growth possible; skip the walk (a multiplier of 1 would otherwise
+    // spin `attempt` times without ever reaching the ceiling).
+    return std::min(base_backoff_s, max_backoff_s);
+  }
+  // Multiplicative walk that stops at the ceiling: the running product can
+  // never overflow a double to infinity, and a pathological attempt count
+  // (e.g. INT_MAX) costs O(log(max/base)) iterations, not O(attempt).
   double backoff = base_backoff_s;
-  for (int k = 1; k < attempt; ++k) backoff *= backoff_multiplier;
+  for (int k = 1; k < attempt && backoff < max_backoff_s; ++k) {
+    backoff *= backoff_multiplier;
+  }
   return std::min(backoff, max_backoff_s);
 }
 
 void ValidateRetryPolicy(const RetryPolicy& policy) {
   CCPERF_CHECK(policy.max_retries >= 0, "max_retries must be >= 0, got ",
                policy.max_retries);
-  CCPERF_CHECK(policy.base_backoff_s >= 0.0 && policy.max_backoff_s >= 0.0,
-               "backoffs must be >= 0");
-  CCPERF_CHECK(policy.backoff_multiplier >= 1.0,
-               "backoff multiplier must be >= 1, got ",
+  CCPERF_CHECK(policy.base_backoff_s >= 0.0 &&
+                   std::isfinite(policy.base_backoff_s),
+               "base backoff must be finite and >= 0, got ",
+               policy.base_backoff_s);
+  CCPERF_CHECK(policy.max_backoff_s >= 0.0 &&
+                   std::isfinite(policy.max_backoff_s),
+               "max backoff (the clamp ceiling) must be finite and >= 0, "
+               "got ",
+               policy.max_backoff_s);
+  CCPERF_CHECK(policy.backoff_multiplier >= 1.0 &&
+                   std::isfinite(policy.backoff_multiplier),
+               "backoff multiplier must be finite and >= 1, got ",
                policy.backoff_multiplier);
+}
+
+void ValidateRedundancyPolicy(const RedundancyPolicy& policy) {
+  CCPERF_CHECK(policy.replicas >= 1, "replicas must be >= 1, got ",
+               policy.replicas);
+  CCPERF_CHECK(policy.hedge_after_s > 0.0,
+               "hedge_after_s must be positive, got ", policy.hedge_after_s);
+  CCPERF_CHECK(policy.max_hedges >= 0, "max_hedges must be >= 0, got ",
+               policy.max_hedges);
 }
 
 ServingSimulator::ServingSimulator(const CloudSimulator& simulator)
@@ -204,10 +231,10 @@ ServingReport ServingSimulator::SimulateFaulted(
     std::vector<double> arrivals, double duration_s,
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, InflightPolicy inflight,
-    double variant_accuracy) const {
+    double variant_accuracy, const RedundancyPolicy& redundancy) const {
   FaultedServingEngine engine(*this, config, perf, std::move(arrivals),
                               duration_s, policy, retry, faults, inflight,
-                              variant_accuracy);
+                              variant_accuracy, redundancy);
   while (!engine.Done()) engine.Step();
   return engine.Finish();
 }
@@ -245,12 +272,12 @@ ServingReport ServingSimulator::SimulateFaultedCheckpointed(
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, const CheckpointPolicy& checkpoint,
     CheckpointStats* stats, InflightPolicy inflight,
-    double variant_accuracy) const {
+    double variant_accuracy, const RedundancyPolicy& redundancy) const {
   const std::vector<double> instants = CheckpointInstants(
       checkpoint, faults, duration_s, config.TotalInstances());
   FaultedServingEngine engine(*this, config, perf, std::move(arrivals),
                               duration_s, policy, retry, faults, inflight,
-                              variant_accuracy);
+                              variant_accuracy, redundancy);
   CheckpointStats local;
   CheckpointStats& out = stats != nullptr ? *stats : local;
   const bool keep_history = out.keep_history;
@@ -275,8 +302,11 @@ ServingReport ServingSimulator::SimulateFaultedCheckpointed(
   }
   // Snapshot time is charged to the cost model (Eq. 3-4 recovery term),
   // never to the simulated dynamics: the report stays bitwise identical
-  // to SimulateFaulted.
-  out.snapshot_overhead_s = out.snapshots * checkpoint.snapshot_cost_s;
+  // to SimulateFaulted. Cross-domain mirror copies bill on top.
+  out.snapshot_overhead_s =
+      out.snapshots * (checkpoint.snapshot_cost_s +
+                       (checkpoint.mirror_copies - 1) *
+                           checkpoint.mirror_cost_s);
   out.overhead_cost_usd = out.snapshot_overhead_s / 3600.0 *
                           PricePerHour(config, simulator_.Catalog());
   return engine.Finish();
@@ -291,7 +321,8 @@ constexpr std::uint32_t kServingSnapshotTag = 0x46535256u;  // 'FSRV'
 bool FaultedServingEngine::Later(const Pending& a, const Pending& b) {
   if (a.ready != b.ready) return a.ready > b.ready;
   if (a.arrival != b.arrival) return a.arrival > b.arrival;
-  return a.attempts > b.attempts;
+  if (a.attempts != b.attempts) return a.attempts > b.attempts;
+  return a.id > b.id;
 }
 
 FaultedServingEngine::FaultedServingEngine(
@@ -299,7 +330,7 @@ FaultedServingEngine::FaultedServingEngine(
     const VariantPerf& perf, std::vector<double> arrivals, double duration_s,
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, InflightPolicy inflight,
-    double variant_accuracy)
+    double variant_accuracy, const RedundancyPolicy& redundancy)
     : sim_(&serving.Simulator()),
       config_(config),
       perf_(perf),
@@ -309,11 +340,13 @@ FaultedServingEngine::FaultedServingEngine(
       retry_(retry),
       faults_(faults),
       inflight_(inflight),
-      variant_accuracy_(variant_accuracy) {
+      variant_accuracy_(variant_accuracy),
+      redundancy_(redundancy) {
   CCPERF_CHECK(!config_.Empty(), "empty configuration");
   CCPERF_CHECK(duration_s_ > 0.0, "duration must be positive");
   ValidateServingPolicy(policy_);
   ValidateRetryPolicy(retry_);
+  ValidateRedundancyPolicy(redundancy_);
   faults_.Validate();
   CCPERF_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end()),
                "arrival trace must be time-sorted");
@@ -357,6 +390,9 @@ FaultedServingEngine::FaultedServingEngine(
     }
   }
   latencies_.reserve(arrivals_.size());
+  copies_live_.assign(arrivals_.size(), 0);
+  done_.assign(arrivals_.size(), 0);
+  hedges_used_.assign(arrivals_.size(), 0);
   fingerprint_ = Fingerprint();
 }
 
@@ -385,7 +421,14 @@ void FaultedServingEngine::AdmitUntil(double t) {
         requeued_.empty() ? infinity : requeued_.front().ready;
     if (std::min(from_trace, from_retry) > t) break;
     if (from_trace <= from_retry) {
-      waiting_.push_back({from_trace, from_trace, 0});
+      const auto id = static_cast<std::int64_t>(next_arrival_);
+      // Admission fans the request out into `replicas` copies; batch
+      // selection keeps sibling copies out of one batch, so they ride
+      // different dispatches (and usually different instances).
+      for (int r = 0; r < redundancy_.replicas; ++r) {
+        waiting_.push_back({from_trace, from_trace, 0, id});
+      }
+      copies_live_[next_arrival_] = redundancy_.replicas;
       ++next_arrival_;
     } else {
       std::pop_heap(requeued_.begin(), requeued_.end(), Later);
@@ -420,11 +463,16 @@ void FaultedServingEngine::Step() {
     }
   }
   if (best == gpus_.size()) {
-    // The whole fleet is permanently gone: everything still queued or
-    // yet to arrive is lost.
+    // The whole fleet is permanently gone: every *request* (not copy) still
+    // open or yet to arrive is lost. Counting ids keeps the tally unique
+    // under replication; with one copy per request it equals the queue
+    // sizes.
+    std::int64_t open = 0;
+    for (std::size_t id = 0; id < next_arrival_; ++id) {
+      if (done_[id] == 0 && copies_live_[id] > 0) ++open;
+    }
     report_.dropped_failed +=
-        static_cast<std::int64_t>(waiting_.size() + requeued_.size()) +
-        static_cast<std::int64_t>(arrivals_.size() - next_arrival_);
+        open + static_cast<std::int64_t>(arrivals_.size() - next_arrival_);
     halted_ = true;
     return;
   }
@@ -473,11 +521,20 @@ void FaultedServingEngine::Step() {
   watermark_ = std::max(watermark_, dispatch_at);
   AdmitUntil(dispatch_at);
 
-  // Requests whose deadline expired before service starts are dropped.
+  // Copies whose deadline expired before service starts are dropped; a
+  // request counts as deadline-dropped only when its *last* live copy
+  // expires (stale copies of already-served requests just get discarded).
   if (has_deadline) {
     for (auto it = waiting_.begin(); it != waiting_.end();) {
       if (it->arrival + policy_.deadline_s < dispatch_at) {
-        ++report_.dropped_deadline;
+        const auto id = static_cast<std::size_t>(it->id);
+        if (done_[id] != 0) {
+          ++report_.discarded_copies;
+        } else if (--copies_live_[id] == 0) {
+          ++report_.dropped_deadline;
+        } else {
+          ++report_.discarded_copies;
+        }
         it = waiting_.erase(it);
       } else {
         ++it;
@@ -486,41 +543,107 @@ void FaultedServingEngine::Step() {
     if (waiting_.empty()) return;
   }
 
-  const auto batch_size = std::min<std::int64_t>(
-      batch_cap, static_cast<std::int64_t>(waiting_.size()));
+  // Deadline-triggered hedging: a copy still waiting `hedge_after_s` past
+  // its arrival spawns an extra copy, ready now. The hedge races its
+  // sibling on a different dispatch; whichever completes first wins.
+  if (redundancy_.max_hedges > 0 &&
+      std::isfinite(redundancy_.hedge_after_s)) {
+    const std::size_t queued = waiting_.size();
+    for (std::size_t i = 0; i < queued; ++i) {
+      const Pending p = waiting_[i];
+      const auto id = static_cast<std::size_t>(p.id);
+      if (done_[id] != 0) continue;
+      if (p.arrival + redundancy_.hedge_after_s > dispatch_at) continue;
+      if (hedges_used_[id] >= redundancy_.max_hedges) continue;
+      ++hedges_used_[id];
+      ++copies_live_[id];
+      ++report_.hedges;
+      waiting_.push_back({dispatch_at, p.arrival, 0, p.id});
+    }
+  }
+
+  // Select the batch front-to-back, never taking two copies of one request
+  // (siblings must ride different dispatches to buy failure independence);
+  // skipped siblings keep their queue position. With single-copy requests
+  // this degenerates to taking the first batch_cap entries.
+  std::vector<Pending> batch;
+  batch.reserve(static_cast<std::size_t>(batch_cap));
+  {
+    std::vector<Pending> skipped;
+    while (!waiting_.empty() &&
+           batch.size() < static_cast<std::size_t>(batch_cap)) {
+      const Pending p = waiting_.front();
+      waiting_.pop_front();
+      bool sibling_in_batch = false;
+      for (const Pending& b : batch) {
+        if (b.id == p.id) {
+          sibling_in_batch = true;
+          break;
+        }
+      }
+      if (sibling_in_batch) {
+        skipped.push_back(p);
+      } else {
+        batch.push_back(p);
+      }
+    }
+    for (auto it = skipped.rbegin(); it != skipped.rend(); ++it) {
+      waiting_.push_front(*it);
+    }
+  }
+  if (batch.empty()) return;
+
+  const auto batch_size = static_cast<std::int64_t>(batch.size());
   const double service = sim_->BatchSeconds(type, perf_, batch_size) *
                          timeline.SlowdownAt(dispatch_at);
   const double completion = dispatch_at + service;
   const double fail_at = timeline.NextDownAfter(dispatch_at);
   if (fail_at < completion) {
     // The instance dies mid-batch; the partial service is wasted and the
-    // requests are requeued with backoff or lost, per policy.
+    // copies are requeued with backoff or lost, per policy. Across a
+    // kPartition onset in-flight work is always lost: the isolated
+    // instance cannot hand its batch back to the request plane.
+    const bool partition_loss = timeline.PartitionedAt(fail_at);
     gpu.busy += fail_at - dispatch_at;
     gpu.free_at = fail_at;
-    for (std::int64_t k = 0; k < batch_size; ++k) {
-      Pending p = waiting_.front();
-      waiting_.pop_front();
-      if (inflight_ == InflightPolicy::kDrop ||
-          p.attempts + 1 > retry_.max_retries) {
-        ++report_.dropped_failed;
+    for (const Pending& p : batch) {
+      const auto id = static_cast<std::size_t>(p.id);
+      if (done_[id] != 0) {
+        // A duplicate copy died with the batch; its request already
+        // completed elsewhere, so nothing is lost and nothing retries.
+        ++report_.discarded_copies;
+        --copies_live_[id];
+      } else if (inflight_ == InflightPolicy::kDrop || partition_loss ||
+                 p.attempts + 1 > retry_.max_retries) {
+        if (--copies_live_[id] == 0) ++report_.dropped_failed;
       } else {
         ++report_.retries;
         requeued_.push_back({fail_at + retry_.BackoffFor(p.attempts + 1),
-                             p.arrival, p.attempts + 1});
+                             p.arrival, p.attempts + 1, p.id});
         std::push_heap(requeued_.begin(), requeued_.end(), Later);
       }
     }
   } else {
-    for (std::int64_t k = 0; k < batch_size; ++k) {
-      const Pending p = waiting_.front();
-      waiting_.pop_front();
-      latencies_.push_back(completion - p.arrival);
-      if (completion <= p.arrival + policy_.deadline_s) {
-        ++in_deadline_;
+    for (const Pending& p : batch) {
+      const auto id = static_cast<std::size_t>(p.id);
+      --copies_live_[id];
+      if (done_[id] == 0) {
+        done_[id] = 1;
+        latencies_.push_back(completion - p.arrival);
+        if (completion <= p.arrival + policy_.deadline_s) {
+          ++in_deadline_;
+        } else {
+          ++report_.deadline_misses;
+        }
+        ++report_.completed;
       } else {
-        ++report_.deadline_misses;
+        // First completion already won; this copy's service is duplicate
+        // work, billed to utilization (and so to Eq. 3-4 cost) but not to
+        // latency or goodput.
+        ++report_.duplicate_completions;
+        report_.duplicate_service_s +=
+            service / static_cast<double>(batch_size);
       }
-      ++report_.completed;
     }
     gpu.free_at = completion;
     gpu.busy += service;
@@ -583,6 +706,9 @@ std::uint32_t FaultedServingEngine::Fingerprint() const {
   w.PutF64(retry_.max_backoff_s);
   w.PutU8(inflight_ == InflightPolicy::kDrop ? 1 : 0);
   w.PutF64(variant_accuracy_);
+  w.PutI64(redundancy_.replicas);
+  w.PutF64(redundancy_.hedge_after_s);
+  w.PutI64(redundancy_.max_hedges);
   w.PutString(FaultScheduleCsv(faults_));
   return Crc32(w.Bytes());
 }
@@ -612,12 +738,14 @@ std::string FaultedServingEngine::Checkpoint() const {
     queue.PutF64(p.ready);
     queue.PutF64(p.arrival);
     queue.PutI64(p.attempts);
+    queue.PutI64(p.id);
   }
   queue.PutU64(requeued_.size());
   for (const Pending& p : requeued_) {
     queue.PutF64(p.ready);
     queue.PutF64(p.arrival);
     queue.PutI64(p.attempts);
+    queue.PutI64(p.id);
   }
 
   SnapshotSectionWriter& report = writer.AddSection("report");
@@ -628,6 +756,22 @@ std::string FaultedServingEngine::Checkpoint() const {
   report.PutI64(report_.deadline_misses);
   report.PutF64(report_.max_queue);
   report.PutBool(report_.stable);
+  report.PutI64(report_.hedges);
+  report.PutI64(report_.duplicate_completions);
+  report.PutI64(report_.discarded_copies);
+  report.PutF64(report_.duplicate_service_s);
+
+  // Per-request redundancy bookkeeping. done_ packs to one byte per
+  // request; the count vectors reuse the I64Vector framing.
+  SnapshotSectionWriter& redundancy = writer.AddSection("redundancy");
+  redundancy.PutU64(done_.size());
+  for (const std::uint8_t d : done_) redundancy.PutU8(d);
+  {
+    std::vector<std::int64_t> wide(copies_live_.begin(), copies_live_.end());
+    redundancy.PutI64Vector(wide);
+    wide.assign(hedges_used_.begin(), hedges_used_.end());
+    redundancy.PutI64Vector(wide);
+  }
 
   writer.AddSection("latencies").PutF64Vector(latencies_);
   return writer.Serialize();
@@ -668,7 +812,8 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
   }
   gpus.ExpectEnd();
 
-  const auto take_pending = [](SnapshotSectionReader& r) {
+  const std::size_t trace_size = arrivals_.size();
+  const auto take_pending = [trace_size](SnapshotSectionReader& r) {
     Pending p;
     p.ready = r.TakeF64();
     p.arrival = r.TakeF64();
@@ -677,11 +822,20 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
                  "corrupt serving snapshot: implausible attempt count ",
                  attempts);
     p.attempts = static_cast<int>(attempts);
+    p.id = r.TakeI64();
+    CCPERF_CHECK(p.id >= 0 && static_cast<std::size_t>(p.id) < trace_size,
+                 "corrupt serving snapshot: request id ", p.id,
+                 " outside trace of ", trace_size);
     return p;
   };
+  // A request can have at most replicas + max_hedges live copies.
+  const std::uint64_t copy_limit =
+      static_cast<std::uint64_t>(arrivals_.size()) *
+      static_cast<std::uint64_t>(redundancy_.replicas +
+                                 redundancy_.max_hedges);
   SnapshotSectionReader queue = reader.Section("queue");
   const std::uint64_t waiting_count = queue.TakeU64();
-  CCPERF_CHECK(waiting_count <= arrivals_.size(),
+  CCPERF_CHECK(waiting_count <= copy_limit,
                "corrupt serving snapshot: implausible waiting count ",
                waiting_count);
   std::deque<Pending> new_waiting;
@@ -689,7 +843,7 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
     new_waiting.push_back(take_pending(queue));
   }
   const std::uint64_t requeued_count = queue.TakeU64();
-  CCPERF_CHECK(requeued_count <= arrivals_.size(),
+  CCPERF_CHECK(requeued_count <= copy_limit,
                "corrupt serving snapshot: implausible requeued count ",
                requeued_count);
   std::vector<Pending> new_requeued;
@@ -708,11 +862,55 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
   new_report.deadline_misses = report.TakeI64();
   new_report.max_queue = report.TakeF64();
   new_report.stable = report.TakeBool();
+  new_report.hedges = report.TakeI64();
+  new_report.duplicate_completions = report.TakeI64();
+  new_report.discarded_copies = report.TakeI64();
+  new_report.duplicate_service_s = report.TakeF64();
   report.ExpectEnd();
   CCPERF_CHECK(new_report.completed >= 0 && new_report.dropped_deadline >= 0 &&
                    new_report.dropped_failed >= 0 && new_report.retries >= 0 &&
-                   new_report.deadline_misses >= 0,
+                   new_report.deadline_misses >= 0 && new_report.hedges >= 0 &&
+                   new_report.duplicate_completions >= 0 &&
+                   new_report.discarded_copies >= 0,
                "corrupt serving snapshot: negative report counter");
+  CCPERF_CHECK(new_report.duplicate_service_s >= 0.0 &&
+                   std::isfinite(new_report.duplicate_service_s),
+               "corrupt serving snapshot: bad duplicate service time");
+
+  SnapshotSectionReader redundancy = reader.Section("redundancy");
+  const std::uint64_t request_count = redundancy.TakeU64();
+  CCPERF_CHECK(request_count == arrivals_.size(),
+               "corrupt serving snapshot: redundancy state for ",
+               request_count, " requests, trace has ", arrivals_.size());
+  std::vector<std::uint8_t> new_done(arrivals_.size());
+  for (std::uint8_t& d : new_done) {
+    d = redundancy.TakeU8();
+    CCPERF_CHECK(d <= 1, "corrupt serving snapshot: done flag ",
+                 static_cast<int>(d));
+  }
+  const std::vector<std::int64_t> wide_live = redundancy.TakeI64Vector();
+  const std::vector<std::int64_t> wide_hedges = redundancy.TakeI64Vector();
+  redundancy.ExpectEnd();
+  CCPERF_CHECK(wide_live.size() == arrivals_.size() &&
+                   wide_hedges.size() == arrivals_.size(),
+               "corrupt serving snapshot: redundancy vector sizes ",
+               wide_live.size(), "/", wide_hedges.size(), " for trace of ",
+               arrivals_.size());
+  const std::int64_t per_request_limit =
+      static_cast<std::int64_t>(redundancy_.replicas) + redundancy_.max_hedges;
+  std::vector<std::int32_t> new_live(arrivals_.size());
+  std::vector<std::int32_t> new_hedges(arrivals_.size());
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    CCPERF_CHECK(wide_live[i] >= 0 && wide_live[i] <= per_request_limit,
+                 "corrupt serving snapshot: live copy count ", wide_live[i],
+                 " outside [0, ", per_request_limit, "]");
+    CCPERF_CHECK(wide_hedges[i] >= 0 &&
+                     wide_hedges[i] <= redundancy_.max_hedges,
+                 "corrupt serving snapshot: hedge count ", wide_hedges[i],
+                 " exceeds policy limit ", redundancy_.max_hedges);
+    new_live[i] = static_cast<std::int32_t>(wide_live[i]);
+    new_hedges[i] = static_cast<std::int32_t>(wide_hedges[i]);
+  }
 
   SnapshotSectionReader lat = reader.Section("latencies");
   std::vector<double> new_latencies = lat.TakeF64Vector();
@@ -728,6 +926,9 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
   requeued_ = std::move(new_requeued);
   next_arrival_ = static_cast<std::size_t>(next_arrival);
   latencies_ = std::move(new_latencies);
+  copies_live_ = std::move(new_live);
+  done_ = std::move(new_done);
+  hedges_used_ = std::move(new_hedges);
   in_deadline_ = in_deadline;
   watermark_ = watermark;
   halted_ = halted;

@@ -45,7 +45,10 @@ void ValidateServingPolicy(const ServingPolicy& policy);
 /// Retry-with-exponential-backoff for requests whose batch died with the
 /// instance: attempt k re-enters the queue after
 /// min(base * multiplier^(k-1), max) seconds; after `max_retries` failed
-/// re-attempts the request is dropped.
+/// re-attempts the request is dropped. `max_backoff_s` is the configurable
+/// ceiling; BackoffFor stops multiplying once it is reached, so arbitrarily
+/// large attempt counts can neither overflow the double to infinity nor
+/// cost O(attempt) work.
 struct RetryPolicy {
   int max_retries = 2;
   double base_backoff_s = 0.05;
@@ -56,8 +59,35 @@ struct RetryPolicy {
   [[nodiscard]] double BackoffFor(int attempt) const;
 };
 
-/// Throws CheckError on negative retries/backoffs or multiplier < 1.
+/// Throws CheckError on negative retries/backoffs, non-finite fields, or
+/// multiplier < 1.
 void ValidateRetryPolicy(const RetryPolicy& policy);
+
+/// Redundant execution against correlated failures: every request is
+/// admitted as `replicas` copies (a batch never takes two copies of one
+/// request, so replicas ride different dispatches and usually different
+/// instances), and a copy still waiting `hedge_after_s` after its arrival
+/// spawns up to `max_hedges` extra hedge copies. First completion wins and
+/// records the request's latency; later copies still consume GPU service
+/// time, which is how duplicate work is billed into the Eq. 3-4 cost
+/// picture (utilization up, goodput per dollar down). The defaults (one
+/// replica, no hedging) reproduce the single-copy engine exactly.
+struct RedundancyPolicy {
+  int replicas = 1;
+  double hedge_after_s = std::numeric_limits<double>::infinity();
+  int max_hedges = 0;
+
+  /// True when the policy can ever create a second copy.
+  [[nodiscard]] bool Active() const {
+    return replicas > 1 ||
+           (max_hedges > 0 && hedge_after_s !=
+                                  std::numeric_limits<double>::infinity());
+  }
+};
+
+/// Throws CheckError unless replicas >= 1, hedge_after_s > 0, and
+/// max_hedges >= 0.
+void ValidateRedundancyPolicy(const RedundancyPolicy& policy);
 
 /// What happens to the requests of a batch in flight on a failed instance.
 enum class InflightPolicy {
@@ -89,6 +119,13 @@ struct ServingReport {
   /// goodput_per_s weighted by the accuracy of the serving variant — the
   /// paper's accuracy dimension folded into SLO compliance.
   double accuracy_weighted_goodput = 0.0;
+
+  // Redundancy accounting (zero unless a RedundancyPolicy is active).
+  std::int64_t hedges = 0;  // hedge copies spawned past hedge_after_s
+  std::int64_t duplicate_completions = 0;  // copies served after their
+                                           // request had already completed
+  std::int64_t discarded_copies = 0;  // redundant copies removed unserved
+  double duplicate_service_s = 0.0;   // GPU seconds spent on duplicates
 };
 
 /// One entry of a SimulateFaultedMany sweep: a fleet, an arrival trace and
@@ -124,16 +161,20 @@ class ServingSimulator {
 
   /// Replay a trace against a fleet subjected to `faults`. Batches in
   /// flight on a failing instance are requeued (with `retry` backoff) or
-  /// lost per `inflight`; requests whose deadline expires before service
-  /// are dropped. `variant_accuracy` feeds accuracy_weighted_goodput.
-  /// Deterministic given the trace and schedule.
+  /// lost per `inflight` — except across a kPartition onset, where in-flight
+  /// work is always lost (the isolated instance cannot hand it back);
+  /// requests whose deadline expires before service are dropped.
+  /// `variant_accuracy` feeds accuracy_weighted_goodput; `redundancy` adds
+  /// request replication and hedging. Deterministic given the trace and
+  /// schedule.
   [[nodiscard]] ServingReport SimulateFaulted(
       const ResourceConfig& config, const VariantPerf& perf,
       std::vector<double> arrivals, double duration_s,
       const ServingPolicy& policy, const RetryPolicy& retry,
       const FaultSchedule& faults,
       InflightPolicy inflight = InflightPolicy::kRequeue,
-      double variant_accuracy = 1.0) const;
+      double variant_accuracy = 1.0,
+      const RedundancyPolicy& redundancy = {}) const;
 
   /// SimulateFaulted under a CheckpointPolicy: the dynamics and the report
   /// are identical (snapshots never perturb the simulation); `stats`
@@ -147,7 +188,8 @@ class ServingSimulator {
       const FaultSchedule& faults, const CheckpointPolicy& checkpoint,
       CheckpointStats* stats = nullptr,
       InflightPolicy inflight = InflightPolicy::kRequeue,
-      double variant_accuracy = 1.0) const;
+      double variant_accuracy = 1.0,
+      const RedundancyPolicy& redundancy = {}) const;
 
   /// Run every scenario through SimulateFaulted, fanned across the global
   /// thread pool (each scenario's simulation stays serial, so report i is
@@ -190,7 +232,8 @@ class FaultedServingEngine {
                        const ServingPolicy& policy, const RetryPolicy& retry,
                        const FaultSchedule& faults,
                        InflightPolicy inflight = InflightPolicy::kRequeue,
-                       double variant_accuracy = 1.0);
+                       double variant_accuracy = 1.0,
+                       const RedundancyPolicy& redundancy = {});
 
   [[nodiscard]] bool Done() const;
   /// One scheduling decision: admit pending arrivals/retries or dispatch
@@ -206,13 +249,15 @@ class FaultedServingEngine {
   void Restore(const std::string& snapshot);
 
  private:
-  /// A request waiting for (re-)dispatch. `ready` is when it (re-)enters
-  /// the queue; `arrival` is the original arrival that deadlines/latency
-  /// use.
+  /// One queued *copy* of a request (a request has several copies under a
+  /// RedundancyPolicy). `ready` is when it (re-)enters the queue; `arrival`
+  /// is the original arrival that deadlines/latency use; `id` indexes the
+  /// arrival trace and ties sibling copies together.
   struct Pending {
     double ready = 0.0;
     double arrival = 0.0;
     int attempts = 0;
+    std::int64_t id = 0;
   };
   struct GpuState {
     double free_at = 0.0;
@@ -238,6 +283,7 @@ class FaultedServingEngine {
   FaultSchedule faults_;
   InflightPolicy inflight_ = InflightPolicy::kRequeue;
   double variant_accuracy_ = 1.0;
+  RedundancyPolicy redundancy_;
   std::vector<const InstanceType*> gpu_types_;
   std::vector<int> gpu_instance_;
   std::vector<InstanceTimeline> timelines_;
@@ -249,6 +295,11 @@ class FaultedServingEngine {
   std::vector<Pending> requeued_;  // min-heap (std::push_heap order)
   std::deque<Pending> waiting_;    // admitted, sorted by ready
   std::size_t next_arrival_ = 0;
+  // Per-request redundancy bookkeeping, indexed by arrival id: live copy
+  // counts, first-completion flags, hedges spawned so far.
+  std::vector<std::int32_t> copies_live_;
+  std::vector<std::uint8_t> done_;
+  std::vector<std::int32_t> hedges_used_;
   std::vector<double> latencies_;
   std::int64_t in_deadline_ = 0;
   double watermark_ = 0.0;

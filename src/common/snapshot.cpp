@@ -5,6 +5,11 @@
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/check.h"
 
 namespace ccperf {
@@ -39,6 +44,29 @@ void AppendPod(std::string& out, T v) {
   std::memcpy(buf, &v, sizeof(T));
   out.append(buf, sizeof(T));
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+// Flush a path's data (or, for a directory, its entries) to stable
+// storage; errors throw CheckError naming the path. An fsync that fails
+// may leave the kernel's dirty state unknowable, so surfacing it loudly
+// beats pretending the snapshot is durable.
+void FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  CCPERF_CHECK(fd >= 0, "cannot open '", path, "' for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  CCPERF_CHECK(rc == 0, "fsync failed for '", path, "'");
+}
+
+// Directory half of the atomic write-rename protocol: rename() makes the
+// new name visible, but only an fsync of the *containing directory* makes
+// it durable — a crash before that can resurrect the old directory entry.
+void FsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  FsyncPath(slash == std::string::npos ? std::string(".")
+                                       : path.substr(0, slash + 1));
+}
+#endif
 
 }  // namespace
 
@@ -145,6 +173,13 @@ void WriteSnapshotFileAtomic(const std::string& path,
       CCPERF_CHECK(false, "write failed for snapshot tmp file '", tmp, "'");
     }
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // The ofstream flush above only hands the bytes to the kernel; fsync the
+  // tmp file so the *contents* are durable before the rename publishes the
+  // name (rename-before-fsync can leave `path` pointing at zero-length or
+  // torn data after a crash).
+  FsyncPath(tmp);
+#endif
   // POSIX rename replaces the target atomically: a crash leaves either the
   // old snapshot or the new one, never a torn file at `path`.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -152,6 +187,12 @@ void WriteSnapshotFileAtomic(const std::string& path,
     CCPERF_CHECK(false, "cannot rename snapshot '", tmp, "' over '", path,
                  "'");
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // And fsync the containing directory so the renamed entry itself is
+  // durable — without this a crash can roll the directory back to the old
+  // snapshot (or to nothing, for a first write).
+  FsyncParentDir(path);
+#endif
 }
 
 // --- reader ------------------------------------------------------------------

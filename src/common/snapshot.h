@@ -72,8 +72,10 @@ class SnapshotWriter {
   std::vector<std::pair<std::string, SnapshotSectionWriter>> sections_;
 };
 
-/// Atomically persist a snapshot: write "<path>.tmp", flush, rename over
-/// `path`. Throws CheckError on any I/O failure (the tmp file is removed).
+/// Atomically persist a snapshot: write "<path>.tmp", flush + fsync it,
+/// rename over `path`, then fsync the containing directory so the renamed
+/// entry survives a crash (POSIX; the fsyncs are no-ops elsewhere). Throws
+/// CheckError on any I/O failure, naming the offending path.
 void WriteSnapshotFileAtomic(const std::string& path,
                              const SnapshotWriter& snapshot);
 

@@ -445,6 +445,39 @@ TEST(SnapshotVault, PutGetRoundTripAndMonotoneWatermark) {
   EXPECT_THROW((void)vault.Watermark("missing"), CheckError);
 }
 
+TEST(SnapshotVault, MirroredCopiesFailOverAcrossDomains) {
+  SnapshotVault vault;
+  vault.PutMirrored("run", 10.0, "snap@10", {2, 4});
+  // One logical name, even when mirrored into several domains.
+  EXPECT_EQ(vault.Size(), 1u);
+  EXPECT_EQ(vault.Get("run"), "snap@10");
+
+  // Only domain 4 received the newer snapshot (its mirror write to 2 was
+  // lost): each domain keeps its own highest watermark.
+  vault.PutMirrored("run", 20.0, "snap@20", {4});
+  EXPECT_EQ(vault.Get("run"), "snap@20");
+  EXPECT_EQ(vault.Watermark("run"), 20.0);
+
+  // Partition domain 4 away: failover serves domain 2's older copy.
+  EXPECT_TRUE(vault.HasReachable("run", {4}));
+  EXPECT_EQ(vault.GetReachable("run", {4}), "snap@10");
+  EXPECT_EQ(vault.ReachableWatermark("run", {4}), 10.0);
+  // Both domains gone -> loud data loss, not a silent empty restore.
+  EXPECT_FALSE(vault.HasReachable("run", {2, 4}));
+  EXPECT_THROW((void)vault.GetReachable("run", {2, 4}), CheckError);
+  EXPECT_THROW((void)vault.ReachableWatermark("run", {2, 4}), CheckError);
+
+  // Untagged Put lands in domain -1, which no partition list can name.
+  vault.Put("legacy", 5.0, "bytes");
+  EXPECT_TRUE(vault.HasReachable("legacy", {0, 1, 2, 3, 4}));
+  EXPECT_EQ(vault.GetReachable("legacy", {0, 1, 2, 3, 4}), "bytes");
+
+  // Stale mirrored republish is ignored per-domain, like Put.
+  vault.PutMirrored("run", 15.0, "snap@15", {2, 4});
+  EXPECT_EQ(vault.GetReachable("run", {4}), "snap@15");
+  EXPECT_EQ(vault.Get("run"), "snap@20");
+}
+
 TEST(SnapshotVault, WaitForSnapshotSeesConcurrentPublisher) {
   SnapshotVault vault;
   std::thread publisher([&vault] {

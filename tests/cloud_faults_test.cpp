@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "cloud/autoscaler.h"
@@ -255,6 +257,69 @@ TEST(FaultSchedule, SliceClipsAndShifts) {
   EXPECT_NO_THROW(window.Validate());
 }
 
+TEST(FaultSchedule, SliceEventStraddlingBothWindowEdges) {
+  // A crash covering [50, 350) straddles the [100, 200) window entirely:
+  // the slice must pin it to the full window, not drop or over-extend it.
+  FaultSchedule schedule;
+  schedule.events = {{FaultKind::kCrash, 0, 50.0, 300.0, 1.0},
+                     {FaultKind::kSlowdown, 1, 90.0, 200.0, 3.0}};
+  const FaultSchedule window = schedule.Slice(100.0, 200.0);
+  ASSERT_EQ(window.events.size(), 2u);
+  EXPECT_EQ(window.events[0].kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(window.events[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(window.events[0].duration_s, 100.0)
+      << "clipped to the window length on both sides";
+  EXPECT_EQ(window.events[1].kind, FaultKind::kSlowdown);
+  EXPECT_DOUBLE_EQ(window.events[1].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(window.events[1].duration_s, 100.0);
+  EXPECT_DOUBLE_EQ(window.events[1].slowdown_factor, 3.0);
+  EXPECT_NO_THROW(window.Validate());
+}
+
+TEST(FaultSchedule, CsvRoundTripsCorrelatedKinds) {
+  FaultSchedule schedule;
+  schedule.events = {{FaultKind::kDomainOutage, 0, 10.0, 600.0, 1.0},
+                     {FaultKind::kReclaimWave, 1, 20.0, 0.0, 1.0},
+                     {FaultKind::kPartition, 2, 30.0, 120.0, 1.0}};
+  EXPECT_NO_THROW(schedule.Validate());
+  const std::string csv = FaultScheduleCsv(schedule);
+  EXPECT_NE(csv.find("domain-outage"), std::string::npos);
+  EXPECT_NE(csv.find("reclaim-wave"), std::string::npos);
+  EXPECT_NE(csv.find("partition"), std::string::npos);
+  const FaultSchedule parsed = ParseFaultScheduleCsv(csv);
+  ASSERT_EQ(parsed.events.size(), schedule.events.size());
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].kind, schedule.events[i].kind);
+    EXPECT_EQ(parsed.events[i].instance, schedule.events[i].instance);
+    EXPECT_DOUBLE_EQ(parsed.events[i].start_s, schedule.events[i].start_s);
+    EXPECT_DOUBLE_EQ(parsed.events[i].duration_s,
+                     schedule.events[i].duration_s);
+  }
+  // Permanent kinds classify as such; timed correlated kinds do not.
+  EXPECT_TRUE(FaultKindIsPermanent(FaultKind::kReclaimWave));
+  EXPECT_TRUE(FaultKindIsPermanent(FaultKind::kPreemption));
+  EXPECT_FALSE(FaultKindIsPermanent(FaultKind::kDomainOutage));
+  EXPECT_FALSE(FaultKindIsPermanent(FaultKind::kPartition));
+}
+
+TEST(FaultSchedule, PartitionTimelineMarksDownAndPartitioned) {
+  FaultSchedule schedule;
+  schedule.events = {{FaultKind::kPartition, 0, 10.0, 20.0, 1.0}};
+  const InstanceTimeline timeline(schedule, 0, 100.0);
+  EXPECT_FALSE(timeline.UpAt(15.0));
+  EXPECT_TRUE(timeline.PartitionedAt(15.0));
+  EXPECT_TRUE(timeline.UpAt(35.0));
+  EXPECT_FALSE(timeline.PartitionedAt(35.0));
+  EXPECT_FALSE(timeline.PartitionedAt(5.0));
+
+  // An outage is down time but not a partition: in-flight work requeues.
+  FaultSchedule outage;
+  outage.events = {{FaultKind::kDomainOutage, 0, 10.0, 20.0, 1.0}};
+  const InstanceTimeline outage_timeline(outage, 0, 100.0);
+  EXPECT_FALSE(outage_timeline.UpAt(15.0));
+  EXPECT_FALSE(outage_timeline.PartitionedAt(15.0));
+}
+
 TEST(FaultSchedule, TimelineAvailability) {
   FaultSchedule schedule;
   schedule.events = {{FaultKind::kCrash, 0, 10.0, 5.0, 1.0},
@@ -289,6 +354,45 @@ TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
   EXPECT_THROW(ValidateRetryPolicy({.max_retries = -1}), CheckError);
   EXPECT_THROW(ValidateRetryPolicy({.backoff_multiplier = 0.5}), CheckError);
   EXPECT_NO_THROW(ValidateRetryPolicy({}));
+}
+
+TEST(RetryPolicyTest, BackoffStaysFiniteAtHugeAttemptCounts) {
+  // Regression: without the ceiling short-circuit, multiplier^(k-1)
+  // overflows a double to +inf around attempt ~1075 and the loop costs
+  // O(attempt) work. Both must stay bounded.
+  const RetryPolicy retry{.max_retries = 1000000,
+                          .base_backoff_s = 0.05,
+                          .backoff_multiplier = 2.0,
+                          .max_backoff_s = 30.0};
+  EXPECT_DOUBLE_EQ(retry.BackoffFor(2000), 30.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffFor(1000000000), 30.0);
+  EXPECT_TRUE(std::isfinite(retry.BackoffFor(1000000000)));
+  // Monotone: backoff never shrinks as attempts grow.
+  double previous = 0.0;
+  for (int attempt = 1; attempt <= 64; ++attempt) {
+    const double backoff = retry.BackoffFor(attempt);
+    EXPECT_GE(backoff, previous);
+    previous = backoff;
+  }
+}
+
+TEST(RetryPolicyTest, DegenerateMultiplierAndBaseAreExact) {
+  // multiplier == 1 never amplifies: the loop must not spin toward the
+  // ceiling one futile iteration per attempt.
+  const RetryPolicy flat{.base_backoff_s = 0.2,
+                         .backoff_multiplier = 1.0,
+                         .max_backoff_s = 5.0};
+  EXPECT_DOUBLE_EQ(flat.BackoffFor(1), 0.2);
+  EXPECT_DOUBLE_EQ(flat.BackoffFor(1000000000), 0.2);
+  const RetryPolicy zero{.base_backoff_s = 0.0, .max_backoff_s = 5.0};
+  EXPECT_DOUBLE_EQ(zero.BackoffFor(1000000000), 0.0);
+  // Non-finite knobs are rejected up front: an inf ceiling would let a
+  // requeued request sleep forever.
+  EXPECT_THROW(ValidateRetryPolicy(
+                   {.max_backoff_s = std::numeric_limits<double>::infinity()}),
+               CheckError);
+  EXPECT_THROW(
+      ValidateRetryPolicy({.base_backoff_s = std::nan("")}), CheckError);
 }
 
 // ------------------------------------------------------- faulted serving
