@@ -1,0 +1,163 @@
+// Extension: the sparse + quantized time-accuracy frontier. The paper's
+// frontier (Fig. 9) is built from one knob — the degree of pruning. Int8
+// execution adds a second, orthogonal knob: every variant now exists in a
+// float and a quantized flavor, where quantization trades a fixed accuracy
+// damage (CalibratedAccuracyModel::kInt8QuantDamage) for the int8 kernel's
+// time factor on its dense-dispatched layers.
+//
+// The interesting structure this creates: a moderately pruned FLOAT variant
+// pays accuracy damage yet gains little time (its density sits above the
+// sparse crossover, so it still runs the dense float kernel), while the
+// quantized NONPRUNED variant pays a comparable, fixed damage and gains the
+// full int8 speedup. The quantized point should therefore strictly dominate
+// part of the float frontier — that domination is this benchmark's
+// acceptance gate.
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/density.h"
+#include "cloud/model_profile.h"
+#include "cloud/variant_perf.h"
+#include "common/rng.h"
+#include "core/accuracy_model.h"
+#include "pruning/prune_plan.h"
+#include "pruning/variant_generator.h"
+
+namespace {
+
+using namespace ccperf;
+
+struct Point {
+  std::string label;
+  bool int8 = false;
+  double seconds_per_image = 0.0;  // reference-device, full utilization
+  double top1 = 0.0;
+  double top5 = 0.0;
+};
+
+/// True when `a` strictly dominates `b`: faster and at least as accurate.
+bool Dominates(const Point& a, const Point& b) {
+  return a.seconds_per_image < b.seconds_per_image && a.top1 >= b.top1;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Extension — Sparse + Quantized Time-Accuracy Frontier",
+      "Every pruning variant in float and int8 flavor on the reference "
+      "device. Gate: some quantized (or sparse+quantized) variant strictly "
+      "dominates a float variant — faster AND at least as accurate.");
+
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+
+  Rng rng(2020);
+  auto plans = pruning::RandomVariants(
+      {"conv1", "conv2", "conv3", "conv4", "conv5"}, 60, 0.6, 0.1, rng);
+  plans.insert(plans.begin(), pruning::PrunePlan{});  // nonpruned baseline
+
+  std::vector<Point> points;
+  points.reserve(plans.size() * 2);
+  for (const auto& plan : plans) {
+    const cloud::DensityMap densities = cloud::DensityFromPlan(profile, plan);
+    const core::AccuracyResult acc_f = accuracy.Evaluate(plan);
+    const core::AccuracyResult acc_q = accuracy.EvaluateQuantized(plan);
+    const cloud::VariantPerf perf_f =
+        cloud::ComputeVariantPerf(profile, densities, plan.Label());
+    const cloud::VariantPerf perf_q = cloud::ComputeVariantPerf(
+        profile, densities, plan.Label() + "-int8", /*int8_enabled=*/true);
+    points.push_back({perf_f.label, false, perf_f.ref_seconds_per_image,
+                      acc_f.top1, acc_f.top5});
+    points.push_back({perf_q.label, true, perf_q.ref_seconds_per_image,
+                      acc_q.top1, acc_q.top5});
+  }
+
+  // For each quantized point, count the float points it strictly dominates;
+  // remember the strongest example for the report.
+  std::size_t dominated_float_points = 0;
+  const Point* best_q = nullptr;
+  const Point* best_f = nullptr;
+  double best_gain = 0.0;
+  std::vector<int> dominates_count(points.size(), 0);
+  for (std::size_t qi = 0; qi < points.size(); ++qi) {
+    if (!points[qi].int8) continue;
+    for (const auto& f : points) {
+      if (f.int8 || !Dominates(points[qi], f)) continue;
+      ++dominates_count[qi];
+      const double gain = f.seconds_per_image / points[qi].seconds_per_image;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_q = &points[qi];
+        best_f = &f;
+      }
+    }
+    if (dominates_count[qi] > 0) ++dominated_float_points;
+  }
+
+  // Chart both flavors over the time-accuracy plane.
+  AsciiChart chart(64, 14);
+  std::vector<std::pair<double, double>> float_pts, int8_pts;
+  for (const auto& p : points) {
+    (p.int8 ? int8_pts : float_pts)
+        .emplace_back(p.top1 * 100.0, p.seconds_per_image * 1e3);
+  }
+  chart.AddSeries("float", '.', float_pts);
+  chart.AddSeries("int8", 'Q', int8_pts);
+  std::cout << chart.Render();
+
+  // The quantized variants that dominate at least one float variant, best
+  // (most float points dominated) first.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].int8 && dominates_count[i] > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dominates_count[a] > dominates_count[b];
+  });
+  Table table({"quantized variant", "ms/image", "Top-1 (%)", "Top-5 (%)",
+               "float points dominated"});
+  for (std::size_t rank = 0; rank < order.size() && rank < 8; ++rank) {
+    const auto& p = points[order[rank]];
+    table.AddRow({p.label, Table::Num(p.seconds_per_image * 1e3, 2),
+                  Table::Num(p.top1 * 100.0, 1),
+                  Table::Num(p.top5 * 100.0, 1),
+                  std::to_string(dominates_count[order[rank]])});
+  }
+  std::cout << table.Render();
+
+  auto csv = bench::OpenCsv(
+      "ext_quant_frontier.csv",
+      {"variant", "int8", "ref_seconds_per_image", "top1", "top5",
+       "float_points_dominated"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    csv.AddRow({p.label, p.int8 ? "1" : "0",
+                Table::Num(p.seconds_per_image, 6), Table::Num(p.top1, 4),
+                Table::Num(p.top5, 4),
+                std::to_string(p.int8 ? dominates_count[i] : 0)});
+  }
+  csv.Close();
+
+  bench::Checkpoint("quantized variants dominating >= 1 float variant",
+                    ">= 1 (acceptance bar)",
+                    std::to_string(dominated_float_points));
+  if (best_q == nullptr) {
+    std::cout << "  [FAIL] no quantized variant strictly dominates any "
+                 "float variant\n";
+    return 1;
+  }
+  bench::Checkpoint(
+      "strongest domination: " + best_q->label + " vs " + best_f->label,
+      "faster AND at least as accurate",
+      Table::Num(best_gain, 2) + "x faster, Top-1 " +
+          Table::Num(best_q->top1 * 100.0, 1) + " % vs " +
+          Table::Num(best_f->top1 * 100.0, 1) + " %");
+  std::cout << "\nCSV: bench_results/ext_quant_frontier.csv\n";
+  return 0;
+}

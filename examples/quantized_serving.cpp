@@ -1,0 +1,143 @@
+// Quantized serving: run the int8 inference path end-to-end, from the
+// actual quantized forward pass to the serving fleet it pays for.
+//
+//  1. Execute a scaled CaffeNet on the int8 kernels and measure its
+//     teacher-student agreement against the float forward — the empirical
+//     anchor behind CalibratedAccuracyModel::kInt8QuantDamage.
+//  2. Fold the int8 time factor into the variant's device-independent
+//     profile (ComputeVariantPerf with the int8 knob) for three flavors:
+//     float, int8, and sparse+int8.
+//  3. Serve the same Poisson workload with each flavor and compare latency
+//     percentiles and cost — then shrink the int8 fleet until it matches
+//     the float fleet's latency, which is where quantization turns into
+//     dollars.
+//
+// Run: ./quantized_serving
+#include <iostream>
+#include <string>
+
+#include "cloud/density.h"
+#include "cloud/model_profile.h"
+#include "cloud/serving.h"
+#include "cloud/variant_perf.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/accuracy_model.h"
+#include "core/empirical_accuracy.h"
+#include "data/synthetic_dataset.h"
+#include "nn/model_zoo.h"
+#include "pruning/prune_plan.h"
+
+int main() {
+  using namespace ccperf;
+
+  // --- 1. The int8 forward pass, for real ---------------------------------
+  nn::ModelConfig config;
+  config.channel_scale = 0.125;
+  config.num_classes = 50;
+  config.weight_seed = 42;
+  const nn::Network base = nn::BuildCaffeNet(config);
+  const data::SyntheticImageDataset dataset(
+      Shape{base.InputShape().Dim(0), base.InputShape().Dim(1),
+            base.InputShape().Dim(2)},
+      base.OutputShape(1).Dim(1), 32, 17, 0.4f);
+  const core::EmpiricalAccuracyEvaluator evaluator(base, dataset, 16, 4);
+  const core::AccuracyResult int8_agree = evaluator.EvaluateInt8(base);
+  std::cout << "int8 forward agreement with the float teacher: Top-1 "
+            << Table::Num(int8_agree.top1 * 100.0, 1) << " %, Top-5 "
+            << Table::Num(int8_agree.top5 * 100.0, 1) << " %\n\n";
+
+  // --- 2. Variant profiles ------------------------------------------------
+  const cloud::ModelProfile profile = cloud::CaffeNetProfile();
+  const core::CalibratedAccuracyModel accuracy =
+      core::CalibratedAccuracyModel::CaffeNet();
+  const pruning::PrunePlan nonpruned;
+  const pruning::PrunePlan pruned =
+      pruning::UniformPlan({"conv2", "conv3", "conv4", "conv5"}, 0.3);
+
+  struct Flavor {
+    std::string name;
+    cloud::VariantPerf perf;
+    core::AccuracyResult acc;
+  };
+  const std::vector<Flavor> flavors = {
+      {"float",
+       cloud::ComputeVariantPerf(
+           profile, cloud::DensityFromPlan(profile, nonpruned), "nonpruned"),
+       accuracy.Evaluate(nonpruned)},
+      {"int8",
+       cloud::ComputeVariantPerf(
+           profile, cloud::DensityFromPlan(profile, nonpruned),
+           "nonpruned-int8", /*int8_enabled=*/true),
+       accuracy.EvaluateQuantized(nonpruned)},
+      {"sparse+int8",
+       cloud::ComputeVariantPerf(profile,
+                                 cloud::DensityFromPlan(profile, pruned),
+                                 pruned.Label() + "-int8",
+                                 /*int8_enabled=*/true),
+       accuracy.EvaluateQuantized(pruned)},
+  };
+
+  // --- 3. The same workload, three flavors --------------------------------
+  const cloud::InstanceCatalog catalog = cloud::InstanceCatalog::AwsEc2();
+  const cloud::CloudSimulator sim(catalog);
+  const cloud::ServingSimulator serving(sim);
+  const cloud::ServingPolicy policy{.max_batch = 64, .max_wait_s = 0.05};
+  const double duration_s = 600.0;
+
+  cloud::ResourceConfig fleet;
+  fleet.Add("g3.4xlarge", 2);
+  cloud::ResourceConfig small;
+  small.Add("g3.4xlarge", 1);
+
+  // Operating point: traffic one float instance cannot sustain, but one
+  // int8 instance can — 15 % over the single-instance float capacity.
+  const double cap_float_1x = serving.Capacity(small, flavors[0].perf, policy);
+  const double cap_int8_1x = serving.Capacity(small, flavors[1].perf, policy);
+  const double arrivals_per_s = 1.15 * cap_float_1x;
+  std::cout << "single-instance capacity: float "
+            << Table::Num(cap_float_1x, 0) << " img/s, int8 "
+            << Table::Num(cap_int8_1x, 0) << " img/s; serving "
+            << Table::Num(arrivals_per_s, 0) << " req/s\n\n";
+
+  Table table({"variant", "ref ms/img", "Top-1 (%)", "p95 latency (ms)",
+               "utilization", "cost ($/h)"});
+  for (const auto& flavor : flavors) {
+    Rng rng(11);  // identical traffic for every flavor
+    const cloud::ServingReport report = serving.Simulate(
+        fleet, flavor.perf, arrivals_per_s, duration_s, policy, rng);
+    table.AddRow({flavor.name,
+                  Table::Num(flavor.perf.ref_seconds_per_image * 1e3, 2),
+                  Table::Num(flavor.acc.top1 * 100.0, 1),
+                  Table::Num(report.p95_latency_s * 1e3, 1),
+                  Table::Num(report.utilization, 2),
+                  Table::Num(report.cost_per_hour_usd, 2)});
+  }
+  std::cout << "fleet 2x g3.4xlarge:\n" << table.Render() << "\n";
+
+  // The quantized variant leaves the fleet half idle — serve the same
+  // traffic on half the instances and compare against the float fleet.
+  Rng rng_float(11);
+  const cloud::ServingReport float_two = serving.Simulate(
+      fleet, flavors[0].perf, arrivals_per_s, duration_s, policy, rng_float);
+  Rng rng_int8(11);
+  const cloud::ServingReport int8_one = serving.Simulate(
+      small, flavors[1].perf, arrivals_per_s, duration_s, policy, rng_int8);
+  std::cout << "same traffic, int8 on HALF the fleet (1x g3.4xlarge):\n"
+            << "  float 2x: p95 "
+            << Table::Num(float_two.p95_latency_s * 1e3, 1) << " ms at $"
+            << Table::Num(float_two.cost_per_hour_usd, 2) << "/h\n"
+            << "  int8  1x: p95 "
+            << Table::Num(int8_one.p95_latency_s * 1e3, 1) << " ms at $"
+            << Table::Num(int8_one.cost_per_hour_usd, 2) << "/h ("
+            << (int8_one.stable ? "stable" : "UNSTABLE") << ")\n"
+            << "quantization here buys "
+            << Table::Num(
+                   (1.0 - int8_one.cost_per_hour_usd /
+                              float_two.cost_per_hour_usd) * 100.0, 0)
+            << " % of the hourly bill for "
+            << Table::Num((flavors[0].acc.top1 - flavors[1].acc.top1) * 100.0,
+                          1)
+            << " points of Top-1.\n";
+  return 0;
+}

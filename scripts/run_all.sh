@@ -33,5 +33,6 @@ build/examples/calibration_workflow
 build/examples/train_and_prune 6
 build/examples/fault_tolerant_serving
 build/examples/chaos_drill
+build/examples/quantized_serving
 
 echo "ALL GREEN"

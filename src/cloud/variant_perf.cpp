@@ -8,27 +8,31 @@ namespace ccperf::cloud {
 VariantPerf ComputeVariantPerf(const ModelProfile& profile,
                                const DensityMap& densities,
                                const std::string& label) {
+  return ComputeVariantPerf(profile, densities, label, /*int8_enabled=*/false);
+}
+
+VariantPerf ComputeVariantPerf(const ModelProfile& profile,
+                               const DensityMap& densities,
+                               const std::string& label, bool int8_enabled) {
   double share = profile.residual_share;
   for (const auto& [name, lp] : profile.layers) {
-    double density_factor = 1.0;
+    double density = 1.0;
     const auto it = densities.find(name);
-    if (it != densities.end()) {
+    if (it != densities.end() && it->second.element < 1.0) {
       // Upstream filter removal compounds only into layers that are pruned
       // themselves: the pruner preferentially drops the weights reading the
       // dead channels, so unpruned layers keep their dense kernels (this is
       // what makes conv1 the least time-effective single layer to prune —
       // the paper's Observation 2 — while multi-layer plans are
-      // super-additive — Observation 3). The effective density then maps to
-      // time through the measured sparse/dense dispatch: above the sparse
-      // crossover the layer still runs the dense kernel and pruning buys no
-      // time (AnalyticSparseTimeFactor's plateau); below it, time tracks
-      // density.
-      density_factor =
-          it->second.element < 1.0
-              ? AnalyticSparseTimeFactor(it->second.element *
-                                         it->second.in_channel)
-              : 1.0;
+      // super-additive — Observation 3).
+      density = it->second.element * it->second.in_channel;
     }
+    // The effective density maps to time through the measured dispatch:
+    // above the sparse crossover the layer runs the dense kernel — float
+    // (pruning buys no time; AnalyticSparseTimeFactor's plateau) or int8 at
+    // kInt8TimeFactor — and below it, time tracks density unless the
+    // quantized dense kernel is faster still (AnalyticQuantTimeFactor).
+    const double density_factor = AnalyticQuantTimeFactor(density, int8_enabled);
     CCPERF_CHECK(density_factor >= 0.0 && density_factor <= 1.0,
                  "density factor out of range for ", name);
     share += lp.time_share *

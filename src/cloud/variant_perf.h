@@ -27,4 +27,14 @@ VariantPerf ComputeVariantPerf(const ModelProfile& profile,
                                const DensityMap& densities,
                                const std::string& label);
 
+/// As above with the int8 knob: when `int8_enabled`, each layer's prunable
+/// time maps through AnalyticQuantTimeFactor — dense-dispatched layers run
+/// the quantized kernel at kInt8TimeFactor of the float time, while layers
+/// pruned past the sparse crossover keep whichever path is faster. This is
+/// how quantized (and sparse+quantized) variants enter the TAR/CAR
+/// allocator and the frontier sweeps as first-class variants.
+VariantPerf ComputeVariantPerf(const ModelProfile& profile,
+                               const DensityMap& densities,
+                               const std::string& label, bool int8_enabled);
+
 }  // namespace ccperf::cloud

@@ -73,7 +73,13 @@ double CalibratedAccuracyModel::DamageOf(
 
 AccuracyResult CalibratedAccuracyModel::Evaluate(
     const pruning::PrunePlan& plan) const {
-  const double damage = DamageOf(plan);
+  return EvaluateQuantized(plan, 0.0);
+}
+
+AccuracyResult CalibratedAccuracyModel::EvaluateQuantized(
+    const pruning::PrunePlan& plan, double quant_damage) const {
+  CCPERF_CHECK(quant_damage >= 0.0, "negative quantization damage");
+  const double damage = DamageOf(plan) + quant_damage;
   const double multiplier = 1.0 / (1.0 + std::pow(damage, knee_exponent_));
   AccuracyResult result;
   result.top5 = base_top5_ * multiplier;

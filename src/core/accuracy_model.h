@@ -57,9 +57,25 @@ class CalibratedAccuracyModel final : public AccuracyModel {
   /// Fitted to GoogLeNet (Fig. 7): base 68 % / 89 %, sweet spots reach 60 %.
   static CalibratedAccuracyModel GoogLeNet();
 
+  /// Damage added by per-channel int8 quantization of every weighted layer
+  /// (the second accuracy knob, orthogonal to pruning). Calibrated against
+  /// EmpiricalAccuracyEvaluator::EvaluateInt8 on the scaled CaffeNet: the
+  /// measured teacher-student agreement of an int8 forward stays above
+  /// 0.98, which maps through the knee 1/(1+D^2) to D ~= 0.12. Quantized
+  /// damage is additive with pruning damage, reproducing the observed
+  /// super-additive drop when both knobs are pushed together.
+  static constexpr double kInt8QuantDamage = 0.12;
+
   [[nodiscard]] AccuracyResult Evaluate(
       const pruning::PrunePlan& plan) const override;
   [[nodiscard]] AccuracyResult Baseline() const override;
+
+  /// Accuracy of `plan` executed on the int8 path: pruning damage plus
+  /// `quant_damage`, through the same knee response. Evaluate(plan) is
+  /// exactly EvaluateQuantized(plan, 0.0).
+  [[nodiscard]] AccuracyResult EvaluateQuantized(
+      const pruning::PrunePlan& plan,
+      double quant_damage = kInt8QuantDamage) const;
 
   /// Total damage D of a plan (exposed for tests and calibration).
   [[nodiscard]] double DamageOf(const pruning::PrunePlan& plan) const;

@@ -62,4 +62,11 @@ AccuracyResult EmpiricalAccuracyEvaluator::Evaluate(
   return {agreement.top1 * base_top1_, agreement.top5 * base_top5_};
 }
 
+AccuracyResult EmpiricalAccuracyEvaluator::EvaluateInt8(
+    const nn::Network& variant) const {
+  nn::Network quantized = variant.Clone();
+  quantized.SetInt8Execution(true);
+  return Evaluate(quantized);
+}
+
 }  // namespace ccperf::core

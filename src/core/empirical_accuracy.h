@@ -34,6 +34,13 @@ class EmpiricalAccuracyEvaluator {
   /// Raw (unscaled) agreement fractions.
   [[nodiscard]] AccuracyResult Agreement(const nn::Network& variant) const;
 
+  /// Agreement of an int8-quantized execution of `variant` with the float
+  /// teacher: the variant is cloned, opted into int8, and evaluated —
+  /// measuring quantization damage empirically (the measurement that
+  /// calibrates CalibratedAccuracyModel::kInt8QuantDamage). Composes with
+  /// pruning: a pruned variant evaluates the sparse+quantized dispatch.
+  [[nodiscard]] AccuracyResult EvaluateInt8(const nn::Network& variant) const;
+
   [[nodiscard]] std::int64_t SampleSize() const { return sample_images_; }
 
  private:

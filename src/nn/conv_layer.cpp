@@ -71,8 +71,10 @@ Tensor ConvLayer::Forward(const std::vector<const Tensor*>& inputs) const {
   // path packs each group's weight panel once here and reuses it for every
   // image in the batch. Packing is read-on-demand (not cached across calls)
   // because weights may be mutated in place without NotifyWeightsChanged.
+  // The int8 path's quantized pack IS cached across calls (int8_groups_):
+  // it is rebuilt by NotifyWeightsChanged alongside the sparse builds.
   std::vector<PackedA> packed_groups;
-  if (kernel_ == SparseKernel::kDense) {
+  if (format_ == KernelFormat::kFloat) {
     packed_groups.reserve(static_cast<std::size_t>(groups));
     for (std::int64_t grp = 0; grp < groups; ++grp) {
       packed_groups.push_back(PackA(
@@ -92,19 +94,26 @@ Tensor ConvLayer::Forward(const std::vector<const Tensor*>& inputs) const {
           (img * params_.out_channels + grp * group_out) * out_pixels;
       std::span<float> dst = o.subspan(static_cast<std::size_t>(out_off),
                                        static_cast<std::size_t>(group_out * out_pixels));
-      switch (kernel_) {
-        case SparseKernel::kCsr:
+      switch (format_) {
+        case KernelFormat::kCsr:
           csr_groups_[static_cast<std::size_t>(grp)].MultiplyDense(
               columns, out_pixels, dst);
           break;
-        case SparseKernel::kBsr:
+        case KernelFormat::kBsr:
           bsr_groups_[static_cast<std::size_t>(grp)].MultiplyDense(
               columns, out_pixels, dst);
           break;
-        case SparseKernel::kDense:
+        case KernelFormat::kFloat:
           GemmPacked(packed_groups[static_cast<std::size_t>(grp)], out_pixels,
                      columns, dst);
           break;
+        case KernelFormat::kInt8:
+          // Bias rides the fused dequant epilogue; skip the float add below.
+          GemmInt8(int8_groups_[static_cast<std::size_t>(grp)], out_pixels,
+                   columns, dst,
+                   {.bias = b.subspan(static_cast<std::size_t>(grp * group_out),
+                                      static_cast<std::size_t>(group_out))});
+          continue;
       }
       // Bias.
       for (std::int64_t oc = 0; oc < group_out; ++oc) {
@@ -146,8 +155,15 @@ std::unique_ptr<Layer> ConvLayer::Clone() const {
   auto copy = std::make_unique<ConvLayer>(Name(), params_, in_channels_);
   copy->weights_ = weights_;
   copy->bias_ = bias_;
+  copy->int8_enabled_ = int8_enabled_;
   copy->NotifyWeightsChanged();
   return copy;
+}
+
+void ConvLayer::SetInt8Execution(bool enabled) {
+  if (int8_enabled_ == enabled) return;
+  int8_enabled_ = enabled;
+  NotifyWeightsChanged();  // re-dispatch and (re)build the cached format
 }
 
 void ConvLayer::NotifyWeightsChanged() {
@@ -167,19 +183,31 @@ void ConvLayer::NotifyWeightsChanged() {
     fill += BsrMatrix::DenseBlockFill(group_out, patch, group_span(grp));
   }
   fill /= static_cast<double>(groups);
-  kernel_ = ChooseSparseKernel(density, fill);
+  format_ = ChooseKernelFormat(density, fill, int8_enabled_);
 
+  // Only the dispatched format is built; stale builds for the other formats
+  // are dropped so a weight edit can never execute against old weights.
   csr_groups_.clear();
   bsr_groups_.clear();
-  for (std::int64_t grp = 0; grp < groups && kernel_ != SparseKernel::kDense;
-       ++grp) {
-    if (kernel_ == SparseKernel::kCsr) {
-      csr_groups_.push_back(
-          CsrMatrix::FromDense(group_out, patch, group_span(grp)));
-    } else {
-      bsr_groups_.push_back(
-          BsrMatrix::FromDense(group_out, patch, group_span(grp)));
+  int8_groups_.clear();
+  for (std::int64_t grp = 0; grp < groups; ++grp) {
+    switch (format_) {
+      case KernelFormat::kCsr:
+        csr_groups_.push_back(
+            CsrMatrix::FromDense(group_out, patch, group_span(grp)));
+        break;
+      case KernelFormat::kBsr:
+        bsr_groups_.push_back(
+            BsrMatrix::FromDense(group_out, patch, group_span(grp)));
+        break;
+      case KernelFormat::kInt8:
+        int8_groups_.push_back(
+            QuantizePackA(group_out, patch, group_span(grp)));
+        break;
+      case KernelFormat::kFloat:
+        break;
     }
+    if (format_ == KernelFormat::kFloat) break;
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "nn/layer.h"
 #include "tensor/im2col.h"
+#include "tensor/quant.h"
 #include "tensor/sparse.h"
 #include "tensor/sparse_dispatch.h"
 
@@ -24,11 +25,12 @@ struct ConvParams {
 
 /// Convolution over NCHW input. Weights are OIHW with I = in_channels/groups.
 /// NotifyWeightsChanged() measures the weights' density and block fill and
-/// asks ChooseSparseKernel (tensor/sparse_dispatch.h) which engine wins:
-/// packed dense GEMM, blocked CSR, or 4x4 block-CSR for block-structured
-/// pruning. Sparse builds are cached per group across forward passes, so
-/// execution time falls with pruning — the core mechanism of the paper's
-/// time-accuracy trade-off.
+/// asks ChooseKernelFormat (tensor/sparse_dispatch.h) which engine wins:
+/// packed dense GEMM, blocked CSR, 4x4 block-CSR for block-structured
+/// pruning, or the per-channel int8 GEMM when quantized execution is
+/// enabled. Sparse and quantized builds are cached per group across forward
+/// passes, so execution time falls with pruning/quantization — the core
+/// mechanism of the paper's time-accuracy trade-off.
 class ConvLayer final : public Layer {
  public:
   ConvLayer(std::string name, ConvParams params, std::int64_t in_channels);
@@ -48,12 +50,16 @@ class ConvLayer final : public Layer {
   [[nodiscard]] const Tensor& Bias() const override { return bias_; }
   void NotifyWeightsChanged() override;
   [[nodiscard]] double WeightDensity() const override;
+  void SetInt8Execution(bool enabled) override;
+  [[nodiscard]] bool Int8Execution() const override { return int8_enabled_; }
 
-  /// Kernel the current forward pass dispatches to.
-  [[nodiscard]] SparseKernel Kernel() const { return kernel_; }
+  /// Packed-weight format the current forward pass dispatches to.
+  [[nodiscard]] KernelFormat Format() const { return format_; }
+  /// Sparse engine the format maps onto (kDense for float and int8).
+  [[nodiscard]] SparseKernel Kernel() const { return ToSparseKernel(format_); }
   /// True if the current forward pass would take a sparse (CSR/BSR) path.
   [[nodiscard]] bool UsesSparsePath() const {
-    return kernel_ != SparseKernel::kDense;
+    return Kernel() != SparseKernel::kDense;
   }
 
  private:
@@ -63,11 +69,14 @@ class ConvLayer final : public Layer {
   std::int64_t in_channels_;
   Tensor weights_;  // [out_c, in_c/groups, k, k]
   Tensor bias_;     // [out_c]
-  // Cached execution state, rebuilt by NotifyWeightsChanged(). One sparse
-  // matrix per group ([out_c/g, patch]); only the dispatched format is built.
-  SparseKernel kernel_ = SparseKernel::kDense;
+  bool int8_enabled_ = false;
+  // Cached execution state, rebuilt by NotifyWeightsChanged(). One sparse /
+  // quantized matrix per group ([out_c/g, patch]); only the dispatched
+  // format is built.
+  KernelFormat format_ = KernelFormat::kFloat;
   std::vector<CsrMatrix> csr_groups_;
   std::vector<BsrMatrix> bsr_groups_;
+  std::vector<QuantizedPackedA> int8_groups_;
 };
 
 }  // namespace ccperf::nn

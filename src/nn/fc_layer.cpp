@@ -52,25 +52,33 @@ Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
       }
     }
     std::vector<float> yt(static_cast<std::size_t>(out_features_ * batch));
-    switch (kernel_) {
-      case SparseKernel::kCsr:
+    // The int8 path fuses the bias into the dequant epilogue (one bias per
+    // output row of y^T); the float paths add it during the transpose back.
+    switch (format_) {
+      case KernelFormat::kCsr:
         csr_.MultiplyDense(xt, batch, yt);
         break;
-      case SparseKernel::kBsr:
+      case KernelFormat::kBsr:
         bsr_.MultiplyDense(xt, batch, yt);
         break;
-      case SparseKernel::kDense: {
+      case KernelFormat::kFloat: {
         const PackedA packed =
             PackA(out_features_, in_features_, weights_.Data());
         GemmPacked(packed, batch, xt, yt);
         break;
       }
+      case KernelFormat::kInt8:
+        GemmInt8(int8_, batch, xt, yt, {.bias = b});
+        break;
     }
+    // Pure copy when the bias is already fused: adding 0.0f would turn a
+    // -0.0 epilogue output into +0.0 and break bitwise invariants.
+    const bool bias_fused = format_ == KernelFormat::kInt8;
     for (std::int64_t img = 0; img < batch; ++img) {
       for (std::int64_t o = 0; o < out_features_; ++o) {
+        const float v = yt[static_cast<std::size_t>(o * batch + img)];
         y[static_cast<std::size_t>(img * out_features_ + o)] =
-            yt[static_cast<std::size_t>(o * batch + img)] +
-            b[static_cast<std::size_t>(o)];
+            bias_fused ? v : v + b[static_cast<std::size_t>(o)];
       }
     }
     return out;
@@ -83,16 +91,20 @@ Tensor FcLayer::Forward(const std::vector<const Tensor*>& inputs) const {
     std::span<float> yi =
         y.subspan(static_cast<std::size_t>(img * out_features_),
                   static_cast<std::size_t>(out_features_));
-    switch (kernel_) {
-      case SparseKernel::kCsr:
+    switch (format_) {
+      case KernelFormat::kCsr:
         csr_.MultiplyVector(xi, yi);
         break;
-      case SparseKernel::kBsr:
+      case KernelFormat::kBsr:
         bsr_.MultiplyVector(xi, yi);
         break;
-      case SparseKernel::kDense:
+      case KernelFormat::kFloat:
         Gemv(out_features_, in_features_, weights_.Data(), xi, yi);
         break;
+      case KernelFormat::kInt8:
+        // One-column GEMM with the bias fused; skip the float add below.
+        GemmInt8(int8_, 1, xi, yi, {.bias = b});
+        continue;
     }
     for (std::int64_t o = 0; o < out_features_; ++o) {
       yi[static_cast<std::size_t>(o)] += b[static_cast<std::size_t>(o)];
@@ -121,23 +133,35 @@ std::unique_ptr<Layer> FcLayer::Clone() const {
   auto copy = std::make_unique<FcLayer>(Name(), in_features_, out_features_);
   copy->weights_ = weights_;
   copy->bias_ = bias_;
+  copy->int8_enabled_ = int8_enabled_;
   copy->NotifyWeightsChanged();
   return copy;
+}
+
+void FcLayer::SetInt8Execution(bool enabled) {
+  if (int8_enabled_ == enabled) return;
+  int8_enabled_ = enabled;
+  NotifyWeightsChanged();  // re-dispatch and (re)build the cached format
 }
 
 void FcLayer::NotifyWeightsChanged() {
   const double density = WeightDensity();
   const double fill =
       BsrMatrix::DenseBlockFill(out_features_, in_features_, weights_.Data());
-  kernel_ = ChooseSparseKernel(density, fill);
-  csr_ = kernel_ == SparseKernel::kCsr
+  format_ = ChooseKernelFormat(density, fill, int8_enabled_);
+  // Only the dispatched format is built; stale builds for the other formats
+  // are dropped so a weight edit can never execute against old weights.
+  csr_ = format_ == KernelFormat::kCsr
              ? CsrMatrix::FromDense(out_features_, in_features_,
                                     weights_.Data())
              : CsrMatrix();
-  bsr_ = kernel_ == SparseKernel::kBsr
+  bsr_ = format_ == KernelFormat::kBsr
              ? BsrMatrix::FromDense(out_features_, in_features_,
                                     weights_.Data())
              : BsrMatrix();
+  int8_ = format_ == KernelFormat::kInt8
+              ? QuantizePackA(out_features_, in_features_, weights_.Data())
+              : QuantizedPackedA();
 }
 
 double FcLayer::WeightDensity() const { return 1.0 - weights_.ZeroFraction(); }

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "nn/layer.h"
+#include "tensor/quant.h"
 #include "tensor/sparse.h"
 #include "tensor/sparse_dispatch.h"
 
@@ -36,12 +37,16 @@ class FcLayer final : public Layer {
   [[nodiscard]] const Tensor& Bias() const override { return bias_; }
   void NotifyWeightsChanged() override;
   [[nodiscard]] double WeightDensity() const override;
+  void SetInt8Execution(bool enabled) override;
+  [[nodiscard]] bool Int8Execution() const override { return int8_enabled_; }
 
-  /// Kernel the current forward pass dispatches to.
-  [[nodiscard]] SparseKernel Kernel() const { return kernel_; }
+  /// Packed-weight format the current forward pass dispatches to.
+  [[nodiscard]] KernelFormat Format() const { return format_; }
+  /// Sparse engine the format maps onto (kDense for float and int8).
+  [[nodiscard]] SparseKernel Kernel() const { return ToSparseKernel(format_); }
   /// True if the current forward pass would take a sparse (CSR/BSR) path.
   [[nodiscard]] bool UsesSparsePath() const {
-    return kernel_ != SparseKernel::kDense;
+    return Kernel() != SparseKernel::kDense;
   }
 
  private:
@@ -49,11 +54,13 @@ class FcLayer final : public Layer {
   std::int64_t out_features_;
   Tensor weights_;  // [out_features, in_features]
   Tensor bias_;     // [out_features]
+  bool int8_enabled_ = false;
   // Cached execution state, rebuilt by NotifyWeightsChanged(); only the
   // dispatched format is built.
-  SparseKernel kernel_ = SparseKernel::kDense;
+  KernelFormat format_ = KernelFormat::kFloat;
   CsrMatrix csr_;
   BsrMatrix bsr_;
+  QuantizedPackedA int8_;
 };
 
 }  // namespace ccperf::nn

@@ -85,6 +85,15 @@ class Layer {
   /// Fraction of nonzero weights in (0, 1]; 1.0 for weightless layers.
   [[nodiscard]] virtual double WeightDensity() const { return 1.0; }
 
+  /// Opt this layer into (or out of) int8 quantized execution. Weighted
+  /// layers re-dispatch their cached kernel format; the base class ignores
+  /// the request (weightless layers have nothing to quantize).
+  virtual void SetInt8Execution(bool) {}
+
+  /// True if the layer is opted into int8 quantized execution (whether or
+  /// not the dispatcher currently picks the int8 kernel over sparse).
+  [[nodiscard]] virtual bool Int8Execution() const { return false; }
+
  protected:
   /// Subclasses are move-constructible (factories return them by value);
   /// use Clone() for copies.

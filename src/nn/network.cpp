@@ -165,6 +165,17 @@ Network Network::Clone() const {
   return copy;
 }
 
+void Network::SetInt8Execution(bool enabled) {
+  for (auto& node : nodes_) node.layer->SetInt8Execution(enabled);
+}
+
+bool Network::Int8Execution() const {
+  for (const auto& node : nodes_) {
+    if (node.layer->Int8Execution()) return true;
+  }
+  return false;
+}
+
 std::vector<std::string> Network::WeightedLayerNames() const {
   std::vector<std::string> names;
   for (const auto& node : nodes_) {

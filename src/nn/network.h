@@ -65,6 +65,13 @@ class Network {
   /// Deep copy including weights and cached sparse state.
   [[nodiscard]] Network Clone() const;
 
+  /// Opt every weighted layer into (or out of) int8 quantized execution.
+  /// Layers re-dispatch immediately; Clone() preserves the setting.
+  void SetInt8Execution(bool enabled);
+
+  /// True if any layer currently opts into int8 execution.
+  [[nodiscard]] bool Int8Execution() const;
+
   /// Names of all weighted (prunable) layers, in topological order.
   [[nodiscard]] std::vector<std::string> WeightedLayerNames() const;
 

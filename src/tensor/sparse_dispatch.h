@@ -78,4 +78,77 @@ inline constexpr double kBsrMinBlockFill = 0.5;
   return density < kBsrCrossoverDensity ? density : 1.0;
 }
 
+/// Which packed-weight format a weighted layer executes on: the float
+/// formats above, or the int8 quantized path (tensor/quant.h). Quantized
+/// execution is opt-in per network (Layer::SetInt8Execution) because it
+/// trades a bounded accuracy loss for speed — the second accuracy knob of
+/// the cost-accuracy frontier, next to pruning.
+enum class KernelFormat {
+  kFloat,  // blocked+packed float GEMM (gemm.cpp)
+  kCsr,    // row-panel CSR x packed-B SpMM (sparse_kernels.cpp)
+  kBsr,    // 4x4 block-CSR register-tiled SpMM (sparse_kernels.cpp)
+  kInt8,   // per-channel int8 GEMM + fused dequant epilogue (quant.cpp)
+};
+
+[[nodiscard]] constexpr const char* ToString(KernelFormat f) {
+  switch (f) {
+    case KernelFormat::kFloat: return "float";
+    case KernelFormat::kCsr: return "csr";
+    case KernelFormat::kBsr: return "bsr";
+    case KernelFormat::kInt8: return "int8";
+  }
+  return "?";
+}
+
+/// Seconds-per-image factor of the int8 path relative to the packed float
+/// GEMM on dense-dispatched layers. Measured on the Table-1 conv shapes by
+/// bench_ext_gemm_speedup (bench_results/ext_gemm_speedup.csv): the VNNI
+/// byte-dot kernel sustains 2-2.8x the float GFLOP/s with the activation
+/// scale scan and quantize-pack folded in, so the model holds a
+/// conservative 0.45.
+inline constexpr double kInt8TimeFactor = 0.45;
+
+/// Three-way dispatch: the sparse crossovers still rule when pruning has
+/// made the sparse kernel genuinely cheaper than quantized-dense (analytic
+/// sparse factor = density beats kInt8TimeFactor); otherwise an
+/// int8-enabled layer runs quantized. Mirrors ChooseSparseKernel when
+/// int8 is off.
+[[nodiscard]] constexpr KernelFormat ChooseKernelFormat(double density,
+                                                        double bsr_fill,
+                                                        bool int8_enabled) {
+  const SparseKernel sparse = ChooseSparseKernel(density, bsr_fill);
+  if (int8_enabled &&
+      (sparse == SparseKernel::kDense || density >= kInt8TimeFactor)) {
+    return KernelFormat::kInt8;
+  }
+  switch (sparse) {
+    case SparseKernel::kDense: return KernelFormat::kFloat;
+    case SparseKernel::kCsr: return KernelFormat::kCsr;
+    case SparseKernel::kBsr: return KernelFormat::kBsr;
+  }
+  return KernelFormat::kFloat;
+}
+
+/// Sparse kernel a format maps onto for float execution (int8 runs its own
+/// dense-shaped kernel).
+[[nodiscard]] constexpr SparseKernel ToSparseKernel(KernelFormat f) {
+  switch (f) {
+    case KernelFormat::kCsr: return SparseKernel::kCsr;
+    case KernelFormat::kBsr: return SparseKernel::kBsr;
+    case KernelFormat::kFloat:
+    case KernelFormat::kInt8: return SparseKernel::kDense;
+  }
+  return SparseKernel::kDense;
+}
+
+/// AnalyticSparseTimeFactor extended with the int8 knob: an int8-enabled
+/// layer's time factor is the better of the sparse path and the quantized
+/// dense path — exactly the ChooseKernelFormat policy above.
+[[nodiscard]] constexpr double AnalyticQuantTimeFactor(double density,
+                                                       bool int8_enabled) {
+  const double sparse = AnalyticSparseTimeFactor(density);
+  if (!int8_enabled) return sparse;
+  return sparse < kInt8TimeFactor ? sparse : kInt8TimeFactor;
+}
+
 }  // namespace ccperf

@@ -154,6 +154,51 @@ TEST_F(CheckpointTest, KillAtEveryFaultEventResumesBitwiseIdentically) {
   }
 }
 
+TEST_F(CheckpointTest, Int8VariantResumesBitwiseIdenticallyMidRun) {
+  // Quantized variants (int8-enabled ComputeVariantPerf) are first-class
+  // serving citizens: kill a mid-run engine serving an int8 variant at
+  // several fault events and the restored runs must finish with bitwise
+  // identical reports. The snapshot fingerprint covers the variant's perf,
+  // so an int8 snapshot must not restore into a float-variant engine.
+  const VariantPerf int8_perf = ComputeVariantPerf(
+      profile_, DensityFromPlan(profile_, {}), "nonpruned-int8",
+      /*int8_enabled=*/true);
+  EXPECT_LT(int8_perf.ref_seconds_per_image, perf_.ref_seconds_per_image)
+      << "the quantized kernel must be modeled as faster than float";
+
+  const double duration = 90.0;
+  const auto trace = PoissonTrace(20.0, duration, 77);
+  const FaultSchedule faults = CrashStorm(2, duration, 13);
+  ASSERT_GE(faults.events.size(), 2u);
+  const ServingPolicy policy{
+      .max_batch = 16, .max_wait_s = 0.02, .deadline_s = 1.5};
+  const RetryPolicy retry{.max_retries = 4, .base_backoff_s = 0.02};
+
+  const ServingReport reference = serving_.SimulateFaulted(
+      Fleet(2), int8_perf, trace, duration, policy, retry, faults);
+
+  for (const FaultEvent& event : faults.events) {
+    FaultedServingEngine victim(serving_, Fleet(2), int8_perf, trace,
+                                duration, policy, retry, faults);
+    while (!victim.Done() && victim.Watermark() < event.start_s) {
+      victim.Step();
+    }
+    const std::string snapshot = victim.Checkpoint();
+
+    FaultedServingEngine resumed(serving_, Fleet(2), int8_perf, trace,
+                                 duration, policy, retry, faults);
+    resumed.Restore(snapshot);
+    while (!resumed.Done()) resumed.Step();
+    ExpectReportsIdentical(resumed.Finish(), reference);
+
+    // The same snapshot must be rejected by a float-variant engine: the
+    // variant identity is part of the run fingerprint.
+    FaultedServingEngine float_engine(serving_, Fleet(2), perf_, trace,
+                                      duration, policy, retry, faults);
+    EXPECT_THROW(float_engine.Restore(snapshot), CheckError);
+  }
+}
+
 TEST_F(CheckpointTest, RestoreRejectsMismatchedInputsAndForeignSnapshots) {
   const auto trace = PoissonTrace(10.0, 60.0, 5);
   FaultedServingEngine engine(serving_, Fleet(), perf_, trace, 60.0, {}, {},

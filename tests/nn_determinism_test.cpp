@@ -133,6 +133,80 @@ TEST(Determinism, PrunedBsrForwardMatchesSerialExecution) {
                            pooled.size() * sizeof(float)));
 }
 
+TEST(Determinism, Int8ForwardMatchesSerialExecution) {
+  // Quantized execution keeps the full determinism contract: the int8
+  // kernel accumulates in exact int32 (associative — immune to chunking)
+  // and dequantizes each element exactly once, so the pooled, repeated,
+  // and serial (one-thread-pool-equivalent) forwards must all be bitwise
+  // identical. This is pool-size independence for the quantized path.
+  nn::Network net = ScaledCaffeNet();
+  net.SetInt8Execution(true);
+  int int8_layers = 0;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    if (auto* conv = dynamic_cast<nn::ConvLayer*>(&net.LayerAt(i))) {
+      if (conv->Format() == KernelFormat::kInt8) ++int8_layers;
+    }
+  }
+  ASSERT_GT(int8_layers, 0) << "int8 mode did not activate any conv layer";
+  const data::SyntheticImageDataset dataset(Shape{3, 227, 227}, 32, 8, 9);
+  const Tensor batch = dataset.Batch(0, 2);
+
+  const std::vector<float> pooled = Logits(net, batch);
+  const std::vector<float> repeat = Logits(net, batch);
+  std::vector<float> serial;
+  {
+    ScopedSerial serial_scope;
+    serial = Logits(net, batch);
+  }
+  ASSERT_EQ(pooled.size(), serial.size());
+  EXPECT_EQ(0, std::memcmp(pooled.data(), repeat.data(),
+                           pooled.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                           pooled.size() * sizeof(float)));
+}
+
+TEST(Determinism, PrunedInt8MixedFormatForwardMatchesSerialExecution) {
+  // Pruning + quantization together: deeply pruned layers dispatch to CSR
+  // while the rest run int8 — the mixed-format network must still be
+  // bitwise pool-independent.
+  nn::Network net = ScaledCaffeNet();
+  net.SetInt8Execution(true);
+  pruning::MagnitudePruner pruner;
+  // Prune only the odd weighted layers so both formats are present.
+  bool prune_this = false;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    nn::Layer& layer = net.LayerAt(i);
+    if (!layer.HasWeights()) continue;
+    if (prune_this) pruner.Prune(layer, 0.9);
+    prune_this = !prune_this;
+  }
+  int int8_layers = 0;
+  int csr_layers = 0;
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    if (auto* conv = dynamic_cast<nn::ConvLayer*>(&net.LayerAt(i))) {
+      int8_layers += conv->Format() == KernelFormat::kInt8;
+      csr_layers += conv->Format() == KernelFormat::kCsr;
+    }
+  }
+  ASSERT_GT(int8_layers, 0) << "no conv layer stayed on the int8 path";
+  ASSERT_GT(csr_layers, 0) << "pruning did not flip any conv layer to CSR";
+  const data::SyntheticImageDataset dataset(Shape{3, 227, 227}, 32, 8, 9);
+  const Tensor batch = dataset.Batch(0, 2);
+
+  const std::vector<float> pooled = Logits(net, batch);
+  const std::vector<float> repeat = Logits(net, batch);
+  std::vector<float> serial;
+  {
+    ScopedSerial serial_scope;
+    serial = Logits(net, batch);
+  }
+  ASSERT_EQ(pooled.size(), serial.size());
+  EXPECT_EQ(0, std::memcmp(pooled.data(), repeat.data(),
+                           pooled.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                           pooled.size() * sizeof(float)));
+}
+
 TEST(Determinism, TinyCnnForwardIsBitwiseReproducible) {
   // Cheap guard that also covers the fc batched fast path (batch > 1).
   nn::ModelConfig config;

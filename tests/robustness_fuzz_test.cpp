@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "nn/model_parser.h"
 #include "nn/model_zoo.h"
 #include "nn/serialize.h"
+#include "tensor/quant.h"
 
 namespace ccperf {
 namespace {
@@ -371,6 +374,100 @@ TEST_P(SnapshotFuzz, KillAtRandomPointsResumesBitwiseIdentically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz, ::testing::Values(21, 22, 23));
+
+// ---------------------------------------------------- quantization fuzzing
+
+class QuantFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantFuzz, RoundTripStaysOnGridAcrossScaleDecades) {
+  // Seeded round-trip sweep over twelve decades of scale: the quantized
+  // code must stay in [-127, 127], dequantize back within half a step,
+  // saturate cleanly, and be a fixed point of requantization.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const float scale = std::pow(
+        10.0f, rng.NextFloat(-6.0f, 6.0f));
+    // Values span the grid and a saturating margin beyond it.
+    const float v = rng.NextFloat(-1.5f, 1.5f) * 127.0f * scale;
+    const std::int8_t q = QuantizeToInt8(v, scale);
+    ASSERT_GE(q, -127) << "v=" << v << " scale=" << scale;
+    ASSERT_LE(q, 127) << "v=" << v << " scale=" << scale;
+    if (std::fabs(v) <= 127.0f * scale) {
+      // On-grid values dequantize back within half a quantization step
+      // (plus float-rounding slack from the 1/scale and q*scale products).
+      ASSERT_LE(std::fabs(static_cast<float>(q) * scale - v),
+                scale * 0.5001f + std::fabs(v) * 1e-5f)
+          << "v=" << v << " scale=" << scale << " q=" << int(q);
+    } else if (std::fabs(v) > 127.6f * scale) {
+      ASSERT_EQ(std::abs(int(q)), 127)
+          << "saturation expected: v=" << v << " scale=" << scale;
+    }
+    // Requantizing the dequantized value must be a fixed point — this is
+    // what makes repeated checkpoint/restore of quantized weights stable.
+    ASSERT_EQ(QuantizeToInt8(static_cast<float>(q) * scale, scale), q)
+        << "v=" << v << " scale=" << scale;
+  }
+}
+
+TEST_P(QuantFuzz, SpecialValuesNeverEscapeTheGrid) {
+  Rng rng(GetParam() ^ 0x1717);
+  const float specials[] = {std::numeric_limits<float>::quiet_NaN(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity(),
+                            std::numeric_limits<float>::denorm_min(),
+                            -std::numeric_limits<float>::denorm_min(),
+                            0.0f,
+                            -0.0f,
+                            std::numeric_limits<float>::max(),
+                            std::numeric_limits<float>::lowest()};
+  for (int trial = 0; trial < 500; ++trial) {
+    const float v = specials[rng.NextIndex(std::size(specials))];
+    const float scale =
+        trial % 7 == 0 ? 0.0f : std::pow(10.0f, rng.NextFloat(-6.0f, 6.0f));
+    const std::int8_t q = QuantizeToInt8(v, scale);
+    ASSERT_GE(q, -127);
+    ASSERT_LE(q, 127);
+    if (std::isnan(v) || scale <= 0.0f) ASSERT_EQ(q, 0);
+  }
+}
+
+TEST_P(QuantFuzz, RandomShapesStayBitwiseEqualToNaiveOracle) {
+  // Random shapes, magnitudes, and occasional non-finite activations: the
+  // packed kernel must track the naive int8 oracle bitwise everywhere, and
+  // finite-scale outputs must stay finite (non-finite containment).
+  Rng rng(GetParam() ^ 0x8a7e);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = static_cast<std::int64_t>(rng.NextIndex(40)) + 1;
+    const auto n = static_cast<std::int64_t>(rng.NextIndex(48)) + 1;
+    const auto k = static_cast<std::int64_t>(rng.NextIndex(300)) + 1;
+    const float mag = std::pow(10.0f, rng.NextFloat(-3.0f, 3.0f));
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (auto& x : a) x = rng.NextFloat(-mag, mag);
+    for (auto& x : b) {
+      x = rng.NextFloat(-mag, mag);
+      const auto roll = rng.NextIndex(200);
+      if (roll == 0) x = std::numeric_limits<float>::quiet_NaN();
+      if (roll == 1) x = std::numeric_limits<float>::infinity();
+      if (roll == 2) x = -0.0f;
+    }
+    std::vector<float> bias(static_cast<std::size_t>(m));
+    for (auto& x : bias) x = rng.NextFloat(-1.0f, 1.0f);
+    const Int8Epilogue epi{.bias = bias, .relu = trial % 2 == 0};
+    std::vector<float> c_fast(static_cast<std::size_t>(m * n));
+    std::vector<float> c_naive(static_cast<std::size_t>(m * n));
+    GemmInt8(m, n, k, a, b, c_fast, epi);
+    NaiveGemmInt8(m, n, k, a, b, c_naive, epi);
+    ASSERT_EQ(0, std::memcmp(c_fast.data(), c_naive.data(),
+                             c_fast.size() * sizeof(float)))
+        << "trial " << trial << " m=" << m << " n=" << n << " k=" << k;
+    for (const float v : c_fast) {
+      ASSERT_TRUE(std::isfinite(v)) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantFuzz, ::testing::Values(31, 32, 33, 34));
 
 }  // namespace
 }  // namespace ccperf
