@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Determinism lint: greps src/ for constructs that break the repository's
-# bitwise-reproducibility contract (ROADMAP: same seed -> same bytes).
+# Determinism lint: greps src/ and tools/ for constructs that break the
+# repository's bitwise-reproducibility contract (ROADMAP: same seed -> same
+# bytes).
 #
-# Banned in src/:
+# Banned in src/ and tools/:
 #   std::rand / srand / bare rand()   — hidden global RNG state; use
 #                                       common/rng.h (seeded, counter-based)
 #   std::random_device                — nondeterministic hardware entropy
@@ -51,7 +52,7 @@ for entry in "${patterns[@]}"; do
   id="${entry%%|*}"
   regex="${entry#*|}"
   # shellcheck disable=SC2046
-  hits=$(grep -rnE "$regex" src --include='*.cpp' --include='*.h' || true)
+  hits=$(grep -rnE "$regex" src tools --include='*.cpp' --include='*.h' || true)
   [ -n "$hits" ] || continue
   while IFS= read -r hit; do
     file="${hit%%:*}"
@@ -59,7 +60,7 @@ for entry in "${patterns[@]}"; do
       continue
     fi
     if [ "$status" -eq 0 ]; then
-      echo "check_determinism_lint: FAIL — banned constructs in src/"
+      echo "check_determinism_lint: FAIL — banned constructs in src/ or tools/"
       echo "  (see script header for the rationale per pattern)"
     fi
     status=1
@@ -68,7 +69,7 @@ for entry in "${patterns[@]}"; do
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_determinism_lint: OK — src/ is free of banned nondeterminism" \
-       "sources (${#patterns[@]} patterns checked)"
+  echo "check_determinism_lint: OK — src/ and tools/ are free of banned" \
+       "nondeterminism sources (${#patterns[@]} patterns checked)"
 fi
 exit "$status"

@@ -5,7 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja \
-  -DCCPERF_BUILD_TESTS=ON -DCCPERF_BUILD_BENCH=ON -DCCPERF_BUILD_EXAMPLES=ON
+  -DCCPERF_BUILD_TESTS=ON -DCCPERF_BUILD_BENCH=ON -DCCPERF_BUILD_EXAMPLES=ON \
+  -DCCPERF_BUILD_TOOLS=ON
 cmake --build build
 
 echo "== tests =="
@@ -22,6 +23,13 @@ for b in build/bench/bench_*; do
   echo "--- $b"
   "$b"
 done
+
+echo "== tools =="
+# Full-space enumeration smoke: >= 10^6 configs through the streamed sweep
+# engine (the scale gates live in bench_ext_enumeration_scale above).
+build/tools/ccperf_calc --top 10
+build/tools/ccperf_calc --no-spot --variants 10 --sort tar --terse --top 5
+build/tools/ccperf_calc --list-metrics
 
 echo "== examples =="
 build/examples/quickstart

@@ -133,9 +133,9 @@ void FaultDomainTopology::Validate() const {
       const DomainLevel expected = d.level == DomainLevel::kZone
                                        ? DomainLevel::kRegion
                                        : DomainLevel::kZone;
-      CCPERF_CHECK(domains[d.parent].level == expected,
-                   DomainLevelName(d.level), " '", d.name, "' parent '",
-                   domains[d.parent].name, "' must be a ",
+      const Domain& parent = domains[static_cast<std::size_t>(d.parent)];
+      CCPERF_CHECK(parent.level == expected, DomainLevelName(d.level), " '",
+                   d.name, "' parent '", parent.name, "' must be a ",
                    DomainLevelName(expected));
     }
   }
@@ -143,10 +143,10 @@ void FaultDomainTopology::Validate() const {
     const int d = instance_domain[i];
     CCPERF_CHECK(d >= 0 && static_cast<std::size_t>(d) < domains.size(),
                  "instance ", i, " placed in nonexistent domain ", d);
-    CCPERF_CHECK(domains[d].level == DomainLevel::kPool, "instance ", i,
+    const Domain& pool = domains[static_cast<std::size_t>(d)];
+    CCPERF_CHECK(pool.level == DomainLevel::kPool, "instance ", i,
                  " must be placed in a pool, got ",
-                 DomainLevelName(domains[d].level), " '", domains[d].name,
-                 "'");
+                 DomainLevelName(pool.level), " '", pool.name, "'");
   }
 }
 
@@ -168,7 +168,8 @@ bool FaultDomainTopology::Contains(int instance, int domain) const {
       static_cast<std::size_t>(instance) >= instance_domain.size()) {
     return false;
   }
-  for (int d = instance_domain[instance]; d != -1; d = domains[d].parent) {
+  for (int d = instance_domain[static_cast<std::size_t>(instance)]; d != -1;
+       d = domains[static_cast<std::size_t>(d)].parent) {
     if (d == domain) return true;
   }
   return false;
@@ -218,7 +219,7 @@ void FaultDomainTopology::PlaceInstances(int count, PlacementSpread spread) {
                                "pools");
   instance_domain.assign(static_cast<std::size_t>(count), pools[0]);
   if (spread == PlacementSpread::kSpread) {
-    for (int i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(count); ++i) {
       instance_domain[i] = pools[i % pools.size()];
     }
   }

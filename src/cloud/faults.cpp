@@ -209,8 +209,12 @@ FaultSchedule MergeFaultSchedules(const FaultSchedule& a,
       out.events.push_back(b.events[j++]);
     }
   }
-  out.events.insert(out.events.end(), a.events.begin() + i, a.events.end());
-  out.events.insert(out.events.end(), b.events.begin() + j, b.events.end());
+  out.events.insert(out.events.end(),
+                    a.events.begin() + static_cast<std::ptrdiff_t>(i),
+                    a.events.end());
+  out.events.insert(out.events.end(),
+                    b.events.begin() + static_cast<std::ptrdiff_t>(j),
+                    b.events.end());
   return out;
 }
 

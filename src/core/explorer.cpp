@@ -3,6 +3,7 @@
 #include "cloud/density.h"
 #include "cloud/variant_perf.h"
 #include "common/check.h"
+#include "core/pareto_sweep.h"
 
 namespace ccperf::core {
 
@@ -51,7 +52,9 @@ std::vector<std::size_t> Frontier(std::span<const ExploredPoint> points,
     objective[i] = use_cost ? points[i].cost_usd : points[i].seconds;
     accuracy[i] = use_top5 ? points[i].top5 : points[i].top1;
   }
-  return ParetoFrontier(objective, accuracy);
+  // Production path: the sorted-sweep filter (ParetoFrontier in
+  // core/pareto.h remains the differential oracle, same contract).
+  return SweepParetoFrontier(objective, accuracy);
 }
 }  // namespace
 

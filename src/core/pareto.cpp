@@ -1,13 +1,29 @@
 #include "core/pareto.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/check.h"
 
 namespace ccperf::core {
 
+namespace {
+
+void CheckNoNaN(std::span<const double> values, const char* axis) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    CCPERF_CHECK(!std::isnan(values[i]), "NaN ", axis, " objective at index ",
+                 static_cast<unsigned long long>(i),
+                 " — a NaN would silently win the frontier");
+  }
+}
+
+}  // namespace
+
 bool Dominates(double obj_a, double acc_a, double obj_b, double acc_b) {
+  CCPERF_CHECK(!std::isnan(obj_a) && !std::isnan(acc_a) &&
+                   !std::isnan(obj_b) && !std::isnan(acc_b),
+               "NaN objective in dominance comparison");
   const bool no_worse = obj_a <= obj_b && acc_a >= acc_b;
   const bool strictly_better = obj_a < obj_b || acc_a > acc_b;
   return no_worse && strictly_better;
@@ -17,16 +33,20 @@ std::vector<std::size_t> ParetoFrontier(std::span<const double> objective,
                                         std::span<const double> accuracy) {
   CCPERF_CHECK(objective.size() == accuracy.size(),
                "objective/accuracy size mismatch");
+  CheckNoNaN(objective, "objective");
+  CheckNoNaN(accuracy, "accuracy");
   const std::size_t n = objective.size();
   if (n == 0) return {};
 
   // Sort by accuracy descending; ties by objective ascending so the best
-  // representative of each accuracy level comes first.
+  // representative of each accuracy level comes first, then by input index
+  // so exact duplicates deterministically keep the first occurrence.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (accuracy[a] != accuracy[b]) return accuracy[a] > accuracy[b];
-    return objective[a] < objective[b];
+    if (objective[a] != objective[b]) return objective[a] < objective[b];
+    return a < b;
   });
 
   std::vector<std::size_t> frontier;
@@ -46,6 +66,10 @@ std::vector<std::size_t> ParetoFrontier(std::span<const double> objective,
 
 bool Dominates3(double time_a, double cost_a, double acc_a, double time_b,
                 double cost_b, double acc_b) {
+  CCPERF_CHECK(!std::isnan(time_a) && !std::isnan(cost_a) &&
+                   !std::isnan(acc_a) && !std::isnan(time_b) &&
+                   !std::isnan(cost_b) && !std::isnan(acc_b),
+               "NaN objective in dominance comparison");
   const bool no_worse =
       time_a <= time_b && cost_a <= cost_b && acc_a >= acc_b;
   const bool strictly_better =
@@ -58,6 +82,9 @@ std::vector<std::size_t> ParetoFrontier3(std::span<const double> time,
                                          std::span<const double> accuracy) {
   CCPERF_CHECK(time.size() == cost.size() && cost.size() == accuracy.size(),
                "objective size mismatch");
+  CheckNoNaN(time, "time");
+  CheckNoNaN(cost, "cost");
+  CheckNoNaN(accuracy, "accuracy");
   const std::size_t n = time.size();
   std::vector<std::size_t> frontier;
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,5 +1,14 @@
 // Pareto-frontier filter over (objective, accuracy) points: minimize the
 // objective (time or cost) while maximizing accuracy (paper §3.4, Figs 9-10).
+//
+// These are the straightforward reference implementations — the 2-D
+// sort-and-scan and the O(n²) all-pairs 3-D loop. Production frontiers run
+// on the O(n log n) sorted-sweep filters in core/pareto_sweep.h; the
+// functions here stay as the differential oracles those sweeps are proven
+// against, so their semantics are pinned:
+//   - exact duplicate points keep the FIRST occurrence in input order;
+//   - any NaN objective CHECK-fails (NaN compares false against everything,
+//     so it would never be dominated and would silently win the frontier).
 #pragma once
 
 #include <cstddef>
@@ -10,24 +19,29 @@ namespace ccperf::core {
 
 /// Indices (into the input spans) of the Pareto-optimal points: those for
 /// which no other point has accuracy >= and objective <= with at least one
-/// strict inequality. Duplicate points keep exactly one representative.
-/// Returned indices are sorted by descending accuracy. O(n log n).
+/// strict inequality. Exact duplicate points keep the lowest input index.
+/// Returned indices are sorted by descending accuracy. NaN CHECK-fails.
+/// O(n log n).
 std::vector<std::size_t> ParetoFrontier(std::span<const double> objective,
                                         std::span<const double> accuracy);
 
 /// True iff point a (obj_a, acc_a) dominates point b: no worse in both
-/// dimensions and strictly better in at least one.
+/// dimensions and strictly better in at least one. An exact duplicate does
+/// NOT dominate (both inequalities tie) — duplicate collapsing is the
+/// frontier functions' keep-first rule, not dominance. NaN CHECK-fails.
 bool Dominates(double obj_a, double acc_a, double obj_b, double acc_b);
 
 /// Tri-objective frontier: minimize both `time` and `cost` while maximizing
 /// `accuracy` — the consumer's real decision space when T' and C' both
-/// bind. Indices of non-dominated points (duplicates keep one
-/// representative), in input order. O(n²).
+/// bind. Indices of non-dominated points, in input order; exact duplicate
+/// triples keep the first occurrence only. NaN CHECK-fails. O(n²).
 std::vector<std::size_t> ParetoFrontier3(std::span<const double> time,
                                          std::span<const double> cost,
                                          std::span<const double> accuracy);
 
 /// Tri-objective dominance: a no worse than b in all three, better in one.
+/// As with Dominates, an exact duplicate does not dominate and any NaN
+/// coordinate CHECK-fails.
 bool Dominates3(double time_a, double cost_a, double acc_a, double time_b,
                 double cost_b, double acc_b);
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/check.h"
@@ -96,6 +97,94 @@ TEST_P(Pareto3Property, MinimalAndComplete) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Pareto3Property,
                          ::testing::Values(1, 7, 42, 99, 1234));
+
+// --- pinned tie/duplicate semantics (keep-first-occurrence) -----------------
+
+TEST(Dominates3, ExactDuplicateDoesNotDominate) {
+  // Dominance needs a strict improvement somewhere; an identical triple has
+  // none. Duplicate collapsing is the frontier's keep-first rule instead.
+  EXPECT_FALSE(Dominates3(2, 3, 0.7, 2, 3, 0.7));
+  EXPECT_FALSE(Dominates3(0, 0, 0, 0, 0, 0));
+}
+
+TEST(Dominates3, TwoAxisTieOneAxisStrictDominates) {
+  EXPECT_TRUE(Dominates3(1, 1, 0.9, 1, 1, 0.8));   // only accuracy strict
+  EXPECT_TRUE(Dominates3(1, 1, 0.9, 1, 2, 0.9));   // only cost strict
+  EXPECT_TRUE(Dominates3(1, 1, 0.9, 2, 1, 0.9));   // only time strict
+}
+
+TEST(Pareto3, DuplicatesKeepFirstOccurrence) {
+  // Three copies of the same efficient point interleaved with a dominated
+  // one: only the FIRST copy (index 0) survives.
+  const std::vector<double> t{1, 1, 5, 1};
+  const std::vector<double> c{1, 1, 5, 1};
+  const std::vector<double> a{0.9, 0.9, 0.5, 0.9};
+  EXPECT_EQ(ParetoFrontier3(t, c, a), (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto3, DistinctTiesAllSurvive) {
+  // Pairwise ties in two axes with opposing trade-offs in the third: no
+  // dominance anywhere, every point stays.
+  const std::vector<double> t{1, 1, 1};
+  const std::vector<double> c{1, 2, 3};
+  const std::vector<double> a{0.5, 0.6, 0.7};
+  EXPECT_EQ(ParetoFrontier3(t, c, a).size(), 3u);
+}
+
+TEST(Pareto2, DuplicatesKeepLowestIndex) {
+  // Exact duplicate (objective, accuracy) pairs: the representative is
+  // pinned to the lowest input index regardless of input order.
+  const std::vector<double> obj{3.0, 3.0, 3.0, 1.0};
+  const std::vector<double> acc{0.9, 0.9, 0.9, 0.2};
+  const auto frontier = ParetoFrontier(obj, acc);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0], 0u);  // first duplicate, not 1 or 2
+  EXPECT_EQ(frontier[1], 3u);
+}
+
+// --- NaN rejection ----------------------------------------------------------
+
+TEST(Dominates3, NaNObjectiveThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Dominates3(nan, 1, 0.5, 1, 1, 0.5), CheckError);
+  EXPECT_THROW(Dominates3(1, 1, 0.5, 1, nan, 0.5), CheckError);
+  EXPECT_THROW(Dominates3(1, 1, nan, 1, 1, 0.5), CheckError);
+}
+
+TEST(Dominates, NaNObjectiveThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Dominates(nan, 0.5, 1, 0.5), CheckError);
+  EXPECT_THROW(Dominates(1, 0.5, 1, nan), CheckError);
+}
+
+TEST(Pareto3, NaNPointThrowsInsteadOfWinning) {
+  // A NaN compares false against everything, so it can never be dominated —
+  // without the guard it would silently join every frontier.
+  const std::vector<double> ok{1, 2};
+  const std::vector<double> acc{0.5, 0.9};
+  const std::vector<double> bad{std::numeric_limits<double>::quiet_NaN(), 2};
+  EXPECT_THROW(ParetoFrontier3(bad, ok, acc), CheckError);
+  EXPECT_THROW(ParetoFrontier3(ok, bad, acc), CheckError);
+  EXPECT_THROW(ParetoFrontier3(ok, ok, bad), CheckError);
+}
+
+TEST(Pareto2, NaNPointThrows) {
+  const std::vector<double> ok{1, 2};
+  const std::vector<double> acc{0.5, 0.6};
+  const std::vector<double> bad{std::numeric_limits<double>::quiet_NaN(), 2};
+  EXPECT_THROW(ParetoFrontier(bad, acc), CheckError);
+  EXPECT_THROW(ParetoFrontier(ok, bad), CheckError);
+}
+
+TEST(Pareto3, InfinityIsAllowed) {
+  // Infinities order normally and must NOT be rejected: an infeasible
+  // (infinite-cost) point is simply dominated.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> t{1, 1};
+  const std::vector<double> c{1, inf};
+  const std::vector<double> a{0.9, 0.9};
+  EXPECT_EQ(ParetoFrontier3(t, c, a), (std::vector<std::size_t>{0}));
+}
 
 TEST(Pareto3, RejectsMismatchedSizes) {
   const std::vector<double> two{1, 2};

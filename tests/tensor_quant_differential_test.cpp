@@ -32,6 +32,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/threading.h"
+#include "nn/fc_layer.h"
+#include "tensor/tensor.h"
 
 namespace ccperf {
 namespace {
@@ -484,6 +486,110 @@ TEST(QuantEdgeCases, SizeMismatchesAreRejected) {
   EXPECT_THROW(GemmInt8(packed, 2, b, c), CheckError);  // B is 5, needs 10
   std::vector<float> b2(10);
   EXPECT_THROW(GemmInt8(packed, 2, b2, c, {.bias = bias}), CheckError);
+}
+
+// --- batched fc fast path (ISSUE 8 satellite 2) -----------------------------
+//
+// FcLayer's batch > 1 int8 path runs ONE GemmInt8 against the transposed
+// batch (y^T = W x^T with the bias fused into the dequant epilogue). These
+// gates pin that orientation: skinny-N panels (N = batch is small for fc),
+// bitwise agreement of the whole layer against a transpose + naive oracle,
+// and batch-permutation equivariance of the per-tensor activation scale.
+
+TEST(QuantBatchedFc, SkinnyNBitwiseAcrossBatchWidths) {
+  // fc batches occupy the narrow-B corner (N << nr): every width from a
+  // single column through one microkernel panel must stay bitwise equal to
+  // the naive oracle when served from one cached weight pack.
+  constexpr std::int64_t m = 50, k = 120;
+  Rng rng(0xFCBA7u);
+  const auto a = RandomMatrix(rng, m, k, Regime::kRowScaled);
+  const QuantizedPackedA packed = QuantizePackA(m, k, a);
+  std::vector<float> bias(static_cast<std::size_t>(m));
+  for (auto& x : bias) x = rng.NextFloat(-1.0f, 1.0f);
+  for (const std::int64_t n : {1, 2, 3, 4, 5, 6, 7, 8, 13, 16, 31, 33}) {
+    const auto b = RandomMatrix(rng, k, n, Regime::kUnit);
+    std::vector<float> c_fast(static_cast<std::size_t>(m * n), -3.0f);
+    std::vector<float> c_naive(static_cast<std::size_t>(m * n), 3.0f);
+    GemmInt8(packed, n, b, c_fast, {.bias = bias});
+    NaiveGemmInt8(m, n, k, a, b, c_naive, {.bias = bias});
+    ASSERT_EQ(0, std::memcmp(c_fast.data(), c_naive.data(),
+                             c_fast.size() * sizeof(float)))
+        << "batch width n=" << n;
+  }
+}
+
+TEST(QuantBatchedFc, FcForwardMatchesTransposedNaiveOracle) {
+  // The full layer, batch > 1: Forward must equal transpose -> one naive
+  // int8 GEMM with fused bias -> transpose back, bitwise. Any drift means
+  // the layer stopped feeding the batch through the single blocked multiply
+  // (or re-quantized per sample).
+  constexpr std::int64_t in = 72, out = 35, batch = 9;
+  nn::FcLayer fc("fc_gate", in, out);
+  Rng rng(0xFCB17u);
+  for (auto& w : fc.MutableWeights().Data()) w = rng.NextFloat(-0.5f, 0.5f);
+  for (auto& b : fc.MutableBias().Data()) b = rng.NextFloat(-2.0f, 2.0f);
+  fc.SetInt8Execution(true);
+  ASSERT_EQ(fc.Format(), KernelFormat::kInt8);
+
+  Tensor input(Shape{batch, in, 1, 1});
+  for (auto& x : input.Data()) x = rng.NextFloat(-1.0f, 1.0f);
+  const Tensor got = fc.Forward({&input});
+
+  std::vector<float> xt(static_cast<std::size_t>(in * batch));
+  for (std::int64_t img = 0; img < batch; ++img) {
+    for (std::int64_t f = 0; f < in; ++f) {
+      xt[static_cast<std::size_t>(f * batch + img)] =
+          input.Data()[static_cast<std::size_t>(img * in + f)];
+    }
+  }
+  std::vector<float> yt(static_cast<std::size_t>(out * batch));
+  NaiveGemmInt8(out, batch, in, fc.Weights().Data(), xt, yt,
+                {.bias = fc.Bias().Data()});
+  for (std::int64_t img = 0; img < batch; ++img) {
+    for (std::int64_t o = 0; o < out; ++o) {
+      const float expected = yt[static_cast<std::size_t>(o * batch + img)];
+      const float actual =
+          got.Data()[static_cast<std::size_t>(img * out + o)];
+      ASSERT_EQ(0, std::memcmp(&expected, &actual, sizeof(float)))
+          << "img=" << img << " o=" << o << " expected=" << expected
+          << " actual=" << actual;
+    }
+  }
+}
+
+TEST(QuantBatchedFc, BatchPermutationEquivariance) {
+  // The activation scale is per-tensor — a permutation-invariant max — and
+  // quantization is element-wise, so permuting the batch rows must permute
+  // the output rows bitwise. A per-sample re-quantization would break this.
+  constexpr std::int64_t in = 48, out = 21, batch = 7;
+  nn::FcLayer fc("fc_perm", in, out);
+  Rng rng(0xFCB27u);
+  for (auto& w : fc.MutableWeights().Data()) w = rng.NextFloat(-0.5f, 0.5f);
+  for (auto& b : fc.MutableBias().Data()) b = rng.NextFloat(-1.0f, 1.0f);
+  fc.SetInt8Execution(true);
+  ASSERT_EQ(fc.Format(), KernelFormat::kInt8);
+
+  Tensor input(Shape{batch, in, 1, 1});
+  for (auto& x : input.Data()) x = rng.NextFloat(-1.0f, 1.0f);
+  const std::vector<std::int64_t> perm{4, 0, 6, 2, 5, 1, 3};
+  Tensor permuted(Shape{batch, in, 1, 1});
+  for (std::int64_t img = 0; img < batch; ++img) {
+    for (std::int64_t f = 0; f < in; ++f) {
+      permuted.Data()[static_cast<std::size_t>(img * in + f)] =
+          input.Data()[static_cast<std::size_t>(
+              perm[static_cast<std::size_t>(img)] * in + f)];
+    }
+  }
+  const Tensor y = fc.Forward({&input});
+  const Tensor y_perm = fc.Forward({&permuted});
+  for (std::int64_t img = 0; img < batch; ++img) {
+    ASSERT_EQ(0,
+              std::memcmp(
+                  y_perm.Data().data() + img * out,
+                  y.Data().data() + perm[static_cast<std::size_t>(img)] * out,
+                  static_cast<std::size_t>(out) * sizeof(float)))
+        << "img=" << img;
+  }
 }
 
 }  // namespace
