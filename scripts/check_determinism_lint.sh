@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Determinism lint: greps src/ and tools/ for constructs that break the
-# repository's bitwise-reproducibility contract (ROADMAP: same seed -> same
-# bytes).
+# Determinism lint: greps src/, tools/ and bench/ for constructs that break
+# the repository's bitwise-reproducibility contract (ROADMAP: same seed ->
+# same bytes). Benches are covered too: their CSV artifacts are diffed
+# across runs, so a wall-clock or hash-order leak there is just as fatal.
 #
-# Banned in src/ and tools/:
+# Banned in src/, tools/ and bench/:
 #   std::rand / srand / bare rand()   — hidden global RNG state; use
 #                                       common/rng.h (seeded, counter-based)
 #   std::random_device                — nondeterministic hardware entropy
@@ -52,7 +53,7 @@ for entry in "${patterns[@]}"; do
   id="${entry%%|*}"
   regex="${entry#*|}"
   # shellcheck disable=SC2046
-  hits=$(grep -rnE "$regex" src tools --include='*.cpp' --include='*.h' || true)
+  hits=$(grep -rnE "$regex" src tools bench --include='*.cpp' --include='*.h' || true)
   [ -n "$hits" ] || continue
   while IFS= read -r hit; do
     file="${hit%%:*}"
@@ -60,7 +61,7 @@ for entry in "${patterns[@]}"; do
       continue
     fi
     if [ "$status" -eq 0 ]; then
-      echo "check_determinism_lint: FAIL — banned constructs in src/ or tools/"
+      echo "check_determinism_lint: FAIL — banned constructs in src/, tools/ or bench/"
       echo "  (see script header for the rationale per pattern)"
     fi
     status=1
@@ -69,7 +70,7 @@ for entry in "${patterns[@]}"; do
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_determinism_lint: OK — src/ and tools/ are free of banned" \
-       "nondeterminism sources (${#patterns[@]} patterns checked)"
+  echo "check_determinism_lint: OK — src/, tools/ and bench/ are free of" \
+       "banned nondeterminism sources (${#patterns[@]} patterns checked)"
 fi
 exit "$status"

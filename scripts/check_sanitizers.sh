@@ -25,8 +25,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-# Robustness suites first (fault replay, snapshot corruption, fuzzing):
-# they are the tests most likely to walk into UB, so surface their reports
+# Robustness suites first (fault replay, snapshot corruption, fuzzing — the
+# sdc-labeled silent-corruption suites ride along under this label): they
+# are the tests most likely to walk into UB, so surface their reports
 # before the long tail of the full suite.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L robustness
 

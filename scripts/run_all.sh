@@ -30,6 +30,9 @@ echo "== tools =="
 build/tools/ccperf_calc --top 10
 build/tools/ccperf_calc --no-spot --variants 10 --sort tar --terse --top 5
 build/tools/ccperf_calc --list-metrics
+# SDC axis smoke: rank by *delivered* accuracy under silent-corruption
+# policies (off/none/abft/scrub/reexec — cloud/sdc.h).
+build/tools/ccperf_calc --sdc --variants 5 --top 5
 
 echo "== examples =="
 build/examples/quickstart

@@ -7,6 +7,9 @@
 #   scripts/run_tests.sh integration
 #   scripts/run_tests.sh fuzz
 #   scripts/run_tests.sh robustness # fault replay, snapshot/restore, fuzzing
+#   scripts/run_tests.sh sdc        # silent-data-corruption layer: ABFT
+#                                   # kernels, weight-CRC scrubbing, SDC
+#                                   # policy model + serving/enumeration
 #   scripts/run_tests.sh static     # lint gates: clang-tidy, kernel ODR/ISA
 #                                   # leak check, determinism lint
 #

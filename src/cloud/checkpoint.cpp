@@ -359,6 +359,22 @@ std::size_t SnapshotVault::Size() const {
   return entries_.size();
 }
 
+SnapshotVault::ScrubReport SnapshotVault::VerifyAllSections() const {
+  MutexLock lock(mutex_);
+  ScrubReport report;
+  // std::map iteration gives (name, domain) order deterministically, so the
+  // corrupted list is stable across runs regardless of publish order.
+  for (const auto& [name, domains] : entries_) {
+    for (const auto& [domain, entry] : domains) {
+      ++report.copies_checked;
+      if (!SnapshotIntact(entry.bytes)) {
+        report.corrupted.push_back(CorruptCopy{name, domain});
+      }
+    }
+  }
+  return report;
+}
+
 bool SnapshotVault::WaitForSnapshot(const std::string& name,
                                     double min_watermark,
                                     double timeout_s) const {

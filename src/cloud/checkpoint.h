@@ -140,6 +140,28 @@ class SnapshotVault {
 
   [[nodiscard]] std::size_t Size() const CCPERF_EXCLUDES(mutex_);
 
+  /// One copy the integrity scrub flagged: `name`'s mirror in `domain`
+  /// failed the snapshot-format CRC walk (SnapshotIntact).
+  struct CorruptCopy {
+    std::string name;
+    int domain = -1;
+  };
+  /// Result of a vault scrub.
+  struct ScrubReport {
+    std::size_t copies_checked = 0;
+    std::vector<CorruptCopy> corrupted;  // deterministic (name, domain) order
+    [[nodiscard]] bool ok() const { return corrupted.empty(); }
+  };
+
+  /// Integrity scrub over every stored copy (all names, all mirrored
+  /// domains): walks each snapshot's section CRCs via SnapshotIntact and
+  /// reports the copies that no longer verify — the storage-side
+  /// counterpart of nn::Network::VerifyIntegrity. Read-only; corrupted
+  /// copies are reported, not evicted, so the caller decides whether to
+  /// fail over to a reachable mirror or surface data loss.
+  [[nodiscard]] ScrubReport VerifyAllSections() const
+      CCPERF_EXCLUDES(mutex_);
+
   /// Block until a snapshot for `name` with watermark >= min_watermark is
   /// published, or `timeout_s` elapses; true iff the snapshot arrived.
   [[nodiscard]] bool WaitForSnapshot(const std::string& name,

@@ -56,6 +56,7 @@ FaultKind ParseKind(const std::string& cell) {
   if (name == "domain-outage") return FaultKind::kDomainOutage;
   if (name == "reclaim-wave") return FaultKind::kReclaimWave;
   if (name == "partition") return FaultKind::kPartition;
+  if (name == "silent-corruption") return FaultKind::kSilentCorruption;
   CCPERF_CHECK(false, "unknown fault kind '", cell, "'");
   return FaultKind::kCrash;  // unreachable
 }
@@ -77,6 +78,14 @@ void ValidateEvent(const FaultEvent& event) {
     CCPERF_CHECK(event.slowdown_factor > 1.0 &&
                      std::isfinite(event.slowdown_factor),
                  "slowdown factor must be > 1, got ", event.slowdown_factor);
+  } else {
+    // The factor is ignored for every other kind, but a NaN/Inf smuggled
+    // through a replayed trace must still be rejected: serialization
+    // round-trips it and a later consumer might not ignore it.
+    CCPERF_CHECK(std::isfinite(event.slowdown_factor),
+                 FaultKindName(event.kind),
+                 " slowdown factor must be finite, got ",
+                 event.slowdown_factor);
   }
 }
 
@@ -96,6 +105,8 @@ const char* FaultKindName(FaultKind kind) {
       return "reclaim-wave";
     case FaultKind::kPartition:
       return "partition";
+    case FaultKind::kSilentCorruption:
+      return "silent-corruption";
   }
   return "?";
 }
@@ -149,11 +160,13 @@ FaultSchedule GenerateFaultSchedule(const FaultModel& model, int instances,
   CCPERF_CHECK(instances >= 1, "need at least one instance");
   CCPERF_CHECK(duration_s > 0.0, "duration must be positive");
   CCPERF_CHECK(model.preemption_rate >= 0.0 && model.crash_rate >= 0.0 &&
-                   model.slowdown_rate >= 0.0,
+                   model.slowdown_rate >= 0.0 && model.sdc_rate >= 0.0,
                "fault rates must be >= 0");
   CCPERF_CHECK(model.restart_s > 0.0, "restart delay must be positive");
   CCPERF_CHECK(model.slowdown_s > 0.0 && model.slowdown_factor > 1.0,
                "slowdown window needs positive duration and factor > 1");
+  CCPERF_CHECK(model.sdc_window_s > 0.0,
+               "silent-corruption residency window must be positive");
 
   FaultSchedule schedule;
   const auto exponential = [&rng](double rate_per_hour) {
@@ -180,6 +193,13 @@ FaultSchedule GenerateFaultSchedule(const FaultModel& model, int instances,
         schedule.events.push_back({FaultKind::kSlowdown, i, t,
                                    model.slowdown_s,
                                    model.slowdown_factor});
+      }
+    }
+    if (model.sdc_rate > 0.0) {
+      for (double t = exponential(model.sdc_rate); t < duration_s;
+           t += model.sdc_window_s + exponential(model.sdc_rate)) {
+        schedule.events.push_back({FaultKind::kSilentCorruption, i, t,
+                                   model.sdc_window_s, 1.0});
       }
     }
   }
@@ -299,9 +319,17 @@ std::string FaultScheduleCsv(const FaultSchedule& schedule) {
 const FaultSchedule& FaultScheduleCache::Get(const FaultModel& model,
                                              int instances, double duration_s,
                                              std::uint64_t seed) {
-  const Key key{model.preemption_rate, model.crash_rate,     model.restart_s,
-                model.slowdown_rate,   model.slowdown_s,     model.slowdown_factor,
-                instances,             duration_s,           seed};
+  const Key key{model.preemption_rate,
+                model.crash_rate,
+                model.restart_s,
+                model.slowdown_rate,
+                model.slowdown_s,
+                model.slowdown_factor,
+                model.sdc_rate,
+                model.sdc_window_s,
+                instances,
+                duration_s,
+                seed};
   {
     MutexLock lock(mutex_);
     const auto it = cache_.find(key);
@@ -345,6 +373,7 @@ InstanceTimeline::InstanceTimeline(const FaultSchedule& schedule,
   schedule.Validate();
   std::vector<Interval> raw;
   std::vector<Interval> raw_partition;
+  std::vector<Interval> raw_corrupt;
   for (const FaultEvent& event : schedule.events) {
     if (event.instance != instance) continue;
     switch (event.kind) {
@@ -368,6 +397,11 @@ InstanceTimeline::InstanceTimeline(const FaultSchedule& schedule,
         slow_.push_back({event.start_s, event.start_s + event.duration_s,
                          event.slowdown_factor});
         break;
+      case FaultKind::kSilentCorruption:
+        // NOT a down interval: the instance keeps serving, silently wrong.
+        raw_corrupt.push_back(
+            {event.start_s, event.start_s + event.duration_s});
+        break;
     }
   }
   // Merge overlapping down intervals (already start-sorted).
@@ -383,6 +417,7 @@ InstanceTimeline::InstanceTimeline(const FaultSchedule& schedule,
   };
   merge(raw, down_);
   merge(raw_partition, partition_);
+  merge(raw_corrupt, corrupt_);
 }
 
 bool InstanceTimeline::UpAt(double t) const {
@@ -420,6 +455,14 @@ bool InstanceTimeline::PartitionedAt(double t) const {
   for (const Interval& p : partition_) {
     if (t < p.start) return false;
     if (t < p.end) return true;
+  }
+  return false;
+}
+
+bool InstanceTimeline::CorruptedAt(double t) const {
+  for (const Interval& c : corrupt_) {
+    if (t < c.start) return false;
+    if (t < c.end) return true;
   }
   return false;
 }

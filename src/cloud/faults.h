@@ -38,10 +38,14 @@ enum class FaultKind {
   kPartition,     // domain unreachable for `duration_s`: down AND in-flight
                   // work on the instance is lost (no requeue) because the
                   // partition severs it from the request plane
+  kSilentCorruption,  // silent data corruption: the instance stays UP and
+                      // keeps serving, but results produced during the
+                      // `duration_s` residency window are wrong unless a
+                      // detection policy (cloud/sdc.h) catches them
 };
 
 /// "preemption" / "crash" / "slowdown" / "domain-outage" / "reclaim-wave" /
-/// "partition".
+/// "partition" / "silent-corruption".
 const char* FaultKindName(FaultKind kind);
 
 /// Permanent kinds take the instance away for good; `duration_s` is ignored.
@@ -83,6 +87,12 @@ struct FaultModel {
   double slowdown_rate = 0.0;
   double slowdown_s = 60.0;
   double slowdown_factor = 2.0;
+  // Silent corruption: onset rate per instance-hour (catalog column
+  // sdc_rate_per_hour is the usual source) and the residency window — how
+  // long a transient upset taints results before the state is naturally
+  // rewritten (weights reloaded, job restarted).
+  double sdc_rate = 0.0;
+  double sdc_window_s = 120.0;
 };
 
 /// Draw a schedule for `instances` instances over `duration_s` seconds.
@@ -137,8 +147,8 @@ class FaultScheduleCache {
  private:
   // Every FaultModel field participates in the key; two models that differ
   // only in an unused rate still hash apart, which is the conservative side.
-  using Key = std::tuple<double, double, double, double, double, double, int,
-                         double, std::uint64_t>;
+  using Key = std::tuple<double, double, double, double, double, double,
+                         double, double, int, double, std::uint64_t>;
 
   // std::map, not a hash map: iteration order never feeds numeric code
   // here, but the determinism lint bans hash containers in src/
@@ -177,6 +187,11 @@ class InstanceTimeline {
   /// isolated instance cannot hand its batch back to the request plane.
   [[nodiscard]] bool PartitionedAt(double t) const;
 
+  /// True iff `t` falls inside a kSilentCorruption residency window. The
+  /// instance is NOT down — it keeps serving, which is the whole hazard:
+  /// results computed here are wrong unless a detection policy intervenes.
+  [[nodiscard]] bool CorruptedAt(double t) const;
+
   /// Total seconds the instance is down within [0, horizon].
   [[nodiscard]] double DownSeconds() const;
 
@@ -193,6 +208,7 @@ class InstanceTimeline {
   std::vector<Interval> down_;       // merged, sorted, disjoint
   std::vector<SlowWindow> slow_;     // sorted by start
   std::vector<Interval> partition_;  // merged kPartition windows
+  std::vector<Interval> corrupt_;    // merged kSilentCorruption windows
   double horizon_s_ = 0.0;
 };
 

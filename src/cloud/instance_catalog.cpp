@@ -33,6 +33,9 @@ InstanceCatalog::InstanceCatalog(std::vector<InstanceType> types,
                      t.spot_price_per_hour <= t.price_per_hour,
                  "spot price of ", t.name,
                  " must be in [0, on-demand price]");
+    CCPERF_CHECK(t.sdc_rate_per_hour >= 0.0 &&
+                     std::isfinite(t.sdc_rate_per_hour),
+                 "SDC rate of ", t.name, " must be finite and >= 0");
   }
 }
 
@@ -62,14 +65,22 @@ InstanceCatalog InstanceCatalog::AwsEc2() {
 
   // The paper's Table 3 verbatim (Amazon EC2, Oregon region, 2020 prices).
   // Spot prices follow the region's typical ~70% discount off on-demand.
+  // SDC onset rates scale with GPU count and board generation: the older,
+  // hotter K80 boards (p2) at 3e-3 per GPU-hour, the M60s (g3) at 1e-3 —
+  // inside the 1e-4..1e-2 per device-hour envelope fleet studies report.
   std::vector<InstanceType> types{
-      {"p2.xlarge", "p2", 4, 1, 61.0, 12.0, 0.90, GpuKind::kK80, 0.270},
-      {"p2.8xlarge", "p2", 32, 8, 488.0, 96.0, 7.20, GpuKind::kK80, 2.160},
+      {"p2.xlarge", "p2", 4, 1, 61.0, 12.0, 0.90, GpuKind::kK80, 0.270,
+       0.003},
+      {"p2.8xlarge", "p2", 32, 8, 488.0, 96.0, 7.20, GpuKind::kK80, 2.160,
+       0.024},
       {"p2.16xlarge", "p2", 64, 16, 732.0, 192.0, 14.40, GpuKind::kK80,
-       4.320},
-      {"g3.4xlarge", "g3", 16, 1, 122.0, 8.0, 1.14, GpuKind::kM60, 0.342},
-      {"g3.8xlarge", "g3", 32, 2, 244.0, 16.0, 2.28, GpuKind::kM60, 0.684},
-      {"g3.16xlarge", "g3", 64, 4, 488.0, 32.0, 4.56, GpuKind::kM60, 1.368},
+       4.320, 0.048},
+      {"g3.4xlarge", "g3", 16, 1, 122.0, 8.0, 1.14, GpuKind::kM60, 0.342,
+       0.001},
+      {"g3.8xlarge", "g3", 32, 2, 244.0, 16.0, 2.28, GpuKind::kM60, 0.684,
+       0.002},
+      {"g3.16xlarge", "g3", 64, 4, 488.0, 32.0, 4.56, GpuKind::kM60, 1.368,
+       0.004},
   };
   return InstanceCatalog(std::move(types), {k80, m60});
 }

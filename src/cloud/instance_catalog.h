@@ -51,6 +51,11 @@ struct InstanceType {
   /// Appended after `gpu` so positional initializers of the on-demand
   /// columns stay valid.
   double spot_price_per_hour = 0.0;
+  /// Silent-data-corruption onset rate per instance-hour (cloud/sdc.h).
+  /// Fleet studies put GPU/DRAM upsets at ~1e-4..1e-2 per device-hour;
+  /// the older, denser K80 boards (p2) run hotter than the M60s (g3).
+  /// Appended last for the same positional-initializer reason.
+  double sdc_rate_per_hour = 0.0;
 };
 
 /// Immutable set of instance types + GPU device specs.

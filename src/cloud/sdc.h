@@ -1,0 +1,122 @@
+// Silent-data-corruption (SDC) policy layer.
+//
+// Fail-stop faults (cloud/faults.h) take instances away; silent corruption
+// is the nastier cousin: the instance keeps serving and returns WRONG
+// results. This header models the detection policies a deployment can buy
+// and their closed-form cost/accuracy consequences, so the enumeration
+// engine can put "how much checking" on the same cost × delivered-accuracy
+// axes as instance type and batch size.
+//
+// Closed-form model (AssessSdc). Corruption onsets are Poisson with rate
+// λ per instance-hour (catalog column sdc_rate_per_hour). A fraction p of
+// onsets are transient — they taint a residency window of d seconds and
+// clear on their own (bit flip in activations / packed buffers that gets
+// rewritten); the rest are persistent — resident weight corruption that
+// stays until something detects it or the run ends. Over a run of T
+// seconds the fraction of work computed in a corrupted state is
+//   f_transient  = λ·p·d / 3600                    (steady-state window mass)
+//   f_persistent = λ·(1-p)·T / 7200                (onset uniform in [0, T];
+//                                                   taints the remainder)
+// Each policy then splits corrupted work into detected (redone: billed as
+// time) and escaped (delivered as correct: billed as accuracy):
+//   kOff          — SDC not modeled at all. The zero-cost zero-knowledge
+//                   baseline; simulators short-circuit so results are
+//                   bitwise identical to the pre-SDC code.
+//   kNone         — modeled, no detection: everything corrupted escapes.
+//   kAbft         — checksummed kernels (tensor/abft.h): coverage
+//                   kAbftCoverage on BOTH transient and persistent
+//                   corruption at kAbftTimeOverhead fractional cost.
+//   kScrub        — periodic weight-CRC verification
+//                   (nn::Network::VerifyIntegrity every scrub_interval_s):
+//                   catches persistent corruption after interval/2 on
+//                   average but is blind to transients; costs
+//                   scrub_cost_s/scrub_interval_s.
+//   kReexecSample — re-execute a sample_fraction of the work and compare:
+//                   coverage = overhead = sample_fraction.
+#pragma once
+
+#include <string>
+
+namespace ccperf::cloud {
+
+/// Detection posture of a deployment.
+enum class SdcPolicyKind { kOff, kNone, kAbft, kScrub, kReexecSample };
+
+/// "off" / "none" / "abft" / "scrub" / "reexec-sample".
+const char* SdcPolicyKindName(SdcPolicyKind kind);
+
+/// Fraction of ABFT-checked corruptions detected. Calibrated by
+/// tensor_abft_differential_test: the float checksum detects seeded
+/// sign/exponent/high-mantissa flips at >= 99% (the escapes are flips whose
+/// numeric effect is below rounding noise) and the int8 check is exact.
+inline constexpr double kAbftCoverage = 0.995;
+
+/// Fractional time cost of the checksummed kernels: one extra row per GEMM
+/// (~1/M), the checksum product, and the column-sum verification — gated at
+/// <= 15% on Table 1 shapes by bench_ext_sdc_frontier, typically ~4%.
+inline constexpr double kAbftTimeOverhead = 0.04;
+
+/// Fraction of corruption onsets that are transient (activation/buffer
+/// upsets that clear when the state is rewritten) rather than persistent
+/// (resident weight corruption). Fleet studies attribute the majority of
+/// GPU SDC incidents to transient upsets.
+inline constexpr double kTransientFraction = 0.7;
+
+/// Residency window of a transient upset, seconds (FaultModel::sdc_window_s
+/// default).
+inline constexpr double kTransientWindowS = 120.0;
+
+/// Top-1/Top-5 accuracy factor of work delivered under an ESCAPED
+/// corruption, relative to clean work: CalibratedAccuracyModel's knee at
+/// D = kSdcCorruptionDamage (multiplier 1/(1+0.55^2) = 0.768, top-1
+/// steepness 1.15 → 0.738). Kept as constants so the evaluator does not
+/// need the accuracy model per id.
+inline constexpr double kCorruptTop1Factor = 0.738;
+inline constexpr double kCorruptTop5Factor = 0.768;
+
+/// One detection configuration.
+struct SdcPolicy {
+  SdcPolicyKind kind = SdcPolicyKind::kOff;
+  /// kScrub: seconds between integrity scrubs and the cost of one scrub
+  /// pass (a weight-CRC sweep is memory-bound and cheap).
+  double scrub_interval_s = 300.0;
+  double scrub_cost_s = 2.0;
+  /// kReexecSample: fraction of work re-executed and compared.
+  double sample_fraction = 0.1;
+
+  /// Throws CheckError on non-finite / out-of-range knobs.
+  void Validate() const;
+
+  /// Stable one-token description for Describe()/fingerprints:
+  /// "off", "none", "abft", "scrub@300", "reexec@0.1".
+  [[nodiscard]] std::string Label() const;
+};
+
+/// What a policy costs and lets through over one run.
+struct SdcAssessment {
+  /// Fraction of the run's work computed in a corrupted state.
+  double corruption_fraction = 0.0;
+  /// Corrupted work caught by the policy (redone: billed into time/cost).
+  double detected_fraction = 0.0;
+  /// Corrupted work delivered as if correct (billed into accuracy).
+  double escape_fraction = 0.0;
+  /// Total fractional time overhead: detection machinery + redone work.
+  /// Multiply modeled seconds (and therefore Eq. 3-4 cost) by
+  /// (1 + time_overhead).
+  double time_overhead = 0.0;
+};
+
+/// Evaluate the closed-form model above for a run of `run_seconds` on
+/// instances with `sdc_rate_per_hour` onsets. `transient_fraction` and
+/// `transient_window_s` default to the calibrated constants. kOff returns
+/// all zeros (SDC not modeled).
+SdcAssessment AssessSdc(const SdcPolicy& policy, double sdc_rate_per_hour,
+                        double run_seconds,
+                        double transient_fraction = kTransientFraction,
+                        double transient_window_s = kTransientWindowS);
+
+/// Delivered accuracy after escapes: acc·(1 − escape·(1 − corrupt_factor)).
+double DeliveredAccuracy(double accuracy, double escape_fraction,
+                         double corrupt_factor);
+
+}  // namespace ccperf::cloud

@@ -231,10 +231,11 @@ ServingReport ServingSimulator::SimulateFaulted(
     std::vector<double> arrivals, double duration_s,
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, InflightPolicy inflight,
-    double variant_accuracy, const RedundancyPolicy& redundancy) const {
+    double variant_accuracy, const RedundancyPolicy& redundancy,
+    const SdcPolicy& sdc) const {
   FaultedServingEngine engine(*this, config, perf, std::move(arrivals),
                               duration_s, policy, retry, faults, inflight,
-                              variant_accuracy, redundancy);
+                              variant_accuracy, redundancy, sdc);
   while (!engine.Done()) engine.Step();
   return engine.Finish();
 }
@@ -272,12 +273,13 @@ ServingReport ServingSimulator::SimulateFaultedCheckpointed(
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, const CheckpointPolicy& checkpoint,
     CheckpointStats* stats, InflightPolicy inflight,
-    double variant_accuracy, const RedundancyPolicy& redundancy) const {
+    double variant_accuracy, const RedundancyPolicy& redundancy,
+    const SdcPolicy& sdc) const {
   const std::vector<double> instants = CheckpointInstants(
       checkpoint, faults, duration_s, config.TotalInstances());
   FaultedServingEngine engine(*this, config, perf, std::move(arrivals),
                               duration_s, policy, retry, faults, inflight,
-                              variant_accuracy, redundancy);
+                              variant_accuracy, redundancy, sdc);
   CheckpointStats local;
   CheckpointStats& out = stats != nullptr ? *stats : local;
   const bool keep_history = out.keep_history;
@@ -330,7 +332,8 @@ FaultedServingEngine::FaultedServingEngine(
     const VariantPerf& perf, std::vector<double> arrivals, double duration_s,
     const ServingPolicy& policy, const RetryPolicy& retry,
     const FaultSchedule& faults, InflightPolicy inflight,
-    double variant_accuracy, const RedundancyPolicy& redundancy)
+    double variant_accuracy, const RedundancyPolicy& redundancy,
+    const SdcPolicy& sdc)
     : sim_(&serving.Simulator()),
       config_(config),
       perf_(perf),
@@ -341,13 +344,35 @@ FaultedServingEngine::FaultedServingEngine(
       faults_(faults),
       inflight_(inflight),
       variant_accuracy_(variant_accuracy),
-      redundancy_(redundancy) {
+      redundancy_(redundancy),
+      sdc_(sdc) {
   CCPERF_CHECK(!config_.Empty(), "empty configuration");
   CCPERF_CHECK(duration_s_ > 0.0, "duration must be positive");
   ValidateServingPolicy(policy_);
   ValidateRetryPolicy(retry_);
   ValidateRedundancyPolicy(redundancy_);
+  sdc_.Validate();
   faults_.Validate();
+  // Resolve the policy's detection profile once.
+  switch (sdc_.kind) {
+    case SdcPolicyKind::kOff:
+    case SdcPolicyKind::kNone:
+      break;  // no machinery, nothing detected
+    case SdcPolicyKind::kAbft:
+      sdc_machinery_ = kAbftTimeOverhead;
+      sdc_coverage_ = kAbftCoverage;
+      break;
+    case SdcPolicyKind::kScrub:
+      // The CRC scrub verifies resident weights between batches; a serving
+      // window (transient upset) is over before the next sweep sees it, so
+      // scrubbing pays its machinery yet everything in-window escapes.
+      sdc_machinery_ = sdc_.scrub_cost_s / sdc_.scrub_interval_s;
+      break;
+    case SdcPolicyKind::kReexecSample:
+      sdc_machinery_ = sdc_.sample_fraction;
+      sdc_coverage_ = sdc_.sample_fraction;
+      break;
+  }
   CCPERF_CHECK(std::is_sorted(arrivals_.begin(), arrivals_.end()),
                "arrival trace must be time-sorted");
   CCPERF_CHECK(variant_accuracy_ > 0.0 && variant_accuracy_ <= 1.0,
@@ -594,8 +619,29 @@ void FaultedServingEngine::Step() {
   if (batch.empty()) return;
 
   const auto batch_size = static_cast<std::int64_t>(batch.size());
-  const double service = sim_->BatchSeconds(type, perf_, batch_size) *
-                         timeline.SlowdownAt(dispatch_at);
+  double service = sim_->BatchSeconds(type, perf_, batch_size) *
+                   timeline.SlowdownAt(dispatch_at);
+  bool escaped_batch = false;
+  if (sdc_.kind != SdcPolicyKind::kOff) {
+    // Always-on detection machinery stretches every batch; kOff skips this
+    // whole block so detection-free runs stay bitwise identical.
+    service *= 1.0 + sdc_machinery_;
+    if (timeline.CorruptedAt(dispatch_at)) {
+      ++report_.corrupted_batches;
+      const auto n = static_cast<double>(++sdc_corrupt_seen_);
+      const bool detected =
+          std::floor(n * sdc_coverage_) > std::floor((n - 1.0) * sdc_coverage_);
+      if (detected) {
+        // The corrupted pass is discarded and the batch re-served — the GPU
+        // pays for both, billing detection into utilization and cost.
+        ++report_.sdc_detected;
+        service *= 2.0;
+      } else {
+        ++report_.sdc_escaped;
+        escaped_batch = true;
+      }
+    }
+  }
   const double completion = dispatch_at + service;
   const double fail_at = timeline.NextDownAfter(dispatch_at);
   if (fail_at < completion) {
@@ -629,6 +675,7 @@ void FaultedServingEngine::Step() {
       --copies_live_[id];
       if (done_[id] == 0) {
         done_[id] = 1;
+        if (escaped_batch) ++report_.sdc_escaped_requests;
         latencies_.push_back(completion - p.arrival);
         if (completion <= p.arrival + policy_.deadline_s) {
           ++in_deadline_;
@@ -669,6 +716,16 @@ ServingReport FaultedServingEngine::Finish() const {
   report.goodput_per_s = static_cast<double>(in_deadline_) / duration_s_;
   report.accuracy_weighted_goodput =
       report.goodput_per_s * variant_accuracy_;
+  // Escaped corruption discounts its completions to kCorruptTop1Factor of
+  // their accuracy; with no escapes this equals accuracy_weighted_goodput.
+  const double escaped_share =
+      report.completed > 0
+          ? static_cast<double>(report.sdc_escaped_requests) /
+                static_cast<double>(report.completed)
+          : 0.0;
+  report.delivered_accuracy_weighted_goodput =
+      report.accuracy_weighted_goodput *
+      (1.0 - escaped_share * (1.0 - kCorruptTop1Factor));
   report.deadline_miss_rate =
       1.0 - static_cast<double>(in_deadline_) /
                 static_cast<double>(report.requests);
@@ -709,6 +766,10 @@ std::uint32_t FaultedServingEngine::Fingerprint() const {
   w.PutI64(redundancy_.replicas);
   w.PutF64(redundancy_.hedge_after_s);
   w.PutI64(redundancy_.max_hedges);
+  w.PutU8(static_cast<std::uint8_t>(sdc_.kind));
+  w.PutF64(sdc_.scrub_interval_s);
+  w.PutF64(sdc_.scrub_cost_s);
+  w.PutF64(sdc_.sample_fraction);
   w.PutString(FaultScheduleCsv(faults_));
   return Crc32(w.Bytes());
 }
@@ -722,6 +783,7 @@ std::string FaultedServingEngine::Checkpoint() const {
   meta.PutBool(halted_);
   meta.PutU64(next_arrival_);
   meta.PutI64(in_deadline_);
+  meta.PutI64(sdc_corrupt_seen_);
 
   SnapshotSectionWriter& gpus = writer.AddSection("gpus");
   gpus.PutU64(gpus_.size());
@@ -760,6 +822,10 @@ std::string FaultedServingEngine::Checkpoint() const {
   report.PutI64(report_.duplicate_completions);
   report.PutI64(report_.discarded_copies);
   report.PutF64(report_.duplicate_service_s);
+  report.PutI64(report_.corrupted_batches);
+  report.PutI64(report_.sdc_detected);
+  report.PutI64(report_.sdc_escaped);
+  report.PutI64(report_.sdc_escaped_requests);
 
   // Per-request redundancy bookkeeping. done_ packs to one byte per
   // request; the count vectors reuse the I64Vector framing.
@@ -790,7 +856,10 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
   const bool halted = meta.TakeBool();
   const std::uint64_t next_arrival = meta.TakeU64();
   const std::int64_t in_deadline = meta.TakeI64();
+  const std::int64_t corrupt_seen = meta.TakeI64();
   meta.ExpectEnd();
+  CCPERF_CHECK(corrupt_seen >= 0,
+               "corrupt serving snapshot: negative corruption counter");
   CCPERF_CHECK(std::isfinite(watermark) && watermark >= 0.0,
                "corrupt serving snapshot: bad watermark");
   CCPERF_CHECK(next_arrival <= arrivals_.size(),
@@ -866,12 +935,20 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
   new_report.duplicate_completions = report.TakeI64();
   new_report.discarded_copies = report.TakeI64();
   new_report.duplicate_service_s = report.TakeF64();
+  new_report.corrupted_batches = report.TakeI64();
+  new_report.sdc_detected = report.TakeI64();
+  new_report.sdc_escaped = report.TakeI64();
+  new_report.sdc_escaped_requests = report.TakeI64();
   report.ExpectEnd();
   CCPERF_CHECK(new_report.completed >= 0 && new_report.dropped_deadline >= 0 &&
                    new_report.dropped_failed >= 0 && new_report.retries >= 0 &&
                    new_report.deadline_misses >= 0 && new_report.hedges >= 0 &&
                    new_report.duplicate_completions >= 0 &&
-                   new_report.discarded_copies >= 0,
+                   new_report.discarded_copies >= 0 &&
+                   new_report.corrupted_batches >= 0 &&
+                   new_report.sdc_detected >= 0 &&
+                   new_report.sdc_escaped >= 0 &&
+                   new_report.sdc_escaped_requests >= 0,
                "corrupt serving snapshot: negative report counter");
   CCPERF_CHECK(new_report.duplicate_service_s >= 0.0 &&
                    std::isfinite(new_report.duplicate_service_s),
@@ -930,6 +1007,7 @@ void FaultedServingEngine::Restore(const std::string& snapshot) {
   done_ = std::move(new_done);
   hedges_used_ = std::move(new_hedges);
   in_deadline_ = in_deadline;
+  sdc_corrupt_seen_ = corrupt_seen;
   watermark_ = watermark;
   halted_ = halted;
   report_ = new_report;

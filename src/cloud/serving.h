@@ -20,6 +20,7 @@
 #include "cloud/checkpoint.h"
 #include "cloud/faults.h"
 #include "cloud/resource_config.h"
+#include "cloud/sdc.h"
 #include "cloud/simulator.h"
 
 namespace ccperf {
@@ -126,6 +127,21 @@ struct ServingReport {
                                            // request had already completed
   std::int64_t discarded_copies = 0;  // redundant copies removed unserved
   double duplicate_service_s = 0.0;   // GPU seconds spent on duplicates
+
+  // Silent-corruption accounting (zero unless an SdcPolicy other than kOff
+  // is active — cloud/sdc.h). Batches dispatched inside a
+  // kSilentCorruption residency window compute wrong results; the policy
+  // either detects them (the batch is re-served: extra GPU time, billed
+  // through utilization into the Eq. 3-4 cost picture) or lets them escape
+  // (delivered wrong: discounted out of delivered goodput).
+  std::int64_t corrupted_batches = 0;  // dispatched inside a window
+  std::int64_t sdc_detected = 0;       // caught and re-served
+  std::int64_t sdc_escaped = 0;        // delivered as if correct
+  std::int64_t sdc_escaped_requests = 0;  // completions from escaped batches
+  /// accuracy_weighted_goodput after discounting escaped completions to
+  /// kCorruptTop1Factor of their accuracy. Equal to
+  /// accuracy_weighted_goodput when no corruption escapes.
+  double delivered_accuracy_weighted_goodput = 0.0;
 };
 
 /// One entry of a SimulateFaultedMany sweep: a fleet, an arrival trace and
@@ -165,8 +181,10 @@ class ServingSimulator {
   /// work is always lost (the isolated instance cannot hand it back);
   /// requests whose deadline expires before service are dropped.
   /// `variant_accuracy` feeds accuracy_weighted_goodput; `redundancy` adds
-  /// request replication and hedging. Deterministic given the trace and
-  /// schedule.
+  /// request replication and hedging; `sdc` decides what happens to batches
+  /// served inside kSilentCorruption windows (the default kOff leaves them
+  /// unmodeled — bitwise identical to the pre-SDC engine). Deterministic
+  /// given the trace and schedule.
   [[nodiscard]] ServingReport SimulateFaulted(
       const ResourceConfig& config, const VariantPerf& perf,
       std::vector<double> arrivals, double duration_s,
@@ -174,7 +192,8 @@ class ServingSimulator {
       const FaultSchedule& faults,
       InflightPolicy inflight = InflightPolicy::kRequeue,
       double variant_accuracy = 1.0,
-      const RedundancyPolicy& redundancy = {}) const;
+      const RedundancyPolicy& redundancy = {},
+      const SdcPolicy& sdc = {}) const;
 
   /// SimulateFaulted under a CheckpointPolicy: the dynamics and the report
   /// are identical (snapshots never perturb the simulation); `stats`
@@ -189,7 +208,8 @@ class ServingSimulator {
       CheckpointStats* stats = nullptr,
       InflightPolicy inflight = InflightPolicy::kRequeue,
       double variant_accuracy = 1.0,
-      const RedundancyPolicy& redundancy = {}) const;
+      const RedundancyPolicy& redundancy = {},
+      const SdcPolicy& sdc = {}) const;
 
   /// Run every scenario through SimulateFaulted, fanned across the global
   /// thread pool (each scenario's simulation stays serial, so report i is
@@ -233,7 +253,8 @@ class FaultedServingEngine {
                        const FaultSchedule& faults,
                        InflightPolicy inflight = InflightPolicy::kRequeue,
                        double variant_accuracy = 1.0,
-                       const RedundancyPolicy& redundancy = {});
+                       const RedundancyPolicy& redundancy = {},
+                       const SdcPolicy& sdc = {});
 
   [[nodiscard]] bool Done() const;
   /// One scheduling decision: admit pending arrivals/retries or dispatch
@@ -284,6 +305,13 @@ class FaultedServingEngine {
   InflightPolicy inflight_ = InflightPolicy::kRequeue;
   double variant_accuracy_ = 1.0;
   RedundancyPolicy redundancy_;
+  SdcPolicy sdc_;
+  // Derived once: the policy's always-on fractional service-time cost and
+  // its detection coverage. Detection is deterministic low-discrepancy
+  // thinning: corrupted batch n is detected iff floor(n*c) > floor((n-1)*c),
+  // so exactly a long-run fraction c is caught with no randomness.
+  double sdc_machinery_ = 0.0;
+  double sdc_coverage_ = 0.0;
   std::vector<const InstanceType*> gpu_types_;
   std::vector<int> gpu_instance_;
   std::vector<InstanceTimeline> timelines_;
@@ -302,6 +330,9 @@ class FaultedServingEngine {
   std::vector<std::int32_t> hedges_used_;
   std::vector<double> latencies_;
   std::int64_t in_deadline_ = 0;
+  // Running count of corrupted batches — drives the deterministic
+  // every-k-th-escapes rule; captured by Checkpoint().
+  std::int64_t sdc_corrupt_seen_ = 0;
   double watermark_ = 0.0;
   bool halted_ = false;  // fleet permanently gone or backlog exploded
   ServingReport report_;

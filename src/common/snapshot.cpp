@@ -260,6 +260,22 @@ void SnapshotSectionReader::ExpectEnd() const {
                " unread trailing bytes (schema mismatch)");
 }
 
+bool SnapshotIntact(const std::string& bytes) {
+  // The app tag lives at a fixed offset (magic, version, tag); reading it
+  // back and parsing against it makes the check tag-agnostic. A flip inside
+  // the tag field itself still fails the header CRC.
+  if (bytes.size() < sizeof(kMagic) + 2 * sizeof(std::uint32_t)) return false;
+  std::uint32_t tag = 0;
+  std::memcpy(&tag, bytes.data() + sizeof(kMagic) + sizeof(std::uint32_t),
+              sizeof(tag));
+  try {
+    (void)SnapshotReader::Parse(bytes, tag);
+    return true;
+  } catch (const CheckError&) {
+    return false;
+  }
+}
+
 SnapshotReader SnapshotReader::Parse(const std::string& bytes,
                                      std::uint32_t app_tag) {
   std::size_t offset = 0;

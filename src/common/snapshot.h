@@ -31,6 +31,14 @@ namespace ccperf {
 std::uint32_t Crc32(const void* data, std::size_t size);
 std::uint32_t Crc32(const std::string& bytes);
 
+/// Structural integrity verdict for snapshot bytes of ANY app tag: magic,
+/// version, header CRC, framing bounds, every section CRC and the footer.
+/// Returns false instead of throwing — integrity scrubs (e.g.
+/// SnapshotVault::VerifyAllSections) want a verdict per copy, not an
+/// exception on the first corrupted mirror. Does not validate section
+/// *contents*; that stays with the app-level Restore path.
+[[nodiscard]] bool SnapshotIntact(const std::string& bytes);
+
 /// Appends typed values to one section's payload.
 class SnapshotSectionWriter {
  public:

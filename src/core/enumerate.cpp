@@ -120,6 +120,15 @@ const MetricRegistry& MetricRegistry::Standard() {
           return CostAccuracyRatio(m.cost_usd, m.top5);
         },
         true);
+    r->Register(
+        "delivered_top1", "Top-1 after undetected silent corruption",
+        [](const ArchMetrics& m) { return m.delivered_top1; }, false);
+    r->Register(
+        "sdc_escape_rate", "fraction of work delivered corrupted",
+        [](const ArchMetrics& m) { return m.sdc_escape_rate; }, true);
+    r->Register(
+        "detection_overhead", "fractional time billed to SDC detection",
+        [](const ArchMetrics& m) { return m.detection_overhead; }, true);
     return r;
   }();
   return *kRegistry;
@@ -160,6 +169,22 @@ void ArchitectureSpace::AddDegradationOption(DegradationOption option) {
   degradations_.push_back(std::move(option));
 }
 
+void ArchitectureSpace::AddSdcOption(SdcOption option) {
+  sdc_.push_back(std::move(option));
+}
+
+const std::vector<SdcOption>& ArchitectureSpace::SdcOptions() const {
+  if (!sdc_.empty()) return sdc_;
+  // Implicit single-entry axis: SDC not modeled. A radix of 1 leaves every
+  // flat id exactly as it was before this axis existed.
+  static const std::vector<SdcOption>* const kOff = [] {
+    auto* v = new std::vector<SdcOption>(1);
+    (*v)[0].name = "off";
+    return v;
+  }();
+  return *kOff;
+}
+
 void ArchitectureSpace::Validate() const {
   CCPERF_CHECK(!variants_.empty(), "variant axis is empty");
   CCPERF_CHECK(!type_names_.empty(), "instance-type axis is empty");
@@ -190,6 +215,10 @@ void ArchitectureSpace::Validate() const {
                  "degradation '", degr.name,
                  "' accuracy factor outside (0, 1]");
   }
+  for (const auto& sdc : sdc_) {
+    CCPERF_CHECK(!sdc.name.empty(), "SDC option needs a name");
+    sdc.policy.Validate();
+  }
 }
 
 std::uint64_t ArchitectureSpace::Size() const {
@@ -198,7 +227,7 @@ std::uint64_t ArchitectureSpace::Size() const {
   const std::size_t axes[] = {variants_.size(),  type_names_.size(),
                               counts_.size(),    batches_.size(),
                               purchase_.size(),  checkpoints_.size(),
-                              degradations_.size()};
+                              degradations_.size(), SdcOptions().size()};
   for (std::size_t axis : axes) {
     const auto n = static_cast<std::uint64_t>(axis);
     CCPERF_CHECK(size <= UINT64_MAX / n, "architecture space overflows 64 bits");
@@ -214,7 +243,8 @@ std::uint64_t ArchitectureSpace::Encode(const AxisPoint& point) const {
                    point.batch < batches_.size() &&
                    point.purchase < purchase_.size() &&
                    point.checkpoint < checkpoints_.size() &&
-                   point.degradation < degradations_.size(),
+                   point.degradation < degradations_.size() &&
+                   point.sdc < SdcOptions().size(),
                "axis index out of range");
   std::uint64_t id = point.variant;
   id = id * type_names_.size() + point.type;
@@ -223,12 +253,15 @@ std::uint64_t ArchitectureSpace::Encode(const AxisPoint& point) const {
   id = id * purchase_.size() + point.purchase;
   id = id * checkpoints_.size() + point.checkpoint;
   id = id * degradations_.size() + point.degradation;
+  id = id * SdcOptions().size() + point.sdc;
   return id;
 }
 
 AxisPoint ArchitectureSpace::Decode(std::uint64_t id) const {
   CCPERF_CHECK(id < Size(), "flat id ", id, " out of range");
   AxisPoint point;
+  point.sdc = static_cast<std::size_t>(id % SdcOptions().size());
+  id /= SdcOptions().size();
   point.degradation = static_cast<std::size_t>(id % degradations_.size());
   id /= degradations_.size();
   point.checkpoint = static_cast<std::size_t>(id % checkpoints_.size());
@@ -258,6 +291,8 @@ std::string ArchitectureSpace::Describe(std::uint64_t id) const {
   out << " | " << PurchaseOptionName(purchase_[p.purchase])
       << " | ckpt=" << checkpoints_[p.checkpoint].name
       << " | degr=" << degradations_[p.degradation].name;
+  // Only an explicit SDC axis shows up, so pre-axis descriptions round-trip.
+  if (!sdc_.empty()) out << " | sdc=" << sdc_[p.sdc].name;
   return out.str();
 }
 
@@ -292,6 +327,7 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
   const PurchaseOption purchase = space_.PurchaseOptions()[p.purchase];
   const CheckpointOption& ckpt = space_.CheckpointOptions()[p.checkpoint];
   const DegradationOption& degr = space_.DegradationOptions()[p.degradation];
+  const SdcOption& sdc = space_.SdcOptions()[p.sdc];
 
   if (purchase == PurchaseOption::kSpot && type.spot_price_per_hour <= 0.0) {
     return false;  // no spot market for this type
@@ -316,8 +352,7 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
                                      type.price_per_hour * count);
     m.goodput = 1.0;
     m.interruption_risk = 0.0;
-    out = m;
-    return true;
+    return FinishWithSdc(m, sdc, type, purchase, count, base_seconds, out);
   }
 
   // Spot: preemptions arrive Poisson at `rate` per instance-hour.
@@ -371,6 +406,39 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
   m.top5 = variant.top5 * accuracy_scale;
   m.goodput = expected_s > 0.0 ? base_seconds / expected_s : 1.0;
   m.interruption_risk = 1.0 - std::exp(-fleet_rate * expected_s / 3600.0);
+  return FinishWithSdc(m, sdc, type, purchase, count, base_seconds, out);
+}
+
+bool ArchitectureEvaluator::FinishWithSdc(ArchMetrics& m, const SdcOption& sdc,
+                                          const cloud::InstanceType& type,
+                                          PurchaseOption purchase, int count,
+                                          double base_seconds,
+                                          ArchMetrics& out) const {
+  if (sdc.policy.kind == cloud::SdcPolicyKind::kOff) {
+    // SDC not modeled: delivered == effective, nothing else touched, so the
+    // row is bitwise identical to the pre-SDC evaluator.
+    m.delivered_top1 = m.top1;
+    m.delivered_top5 = m.top5;
+    out = m;
+    return true;
+  }
+  const cloud::SdcAssessment assess =
+      cloud::AssessSdc(sdc.policy, type.sdc_rate_per_hour, m.seconds);
+  // Detection machinery and redone work stretch the run, which re-bills
+  // through the purchase option's hourly rate (the paper's Eq. 3-4 cost).
+  m.seconds *= 1.0 + assess.time_overhead;
+  const double hourly = (purchase == PurchaseOption::kOnDemand
+                             ? type.price_per_hour
+                             : type.spot_price_per_hour) *
+                        count;
+  m.cost_usd = cloud::ProratedCost(m.seconds, hourly);
+  m.goodput = m.seconds > 0.0 ? base_seconds / m.seconds : 1.0;
+  m.delivered_top1 = cloud::DeliveredAccuracy(m.top1, assess.escape_fraction,
+                                              cloud::kCorruptTop1Factor);
+  m.delivered_top5 = cloud::DeliveredAccuracy(m.top5, assess.escape_fraction,
+                                              cloud::kCorruptTop5Factor);
+  m.sdc_escape_rate = assess.escape_fraction;
+  m.detection_overhead = assess.time_overhead;
   out = m;
   return true;
 }
@@ -382,7 +450,8 @@ namespace {
 /// Compact the candidate rows (frontier prefix ∪ fresh block, ascending flat
 /// id) down to their 3-D frontier in place.
 void CompactCandidates(std::vector<std::uint64_t>& ids,
-                       std::vector<ArchMetrics>& rows, bool use_top5) {
+                       std::vector<ArchMetrics>& rows, bool use_top5,
+                       bool use_delivered) {
   const std::size_t n = ids.size();
   std::vector<double> time(n);
   std::vector<double> cost(n);
@@ -390,7 +459,10 @@ void CompactCandidates(std::vector<std::uint64_t>& ids,
   for (std::size_t i = 0; i < n; ++i) {
     time[i] = rows[i].seconds;
     cost[i] = rows[i].cost_usd;
-    accuracy[i] = use_top5 ? rows[i].top5 : rows[i].top1;
+    accuracy[i] = use_delivered
+                      ? (use_top5 ? rows[i].delivered_top5
+                                  : rows[i].delivered_top1)
+                      : (use_top5 ? rows[i].top5 : rows[i].top1);
   }
   const std::vector<std::size_t> keep =
       SweepParetoFrontier3(time, cost, accuracy);
@@ -445,7 +517,7 @@ EnumerationResult EnumerateFrontier(const ArchitectureEvaluator& evaluator,
     }
     result.peak_candidates = std::max(result.peak_candidates, ids.size());
     if (ids.size() > frontier_rows) {
-      CompactCandidates(ids, rows, options.use_top5);
+      CompactCandidates(ids, rows, options.use_top5, options.use_delivered);
     }
   }
 

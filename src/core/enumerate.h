@@ -1,9 +1,10 @@
 // Architecture-space enumeration engine (ROADMAP item 2).
 //
 // The paper's Figs. 9/10 sweep (variant × configuration); real deployment
-// adds purchase option (on-demand vs spot), batch size, checkpoint policy
-// and accuracy-degradation policy. The cross product is millions of
-// configurations, so the engine never materializes the space:
+// adds purchase option (on-demand vs spot), batch size, checkpoint policy,
+// accuracy-degradation policy and silent-corruption detection policy
+// (cloud/sdc.h). The cross product is millions of configurations, so the
+// engine never materializes the space:
 //
 //   ArchitectureSpace     — the combinatorial axes + a mixed-radix flat id;
 //                           Encode/Decode are exact inverses and the flat id
@@ -36,6 +37,7 @@
 #include "cloud/checkpoint.h"
 #include "cloud/instance_catalog.h"
 #include "cloud/model_profile.h"
+#include "cloud/sdc.h"
 #include "cloud/simulator.h"
 #include "cloud/variant_perf.h"
 #include "core/accuracy_model.h"
@@ -85,6 +87,15 @@ struct DegradationOption {
   double accuracy_factor = 1.0;
 };
 
+/// One entry of the SDC-detection axis (cloud/sdc.h): how much silent-data-
+/// corruption checking the deployment buys. The implicit default axis is a
+/// single "off" entry (SDC not modeled), which keeps flat ids — and every
+/// result computed before this axis existed — unchanged.
+struct SdcOption {
+  std::string name;
+  cloud::SdcPolicy policy;
+};
+
 /// Everything a config costs and delivers — computed once per flat id; the
 /// MetricRegistry exposes named views over these fields.
 struct ArchMetrics {
@@ -94,6 +105,13 @@ struct ArchMetrics {
   double top5 = 0.0;
   double goodput = 1.0;    // base_seconds / expected_seconds, in (0, 1]
   double interruption_risk = 0.0;  // P(>=1 preemption during the run)
+  // Silent-corruption view (cloud/sdc.h). Under SdcPolicyKind::kOff these
+  // degenerate to delivered == effective and zero escape/overhead, so
+  // detection-free rows plot on the same axes.
+  double delivered_top1 = 0.0;  // accuracy after undetected corruption
+  double delivered_top5 = 0.0;
+  double sdc_escape_rate = 0.0;       // corrupted work delivered as correct
+  double detection_overhead = 0.0;    // fractional time billed to detection
 };
 
 /// A named scalar view over ArchMetrics.
@@ -119,7 +137,8 @@ class MetricRegistry {
   [[nodiscard]] const Metric& Find(const std::string& name) const;
   [[nodiscard]] const std::vector<Metric>& All() const { return metrics_; }
 
-  /// time_h, cost_usd, top1, top5, goodput, interruption_risk, tar, car.
+  /// time_h, cost_usd, top1, top5, goodput, interruption_risk, tar, car,
+  /// delivered_top1, sdc_escape_rate, detection_overhead.
   static const MetricRegistry& Standard();
 
  private:
@@ -135,12 +154,15 @@ struct AxisPoint {
   std::size_t purchase = 0;
   std::size_t checkpoint = 0;
   std::size_t degradation = 0;
+  std::size_t sdc = 0;
 };
 
 /// The combinatorial space: variant × instance type × count × batch ×
-/// purchase × checkpoint policy × degradation policy. Ids are mixed-radix
-/// with variant the slowest axis and degradation the fastest, so the flat
-/// id is also the enumeration (input) order of every sweep.
+/// purchase × checkpoint policy × degradation policy × SDC policy. Ids are
+/// mixed-radix with variant the slowest axis and SDC the fastest, so the
+/// flat id is also the enumeration (input) order of every sweep. The SDC
+/// axis defaults to a single implicit "off" entry, so spaces built before
+/// it existed keep their exact flat ids.
 class ArchitectureSpace {
  public:
   ArchitectureSpace() = default;
@@ -155,6 +177,9 @@ class ArchitectureSpace {
   void SetPurchaseOptions(std::vector<PurchaseOption> options);
   void AddCheckpointOption(CheckpointOption option);
   void AddDegradationOption(DegradationOption option);
+  /// Appends an SDC-detection option. Never calling this leaves the
+  /// implicit single-"off" axis in place (ids and Size() unchanged).
+  void AddSdcOption(SdcOption option);
 
   /// Throws CheckError when an axis is empty or an entry is invalid.
   void Validate() const;
@@ -166,6 +191,7 @@ class ArchitectureSpace {
   [[nodiscard]] AxisPoint Decode(std::uint64_t id) const;
 
   /// "conv1@30 | 4xp2.xlarge | batch=auto | spot | ckpt=adaptive | degr=none"
+  /// (plus " | sdc=<name>" once the SDC axis has explicit entries).
   [[nodiscard]] std::string Describe(std::uint64_t id) const;
 
   [[nodiscard]] const std::vector<VariantSpec>& Variants() const {
@@ -188,6 +214,8 @@ class ArchitectureSpace {
       const {
     return degradations_;
   }
+  /// The effective axis: explicit entries, or the implicit single "off".
+  [[nodiscard]] const std::vector<SdcOption>& SdcOptions() const;
 
  private:
   std::vector<VariantSpec> variants_;
@@ -197,6 +225,7 @@ class ArchitectureSpace {
   std::vector<PurchaseOption> purchase_;
   std::vector<CheckpointOption> checkpoints_;
   std::vector<DegradationOption> degradations_;
+  std::vector<SdcOption> sdc_;  // empty = implicit {"off"}
 };
 
 /// Prices one flat id through the analytic models. Construction resolves
@@ -221,6 +250,12 @@ class ArchitectureEvaluator {
   [[nodiscard]] const ArchitectureSpace& Space() const { return space_; }
 
  private:
+  /// Common tail of Evaluate: applies the row's SDC policy (overhead into
+  /// seconds/cost, escapes into delivered accuracy) and writes `out`.
+  bool FinishWithSdc(ArchMetrics& m, const SdcOption& sdc,
+                     const cloud::InstanceType& type, PurchaseOption purchase,
+                     int count, double base_seconds, ArchMetrics& out) const;
+
   const cloud::CloudSimulator& sim_;
   const ArchitectureSpace& space_;
   std::vector<const cloud::InstanceType*> types_;  // space type axis order
@@ -236,6 +271,9 @@ struct EnumerationOptions {
   std::size_t block = 65536;  // ids evaluated per compaction round
   bool serial = false;        // force serial evaluation (ScopedSerial)
   bool use_top5 = true;       // frontier accuracy objective
+  // Detection-aware frontier: rank on delivered accuracy (after undetected
+  // corruption) instead of effective accuracy. Identical under "off" rows.
+  bool use_delivered = false;
 };
 
 /// One surviving configuration.

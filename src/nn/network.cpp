@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/snapshot.h"
 #include "common/timer.h"
 
 namespace ccperf::nn {
@@ -162,7 +163,63 @@ Network Network::Clone() const {
     }
     copy.Add(node.layer->Clone(), std::move(inputs));
   }
+  // The clone holds byte-identical weights, so the integrity baseline
+  // transfers verbatim.
+  copy.weight_crcs_ = weight_crcs_;
+  copy.crcs_captured_ = crcs_captured_;
   return copy;
+}
+
+namespace {
+
+LayerCrc ComputeLayerCrc(const Layer& layer) {
+  LayerCrc crc;
+  crc.name = layer.Name();
+  const std::span<const float> w = layer.Weights().Data();
+  const std::span<const float> b = layer.Bias().Data();
+  crc.weights_crc = Crc32(w.data(), w.size_bytes());
+  crc.bias_crc = Crc32(b.data(), b.size_bytes());
+  return crc;
+}
+
+}  // namespace
+
+std::size_t Network::CaptureWeightCrcs() {
+  weight_crcs_.clear();
+  for (const auto& node : nodes_) {
+    if (node.layer->HasWeights()) {
+      weight_crcs_.push_back(ComputeLayerCrc(*node.layer));
+    }
+  }
+  crcs_captured_ = true;
+  return weight_crcs_.size();
+}
+
+IntegrityReport Network::VerifyIntegrity() const {
+  CCPERF_CHECK(crcs_captured_,
+               "VerifyIntegrity before CaptureWeightCrcs on network ", name_);
+  IntegrityReport report;
+  std::size_t next = 0;
+  for (const auto& node : nodes_) {
+    if (!node.layer->HasWeights()) continue;
+    if (next >= weight_crcs_.size()) {
+      // A weighted layer appeared after capture: structural divergence.
+      report.ok = false;
+      report.corrupted_layers.push_back(node.layer->Name());
+      continue;
+    }
+    const LayerCrc& baseline = weight_crcs_[next++];
+    const LayerCrc current = ComputeLayerCrc(*node.layer);
+    ++report.layers_checked;
+    if (current.name != baseline.name ||
+        current.weights_crc != baseline.weights_crc ||
+        current.bias_crc != baseline.bias_crc) {
+      report.ok = false;
+      report.corrupted_layers.push_back(node.layer->Name());
+    }
+  }
+  if (next != weight_crcs_.size()) report.ok = false;
+  return report;
 }
 
 void Network::SetInt8Execution(bool enabled) {

@@ -5,6 +5,7 @@
 // intermediate activations after their last consumer to bound memory.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +20,24 @@ struct LayerTiming {
   std::string name;
   LayerKind kind = LayerKind::kInput;
   double seconds = 0.0;
+};
+
+/// One weighted layer's reference checksums: CRC32 (common/snapshot) over
+/// the raw float bytes of its weight tensor and bias vector.
+struct LayerCrc {
+  std::string name;
+  std::uint32_t weights_crc = 0;
+  std::uint32_t bias_crc = 0;
+};
+
+/// Outcome of an integrity scrub (Network::VerifyIntegrity).
+struct IntegrityReport {
+  /// True iff every weighted layer's CRCs match the captured baseline.
+  bool ok = true;
+  /// Weighted layers compared (2 CRCs each).
+  std::size_t layers_checked = 0;
+  /// Names of layers whose weights or bias diverged, topological order.
+  std::vector<std::string> corrupted_layers;
 };
 
 /// Inference DAG. The virtual node "input" feeds layers with no explicit
@@ -75,6 +94,22 @@ class Network {
   /// Names of all weighted (prunable) layers, in topological order.
   [[nodiscard]] std::vector<std::string> WeightedLayerNames() const;
 
+  /// Capture per-layer weight/bias CRC32s as the integrity baseline for
+  /// VerifyIntegrity. Returns the number of weighted layers registered.
+  /// Re-capture after any legitimate weight mutation (pruning, weight
+  /// loading) — the scrub cannot distinguish intent from corruption.
+  std::size_t CaptureWeightCrcs();
+
+  /// The captured baseline (empty until CaptureWeightCrcs runs).
+  [[nodiscard]] const std::vector<LayerCrc>& WeightCrcs() const {
+    return weight_crcs_;
+  }
+
+  /// Integrity scrub: recompute every weighted layer's CRCs and compare to
+  /// the captured baseline. Requires a prior CaptureWeightCrcs (checked);
+  /// also fails if the set of weighted layers itself changed.
+  [[nodiscard]] IntegrityReport VerifyIntegrity() const;
+
  private:
   struct Node {
     std::unique_ptr<Layer> layer;
@@ -86,6 +121,8 @@ class Network {
   std::string name_;
   Shape input_shape_;  // CHW
   std::vector<Node> nodes_;
+  std::vector<LayerCrc> weight_crcs_;  // integrity baseline; may be empty
+  bool crcs_captured_ = false;
 };
 
 /// Index of the class with the highest score per batch element.

@@ -1,0 +1,169 @@
+#include "tensor/abft.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/threading.h"
+
+namespace ccperf {
+
+namespace {
+
+constexpr double kEps = 1.19209290e-7;  // float machine epsilon / 2 * 2
+
+}  // namespace
+
+AbftPackedA AbftPackA(std::int64_t m, std::int64_t k,
+                      std::span<const float> a) {
+  CCPERF_CHECK(m >= 0 && k >= 0, "negative GEMM extent");
+  CCPERF_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "A size mismatch");
+  AbftPackedA packed;
+  packed.m_ = m;
+  packed.k_ = k;
+  if (m == 0) return packed;
+  // Augmented matrix [A; colsum(A)]: the checksum row is accumulated in
+  // double (one rounding to float at the end), so its own error does not
+  // dominate the residual the tolerance must cover.
+  std::vector<float> aug(static_cast<std::size_t>((m + 1) * k), 0.0f);
+  std::copy(a.begin(), a.end(), aug.begin());
+  packed.col_w2_.assign(static_cast<std::size_t>(k), 0.0);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    double colsum = 0.0;
+    double colsq = 0.0;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const double v = a[static_cast<std::size_t>(i * k + kk)];
+      colsum += v;
+      colsq += v * v;
+    }
+    aug[static_cast<std::size_t>(m * k + kk)] = static_cast<float>(colsum);
+    packed.col_w2_[static_cast<std::size_t>(kk)] = colsq + colsum * colsum;
+  }
+  packed.aug_ = PackA(m + 1, k, aug);
+  return packed;
+}
+
+void GemmAbftCompute(const AbftPackedA& a, std::int64_t n,
+                     std::span<const float> b, std::span<float> c,
+                     std::span<float> checksum_row) {
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  CCPERF_CHECK(n >= 0, "negative GEMM extent");
+  CCPERF_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "B size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "C size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(checksum_row.size()) == n,
+               "checksum row size mismatch");
+  if (m == 0) return;
+  if (n == 0) return;
+  // One kernel call over the augmented pack; rows of C are accumulated
+  // independently, so rows 0..m-1 are bitwise equal to GemmPacked of the
+  // unaugmented matrix and row m is the checksum row. The scratch is
+  // thread_local and reused across calls: a fresh multi-MB vector per call
+  // costs more in page faults than the checksum row costs in flops.
+  static thread_local std::vector<float> caug;
+  const auto needed = static_cast<std::size_t>((m + 1) * n);
+  if (caug.size() < needed) caug.resize(needed);
+  GemmPacked(a.aug_, n, b, std::span<float>(caug.data(), needed));
+  std::copy(caug.begin(), caug.begin() + static_cast<std::ptrdiff_t>(m * n),
+            c.begin());
+  std::copy(caug.begin() + static_cast<std::ptrdiff_t>(m * n),
+            caug.begin() + static_cast<std::ptrdiff_t>((m + 1) * n),
+            checksum_row.begin());
+}
+
+AbftCheck AbftVerify(const AbftPackedA& a, std::int64_t n,
+                     std::span<const float> b, std::span<const float> c,
+                     std::span<const float> checksum_row) {
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  CCPERF_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "B size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "C size mismatch");
+  CCPERF_CHECK(static_cast<std::int64_t>(checksum_row.size()) == n,
+               "checksum row size mismatch");
+  AbftCheck check;
+  if (m == 0 || n == 0) return check;
+
+  // Per-column residual and tolerance, each column in a fixed serial order
+  // inside its chunk — bitwise deterministic regardless of pool size, and
+  // the final scan below is serial. Scratch reused across calls (see
+  // GemmAbftCompute).
+  static thread_local std::vector<double> residual;
+  static thread_local std::vector<double> tolerance;
+  if (residual.size() < static_cast<std::size_t>(n)) {
+    residual.resize(static_cast<std::size_t>(n));
+    tolerance.resize(static_cast<std::size_t>(n));
+  }
+  const float* cp = c.data();
+  const float* bp = b.data();
+  const float* chk = checksum_row.data();
+  const double* w2 = a.col_w2_.data();
+  double* res = residual.data();
+  double* tol = tolerance.data();
+  const double scale = kAbftSafety * kEps *
+                       std::sqrt(static_cast<double>(k) + 16.0);
+  // Rows outer, chunk columns inner: every C/B load is contiguous (the
+  // column-at-a-time order strides by n and thrashes the cache), while each
+  // column j still accumulates in ascending i / ascending kk order — the
+  // residuals are bitwise identical to the naive per-column loop.
+  ParallelForChunks(
+      0, static_cast<std::size_t>(n),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          res[j] = 0.0;
+          tol[j] = 0.0;
+        }
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float* row = cp + static_cast<std::size_t>(i * n);
+          for (std::size_t j = lo; j < hi; ++j) {
+            res[j] += static_cast<double>(row[j]);
+          }
+        }
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float* row = bp + static_cast<std::size_t>(kk * n);
+          const double w = w2[kk];
+          for (std::size_t j = lo; j < hi; ++j) {
+            const double bv = row[j];
+            tol[j] += w * bv * bv;
+          }
+        }
+        for (std::size_t j = lo; j < hi; ++j) {
+          res[j] = std::fabs(res[j] - static_cast<double>(chk[j]));
+          tol[j] = scale * std::sqrt(tol[j]) + kAbftFloor;
+        }
+      },
+      64);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const double r = residual[static_cast<std::size_t>(j)];
+    const double t = tolerance[static_cast<std::size_t>(j)];
+    // NaN residual (non-finite inputs) fails the comparison: reported bad.
+    const bool good = r <= t;
+    if (!good) {
+      check.ok = false;
+      ++check.bad_columns;
+      if (check.first_bad_column < 0) check.first_bad_column = j;
+    }
+    const double ratio =
+        t > 0.0 ? r / t : std::numeric_limits<double>::infinity();
+    if (!(ratio <= check.max_ratio)) check.max_ratio = ratio;
+  }
+  return check;
+}
+
+AbftCheck GemmAbft(const AbftPackedA& a, std::int64_t n,
+                   std::span<const float> b, std::span<float> c) {
+  static thread_local std::vector<float> checksum_row;
+  if (checksum_row.size() < static_cast<std::size_t>(n)) {
+    checksum_row.resize(static_cast<std::size_t>(n));
+  }
+  const std::span<float> chk(checksum_row.data(), static_cast<std::size_t>(n));
+  GemmAbftCompute(a, n, b, c, chk);
+  return AbftVerify(a, n, b, c, chk);
+}
+
+AbftCheck GemmAbft(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::span<const float> a, std::span<const float> b,
+                   std::span<float> c) {
+  return GemmAbft(AbftPackA(m, k, a), n, b, c);
+}
+
+}  // namespace ccperf

@@ -1,0 +1,126 @@
+// Algorithm-based fault tolerance (ABFT) for the dense GEMM path.
+//
+// Huang-Abraham column checksums adapted to the blocked kernel: AbftPackA
+// appends one extra row to A holding its column sums (computed in double,
+// rounded once to float) before packing, so the same GemmPacked call that
+// produces C also produces a checksum row chk_j = sum_k colsum_k * b_kj.
+// Verification compares the double-precision column sums of C against that
+// row within a derived float tolerance; a silent single-element corruption
+// of the packed weights or the output perturbs exactly the failing columns.
+//
+// Tolerance derivation. The residual r_j = |sum_i c_ij - chk_j| is pure
+// float rounding noise on a clean run. Both sides accumulate ~(m + 2k)
+// roundings whose realistic magnitude tracks the partial-product energy,
+// not the (cancellation-prone) outputs, so the per-column noise proxy is
+//   proxy_j^2 = sum_k (sum_i a_ik^2 + (sum_i a_ik)^2) * b_kj^2
+// (the second term covers the checksum row itself, whose partials are
+// colsum_k * b_kj — up to sqrt(m) larger when a column of A does not
+// cancel). The tolerance is
+//   tol_j = kAbftSafety * eps * sqrt(k + 16) * proxy_j + kAbftFloor,
+// calibrated so ~200-shape random sweeps see zero false positives
+// (tensor_abft_differential_test) while a bit flip in the sign/exponent/
+// high-mantissa range of any output element lands orders of magnitude
+// above it. Flips below the float rounding floor are undetectable in
+// principle; CorruptionInjector (tensor/corruption.h) therefore defaults
+// to the detectable bit range.
+//
+// Non-finite inputs make the residual NaN, which fails the `r <= tol`
+// comparison: a NaN-poisoned multiply is reported as corrupt. That is the
+// conservative serving-oriented semantic and is pinned by tests.
+//
+// The int8 twin (GemmInt8Abft, tensor/quant.h) verifies the exact int32
+// accumulator image against stored quantized column sums — integer
+// equality, no tolerance — and shares the AbftCheck report type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace ccperf {
+
+/// Tolerance constants (see the derivation above). Exposed so tests and the
+/// bench can reason about the detection floor.
+inline constexpr double kAbftSafety = 12.0;
+inline constexpr double kAbftFloor = 1e-30;
+
+/// Outcome of one checksum verification.
+struct AbftCheck {
+  /// True iff every column's residual is within tolerance.
+  bool ok = true;
+  /// Columns whose residual exceeded tolerance (0 when ok).
+  std::int64_t bad_columns = 0;
+  /// First failing column index, -1 when ok.
+  std::int64_t first_bad_column = -1;
+  /// max_j residual_j / tolerance_j — <= 1 on clean runs, typically far
+  /// below; corruption drives it orders of magnitude above 1. For the int8
+  /// path the residual is exact, so this is the max absolute integer
+  /// residual instead (any nonzero value fails).
+  double max_ratio = 0.0;
+};
+
+/// A[M,K] with its column-checksum row appended, packed for GemmPacked,
+/// plus the per-column statistics the tolerance derivation needs. Build
+/// once per weight matrix and reuse across GemmAbft calls (the ABFT twin
+/// of the weight-stationary PackA caching).
+class AbftPackedA {
+ public:
+  AbftPackedA() = default;
+
+  [[nodiscard]] std::int64_t M() const { return m_; }
+  [[nodiscard]] std::int64_t K() const { return k_; }
+  [[nodiscard]] bool Empty() const { return m_ == 0 && k_ == 0; }
+
+  /// The augmented (M+1) x K pack (row M is the checksum row). Exposed for
+  /// size accounting; treat the layout as opaque.
+  [[nodiscard]] const PackedA& Augmented() const { return aug_; }
+
+ private:
+  friend AbftPackedA AbftPackA(std::int64_t m, std::int64_t k,
+                               std::span<const float> a);
+  friend void GemmAbftCompute(const AbftPackedA& a, std::int64_t n,
+                              std::span<const float> b, std::span<float> c,
+                              std::span<float> checksum_row);
+  friend AbftCheck AbftVerify(const AbftPackedA& a, std::int64_t n,
+                              std::span<const float> b,
+                              std::span<const float> c,
+                              std::span<const float> checksum_row);
+  friend class CorruptionInjector;
+
+  std::int64_t m_ = 0;
+  std::int64_t k_ = 0;
+  PackedA aug_;                 // (m+1) x k augmented pack
+  std::vector<double> col_w2_;  // [k]: sum_i a_ik^2 + (sum_i a_ik)^2
+};
+
+/// Build the checksummed pack of row-major A[M,K].
+AbftPackedA AbftPackA(std::int64_t m, std::int64_t k, std::span<const float> a);
+
+/// C[M,N] = A * B[K,N] plus the checksum row, no verification — the
+/// kernel half of GemmAbft, split out so tests can corrupt C between
+/// compute and verify. `checksum_row` must have N elements. Bitwise equal
+/// to GemmPacked of the unaugmented matrix (each C row's accumulation is
+/// independent of the extra row) and pool-size independent.
+void GemmAbftCompute(const AbftPackedA& a, std::int64_t n,
+                     std::span<const float> b, std::span<float> c,
+                     std::span<float> checksum_row);
+
+/// Verify a computed (C, checksum_row) pair column by column.
+AbftCheck AbftVerify(const AbftPackedA& a, std::int64_t n,
+                     std::span<const float> b, std::span<const float> c,
+                     std::span<const float> checksum_row);
+
+/// C[M,N] = A * B[K,N] with checksum verification: GemmAbftCompute then
+/// AbftVerify. C is fully written even when verification fails (the caller
+/// decides whether to re-execute or discard).
+AbftCheck GemmAbft(const AbftPackedA& a, std::int64_t n,
+                   std::span<const float> b, std::span<float> c);
+
+/// Convenience: pack + multiply + verify in one call.
+AbftCheck GemmAbft(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::span<const float> a, std::span<const float> b,
+                   std::span<float> c);
+
+}  // namespace ccperf

@@ -134,6 +134,26 @@ PackedA PackA(std::int64_t m, std::int64_t k, std::span<const float> a) {
   return packed;
 }
 
+void FlipPackedBit(PackedA& a, std::int64_t row, std::int64_t k, int bit) {
+  CCPERF_CHECK(row >= 0 && row < a.m_ && k >= 0 && k < a.k_,
+               "packed element (", row, ", ", k, ") out of range");
+  CCPERF_CHECK(bit >= 0 && bit <= 31, "bit must be in [0, 31], got ", bit);
+  // Mirror of the PackA layout arithmetic: element (row, k) of the K block
+  // at pc sits at panels*kMr*pc + panel*kMr*kc_eff + kk*kMr + r.
+  const std::int64_t panels = (a.m_ + kMr - 1) / kMr;
+  const std::int64_t pc = (k / kKc) * kKc;
+  const std::int64_t kk = k - pc;
+  const std::int64_t kc_eff = std::min(kKc, a.k_ - pc);
+  const std::int64_t offset = panels * kMr * pc +
+                              (row / kMr) * kMr * kc_eff + kk * kMr +
+                              row % kMr;
+  float& value = a.data_[static_cast<std::size_t>(offset)];
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits ^= 1u << static_cast<unsigned>(bit);
+  std::memcpy(&value, &bits, sizeof(bits));
+}
+
 void GemmPacked(const PackedA& a, std::int64_t n, std::span<const float> b,
                 std::span<float> c) {
   const std::int64_t m = a.m_;

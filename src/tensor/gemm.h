@@ -34,6 +34,8 @@ class PackedA {
                        std::span<const float> a);
   friend void GemmPacked(const PackedA& a, std::int64_t n,
                          std::span<const float> b, std::span<float> c);
+  friend void FlipPackedBit(PackedA& a, std::int64_t row, std::int64_t k,
+                            int bit);
 
   std::int64_t m_ = 0;
   std::int64_t k_ = 0;
@@ -68,6 +70,12 @@ void GemmReference(std::int64_t m, std::int64_t n, std::int64_t k,
 void NaiveGemm(std::int64_t m, std::int64_t n, std::int64_t k,
                std::span<const float> a, std::span<const float> b,
                std::span<float> c);
+
+/// Flip bit `bit` (0..31) of the packed copy of element (row, k) — the
+/// silent-data-corruption injection hook (tensor/corruption.h). Lives in
+/// the kernel TU because only it knows the panel layout; (row, k) must be
+/// a valid element (never the zero padding).
+void FlipPackedBit(PackedA& a, std::int64_t row, std::int64_t k, int bit);
 
 /// y[M] = A[M,K] * x[K] (y overwritten; add bias separately).
 void Gemv(std::int64_t m, std::int64_t k, std::span<const float> a,

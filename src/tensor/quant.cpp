@@ -345,6 +345,7 @@ QuantizedPackedA QuantizePackA(std::int64_t m, std::int64_t k,
   // scale 0: every quantized value is 0 and the epilogue dequantizes by 0.
   packed.scales_.resize(static_cast<std::size_t>(m));
   packed.rowsums_.assign(static_cast<std::size_t>(m), 0);
+  packed.colsums_.assign(static_cast<std::size_t>(k), 0);
   std::vector<float> inv(static_cast<std::size_t>(m), 0.0f);
   for (std::int64_t i = 0; i < m; ++i) {
     const float s =
@@ -385,6 +386,7 @@ QuantizedPackedA QuantizePackA(std::int64_t m, std::int64_t k,
         for (std::int64_t kk = 0; kk < kc_eff; ++kk) {
           const std::int32_t q = QuantizeCore(arow[kk], is);
           rsum += q;
+          packed.colsums_[static_cast<std::size_t>(pc + kk)] += q;
 #if defined(CCPERF_INT8_QUAD)
           reinterpret_cast<std::int8_t*>(
               panel)[((kk / 4) * kMr + r) * 4 + kk % 4] =
@@ -404,40 +406,38 @@ QuantizedPackedA QuantizePackA(std::int64_t m, std::int64_t k,
   return packed;
 }
 
-void GemmInt8(const QuantizedPackedA& a, std::int64_t n,
-              std::span<const float> b, std::span<float> c,
-              const Int8Epilogue& epilogue) {
-  const std::int64_t m = a.m_;
-  const std::int64_t k = a.k_;
+namespace {
+
+/// Argument contract shared by GemmInt8 and GemmInt8Abft.
+void CheckInt8Args(std::int64_t n, std::span<const float> b,
+                   std::span<float> c, const Int8Epilogue& epilogue,
+                   std::int64_t m, std::int64_t k) {
   CCPERF_CHECK(n >= 0, "negative GEMM extent");
   CCPERF_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "B size mismatch");
   CCPERF_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "C size mismatch");
   CCPERF_CHECK(epilogue.bias.empty() ||
                    static_cast<std::int64_t>(epilogue.bias.size()) == m,
                "bias size mismatch");
-  if (m == 0 || n == 0) return;
+}
 
-  const float b_scale = ActivationScale(b);
-  const float inv_b = b_scale > 0.0f ? 1.0f / b_scale : 0.0f;
-
-  // Exact int32 C image accumulated across the K slices; dequantized once
-  // at the end so every float rounding decision happens exactly once per
-  // element, in DequantRow, identically to the naive oracle. On the biased
-  // VNNI layout the image starts at the per-row offset correction
-  // -128 * sum(q_a) instead of 0 (see kBOffset above) — still exact int32.
-  std::vector<std::int32_t> c32(static_cast<std::size_t>(m * n), 0);
-  std::int32_t* cp = c32.data();
+/// The blocked int8 kernel: fills `cp` (an m x n int32 image) with the
+/// exact unbiased accumulation sum_k q_ik * qb_kj. On the biased VNNI
+/// layout the image starts at the per-row offset correction -128 * sum(q_a)
+/// (see kBOffset above), which the kernel's biased products cancel exactly,
+/// so the finished image is layout-independent.
+void ComputeInt8Image(std::int64_t m, std::int64_t k,
+                      const std::int16_t* pa, const std::int32_t* rowsums,
+                      std::int64_t n, std::span<const float> b, float inv_b,
+                      std::int32_t* cp) {
   if (kBOffset != 0 && k > 0) {
-    const std::int32_t* rowsums = a.rowsums_.data();
     for (std::int64_t i = 0; i < m; ++i) {
       const std::int32_t corr = -kBOffset * rowsums[i];
       if (corr != 0) std::fill(cp + i * n, cp + (i + 1) * n, corr);
     }
   }
-
+  (void)rowsums;
   if (k > 0) {
     const std::int64_t panels = (m + kMr - 1) / kMr;
-    const std::int16_t* pa = a.data_.data();
     const float* bsrc = b.data();
     const std::int64_t max_npanels = (std::min(n, kNc) + kNr - 1) / kNr;
     std::vector<std::int16_t> bpack(static_cast<std::size_t>(
@@ -475,8 +475,12 @@ void GemmInt8(const QuantizedPackedA& a, std::int64_t n,
     }
   }
 
-  // Fused dequant + bias + ReLU over the finished int32 image.
-  const float* scales = a.scales_.data();
+}
+
+/// Fused dequant + bias + ReLU over the finished int32 image.
+void ApplyInt8Epilogue(std::int64_t m, std::int64_t n, const float* scales,
+                       std::span<float> c, const Int8Epilogue& epilogue,
+                       float b_scale, const std::int32_t* cp) {
   const float* bias = epilogue.bias.empty() ? nullptr : epilogue.bias.data();
   const bool relu = epilogue.relu;
   float* out = c.data();
@@ -490,6 +494,142 @@ void GemmInt8(const QuantizedPackedA& a, std::int64_t n,
         }
       },
       16);
+}
+
+/// ABFT verification of the finished int32 image: per column j the row sum
+/// sum_i c32_ij must equal sum_k colsums_[k] * qb_kj, where qb is this
+/// call's own re-quantization of B (bitwise-identical decisions to
+/// PackQuantizedB's). All arithmetic is exact — int64 sums over int32
+/// terms cannot overflow (m, k bounded by kInt8MaxDepth-scale shapes) —
+/// so the comparison is equality: any nonzero residual is corruption, not
+/// rounding.
+AbftCheck VerifyInt8Image(std::int64_t m, std::int64_t k,
+                          const std::int32_t* colsums, std::int64_t n,
+                          std::span<const float> b, float inv_b,
+                          const std::int32_t* cp) {
+  AbftCheck check;
+  if (n == 0) return check;
+  std::vector<std::int64_t> residual(static_cast<std::size_t>(n), 0);
+  std::int64_t* res = residual.data();
+  const float* bsrc = b.data();
+  ParallelForChunks(
+      0, static_cast<std::size_t>(n),
+      [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t jz = lo; jz < hi; ++jz) {
+          const std::int64_t j = static_cast<std::int64_t>(jz);
+          std::int64_t expect = 0;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            expect += static_cast<std::int64_t>(colsums[kk]) *
+                      QuantizeCore(bsrc[kk * n + j], inv_b);
+          }
+          std::int64_t got = 0;
+          for (std::int64_t i = 0; i < m; ++i) got += cp[i * n + j];
+          res[jz] = got - expect;
+        }
+      },
+      64);
+  // Serial scan so the verdict fields are pool-size independent.
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t r = res[static_cast<std::size_t>(j)];
+    if (r == 0) continue;
+    check.ok = false;
+    ++check.bad_columns;
+    if (check.first_bad_column < 0) check.first_bad_column = j;
+    const double mag = std::abs(static_cast<double>(r));
+    if (mag > check.max_ratio) check.max_ratio = mag;
+  }
+  return check;
+}
+
+}  // namespace
+
+void GemmInt8(const QuantizedPackedA& a, std::int64_t n,
+              std::span<const float> b, std::span<float> c,
+              const Int8Epilogue& epilogue) {
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  CheckInt8Args(n, b, c, epilogue, m, k);
+  if (m == 0 || n == 0) return;
+  const float b_scale = ActivationScale(b);
+  const float inv_b = b_scale > 0.0f ? 1.0f / b_scale : 0.0f;
+  std::vector<std::int32_t> c32(static_cast<std::size_t>(m * n), 0);
+  ComputeInt8Image(m, k, a.data_.data(), a.rowsums_.data(), n, b, inv_b,
+                   c32.data());
+  ApplyInt8Epilogue(m, n, a.scales_.data(), c, epilogue, b_scale, c32.data());
+}
+
+AbftCheck GemmInt8Abft(const QuantizedPackedA& a, std::int64_t n,
+                       std::span<const float> b, std::span<float> c,
+                       const Int8Epilogue& epilogue) {
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  CheckInt8Args(n, b, c, epilogue, m, k);
+  AbftCheck check;
+  if (m == 0 || n == 0) return check;
+  const float b_scale = ActivationScale(b);
+  const float inv_b = b_scale > 0.0f ? 1.0f / b_scale : 0.0f;
+  std::vector<std::int32_t> c32(static_cast<std::size_t>(m * n), 0);
+  ComputeInt8Image(m, k, a.data_.data(), a.rowsums_.data(), n, b, inv_b,
+                   c32.data());
+  check = VerifyInt8Image(m, k, a.colsums_.data(), n, b, inv_b, c32.data());
+  ApplyInt8Epilogue(m, n, a.scales_.data(), c, epilogue, b_scale, c32.data());
+  return check;
+}
+
+AbftCheck GemmInt8AbftCorruptForTest(const QuantizedPackedA& a,
+                                     std::int64_t n, std::span<const float> b,
+                                     std::span<float> c,
+                                     const Int8Epilogue& epilogue,
+                                     std::int64_t element, int bit) {
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  CheckInt8Args(n, b, c, epilogue, m, k);
+  CCPERF_CHECK(m > 0 && n > 0, "need a non-empty output to corrupt");
+  CCPERF_CHECK(element >= 0 && element < m * n,
+               "corrupt element out of range");
+  CCPERF_CHECK(bit >= 0 && bit <= 31, "corrupt bit out of range");
+  const float b_scale = ActivationScale(b);
+  const float inv_b = b_scale > 0.0f ? 1.0f / b_scale : 0.0f;
+  std::vector<std::int32_t> c32(static_cast<std::size_t>(m * n), 0);
+  ComputeInt8Image(m, k, a.data_.data(), a.rowsums_.data(), n, b, inv_b,
+                   c32.data());
+  std::int32_t& target = c32[static_cast<std::size_t>(element)];
+  target = static_cast<std::int32_t>(static_cast<std::uint32_t>(target) ^
+                                     (1u << static_cast<unsigned>(bit)));
+  const AbftCheck check =
+      VerifyInt8Image(m, k, a.colsums_.data(), n, b, inv_b, c32.data());
+  ApplyInt8Epilogue(m, n, a.scales_.data(), c, epilogue, b_scale, c32.data());
+  return check;
+}
+
+void FlipQuantizedBit(QuantizedPackedA& a, std::int64_t row, std::int64_t k,
+                      int bit) {
+  CCPERF_CHECK(row >= 0 && row < a.m_ && k >= 0 && k < a.k_,
+               "flip target (", row, ", ", k, ") outside ", a.m_, " x ", a.k_);
+  CCPERF_CHECK(bit >= 0 && bit <= 7, "int8 flip bit must be in [0, 7], got ",
+               bit);
+  // Mirror QuantizePackA's layout arithmetic exactly (panel base, then the
+  // ISA-dependent in-panel offset).
+  const std::int64_t panels = (a.m_ + kMr - 1) / kMr;
+  const std::int64_t pc = (k / kKc) * kKc;
+  const std::int64_t kk = k - pc;
+  const std::int64_t kc_pad = KPad(std::min(kKc, a.k_ - pc));
+  std::int16_t* block = a.data_.data() + panels * kMr * pc * 2 / kKGroup;
+  std::int16_t* panel = block + (row / kMr) * kMr * kc_pad * 2 / kKGroup;
+  const std::int64_t r = row % kMr;
+#if defined(CCPERF_INT8_QUAD)
+  std::int8_t& value =
+      reinterpret_cast<std::int8_t*>(panel)[((kk / 4) * kMr + r) * 4 + kk % 4];
+  value = static_cast<std::int8_t>(static_cast<std::uint8_t>(value) ^
+                                   (1u << static_cast<unsigned>(bit)));
+#else
+  std::int16_t& value = panel[(kk / 2) * kMr * 2 + r * 2 + (kk % 2)];
+  value = static_cast<std::int16_t>(static_cast<std::uint16_t>(value) ^
+                                    (1u << static_cast<unsigned>(bit)));
+#endif
+  // Row/column sums are left stale on purpose: a real SDC in the packed
+  // weights would not update them either, and the stale references are
+  // exactly what lets GemmInt8Abft detect the flip.
 }
 
 void GemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,

@@ -23,6 +23,8 @@
 #include <span>
 #include <vector>
 
+#include "tensor/abft.h"
+
 namespace ccperf {
 
 /// Deepest K an int8 GEMM may accumulate before int32 could overflow.
@@ -74,6 +76,15 @@ class QuantizedPackedA {
   friend void GemmInt8(const QuantizedPackedA& a, std::int64_t n,
                        std::span<const float> b, std::span<float> c,
                        const struct Int8Epilogue& epilogue);
+  friend AbftCheck GemmInt8Abft(const QuantizedPackedA& a, std::int64_t n,
+                                std::span<const float> b, std::span<float> c,
+                                const struct Int8Epilogue& epilogue);
+  friend AbftCheck GemmInt8AbftCorruptForTest(
+      const QuantizedPackedA& a, std::int64_t n, std::span<const float> b,
+      std::span<float> c, const struct Int8Epilogue& epilogue,
+      std::int64_t element, int bit);
+  friend void FlipQuantizedBit(QuantizedPackedA& a, std::int64_t row,
+                               std::int64_t k, int bit);
 
   std::int64_t m_ = 0;
   std::int64_t k_ = 0;
@@ -82,6 +93,10 @@ class QuantizedPackedA {
   // Per-row sum of the quantized weights, used by the VNNI kernel's
   // unsigned-activation offset correction (exact int32; see quant.cpp).
   std::vector<std::int32_t> rowsums_;  // [m]
+  // Per-K-step column sum of the quantized weights over the valid rows —
+  // the ABFT reference: the exact int32 image must satisfy
+  // sum_i c32_ij = sum_k colsums_[k] * qb_kj (see GemmInt8Abft).
+  std::vector<std::int32_t> colsums_;  // [k]
 };
 
 /// Fused epilogue applied while the int32 accumulators are dequantized:
@@ -119,6 +134,36 @@ void GemmInt8(const QuantizedPackedA& a, std::int64_t n,
 void GemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
               std::span<const float> a, std::span<const float> b,
               std::span<float> c, const Int8Epilogue& epilogue = {});
+
+/// GemmInt8 with ABFT verification of the exact int32 accumulator image
+/// before the epilogue runs: per column j, sum_i c32_ij must equal
+/// sum_k colsum_k * qb_kj where colsum_k was stored at pack time and qb is
+/// the call's own re-quantization of B (bitwise-identical decisions to the
+/// kernel's pack). Integer equality — no tolerance, so ANY flipped bit in
+/// the packed weights or the accumulator image is detected, and the fused
+/// ReLU stays fused (verification happens pre-epilogue, where the checksum
+/// is still linear). AbftCheck::max_ratio reports the max absolute integer
+/// residual. C is fully written even on failure.
+AbftCheck GemmInt8Abft(const QuantizedPackedA& a, std::int64_t n,
+                       std::span<const float> b, std::span<float> c,
+                       const Int8Epilogue& epilogue = {});
+
+/// Test hook: GemmInt8Abft with bit `bit` (0..31) of int32 accumulator
+/// element `element` flipped between the kernel and verification — the
+/// output-corruption direction of the differential coverage sweep, which
+/// has no external window in the fused path.
+AbftCheck GemmInt8AbftCorruptForTest(const QuantizedPackedA& a,
+                                     std::int64_t n, std::span<const float> b,
+                                     std::span<float> c,
+                                     const Int8Epilogue& epilogue,
+                                     std::int64_t element, int bit);
+
+/// Flip bit `bit` (0..7, the int8 grid) of the packed quantized copy of
+/// element (row, k) — the SDC injection hook (tensor/corruption.h). The
+/// stored row/column sums are left stale on purpose. Lives in the kernel
+/// TU because only it knows the (ISA-dependent) packed layout.
+void FlipQuantizedBit(QuantizedPackedA& a, std::int64_t row, std::int64_t k,
+                      int bit);
 
 /// Ground-truth int8 path (tests only; no blocking, no threading): same
 /// quantization decisions, plain int32 triple loop, same epilogue helper.

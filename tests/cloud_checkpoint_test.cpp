@@ -576,5 +576,61 @@ TEST_F(CheckpointTest, VaultPublishedSnapshotRestoresTheEngine) {
   EXPECT_EQ(full.p99_latency_s, after.p99_latency_s);
 }
 
+TEST_F(CheckpointTest, SpotEstimateIsContinuousAtZeroRisk) {
+  // The expected-recompute term must vanish smoothly as the preemption
+  // rate goes to zero: no branch discontinuity between the faulted and
+  // fault-free pricing paths.
+  const CheckpointPolicy policy{.trigger = CheckpointTrigger::kPeriodic,
+                                .interval_s = 300.0,
+                                .snapshot_cost_s = 5.0};
+  const SpotRunEstimate at_zero =
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.0);
+  const SpotRunEstimate near_zero =
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 1e-9);
+  EXPECT_NEAR(near_zero.expected_seconds, at_zero.expected_seconds, 1e-3);
+  EXPECT_NEAR(near_zero.expected_spot_cost_usd,
+              at_zero.expected_spot_cost_usd, 1e-6);
+  EXPECT_NEAR(near_zero.expected_recompute_s, 0.0, 1e-3);
+  // And the risk premium is monotone from there.
+  const SpotRunEstimate risky =
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.5);
+  EXPECT_GT(risky.expected_seconds, near_zero.expected_seconds);
+  EXPECT_GT(risky.expected_spot_cost_usd, near_zero.expected_spot_cost_usd);
+}
+
+TEST_F(CheckpointTest, VaultScrubCatchesEveryByteFlip) {
+  // SnapshotVault::VerifyAllSections is the storage-side integrity scrub:
+  // a single flipped byte ANYWHERE in a stored snapshot — header, section
+  // table, or payload — must be reported, and a clean vault must verify.
+  const auto trace = PoissonTrace(20.0, 15.0, 9);
+  const ServingPolicy policy{.max_batch = 32, .max_wait_s = 0.05};
+  FaultedServingEngine engine(serving_, Fleet(), perf_, trace, 15.0, policy,
+                              {}, FaultSchedule{});
+  while (!engine.Done() && engine.Watermark() < 10.0) engine.Step();
+  const std::string snapshot = engine.Checkpoint();
+  ASSERT_GT(snapshot.size(), 0u);
+
+  SnapshotVault clean;
+  clean.Put("run", 10.0, snapshot);
+  clean.PutMirrored("mirrored", 10.0, snapshot, {0, 1});
+  const SnapshotVault::ScrubReport clean_report = clean.VerifyAllSections();
+  EXPECT_TRUE(clean_report.ok());
+  EXPECT_EQ(clean_report.copies_checked, 3u);  // run + two mirror domains
+
+  // One vault holding every possible single-byte corruption of the
+  // snapshot, each under its own name: one scrub must flag them all.
+  SnapshotVault vault;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    std::string damaged = snapshot;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    vault.Put("flip-" + std::to_string(i), 10.0, std::move(damaged));
+  }
+  const SnapshotVault::ScrubReport report = vault.VerifyAllSections();
+  EXPECT_EQ(report.copies_checked, snapshot.size());
+  EXPECT_EQ(report.corrupted.size(), snapshot.size())
+      << "some byte flips escaped the scrub";
+  EXPECT_FALSE(report.ok());
+}
+
 }  // namespace
 }  // namespace ccperf::cloud

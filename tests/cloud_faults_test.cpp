@@ -195,6 +195,44 @@ TEST(FaultSchedule, CsvErrorsNameTheOffendingLine) {
   EXPECT_NE(unordered.find("line 2"), std::string::npos) << unordered;
 }
 
+TEST(FaultSchedule, CsvRejectsNonFiniteFields) {
+  const std::string header =
+      "kind,instance,start_s,duration_s,slowdown_factor\n";
+  // NaN/inf survive strtod, so the finiteness check must catch them — with
+  // the line context intact.
+  const std::string nan_start = ParseError(header + "crash,0,nan,5,1\n");
+  EXPECT_NE(nan_start.find("line 2"), std::string::npos) << nan_start;
+  EXPECT_THROW((void)ParseFaultScheduleCsv(
+                   std::string(header + "crash,0,inf,5,1\n")),
+               CheckError);
+  EXPECT_THROW((void)ParseFaultScheduleCsv(
+                   std::string(header + "slowdown,0,10,5,inf\n")),
+               CheckError);
+  // Non-slowdown kinds still require a finite factor cell: a trace whose
+  // factor column rotted to NaN is corrupt even if the factor is unused.
+  EXPECT_THROW((void)ParseFaultScheduleCsv(
+                   std::string(header + "crash,0,10,5,nan\n")),
+               CheckError);
+}
+
+TEST(FaultSchedule, SilentCorruptionRoundTripsThroughCsv) {
+  FaultSchedule schedule;
+  schedule.events.push_back({.kind = FaultKind::kSilentCorruption,
+                             .instance = 2,
+                             .start_s = 7.5,
+                             .duration_s = 120.0});
+  schedule.events.push_back(
+      {.kind = FaultKind::kCrash, .instance = 0, .start_s = 9.0,
+       .duration_s = 30.0});
+  schedule.Validate();
+  const FaultSchedule parsed =
+      ParseFaultScheduleCsv(FaultScheduleCsv(schedule));
+  ASSERT_EQ(parsed.events.size(), 2u);
+  EXPECT_EQ(parsed.events[0].kind, FaultKind::kSilentCorruption);
+  EXPECT_DOUBLE_EQ(parsed.events[0].duration_s, 120.0);
+  EXPECT_EQ(parsed.events[1].kind, FaultKind::kCrash);
+}
+
 TEST(FaultSchedule, LoadFromFileNamesThePath) {
   EXPECT_THROW((void)LoadFaultScheduleFromFile("/nonexistent/faults.csv"),
                CheckError);

@@ -253,5 +253,63 @@ TEST(ParallelFor, TaskExceptionSurfacesAsCheckError) {
       CheckError);
 }
 
+TEST(ParallelFor, NestedVerifierErrorSurfacesAtTheOuterCall) {
+  // The ABFT-verification shape: an outer parallel sweep whose body runs a
+  // nested ParallelForChunks (the per-column checksum verify) that throws
+  // when it finds corruption. Nested calls run inline on pool workers, so
+  // the inner error must cross the outer chunk boundary and surface as the
+  // outer call's CheckError — no deadlock, no lost error, and the pool must
+  // stay usable afterwards.
+  if (GlobalPool().ThreadCount() <= 1) {
+    GTEST_SKIP() << "single-threaded pool runs serially";
+  }
+  std::atomic<int> inner_calls{0};
+  EXPECT_THROW(
+      ParallelFor(
+          0, 256,
+          [&inner_calls](std::size_t i) {
+            ParallelForChunks(
+                0, 64,
+                [&inner_calls, i](std::size_t lo, std::size_t hi) {
+                  inner_calls.fetch_add(1, std::memory_order_relaxed);
+                  CCPERF_CHECK(i != 100 || lo != 0,
+                               "checksum mismatch in column ", hi);
+                },
+                8);
+          },
+          1),
+      CheckError);
+  EXPECT_GT(inner_calls.load(), 0);
+
+  // The pool survives: a clean sweep still visits every index.
+  std::vector<int> hits(512, 0);
+  ParallelFor(0, hits.size(), [&hits](std::size_t i) { hits[i] = 1; }, 1);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 512);
+}
+
+TEST(ParallelFor, SerialModePreservesTheOriginalErrorMessage) {
+  // Under ScopedSerial everything runs inline, so the FIRST failing index
+  // throws directly and its message survives verbatim — the debugging path
+  // for reproducing a corruption hit deterministically.
+  ScopedSerial serial;
+  std::size_t last_seen = 0;
+  try {
+    ParallelFor(
+        0, 1000,
+        [&last_seen](std::size_t i) {
+          last_seen = i;
+          CCPERF_CHECK(i != 41, "corrupted at index ", i);
+        },
+        1);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupted at index 41"),
+              std::string::npos)
+        << e.what();
+  }
+  // Inline execution stops at the first error: nothing past 41 ran.
+  EXPECT_EQ(last_seen, 41u);
+}
+
 }  // namespace
 }  // namespace ccperf

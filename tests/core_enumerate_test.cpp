@@ -121,13 +121,18 @@ TEST(ArchitectureSpace, ValidateRejectsEmptyAxes) {
 
 TEST(MetricRegistryTest, StandardMetricsPresent) {
   const MetricRegistry& registry = MetricRegistry::Standard();
-  for (const char* name : {"time_h", "cost_usd", "top1", "top5", "goodput",
-                           "interruption_risk", "tar", "car"}) {
+  for (const char* name :
+       {"time_h", "cost_usd", "top1", "top5", "goodput", "interruption_risk",
+        "tar", "car", "delivered_top1", "sdc_escape_rate",
+        "detection_overhead"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
   }
-  EXPECT_EQ(registry.All().size(), 8u);
+  EXPECT_EQ(registry.All().size(), 11u);
   EXPECT_TRUE(registry.Find("cost_usd").lower_is_better);
   EXPECT_FALSE(registry.Find("top5").lower_is_better);
+  EXPECT_FALSE(registry.Find("delivered_top1").lower_is_better);
+  EXPECT_TRUE(registry.Find("sdc_escape_rate").lower_is_better);
+  EXPECT_TRUE(registry.Find("detection_overhead").lower_is_better);
 }
 
 TEST(MetricRegistryTest, DuplicateRegistrationThrows) {

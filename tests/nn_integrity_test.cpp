@@ -1,0 +1,107 @@
+// Weight-integrity scrubbing (Network::CaptureWeightCrcs / VerifyIntegrity):
+// the model-side silent-data-corruption detector. A captured CRC baseline
+// must verify clean, any single weight or bias mutation must be reported
+// naming the layer, and Clone() must carry the baseline so a scrubbed
+// replica keeps scrubbing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/activation_layers.h"
+#include "nn/conv_layer.h"
+#include "nn/fc_layer.h"
+#include "nn/network.h"
+
+namespace ccperf::nn {
+namespace {
+
+Network SmallNet() {
+  Network net("scrubbed", Shape{2, 4, 4});
+  net.Add(std::make_unique<ConvLayer>(
+      "conv", ConvParams{.out_channels = 3, .kernel = 3, .pad = 1}, 2));
+  net.Add(std::make_unique<ReluLayer>("relu"));
+  net.Add(std::make_unique<FcLayer>("fc", 3 * 4 * 4, 5));
+  Rng rng(7);
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    if (net.LayerAt(i).HasWeights()) {
+      net.LayerAt(i).MutableWeights().FillGaussian(rng, 0.0f, 0.5f);
+      net.LayerAt(i).NotifyWeightsChanged();
+    }
+  }
+  return net;
+}
+
+TEST(NetworkIntegrity, CleanNetworkVerifies) {
+  Network net = SmallNet();
+  EXPECT_EQ(net.CaptureWeightCrcs(), 2u);  // conv + fc are weighted
+  ASSERT_EQ(net.WeightCrcs().size(), 2u);
+  EXPECT_EQ(net.WeightCrcs()[0].name, "conv");
+  EXPECT_EQ(net.WeightCrcs()[1].name, "fc");
+
+  const IntegrityReport report = net.VerifyIntegrity();
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.layers_checked, 2u);
+  EXPECT_TRUE(report.corrupted_layers.empty());
+}
+
+TEST(NetworkIntegrity, WeightCorruptionNamesTheLayer) {
+  Network net = SmallNet();
+  net.CaptureWeightCrcs();
+
+  Layer* fc = net.FindLayer("fc");
+  ASSERT_NE(fc, nullptr);
+  fc->MutableWeights().Data()[3] += 0.25f;  // one silent bit of damage
+
+  const IntegrityReport report = net.VerifyIntegrity();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.layers_checked, 2u);
+  ASSERT_EQ(report.corrupted_layers.size(), 1u);
+  EXPECT_EQ(report.corrupted_layers[0], "fc");
+}
+
+TEST(NetworkIntegrity, BiasCorruptionIsAlsoDetected) {
+  Network net = SmallNet();
+  net.CaptureWeightCrcs();
+
+  Layer* conv = net.FindLayer("conv");
+  ASSERT_NE(conv, nullptr);
+  conv->MutableBias().Data()[0] = 42.0f;
+
+  const IntegrityReport report = net.VerifyIntegrity();
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.corrupted_layers.size(), 1u);
+  EXPECT_EQ(report.corrupted_layers[0], "conv");
+}
+
+TEST(NetworkIntegrity, RecaptureBlessesLegitimateMutation) {
+  Network net = SmallNet();
+  net.CaptureWeightCrcs();
+  net.FindLayer("conv")->MutableWeights().Data()[0] *= -1.0f;
+  EXPECT_FALSE(net.VerifyIntegrity().ok);
+
+  net.CaptureWeightCrcs();  // e.g. after a pruning pass
+  EXPECT_TRUE(net.VerifyIntegrity().ok);
+}
+
+TEST(NetworkIntegrity, CloneCarriesTheBaseline) {
+  Network net = SmallNet();
+  net.CaptureWeightCrcs();
+
+  Network replica = net.Clone();
+  EXPECT_TRUE(replica.VerifyIntegrity().ok);
+
+  // Corruption in the replica is local to it.
+  replica.FindLayer("fc")->MutableWeights().Data()[0] += 1.0f;
+  EXPECT_FALSE(replica.VerifyIntegrity().ok);
+  EXPECT_TRUE(net.VerifyIntegrity().ok);
+}
+
+TEST(NetworkIntegrity, VerifyWithoutCaptureThrows) {
+  Network net = SmallNet();
+  EXPECT_THROW((void)net.VerifyIntegrity(), CheckError);
+}
+
+}  // namespace
+}  // namespace ccperf::nn

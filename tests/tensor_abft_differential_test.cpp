@@ -1,0 +1,276 @@
+// Differential harness for the ABFT-checksummed GEMM paths (tensor/abft.h,
+// GemmInt8Abft in tensor/quant.h). Four contracts:
+//
+//  1. Zero false positives: over the full ~200-sample seeded shape sweep,
+//     clean runs must verify ok (the derived tolerance absorbs all float
+//     rounding; the int8 check is exact so a clean mismatch is impossible).
+//  2. Bitwise transparency: GemmAbftCompute's C must equal GemmPacked's C
+//     byte-for-byte — the checksum row rides along without perturbing the
+//     product — and GemmInt8Abft's C must equal GemmInt8's.
+//  3. Coverage: seeded single-element corruptions (packed-weight bit flips
+//     via CorruptionInjector, output bit flips in the detectable range)
+//     must be detected at >= 99% across the sweep. The int8 path verifies
+//     the exact int32 image, so there every injected flip must be caught.
+//  4. Determinism: C, the checksum row, and the verification verdict are
+//     bitwise identical between the parallel pool and ScopedSerial.
+//
+// Misses the float tolerance cannot avoid in principle — flips whose
+// numeric effect is below the rounding noise of a k-deep accumulation —
+// are exactly why CorruptionInjector defaults to bits [20, 31]; the
+// coverage gate (99%, not 100%) leaves room for the rare near-zero element
+// whose high-mantissa flip is still sub-noise.
+#include "tensor/abft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threading.h"
+#include "tensor/corruption.h"
+#include "tensor/gemm.h"
+#include "tensor/quant.h"
+
+namespace ccperf {
+namespace {
+
+struct ShapeSample {
+  std::int64_t m, n, k;
+};
+
+std::vector<float> RandomMatrix(Rng& rng, std::int64_t rows,
+                                std::int64_t cols) {
+  std::vector<float> v(static_cast<std::size_t>(rows * cols));
+  for (auto& x : v) x = rng.NextFloat(-1.0f, 1.0f);
+  return v;
+}
+
+/// ~200-sample schedule mirroring the other differential tests: degenerate
+/// extents, microkernel tile straddles (mr = 6, nr <= 32, kc = 256),
+/// primes, then seeded random fill.
+std::vector<ShapeSample> ShapeSchedule(bool include_degenerate) {
+  std::vector<ShapeSample> samples;
+  if (include_degenerate) {
+    for (std::int64_t m : {0, 1, 2}) {
+      for (std::int64_t n : {0, 1, 2}) {
+        for (std::int64_t k : {0, 1, 2}) samples.push_back({m, n, k});
+      }
+    }
+  }
+  for (std::int64_t m : {5, 6, 7, 11, 12, 13}) {
+    for (std::int64_t n : {31, 32, 33}) samples.push_back({m, n, 40});
+  }
+  for (std::int64_t n : {63, 64, 65}) samples.push_back({9, n, 17});
+  for (std::int64_t k :
+       {3, 4, 5, 6, 7, 253, 254, 255, 256, 257, 258, 259, 511, 513}) {
+    samples.push_back({7, 33, k});
+  }
+  for (std::int64_t m : {13, 29}) {
+    for (std::int64_t n : {37, 101}) {
+      for (std::int64_t k : {23, 127}) samples.push_back({m, n, k});
+    }
+  }
+  Rng rng(0xAB47u);
+  while (samples.size() < 200) {
+    samples.push_back({static_cast<std::int64_t>(rng.NextIndex(64)) + 1,
+                       static_cast<std::int64_t>(rng.NextIndex(96)) + 1,
+                       static_cast<std::int64_t>(rng.NextIndex(280)) + 1});
+  }
+  return samples;
+}
+
+TEST(AbftDifferential, CleanRunsVerifyOkAndMatchGemmPackedBitwise) {
+  const auto samples = ShapeSchedule(/*include_degenerate=*/true);
+  ASSERT_GE(samples.size(), 200u);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const auto [m, n, k] = samples[s];
+    Rng rng(0xFACADEu + s);
+    const auto a = RandomMatrix(rng, m, k);
+    const auto b = RandomMatrix(rng, k, n);
+    const AbftPackedA pack = AbftPackA(m, k, a);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -3.0f);
+    std::vector<float> chk(static_cast<std::size_t>(n), -5.0f);
+    GemmAbftCompute(pack, n, b, c, chk);
+    const AbftCheck check = AbftVerify(pack, n, b, c, chk);
+    ASSERT_TRUE(check.ok) << "false positive at sample " << s << " (m=" << m
+                          << " n=" << n << " k=" << k
+                          << "): max_ratio=" << check.max_ratio
+                          << " first_bad=" << check.first_bad_column;
+    EXPECT_EQ(0, check.bad_columns);
+    // Clean ratios should sit well below 1, not graze the tolerance.
+    EXPECT_LT(check.max_ratio, 0.5) << "sample " << s;
+    // Bitwise transparency against the unaugmented kernel.
+    std::vector<float> c_plain(static_cast<std::size_t>(m * n), 3.0f);
+    GemmPacked(PackA(m, k, a), n, b, c_plain);
+    if (m > 0 && n > 0) {
+      ASSERT_EQ(0, std::memcmp(c.data(), c_plain.data(),
+                               c.size() * sizeof(float)))
+          << "sample " << s;
+    }
+  }
+}
+
+TEST(AbftDifferential, SeededCorruptionsDetectedAtHighCoverage) {
+  const auto samples = ShapeSchedule(/*include_degenerate=*/false);
+  std::int64_t trials = 0;
+  std::int64_t detected = 0;
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const auto [m, n, k] = samples[s];
+    Rng rng(0xBADC0DEu + s);
+    const auto a = RandomMatrix(rng, m, k);
+    const auto b = RandomMatrix(rng, k, n);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    std::vector<float> chk(static_cast<std::size_t>(n));
+
+    // Direction 1: corrupt the packed weights, then compute + verify.
+    {
+      AbftPackedA pack = AbftPackA(m, k, a);
+      CorruptionInjector injector(0x5EED0000u + s);
+      injector.CorruptWeights(pack);
+      GemmAbftCompute(pack, n, b, c, chk);
+      ++trials;
+      if (!AbftVerify(pack, n, b, c, chk).ok) ++detected;
+    }
+    // Direction 2: clean compute, corrupt one output element, verify.
+    {
+      const AbftPackedA pack = AbftPackA(m, k, a);
+      GemmAbftCompute(pack, n, b, c, chk);
+      CorruptionInjector injector(0x5EED1000u + s);
+      injector.CorruptOutput(c, m, n);
+      ++trials;
+      if (!AbftVerify(pack, n, b, c, chk).ok) ++detected;
+    }
+  }
+  ASSERT_GE(trials, 300);
+  const double coverage =
+      static_cast<double>(detected) / static_cast<double>(trials);
+  EXPECT_GE(coverage, 0.99) << detected << "/" << trials << " detected";
+}
+
+TEST(AbftDifferential, Int8CleanOkBitwiseAndEveryInjectedFlipDetected) {
+  const auto samples = ShapeSchedule(/*include_degenerate=*/false);
+  std::int64_t weight_trials = 0;
+  std::int64_t weight_detected = 0;
+  for (std::size_t s = 0; s < samples.size(); s += 4) {
+    const auto [m, n, k] = samples[s];
+    Rng rng(0x1A7u + s);
+    const auto a = RandomMatrix(rng, m, k);
+    const auto b = RandomMatrix(rng, k, n);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -3.0f);
+    std::vector<float> c_plain(static_cast<std::size_t>(m * n), 3.0f);
+
+    // Clean: exact check passes and C is bitwise GemmInt8's.
+    const QuantizedPackedA pack = QuantizePackA(m, k, a);
+    const AbftCheck clean = GemmInt8Abft(pack, n, b, c);
+    ASSERT_TRUE(clean.ok) << "int8 false positive at sample " << s;
+    EXPECT_EQ(0.0, clean.max_ratio);
+    GemmInt8(pack, n, b, c_plain);
+    ASSERT_EQ(0,
+              std::memcmp(c.data(), c_plain.data(), c.size() * sizeof(float)))
+        << "sample " << s;
+
+    // Output flips: the int32 image check is exact, so every bit position
+    // must be caught.
+    Rng pick(0xF11Bu + s);
+    for (int bit : {0, 7, 19, 31}) {
+      const std::int64_t element =
+          static_cast<std::int64_t>(pick.NextIndex(
+              static_cast<std::uint64_t>(m * n)));
+      const AbftCheck hit =
+          GemmInt8AbftCorruptForTest(pack, n, b, c, {}, element, bit);
+      EXPECT_FALSE(hit.ok) << "sample " << s << " bit " << bit;
+      EXPECT_GE(hit.max_ratio, 1.0) << "sample " << s << " bit " << bit;
+    }
+
+    // Weight flips: stale row/column sums make the flip visible; a miss is
+    // only possible when the struck column's activations all quantize to
+    // zero (then the flip provably cannot affect C either).
+    QuantizedPackedA dirty = pack;
+    CorruptionInjector injector(0x5EED2000u + s);
+    injector.CorruptWeights(dirty);
+    ++weight_trials;
+    if (!GemmInt8Abft(dirty, n, b, c).ok) ++weight_detected;
+  }
+  ASSERT_GE(weight_trials, 40);
+  EXPECT_GE(static_cast<double>(weight_detected) /
+                static_cast<double>(weight_trials),
+            0.99)
+      << weight_detected << "/" << weight_trials;
+}
+
+TEST(AbftDifferential, PoolSizeIndependenceBitwise) {
+  const std::int64_t m = 45, n = 77, k = 300;
+  Rng rng(0xD573u);
+  const auto a = RandomMatrix(rng, m, k);
+  const auto b = RandomMatrix(rng, k, n);
+  const AbftPackedA pack = AbftPackA(m, k, a);
+
+  std::vector<float> c_par(static_cast<std::size_t>(m * n));
+  std::vector<float> chk_par(static_cast<std::size_t>(n));
+  GemmAbftCompute(pack, n, b, c_par, chk_par);
+  const AbftCheck check_par = AbftVerify(pack, n, b, c_par, chk_par);
+
+  std::vector<float> c_ser(static_cast<std::size_t>(m * n));
+  std::vector<float> chk_ser(static_cast<std::size_t>(n));
+  AbftCheck check_ser;
+  {
+    ScopedSerial serial_scope;
+    GemmAbftCompute(pack, n, b, c_ser, chk_ser);
+    check_ser = AbftVerify(pack, n, b, c_ser, chk_ser);
+  }
+  EXPECT_EQ(0, std::memcmp(c_par.data(), c_ser.data(),
+                           c_par.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(chk_par.data(), chk_ser.data(),
+                           chk_par.size() * sizeof(float)));
+  EXPECT_EQ(check_par.ok, check_ser.ok);
+  EXPECT_EQ(check_par.bad_columns, check_ser.bad_columns);
+  EXPECT_EQ(check_par.first_bad_column, check_ser.first_bad_column);
+  EXPECT_EQ(check_par.max_ratio, check_ser.max_ratio);
+
+  // Same for the int8 twin.
+  const QuantizedPackedA qpack = QuantizePackA(m, k, a);
+  std::vector<float> q_par(static_cast<std::size_t>(m * n));
+  std::vector<float> q_ser(static_cast<std::size_t>(m * n));
+  const AbftCheck q_check_par = GemmInt8Abft(qpack, n, b, q_par);
+  AbftCheck q_check_ser;
+  {
+    ScopedSerial serial_scope;
+    q_check_ser = GemmInt8Abft(qpack, n, b, q_ser);
+  }
+  EXPECT_EQ(0, std::memcmp(q_par.data(), q_ser.data(),
+                           q_par.size() * sizeof(float)));
+  EXPECT_EQ(q_check_par.ok, q_check_ser.ok);
+  EXPECT_EQ(q_check_par.max_ratio, q_check_ser.max_ratio);
+}
+
+TEST(AbftDifferential, NonFiniteInputsReportedAsCorrupt) {
+  const std::int64_t m = 8, n = 16, k = 32;
+  Rng rng(0x4A4Eu);
+  const auto a = RandomMatrix(rng, m, k);
+  auto b = RandomMatrix(rng, k, n);
+  b[5] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  const AbftCheck check = GemmAbft(AbftPackA(m, k, a), n, b, c);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(AbftDifferential, ConvenienceOverloadMatchesSplitCalls) {
+  const std::int64_t m = 11, n = 23, k = 57;
+  Rng rng(0xC0C0u);
+  const auto a = RandomMatrix(rng, m, k);
+  const auto b = RandomMatrix(rng, k, n);
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  std::vector<float> c2(static_cast<std::size_t>(m * n));
+  const AbftCheck one = GemmAbft(m, n, k, a, b, c1);
+  const AbftPackedA pack = AbftPackA(m, k, a);
+  const AbftCheck two = GemmAbft(pack, n, b, c2);
+  EXPECT_TRUE(one.ok);
+  EXPECT_TRUE(two.ok);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace ccperf

@@ -24,6 +24,7 @@
 
 #include "cloud/instance_catalog.h"
 #include "cloud/model_profile.h"
+#include "cloud/sdc.h"
 #include "cloud/simulator.h"
 #include "common/check.h"
 #include "common/csv.h"
@@ -57,6 +58,7 @@ struct CliOptions {
   std::string csv;
   bool terse = false;
   bool serial = false;
+  bool sdc = false;
   std::size_t block = 65536;
   bool use_top1 = false;
   bool list_metrics = false;
@@ -87,6 +89,10 @@ void PrintUsage() {
       "  --terse               one line per row: <sort-value> <description>\n"
       "  --serial              force serial evaluation (parallel is bitwise\n"
       "                        identical; this is a determinism aid)\n"
+      "  --sdc                 add the silent-data-corruption policy axis\n"
+      "                        (off/none/abft/scrub/reexec) and rank rows by\n"
+      "                        *delivered* accuracy — the headline accuracy\n"
+      "                        discounted by undetected corruption\n"
       "  --block N             ids per evaluation block (default 65536)\n"
       "  --top1                use Top-1 instead of Top-5 as the accuracy axis\n"
       "  --list-metrics        print the metric registry and exit\n"
@@ -222,6 +228,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options, bool& exit_ok) {
       options.terse = true;
     } else if (arg == "--serial") {
       options.serial = true;
+    } else if (arg == "--sdc") {
+      options.sdc = true;
     } else if (arg == "--block") {
       if (!next(value) || !ParseInt64(value, n) || n < 1) {
         std::cerr << "--block needs a positive integer\n";
@@ -283,6 +291,21 @@ core::ArchitectureSpace BuildSpace(const cloud::InstanceCatalog& catalog,
   space.AddDegradationOption({.name = "half-res",
                               .recompute_speedup = 4.0,
                               .accuracy_factor = 0.90});
+  if (options.sdc) {
+    // Detection-policy axis: "off" keeps the detection-free baseline rows
+    // in the same sweep so the frontier shows whether paying for detection
+    // Pareto-dominates once accuracy is *delivered* accuracy.
+    space.AddSdcOption({.name = "off", .policy = {}});
+    space.AddSdcOption(
+        {.name = "none", .policy = {.kind = cloud::SdcPolicyKind::kNone}});
+    space.AddSdcOption(
+        {.name = "abft", .policy = {.kind = cloud::SdcPolicyKind::kAbft}});
+    space.AddSdcOption(
+        {.name = "scrub", .policy = {.kind = cloud::SdcPolicyKind::kScrub}});
+    space.AddSdcOption({.name = "reexec",
+                        .policy = {.kind = cloud::SdcPolicyKind::kReexecSample,
+                                   .sample_fraction = 0.1}});
+  }
   return space;
 }
 
@@ -377,6 +400,7 @@ int Run(const CliOptions& options) {
   enum_options.block = options.block;
   enum_options.serial = options.serial;
   enum_options.use_top5 = !options.use_top1;
+  enum_options.use_delivered = options.sdc;
 
   Timer timer;
   std::vector<core::FrontierPoint> rows;
@@ -414,7 +438,8 @@ int Run(const CliOptions& options) {
               << space.Batches().size() << " batches x "
               << space.PurchaseOptions().size() << " purchase x "
               << space.CheckpointOptions().size() << " ckpt x "
-              << space.DegradationOptions().size() << " degr)\n"
+              << space.DegradationOptions().size() << " degr x "
+              << space.SdcOptions().size() << " sdc)\n"
               << "evaluated " << evaluated << " ids, " << feasible
               << " feasible, " << rows.size() << " printed in "
               << Table::Num(elapsed_s, 2) << " s";
@@ -429,6 +454,19 @@ int Run(const CliOptions& options) {
       std::cout << Table::Num(sort_metric.extract(row.metrics), 4) << "\t"
                 << space.Describe(row.id) << "\n";
     }
+  } else if (options.sdc) {
+    Table table({"configuration", "time (h)", "cost ($)", "Top-5 (%)",
+                 "dlvd-1 (%)", "escape", "det-ovh", options.sort});
+    for (const auto& row : rows) {
+      const auto& m = row.metrics;
+      table.AddRow({space.Describe(row.id), Table::Num(m.seconds / 3600.0, 2),
+                    Table::Num(m.cost_usd, 2), Table::Num(m.top5 * 100.0, 1),
+                    Table::Num(m.delivered_top1 * 100.0, 1),
+                    Table::Num(m.sdc_escape_rate, 4),
+                    Table::Num(m.detection_overhead, 3),
+                    Table::Num(sort_metric.extract(m), 4)});
+    }
+    std::cout << table.Render();
   } else {
     Table table({"configuration", "time (h)", "cost ($)", "Top-5 (%)",
                  "Top-1 (%)", "goodput", "risk", options.sort});
@@ -444,16 +482,28 @@ int Run(const CliOptions& options) {
   }
 
   if (!options.csv.empty()) {
-    CsvWriter csv(options.csv,
-                  {"id", "configuration", "seconds", "cost_usd", "top1",
-                   "top5", "goodput", "interruption_risk"});
+    std::vector<std::string> header = {"id",   "configuration", "seconds",
+                                       "cost_usd", "top1",      "top5",
+                                       "goodput",  "interruption_risk"};
+    if (options.sdc) {
+      header.insert(header.end(), {"delivered_top1", "delivered_top5",
+                                   "sdc_escape_rate", "detection_overhead"});
+    }
+    CsvWriter csv(options.csv, header);
     for (const auto& row : rows) {
       const auto& m = row.metrics;
-      csv.AddRow({std::to_string(row.id), space.Describe(row.id),
-                  Table::Num(m.seconds, 3), Table::Num(m.cost_usd, 4),
-                  Table::Num(m.top1, 4), Table::Num(m.top5, 4),
-                  Table::Num(m.goodput, 4),
-                  Table::Num(m.interruption_risk, 4)});
+      std::vector<std::string> fields = {
+          std::to_string(row.id),      space.Describe(row.id),
+          Table::Num(m.seconds, 3),    Table::Num(m.cost_usd, 4),
+          Table::Num(m.top1, 4),       Table::Num(m.top5, 4),
+          Table::Num(m.goodput, 4),    Table::Num(m.interruption_risk, 4)};
+      if (options.sdc) {
+        fields.insert(fields.end(), {Table::Num(m.delivered_top1, 4),
+                                     Table::Num(m.delivered_top5, 4),
+                                     Table::Num(m.sdc_escape_rate, 6),
+                                     Table::Num(m.detection_overhead, 4)});
+      }
+      csv.AddRow(fields);
     }
   }
   return 0;
