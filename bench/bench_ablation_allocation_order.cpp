@@ -36,8 +36,9 @@ GreedyOutcome GreedyWithOrder(const cloud::CloudSimulator& sim,
   for (const auto& name : ordered_pool) {
     config.Add(name);
     const cloud::RunEstimate run = sim.Run(config, variant.perf, images);
-    if (run.seconds <= deadline && run.cost_usd <= budget) {
-      return {true, run.seconds, run.cost_usd, config.ToString()};
+    if (run.seconds.value() <= deadline && run.cost_usd.value() <= budget) {
+      return {true, run.seconds.value(), run.cost_usd.value(),
+              config.ToString()};
     }
   }
   return {};

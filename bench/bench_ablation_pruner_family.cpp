@@ -37,7 +37,7 @@ int main() {
       const auto plan = pruning::UniformPlan(convs, r, family);
       const core::CurvePoint p = ch.EvaluatePlan("p2.xlarge", plan, 50000);
       const double minutes = p.seconds / 60.0;
-      const double tar5 = core::TimeAccuracyRatio(minutes, p.top5);
+      const double tar5 = core::TimeAccuracyRatio(Minutes(minutes), p.top5);
       table.AddRow({Table::Num(r * 100.0, 0),
                     pruning::PrunerFamilyName(family), Table::Num(minutes, 1),
                     Table::Num(p.top5 * 100.0, 1), Table::Num(tar5, 1)});

@@ -56,14 +56,18 @@ int main() {
         sim.Run(config, perf, kImages, cloud::WorkloadSplit::kEqual);
     const cloud::RunEstimate prop =
         sim.Run(config, perf, kImages, cloud::WorkloadSplit::kProportional);
-    table.AddRow({config.ToString(), Table::Num(equal.seconds / 3600.0, 2),
-                  Table::Num(prop.seconds / 3600.0, 2),
-                  Table::Num(equal.cost_usd, 2), Table::Num(prop.cost_usd, 2),
+    table.AddRow({config.ToString(),
+                  Table::Num(ToHours(equal.seconds).value(), 2),
+                  Table::Num(ToHours(prop.seconds).value(), 2),
+                  Table::Num(equal.cost_usd.value(), 2),
+                  Table::Num(prop.cost_usd.value(), 2),
                   Table::Num((1.0 - prop.seconds / equal.seconds) * 100.0, 0) +
                       " %"});
-    csv.AddRow({config.ToString(), Table::Num(equal.seconds / 3600.0, 3),
-                Table::Num(prop.seconds / 3600.0, 3),
-                Table::Num(equal.cost_usd, 3), Table::Num(prop.cost_usd, 3)});
+    csv.AddRow({config.ToString(),
+                Table::Num(ToHours(equal.seconds).value(), 3),
+                Table::Num(ToHours(prop.seconds).value(), 3),
+                Table::Num(equal.cost_usd.value(), 3),
+                Table::Num(prop.cost_usd.value(), 3)});
   }
   std::cout << table.Render();
 

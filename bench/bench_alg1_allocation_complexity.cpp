@@ -46,8 +46,8 @@ int main() {
        "exhaustive_ms", "same_accuracy"});
 
   const std::int64_t kImages = 400000;
-  const double kDeadline = 2.0 * 3600.0;
-  const double kBudget = 12.0;
+  const Seconds kDeadline{2.0 * 3600.0};
+  const Usd kBudget{12.0};
   for (std::size_t g = 2; g <= 14; g += 2) {
     std::vector<std::string> pool;
     for (std::size_t i = 0; i < g; ++i) {
@@ -89,8 +89,8 @@ int main() {
   if (pick.feasible) {
     std::cout << "\nexample allocation: variant '" << pick.variant_label
               << "' on " << pick.config.ToString() << " -> "
-              << Table::Num(pick.seconds / 3600.0, 2) << " h, $"
-              << Table::Num(pick.cost_usd, 2) << " at Top-5 "
+              << Table::Num(ToHours(pick.seconds).value(), 2) << " h, $"
+              << Table::Num(pick.cost_usd.value(), 2) << " at Top-5 "
               << Table::Num(pick.accuracy * 100.0, 1) << " %\n";
   }
   return 0;

@@ -138,7 +138,7 @@ int main() {
   table.AddRow({"(a) resource elasticity (reactive)",
                 Table::Num(reactive.worst_p99_s, 2),
                 Table::Num(a_acc_weighted * 100.0, 1),
-                Table::Num(reactive.total_cost_usd, 2),
+                Table::Num(reactive.total_cost_usd.value(), 2),
                 reactive.always_stable ? "yes" : "NO"});
   table.AddRow({"(b) accuracy elasticity (fixed fleet)",
                 Table::Num(b_worst, 2),
@@ -150,7 +150,7 @@ int main() {
   std::cout << table.Render();
   csv.AddRow({"resource", Table::Num(reactive.worst_p99_s, 3),
               Table::Num(a_acc_weighted, 4),
-              Table::Num(reactive.total_cost_usd, 3),
+              Table::Num(reactive.total_cost_usd.value(), 3),
               reactive.always_stable ? "1" : "0"});
   csv.AddRow({"accuracy", Table::Num(b_worst, 3),
               Table::Num(b_acc / b_requests, 4), Table::Num(b_cost, 3),

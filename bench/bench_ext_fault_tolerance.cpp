@@ -188,7 +188,7 @@ int main() {
                 Table::Num(reactive.slo_compliance * 100.0, 1),
                 Table::Num(reactive.worst_p99_s, 2),
                 Table::Num(acc_full * 100.0, 1),
-                Table::Num(reactive.total_cost_usd, 2), "-"});
+                Table::Num(reactive.total_cost_usd.value(), 2), "-"});
   table.AddRow({"(b) degradation ladder (60 s reaction)",
                 Table::Num(degraded.slo_compliance * 100.0, 1),
                 Table::Num(degraded.worst_p99_s, 2),
@@ -204,7 +204,7 @@ int main() {
 
   csv.AddRow({"autoscaler", Table::Num(reactive.slo_compliance, 4),
               Table::Num(reactive.worst_p99_s, 3), Table::Num(acc_full, 4),
-              Table::Num(reactive.total_cost_usd, 3), "0"});
+              Table::Num(reactive.total_cost_usd.value(), 3), "0"});
   csv.AddRow({"degradation", Table::Num(degraded.slo_compliance, 4),
               Table::Num(degraded.worst_p99_s, 3),
               Table::Num(degraded.mean_accuracy, 4),
@@ -226,7 +226,7 @@ int main() {
       "autoscaler lag",
       "reactive scaling misses the wave epoch entirely",
       "SLO " + Table::Num(reactive.slo_compliance * 100.0, 1) + " % at $" +
-          Table::Num(reactive.total_cost_usd, 2));
+          Table::Num(reactive.total_cost_usd.value(), 2));
   bench::Checkpoint(
       "graceful degradation",
       "variant switch needs no provisioning: recovers inside the wave",
@@ -240,7 +240,7 @@ int main() {
           Table::Num(overprov.total_cost_usd, 2));
 
   const bool win = degraded.slo_compliance > reactive.slo_compliance &&
-                   degraded.total_cost_usd < reactive.total_cost_usd;
+                   degraded.total_cost_usd < reactive.total_cost_usd.value();
   std::cout << (win ? "\n  => accuracy elasticity beats resource elasticity "
                       "on both SLO and cost under faults\n"
                     : "\n  => WARNING: expected degradation win not "

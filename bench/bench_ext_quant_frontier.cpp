@@ -72,10 +72,12 @@ int main() {
         cloud::ComputeVariantPerf(profile, densities, plan.Label());
     const cloud::VariantPerf perf_q = cloud::ComputeVariantPerf(
         profile, densities, plan.Label() + "-int8", /*int8_enabled=*/true);
-    points.push_back({perf_f.label, false, perf_f.ref_seconds_per_image,
-                      acc_f.top1, acc_f.top5});
-    points.push_back({perf_q.label, true, perf_q.ref_seconds_per_image,
-                      acc_q.top1, acc_q.top5});
+    points.push_back({perf_f.label, false,
+                      perf_f.ref_seconds_per_image.value(), acc_f.top1,
+                      acc_f.top5});
+    points.push_back({perf_q.label, true,
+                      perf_q.ref_seconds_per_image.value(), acc_q.top1,
+                      acc_q.top5});
   }
 
   // For each quantized point, count the float points it strictly dominates;

@@ -219,8 +219,8 @@ int main() {
       dominated = true;
       const double margin =
           (aware.m.delivered_top1 - free_row.m.delivered_top1) +
-          (free_row.m.cost_usd - aware.m.cost_usd) /
-              std::max(1.0, free_row.m.cost_usd);
+          (free_row.m.cost_usd - aware.m.cost_usd).value() /
+              std::max(1.0, free_row.m.cost_usd.value());
       if (margin > best_margin) {
         best_margin = margin;
         best_aware = &aware;
@@ -236,8 +236,8 @@ int main() {
        "delivered_top1", "sdc_escape_rate", "detection_overhead"});
   for (const auto& row : rows) {
     sweep_csv.AddRow({std::to_string(row.id), space.Describe(row.id), row.sdc,
-                      Table::Num(row.m.seconds, 3),
-                      Table::Num(row.m.cost_usd, 4),
+                      Table::Num(row.m.seconds.value(), 3),
+                      Table::Num(row.m.cost_usd.value(), 4),
                       Table::Num(row.m.top1, 4),
                       Table::Num(row.m.delivered_top1, 4),
                       Table::Num(row.m.sdc_escape_rate, 6),
@@ -260,12 +260,12 @@ int main() {
   Table pair_table({"role", "configuration", "cost ($)", "Top-1 (%)",
                     "delivered Top-1 (%)", "escape"});
   pair_table.AddRow({"detecting", space.Describe(best_aware->id),
-                     Table::Num(best_aware->m.cost_usd, 2),
+                     Table::Num(best_aware->m.cost_usd.value(), 2),
                      Table::Num(best_aware->m.top1 * 100.0, 2),
                      Table::Num(best_aware->m.delivered_top1 * 100.0, 2),
                      Table::Num(best_aware->m.sdc_escape_rate, 5)});
   pair_table.AddRow({"detection-free", space.Describe(best_free->id),
-                     Table::Num(best_free->m.cost_usd, 2),
+                     Table::Num(best_free->m.cost_usd.value(), 2),
                      Table::Num(best_free->m.top1 * 100.0, 2),
                      Table::Num(best_free->m.delivered_top1 * 100.0, 2),
                      Table::Num(best_free->m.sdc_escape_rate, 5)});
@@ -274,7 +274,8 @@ int main() {
       "strongest domination",
       "cheaper AND delivers more Top-1",
       "saves $" +
-          Table::Num(best_free->m.cost_usd - best_aware->m.cost_usd, 2) +
+          Table::Num((best_free->m.cost_usd - best_aware->m.cost_usd).value(),
+                     2) +
           ", delivers +" +
           Table::Num((best_aware->m.delivered_top1 -
                       best_free->m.delivered_top1) *

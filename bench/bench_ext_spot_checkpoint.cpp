@@ -36,9 +36,9 @@ namespace {
 using namespace ccperf;
 
 constexpr std::int64_t kImages = 2'000'000;     // offline campaign size
-constexpr double kPreemptRatePerHour = 2.0;     // volatile spot pool
-constexpr double kSnapshotCostS = 30.0;         // full-state snapshot
-constexpr double kRestartS = 120.0;             // reprovision + restore
+constexpr RatePerHour kPreemptRatePerHour{2.0};  // volatile spot pool
+constexpr double kSnapshotCostS = 30.0;          // full-state snapshot
+constexpr Seconds kRestartS{120.0};              // reprovision + restore
 
 std::vector<double> PoissonTrace(double rate, double duration,
                                  std::uint64_t seed) {
@@ -75,7 +75,7 @@ int main() {
   one.Add("p2.xlarge");
 
   // ---- Part 1: checkpoint-interval sweep on a spot p2.xlarge -------------
-  const double mtbf_s = 3600.0 / kPreemptRatePerHour;
+  const double mtbf_s = 3600.0 / kPreemptRatePerHour.value();
   const double young_s = cloud::YoungInterval(kSnapshotCostS, mtbf_s);
   std::vector<double> intervals{30.0,   60.0,   120.0,  young_s, 600.0,
                                 1200.0, 2400.0, 4800.0, 9600.0};
@@ -96,18 +96,18 @@ int main() {
         sim, one, full, kImages, policy, kPreemptRatePerHour, kRestartS);
     const bool is_young = tau == young_s;
     sweep.AddRow({Table::Num(tau, 0) + (is_young ? " (Young)" : ""),
-                  Table::Num(est.snapshot_overhead_s, 0),
-                  Table::Num(est.expected_recompute_s, 0),
-                  Table::Num(est.expected_seconds, 0),
-                  Table::Num(est.expected_spot_cost_usd, 3)});
+                  Table::Num(est.snapshot_overhead_s.value(), 0),
+                  Table::Num(est.expected_recompute_s.value(), 0),
+                  Table::Num(est.expected_seconds.value(), 0),
+                  Table::Num(est.expected_spot_cost_usd.value(), 3)});
     sweep_csv.AddRow({Table::Num(tau, 1),
-                      Table::Num(est.snapshot_overhead_s, 1),
-                      Table::Num(est.expected_recompute_s, 1),
-                      Table::Num(est.expected_seconds, 1),
-                      Table::Num(est.expected_spot_cost_usd, 4),
+                      Table::Num(est.snapshot_overhead_s.value(), 1),
+                      Table::Num(est.expected_recompute_s.value(), 1),
+                      Table::Num(est.expected_seconds.value(), 1),
+                      Table::Num(est.expected_spot_cost_usd.value(), 4),
                       is_young ? "1" : "0"});
-    if (best_cost < 0.0 || est.expected_spot_cost_usd < best_cost) {
-      best_cost = est.expected_spot_cost_usd;
+    if (best_cost < 0.0 || est.expected_spot_cost_usd.value() < best_cost) {
+      best_cost = est.expected_spot_cost_usd.value();
       best_interval = tau;
     }
   }
@@ -155,14 +155,15 @@ int main() {
     const double saving =
         100.0 * (1.0 - est.expected_spot_cost_usd / est.on_demand_cost_usd);
     pareto.AddRow({v.name, Table::Num(top5 * 100.0, 1),
-                   Table::Num(est.on_demand_cost_usd, 3),
-                   Table::Num(est.expected_spot_cost_usd, 3),
+                   Table::Num(est.on_demand_cost_usd.value(), 3),
+                   Table::Num(est.expected_spot_cost_usd.value(), 3),
                    Table::Num(saving, 1)});
     pareto_csv.AddRow({v.name, Table::Num(top5, 4),
-                       Table::Num(est.on_demand_cost_usd, 4),
-                       Table::Num(est.expected_spot_cost_usd, 4),
-                       Table::Num(saving, 2), Table::Num(est.expected_seconds, 1),
-                       Table::Num(est.base_seconds, 1)});
+                       Table::Num(est.on_demand_cost_usd.value(), 4),
+                       Table::Num(est.expected_spot_cost_usd.value(), 4),
+                       Table::Num(saving, 2),
+                       Table::Num(est.expected_seconds.value(), 1),
+                       Table::Num(est.base_seconds.value(), 1)});
   }
   std::cout << "\n" << pareto.Render();
   bench::Checkpoint(

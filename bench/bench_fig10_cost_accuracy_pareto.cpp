@@ -35,7 +35,8 @@ int main() {
 
   core::ExplorationResult result = explorer.Explore(
       variants, configs, 1000000,
-      std::numeric_limits<double>::infinity(), /*budget_usd=*/300.0);
+      Seconds(std::numeric_limits<double>::infinity()),
+      /*budget_usd=*/Usd(300.0));
   std::cout << "evaluated " << result.evaluated << " pairs; "
             << result.feasible.size() << " feasible within the $300 budget\n\n";
 
@@ -50,7 +51,7 @@ int main() {
                             {"variant", "config", "cost", "top1", "top5"});
   for (const auto& p : result.feasible) {
     csv.AddRow({p.variant_label, p.config.ToString(),
-                Table::Num(p.cost_usd, 2), Table::Num(p.top1, 4),
+                Table::Num(p.cost_usd.value(), 2), Table::Num(p.top1, 4),
                 Table::Num(p.top5, 4)});
   }
 
@@ -62,36 +63,40 @@ int main() {
     AsciiChart chart(64, 14);
     std::vector<std::pair<double, double>> cloud_pts, pareto_pts;
     for (const auto& p : result.feasible) {
-      cloud_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0, p.cost_usd);
+      cloud_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0,
+                             p.cost_usd.value());
     }
     Table table(
         {"Pareto Config", "Variant", "Top-1 (%)", "Top-5 (%)", "Cost ($)"});
     for (std::size_t idx : frontier) {
       const auto& p = result.feasible[idx];
       pareto_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0,
-                              p.cost_usd);
+                              p.cost_usd.value());
       table.AddRow({p.config.ToString(), p.variant_label,
                     Table::Num(p.top1 * 100.0, 1),
                     Table::Num(p.top5 * 100.0, 1),
-                    Table::Num(p.cost_usd, 2)});
+                    Table::Num(p.cost_usd.value(), 2)});
     }
     chart.AddSeries("feasible", '.', cloud_pts);
     chart.AddSeries("pareto", 'P', pareto_pts);
     std::cout << chart.Render() << table.Render();
 
     const auto& best = result.feasible[frontier.front()];
-    double worst_same = best.cost_usd;
+    double worst_same = best.cost_usd.value();
     for (const auto& p : result.feasible) {
       const double acc_best = use_top5 ? best.top5 : best.top1;
       const double acc_p = use_top5 ? p.top5 : p.top1;
-      if (acc_p == acc_best) worst_same = std::max(worst_same, p.cost_usd);
+      if (acc_p == acc_best) {
+        worst_same = std::max(worst_same, p.cost_usd.value());
+      }
     }
     bench::Checkpoint("Pareto count", "~5",
                       std::to_string(frontier.size()));
     bench::Checkpoint(
         "cost saved at highest accuracy vs worst same-accuracy config",
         "up to 55 %",
-        Table::Num((1.0 - best.cost_usd / worst_same) * 100.0, 1) + " %");
+        Table::Num((1.0 - best.cost_usd.value() / worst_same) * 100.0, 1) +
+            " %");
     std::cout << "\n";
   }
   return 0;

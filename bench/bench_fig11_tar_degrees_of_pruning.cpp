@@ -42,8 +42,8 @@ int main() {
   for (const auto& plan : plans) {
     const core::CurvePoint p = ch.EvaluatePlan("p2.xlarge", plan, 50000);
     const double minutes = p.seconds / 60.0;
-    const double tar1 = core::TimeAccuracyRatio(minutes, p.top1);
-    const double tar5 = core::TimeAccuracyRatio(minutes, p.top5);
+    const double tar1 = core::TimeAccuracyRatio(Minutes(minutes), p.top1);
+    const double tar5 = core::TimeAccuracyRatio(Minutes(minutes), p.top5);
     table.AddRow({plan.Label(), Table::Num(minutes, 1),
                   Table::Num(p.top1 * 100.0, 1), Table::Num(p.top5 * 100.0, 1),
                   Table::Num(tar1, 1), Table::Num(tar5, 1)});

@@ -53,8 +53,9 @@ int main() {
     // (b) one GPU: a single-GPU slice of the instance at the per-GPU price.
     cloud::InstanceType one_gpu = type;
     one_gpu.gpus = 1;
-    const double one_gpu_seconds = sim.InstanceSeconds(one_gpu, perf, kImages);
-    const double one_gpu_cost = cloud::ProratedCost(
+    const Seconds one_gpu_seconds =
+        sim.InstanceSeconds(one_gpu, perf, kImages);
+    const Usd one_gpu_cost = cloud::ProratedCost(
         one_gpu_seconds, type.price_per_hour / type.gpus);
     const double car_one = core::CostAccuracyRatio(one_gpu_cost, acc.top5);
 

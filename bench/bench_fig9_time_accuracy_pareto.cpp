@@ -36,7 +36,7 @@ int main() {
   const auto configs = cloud::EnumerateConfigs(catalog.Category("p2"), 3);
 
   core::ExplorationResult result =
-      explorer.Explore(variants, configs, 1000000, 10.0 * 3600.0);
+      explorer.Explore(variants, configs, 1000000, Seconds(10.0 * 3600.0));
   std::cout << "evaluated " << result.evaluated << " (variant, config) pairs; "
             << result.feasible.size() << " feasible within the deadline\n\n";
 
@@ -61,18 +61,18 @@ int main() {
     std::vector<std::pair<double, double>> cloud_pts, pareto_pts;
     for (const auto& p : result.feasible) {
       cloud_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0,
-                             p.seconds / 3600.0);
+                             ToHours(p.seconds).value());
     }
     Table table({"Pareto Config", "Variant", "Top-1 (%)", "Top-5 (%)",
                  "Time (h)"});
     for (std::size_t idx : frontier) {
       const auto& p = result.feasible[idx];
       pareto_pts.emplace_back((use_top5 ? p.top5 : p.top1) * 100.0,
-                              p.seconds / 3600.0);
+                              ToHours(p.seconds).value());
       table.AddRow({p.config.ToString(), p.variant_label,
                     Table::Num(p.top1 * 100.0, 1),
                     Table::Num(p.top5 * 100.0, 1),
-                    Table::Num(p.seconds / 3600.0, 2)});
+                    Table::Num(ToHours(p.seconds).value(), 2)});
     }
     chart.AddSeries("feasible", '.', cloud_pts);
     chart.AddSeries("pareto", 'P', pareto_pts);
@@ -81,11 +81,13 @@ int main() {
     // Savings at the highest accuracy: Pareto point vs. worst feasible
     // configuration at the same accuracy.
     const auto& best = result.feasible[frontier.front()];
-    double worst_same = best.seconds;
+    double worst_same = best.seconds.value();
     for (const auto& p : result.feasible) {
       const double acc_best = use_top5 ? best.top5 : best.top1;
       const double acc_p = use_top5 ? p.top5 : p.top1;
-      if (acc_p == acc_best) worst_same = std::max(worst_same, p.seconds);
+      if (acc_p == acc_best) {
+        worst_same = std::max(worst_same, p.seconds.value());
+      }
     }
     bench::Checkpoint(
         "Pareto count", "~5 per accuracy metric",
@@ -93,13 +95,15 @@ int main() {
     bench::Checkpoint(
         "time saved at highest accuracy vs worst same-accuracy config",
         "up to 50 %",
-        Table::Num((1.0 - best.seconds / worst_same) * 100.0, 1) + " %");
+        Table::Num((1.0 - best.seconds.value() / worst_same) * 100.0, 1) +
+            " %");
     std::cout << "\n";
   }
 
   for (const auto& p : result.feasible) {
     csv.AddRow({p.variant_label, p.config.ToString(),
-                Table::Num(p.seconds / 3600.0, 3), Table::Num(p.top1, 4),
+                Table::Num(ToHours(p.seconds).value(), 3),
+                Table::Num(p.top1, 4),
                 Table::Num(p.top5, 4), "", ""});
   }
   return 0;

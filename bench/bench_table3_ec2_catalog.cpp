@@ -20,10 +20,10 @@ int main() {
     const cloud::GpuSpec& gpu = catalog.Gpu(t.gpu);
     table.AddRow({t.name, std::to_string(t.vcpus), std::to_string(t.gpus),
                   Table::Num(t.mem_gb, 0), Table::Num(t.gpu_mem_gb, 0),
-                  Table::Num(t.price_per_hour, 2), gpu.name});
+                  Table::Num(t.price_per_hour.value(), 2), gpu.name});
     csv.AddRow({t.name, std::to_string(t.vcpus), std::to_string(t.gpus),
                 Table::Num(t.mem_gb, 0), Table::Num(t.gpu_mem_gb, 0),
-                Table::Num(t.price_per_hour, 2), gpu.name});
+                Table::Num(t.price_per_hour.value(), 2), gpu.name});
   }
   std::cout << table.Render();
 

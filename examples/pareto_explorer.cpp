@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   const core::ExplorationResult result = explorer.Explore(
-      variants, configs, images, deadline_h * 3600.0, budget);
+      variants, configs, images, ToSeconds(Hours(deadline_h)), Usd(budget));
   std::cout << result.feasible.size() << " of " << result.evaluated
             << " candidate configurations are feasible\n\n";
   if (result.feasible.empty()) {
@@ -77,11 +77,12 @@ int main(int argc, char** argv) {
       const auto& p = result.feasible[idx];
       const double metric =
           by_cost ? core::CostAccuracyRatio(p.cost_usd, p.top5)
-                  : core::TimeAccuracyRatio(p.seconds / 3600.0, p.top5);
+                  : core::TimeAccuracyRatio(ToHours(p.seconds), p.top5);
       table.AddRow({p.config.ToString(), p.variant_label,
                     Table::Num(p.top5 * 100.0, 1),
-                    Table::Num(p.seconds / 3600.0, 2),
-                    Table::Num(p.cost_usd, 2), Table::Num(metric, 2)});
+                    Table::Num(ToHours(p.seconds).value(), 2),
+                    Table::Num(p.cost_usd.value(), 2),
+                    Table::Num(metric, 2)});
     }
     std::cout << table.Render() << "\n";
   }
@@ -90,8 +91,8 @@ int main(int argc, char** argv) {
   // set minimizes time AND cost while maximizing accuracy.
   std::vector<double> times, costs, accs;
   for (const auto& p : result.feasible) {
-    times.push_back(p.seconds);
-    costs.push_back(p.cost_usd);
+    times.push_back(p.seconds.value());
+    costs.push_back(p.cost_usd.value());
     accs.push_back(p.top5);
   }
   const auto tri = core::ParetoFrontier3(times, costs, accs);

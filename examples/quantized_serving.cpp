@@ -107,7 +107,8 @@ int main() {
     const cloud::ServingReport report = serving.Simulate(
         fleet, flavor.perf, arrivals_per_s, duration_s, policy, rng);
     table.AddRow({flavor.name,
-                  Table::Num(flavor.perf.ref_seconds_per_image * 1e3, 2),
+                  Table::Num(flavor.perf.ref_seconds_per_image.value() * 1e3,
+                             2),
                   Table::Num(flavor.acc.top1 * 100.0, 1),
                   Table::Num(report.p95_latency_s * 1e3, 1),
                   Table::Num(report.utilization, 2),

@@ -75,8 +75,9 @@ int main() {
     config.Add("p2.xlarge");
     const cloud::RunEstimate run = sim.Run(config, perf, 50000);
     const double top5 = accuracy.Evaluate(plan).top5;
-    cloud_view.AddRow({plan.Label(), Table::Num(run.seconds / 60.0, 1) + " min",
-                       Table::Num(run.cost_usd, 3),
+    cloud_view.AddRow({plan.Label(),
+                       Table::Num(ToMinutes(run.seconds).value(), 1) + " min",
+                       Table::Num(run.cost_usd.value(), 3),
                        Table::Num(top5 * 100.0, 1),
                        Table::Num(core::CostAccuracyRatio(run.cost_usd, top5),
                                   3)});

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   // slowest instance dominate a heterogeneous fleet and is often
   // infeasible at this scale; the proportional split (this library's
   // extension) assigns work by throughput.
-  const double deadline = 3600.0;  // each hourly batch within the hour
+  const Seconds deadline{3600.0};  // each hourly batch within the hour
   for (const auto split : {cloud::WorkloadSplit::kEqual,
                            cloud::WorkloadSplit::kProportional}) {
     std::cout << (split == cloud::WorkloadSplit::kEqual
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
       const std::vector<core::CandidateVariant> acceptable{*pick_variant};
       const core::AllocationResult pick = allocator.AllocateGreedy(
           acceptable, pool, photos_per_hour, deadline,
-          /*budget_usd=*/1e9, split);
+          /*budget_usd=*/Usd(1e9), split);
       if (!pick.feasible) {
         table.AddRow({Table::Num(floor * 100.0, 0) + " %", "-", "infeasible",
                       "-", "-", "-"});
@@ -92,9 +92,9 @@ int main(int argc, char** argv) {
       }
       table.AddRow({Table::Num(floor * 100.0, 0) + " %", pick.variant_label,
                     pick.config.ToString(),
-                    Table::Num(pick.seconds / 60.0, 1),
-                    Table::Num(pick.cost_usd, 2),
-                    Table::Num(pick.cost_usd * 24.0, 0)});
+                    Table::Num(ToMinutes(pick.seconds).value(), 1),
+                    Table::Num(pick.cost_usd.value(), 2),
+                    Table::Num(pick.cost_usd.value() * 24.0, 0)});
     }
     std::cout << table.Render() << "\n";
   }

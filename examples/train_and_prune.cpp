@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
     table.AddRow({plan.Label(), Table::Num(top1 * 100.0, 1),
                   Table::Num(ms, 1),
                   top1 > 0.0
-                      ? Table::Num(core::TimeAccuracyRatio(ms, top1), 1)
+                      ? Table::Num(
+                            core::TimeAccuracyRatio(Milliseconds(ms), top1), 1)
                       : "inf"});
   }
   std::cout << table.Render();

@@ -19,15 +19,56 @@
 #      ISA macros of the including TU.
 #
 # Kernel sources are discovered from the CCPERF_KERNEL_FLAGS
-# set_source_files_properties() calls in src/*/CMakeLists.txt, so adding
-# a kernel TU automatically extends the check.
+# set_source_files_properties() calls in src/*/CMakeLists.txt — ALL such
+# calls per file, so adding a kernel TU (even via a second call, as PR 9
+# almost did for quant.cpp) automatically extends the check. Non-kernel
+# tensor TUs (abft.cpp, corruption.cpp, ...) build with portable flags on
+# purpose: their checksum math must run identically on every host, so they
+# belong on the generic side of this check, not the kernel side.
 #
 # Usage: scripts/check_kernel_odr.sh [build-dir]   (or BUILD_DIR env)
+#        scripts/check_kernel_odr.sh --selftest
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-${BUILD_DIR:-build}}"
 ALLOWLIST="scripts/kernel_odr_allowlist.txt"
+
+# --- selftest: seed a weak-symbol leak and assert the nm pipeline sees it --
+if [ "${1:-}" = "--selftest" ]; then
+  if ! command -v nm > /dev/null 2>&1 || ! command -v c++ > /dev/null 2>&1; then
+    echo "check_kernel_odr: selftest needs nm + c++ — SKIPPED"
+    exit 0
+  fi
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  cat > "$tmp/leak.h" <<'EOF'
+#pragma once
+inline int seeded_odr_leak(int x) { return x * 2; }
+EOF
+  printf '#include "leak.h"\nint ka(int x) { return seeded_odr_leak(x); }\n' \
+    > "$tmp/kernel_tu.cpp"
+  printf '#include "leak.h"\nint gb(int x) { return seeded_odr_leak(x); }\n' \
+    > "$tmp/generic_tu.cpp"
+  # -fkeep-inline-functions forces an out-of-line (weak) copy even when
+  # the optimizer would inline the call away.
+  c++ -std=c++20 -O0 -fkeep-inline-functions \
+    -c "$tmp/kernel_tu.cpp" -o "$tmp/kernel_tu.o"
+  c++ -std=c++20 -O0 -fkeep-inline-functions \
+    -c "$tmp/generic_tu.cpp" -o "$tmp/generic_tu.o"
+  nm --defined-only "$tmp/kernel_tu.o" | awk '$2 ~ /^[WVu]$/ {print $3}' |
+    sort -u > "$tmp/kernel.syms"
+  nm --defined-only "$tmp/generic_tu.o" |
+    awk '$2 ~ /^[WVuTtDdBbRr]$/ {print $3}' | sort -u > "$tmp/generic.syms"
+  if ! comm -12 "$tmp/kernel.syms" "$tmp/generic.syms" |
+       grep -q seeded_odr_leak; then
+    echo "check_kernel_odr: SELFTEST FAIL — seeded weak-symbol leak not" \
+         "detected; the nm classification or comm pipeline regressed"
+    exit 1
+  fi
+  echo "check_kernel_odr: selftest OK — seeded weak-symbol leak caught"
+  exit 0
+fi
 
 if ! command -v nm > /dev/null 2>&1; then
   echo "check_kernel_odr: nm not found — SKIPPED"
@@ -42,17 +83,21 @@ fi
 kernel_sources=()
 for cml in src/*/CMakeLists.txt; do
   grep -q CCPERF_KERNEL_FLAGS "$cml" || continue
-  # Join lines so the multi-line set_source_files_properties(...) call can
+  # Join lines so each multi-line set_source_files_properties(...) call can
   # be matched as one string; ${CCPERF_KERNEL_FLAGS} contains no ')'.
-  call=$(tr '\n' ' ' < "$cml" |
-         grep -o 'set_source_files_properties([^)]*CCPERF_KERNEL_FLAGS[^)]*)' |
-         head -1 || true)
-  [ -n "$call" ] || continue
-  for word in $call; do
-    case "$word" in
-      *.cpp) kernel_sources+=("$(dirname "$cml")/${word#set_source_files_properties(}") ;;
-    esac
-  done
+  # grep -o yields EVERY matching call — a second call in the same file
+  # (e.g. a kernel TU added later with its own flag block) used to be
+  # dropped by a head -1 here, silently exempting it from the check.
+  calls=$(tr '\n' ' ' < "$cml" |
+          grep -o 'set_source_files_properties([^)]*CCPERF_KERNEL_FLAGS[^)]*)' || true)
+  [ -n "$calls" ] || continue
+  while IFS= read -r call; do
+    for word in $call; do
+      case "$word" in
+        *.cpp) kernel_sources+=("$(dirname "$cml")/${word#set_source_files_properties(}") ;;
+      esac
+    done
+  done <<< "$calls"
 done
 if [ "${#kernel_sources[@]}" -eq 0 ]; then
   echo "check_kernel_odr: FAIL — no CCPERF_KERNEL_FLAGS sources found;" \

@@ -7,11 +7,18 @@
 # Any report aborts the run.
 #
 # The static pass (scripts/run_static_analysis.sh + check_kernel_odr.sh +
-# check_determinism_lint.sh, or `scripts/run_tests.sh static`) is the
-# cheaper first gate: Clang thread-safety annotations catch lock misuse at
-# compile time that TSan can only catch if a test happens to race.
+# check_determinism_lint.sh + check_units_lint.sh, or `scripts/run_tests.sh
+# static`) is the cheaper first gate: Clang thread-safety annotations catch
+# lock misuse at compile time that TSan can only catch if a test happens to
+# race, and the units lint catches dimension mixups no sanitizer sees at
+# all (they are well-defined arithmetic on the wrong number).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Fail fast on unit-layer regressions before paying for two sanitizer
+# builds: the grep lint plus its own selftest are near-free.
+scripts/check_units_lint.sh
+scripts/check_units_lint.sh --selftest
 
 BUILD_DIR=build-sanitize
 

@@ -16,6 +16,7 @@ echo "== static analysis =="
 scripts/run_static_analysis.sh build      # clang-tidy (skips w/o the tool)
 scripts/check_kernel_odr.sh build         # ISA/ODR leak check on kernel TUs
 scripts/check_determinism_lint.sh         # banned nondeterminism constructs
+scripts/check_units_lint.sh               # raw-double unit leaks in public headers
 
 echo "== benches (paper tables & figures) =="
 for b in build/bench/bench_*; do

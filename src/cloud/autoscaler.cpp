@@ -46,7 +46,7 @@ AutoscaleResult Autoscaler::Run(
     step.epoch = static_cast<int>(epoch);
     step.instances = instances;
     step.report = report;
-    result.total_cost_usd += report.cost_per_hour_usd * epoch_s / 3600.0;
+    result.total_cost_usd += Usd(report.cost_per_hour_usd * epoch_s / 3600.0);
     result.worst_p99_s = std::max(result.worst_p99_s, report.p99_latency_s);
     result.always_stable = result.always_stable && report.stable;
     result.steps.push_back(std::move(step));
@@ -111,14 +111,14 @@ AutoscaleResult Autoscaler::RunFaulted(
                                     epoch_stats.last_snapshot_s;
         aggregate.latest = std::move(epoch_stats.latest);
       }
-      result.total_cost_usd += epoch_stats.overhead_cost_usd;
+      result.total_cost_usd += Usd(epoch_stats.overhead_cost_usd);
     } else {
       report = serving_.SimulateFaulted(
           fleet, perf, arrivals[epoch], epoch_s, serving_policy, retry, local,
           InflightPolicy::kRequeue, /*variant_accuracy=*/1.0, redundancy);
     }
 
-    result.total_cost_usd += report.cost_per_hour_usd * epoch_s / 3600.0;
+    result.total_cost_usd += Usd(report.cost_per_hour_usd * epoch_s / 3600.0);
     result.worst_p99_s = std::max(result.worst_p99_s, report.p99_latency_s);
     result.always_stable = result.always_stable && report.stable;
     total_requests += report.requests;
@@ -178,7 +178,8 @@ AutoscaleResult Autoscaler::RunFaultedPlaced(
                  merged, checkpoint, checkpoint_stats, redundancy);
   if (cross_pool_premium_frac > 0.0) {
     const double price =
-        serving_.Simulator().Catalog().Find(instance_type_).price_per_hour;
+        serving_.Simulator().Catalog().Find(instance_type_)
+            .price_per_hour.value();
     const int primary = placed.instance_domain[0];
     for (const AutoscaleStep& step : result.steps) {
       const int active = std::min(
@@ -189,8 +190,8 @@ AutoscaleResult Autoscaler::RunFaultedPlaced(
           ++outside;
         }
       }
-      result.total_cost_usd += static_cast<double>(outside) * price *
-                               cross_pool_premium_frac * epoch_s / 3600.0;
+      result.total_cost_usd += Usd(static_cast<double>(outside) * price *
+                                   cross_pool_premium_frac * epoch_s / 3600.0);
     }
   }
   return result;

@@ -13,6 +13,7 @@
 
 #include "cloud/fault_domains.h"
 #include "cloud/serving.h"
+#include "common/units.h"
 
 namespace ccperf::cloud {
 
@@ -41,7 +42,7 @@ struct AutoscaleStep {
 /// Whole-run summary.
 struct AutoscaleResult {
   std::vector<AutoscaleStep> steps;
-  double total_cost_usd = 0.0;   // instance-hours billed across epochs
+  Usd total_cost_usd;            // instance-hours billed across epochs
   double worst_p99_s = 0.0;
   bool always_stable = true;
   /// Fraction of all requests completed within their deadline (RunFaulted;

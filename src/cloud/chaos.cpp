@@ -105,7 +105,7 @@ ChaosOutcome ChaosSweep::RunOne(const MitigationPolicy& policy,
     int index = 0;
     for (const auto& [type, count] : fleet_.instances) {
       const double price =
-          serving_.Simulator().Catalog().Find(type).price_per_hour;
+          serving_.Simulator().Catalog().Find(type).price_per_hour.value();
       for (int k = 0; k < count; ++k, ++index) {
         if (placed.instance_domain[static_cast<std::size_t>(index)] !=
             primary) {

@@ -109,47 +109,55 @@ SpotRunEstimate EstimateSpotRun(const CloudSimulator& sim,
                                 const ResourceConfig& config,
                                 const VariantPerf& perf, std::int64_t images,
                                 const CheckpointPolicy& policy,
-                                double preemption_rate_per_hour,
-                                double restart_s) {
+                                RatePerHour preemption_rate,
+                                Seconds restart) {
   ValidateCheckpointPolicy(policy);
+  const double preemption_rate_per_hour = preemption_rate.value();
+  const double restart_s = restart.value();
   CCPERF_CHECK(preemption_rate_per_hour >= 0.0,
                "preemption rate must be >= 0");
   CCPERF_CHECK(restart_s >= 0.0, "restart time must be >= 0");
 
   const RunEstimate base = sim.Run(config, perf, images);
+  const double base_seconds = base.seconds.value();
   SpotRunEstimate est;
   est.base_seconds = base.seconds;
   est.on_demand_cost_usd = base.cost_usd;
 
   // Resolve the interval: adaptive uses Young's optimum for the spot MTBF.
-  est.interval_s = policy.interval_s;
+  // Computed on raw doubles in the exact expression order of the untyped
+  // code, then stored into the typed fields.
+  double interval_s = policy.interval_s;
   if (policy.trigger == CheckpointTrigger::kAdaptive &&
       preemption_rate_per_hour > 0.0 && policy.snapshot_cost_s > 0.0) {
-    est.interval_s =
+    interval_s =
         YoungInterval(policy.snapshot_cost_s, 3600.0 / preemption_rate_per_hour);
   }
-  est.interval_s = std::clamp(est.interval_s,
-                              std::max(policy.snapshot_cost_s, 1e-3),
-                              std::max(base.seconds, 1e-3));
+  interval_s = std::clamp(interval_s,
+                          std::max(policy.snapshot_cost_s, 1e-3),
+                          std::max(base_seconds, 1e-3));
+  est.interval_s = Seconds(interval_s);
 
   // First-order expectation (Young/Daly): snapshots stretch the run by
   // c per interval; each preemption loses half an interval of recompute
   // plus the reprovisioning delay.
-  est.snapshot_overhead_s =
-      std::floor(base.seconds / est.interval_s) * policy.snapshot_cost_s;
-  const double productive_seconds = base.seconds + est.snapshot_overhead_s;
+  const double snapshot_overhead_s =
+      std::floor(base_seconds / interval_s) * policy.snapshot_cost_s;
+  est.snapshot_overhead_s = Seconds(snapshot_overhead_s);
+  const double productive_seconds = base_seconds + snapshot_overhead_s;
   est.expected_preemptions =
       preemption_rate_per_hour * (productive_seconds / 3600.0) *
       static_cast<double>(config.TotalInstances());
-  est.expected_recompute_s =
-      est.expected_preemptions * (est.interval_s / 2.0 + restart_s);
-  est.expected_seconds = productive_seconds + est.expected_recompute_s;
+  const double expected_recompute_s =
+      est.expected_preemptions * (interval_s / 2.0 + restart_s);
+  est.expected_recompute_s = Seconds(expected_recompute_s);
+  est.expected_seconds = Seconds(productive_seconds + expected_recompute_s);
 
-  double spot_price = 0.0;
+  UsdPerHour spot_price;
   for (const auto& [type, count] : config.instances) {
     const InstanceType& t = sim.Catalog().Find(type);
-    CCPERF_CHECK(t.spot_price_per_hour > 0.0, "instance type '", type,
-                 "' has no spot market");
+    CCPERF_CHECK(t.spot_price_per_hour > UsdPerHour(0.0),
+                 "instance type '", type, "' has no spot market");
     spot_price += t.spot_price_per_hour * count;
   }
   est.expected_spot_cost_usd = ProratedCost(est.expected_seconds, spot_price);
@@ -179,7 +187,7 @@ ResumableOfflineRun::ResumableOfflineRun(const CloudSimulator& sim,
       const std::int64_t b = batch > 0 ? std::min(batch, gpu.max_batch)
                                        : std::min(per_gpu, gpu.max_batch);
       slot.images_per_step = b * type.gpus;
-      slot.step_seconds = sim.BatchSeconds(type, perf, b);
+      slot.step_seconds = sim.BatchSeconds(type, perf, b).value();
     }
     slots_.push_back(std::move(slot));
   }

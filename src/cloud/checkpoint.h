@@ -194,24 +194,24 @@ class SnapshotVault {
 /// including snapshot overhead and the expected recompute lost to
 /// preemptions (interval/2 per hit, plus `restart_s` to reprovision).
 struct SpotRunEstimate {
-  double interval_s = 0.0;            // the checkpoint interval in effect
-  double base_seconds = 0.0;          // fault-free T (Eq. 2)
-  double snapshot_overhead_s = 0.0;
-  double expected_recompute_s = 0.0;  // preemptions * (interval/2 + restart)
+  Seconds interval_s;                 // the checkpoint interval in effect
+  Seconds base_seconds;               // fault-free T (Eq. 2)
+  Seconds snapshot_overhead_s;
+  Seconds expected_recompute_s;       // preemptions * (interval/2 + restart)
   double expected_preemptions = 0.0;  // across the whole fleet
-  double expected_seconds = 0.0;      // T + overhead + recompute
-  double on_demand_cost_usd = 0.0;    // Eq. 1 at on-demand price, no faults
-  double expected_spot_cost_usd = 0.0;
+  Seconds expected_seconds;           // T + overhead + recompute
+  Usd on_demand_cost_usd;             // Eq. 1 at on-demand price, no faults
+  Usd expected_spot_cost_usd;
 };
 
-/// `preemption_rate_per_hour` is per instance; every type in `config` must
+/// `preemption_rate` is per instance; every type in `config` must
 /// have a spot market (spot_price_per_hour > 0).
 SpotRunEstimate EstimateSpotRun(const CloudSimulator& sim,
                                 const ResourceConfig& config,
                                 const VariantPerf& perf, std::int64_t images,
                                 const CheckpointPolicy& policy,
-                                double preemption_rate_per_hour,
-                                double restart_s = 60.0);
+                                RatePerHour preemption_rate,
+                                Seconds restart = Seconds(60.0));
 
 /// Resumable offline run: the paper's Eq. 1-4 batch-inference model with
 /// per-instance progress in whole batches, checkpointable through the

@@ -27,14 +27,14 @@ InstanceCatalog::InstanceCatalog(std::vector<InstanceType> types,
     : types_(std::move(types)), gpus_(std::move(gpus)) {
   CCPERF_CHECK(!types_.empty(), "catalog needs at least one instance type");
   for (const auto& t : types_) {
-    CCPERF_CHECK(t.gpus >= 1 && t.price_per_hour > 0.0,
+    CCPERF_CHECK(t.gpus >= 1 && t.price_per_hour > UsdPerHour(0.0),
                  "invalid instance type ", t.name);
-    CCPERF_CHECK(t.spot_price_per_hour >= 0.0 &&
+    CCPERF_CHECK(t.spot_price_per_hour >= UsdPerHour(0.0) &&
                      t.spot_price_per_hour <= t.price_per_hour,
                  "spot price of ", t.name,
                  " must be in [0, on-demand price]");
-    CCPERF_CHECK(t.sdc_rate_per_hour >= 0.0 &&
-                     std::isfinite(t.sdc_rate_per_hour),
+    CCPERF_CHECK(t.sdc_rate_per_hour >= RatePerHour(0.0) &&
+                     std::isfinite(t.sdc_rate_per_hour.value()),
                  "SDC rate of ", t.name, " must be finite and >= 0");
   }
 }
@@ -51,7 +51,7 @@ InstanceCatalog InstanceCatalog::AwsEc2() {
               .relative_speed = 1.0,
               .util_min = 0.30,
               .util_b0 = 150.0,
-              .kernel_launch_s = 1.5e-3,
+              .kernel_launch = Seconds(1.5e-3),
               .max_batch = 2000};
   GpuSpec m60{.kind = GpuKind::kM60,
               .name = "NVIDIA M60",
@@ -60,7 +60,7 @@ InstanceCatalog InstanceCatalog::AwsEc2() {
               .relative_speed = 2.05,
               .util_min = 0.30,
               .util_b0 = 150.0,
-              .kernel_launch_s = 1.2e-3,
+              .kernel_launch = Seconds(1.2e-3),
               .max_batch = 1300};
 
   // The paper's Table 3 verbatim (Amazon EC2, Oregon region, 2020 prices).
@@ -69,18 +69,18 @@ InstanceCatalog InstanceCatalog::AwsEc2() {
   // hotter K80 boards (p2) at 3e-3 per GPU-hour, the M60s (g3) at 1e-3 —
   // inside the 1e-4..1e-2 per device-hour envelope fleet studies report.
   std::vector<InstanceType> types{
-      {"p2.xlarge", "p2", 4, 1, 61.0, 12.0, 0.90, GpuKind::kK80, 0.270,
-       0.003},
-      {"p2.8xlarge", "p2", 32, 8, 488.0, 96.0, 7.20, GpuKind::kK80, 2.160,
-       0.024},
-      {"p2.16xlarge", "p2", 64, 16, 732.0, 192.0, 14.40, GpuKind::kK80,
-       4.320, 0.048},
-      {"g3.4xlarge", "g3", 16, 1, 122.0, 8.0, 1.14, GpuKind::kM60, 0.342,
-       0.001},
-      {"g3.8xlarge", "g3", 32, 2, 244.0, 16.0, 2.28, GpuKind::kM60, 0.684,
-       0.002},
-      {"g3.16xlarge", "g3", 64, 4, 488.0, 32.0, 4.56, GpuKind::kM60, 1.368,
-       0.004},
+      {"p2.xlarge", "p2", 4, 1, 61.0, 12.0, UsdPerHour(0.90), GpuKind::kK80,
+       UsdPerHour(0.270), RatePerHour(0.003)},
+      {"p2.8xlarge", "p2", 32, 8, 488.0, 96.0, UsdPerHour(7.20),
+       GpuKind::kK80, UsdPerHour(2.160), RatePerHour(0.024)},
+      {"p2.16xlarge", "p2", 64, 16, 732.0, 192.0, UsdPerHour(14.40),
+       GpuKind::kK80, UsdPerHour(4.320), RatePerHour(0.048)},
+      {"g3.4xlarge", "g3", 16, 1, 122.0, 8.0, UsdPerHour(1.14), GpuKind::kM60,
+       UsdPerHour(0.342), RatePerHour(0.001)},
+      {"g3.8xlarge", "g3", 32, 2, 244.0, 16.0, UsdPerHour(2.28),
+       GpuKind::kM60, UsdPerHour(0.684), RatePerHour(0.002)},
+      {"g3.16xlarge", "g3", 64, 4, 488.0, 32.0, UsdPerHour(4.56),
+       GpuKind::kM60, UsdPerHour(1.368), RatePerHour(0.004)},
   };
   return InstanceCatalog(std::move(types), {k80, m60});
 }

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace ccperf::cloud {
 
 enum class GpuKind { kK80, kM60 };
@@ -29,7 +31,7 @@ struct GpuSpec {
   double util_min = 0.30;
   double util_b0 = 150.0;
   // Per-kernel launch overhead, dominates single-inference latency (Fig. 4).
-  double kernel_launch_s = 1.5e-3;
+  Seconds kernel_launch{1.5e-3};
   // Largest batch that fits GPU memory (the paper's b_i).
   std::int64_t max_batch = 2000;
 
@@ -45,17 +47,17 @@ struct InstanceType {
   int gpus = 0;          // the paper's v_i
   double mem_gb = 0.0;
   double gpu_mem_gb = 0.0;
-  double price_per_hour = 0.0;  // the paper's c_i (USD)
+  UsdPerHour price_per_hour;  // the paper's c_i
   GpuKind gpu = GpuKind::kK80;
-  /// Spot-market hourly price (USD). 0 means no spot market for this type.
+  /// Spot-market hourly price. 0 means no spot market for this type.
   /// Appended after `gpu` so positional initializers of the on-demand
   /// columns stay valid.
-  double spot_price_per_hour = 0.0;
+  UsdPerHour spot_price_per_hour;
   /// Silent-data-corruption onset rate per instance-hour (cloud/sdc.h).
   /// Fleet studies put GPU/DRAM upsets at ~1e-4..1e-2 per device-hour;
   /// the older, denser K80 boards (p2) run hotter than the M60s (g3).
   /// Appended last for the same positional-initializer reason.
-  double sdc_rate_per_hour = 0.0;
+  RatePerHour sdc_rate_per_hour;
 };
 
 /// Immutable set of instance types + GPU device specs.

@@ -29,7 +29,7 @@ ModelProfile CaffeNetProfile() {
   //  * conv2 prunable 0.88 (Fig. 6(b): 19 -> ~14 min at 90%).
   ModelProfile p;
   p.model_name = "caffenet";
-  p.ref_seconds_per_image = 19.0 * 60.0 / 50000.0;  // 22.8 ms
+  p.ref_seconds_per_image = Seconds(19.0 * 60.0 / 50000.0);  // 22.8 ms
   // 5 conv + 3 fc + 3 pool + 2 LRN + softmax = 14 kernels per batch; at
   // 1.5 ms launch each this puts batch-1 latency at the paper's ~0.09 s.
   p.kernel_count = 14;
@@ -74,8 +74,9 @@ double PrunableFraction(const nn::ConvLayer& conv) {
 }  // namespace
 
 ModelProfile GenericProfile(const nn::Network& net,
-                            double ref_seconds_per_image) {
-  CCPERF_CHECK(ref_seconds_per_image > 0.0, "reference time must be positive");
+                            Seconds ref_seconds_per_image) {
+  CCPERF_CHECK(ref_seconds_per_image > Seconds(0.0),
+               "reference time must be positive");
   const nn::NetworkCostReport report = nn::AnalyzeNetwork(net, 1);
 
   // Nearest upstream weighted layer per node (walk through weightless ones;
@@ -152,7 +153,7 @@ ModelProfile GoogLeNetProfile() {
   nn::ModelConfig config;
   config.weight_seed = 1;
   const nn::Network net = nn::BuildGoogLeNet(config);
-  ModelProfile profile = GenericProfile(net, 13.0 * 60.0 / 50000.0);
+  ModelProfile profile = GenericProfile(net, Seconds(13.0 * 60.0 / 50000.0));
   profile.model_name = "googlenet";
 
   // Anchor the two stem convolutions to the paper's measured pruning impact

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
 #include "nn/network.h"
 
 namespace ccperf::cloud {
@@ -33,7 +34,7 @@ struct ModelProfile {
   std::string model_name;
   /// Per-image time at full utilization on the K80 reference GPU, unpruned
   /// (CaffeNet: 19 min / 50,000 images; GoogLeNet: 13 min / 50,000).
-  double ref_seconds_per_image = 0.0;
+  Seconds ref_seconds_per_image;
   /// Kernel launches per batch (one per layer) — dominates batch-1 latency.
   int kernel_count = 0;
   /// Weighted (prunable) layers in topological order.
@@ -55,7 +56,6 @@ ModelProfile GoogLeNetProfile();
 /// Derive a profile for an arbitrary network from static cost analysis,
 /// using a GEMM-efficiency heuristic (small patch / large stride convolve
 /// inefficiently) to convert FLOPs into time shares.
-ModelProfile GenericProfile(const nn::Network& net,
-                            double ref_seconds_per_image);
+ModelProfile GenericProfile(const nn::Network& net, Seconds ref_seconds_per_image);
 
 }  // namespace ccperf::cloud

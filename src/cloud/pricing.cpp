@@ -6,11 +6,14 @@
 
 namespace ccperf::cloud {
 
-double ProratedCost(double seconds, double price_per_hour) {
-  CCPERF_CHECK(seconds >= 0.0, "negative duration");
-  CCPERF_CHECK(price_per_hour >= 0.0, "negative price");
-  const double billed_seconds = std::ceil(seconds);
-  return billed_seconds * price_per_hour / 3600.0;
+Usd ProratedCost(Seconds duration, UsdPerHour price) {
+  CCPERF_CHECK(duration.value() >= 0.0, "negative duration");
+  CCPERF_CHECK(price.value() >= 0.0, "negative price");
+  const double billed_seconds = std::ceil(duration.value());
+  // Same expression order as the original raw-double code (b * p / 3600):
+  // ToHours(billed) * price would divide first and can differ in the last
+  // ulp, and every emitted number must stay bitwise identical.
+  return Usd(billed_seconds * price.value() / 3600.0);
 }
 
 }  // namespace ccperf::cloud

@@ -2,10 +2,12 @@
 // price ... is pro-rated to the nearest second").
 #pragma once
 
+#include "common/units.h"
+
 namespace ccperf::cloud {
 
-/// Cost in USD of holding a resource priced at `price_per_hour` for
-/// `seconds`, billed per started second.
-double ProratedCost(double seconds, double price_per_hour);
+/// Cost of holding a resource priced at `price` for `duration`, billed per
+/// started second (Eq. 1's prorating).
+Usd ProratedCost(Seconds duration, UsdPerHour price);
 
 }  // namespace ccperf::cloud

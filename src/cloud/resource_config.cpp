@@ -31,9 +31,9 @@ void ResourceConfig::Add(const std::string& type, int count) {
   instances.emplace_back(type, count);
 }
 
-double PricePerHour(const ResourceConfig& config,
-                    const InstanceCatalog& catalog) {
-  double price = 0.0;
+UsdPerHour PricePerHour(const ResourceConfig& config,
+                        const InstanceCatalog& catalog) {
+  UsdPerHour price;
   for (const auto& [type, count] : config.instances) {
     price += catalog.Find(type).price_per_hour * count;
   }

@@ -30,8 +30,8 @@ struct ResourceConfig {
 };
 
 /// Sum of hourly prices over all instances (the paper's sum of c_i).
-double PricePerHour(const ResourceConfig& config,
-                    const InstanceCatalog& catalog);
+UsdPerHour PricePerHour(const ResourceConfig& config,
+                        const InstanceCatalog& catalog);
 
 /// Total GPU count across the configuration.
 int TotalGpus(const ResourceConfig& config, const InstanceCatalog& catalog);

@@ -45,10 +45,13 @@ std::string SdcPolicy::Label() const {
   return out.str();
 }
 
-SdcAssessment AssessSdc(const SdcPolicy& policy, double sdc_rate_per_hour,
-                        double run_seconds, double transient_fraction,
-                        double transient_window_s) {
+SdcAssessment AssessSdc(const SdcPolicy& policy, RatePerHour sdc_rate,
+                        Seconds run_seconds_q, double transient_fraction,
+                        Seconds transient_window) {
   policy.Validate();
+  const double sdc_rate_per_hour = sdc_rate.value();
+  const double run_seconds = run_seconds_q.value();
+  const double transient_window_s = transient_window.value();
   CCPERF_CHECK(std::isfinite(sdc_rate_per_hour) && sdc_rate_per_hour >= 0.0,
                "sdc_rate_per_hour must be finite and >= 0, got ",
                sdc_rate_per_hour);

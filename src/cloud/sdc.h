@@ -37,6 +37,8 @@
 
 #include <string>
 
+#include "common/units.h"
+
 namespace ccperf::cloud {
 
 /// Detection posture of a deployment.
@@ -107,13 +109,13 @@ struct SdcAssessment {
 };
 
 /// Evaluate the closed-form model above for a run of `run_seconds` on
-/// instances with `sdc_rate_per_hour` onsets. `transient_fraction` and
-/// `transient_window_s` default to the calibrated constants. kOff returns
+/// instances with `sdc_rate` onsets. `transient_fraction` and
+/// `transient_window` default to the calibrated constants. kOff returns
 /// all zeros (SDC not modeled).
-SdcAssessment AssessSdc(const SdcPolicy& policy, double sdc_rate_per_hour,
-                        double run_seconds,
+SdcAssessment AssessSdc(const SdcPolicy& policy, RatePerHour sdc_rate,
+                        Seconds run_seconds,
                         double transient_fraction = kTransientFraction,
-                        double transient_window_s = kTransientWindowS);
+                        Seconds transient_window = Seconds(kTransientWindowS));
 
 /// Delivered accuracy after escapes: acc·(1 − escape·(1 − corrupt_factor)).
 double DeliveredAccuracy(double accuracy, double escape_fraction,

@@ -80,7 +80,8 @@ double ServingSimulator::Capacity(const ResourceConfig& config,
     const InstanceType& type = simulator_.Catalog().Find(type_name);
     const GpuSpec& gpu = simulator_.Catalog().Gpu(type.gpu);
     const std::int64_t batch = std::min(policy.max_batch, gpu.max_batch);
-    const double service = simulator_.BatchSeconds(type, perf, batch);
+    const double service =
+        simulator_.BatchSeconds(type, perf, batch).value();
     capacity += static_cast<double>(batch) / service *
                 static_cast<double>(type.gpus * count);
   }
@@ -133,7 +134,7 @@ ServingReport ServingSimulator::SimulateTrace(
   report.requests = static_cast<std::int64_t>(arrivals.size());
   for (const auto& [type_name, count] : config.instances) {
     report.cost_per_hour_usd +=
-        simulator_.Catalog().Find(type_name).price_per_hour * count;
+        (simulator_.Catalog().Find(type_name).price_per_hour * count).value();
   }
   if (arrivals.empty()) return report;
 
@@ -184,7 +185,7 @@ ServingReport ServingSimulator::SimulateTrace(
     const auto batch_size = std::min<std::int64_t>(
         batch_cap, static_cast<std::int64_t>(queue.size()));
     const double service =
-        simulator_.BatchSeconds(*gpu_it->type, perf, batch_size);
+        simulator_.BatchSeconds(*gpu_it->type, perf, batch_size).value();
     const double completion = dispatch_at + service;
     for (std::int64_t k = 0; k < batch_size; ++k) {
       latencies.push_back(completion - queue.front());
@@ -310,7 +311,7 @@ ServingReport ServingSimulator::SimulateFaultedCheckpointed(
                        (checkpoint.mirror_copies - 1) *
                            checkpoint.mirror_cost_s);
   out.overhead_cost_usd = out.snapshot_overhead_s / 3600.0 *
-                          PricePerHour(config, simulator_.Catalog());
+                          PricePerHour(config, simulator_.Catalog()).value();
   return engine.Finish();
 }
 
@@ -404,7 +405,8 @@ FaultedServingEngine::FaultedServingEngine(
     // effective hourly rate scales with each instance's up fraction.
     int idx = 0;
     for (const auto& [type_name, count] : config_.instances) {
-      const double price = sim_->Catalog().Find(type_name).price_per_hour;
+      const double price =
+          sim_->Catalog().Find(type_name).price_per_hour.value();
       for (int c = 0; c < count; ++c) {
         const double up_fraction =
             1.0 - timelines_[static_cast<std::size_t>(idx)].DownSeconds() /
@@ -619,7 +621,7 @@ void FaultedServingEngine::Step() {
   if (batch.empty()) return;
 
   const auto batch_size = static_cast<std::int64_t>(batch.size());
-  double service = sim_->BatchSeconds(type, perf_, batch_size) *
+  double service = sim_->BatchSeconds(type, perf_, batch_size).value() *
                    timeline.SlowdownAt(dispatch_at);
   bool escaped_batch = false;
   if (sdc_.kind != SdcPolicyKind::kOff) {
@@ -751,7 +753,7 @@ std::uint32_t FaultedServingEngine::Fingerprint() const {
     w.PutI64(count);
   }
   w.PutString(perf_.label);
-  w.PutF64(perf_.ref_seconds_per_image);
+  w.PutF64(perf_.ref_seconds_per_image.value());
   w.PutI64(perf_.kernel_count);
   w.PutF64(duration_s_);
   w.PutI64(policy_.max_batch);

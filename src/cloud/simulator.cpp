@@ -11,27 +11,27 @@ namespace ccperf::cloud {
 CloudSimulator::CloudSimulator(InstanceCatalog catalog)
     : catalog_(std::move(catalog)) {}
 
-double CloudSimulator::BatchSeconds(const InstanceType& type,
-                                    const VariantPerf& perf,
-                                    std::int64_t batch) const {
+Seconds CloudSimulator::BatchSeconds(const InstanceType& type,
+                                     const VariantPerf& perf,
+                                     std::int64_t batch) const {
   CCPERF_CHECK(batch >= 1, "batch must be >= 1");
   const GpuSpec& gpu = catalog_.Gpu(type.gpu);
   CCPERF_CHECK(batch <= gpu.max_batch, "batch ", batch,
                " exceeds GPU capacity ", gpu.max_batch, " of ", type.name);
-  const double launch = static_cast<double>(perf.kernel_count) *
-                        gpu.kernel_launch_s;
-  const double compute = static_cast<double>(batch) *
-                         perf.ref_seconds_per_image /
-                         (gpu.relative_speed * gpu.Utilization(batch));
+  const Seconds launch =
+      static_cast<double>(perf.kernel_count) * gpu.kernel_launch;
+  const Seconds compute = static_cast<double>(batch) *
+                          perf.ref_seconds_per_image /
+                          (gpu.relative_speed * gpu.Utilization(batch));
   return launch + compute;
 }
 
-double CloudSimulator::InstanceSeconds(const InstanceType& type,
-                                       const VariantPerf& perf,
-                                       std::int64_t images,
-                                       std::int64_t batch) const {
+Seconds CloudSimulator::InstanceSeconds(const InstanceType& type,
+                                        const VariantPerf& perf,
+                                        std::int64_t images,
+                                        std::int64_t batch) const {
   CCPERF_CHECK(images >= 0, "negative image count");
-  if (images == 0) return 0.0;
+  if (images == 0) return Seconds(0.0);
   const GpuSpec& gpu = catalog_.Gpu(type.gpu);
   // Images per GPU: the instance's GPUs work in parallel on equal shares.
   const std::int64_t per_gpu =
@@ -41,8 +41,8 @@ double CloudSimulator::InstanceSeconds(const InstanceType& type,
                 : std::min(per_gpu, gpu.max_batch);
   const std::int64_t full_batches = per_gpu / b;
   const std::int64_t tail = per_gpu % b;
-  double seconds = static_cast<double>(full_batches) *
-                   BatchSeconds(type, perf, b);
+  Seconds seconds = static_cast<double>(full_batches) *
+                    BatchSeconds(type, perf, b);
   if (tail > 0) seconds += BatchSeconds(type, perf, tail);
   return seconds;
 }
@@ -51,7 +51,8 @@ double CloudSimulator::InstanceThroughput(const InstanceType& type,
                                           const VariantPerf& perf) const {
   const GpuSpec& gpu = catalog_.Gpu(type.gpu);
   const std::int64_t b = gpu.max_batch;
-  return static_cast<double>(b * type.gpus) / BatchSeconds(type, perf, b);
+  return static_cast<double>(b * type.gpus) /
+         BatchSeconds(type, perf, b).value();
 }
 
 RunEstimate CloudSimulator::Run(const ResourceConfig& config,
@@ -125,13 +126,13 @@ SdcRunEstimate CloudSimulator::RunWithSdc(const ResourceConfig& config,
     out.cost_usd = out.base.cost_usd;
     return out;
   }
-  double rate_sum = 0.0;
+  RatePerHour rate_sum;
   int total = 0;
   for (const auto& [type, count] : config.instances) {
     rate_sum += catalog_.Find(type).sdc_rate_per_hour * count;
     total += count;
   }
-  const double mean_rate = rate_sum / static_cast<double>(total);
+  const RatePerHour mean_rate = rate_sum / static_cast<double>(total);
   out.assessment = AssessSdc(sdc, mean_rate, out.base.seconds);
   out.seconds = out.base.seconds * (1.0 + out.assessment.time_overhead);
   for (const auto& [type, count] : config.instances) {

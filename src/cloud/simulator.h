@@ -15,6 +15,7 @@
 #include "cloud/resource_config.h"
 #include "cloud/sdc.h"
 #include "cloud/variant_perf.h"
+#include "common/units.h"
 
 namespace ccperf::cloud {
 
@@ -28,13 +29,13 @@ enum class WorkloadSplit {
 struct InstanceRun {
   std::string type;
   std::int64_t images = 0;
-  double seconds = 0.0;
+  Seconds seconds;
 };
 
 /// Predicted execution of one (variant, configuration, workload) triple.
 struct RunEstimate {
-  double seconds = 0.0;   // the paper's T (max over instances)
-  double cost_usd = 0.0;  // the paper's C (Eq. 1, per-second prorated)
+  Seconds seconds;  // the paper's T (max over instances)
+  Usd cost_usd;     // the paper's C (Eq. 1, per-second prorated)
   std::vector<InstanceRun> instances;
 };
 
@@ -44,8 +45,8 @@ struct RunEstimate {
 struct SdcRunEstimate {
   RunEstimate base;          // the detection-free Eq. 1-4 estimate
   SdcAssessment assessment;  // at the fleet's mean SDC rate over base T
-  double seconds = 0.0;      // base T stretched by (1 + time_overhead)
-  double cost_usd = 0.0;     // Eq. 1 re-prorated at the stretched T
+  Seconds seconds;           // base T stretched by (1 + time_overhead)
+  Usd cost_usd;              // Eq. 1 re-prorated at the stretched T
   /// Multiply a variant's top-1 by this for delivered accuracy.
   double delivered_accuracy_factor = 1.0;
 };
@@ -57,17 +58,17 @@ class CloudSimulator {
 
   [[nodiscard]] const InstanceCatalog& Catalog() const { return catalog_; }
 
-  /// Seconds for one batch of `batch` images on one GPU of `type`.
-  [[nodiscard]] double BatchSeconds(const InstanceType& type,
-                                    const VariantPerf& perf,
-                                    std::int64_t batch) const;
+  /// Time for one batch of `batch` images on one GPU of `type`.
+  [[nodiscard]] Seconds BatchSeconds(const InstanceType& type,
+                                     const VariantPerf& perf,
+                                     std::int64_t batch) const;
 
-  /// Seconds for `images` images on one instance of `type`, splitting evenly
+  /// Time for `images` images on one instance of `type`, splitting evenly
   /// across its GPUs. `batch` 0 picks the largest batch that fits the GPU.
-  [[nodiscard]] double InstanceSeconds(const InstanceType& type,
-                                       const VariantPerf& perf,
-                                       std::int64_t images,
-                                       std::int64_t batch = 0) const;
+  [[nodiscard]] Seconds InstanceSeconds(const InstanceType& type,
+                                        const VariantPerf& perf,
+                                        std::int64_t images,
+                                        std::int64_t batch = 0) const;
 
   /// Full prediction for a configuration (Eqs. 1-4).
   [[nodiscard]] RunEstimate Run(const ResourceConfig& config,

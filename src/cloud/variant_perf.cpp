@@ -43,7 +43,8 @@ VariantPerf ComputeVariantPerf(const ModelProfile& profile,
   perf.label = label;
   perf.ref_seconds_per_image = profile.ref_seconds_per_image * share;
   perf.kernel_count = profile.kernel_count;
-  CCPERF_CHECK(perf.ref_seconds_per_image > 0.0, "non-positive variant time");
+  CCPERF_CHECK(perf.ref_seconds_per_image > Seconds(0.0),
+               "non-positive variant time");
   return perf;
 }
 

@@ -6,6 +6,7 @@
 
 #include "cloud/density.h"
 #include "cloud/model_profile.h"
+#include "common/units.h"
 
 namespace ccperf::cloud {
 
@@ -14,7 +15,7 @@ namespace ccperf::cloud {
 /// the kernel count driving batch-1 latency.
 struct VariantPerf {
   std::string label;
-  double ref_seconds_per_image = 0.0;
+  Seconds ref_seconds_per_image;
   int kernel_count = 0;
 };
 

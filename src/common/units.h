@@ -1,0 +1,227 @@
+// Strong unit types for the cost-accuracy arithmetic (DESIGN.md §15).
+//
+// The paper's model is arithmetic over mixed dimensions: Eq. 3-4 bill $/hour
+// prices against runtimes in seconds, TAR/CAR divide time and cost by
+// accuracy, and the spot/SDC extensions add per-hour event rates. A bare
+// `double` compiles no matter which of those a call site actually holds, so
+// a seconds-vs-hours or $-vs-$/hr mix-up only surfaces as a wrong frontier.
+// This header makes dimensional correctness a compile-time invariant, the
+// same move PR 5 made for lock discipline (annotations.h): the bug class is
+// rejected by the compiler and the rejection itself is proven by
+// negative-compile tests (tests/static_analysis/units_negative_*.cpp).
+//
+// Design rules (each backed by a negative-compile case):
+//   * No implicit construction from double: `Usd c = 3.0;` does not compile.
+//     Wrapping a raw double is always a visible, greppable `Usd(3.0)`.
+//   * No implicit conversion to double: reading the raw number is a visible
+//     `.value()` call, so a quantity cannot silently re-enter untyped math.
+//   * Same-dimension, same-scale arithmetic only: Seconds + Seconds is fine,
+//     Usd + Hours is not, and neither is Seconds + Hours — converting
+//     between scales of one dimension is explicit (ToHours / ToSeconds).
+//   * Cross-dimension operators exist only where the model defines them:
+//     UsdPerHour × Hours → Usd, Usd / Hours → UsdPerHour, RatePerHour ×
+//     Hours → dimensionless expected count, Flops / GFlopsPerSec → Seconds,
+//     Bytes / GBytesPerSec → Seconds. Multiplying two prices does not
+//     compile.
+//
+// Zero overhead: Quantity is a trivially-copyable wrapper holding exactly
+// one double (static_asserts below); every operator is a constexpr inline
+// forwarding to the identical double expression, so the refactor from raw
+// doubles is bitwise value-preserving (pinned by the golden/differential
+// suites) and codegen-neutral at -O1+ (the wrapper dissolves into the same
+// scalar SSA values).
+#pragma once
+
+#include <compare>
+#include <ratio>
+#include <type_traits>
+
+namespace ccperf::units {
+
+// Dimension tags. A Quantity's identity is (dimension, scale ratio); two
+// quantities interoperate implicitly only when BOTH match.
+struct TimeDim {};         // base unit: second
+struct MoneyDim {};        // base unit: USD
+struct MoneyRateDim {};    // base unit: USD per hour (cloud list prices)
+struct EventRateDim {};    // base unit: events per hour (failure/SDC rates)
+struct ComputeDim {};      // base unit: FLOP
+struct ComputeRateDim {};  // base unit: GFLOP per second
+struct InfoDim {};         // base unit: byte
+struct InfoRateDim {};     // base unit: GB per second
+
+/// One dimensioned scalar. `Scale` is the magnitude of this unit in the
+/// dimension's base unit (Hours = Quantity<TimeDim, ratio<3600>>). The
+/// stored value is in THIS unit, not the base unit — Hours(2).value() == 2 —
+/// so wrapping and unwrapping never rescales a number (bitwise neutrality).
+template <typename Dim, typename Scale = std::ratio<1>>
+class Quantity {
+ public:
+  using dimension = Dim;
+  using scale = Scale;
+
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(double value) : value_(value) {}
+
+  /// The raw magnitude in this unit. The only exit back to untyped math.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  // Same-unit arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+
+  // Dimensionless scaling (counts, fractions, factors).
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.value_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr bool operator==(Quantity a, Quantity b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+// The named units of the cost-accuracy model.
+using Seconds = Quantity<TimeDim>;
+using Milliseconds = Quantity<TimeDim, std::milli>;
+using Minutes = Quantity<TimeDim, std::ratio<60>>;
+using Hours = Quantity<TimeDim, std::ratio<3600>>;
+using Usd = Quantity<MoneyDim>;
+using UsdPerHour = Quantity<MoneyRateDim>;
+using RatePerHour = Quantity<EventRateDim>;
+using Flops = Quantity<ComputeDim>;
+using GFlopsPerSec = Quantity<ComputeRateDim>;
+using Bytes = Quantity<InfoDim>;
+using GBytesPerSec = Quantity<InfoRateDim>;
+
+// Zero-overhead claim, enforced: a Quantity is exactly a double in memory
+// and in parameter passing (trivially copyable => register calling
+// convention for the single double member on x86-64/AArch64).
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Usd) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<UsdPerHour>);
+static_assert(std::is_standard_layout_v<Hours>);
+static_assert(std::is_trivially_copyable_v<RatePerHour>);
+
+// --- explicit scale conversions (Time) --------------------------------------
+// Each conversion is the literal arithmetic the raw-double code wrote
+// (x / 3600.0, x * 3600.0, ...), so converting through the typed API is
+// bitwise identical to the untyped expression it replaced.
+
+[[nodiscard]] constexpr Hours ToHours(Seconds s) {
+  return Hours(s.value() / 3600.0);
+}
+[[nodiscard]] constexpr Hours ToHours(Minutes m) {
+  return Hours(m.value() / 60.0);
+}
+[[nodiscard]] constexpr Seconds ToSeconds(Hours h) {
+  return Seconds(h.value() * 3600.0);
+}
+[[nodiscard]] constexpr Seconds ToSeconds(Minutes m) {
+  return Seconds(m.value() * 60.0);
+}
+[[nodiscard]] constexpr Seconds ToSeconds(Milliseconds ms) {
+  return Seconds(ms.value() / 1000.0);
+}
+[[nodiscard]] constexpr Minutes ToMinutes(Seconds s) {
+  return Minutes(s.value() / 60.0);
+}
+[[nodiscard]] constexpr Minutes ToMinutes(Hours h) {
+  return Minutes(h.value() * 60.0);
+}
+[[nodiscard]] constexpr Milliseconds ToMilliseconds(Seconds s) {
+  return Milliseconds(s.value() * 1000.0);
+}
+
+// --- dimension algebra ------------------------------------------------------
+// Only the products/quotients the model defines. Everything else is a
+// compile error by omission.
+
+// Money: price × time = cost (Eq. 1's c_i · T, after prorating).
+[[nodiscard]] constexpr Usd operator*(UsdPerHour price, Hours t) {
+  return Usd(price.value() * t.value());
+}
+[[nodiscard]] constexpr Usd operator*(Hours t, UsdPerHour price) {
+  return Usd(t.value() * price.value());
+}
+[[nodiscard]] constexpr UsdPerHour operator/(Usd cost, Hours t) {
+  return UsdPerHour(cost.value() / t.value());
+}
+[[nodiscard]] constexpr Hours operator/(Usd cost, UsdPerHour price) {
+  return Hours(cost.value() / price.value());
+}
+
+// Event rates: rate × time = expected event count (dimensionless).
+[[nodiscard]] constexpr double operator*(RatePerHour rate, Hours t) {
+  return rate.value() * t.value();
+}
+[[nodiscard]] constexpr double operator*(Hours t, RatePerHour rate) {
+  return t.value() * rate.value();
+}
+
+// Roofline arithmetic: work / throughput = time.
+[[nodiscard]] constexpr Seconds operator/(Flops work, GFlopsPerSec rate) {
+  return Seconds(work.value() / (rate.value() * 1e9));
+}
+[[nodiscard]] constexpr Seconds operator/(Bytes traffic, GBytesPerSec rate) {
+  return Seconds(traffic.value() / (rate.value() * 1e9));
+}
+
+}  // namespace ccperf::units
+
+namespace ccperf {
+// The unit names are project vocabulary; make them usable unqualified from
+// every ccperf:: namespace (cloud, core, ...).
+using units::Bytes;
+using units::Flops;
+using units::GBytesPerSec;
+using units::GFlopsPerSec;
+using units::Hours;
+using units::Milliseconds;
+using units::Minutes;
+using units::RatePerHour;
+using units::Seconds;
+using units::ToHours;
+using units::ToMilliseconds;
+using units::ToMinutes;
+using units::ToSeconds;
+using units::Usd;
+using units::UsdPerHour;
+}  // namespace ccperf

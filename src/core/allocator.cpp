@@ -34,14 +34,13 @@ ResourceAllocator::ResourceAllocator(const cloud::CloudSimulator& simulator)
 double ResourceAllocator::InstanceCar(const std::string& instance,
                                       const CandidateVariant& variant,
                                       std::int64_t images,
-                                      double interruption_rate_per_hour)
-    const {
+                                      RatePerHour interruption_rate) const {
   const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
-  const double seconds =
+  const Seconds seconds =
       simulator_.InstanceSeconds(type, variant.perf, images);
-  const double cost = cloud::ProratedCost(seconds, type.price_per_hour);
+  const Usd cost = cloud::ProratedCost(seconds, type.price_per_hour);
   return ExpectedCostAccuracyRatio(cost, seconds, variant.accuracy,
-                                   interruption_rate_per_hour);
+                                   interruption_rate);
 }
 
 namespace {
@@ -52,7 +51,7 @@ std::vector<std::size_t> OrderVariants(
     const ResourceAllocator& allocator,
     std::span<const CandidateVariant> variants,
     std::span<const std::string> pool, std::int64_t images,
-    double interruption_rate_per_hour) {
+    RatePerHour interruption_rate) {
   std::vector<double> tar(variants.size(), 0.0);
   for (std::size_t i = 0; i < variants.size(); ++i) {
     // Reference time for TAR: the pool's cheapest-CAR instance. Within one
@@ -62,7 +61,7 @@ std::vector<std::size_t> OrderVariants(
     for (std::size_t g = 0; g < pool.size(); ++g) {
       best_car = std::min(
           best_car, allocator.InstanceCar(pool[g], variants[i], images,
-                                          interruption_rate_per_hour));
+                                          interruption_rate));
     }
     tar[i] = best_car;
   }
@@ -81,16 +80,16 @@ std::vector<std::size_t> OrderVariants(
 
 AllocationResult ResourceAllocator::AllocateGreedy(
     std::span<const CandidateVariant> variants,
-    std::span<const std::string> pool, std::int64_t images, double deadline_s,
-    double budget_usd, cloud::WorkloadSplit split,
-    double interruption_rate_per_hour) const {
+    std::span<const std::string> pool, std::int64_t images, Seconds deadline_s,
+    Usd budget_usd, cloud::WorkloadSplit split,
+    RatePerHour interruption_rate) const {
   CCPERF_CHECK(!variants.empty() && !pool.empty(), "empty allocation inputs");
-  CCPERF_CHECK(interruption_rate_per_hour >= 0.0,
+  CCPERF_CHECK(interruption_rate >= RatePerHour(0.0),
                "interruption rate must be >= 0");
   AllocationResult result;
 
-  const std::vector<std::size_t> variant_order = OrderVariants(
-      *this, variants, pool, images, interruption_rate_per_hour);
+  const std::vector<std::size_t> variant_order =
+      OrderVariants(*this, variants, pool, images, interruption_rate);
 
   for (std::size_t vi : variant_order) {
     const CandidateVariant& variant = variants[vi];
@@ -99,8 +98,7 @@ AllocationResult ResourceAllocator::AllocateGreedy(
     std::iota(resource_order.begin(), resource_order.end(), 0);
     std::vector<double> car(pool.size());
     for (std::size_t g = 0; g < pool.size(); ++g) {
-      car[g] = InstanceCar(pool[g], variant, images,
-                           interruption_rate_per_hour);
+      car[g] = InstanceCar(pool[g], variant, images, interruption_rate);
     }
     std::sort(resource_order.begin(), resource_order.end(),
               [&car](std::size_t a, std::size_t b) { return car[a] < car[b]; });
@@ -113,11 +111,11 @@ AllocationResult ResourceAllocator::AllocateGreedy(
           simulator_.Run(config, variant.perf, images, split);  // lines 7-8
       // Any instance interrupting restarts the whole configuration, so the
       // fleet-level rate is per-instance rate x |R|.
-      const double fleet_rate =
-          interruption_rate_per_hour * config.TotalInstances();
-      const double expected_s =
+      const RatePerHour fleet_rate =
+          interruption_rate * config.TotalInstances();
+      const Seconds expected_s =
           ExpectedSecondsUnderInterruption(run.seconds, fleet_rate);
-      const double expected_cost =
+      const Usd expected_cost =
           ExpectedCostUnderInterruption(run.cost_usd, run.seconds, fleet_rate);
       if (expected_s <= deadline_s && expected_cost <= budget_usd) {
         result.feasible = true;
@@ -135,12 +133,12 @@ AllocationResult ResourceAllocator::AllocateGreedy(
 
 AllocationResult ResourceAllocator::AllocateExhaustive(
     std::span<const CandidateVariant> variants,
-    std::span<const std::string> pool, std::int64_t images, double deadline_s,
-    double budget_usd, cloud::WorkloadSplit split,
-    double interruption_rate_per_hour) const {
+    std::span<const std::string> pool, std::int64_t images, Seconds deadline_s,
+    Usd budget_usd, cloud::WorkloadSplit split,
+    RatePerHour interruption_rate) const {
   CCPERF_CHECK(!variants.empty() && !pool.empty(), "empty allocation inputs");
   CCPERF_CHECK(pool.size() <= 20, "exhaustive search capped at |G| = 20");
-  CCPERF_CHECK(interruption_rate_per_hour >= 0.0,
+  CCPERF_CHECK(interruption_rate >= RatePerHour(0.0),
                "interruption rate must be >= 0");
   AllocationResult best;
 
@@ -154,11 +152,11 @@ AllocationResult ResourceAllocator::AllocateExhaustive(
       ++best.evaluations;
       const cloud::RunEstimate run =
           simulator_.Run(config, variant.perf, images, split);
-      const double fleet_rate =
-          interruption_rate_per_hour * config.TotalInstances();
-      const double expected_s =
+      const RatePerHour fleet_rate =
+          interruption_rate * config.TotalInstances();
+      const Seconds expected_s =
           ExpectedSecondsUnderInterruption(run.seconds, fleet_rate);
-      const double expected_cost =
+      const Usd expected_cost =
           ExpectedCostUnderInterruption(run.cost_usd, run.seconds, fleet_rate);
       if (expected_s > deadline_s || expected_cost > budget_usd) continue;
       const bool better =

@@ -39,8 +39,8 @@ struct AllocationResult {
   std::string variant_label;
   double accuracy = 0.0;
   cloud::ResourceConfig config;
-  double seconds = 0.0;
-  double cost_usd = 0.0;
+  Seconds seconds;
+  Usd cost_usd;
   /// Number of (variant, configuration) evaluations performed — the
   /// complexity measure compared in the paper's efficiency discussion.
   std::size_t evaluations = 0;
@@ -56,16 +56,16 @@ class ResourceAllocator {
   /// the workload distribution: kEqual is the paper's Eq. 4; kProportional
   /// is this library's extension that stops the slowest instance from
   /// dominating heterogeneous configurations.
-  /// `interruption_rate_per_hour` (per instance; 0 = reliable capacity)
+  /// `interruption_rate` (per instance; 0 = reliable capacity)
   /// prices spot risk in: feasibility and the reported time/cost use the
   /// expected values under restart-on-interruption, so a larger fleet's
   /// higher interruption exposure can outweigh its shorter nominal run.
   [[nodiscard]] AllocationResult AllocateGreedy(
       std::span<const CandidateVariant> variants,
       std::span<const std::string> pool, std::int64_t images,
-      double deadline_s, double budget_usd,
+      Seconds deadline_s, Usd budget_usd,
       cloud::WorkloadSplit split = cloud::WorkloadSplit::kEqual,
-      double interruption_rate_per_hour = 0.0) const;
+      RatePerHour interruption_rate = RatePerHour(0.0)) const;
 
   /// Exhaustive baseline: every subset of `pool` x every variant (2^|G|).
   /// Returns the feasible allocation with the highest accuracy, breaking
@@ -73,18 +73,17 @@ class ResourceAllocator {
   [[nodiscard]] AllocationResult AllocateExhaustive(
       std::span<const CandidateVariant> variants,
       std::span<const std::string> pool, std::int64_t images,
-      double deadline_s, double budget_usd,
+      Seconds deadline_s, Usd budget_usd,
       cloud::WorkloadSplit split = cloud::WorkloadSplit::kEqual,
-      double interruption_rate_per_hour = 0.0) const;
+      RatePerHour interruption_rate = RatePerHour(0.0)) const;
 
   /// CAR of running the whole workload on one instance alone — the greedy
   /// ordering key (paper §4.5.3). With a non-zero interruption rate this
   /// is the expected (risk-inflated) CAR.
-  [[nodiscard]] double InstanceCar(const std::string& instance,
-                                   const CandidateVariant& variant,
-                                   std::int64_t images,
-                                   double interruption_rate_per_hour = 0.0)
-      const;
+  [[nodiscard]] double InstanceCar(
+      const std::string& instance, const CandidateVariant& variant,
+      std::int64_t images,
+      RatePerHour interruption_rate = RatePerHour(0.0)) const;
 
  private:
   const cloud::CloudSimulator& simulator_;

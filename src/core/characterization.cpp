@@ -39,7 +39,7 @@ double Characterization::SingleInferenceSeconds(
   const cloud::VariantPerf perf =
       cloud::ComputeVariantPerf(profile_, densities, plan.Label());
   const cloud::InstanceType& type = simulator_.Catalog().Find(instance);
-  return simulator_.BatchSeconds(type, perf, 1);
+  return simulator_.BatchSeconds(type, perf, 1).value();
 }
 
 std::vector<std::pair<std::int64_t, double>> Characterization::BatchSweep(
@@ -52,7 +52,8 @@ std::vector<std::pair<std::int64_t, double>> Characterization::BatchSweep(
   std::vector<std::pair<std::int64_t, double>> curve;
   curve.reserve(batches.size());
   for (std::int64_t b : batches) {
-    curve.emplace_back(b, simulator_.InstanceSeconds(type, perf, images, b));
+    curve.emplace_back(
+        b, simulator_.InstanceSeconds(type, perf, images, b).value());
   }
   return curve;
 }
@@ -67,7 +68,7 @@ CurvePoint Characterization::EvaluatePlan(const std::string& instance,
   const AccuracyResult accuracy = accuracy_.Evaluate(plan);
   CurvePoint point;
   point.ratio = plan.MeanRatio();
-  point.seconds = simulator_.InstanceSeconds(type, perf, images);
+  point.seconds = simulator_.InstanceSeconds(type, perf, images).value();
   point.top1 = accuracy.top1;
   point.top5 = accuracy.top5;
   return point;

@@ -92,10 +92,10 @@ const MetricRegistry& MetricRegistry::Standard() {
     auto* r = new MetricRegistry;
     r->Register(
         "time_h", "expected completion time (hours)",
-        [](const ArchMetrics& m) { return m.seconds / 3600.0; }, true);
+        [](const ArchMetrics& m) { return ToHours(m.seconds).value(); }, true);
     r->Register(
         "cost_usd", "expected run cost (USD)",
-        [](const ArchMetrics& m) { return m.cost_usd; }, true);
+        [](const ArchMetrics& m) { return m.cost_usd.value(); }, true);
     r->Register(
         "top1", "effective Top-1 accuracy",
         [](const ArchMetrics& m) { return m.top1; }, false);
@@ -194,8 +194,8 @@ void ArchitectureSpace::Validate() const {
   CCPERF_CHECK(!checkpoints_.empty(), "checkpoint axis is empty");
   CCPERF_CHECK(!degradations_.empty(), "degradation axis is empty");
   for (const auto& v : variants_) {
-    CCPERF_CHECK(v.perf.ref_seconds_per_image > 0.0, "variant '", v.label,
-                 "' has non-positive reference time");
+    CCPERF_CHECK(v.perf.ref_seconds_per_image > Seconds(0.0), "variant '",
+                 v.label, "' has non-positive reference time");
     CCPERF_CHECK(v.top1 > 0.0 && v.top1 <= 1.0 && v.top5 > 0.0 &&
                      v.top5 <= 1.0,
                  "variant '", v.label, "' accuracy outside (0, 1]");
@@ -300,12 +300,12 @@ std::string ArchitectureSpace::Describe(std::uint64_t id) const {
 
 ArchitectureEvaluator::ArchitectureEvaluator(const cloud::CloudSimulator& sim,
                                              const ArchitectureSpace& space,
-                                             double preemption_rate_per_hour,
-                                             double restart_s)
+                                             RatePerHour preemption_rate,
+                                             Seconds restart)
     : sim_(sim),
       space_(space),
-      preemption_rate_per_hour_(preemption_rate_per_hour),
-      restart_s_(restart_s) {
+      preemption_rate_per_hour_(preemption_rate.value()),
+      restart_s_(restart.value()) {
   space_.Validate();
   CCPERF_CHECK(preemption_rate_per_hour_ >= 0.0,
                "preemption rate must be >= 0");
@@ -329,7 +329,8 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
   const DegradationOption& degr = space_.DegradationOptions()[p.degradation];
   const SdcOption& sdc = space_.SdcOptions()[p.sdc];
 
-  if (purchase == PurchaseOption::kSpot && type.spot_price_per_hour <= 0.0) {
+  if (purchase == PurchaseOption::kSpot &&
+      type.spot_price_per_hour <= UsdPerHour(0.0)) {
     return false;  // no spot market for this type
   }
 
@@ -339,20 +340,21 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
   const auto fleet = static_cast<std::int64_t>(count);
   const std::int64_t base_share = images / fleet;
   const std::int64_t max_share = base_share + (images % fleet > 0 ? 1 : 0);
-  const double base_seconds =
+  const Seconds base_time =
       sim_.InstanceSeconds(type, variant.perf, max_share, batch);
+  const double base_seconds = base_time.value();
 
   ArchMetrics m;
   m.top1 = variant.top1;
   m.top5 = variant.top5;
 
   if (purchase == PurchaseOption::kOnDemand) {
-    m.seconds = base_seconds;
-    m.cost_usd = cloud::ProratedCost(base_seconds,
+    m.seconds = base_time;
+    m.cost_usd = cloud::ProratedCost(base_time,
                                      type.price_per_hour * count);
     m.goodput = 1.0;
     m.interruption_risk = 0.0;
-    return FinishWithSdc(m, sdc, type, purchase, count, base_seconds, out);
+    return FinishWithSdc(m, sdc, type, purchase, count, base_time, out);
   }
 
   // Spot: preemptions arrive Poisson at `rate` per instance-hour.
@@ -364,7 +366,8 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
     // No snapshots: every preemption restarts the run from zero — the
     // classic (e^{λt}-1)/λ expectation (core/metrics.h).
     const double expected =
-        ExpectedSecondsUnderInterruption(base_seconds, fleet_rate);
+        ExpectedSecondsUnderInterruption(base_time, RatePerHour(fleet_rate))
+            .value();
     replay_s = expected - base_seconds;
   } else {
     // Mirrors EstimateSpotRun (cloud/checkpoint.cpp): adaptive resolves to
@@ -399,20 +402,20 @@ bool ArchitectureEvaluator::Evaluate(std::uint64_t id, std::int64_t images,
   const double accuracy_scale =
       1.0 - degraded_fraction * (1.0 - degr.accuracy_factor);
 
-  m.seconds = expected_s;
-  m.cost_usd =
-      cloud::ProratedCost(expected_s, type.spot_price_per_hour * count);
+  m.seconds = Seconds(expected_s);
+  m.cost_usd = cloud::ProratedCost(Seconds(expected_s),
+                                   type.spot_price_per_hour * count);
   m.top1 = variant.top1 * accuracy_scale;
   m.top5 = variant.top5 * accuracy_scale;
   m.goodput = expected_s > 0.0 ? base_seconds / expected_s : 1.0;
   m.interruption_risk = 1.0 - std::exp(-fleet_rate * expected_s / 3600.0);
-  return FinishWithSdc(m, sdc, type, purchase, count, base_seconds, out);
+  return FinishWithSdc(m, sdc, type, purchase, count, base_time, out);
 }
 
 bool ArchitectureEvaluator::FinishWithSdc(ArchMetrics& m, const SdcOption& sdc,
                                           const cloud::InstanceType& type,
                                           PurchaseOption purchase, int count,
-                                          double base_seconds,
+                                          Seconds base_seconds,
                                           ArchMetrics& out) const {
   if (sdc.policy.kind == cloud::SdcPolicyKind::kOff) {
     // SDC not modeled: delivered == effective, nothing else touched, so the
@@ -427,12 +430,12 @@ bool ArchitectureEvaluator::FinishWithSdc(ArchMetrics& m, const SdcOption& sdc,
   // Detection machinery and redone work stretch the run, which re-bills
   // through the purchase option's hourly rate (the paper's Eq. 3-4 cost).
   m.seconds *= 1.0 + assess.time_overhead;
-  const double hourly = (purchase == PurchaseOption::kOnDemand
-                             ? type.price_per_hour
-                             : type.spot_price_per_hour) *
-                        count;
+  const UsdPerHour hourly = (purchase == PurchaseOption::kOnDemand
+                                 ? type.price_per_hour
+                                 : type.spot_price_per_hour) *
+                            count;
   m.cost_usd = cloud::ProratedCost(m.seconds, hourly);
-  m.goodput = m.seconds > 0.0 ? base_seconds / m.seconds : 1.0;
+  m.goodput = m.seconds > Seconds(0.0) ? base_seconds / m.seconds : 1.0;
   m.delivered_top1 = cloud::DeliveredAccuracy(m.top1, assess.escape_fraction,
                                               cloud::kCorruptTop1Factor);
   m.delivered_top5 = cloud::DeliveredAccuracy(m.top5, assess.escape_fraction,
@@ -457,8 +460,8 @@ void CompactCandidates(std::vector<std::uint64_t>& ids,
   std::vector<double> cost(n);
   std::vector<double> accuracy(n);
   for (std::size_t i = 0; i < n; ++i) {
-    time[i] = rows[i].seconds;
-    cost[i] = rows[i].cost_usd;
+    time[i] = rows[i].seconds.value();
+    cost[i] = rows[i].cost_usd.value();
     accuracy[i] = use_delivered
                       ? (use_top5 ? rows[i].delivered_top5
                                   : rows[i].delivered_top1)

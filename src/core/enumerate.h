@@ -99,8 +99,8 @@ struct SdcOption {
 /// Everything a config costs and delivers — computed once per flat id; the
 /// MetricRegistry exposes named views over these fields.
 struct ArchMetrics {
-  double seconds = 0.0;    // expected completion time (spot effects included)
-  double cost_usd = 0.0;   // expected cost at the purchase option's price
+  Seconds seconds;         // expected completion time (spot effects included)
+  Usd cost_usd;            // expected cost at the purchase option's price
   double top1 = 0.0;       // effective accuracy (degradation included)
   double top5 = 0.0;
   double goodput = 1.0;    // base_seconds / expected_seconds, in (0, 1]
@@ -234,12 +234,12 @@ class ArchitectureSpace {
 /// and bitwise-reproducible.
 class ArchitectureEvaluator {
  public:
-  /// `preemption_rate_per_hour` is per instance (as EstimateSpotRun);
-  /// `restart_s` is the reprovisioning delay charged per preemption.
+  /// `preemption_rate` is per instance (as EstimateSpotRun);
+  /// `restart` is the reprovisioning delay charged per preemption.
   ArchitectureEvaluator(const cloud::CloudSimulator& sim,
                         const ArchitectureSpace& space,
-                        double preemption_rate_per_hour = 0.05,
-                        double restart_s = 60.0);
+                        RatePerHour preemption_rate = RatePerHour(0.05),
+                        Seconds restart = Seconds(60.0));
 
   /// False when the combination cannot exist (spot purchase of a type with
   /// no spot market); `out` untouched then. Deadline/budget feasibility is
@@ -254,7 +254,7 @@ class ArchitectureEvaluator {
   /// seconds/cost, escapes into delivered accuracy) and writes `out`.
   bool FinishWithSdc(ArchMetrics& m, const SdcOption& sdc,
                      const cloud::InstanceType& type, PurchaseOption purchase,
-                     int count, double base_seconds, ArchMetrics& out) const;
+                     int count, Seconds base_seconds, ArchMetrics& out) const;
 
   const cloud::CloudSimulator& sim_;
   const ArchitectureSpace& space_;
@@ -266,8 +266,8 @@ class ArchitectureEvaluator {
 /// Knobs of one enumeration run.
 struct EnumerationOptions {
   std::int64_t images = 1'000'000;
-  double deadline_s = std::numeric_limits<double>::infinity();
-  double budget_usd = std::numeric_limits<double>::infinity();
+  Seconds deadline_s{std::numeric_limits<double>::infinity()};
+  Usd budget_usd{std::numeric_limits<double>::infinity()};
   std::size_t block = 65536;  // ids evaluated per compaction round
   bool serial = false;        // force serial evaluation (ScopedSerial)
   bool use_top5 = true;       // frontier accuracy objective

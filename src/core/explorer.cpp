@@ -15,7 +15,7 @@ ConfigSpaceExplorer::ConfigSpaceExplorer(const cloud::CloudSimulator& simulator,
 ExplorationResult ConfigSpaceExplorer::Explore(
     const std::vector<pruning::PrunePlan>& variants,
     const std::vector<cloud::ResourceConfig>& configs, std::int64_t images,
-    double deadline_s, double budget_usd) const {
+    Seconds deadline_s, Usd budget_usd) const {
   CCPERF_CHECK(!variants.empty() && !configs.empty(),
                "empty exploration space");
   CCPERF_CHECK(images >= 1, "need at least one image");
@@ -49,7 +49,8 @@ std::vector<std::size_t> Frontier(std::span<const ExploredPoint> points,
   std::vector<double> objective(points.size());
   std::vector<double> accuracy(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    objective[i] = use_cost ? points[i].cost_usd : points[i].seconds;
+    objective[i] =
+        use_cost ? points[i].cost_usd.value() : points[i].seconds.value();
     accuracy[i] = use_top5 ? points[i].top5 : points[i].top1;
   }
   // Production path: the sorted-sweep filter (ParetoFrontier in

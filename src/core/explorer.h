@@ -21,8 +21,8 @@ struct ExploredPoint {
   std::string variant_label;
   pruning::PrunePlan plan;
   cloud::ResourceConfig config;
-  double seconds = 0.0;
-  double cost_usd = 0.0;
+  Seconds seconds;
+  Usd cost_usd;
   double top1 = 0.0;
   double top5 = 0.0;
 };
@@ -45,8 +45,8 @@ class ConfigSpaceExplorer {
   [[nodiscard]] ExplorationResult Explore(
       const std::vector<pruning::PrunePlan>& variants,
       const std::vector<cloud::ResourceConfig>& configs, std::int64_t images,
-      double deadline_s = std::numeric_limits<double>::infinity(),
-      double budget_usd = std::numeric_limits<double>::infinity()) const;
+      Seconds deadline_s = Seconds(std::numeric_limits<double>::infinity()),
+      Usd budget_usd = Usd(std::numeric_limits<double>::infinity())) const;
 
  private:
   const cloud::CloudSimulator& simulator_;

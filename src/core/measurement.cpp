@@ -50,11 +50,11 @@ std::vector<MeasurementRecord> MeasurementPipeline::Run(
     const AccuracyResult accuracy = evaluator.Evaluate(variant);
     record.top1 = accuracy.top1;
     record.top5 = accuracy.top5;
-    record.tar1 = TimeAccuracyRatio(record.seconds, record.top1);
-    record.tar5 = TimeAccuracyRatio(record.seconds, record.top5);
+    record.tar1 = TimeAccuracyRatio(Seconds(record.seconds), record.top1);
+    record.tar5 = TimeAccuracyRatio(Seconds(record.seconds), record.top5);
     if (config_.price_per_hour > 0.0) {
       record.cost_usd = record.seconds * config_.price_per_hour / 3600.0;
-      record.car5 = CostAccuracyRatio(record.cost_usd, record.top5);
+      record.car5 = CostAccuracyRatio(Usd(record.cost_usd), record.top5);
     }
     records.push_back(std::move(record));
   }

@@ -6,54 +6,48 @@
 
 namespace ccperf::core {
 
-namespace {
-void CheckArgs(double value, double accuracy) {
+namespace detail {
+double CheckedRatio(double value, double accuracy) {
   CCPERF_CHECK(value >= 0.0, "metric numerator must be non-negative");
   CCPERF_CHECK(accuracy > 0.0 && accuracy <= 1.0,
                "accuracy must be in (0, 1], got ", accuracy);
+  return value / accuracy;
 }
-}  // namespace
+}  // namespace detail
 
-double TimeAccuracyRatio(double seconds, double accuracy) {
-  CheckArgs(seconds, accuracy);
-  return seconds / accuracy;
-}
-
-double CostAccuracyRatio(double cost_usd, double accuracy) {
-  CheckArgs(cost_usd, accuracy);
-  return cost_usd / accuracy;
+double CostAccuracyRatio(Usd cost, double accuracy) {
+  return detail::CheckedRatio(cost.value(), accuracy);
 }
 
-double ExpectedSecondsUnderInterruption(double seconds,
-                                        double rate_per_hour) {
+Seconds ExpectedSecondsUnderInterruption(Seconds duration, RatePerHour rate) {
+  const double seconds = duration.value();
+  const double rate_per_hour = rate.value();
   CCPERF_CHECK(seconds >= 0.0, "seconds must be non-negative");
   CCPERF_CHECK(rate_per_hour >= 0.0, "interruption rate must be >= 0");
-  if (rate_per_hour == 0.0 || seconds == 0.0) return seconds;
+  if (rate_per_hour == 0.0 || seconds == 0.0) return duration;
   const double lambda = rate_per_hour / 3600.0;  // per second
   // (e^{λt} - 1)/λ; expm1 keeps small-λt numerically exact.
-  return std::expm1(lambda * seconds) / lambda;
+  return Seconds(std::expm1(lambda * seconds) / lambda);
 }
 
-double ExpectedCostUnderInterruption(double cost_usd, double seconds,
-                                     double rate_per_hour) {
-  CCPERF_CHECK(cost_usd >= 0.0, "cost must be non-negative");
-  if (seconds == 0.0) return cost_usd;
+Usd ExpectedCostUnderInterruption(Usd cost, Seconds duration,
+                                  RatePerHour rate) {
+  CCPERF_CHECK(cost >= Usd(0.0), "cost must be non-negative");
+  if (duration == Seconds(0.0)) return cost;
   // Billed time scales with expected wall-clock time.
-  return cost_usd *
-         (ExpectedSecondsUnderInterruption(seconds, rate_per_hour) / seconds);
+  return cost * (ExpectedSecondsUnderInterruption(duration, rate) / duration);
 }
 
-double ExpectedTimeAccuracyRatio(double seconds, double accuracy,
-                                 double rate_per_hour) {
-  return TimeAccuracyRatio(
-      ExpectedSecondsUnderInterruption(seconds, rate_per_hour), accuracy);
+double ExpectedTimeAccuracyRatio(Seconds duration, double accuracy,
+                                 RatePerHour rate) {
+  return TimeAccuracyRatio(ExpectedSecondsUnderInterruption(duration, rate),
+                           accuracy);
 }
 
-double ExpectedCostAccuracyRatio(double cost_usd, double seconds,
-                                 double accuracy, double rate_per_hour) {
+double ExpectedCostAccuracyRatio(Usd cost, Seconds duration, double accuracy,
+                                 RatePerHour rate) {
   return CostAccuracyRatio(
-      ExpectedCostUnderInterruption(cost_usd, seconds, rate_per_hour),
-      accuracy);
+      ExpectedCostUnderInterruption(cost, duration, rate), accuracy);
 }
 
 }  // namespace ccperf::core

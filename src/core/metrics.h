@@ -12,30 +12,44 @@
 // allocators price spot risk into provisioning.
 #pragma once
 
+#include "common/units.h"
+
 namespace ccperf::core {
 
-/// Time Accuracy Ratio. `seconds` >= 0, `accuracy` in (0, 1].
-double TimeAccuracyRatio(double seconds, double accuracy);
+namespace detail {
+/// numerator/accuracy with the shared range checks; throws CheckError on
+/// negative numerator or accuracy outside (0, 1].
+double CheckedRatio(double value, double accuracy);
+}  // namespace detail
 
-/// Cost Accuracy Ratio. `cost_usd` >= 0, `accuracy` in (0, 1].
-double CostAccuracyRatio(double cost_usd, double accuracy);
+/// Time Accuracy Ratio in the caller's display unit: the paper reports TAR
+/// in whatever unit the figure uses (minutes in Fig. 11, hours in the
+/// explorer), so any time quantity is accepted and the ratio keeps its
+/// scale. `accuracy` in (0, 1].
+template <typename Scale>
+double TimeAccuracyRatio(units::Quantity<units::TimeDim, Scale> time,
+                         double accuracy) {
+  return detail::CheckedRatio(time.value(), accuracy);
+}
 
-/// Expected wall-clock seconds to finish `seconds` of uninterrupted work
-/// when interruptions arrive at `rate_per_hour` (Poisson) and every
-/// interruption restarts the run: (e^{λt} - 1)/λ, continuous at rate 0.
-double ExpectedSecondsUnderInterruption(double seconds, double rate_per_hour);
+/// Cost Accuracy Ratio. `cost` >= 0, `accuracy` in (0, 1].
+double CostAccuracyRatio(Usd cost, double accuracy);
+
+/// Expected wall-clock time to finish `duration` of uninterrupted work
+/// when interruptions arrive at `rate` (Poisson) and every interruption
+/// restarts the run: (e^{λt} - 1)/λ, continuous at rate 0.
+Seconds ExpectedSecondsUnderInterruption(Seconds duration, RatePerHour rate);
 
 /// Expected cost of that run: the same inflation applied to billed time,
-/// `cost_usd` being the interruption-free cost of the run.
-double ExpectedCostUnderInterruption(double cost_usd, double seconds,
-                                     double rate_per_hour);
+/// `cost` being the interruption-free cost of the run.
+Usd ExpectedCostUnderInterruption(Usd cost, Seconds duration, RatePerHour rate);
 
-/// TAR on interruption-inflated expected time.
-double ExpectedTimeAccuracyRatio(double seconds, double accuracy,
-                                 double rate_per_hour);
+/// TAR on interruption-inflated expected time (in seconds).
+double ExpectedTimeAccuracyRatio(Seconds duration, double accuracy,
+                                 RatePerHour rate);
 
 /// CAR on interruption-inflated expected cost.
-double ExpectedCostAccuracyRatio(double cost_usd, double seconds,
-                                 double accuracy, double rate_per_hour);
+double ExpectedCostAccuracyRatio(Usd cost, Seconds duration, double accuracy,
+                                 RatePerHour rate);
 
 }  // namespace ccperf::core

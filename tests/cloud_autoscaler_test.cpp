@@ -96,7 +96,7 @@ TEST_F(AutoscalerTest, CostAccumulatesPerEpoch) {
       traces, 3600.0, perf_, {.target_utilization = 0.6},
       {.max_batch = 128, .max_wait_s = 0.1});
   // Two epochs of one p2.xlarge at $0.90/h.
-  EXPECT_NEAR(result.total_cost_usd, 2 * 0.90, 1e-9);
+  EXPECT_NEAR(result.total_cost_usd.value(), 2 * 0.90, 1e-9);
 }
 
 TEST_F(AutoscalerTest, RespectsBounds) {

@@ -17,40 +17,40 @@ TEST(Catalog, Table3Verbatim) {
   EXPECT_EQ(p2xl.gpus, 1);
   EXPECT_DOUBLE_EQ(p2xl.mem_gb, 61.0);
   EXPECT_DOUBLE_EQ(p2xl.gpu_mem_gb, 12.0);
-  EXPECT_DOUBLE_EQ(p2xl.price_per_hour, 0.90);
+  EXPECT_DOUBLE_EQ(p2xl.price_per_hour.value(), 0.90);
   EXPECT_EQ(p2xl.gpu, GpuKind::kK80);
 
   const InstanceType& p28 = catalog.Find("p2.8xlarge");
   EXPECT_EQ(p28.vcpus, 32);
   EXPECT_EQ(p28.gpus, 8);
-  EXPECT_DOUBLE_EQ(p28.price_per_hour, 7.20);
+  EXPECT_DOUBLE_EQ(p28.price_per_hour.value(), 7.20);
 
   const InstanceType& p216 = catalog.Find("p2.16xlarge");
   EXPECT_EQ(p216.gpus, 16);
-  EXPECT_DOUBLE_EQ(p216.price_per_hour, 14.40);
+  EXPECT_DOUBLE_EQ(p216.price_per_hour.value(), 14.40);
 
   const InstanceType& g34 = catalog.Find("g3.4xlarge");
   EXPECT_EQ(g34.vcpus, 16);
   EXPECT_EQ(g34.gpus, 1);
-  EXPECT_DOUBLE_EQ(g34.price_per_hour, 1.14);
+  EXPECT_DOUBLE_EQ(g34.price_per_hour.value(), 1.14);
   EXPECT_EQ(g34.gpu, GpuKind::kM60);
 
   const InstanceType& g38 = catalog.Find("g3.8xlarge");
   EXPECT_EQ(g38.gpus, 2);
-  EXPECT_DOUBLE_EQ(g38.price_per_hour, 2.28);
+  EXPECT_DOUBLE_EQ(g38.price_per_hour.value(), 2.28);
 
   const InstanceType& g316 = catalog.Find("g3.16xlarge");
   EXPECT_EQ(g316.gpus, 4);
-  EXPECT_DOUBLE_EQ(g316.price_per_hour, 4.56);
+  EXPECT_DOUBLE_EQ(g316.price_per_hour.value(), 4.56);
 }
 
 TEST(Catalog, PricePerGpuConstantWithinCategory) {
   const InstanceCatalog catalog = InstanceCatalog::AwsEc2();
   for (const auto& t : catalog.Category("p2")) {
-    EXPECT_NEAR(t.price_per_hour / t.gpus, 0.90, 1e-9);
+    EXPECT_NEAR(t.price_per_hour.value() / t.gpus, 0.90, 1e-9);
   }
   for (const auto& t : catalog.Category("g3")) {
-    EXPECT_NEAR(t.price_per_hour / t.gpus, 1.14, 1e-9);
+    EXPECT_NEAR(t.price_per_hour.value() / t.gpus, 1.14, 1e-9);
   }
 }
 
@@ -77,7 +77,7 @@ TEST(Catalog, CategoryFiltering) {
 TEST(Catalog, RejectsEmptyOrInvalid) {
   EXPECT_THROW(InstanceCatalog({}, {}), CheckError);
   EXPECT_THROW(InstanceCatalog({InstanceType{.name = "x", .gpus = 0,
-                                             .price_per_hour = 1.0}},
+                                             .price_per_hour = UsdPerHour(1.0)}},
                                {}),
                CheckError);
 }
@@ -101,17 +101,17 @@ TEST(GpuSpec, UtilizationRejectsZeroBatch) {
 }
 
 TEST(Pricing, ProratesToNearestSecond) {
-  EXPECT_DOUBLE_EQ(ProratedCost(3600.0, 1.0), 1.0);
-  EXPECT_DOUBLE_EQ(ProratedCost(1800.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProratedCost(Seconds(3600.0), UsdPerHour(1.0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ProratedCost(Seconds(1800.0), UsdPerHour(2.0)).value(), 1.0);
   // 0.2 s bills as a full second.
-  EXPECT_DOUBLE_EQ(ProratedCost(0.2, 3600.0), 1.0);
-  EXPECT_DOUBLE_EQ(ProratedCost(1.5, 3600.0), 2.0);
-  EXPECT_DOUBLE_EQ(ProratedCost(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ProratedCost(Seconds(0.2), UsdPerHour(3600.0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ProratedCost(Seconds(1.5), UsdPerHour(3600.0)).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ProratedCost(Seconds(0.0), UsdPerHour(10.0)).value(), 0.0);
 }
 
 TEST(Pricing, RejectsNegative) {
-  EXPECT_THROW(ProratedCost(-1.0, 1.0), CheckError);
-  EXPECT_THROW(ProratedCost(1.0, -1.0), CheckError);
+  EXPECT_THROW(ProratedCost(Seconds(-1.0), UsdPerHour(1.0)), CheckError);
+  EXPECT_THROW(ProratedCost(Seconds(1.0), UsdPerHour(-1.0)), CheckError);
 }
 
 TEST(GpuKind, Names) {

@@ -582,10 +582,11 @@ TEST_F(ChaosTest, RunFaultedPlacedBillsTheSpreadPremium) {
       epochs, 60.0, perf_, policy, ServingPolicy{}, RetryPolicy{}, topo,
       calm, FaultSchedule{}, PlacementSpread::kSpread, 0.25);
   // Spread places 2 of 3 instances outside the primary pool; packed none.
-  const double price = sim_.Catalog().Find("p2.xlarge").price_per_hour;
+  const double price =
+      sim_.Catalog().Find("p2.xlarge").price_per_hour.value();
   const double premium = 2.0 * price * 0.25 * 60.0 / 3600.0 * 2.0;
-  EXPECT_NEAR(spread.total_cost_usd - packed.total_cost_usd, premium,
-              1e-9);
+  EXPECT_NEAR((spread.total_cost_usd - packed.total_cost_usd).value(),
+              premium, 1e-9);
 }
 
 }  // namespace

@@ -163,7 +163,8 @@ TEST_F(CheckpointTest, Int8VariantResumesBitwiseIdenticallyMidRun) {
   const VariantPerf int8_perf = ComputeVariantPerf(
       profile_, DensityFromPlan(profile_, {}), "nonpruned-int8",
       /*int8_enabled=*/true);
-  EXPECT_LT(int8_perf.ref_seconds_per_image, perf_.ref_seconds_per_image)
+  EXPECT_LT(int8_perf.ref_seconds_per_image.value(),
+            perf_.ref_seconds_per_image.value())
       << "the quantized kernel must be modeled as faster than float";
 
   const double duration = 90.0;
@@ -251,7 +252,8 @@ TEST_F(CheckpointTest, CheckpointedRunChargesOverheadWithoutPerturbing) {
   EXPECT_DOUBLE_EQ(stats.snapshot_overhead_s, stats.snapshots * 2.0);
   EXPECT_DOUBLE_EQ(
       stats.overhead_cost_usd,
-      stats.snapshot_overhead_s / 3600.0 * PricePerHour(Fleet(), catalog_));
+      stats.snapshot_overhead_s / 3600.0 *
+          PricePerHour(Fleet(), catalog_).value());
   EXPECT_GT(stats.last_snapshot_s, 0.0);
   ASSERT_FALSE(stats.latest.empty());
 
@@ -398,9 +400,10 @@ TEST_F(CheckpointTest, SpotEstimateUndercutsOnDemandAtModestRisk) {
                                 .interval_s = 300.0,
                                 .snapshot_cost_s = 5.0};
   const SpotRunEstimate est =
-      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.5);
-  EXPECT_GT(est.base_seconds, 0.0);
-  EXPECT_GT(est.snapshot_overhead_s, 0.0);
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy,
+                      RatePerHour(0.5));
+  EXPECT_GT(est.base_seconds.value(), 0.0);
+  EXPECT_GT(est.snapshot_overhead_s.value(), 0.0);
   EXPECT_GT(est.expected_preemptions, 0.0);
   EXPECT_GT(est.expected_seconds, est.base_seconds);
   // The ~70% spot discount dominates the recompute overhead at 0.5/h.
@@ -408,16 +411,17 @@ TEST_F(CheckpointTest, SpotEstimateUndercutsOnDemandAtModestRisk) {
 
   // Zero preemption risk: no recompute, only snapshot overhead.
   const SpotRunEstimate safe =
-      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.0);
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy,
+                      RatePerHour(0.0));
   EXPECT_DOUBLE_EQ(safe.expected_preemptions, 0.0);
-  EXPECT_DOUBLE_EQ(safe.expected_seconds,
-                   safe.base_seconds + safe.snapshot_overhead_s);
+  EXPECT_DOUBLE_EQ(safe.expected_seconds.value(),
+                   (safe.base_seconds + safe.snapshot_overhead_s).value());
 }
 
 TEST_F(CheckpointTest, SpotEstimateRequiresASpotMarket) {
   // A custom catalog without spot pricing must be rejected.
   InstanceCatalog no_spot(
-      {{"x.gpu", "x", 4, 1, 32.0, 12.0, 1.0, GpuKind::kK80}},
+      {{"x.gpu", "x", 4, 1, 32.0, 12.0, UsdPerHour(1.0), GpuKind::kK80}},
       {GpuSpec{.kind = GpuKind::kK80,
                .name = "NVIDIA K80",
                .cores = 2496,
@@ -427,10 +431,11 @@ TEST_F(CheckpointTest, SpotEstimateRequiresASpotMarket) {
   ResourceConfig config;
   config.Add("x.gpu");
   EXPECT_THROW(
-      (void)EstimateSpotRun(sim, config, perf_, 1000, {}, 0.5),
+      (void)EstimateSpotRun(sim, config, perf_, 1000, {}, RatePerHour(0.5)),
       CheckError);
   EXPECT_THROW(
-      (void)EstimateSpotRun(sim_, Fleet(), perf_, 1000, {}, -1.0),
+      (void)EstimateSpotRun(sim_, Fleet(), perf_, 1000, {},
+                            RatePerHour(-1.0)),
       CheckError);
 }
 
@@ -465,8 +470,8 @@ TEST_F(CheckpointTest, AutoscalerBillsCheckpointOverhead) {
   EXPECT_EQ(checked.slo_compliance, plain.slo_compliance);
   // ...but the bill carries the snapshot overhead.
   EXPECT_GT(stats.snapshots, 0);
-  EXPECT_NEAR(checked.total_cost_usd,
-              plain.total_cost_usd + stats.overhead_cost_usd, 1e-9);
+  EXPECT_NEAR(checked.total_cost_usd.value(),
+              plain.total_cost_usd.value() + stats.overhead_cost_usd, 1e-9);
   EXPECT_FALSE(stats.latest.empty());
 }
 
@@ -584,16 +589,20 @@ TEST_F(CheckpointTest, SpotEstimateIsContinuousAtZeroRisk) {
                                 .interval_s = 300.0,
                                 .snapshot_cost_s = 5.0};
   const SpotRunEstimate at_zero =
-      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.0);
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy,
+                      RatePerHour(0.0));
   const SpotRunEstimate near_zero =
-      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 1e-9);
-  EXPECT_NEAR(near_zero.expected_seconds, at_zero.expected_seconds, 1e-3);
-  EXPECT_NEAR(near_zero.expected_spot_cost_usd,
-              at_zero.expected_spot_cost_usd, 1e-6);
-  EXPECT_NEAR(near_zero.expected_recompute_s, 0.0, 1e-3);
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy,
+                      RatePerHour(1e-9));
+  EXPECT_NEAR(near_zero.expected_seconds.value(),
+              at_zero.expected_seconds.value(), 1e-3);
+  EXPECT_NEAR(near_zero.expected_spot_cost_usd.value(),
+              at_zero.expected_spot_cost_usd.value(), 1e-6);
+  EXPECT_NEAR(near_zero.expected_recompute_s.value(), 0.0, 1e-3);
   // And the risk premium is monotone from there.
   const SpotRunEstimate risky =
-      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy, 0.5);
+      EstimateSpotRun(sim_, Fleet(), perf_, 1000000, policy,
+                      RatePerHour(0.5));
   EXPECT_GT(risky.expected_seconds, near_zero.expected_seconds);
   EXPECT_GT(risky.expected_spot_cost_usd, near_zero.expected_spot_cost_usd);
 }

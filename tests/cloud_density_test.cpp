@@ -72,7 +72,7 @@ TEST(DensityFromNetwork, AgreesWithAnalyticPlanDensities) {
   nn::ModelConfig config;
   config.weight_seed = 4;
   const nn::Network base = nn::BuildTinyCnn(config);
-  const ModelProfile profile = GenericProfile(base, 0.001);
+  const ModelProfile profile = GenericProfile(base, Seconds(0.001));
 
   pruning::PrunePlan plan;
   plan.family = pruning::PrunerFamily::kL1Filter;
@@ -94,8 +94,8 @@ TEST(VariantPerf, UnprunedEqualsReference) {
   const ModelProfile profile = CaffeNetProfile();
   const VariantPerf perf =
       ComputeVariantPerf(profile, DensityFromPlan(profile, {}), "np");
-  EXPECT_NEAR(perf.ref_seconds_per_image, profile.ref_seconds_per_image,
-              1e-12);
+  EXPECT_NEAR(perf.ref_seconds_per_image.value(),
+              profile.ref_seconds_per_image.value(), 1e-12);
   EXPECT_EQ(perf.kernel_count, profile.kernel_count);
 }
 
@@ -105,21 +105,22 @@ TEST(VariantPerf, MorePruningNeverSlower) {
   // then tracks density below it: more pruning is never slower, and is
   // strictly faster once every swept layer has crossed.
   const ModelProfile profile = CaffeNetProfile();
-  double prev = profile.ref_seconds_per_image + 1.0;
+  double prev = profile.ref_seconds_per_image.value() + 1.0;
   double prev_crossed = -1.0;
   for (double r : {0.0, 0.2, 0.4, 0.6, 0.8}) {
     const auto plan =
         pruning::UniformPlan({"conv1", "conv2", "conv3", "conv4", "conv5"}, r);
     const VariantPerf perf = ComputeVariantPerf(
         profile, DensityFromPlan(profile, plan), plan.Label());
-    EXPECT_LE(perf.ref_seconds_per_image, prev) << "ratio " << r;
+    EXPECT_LE(perf.ref_seconds_per_image.value(), prev) << "ratio " << r;
     if (1.0 - r < kBsrCrossoverDensity) {
       if (prev_crossed > 0.0) {
-        EXPECT_LT(perf.ref_seconds_per_image, prev_crossed) << "ratio " << r;
+        EXPECT_LT(perf.ref_seconds_per_image.value(), prev_crossed)
+            << "ratio " << r;
       }
-      prev_crossed = perf.ref_seconds_per_image;
+      prev_crossed = perf.ref_seconds_per_image.value();
     }
-    prev = perf.ref_seconds_per_image;
+    prev = perf.ref_seconds_per_image.value();
   }
   ASSERT_GT(prev_crossed, 0.0) << "sweep never crossed the sparse threshold";
 }
@@ -134,8 +135,8 @@ TEST(VariantPerf, UnprunableResidueBoundsSpeedup) {
   for (const auto& [_, lp] : profile.layers) {
     floor_share += lp.time_share * (1.0 - lp.prunable_fraction);
   }
-  EXPECT_GT(perf.ref_seconds_per_image,
-            profile.ref_seconds_per_image * floor_share * 0.999);
+  EXPECT_GT(perf.ref_seconds_per_image.value(),
+            profile.ref_seconds_per_image.value() * floor_share * 0.999);
 }
 
 TEST(VariantPerf, ChannelCouplingOnlyAffectsPrunedLayers) {
@@ -151,9 +152,9 @@ TEST(VariantPerf, ChannelCouplingOnlyAffectsPrunedLayers) {
   const LayerProfile& c1 = profile.layers.at("conv1");
   const double expected_share =
       1.0 - c1.time_share * c1.prunable_fraction * 0.9;
-  EXPECT_NEAR(perf1.ref_seconds_per_image,
-              profile.ref_seconds_per_image * expected_share,
-              profile.ref_seconds_per_image * 0.001);
+  EXPECT_NEAR(perf1.ref_seconds_per_image.value(),
+              profile.ref_seconds_per_image.value() * expected_share,
+              profile.ref_seconds_per_image.value() * 0.001);
 }
 
 }  // namespace

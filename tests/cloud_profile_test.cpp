@@ -16,7 +16,7 @@ TEST(CaffeNetProfile, SharesSumToOne) {
 TEST(CaffeNetProfile, ReferenceTimeMatchesPaper) {
   // 19 minutes for 50,000 images (Fig. 6).
   const ModelProfile p = CaffeNetProfile();
-  EXPECT_NEAR(p.ref_seconds_per_image * 50000.0, 19.0 * 60.0, 1.0);
+  EXPECT_NEAR(p.ref_seconds_per_image.value() * 50000.0, 19.0 * 60.0, 1.0);
 }
 
 TEST(CaffeNetProfile, ConvLayersDominate) {
@@ -74,7 +74,7 @@ TEST(GoogLeNetProfile, SharesSumToOne) {
 
 TEST(GoogLeNetProfile, ReferenceTimeMatchesPaper) {
   const ModelProfile p = GoogLeNetProfile();
-  EXPECT_NEAR(p.ref_seconds_per_image * 50000.0, 13.0 * 60.0, 1.0);
+  EXPECT_NEAR(p.ref_seconds_per_image.value() * 50000.0, 13.0 * 60.0, 1.0);
 }
 
 TEST(GoogLeNetProfile, CoversAllWeightedLayers) {
@@ -103,7 +103,7 @@ TEST(GenericProfile, TinyCnnInvariants) {
   nn::ModelConfig config;
   config.weight_seed = 5;
   const nn::Network net = nn::BuildTinyCnn(config);
-  const ModelProfile p = GenericProfile(net, 0.001);
+  const ModelProfile p = GenericProfile(net, Seconds(0.001));
   EXPECT_NEAR(p.TotalShare(), 1.0, 1e-6);
   EXPECT_EQ(p.layer_order.size(), 4u);  // conv1, conv2, fc1, fc2
   EXPECT_EQ(p.layers.at("conv2").upstream, "conv1");
@@ -115,7 +115,7 @@ TEST(GenericProfile, RejectsNonPositiveReference) {
   nn::ModelConfig config;
   config.weight_seed = 5;
   const nn::Network net = nn::BuildTinyCnn(config);
-  EXPECT_THROW(GenericProfile(net, 0.0), CheckError);
+  EXPECT_THROW(GenericProfile(net, Seconds(0.0)), CheckError);
 }
 
 }  // namespace

@@ -70,8 +70,8 @@ TEST(SdcPolicy, LabelIsStable) {
 // ----------------------------------------------------------- closed form --
 
 TEST(AssessSdcTest, OffIsAllZeros) {
-  const SdcAssessment a = AssessSdc({}, /*sdc_rate_per_hour=*/0.1,
-                                    /*run_seconds=*/3600.0);
+  const SdcAssessment a = AssessSdc({}, /*sdc_rate=*/RatePerHour(0.1),
+                                    /*run_seconds=*/Seconds(3600.0));
   EXPECT_EQ(a.corruption_fraction, 0.0);
   EXPECT_EQ(a.detected_fraction, 0.0);
   EXPECT_EQ(a.escape_fraction, 0.0);
@@ -80,7 +80,7 @@ TEST(AssessSdcTest, OffIsAllZeros) {
 
 TEST(AssessSdcTest, NoneEscapesEverythingAtZeroCost) {
   const SdcPolicy none{.kind = SdcPolicyKind::kNone};
-  const SdcAssessment a = AssessSdc(none, 0.01, 3600.0);
+  const SdcAssessment a = AssessSdc(none, RatePerHour(0.01), Seconds(3600.0));
   EXPECT_GT(a.corruption_fraction, 0.0);
   EXPECT_EQ(a.detected_fraction, 0.0);
   EXPECT_DOUBLE_EQ(a.escape_fraction, a.corruption_fraction);
@@ -89,14 +89,17 @@ TEST(AssessSdcTest, NoneEscapesEverythingAtZeroCost) {
 
 TEST(AssessSdcTest, CorruptionGrowsWithRateAndRunLength) {
   const SdcPolicy none{.kind = SdcPolicyKind::kNone};
-  const double lo = AssessSdc(none, 0.001, 3600.0).corruption_fraction;
-  const double hi = AssessSdc(none, 0.01, 3600.0).corruption_fraction;
+  const double lo = AssessSdc(none, RatePerHour(0.001), Seconds(3600.0)).corruption_fraction;
+  const double hi =
+      AssessSdc(none, RatePerHour(0.01), Seconds(3600.0)).corruption_fraction;
   EXPECT_LT(lo, hi);
-  const double shorter = AssessSdc(none, 0.01, 600.0).corruption_fraction;
-  const double longer = AssessSdc(none, 0.01, 36000.0).corruption_fraction;
+  const double shorter = AssessSdc(none, RatePerHour(0.01), Seconds(600.0)).corruption_fraction;
+  const double longer = AssessSdc(none, RatePerHour(0.01), Seconds(36000.0))
+                            .corruption_fraction;
   EXPECT_LT(shorter, longer);  // persistent onsets taint more of a long run
   // And every fraction stays a fraction, even at absurd rates.
-  const SdcAssessment extreme = AssessSdc(none, 1e6, 36000.0);
+  const SdcAssessment extreme =
+      AssessSdc(none, RatePerHour(1e6), Seconds(36000.0));
   EXPECT_LE(extreme.corruption_fraction, 1.0);
   EXPECT_LE(extreme.escape_fraction, 1.0);
 }
@@ -104,8 +107,10 @@ TEST(AssessSdcTest, CorruptionGrowsWithRateAndRunLength) {
 TEST(AssessSdcTest, AbftCatchesCoverageWorthAndBillsOverhead) {
   const SdcPolicy none{.kind = SdcPolicyKind::kNone};
   const SdcPolicy abft{.kind = SdcPolicyKind::kAbft};
-  const SdcAssessment base = AssessSdc(none, 0.01, 36000.0);
-  const SdcAssessment a = AssessSdc(abft, 0.01, 36000.0);
+  const SdcAssessment base =
+      AssessSdc(none, RatePerHour(0.01), Seconds(36000.0));
+  const SdcAssessment a =
+      AssessSdc(abft, RatePerHour(0.01), Seconds(36000.0));
   // Same corruption exposure, split differently.
   EXPECT_DOUBLE_EQ(a.corruption_fraction, base.corruption_fraction);
   EXPECT_DOUBLE_EQ(a.escape_fraction,
@@ -123,8 +128,10 @@ TEST(AssessSdcTest, ScrubConvertsPersistentCorruptionOnly) {
                         .scrub_interval_s = 300.0,
                         .scrub_cost_s = 2.0};
   const double run_s = 36000.0;
-  const SdcAssessment base = AssessSdc(none, 0.01, run_s);
-  const SdcAssessment s = AssessSdc(scrub, 0.01, run_s);
+  const SdcAssessment base =
+      AssessSdc(none, RatePerHour(0.01), Seconds(run_s));
+  const SdcAssessment s =
+      AssessSdc(scrub, RatePerHour(0.01), Seconds(run_s));
   // Scrubbing finds persistent corruption after interval/2 on average, so
   // less escapes than detection-free — but transients clear before a scrub
   // ever sees them, so some escape remains.
@@ -135,8 +142,10 @@ TEST(AssessSdcTest, ScrubConvertsPersistentCorruptionOnly) {
   EXPECT_GE(s.time_overhead, 2.0 / 300.0);
   // A run shorter than the scrub interval gets no escape benefit (the
   // machinery is still billed).
-  const SdcAssessment short_run = AssessSdc(scrub, 0.01, 60.0);
-  const SdcAssessment short_none = AssessSdc(none, 0.01, 60.0);
+  const SdcAssessment short_run =
+      AssessSdc(scrub, RatePerHour(0.01), Seconds(60.0));
+  const SdcAssessment short_none =
+      AssessSdc(none, RatePerHour(0.01), Seconds(60.0));
   EXPECT_DOUBLE_EQ(short_run.escape_fraction, short_none.escape_fraction);
   EXPECT_GT(short_run.time_overhead, 0.0);
 }
@@ -144,7 +153,8 @@ TEST(AssessSdcTest, ScrubConvertsPersistentCorruptionOnly) {
 TEST(AssessSdcTest, ReexecSampleCoverageEqualsSampleFraction) {
   const SdcPolicy reexec{.kind = SdcPolicyKind::kReexecSample,
                          .sample_fraction = 0.25};
-  const SdcAssessment a = AssessSdc(reexec, 0.01, 36000.0);
+  const SdcAssessment a =
+      AssessSdc(reexec, RatePerHour(0.01), Seconds(36000.0));
   EXPECT_DOUBLE_EQ(a.detected_fraction, a.corruption_fraction * 0.25);
   EXPECT_DOUBLE_EQ(a.escape_fraction, a.corruption_fraction * 0.75);
   EXPECT_DOUBLE_EQ(a.time_overhead, 0.25 + a.detected_fraction);
@@ -152,9 +162,11 @@ TEST(AssessSdcTest, ReexecSampleCoverageEqualsSampleFraction) {
 
 TEST(AssessSdcTest, RejectsNonFiniteInputs) {
   const SdcPolicy none{.kind = SdcPolicyKind::kNone};
-  EXPECT_THROW(AssessSdc(none, -1.0, 3600.0), CheckError);
-  EXPECT_THROW(AssessSdc(none, std::nan(""), 3600.0), CheckError);
-  EXPECT_THROW(AssessSdc(none, 0.01, -5.0), CheckError);
+  EXPECT_THROW(AssessSdc(none, RatePerHour(-1.0), Seconds(3600.0)),
+               CheckError);
+  EXPECT_THROW(AssessSdc(none, RatePerHour(std::nan("")), Seconds(3600.0)),
+               CheckError);
+  EXPECT_THROW(AssessSdc(none, RatePerHour(0.01), Seconds(-5.0)), CheckError);
 }
 
 TEST(DeliveredAccuracyTest, DiscountsEscapedWork) {
@@ -315,8 +327,8 @@ TEST_F(SdcSpaceTest, EvaluatorOffRowsMatchThePlainSpaceBitwise) {
     // The SDC axis is the fastest, so the axis doubles the id stride and
     // sdc=0 ("off") sits at even ids.
     ASSERT_TRUE(eval_axis.Evaluate(id * 2, images, b));
-    EXPECT_EQ(a.seconds, b.seconds);
-    EXPECT_EQ(a.cost_usd, b.cost_usd);
+    EXPECT_EQ(a.seconds.value(), b.seconds.value());
+    EXPECT_EQ(a.cost_usd.value(), b.cost_usd.value());
     EXPECT_EQ(a.top1, b.top1);
     // kOff: delivered degenerates to the headline accuracy.
     EXPECT_EQ(b.delivered_top1, b.top1);
@@ -344,8 +356,8 @@ TEST_F(SdcSpaceTest, EvaluatorPricesDetectionAndDiscountsEscapes) {
   // ABFT: almost nothing escapes, time and cost are billed.
   EXPECT_LT(abft.sdc_escape_rate, none.sdc_escape_rate);
   EXPECT_GT(abft.detection_overhead, 0.0);
-  EXPECT_GT(abft.seconds, none.seconds);
-  EXPECT_GT(abft.cost_usd, none.cost_usd);
+  EXPECT_GT(abft.seconds.value(), none.seconds.value());
+  EXPECT_GT(abft.cost_usd.value(), none.cost_usd.value());
   EXPECT_GT(abft.delivered_top1, none.delivered_top1);
 }
 
@@ -372,8 +384,8 @@ TEST_F(SdcRunTest, RunWithSdcOffIsBitwiseTheBaseRun) {
   const std::int64_t images = 1'000'000;
   const RunEstimate base = sim_.Run(config, perf_, images);
   const SdcRunEstimate off = sim_.RunWithSdc(config, perf_, images, {});
-  EXPECT_EQ(off.seconds, base.seconds);
-  EXPECT_EQ(off.cost_usd, base.cost_usd);
+  EXPECT_EQ(off.seconds.value(), base.seconds.value());
+  EXPECT_EQ(off.cost_usd.value(), base.cost_usd.value());
   EXPECT_EQ(off.delivered_accuracy_factor, 1.0);
 }
 
@@ -386,11 +398,11 @@ TEST_F(SdcRunTest, RunWithSdcPricesPoliciesAgainstEachOther) {
   const SdcRunEstimate abft =
       sim_.RunWithSdc(config, perf_, images, {.kind = SdcPolicyKind::kAbft});
   // kNone: no time/cost change, accuracy pays.
-  EXPECT_EQ(none.seconds, none.base.seconds);
+  EXPECT_EQ(none.seconds.value(), none.base.seconds.value());
   EXPECT_LT(none.delivered_accuracy_factor, 1.0);
   // kAbft: time and cost pay, accuracy (almost) does not.
-  EXPECT_GT(abft.seconds, abft.base.seconds);
-  EXPECT_GT(abft.cost_usd, abft.base.cost_usd);
+  EXPECT_GT(abft.seconds.value(), abft.base.seconds.value());
+  EXPECT_GT(abft.cost_usd.value(), abft.base.cost_usd.value());
   EXPECT_GT(abft.delivered_accuracy_factor, none.delivered_accuracy_factor);
   // The assessment is the closed form at the fleet's catalog rate.
   EXPECT_GT(none.assessment.escape_fraction, 0.0);
@@ -404,11 +416,11 @@ TEST_F(SdcRunTest, RunWithSdcPricesPoliciesAgainstEachOther) {
 
 TEST_F(SdcRunTest, CatalogCarriesSdcRates) {
   // p2 (K80) boards run hotter than g3 (M60), and rates scale with GPUs.
-  EXPECT_GT(catalog_.Find("p2.xlarge").sdc_rate_per_hour, 0.0);
-  EXPECT_GT(catalog_.Find("p2.16xlarge").sdc_rate_per_hour,
-            catalog_.Find("p2.xlarge").sdc_rate_per_hour);
-  EXPECT_LT(catalog_.Find("g3.4xlarge").sdc_rate_per_hour,
-            catalog_.Find("p2.xlarge").sdc_rate_per_hour);
+  EXPECT_GT(catalog_.Find("p2.xlarge").sdc_rate_per_hour.value(), 0.0);
+  EXPECT_GT(catalog_.Find("p2.16xlarge").sdc_rate_per_hour.value(),
+            catalog_.Find("p2.xlarge").sdc_rate_per_hour.value());
+  EXPECT_LT(catalog_.Find("g3.4xlarge").sdc_rate_per_hour.value(),
+            catalog_.Find("p2.xlarge").sdc_rate_per_hour.value());
 }
 
 // --------------------------------------------------------------- serving --

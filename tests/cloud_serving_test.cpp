@@ -103,7 +103,8 @@ TEST_F(ServingTest, MaxWaitBoundsLatencyUnderLightLoad) {
   const ServingReport report = serving_.Simulate(
       OneP2(), perf_, 0.5, /*duration_s=*/600.0, policy, rng);
   EXPECT_TRUE(report.stable);
-  const double single = sim_.BatchSeconds(catalog_.Find("p2.xlarge"), perf_, 1);
+  const double single =
+      sim_.BatchSeconds(catalog_.Find("p2.xlarge"), perf_, 1).value();
   EXPECT_NEAR(report.p50_latency_s, policy.max_wait_s + single, 0.05);
 }
 

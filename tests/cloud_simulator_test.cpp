@@ -29,13 +29,14 @@ class SimulatorTest : public ::testing::Test {
 
 TEST_F(SimulatorTest, FiftyThousandImagesMatchPaperNineteenMinutes) {
   const double seconds =
-      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 50000);
+      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 50000)
+          .value();
   EXPECT_NEAR(seconds, 19.0 * 60.0, 30.0);
 }
 
 TEST_F(SimulatorTest, SingleInferenceMatchPaper) {
   const double seconds =
-      sim_.BatchSeconds(catalog_.Find("p2.xlarge"), unpruned_, 1);
+      sim_.BatchSeconds(catalog_.Find("p2.xlarge"), unpruned_, 1).value();
   EXPECT_NEAR(seconds, 0.09, 0.02);  // paper Fig. 4
 }
 
@@ -43,7 +44,7 @@ TEST_F(SimulatorTest, BatchSecondsGrowWithBatch) {
   const InstanceType& p2 = catalog_.Find("p2.xlarge");
   double prev = 0.0;
   for (std::int64_t b : {1, 10, 100, 1000}) {
-    const double t = sim_.BatchSeconds(p2, unpruned_, b);
+    const double t = sim_.BatchSeconds(p2, unpruned_, b).value();
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -54,7 +55,7 @@ TEST_F(SimulatorTest, PerImageTimeImprovesWithBatch) {
   const InstanceType& p2 = catalog_.Find("p2.xlarge");
   double prev = 1e9;
   for (std::int64_t b : {1, 10, 100, 600}) {
-    const double per_image = sim_.BatchSeconds(p2, unpruned_, b) /
+    const double per_image = sim_.BatchSeconds(p2, unpruned_, b).value() /
                              static_cast<double>(b);
     EXPECT_LT(per_image, prev);
     prev = per_image;
@@ -65,9 +66,11 @@ TEST_F(SimulatorTest, SaturationAroundThreeHundred) {
   // Fig. 5: going from B=300 to B=2000 gains little (< 12 %), going from
   // B=25 to B=300 gains a lot (> 50 %).
   const InstanceType& p2 = catalog_.Find("p2.xlarge");
-  const double t25 = sim_.InstanceSeconds(p2, unpruned_, 50000, 25);
-  const double t300 = sim_.InstanceSeconds(p2, unpruned_, 50000, 300);
-  const double t2000 = sim_.InstanceSeconds(p2, unpruned_, 50000, 2000);
+  const double t25 = sim_.InstanceSeconds(p2, unpruned_, 50000, 25).value();
+  const double t300 =
+      sim_.InstanceSeconds(p2, unpruned_, 50000, 300).value();
+  const double t2000 =
+      sim_.InstanceSeconds(p2, unpruned_, 50000, 2000).value();
   EXPECT_GT(t25 / t300, 1.5);
   EXPECT_LT(t300 / t2000, 1.12);
 }
@@ -76,29 +79,34 @@ TEST_F(SimulatorTest, BatchCappedByGpuMemory) {
   const InstanceType& p2 = catalog_.Find("p2.xlarge");
   EXPECT_THROW(sim_.BatchSeconds(p2, unpruned_, 2001), CheckError);
   // InstanceSeconds clamps automatically.
-  const double t = sim_.InstanceSeconds(p2, unpruned_, 100000, 9999);
+  const double t = sim_.InstanceSeconds(p2, unpruned_, 100000, 9999).value();
   EXPECT_GT(t, 0.0);
 }
 
 TEST_F(SimulatorTest, MultiGpuInstancesScaleNearLinearly) {
   const double t1 =
-      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 160000);
+      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 160000)
+          .value();
   const double t8 =
-      sim_.InstanceSeconds(catalog_.Find("p2.8xlarge"), unpruned_, 160000);
+      sim_.InstanceSeconds(catalog_.Find("p2.8xlarge"), unpruned_, 160000)
+          .value();
   EXPECT_NEAR(t1 / t8, 8.0, 0.5);
 }
 
 TEST_F(SimulatorTest, M60FasterThanK80) {
   const double k80 =
-      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 50000);
+      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 50000)
+          .value();
   const double m60 =
-      sim_.InstanceSeconds(catalog_.Find("g3.4xlarge"), unpruned_, 50000);
+      sim_.InstanceSeconds(catalog_.Find("g3.4xlarge"), unpruned_, 50000)
+          .value();
   EXPECT_NEAR(k80 / m60, 2.05, 0.15);
 }
 
 TEST_F(SimulatorTest, ZeroImagesZeroSeconds) {
   EXPECT_DOUBLE_EQ(
-      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 0), 0.0);
+      sim_.InstanceSeconds(catalog_.Find("p2.xlarge"), unpruned_, 0).value(),
+      0.0);
 }
 
 TEST_F(SimulatorTest, RunEqualSplitBillsAllUntilCompletion) {
@@ -110,11 +118,12 @@ TEST_F(SimulatorTest, RunEqualSplitBillsAllUntilCompletion) {
   // Eq. 4: equal split; the 1-GPU instance dominates completion time.
   EXPECT_EQ(run.instances[0].images, 50000);
   EXPECT_EQ(run.instances[1].images, 50000);
-  EXPECT_DOUBLE_EQ(run.seconds, std::max(run.instances[0].seconds,
-                                         run.instances[1].seconds));
-  const double expected_cost = ProratedCost(run.seconds, 0.90) +
-                               ProratedCost(run.seconds, 7.20);
-  EXPECT_DOUBLE_EQ(run.cost_usd, expected_cost);
+  EXPECT_DOUBLE_EQ(
+      run.seconds.value(),
+      std::max(run.instances[0].seconds, run.instances[1].seconds).value());
+  const Usd expected_cost = ProratedCost(run.seconds, UsdPerHour(0.90)) +
+                            ProratedCost(run.seconds, UsdPerHour(7.20));
+  EXPECT_DOUBLE_EQ(run.cost_usd.value(), expected_cost.value());
 }
 
 TEST_F(SimulatorTest, ProportionalSplitBeatsEqualOnHeterogeneousConfig) {
@@ -125,7 +134,7 @@ TEST_F(SimulatorTest, ProportionalSplitBeatsEqualOnHeterogeneousConfig) {
       sim_.Run(config, unpruned_, 200000, WorkloadSplit::kEqual);
   const RunEstimate prop =
       sim_.Run(config, unpruned_, 200000, WorkloadSplit::kProportional);
-  EXPECT_LT(prop.seconds, equal.seconds * 0.5);
+  EXPECT_LT(prop.seconds.value(), equal.seconds.value() * 0.5);
 }
 
 TEST_F(SimulatorTest, ProportionalSplitConservesImages) {
@@ -182,7 +191,7 @@ TEST(ResourceConfig, PriceAndGpuTotals) {
   ResourceConfig config;
   config.Add("p2.8xlarge", 2);
   config.Add("g3.16xlarge");
-  EXPECT_DOUBLE_EQ(PricePerHour(config, catalog), 2 * 7.20 + 4.56);
+  EXPECT_DOUBLE_EQ(PricePerHour(config, catalog).value(), 2 * 7.20 + 4.56);
   EXPECT_EQ(TotalGpus(config, catalog), 20);
 }
 

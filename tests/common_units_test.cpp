@@ -1,0 +1,125 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <type_traits>
+
+namespace ccperf::units {
+namespace {
+
+// ---- layout and triviality: the zero-overhead contract ---------------------
+
+TEST(Units, QuantityIsAPlainDouble) {
+  static_assert(sizeof(Seconds) == sizeof(double));
+  static_assert(sizeof(Usd) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<UsdPerHour>);
+  static_assert(std::is_standard_layout_v<RatePerHour>);
+}
+
+// ---- round-trips: value in == value out ------------------------------------
+
+TEST(Units, ValueRoundTripsExactly) {
+  // .value() must return the constructor argument bit-for-bit, including
+  // awkward values — the refactor's bitwise-identity guarantee rests on
+  // Quantity being a transparent box.
+  for (const double v : {0.0, -0.0, 1.5e-3, 0.9, 7200.0, 1.0 / 3.0,
+                         std::numeric_limits<double>::infinity()}) {
+    EXPECT_EQ(Seconds(v).value(), v);
+    EXPECT_EQ(Usd(v).value(), v);
+    EXPECT_EQ(UsdPerHour(v).value(), v);
+  }
+}
+
+TEST(Units, ScaleConversionRoundTrip) {
+  // Seconds -> Hours -> Seconds reproduces the raw-double arithmetic
+  // exactly: ToHours is v / 3600.0, ToSeconds is v * 3600.0, same order.
+  const double raw = 5432.1;
+  const Hours h = ToHours(Seconds(raw));
+  EXPECT_EQ(h.value(), raw / 3600.0);
+  EXPECT_EQ(ToSeconds(h).value(), raw / 3600.0 * 3600.0);
+  const double minutes = 90.5;
+  EXPECT_EQ(ToSeconds(Minutes(minutes)).value(), minutes * 60.0);
+  EXPECT_EQ(ToMinutes(Seconds(minutes * 60.0)).value(), minutes * 60.0 / 60.0);
+  EXPECT_EQ(ToSeconds(Milliseconds(250.0)).value(), 250.0 / 1000.0);
+}
+
+// ---- arithmetic matches the raw-double expression bit-for-bit --------------
+
+TEST(Units, ArithmeticMatchesRawDoubles) {
+  const double a = 0.1, b = 0.2, k = 3.7;
+  EXPECT_EQ((Seconds(a) + Seconds(b)).value(), a + b);
+  EXPECT_EQ((Seconds(a) - Seconds(b)).value(), a - b);
+  EXPECT_EQ((Seconds(a) * k).value(), a * k);
+  EXPECT_EQ((k * Seconds(a)).value(), k * a);
+  EXPECT_EQ((Seconds(a) / k).value(), a / k);
+  EXPECT_EQ(Seconds(a) / Seconds(b), a / b);
+  EXPECT_EQ((-Seconds(a)).value(), -a);
+}
+
+TEST(Units, CrossDimensionAlgebraMatchesRawDoubles) {
+  const double price = 0.9, hours = 2.5, rate = 0.05;
+  EXPECT_EQ((UsdPerHour(price) * Hours(hours)).value(), price * hours);
+  EXPECT_EQ((Hours(hours) * UsdPerHour(price)).value(), hours * price);
+  EXPECT_EQ((Usd(price * hours) / Hours(hours)).value(), price * hours / hours);
+  EXPECT_EQ((Usd(4.5) / UsdPerHour(price)).value(), 4.5 / price);
+  EXPECT_EQ(RatePerHour(rate) * Hours(hours), rate * hours);
+  EXPECT_EQ(Hours(hours) * RatePerHour(rate), hours * rate);
+  // Compute and bandwidth durations, as used by the simulator.
+  EXPECT_EQ((Flops(1.4e9) / GFlopsPerSec(5.0)).value(), 1.4e9 / (5.0 * 1e9));
+  EXPECT_EQ((Bytes(2.0e9) / GBytesPerSec(4.0)).value(), 2.0e9 / (4.0 * 1e9));
+}
+
+TEST(Units, AccumulationMatchesRawDoubles) {
+  // Same association order as a raw-double loop: the PricePerHour /
+  // total-cost accumulators in cloud/ depend on this.
+  const double vals[] = {0.9, 7.2, 3.06, 0.9};
+  double raw = 0.0;
+  Usd typed(0.0);
+  for (const double v : vals) {
+    raw += v;
+    typed += Usd(v);
+  }
+  EXPECT_EQ(typed.value(), raw);
+  typed -= Usd(vals[0]);
+  EXPECT_EQ(typed.value(), raw - vals[0]);
+  UsdPerHour scaled(0.9);
+  scaled *= 3.0;
+  scaled /= 2.0;
+  EXPECT_EQ(scaled.value(), 0.9 * 3.0 / 2.0);
+}
+
+// ---- ordering --------------------------------------------------------------
+
+TEST(Units, ComparisonsFollowTheRawValues) {
+  EXPECT_LT(Seconds(1.0), Seconds(2.0));
+  EXPECT_GT(Usd(2.0), Usd(1.0));
+  EXPECT_LE(Hours(2.0), Hours(2.0));
+  EXPECT_GE(RatePerHour(0.1), RatePerHour(0.1));
+  EXPECT_EQ(Seconds(3.0), Seconds(3.0));
+  EXPECT_NE(Seconds(3.0), Seconds(4.0));
+  // Infinity sentinels (unconstrained deadline/budget) compare correctly.
+  const Seconds inf(std::numeric_limits<double>::infinity());
+  EXPECT_LT(Seconds(1e12), inf);
+  EXPECT_FALSE(inf < inf);
+}
+
+// ---- formatting: printing .value() is bitwise the raw-double output --------
+
+TEST(Units, StreamFormattingUnchangedByWrapper) {
+  // Every emitter prints q.value(); the text must match printing the raw
+  // double that the pre-refactor code held.
+  const double raws[] = {0.9, 1.0 / 3.0, 7200.0, 1.5e-3};
+  for (const double raw : raws) {
+    std::ostringstream with_unit, plain;
+    with_unit.precision(17);
+    plain.precision(17);
+    with_unit << Usd(raw).value();
+    plain << raw;
+    EXPECT_EQ(with_unit.str(), plain.str());
+  }
+}
+
+}  // namespace
+}  // namespace ccperf::units

@@ -45,18 +45,19 @@ TEST_F(AllocatorTest, MakeCandidatesComputesAccuracyAndPerf) {
   ASSERT_EQ(candidates.size(), 5u);
   EXPECT_EQ(candidates[0].label, "nonpruned");
   EXPECT_NEAR(candidates[0].accuracy, 0.80, 1e-9);
-  EXPECT_GT(candidates[0].perf.ref_seconds_per_image,
-            candidates[3].perf.ref_seconds_per_image);
+  EXPECT_GT(candidates[0].perf.ref_seconds_per_image.value(),
+            candidates[3].perf.ref_seconds_per_image.value());
 }
 
 TEST_F(AllocatorTest, GreedyMeetsConstraints) {
   const auto candidates = Candidates();
   const std::vector<std::string> pool{"p2.xlarge", "p2.xlarge", "g3.4xlarge"};
   const AllocationResult result = allocator_.AllocateGreedy(
-      candidates, pool, 100000, /*deadline_s=*/3600.0, /*budget_usd=*/5.0);
+      candidates, pool, 100000, /*deadline_s=*/Seconds(3600.0),
+      /*budget_usd=*/Usd(5.0));
   ASSERT_TRUE(result.feasible);
-  EXPECT_LE(result.seconds, 3600.0);
-  EXPECT_LE(result.cost_usd, 5.0);
+  EXPECT_LE(result.seconds.value(), 3600.0);
+  EXPECT_LE(result.cost_usd.value(), 5.0);
   EXPECT_FALSE(result.config.Empty());
 }
 
@@ -65,7 +66,7 @@ TEST_F(AllocatorTest, GreedyPrefersHighestFeasibleAccuracy) {
   const std::vector<std::string> pool{"p2.xlarge", "g3.4xlarge"};
   // Loose constraints: the unpruned (highest-accuracy) variant must win.
   const AllocationResult result = allocator_.AllocateGreedy(
-      candidates, pool, 50000, 36000.0, 100.0);
+      candidates, pool, 50000, Seconds(36000.0), Usd(100.0));
   ASSERT_TRUE(result.feasible);
   EXPECT_EQ(result.variant_label, "nonpruned");
 }
@@ -75,17 +76,19 @@ TEST_F(AllocatorTest, GreedyDegradesAccuracyUnderTightDeadline) {
   const std::vector<std::string> pool{"p2.xlarge"};
   // Unpruned takes ~1140 s for 50k on p2.xlarge; demand 700 s.
   const AllocationResult result =
-      allocator_.AllocateGreedy(candidates, pool, 50000, 700.0, 100.0);
+      allocator_.AllocateGreedy(candidates, pool, 50000, Seconds(700.0),
+                                Usd(100.0));
   ASSERT_TRUE(result.feasible);
   EXPECT_NE(result.variant_label, "nonpruned");
-  EXPECT_LE(result.seconds, 700.0);
+  EXPECT_LE(result.seconds.value(), 700.0);
 }
 
 TEST_F(AllocatorTest, InfeasibleWhenConstraintsImpossible) {
   const auto candidates = Candidates();
   const std::vector<std::string> pool{"p2.xlarge"};
   const AllocationResult result =
-      allocator_.AllocateGreedy(candidates, pool, 1000000, 10.0, 0.01);
+      allocator_.AllocateGreedy(candidates, pool, 1000000, Seconds(10.0),
+                                Usd(0.01));
   EXPECT_FALSE(result.feasible);
 }
 
@@ -97,9 +100,9 @@ TEST_F(AllocatorTest, GreedyMatchesExhaustiveAccuracy) {
        std::vector<std::pair<double, double>>{
            {3600.0, 10.0}, {900.0, 10.0}, {600.0, 2.0}, {120.0, 1.0}}) {
     const AllocationResult greedy = allocator_.AllocateGreedy(
-        candidates, pool, 100000, deadline, budget);
+        candidates, pool, 100000, Seconds(deadline), Usd(budget));
     const AllocationResult exhaustive = allocator_.AllocateExhaustive(
-        candidates, pool, 100000, deadline, budget);
+        candidates, pool, 100000, Seconds(deadline), Usd(budget));
     EXPECT_EQ(greedy.feasible, exhaustive.feasible)
         << "T'=" << deadline << " C'=" << budget;
     if (greedy.feasible) {
@@ -116,9 +119,10 @@ TEST_F(AllocatorTest, GreedyEvaluationsPolynomialExhaustiveExponential) {
   std::vector<std::string> pool;
   for (int i = 0; i < 10; ++i) pool.push_back("p2.xlarge");
   const AllocationResult greedy =
-      allocator_.AllocateGreedy(candidates, pool, 1000000, 1e-9, 1e-9);
-  const AllocationResult exhaustive =
-      allocator_.AllocateExhaustive(candidates, pool, 1000000, 1e-9, 1e-9);
+      allocator_.AllocateGreedy(candidates, pool, 1000000, Seconds(1e-9),
+                                Usd(1e-9));
+  const AllocationResult exhaustive = allocator_.AllocateExhaustive(
+      candidates, pool, 1000000, Seconds(1e-9), Usd(1e-9));
   // Worst case (infeasible): greedy examines |P| * |G| configs, exhaustive
   // |P| * (2^|G| - 1).
   EXPECT_EQ(greedy.evaluations, candidates.size() * pool.size());
@@ -129,7 +133,8 @@ TEST_F(AllocatorTest, ExhaustiveCapsPoolSize) {
   const auto candidates = Candidates();
   const std::vector<std::string> pool(21, "p2.xlarge");
   EXPECT_THROW(
-      allocator_.AllocateExhaustive(candidates, pool, 1000, 1.0, 1.0),
+      allocator_.AllocateExhaustive(candidates, pool, 1000, Seconds(1.0),
+                                    Usd(1.0)),
       CheckError);
 }
 
@@ -147,10 +152,12 @@ TEST_F(AllocatorTest, InstanceCarOrdersByCostEfficiency) {
 TEST_F(AllocatorTest, EmptyInputsRejected) {
   const auto candidates = Candidates();
   const std::vector<std::string> pool{"p2.xlarge"};
-  EXPECT_THROW(allocator_.AllocateGreedy({}, pool, 100, 1.0, 1.0),
-               CheckError);
-  EXPECT_THROW(allocator_.AllocateGreedy(candidates, {}, 100, 1.0, 1.0),
-               CheckError);
+  EXPECT_THROW(
+      allocator_.AllocateGreedy({}, pool, 100, Seconds(1.0), Usd(1.0)),
+      CheckError);
+  EXPECT_THROW(
+      allocator_.AllocateGreedy(candidates, {}, 100, Seconds(1.0), Usd(1.0)),
+      CheckError);
 }
 
 TEST_F(AllocatorTest, InterruptionRiskInflatesCarAndTightensFeasibility) {
@@ -160,7 +167,7 @@ TEST_F(AllocatorTest, InterruptionRiskInflatesCarAndTightensFeasibility) {
       allocator_.InstanceCar("p2.xlarge", candidates[0], 50000);
   const double risky =
       allocator_.InstanceCar("p2.xlarge", candidates[0], 50000,
-                             /*interruption_rate_per_hour=*/4.0);
+                             /*interruption_rate=*/RatePerHour(4.0));
   EXPECT_GT(risky, safe);
 
   // A deadline the unpruned variant barely meets on reliable capacity
@@ -168,30 +175,33 @@ TEST_F(AllocatorTest, InterruptionRiskInflatesCarAndTightensFeasibility) {
   // degrade to a more-pruned variant (shorter runs dodge interruptions).
   const std::vector<std::string> pool{"p2.xlarge"};
   const AllocationResult reliable = allocator_.AllocateGreedy(
-      candidates, pool, 50000, /*deadline_s=*/1200.0, /*budget_usd=*/100.0,
-      cloud::WorkloadSplit::kEqual, /*interruption_rate_per_hour=*/0.0);
+      candidates, pool, 50000, /*deadline_s=*/Seconds(1200.0),
+      /*budget_usd=*/Usd(100.0), cloud::WorkloadSplit::kEqual,
+      /*interruption_rate=*/RatePerHour(0.0));
   ASSERT_TRUE(reliable.feasible);
   EXPECT_EQ(reliable.variant_label, "nonpruned");
   const AllocationResult spot = allocator_.AllocateGreedy(
-      candidates, pool, 50000, 1200.0, 100.0, cloud::WorkloadSplit::kEqual,
-      /*interruption_rate_per_hour=*/2.0);
+      candidates, pool, 50000, Seconds(1200.0), Usd(100.0),
+      cloud::WorkloadSplit::kEqual, /*interruption_rate=*/RatePerHour(2.0));
   ASSERT_TRUE(spot.feasible);
   EXPECT_NE(spot.variant_label, "nonpruned");
   EXPECT_GT(reliable.accuracy, spot.accuracy);
   // The reported time/cost are the risk-inflated expectations.
-  EXPECT_GT(spot.seconds, 0.0);
-  EXPECT_LE(spot.seconds, 1200.0);
+  EXPECT_GT(spot.seconds.value(), 0.0);
+  EXPECT_LE(spot.seconds.value(), 1200.0);
 
   // Exhaustive search agrees under the same risk.
   const AllocationResult exhaustive = allocator_.AllocateExhaustive(
-      candidates, pool, 50000, 1200.0, 100.0, cloud::WorkloadSplit::kEqual,
-      2.0);
+      candidates, pool, 50000, Seconds(1200.0), Usd(100.0),
+      cloud::WorkloadSplit::kEqual, RatePerHour(2.0));
   ASSERT_TRUE(exhaustive.feasible);
   EXPECT_DOUBLE_EQ(spot.accuracy, exhaustive.accuracy);
 
-  EXPECT_THROW(allocator_.AllocateGreedy(candidates, pool, 1000, 1.0, 1.0,
-                                         cloud::WorkloadSplit::kEqual, -1.0),
-               CheckError);
+  EXPECT_THROW(
+      allocator_.AllocateGreedy(candidates, pool, 1000, Seconds(1.0),
+                                Usd(1.0), cloud::WorkloadSplit::kEqual,
+                                RatePerHour(-1.0)),
+      CheckError);
 }
 
 TEST_F(AllocatorTest, ProportionalSplitUnlocksHeterogeneousConfigs) {
@@ -203,12 +213,12 @@ TEST_F(AllocatorTest, ProportionalSplitUnlocksHeterogeneousConfigs) {
   const std::int64_t images = 600000;
   // Unpruned on p2.16xlarge alone: ~856 s. Equal split forces the
   // p2.xlarge to take half: ~6840 s. Pick a deadline between them.
-  const double deadline = 1500.0;
+  const Seconds deadline(1500.0);
   const core::AllocationResult equal = allocator_.AllocateGreedy(
-      candidates, pool, images, deadline, 100.0,
+      candidates, pool, images, deadline, Usd(100.0),
       cloud::WorkloadSplit::kEqual);
   const core::AllocationResult prop = allocator_.AllocateGreedy(
-      candidates, pool, images, deadline, 100.0,
+      candidates, pool, images, deadline, Usd(100.0),
       cloud::WorkloadSplit::kProportional);
   ASSERT_TRUE(prop.feasible);
   if (equal.feasible) {

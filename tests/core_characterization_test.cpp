@@ -50,7 +50,8 @@ TEST_F(CharacterizationTest, SingleInferenceSkipsFcLayers) {
     if (name.rfind("fc", 0) == 0) fc_share += lp.time_share;
   }
   const double launch = 14 * 1.5e-3;
-  EXPECT_GT(pruned, launch + fc_share * profile_.ref_seconds_per_image / 1.0);
+  EXPECT_GT(pruned,
+            launch + fc_share * profile_.ref_seconds_per_image.value() / 1.0);
 }
 
 TEST_F(CharacterizationTest, BatchSweepMonotoneDecreasing) {

@@ -25,8 +25,8 @@
 namespace ccperf::core {
 namespace {
 
-constexpr double kRate = 0.05;     // spot preemptions per instance-hour
-constexpr double kRestart = 60.0;  // reprovisioning seconds per preemption
+constexpr RatePerHour kRate{0.05};  // spot preemptions per instance-hour
+constexpr Seconds kRestart{60.0};   // reprovisioning seconds per preemption
 
 /// Small but fully heterogeneous space: every axis has >= 2 entries.
 ArchitectureSpace SmallSpace(const cloud::ModelProfile& profile,
@@ -137,7 +137,7 @@ TEST(MetricRegistryTest, StandardMetricsPresent) {
 
 TEST(MetricRegistryTest, DuplicateRegistrationThrows) {
   MetricRegistry registry;
-  const auto extract = [](const ArchMetrics& m) { return m.cost_usd; };
+  const auto extract = [](const ArchMetrics& m) { return m.cost_usd.value(); };
   registry.Register("cost", "run cost", extract, true);
   EXPECT_THROW(registry.Register("cost", "again", extract, true), CheckError);
   EXPECT_THROW(registry.Register("", "anonymous", extract, true), CheckError);
@@ -156,8 +156,8 @@ TEST(MetricRegistryTest, UnknownMetricThrowsWithKnownNames) {
 
 TEST(MetricRegistryTest, ExtractorsReadTheRightFields) {
   ArchMetrics m;
-  m.seconds = 7200.0;
-  m.cost_usd = 10.0;
+  m.seconds = Seconds(7200.0);
+  m.cost_usd = Usd(10.0);
   m.top1 = 0.5;
   m.top5 = 0.8;
   m.goodput = 0.9;
@@ -166,8 +166,9 @@ TEST(MetricRegistryTest, ExtractorsReadTheRightFields) {
   EXPECT_DOUBLE_EQ(r.Find("time_h").extract(m), 2.0);
   EXPECT_DOUBLE_EQ(r.Find("cost_usd").extract(m), 10.0);
   EXPECT_DOUBLE_EQ(r.Find("tar").extract(m),
-                   TimeAccuracyRatio(7200.0, 0.8));
-  EXPECT_DOUBLE_EQ(r.Find("car").extract(m), CostAccuracyRatio(10.0, 0.8));
+                   TimeAccuracyRatio(Seconds(7200.0), 0.8));
+  EXPECT_DOUBLE_EQ(r.Find("car").extract(m),
+                   CostAccuracyRatio(Usd(10.0), 0.8));
 }
 
 // --- evaluator parity with the cloud models ----------------------------------
@@ -191,8 +192,9 @@ TEST(Evaluator, OnDemandAutoBatchMatchesSimulatorRun) {
         config.Add(f.space.TypeNames()[ty], f.space.Counts()[ct]);
         const cloud::RunEstimate run =
             f.sim.Run(config, f.space.Variants()[v].perf, images);
-        EXPECT_DOUBLE_EQ(m.seconds, run.seconds);
-        EXPECT_NEAR(m.cost_usd, run.cost_usd, 1e-9 * run.cost_usd);
+        EXPECT_DOUBLE_EQ(m.seconds.value(), run.seconds.value());
+        EXPECT_NEAR(m.cost_usd.value(), run.cost_usd.value(),
+                    1e-9 * run.cost_usd.value());
         EXPECT_DOUBLE_EQ(m.goodput, 1.0);
         EXPECT_DOUBLE_EQ(m.interruption_risk, 0.0);
         EXPECT_DOUBLE_EQ(m.top1, f.space.Variants()[v].top1);
@@ -220,9 +222,10 @@ TEST(Evaluator, SpotCheckpointedMatchesEstimateSpotRun) {
   const cloud::SpotRunEstimate est = cloud::EstimateSpotRun(
       f.sim, config, f.space.Variants()[0].perf, images,
       f.space.CheckpointOptions()[1].policy, kRate, kRestart);
-  EXPECT_NEAR(m.seconds, est.expected_seconds, 1e-9 * est.expected_seconds);
-  EXPECT_NEAR(m.cost_usd, est.expected_spot_cost_usd,
-              1e-9 * est.expected_spot_cost_usd);
+  EXPECT_NEAR(m.seconds.value(), est.expected_seconds.value(),
+              1e-9 * est.expected_seconds.value());
+  EXPECT_NEAR(m.cost_usd.value(), est.expected_spot_cost_usd.value(),
+              1e-9 * est.expected_spot_cost_usd.value());
   EXPECT_LT(m.goodput, 1.0);
   EXPECT_GT(m.interruption_risk, 0.0);
   EXPECT_LT(m.interruption_risk, 1.0);
@@ -241,12 +244,13 @@ TEST(Evaluator, SpotWithoutCheckpointUsesRestartExpectation) {
   config.Add("p2.xlarge", 1);
   const cloud::RunEstimate base =
       f.sim.Run(config, f.space.Variants()[0].perf, images);
-  const double expected =
+  const Seconds expected =
       ExpectedSecondsUnderInterruption(base.seconds, kRate);
-  EXPECT_DOUBLE_EQ(m.seconds, expected);
+  EXPECT_DOUBLE_EQ(m.seconds.value(), expected.value());
   const auto& type = f.catalog.Find("p2.xlarge");
-  EXPECT_DOUBLE_EQ(m.cost_usd,
-                   cloud::ProratedCost(expected, type.spot_price_per_hour));
+  EXPECT_DOUBLE_EQ(
+      m.cost_usd.value(),
+      cloud::ProratedCost(expected, type.spot_price_per_hour).value());
 }
 
 TEST(Evaluator, OnWarningTriggerBeatsPeriodicOnExpectedTime) {
@@ -264,7 +268,7 @@ TEST(Evaluator, OnWarningTriggerBeatsPeriodicOnExpectedTime) {
   p.checkpoint = 2;  // on-warning
   ArchMetrics warn;
   ASSERT_TRUE(f.evaluator.Evaluate(f.space.Encode(p), 1'000'000, warn));
-  EXPECT_LT(warn.seconds, periodic.seconds);
+  EXPECT_LT(warn.seconds.value(), periodic.seconds.value());
 }
 
 TEST(Evaluator, DegradationTradesAccuracyForTime) {
@@ -279,7 +283,7 @@ TEST(Evaluator, DegradationTradesAccuracyForTime) {
   p.degradation = 1;  // skip-frames: 2x faster replay at 0.95 accuracy
   ArchMetrics degraded;
   ASSERT_TRUE(f.evaluator.Evaluate(f.space.Encode(p), 1'000'000, degraded));
-  EXPECT_LT(degraded.seconds, none.seconds);
+  EXPECT_LT(degraded.seconds.value(), none.seconds.value());
   EXPECT_LT(degraded.top5, none.top5);
   // Only the replayed fraction is degraded: the drop is bounded by the
   // full-degradation floor.
@@ -303,7 +307,8 @@ TEST(Evaluator, SpotWithoutMarketIsInfeasible) {
   // A custom catalog whose only type has no spot market: every spot row
   // must come back infeasible, every on-demand row feasible.
   cloud::InstanceCatalog catalog(
-      {{"lab.box", "lab", 8, 1, 64.0, 12.0, 2.0, cloud::GpuKind::kK80, 0.0}},
+      {{"lab.box", "lab", 8, 1, 64.0, 12.0, UsdPerHour(2.0),
+        cloud::GpuKind::kK80, UsdPerHour(0.0)}},
       {cloud::GpuSpec{}});
   cloud::CloudSimulator sim(catalog);
   const cloud::ModelProfile profile = cloud::CaffeNetProfile();
@@ -345,8 +350,8 @@ std::vector<std::uint64_t> OracleFrontier(
       continue;
     }
     ids.push_back(id);
-    t.push_back(m.seconds);
-    c.push_back(m.cost_usd);
+    t.push_back(m.seconds.value());
+    c.push_back(m.cost_usd.value());
     a.push_back(options.use_top5 ? m.top5 : m.top1);
   }
   std::vector<std::uint64_t> frontier;
@@ -376,8 +381,8 @@ TEST(EnumerateFrontierTest, DeadlineAndBudgetFilter) {
   Fixture f;
   EnumerationOptions options;
   options.images = 250'000;
-  options.deadline_s = 2.0 * 3600.0;
-  options.budget_usd = 5.0;
+  options.deadline_s = Seconds(2.0 * 3600.0);
+  options.budget_usd = Usd(5.0);
   const EnumerationResult result = EnumerateFrontier(f.evaluator, options);
   EXPECT_LT(result.feasible, f.space.Size());
   for (const auto& point : result.frontier) {
@@ -442,9 +447,10 @@ TEST(EnumerateFrontierTest, FrontierPointsAreMutuallyNonDominated) {
   for (const auto& x : result.frontier) {
     for (const auto& y : result.frontier) {
       if (x.id == y.id) continue;
-      EXPECT_FALSE(Dominates3(x.metrics.seconds, x.metrics.cost_usd,
-                              x.metrics.top5, y.metrics.seconds,
-                              y.metrics.cost_usd, y.metrics.top5));
+      EXPECT_FALSE(Dominates3(
+          x.metrics.seconds.value(), x.metrics.cost_usd.value(),
+          x.metrics.top5, y.metrics.seconds.value(),
+          y.metrics.cost_usd.value(), y.metrics.top5));
     }
   }
 }
@@ -460,8 +466,8 @@ TEST(BuildVariantSpecsTest, Int8TwinsFollowTheirFloatPlans) {
   EXPECT_EQ(specs[1].label, "nonpruned+int8");
   // Quantization costs accuracy and buys time.
   EXPECT_LT(specs[1].top5, specs[0].top5);
-  EXPECT_LT(specs[1].perf.ref_seconds_per_image,
-            specs[0].perf.ref_seconds_per_image);
+  EXPECT_LT(specs[1].perf.ref_seconds_per_image.value(),
+            specs[0].perf.ref_seconds_per_image.value());
 }
 
 }  // namespace

@@ -51,10 +51,10 @@ TEST_F(ExplorerTest, DeadlineFiltersSlowConfigs) {
   const ExplorationResult all = explorer_.Explore(variants, configs, 1000000);
   double min_time = 1e18, max_time = 0.0;
   for (const auto& p : all.feasible) {
-    min_time = std::min(min_time, p.seconds);
-    max_time = std::max(max_time, p.seconds);
+    min_time = std::min(min_time, p.seconds.value());
+    max_time = std::max(max_time, p.seconds.value());
   }
-  const double deadline = (min_time + max_time) / 2.0;
+  const Seconds deadline((min_time + max_time) / 2.0);
   const ExplorationResult filtered =
       explorer_.Explore(variants, configs, 1000000, deadline);
   EXPECT_LT(filtered.feasible.size(), all.feasible.size());
@@ -69,13 +69,15 @@ TEST_F(ExplorerTest, BudgetFiltersExpensiveConfigs) {
   const auto configs = P2Configs(2);
   const ExplorationResult all = explorer_.Explore(variants, configs, 1000000);
   double min_cost = 1e18;
-  for (const auto& p : all.feasible) min_cost = std::min(min_cost, p.cost_usd);
+  for (const auto& p : all.feasible) {
+    min_cost = std::min(min_cost, p.cost_usd.value());
+  }
   const ExplorationResult filtered = explorer_.Explore(
       variants, configs, 1000000,
-      std::numeric_limits<double>::infinity(), min_cost * 1.5);
+      Seconds(std::numeric_limits<double>::infinity()), Usd(min_cost * 1.5));
   EXPECT_GT(filtered.feasible.size(), 0u);
   for (const auto& p : filtered.feasible) {
-    EXPECT_LE(p.cost_usd, min_cost * 1.5);
+    EXPECT_LE(p.cost_usd.value(), min_cost * 1.5);
   }
 }
 
@@ -84,7 +86,7 @@ TEST_F(ExplorerTest, ParetoFrontierSmallAndOptimal) {
   const auto variants = Variants(30);
   const auto configs = P2Configs(3);  // 63 configs
   const ExplorationResult result = explorer_.Explore(
-      variants, configs, 1000000, /*deadline_s=*/10.0 * 3600.0);
+      variants, configs, 1000000, /*deadline_s=*/Seconds(10.0 * 3600.0));
   EXPECT_GT(result.feasible.size(), 500u);
 
   const auto frontier = TimeAccuracyFrontier(result.feasible, true);
@@ -94,9 +96,9 @@ TEST_F(ExplorerTest, ParetoFrontierSmallAndOptimal) {
   for (std::size_t a : frontier) {
     for (std::size_t b : frontier) {
       if (a == b) continue;
-      EXPECT_FALSE(Dominates(result.feasible[a].seconds,
+      EXPECT_FALSE(Dominates(result.feasible[a].seconds.value(),
                              result.feasible[a].top5,
-                             result.feasible[b].seconds,
+                             result.feasible[b].seconds.value(),
                              result.feasible[b].top5));
     }
   }
@@ -106,7 +108,7 @@ TEST_F(ExplorerTest, CostFrontierUsesCostAxis) {
   const auto variants = Variants(10);
   const auto configs = P2Configs(2);
   const ExplorationResult result =
-      explorer_.Explore(variants, configs, 500000, 1e18, 300.0);
+      explorer_.Explore(variants, configs, 500000, Seconds(1e18), Usd(300.0));
   const auto frontier = CostAccuracyFrontier(result.feasible, false);
   ASSERT_GE(frontier.size(), 1u);
   // The top frontier point carries the max feasible Top-1.
@@ -121,17 +123,17 @@ TEST_F(ExplorerTest, ParetoSelectionSavesSubstantially) {
   const auto variants = Variants(30);
   const auto configs = P2Configs(3);
   const ExplorationResult result = explorer_.Explore(
-      variants, configs, 1000000, 10.0 * 3600.0);
+      variants, configs, 1000000, Seconds(10.0 * 3600.0));
   const auto frontier = TimeAccuracyFrontier(result.feasible, true);
   ASSERT_FALSE(frontier.empty());
   const ExploredPoint& best = result.feasible[frontier.front()];
-  double worst_same_accuracy = best.seconds;
+  double worst_same_accuracy = best.seconds.value();
   for (const auto& p : result.feasible) {
     if (p.top5 == best.top5) {
-      worst_same_accuracy = std::max(worst_same_accuracy, p.seconds);
+      worst_same_accuracy = std::max(worst_same_accuracy, p.seconds.value());
     }
   }
-  EXPECT_LT(best.seconds, worst_same_accuracy * 0.6);
+  EXPECT_LT(best.seconds.value(), worst_same_accuracy * 0.6);
 }
 
 TEST_F(ExplorerTest, RejectsEmptySpace) {

@@ -135,7 +135,8 @@ TEST(EndToEnd, FullPipelineModelDrivenExploration) {
       {"conv1", "conv2"}, {{0.0, 0.2, 0.4}, {0.0, 0.25, 0.5}});
   const auto configs = cloud::EnumerateConfigs(catalog.Types(), 1);
   const core::ExplorationResult result =
-      explorer.Explore(variants, configs, 200000, 4.0 * 3600.0, 50.0);
+      explorer.Explore(variants, configs, 200000, Seconds(4.0 * 3600.0),
+                       Usd(50.0));
   EXPECT_GT(result.feasible.size(), 50u);
 
   const auto frontier = core::TimeAccuracyFrontier(result.feasible, true);

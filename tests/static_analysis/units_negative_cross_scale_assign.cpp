@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: Hours and Seconds share a dimension but not a scale;
+// assignment across scales must go through ToSeconds/ToHours so the 3600x
+// factor is always written down.
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+int main() {
+  Seconds bad = Hours(1.0);  // needs explicit ToSeconds(...)
+  return bad.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: comparing Seconds against Hours. A raw-value compare
+// across scales would order 90 (seconds) above 1 (hour); the type system
+// refuses rather than guessing a conversion.
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+int main() {
+  const bool bad = Seconds(90.0) < Hours(1.0);  // cross-scale comparison
+  return bad ? 0 : 1;
+}

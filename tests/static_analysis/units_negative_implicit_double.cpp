@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a raw double silently becoming money. Construction is
+// explicit so every entry into the typed world is visible at the call site.
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+int main() {
+  Usd bad = 3.0;  // explicit ctor: copy-init from double must fail
+  return bad.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: adding a bare double to a quantity. Scaling by a
+// scalar (operator*) is meaningful; offsetting by a unitless number is not.
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+int main() {
+  auto bad = Seconds(1.0) + 1.0;  // no operator+(Seconds, double)
+  return bad.value() > 0.0 ? 0 : 1;
+}

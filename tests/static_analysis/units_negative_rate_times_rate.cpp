@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: ($/h) * ($/h) is not a quantity this library defines.
+// Cross-dimension products exist only by enumeration (e.g. UsdPerHour*Hours).
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+int main() {
+  auto bad = UsdPerHour(1.0) * UsdPerHour(2.0);  // undefined product
+  return bad.value() > 0.0 ? 0 : 1;
+}

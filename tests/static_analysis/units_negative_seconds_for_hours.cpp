@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: passing Seconds where an API takes Hours — the classic
+// 3600x billing bug the unit layer exists to stop. Scale conversion is
+// explicit (ToHours), never implicit.
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+static Usd Bill(UsdPerHour price, Hours runtime) { return price * runtime; }
+
+int main() {
+  const Usd bad = Bill(UsdPerHour(0.9), Seconds(7200.0));  // wrong scale
+  return bad.value() > 0.0 ? 0 : 1;
+}

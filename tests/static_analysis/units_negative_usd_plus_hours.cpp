@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: adding money to time mixes dimensions.
+#include "common/units.h"
+
+using namespace ccperf::units;
+
+int main() {
+  auto bad = Usd(1.0) + Hours(1.0);  // no operator+(Usd, Hours)
+  return bad.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Positive control for the strong-unit negative-compile suite: every
+// operation the dimension system is supposed to allow, in one TU. If this
+// fails to build, the probe harness (include paths, C++ standard) is broken
+// and the negative results below it would be meaningless.
+#include "common/units.h"
+
+namespace {
+
+using namespace ccperf::units;
+
+[[maybe_unused]] Usd Bill(UsdPerHour price, Hours h) { return price * h; }
+
+[[maybe_unused]] double Algebra() {
+  // Same-dimension, same-scale arithmetic.
+  Seconds s = Seconds(1.0) + Seconds(2.0) - Seconds(0.5);
+  s += Seconds(1.0);
+  s -= Seconds(0.25);
+  s = -s;
+  // Scalar scaling (both sides) and in-place forms.
+  s = s * 2.0;
+  s = 2.0 * s;
+  s = s / 2.0;
+  s *= 3.0;
+  s /= 3.0;
+  // Cross-dimension algebra, by enumeration.
+  const Usd cost = UsdPerHour(0.9) * Hours(2.0);
+  const Usd cost2 = Hours(2.0) * UsdPerHour(0.9);
+  const UsdPerHour rate = cost / Hours(2.0);
+  const Hours h = cost / rate;
+  const double events = RatePerHour(0.05) * Hours(10.0);
+  const double events2 = Hours(10.0) * RatePerHour(0.05);
+  const Seconds t = Flops(1e12) / GFlopsPerSec(5.0);
+  const Seconds t2 = Bytes(1e9) / GBytesPerSec(2.0);
+  // Explicit scale conversions.
+  const Hours from_s = ToHours(Seconds(7200.0));
+  const Seconds back = ToSeconds(from_s);
+  // Dimensionless ratio of like quantities.
+  const double ratio = back / Seconds(3600.0);
+  // Ordering and equality within one (dimension, scale).
+  const bool ok = Seconds(1.0) < Seconds(2.0) && Seconds(2.0) >= Seconds(2.0) &&
+                  Seconds(3.0) == Seconds(3.0) && cost == cost2 &&
+                  events == events2 && t.value() > 0.0 && t2.value() > 0.0 &&
+                  h.value() > 0.0;
+  return ratio + (ok ? 1.0 : 0.0) + s.value();
+}
+
+}  // namespace
+
+int main() { return Algebra() > 0.0 ? 0 : 1; }

@@ -388,15 +388,17 @@ int Run(const CliOptions& options) {
 
   const core::ArchitectureSpace space =
       BuildSpace(catalog, profile, accuracy, options);
-  const core::ArchitectureEvaluator evaluator(sim, space,
-                                              options.preempt_rate);
+  const core::ArchitectureEvaluator evaluator(
+      sim, space, RatePerHour(options.preempt_rate));
 
   core::EnumerationOptions enum_options;
   enum_options.images = options.images;
   if (options.deadline_h > 0.0) {
-    enum_options.deadline_s = options.deadline_h * 3600.0;
+    enum_options.deadline_s = ToSeconds(Hours(options.deadline_h));
   }
-  if (options.budget_usd > 0.0) enum_options.budget_usd = options.budget_usd;
+  if (options.budget_usd > 0.0) {
+    enum_options.budget_usd = Usd(options.budget_usd);
+  }
   enum_options.block = options.block;
   enum_options.serial = options.serial;
   enum_options.use_top5 = !options.use_top1;
@@ -459,8 +461,10 @@ int Run(const CliOptions& options) {
                  "dlvd-1 (%)", "escape", "det-ovh", options.sort});
     for (const auto& row : rows) {
       const auto& m = row.metrics;
-      table.AddRow({space.Describe(row.id), Table::Num(m.seconds / 3600.0, 2),
-                    Table::Num(m.cost_usd, 2), Table::Num(m.top5 * 100.0, 1),
+      table.AddRow({space.Describe(row.id),
+                    Table::Num(ToHours(m.seconds).value(), 2),
+                    Table::Num(m.cost_usd.value(), 2),
+                    Table::Num(m.top5 * 100.0, 1),
                     Table::Num(m.delivered_top1 * 100.0, 1),
                     Table::Num(m.sdc_escape_rate, 4),
                     Table::Num(m.detection_overhead, 3),
@@ -472,8 +476,10 @@ int Run(const CliOptions& options) {
                  "Top-1 (%)", "goodput", "risk", options.sort});
     for (const auto& row : rows) {
       const auto& m = row.metrics;
-      table.AddRow({space.Describe(row.id), Table::Num(m.seconds / 3600.0, 2),
-                    Table::Num(m.cost_usd, 2), Table::Num(m.top5 * 100.0, 1),
+      table.AddRow({space.Describe(row.id),
+                    Table::Num(ToHours(m.seconds).value(), 2),
+                    Table::Num(m.cost_usd.value(), 2),
+                    Table::Num(m.top5 * 100.0, 1),
                     Table::Num(m.top1 * 100.0, 1), Table::Num(m.goodput, 3),
                     Table::Num(m.interruption_risk, 3),
                     Table::Num(sort_metric.extract(m), 4)});
@@ -494,7 +500,7 @@ int Run(const CliOptions& options) {
       const auto& m = row.metrics;
       std::vector<std::string> fields = {
           std::to_string(row.id),      space.Describe(row.id),
-          Table::Num(m.seconds, 3),    Table::Num(m.cost_usd, 4),
+          Table::Num(m.seconds.value(), 3), Table::Num(m.cost_usd.value(), 4),
           Table::Num(m.top1, 4),       Table::Num(m.top5, 4),
           Table::Num(m.goodput, 4),    Table::Num(m.interruption_risk, 4)};
       if (options.sdc) {
